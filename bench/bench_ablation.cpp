@@ -1,0 +1,126 @@
+// Ablations over DistHD's design choices (the ones DESIGN.md §6 calls out).
+// Not a paper figure; this bench justifies defaults and exposes the
+// sensitivity of the dynamic-encoding loop:
+//   A. regeneration rate R;
+//   B. how M' and N' combine into the drop set (paper: intersection);
+//   C. the contradictory incorrect-sample rule (prose vs Algorithm-2 box);
+//   D. iteration budget (drives effective dimensionality D*);
+//   E. adaptive learning rate eta.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "metrics/report.hpp"
+
+using namespace disthd;
+
+namespace {
+
+struct RunResult {
+  double accuracy = 0.0;
+  std::size_t effective_dim = 0;
+  double seconds = 0.0;
+};
+
+RunResult run(const data::TrainTestSplit& split, core::DistHDConfig config) {
+  core::DistHDTrainer trainer(config);
+  const auto model = trainer.fit(split.train);
+  RunResult result;
+  result.accuracy = model.evaluate_accuracy(split.test);
+  result.effective_dim = trainer.last_result().effective_dim;
+  result.seconds = trainer.last_result().train_seconds;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto options = bench::parse_options(argc, argv);
+  bench::print_provenance("Ablations — DistHD design choices", options);
+  const std::string dataset_name =
+      options.datasets.size() == 1 ? options.datasets[0] : "ucihar";
+  const auto dataset = bench::load_dataset(dataset_name, options);
+  std::printf("workload: %s (%s)\n\n", dataset_name.c_str(),
+              dataset.source.c_str());
+
+  const core::DistHDConfig base_config = bench::disthd_config(options, 500);
+
+  {
+    metrics::Table table({"regen rate R", "accuracy", "D*", "train s"});
+    for (const double rate : {0.05, 0.10, 0.20, 0.30}) {
+      auto config = base_config;
+      config.stats.regen_rate = rate;
+      const auto result = run(dataset.split, config);
+      table.add_row({metrics::Table::fmt(rate, 2),
+                     metrics::Table::fmt_percent(result.accuracy),
+                     std::to_string(result.effective_dim),
+                     metrics::Table::fmt(result.seconds, 2)});
+    }
+    std::printf("A. regeneration rate (default 0.10)\n");
+    table.print(std::cout);
+  }
+
+  {
+    metrics::Table table({"combine rule", "accuracy", "D*"});
+    const std::pair<core::CombineRule, const char*> rules[] = {
+        {core::CombineRule::intersection, "intersection (paper)"},
+        {core::CombineRule::union_all, "union"},
+        {core::CombineRule::m_only, "M only (partial)"},
+        {core::CombineRule::n_only, "N only (incorrect)"},
+    };
+    for (const auto& [rule, label] : rules) {
+      auto config = base_config;
+      config.stats.combine = rule;
+      const auto result = run(dataset.split, config);
+      table.add_row({label, metrics::Table::fmt_percent(result.accuracy),
+                     std::to_string(result.effective_dim)});
+    }
+    std::printf("\nB. M'/N' combination rule\n");
+    table.print(std::cout);
+  }
+
+  {
+    metrics::Table table({"incorrect-sample rule", "accuracy"});
+    const std::pair<core::IncorrectRule, const char*> rules[] = {
+        {core::IncorrectRule::prose, "prose (default; see DESIGN.md)"},
+        {core::IncorrectRule::algorithm_box, "Algorithm 2 line 11 literal"},
+    };
+    for (const auto& [rule, label] : rules) {
+      auto config = base_config;
+      config.stats.incorrect_rule = rule;
+      const auto result = run(dataset.split, config);
+      table.add_row({label, metrics::Table::fmt_percent(result.accuracy)});
+    }
+    std::printf("\nC. contradictory N-rule variants\n");
+    table.print(std::cout);
+  }
+
+  {
+    metrics::Table table({"iterations", "accuracy", "D*", "train s"});
+    for (const std::size_t iterations : {10u, 30u, 50u, 80u}) {
+      auto config = base_config;
+      config.iterations = options.quick ? iterations / 2 + 1 : iterations;
+      const auto result = run(dataset.split, config);
+      table.add_row({std::to_string(config.iterations),
+                     metrics::Table::fmt_percent(result.accuracy),
+                     std::to_string(result.effective_dim),
+                     metrics::Table::fmt(result.seconds, 2)});
+    }
+    std::printf("\nD. iteration budget (effective dimensionality growth)\n");
+    table.print(std::cout);
+  }
+
+  {
+    metrics::Table table({"eta", "accuracy"});
+    for (const double eta : {0.25, 0.5, 1.0, 2.0}) {
+      auto config = base_config;
+      config.learning_rate = eta;
+      const auto result = run(dataset.split, config);
+      table.add_row({metrics::Table::fmt(eta, 2),
+                     metrics::Table::fmt_percent(result.accuracy)});
+    }
+    std::printf("\nE. adaptive learning rate\n");
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Reproduces Fig. 2 (the motivation study):
+//  (a) static-encoder HDC needs very high dimensionality: accuracy,
+//      training time, and inference latency across D, with the DNN as the
+//      reference point;
+//  (b) top-1 vs top-2 vs top-3 accuracy of static HDC as a function of
+//      dimensionality and of training iterations — top-2 converges much
+//      higher/faster than top-1 while top-3 adds little, which is the
+//      observation DistHD's training signal is built on.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "metrics/accuracy.hpp"
+#include "metrics/report.hpp"
+#include "util/timer.hpp"
+
+using namespace disthd;
+
+int main(int argc, char** argv) {
+  auto options = bench::parse_options(argc, argv);
+  bench::print_provenance("Fig. 2 — motivation: static encoders and top-k",
+                          options);
+  const std::string dataset_name =
+      options.datasets.size() == 1 ? options.datasets[0] : "mnist";
+  const auto dataset = bench::load_dataset(dataset_name, options);
+  const auto& train = dataset.split.train;
+  const auto& test = dataset.split.test;
+  std::printf("workload: %s (%s)\n\n", dataset_name.c_str(),
+              dataset.source.c_str());
+
+  // DNN reference point.
+  nn::Mlp mlp(train.num_features(), train.num_classes,
+              bench::mlp_config(options, train.size()));
+  util::WallTimer dnn_timer;
+  mlp.fit(train);
+  const double dnn_train_s = dnn_timer.seconds();
+  dnn_timer.reset();
+  const double dnn_accuracy = mlp.evaluate_accuracy(test);
+  const double dnn_infer_s = dnn_timer.seconds();
+
+  // (a) static HDC across dimensionality.
+  const std::vector<std::size_t> dims =
+      options.quick ? std::vector<std::size_t>{500, 1000, 2000}
+                    : std::vector<std::size_t>{500, 1000, 2000, 4000, 6000};
+  metrics::Table fig2a({"model", "D", "accuracy", "train s", "infer s"});
+  std::vector<core::HdcClassifier> classifiers;
+  classifiers.reserve(dims.size());
+  for (const std::size_t dim : dims) {
+    core::BaselineHDTrainer trainer(bench::baselinehd_config(options, dim));
+    auto classifier = trainer.fit(train);
+    util::WallTimer infer_timer;
+    const double accuracy = classifier.evaluate_accuracy(test);
+    const double infer_s = infer_timer.seconds();
+    fig2a.add_row({"static HDC", std::to_string(dim),
+                   metrics::Table::fmt_percent(accuracy),
+                   metrics::Table::fmt(trainer.last_result().train_seconds, 2),
+                   metrics::Table::fmt(infer_s, 3)});
+    classifiers.push_back(std::move(classifier));
+  }
+  fig2a.add_row({"DNN (MLP)", "-", metrics::Table::fmt_percent(dnn_accuracy),
+                 metrics::Table::fmt(dnn_train_s, 2),
+                 metrics::Table::fmt(dnn_infer_s, 3)});
+  std::printf("(a) static-encoder HDC vs DNN\n");
+  fig2a.print(std::cout);
+
+  // (b1) top-k accuracy vs dimensionality (converged models from above).
+  metrics::Table fig2b_dims({"D", "top-1", "top-2", "top-3"});
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    util::Matrix scores;
+    classifiers[i].scores_batch(test.features, scores);
+    const std::span<const float> flat(scores.data(), scores.size());
+    fig2b_dims.add_row(
+        {std::to_string(dims[i]),
+         metrics::Table::fmt_percent(metrics::topk_accuracy(
+             flat, test.num_classes, test.labels, 1)),
+         metrics::Table::fmt_percent(metrics::topk_accuracy(
+             flat, test.num_classes, test.labels, 2)),
+         metrics::Table::fmt_percent(metrics::topk_accuracy(
+             flat, test.num_classes, test.labels, 3))});
+  }
+  std::printf("\n(b1) top-k accuracy vs dimensionality (static HDC)\n");
+  fig2b_dims.print(std::cout);
+
+  // (b2) top-k accuracy vs training iterations at the compressed D = 0.5k.
+  metrics::Table fig2b_iters({"iterations", "top-1", "top-2", "top-3"});
+  const std::vector<std::size_t> iteration_points =
+      options.quick ? std::vector<std::size_t>{10, 20, 30}
+                    : std::vector<std::size_t>{10, 20, 30, 40, 50};
+  for (const std::size_t iterations : iteration_points) {
+    auto config = bench::baselinehd_config(options, 500);
+    config.iterations = iterations;
+    config.stop_when_converged = false;
+    core::BaselineHDTrainer trainer(config);
+    const auto classifier = trainer.fit(train);
+    util::Matrix scores;
+    classifier.scores_batch(test.features, scores);
+    const std::span<const float> flat(scores.data(), scores.size());
+    fig2b_iters.add_row(
+        {std::to_string(iterations),
+         metrics::Table::fmt_percent(metrics::topk_accuracy(
+             flat, test.num_classes, test.labels, 1)),
+         metrics::Table::fmt_percent(metrics::topk_accuracy(
+             flat, test.num_classes, test.labels, 2)),
+         metrics::Table::fmt_percent(metrics::topk_accuracy(
+             flat, test.num_classes, test.labels, 3))});
+  }
+  std::printf("\n(b2) top-k accuracy vs iterations (static HDC, D = 0.5k)\n");
+  fig2b_iters.print(std::cout);
+
+  std::printf("\nExpected shape: top-2 >> top-1 with the top-3 increment much "
+              "smaller (paper Fig. 2b), and static HDC needing D >> 0.5k to "
+              "approach the DNN (paper Fig. 2a).\n");
+  return 0;
+}

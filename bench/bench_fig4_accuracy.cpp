@@ -1,0 +1,84 @@
+// Reproduces Fig. 4: classification accuracy of DNN, SVM, BaselineHD
+// (D = 0.5k and effective D* = 4k), NeuralHD (0.5k) and DistHD (0.5k) on the
+// five Table I workloads.
+//
+// Paper's headline numbers this bench checks the *shape* of:
+//   - DistHD(0.5k) ~ comparable to DNN, ~1.17% above SVM;
+//   - DistHD(0.5k) +6.96% over BaselineHD(0.5k);
+//   - DistHD(0.5k) +1.88% over NeuralHD(0.5k);
+//   - DistHD(0.5k) +1.82% over BaselineHD(4k) => 8x dimension reduction.
+#include <cstdio>
+#include <ostream>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "metrics/report.hpp"
+
+using namespace disthd;
+
+int main(int argc, char** argv) {
+  const auto options = bench::parse_options(argc, argv);
+  bench::print_provenance("Fig. 4 — accuracy vs. SOTA learning algorithms",
+                          options);
+
+  metrics::Table table({"dataset", "DNN", "SVM", "BaseHD 0.5k", "BaseHD 4k",
+                        "NeuralHD 0.5k", "DistHD 0.5k"});
+  double delta_base_small = 0.0, delta_base_large = 0.0, delta_neural = 0.0,
+         delta_svm = 0.0, delta_dnn = 0.0;
+
+  for (const auto& name : options.datasets) {
+    const auto dataset = bench::load_dataset(name, options);
+    const auto& train = dataset.split.train;
+    const auto& test = dataset.split.test;
+
+    nn::Mlp mlp(train.num_features(), train.num_classes,
+                bench::mlp_config(options, train.size()));
+    mlp.fit(train);
+    const double acc_dnn = mlp.evaluate_accuracy(test);
+
+    svm::KernelSvm svm_model(bench::svm_config(options, train.size()));
+    svm_model.fit(train);
+    const double acc_svm = svm_model.evaluate_accuracy(test);
+
+    core::BaselineHDTrainer base_small(bench::baselinehd_config(options, 500));
+    const auto base_small_model = base_small.fit(train);
+    const double acc_base_small = base_small_model.evaluate_accuracy(test);
+
+    core::BaselineHDTrainer base_large(bench::baselinehd_config(options, 4000));
+    const auto base_large_model = base_large.fit(train);
+    const double acc_base_large = base_large_model.evaluate_accuracy(test);
+
+    core::NeuralHDTrainer neural(bench::neuralhd_config(options, 500));
+    const auto neural_model = neural.fit(train);
+    const double acc_neural = neural_model.evaluate_accuracy(test);
+
+    core::DistHDTrainer disthd(bench::disthd_config(options, 500));
+    const auto disthd_model = disthd.fit(train);
+    const double acc_disthd = disthd_model.evaluate_accuracy(test);
+
+    delta_dnn += acc_disthd - acc_dnn;
+    delta_svm += acc_disthd - acc_svm;
+    delta_base_small += acc_disthd - acc_base_small;
+    delta_base_large += acc_disthd - acc_base_large;
+    delta_neural += acc_disthd - acc_neural;
+
+    table.add_row({name, metrics::Table::fmt_percent(acc_dnn),
+                   metrics::Table::fmt_percent(acc_svm),
+                   metrics::Table::fmt_percent(acc_base_small),
+                   metrics::Table::fmt_percent(acc_base_large),
+                   metrics::Table::fmt_percent(acc_neural),
+                   metrics::Table::fmt_percent(acc_disthd)});
+  }
+  table.print(std::cout);
+
+  const auto n = static_cast<double>(options.datasets.size());
+  std::printf("\nDistHD(0.5k) average deltas (paper: vs DNN ~comparable, "
+              "vs SVM +1.17%%, vs BaseHD0.5k +6.96%%, vs BaseHD4k +1.82%%, "
+              "vs NeuralHD +1.88%%):\n");
+  std::printf("  vs DNN          : %+.2f%%\n", 100.0 * delta_dnn / n);
+  std::printf("  vs SVM          : %+.2f%%\n", 100.0 * delta_svm / n);
+  std::printf("  vs BaselineHD 0.5k: %+.2f%%\n", 100.0 * delta_base_small / n);
+  std::printf("  vs BaselineHD 4k  : %+.2f%%\n", 100.0 * delta_base_large / n);
+  std::printf("  vs NeuralHD 0.5k  : %+.2f%%\n", 100.0 * delta_neural / n);
+  return 0;
+}

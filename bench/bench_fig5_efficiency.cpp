@@ -1,0 +1,143 @@
+// Reproduces Fig. 5: training time and inference latency of DNN, SVM,
+// BaselineHD (effective D* = 4k), NeuralHD (0.5k) and DistHD (0.5k) on the
+// five workloads — the models compared at comparable accuracy, as in the
+// paper.
+//
+// Paper's headline ratios this bench checks the shape of:
+//   - DistHD trains 5.97x faster than the DNN and 1.15x faster than
+//     BaselineHD(4k), 2.32x faster than NeuralHD;
+//   - DistHD infers 8.09x faster than SOTA HDC (the 8x dimensionality
+//     reduction shows up directly in encode+similarity cost);
+//   - SVM is slowest on the large datasets (kernel evaluation against the
+//     support set).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "metrics/report.hpp"
+#include "util/timer.hpp"
+
+using namespace disthd;
+
+namespace {
+
+struct Timing {
+  double train_s = 0.0;
+  double infer_s = 0.0;
+  double accuracy = 0.0;
+};
+
+template <typename Model>
+double timed_inference(const Model& model, const data::Dataset& test) {
+  util::WallTimer timer;
+  (void)model.predict_batch(test.features);
+  return timer.seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto options = bench::parse_options(argc, argv);
+  bench::print_provenance("Fig. 5 — training and inference efficiency",
+                          options);
+
+  metrics::Table train_table({"dataset", "DNN", "SVM", "BaseHD 4k",
+                              "NeuralHD 0.5k", "DistHD 0.5k"});
+  metrics::Table infer_table({"dataset", "DNN", "SVM", "BaseHD 4k",
+                              "NeuralHD 0.5k", "DistHD 0.5k"});
+  double sum_dnn_train = 0.0, sum_svm_train = 0.0, sum_base_train = 0.0,
+         sum_neural_train = 0.0, sum_disthd_train = 0.0;
+  double sum_base_infer = 0.0, sum_disthd_infer = 0.0, sum_dnn_infer = 0.0;
+
+  for (const auto& name : options.datasets) {
+    const auto dataset = bench::load_dataset(name, options);
+    const auto& train = dataset.split.train;
+    const auto& test = dataset.split.test;
+
+    Timing dnn;
+    {
+      nn::Mlp mlp(train.num_features(), train.num_classes,
+                  bench::mlp_config(options, train.size()));
+      const auto fit = mlp.fit(train);
+      dnn.train_s = fit.train_seconds;
+      dnn.infer_s = timed_inference(mlp, test);
+      dnn.accuracy = mlp.evaluate_accuracy(test);
+    }
+
+    Timing svm_t;
+    {
+      svm::KernelSvm svm_model(bench::svm_config(options, train.size()));
+      svm_t.train_s = svm_model.fit(train);
+      svm_t.infer_s = timed_inference(svm_model, test);
+      svm_t.accuracy = svm_model.evaluate_accuracy(test);
+    }
+
+    Timing base;
+    {
+      core::BaselineHDTrainer trainer(bench::baselinehd_config(options, 4000));
+      const auto model = trainer.fit(train);
+      base.train_s = trainer.last_result().train_seconds;
+      base.infer_s = timed_inference(model, test);
+      base.accuracy = model.evaluate_accuracy(test);
+    }
+
+    Timing neural;
+    {
+      core::NeuralHDTrainer trainer(bench::neuralhd_config(options, 500));
+      const auto model = trainer.fit(train);
+      neural.train_s = trainer.last_result().train_seconds;
+      neural.infer_s = timed_inference(model, test);
+      neural.accuracy = model.evaluate_accuracy(test);
+    }
+
+    Timing disthd;
+    {
+      core::DistHDTrainer trainer(bench::disthd_config(options, 500));
+      const auto model = trainer.fit(train);
+      disthd.train_s = trainer.last_result().train_seconds;
+      disthd.infer_s = timed_inference(model, test);
+      disthd.accuracy = model.evaluate_accuracy(test);
+    }
+
+    sum_dnn_train += dnn.train_s;
+    sum_svm_train += svm_t.train_s;
+    sum_base_train += base.train_s;
+    sum_neural_train += neural.train_s;
+    sum_disthd_train += disthd.train_s;
+    sum_base_infer += base.infer_s;
+    sum_disthd_infer += disthd.infer_s;
+    sum_dnn_infer += dnn.infer_s;
+
+    train_table.add_row({name, metrics::Table::fmt(dnn.train_s, 2),
+                         metrics::Table::fmt(svm_t.train_s, 2),
+                         metrics::Table::fmt(base.train_s, 2),
+                         metrics::Table::fmt(neural.train_s, 2),
+                         metrics::Table::fmt(disthd.train_s, 2)});
+    infer_table.add_row({name, metrics::Table::fmt(dnn.infer_s, 3),
+                         metrics::Table::fmt(svm_t.infer_s, 3),
+                         metrics::Table::fmt(base.infer_s, 3),
+                         metrics::Table::fmt(neural.infer_s, 3),
+                         metrics::Table::fmt(disthd.infer_s, 3)});
+  }
+
+  std::printf("training time (s)\n");
+  train_table.print(std::cout);
+  std::printf("\ninference latency over the whole test set (s)\n");
+  infer_table.print(std::cout);
+
+  std::printf("\nspeedup summary (paper: train 5.97x vs DNN, 1.15x vs "
+              "BaseHD4k, 2.32x vs NeuralHD; inference 8.09x vs SOTA HDC):\n");
+  std::printf("  DistHD train vs DNN        : %s\n",
+              metrics::Table::fmt_ratio(sum_dnn_train / sum_disthd_train).c_str());
+  std::printf("  DistHD train vs SVM        : %s\n",
+              metrics::Table::fmt_ratio(sum_svm_train / sum_disthd_train).c_str());
+  std::printf("  DistHD train vs BaseHD4k   : %s\n",
+              metrics::Table::fmt_ratio(sum_base_train / sum_disthd_train).c_str());
+  std::printf("  DistHD train vs NeuralHD   : %s\n",
+              metrics::Table::fmt_ratio(sum_neural_train / sum_disthd_train).c_str());
+  std::printf("  DistHD infer vs BaseHD4k   : %s\n",
+              metrics::Table::fmt_ratio(sum_base_infer / sum_disthd_infer).c_str());
+  std::printf("  DistHD infer vs DNN        : %s\n",
+              metrics::Table::fmt_ratio(sum_dnn_infer / sum_disthd_infer).c_str());
+  return 0;
+}

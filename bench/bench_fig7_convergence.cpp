@@ -1,0 +1,110 @@
+// Reproduces Fig. 7: convergence of DistHD vs NeuralHD vs BaselineHD —
+// (left) held-out accuracy vs training iteration at D = 0.5k, and
+// (right) converged accuracy vs physical dimensionality.
+//
+// Expected shape (paper): DistHD climbs fastest and converges highest;
+// NeuralHD converges above BaselineHD but slower than DistHD; the ranking
+// holds across dimensionalities with the gap shrinking as D grows.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "metrics/report.hpp"
+
+using namespace disthd;
+
+namespace {
+
+/// Held-out accuracy at selected iterations, padded with the final value
+/// (trainers may converge early).
+std::vector<double> sample_trace(const core::FitResult& result,
+                                 const std::vector<std::size_t>& points) {
+  std::vector<double> out;
+  for (const std::size_t p : points) {
+    const std::size_t index = std::min(p, result.trace.size() - 1);
+    out.push_back(result.trace[index].test_accuracy);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto options = bench::parse_options(argc, argv);
+  bench::print_provenance("Fig. 7 — convergence speed of HDC algorithms",
+                          options);
+  const std::string dataset_name =
+      options.datasets.size() == 1 ? options.datasets[0] : "mnist";
+  const auto dataset = bench::load_dataset(dataset_name, options);
+  const auto& train = dataset.split.train;
+  const auto& test = dataset.split.test;
+  std::printf("workload: %s (%s)\n\n", dataset_name.c_str(),
+              dataset.source.c_str());
+
+  // (left) accuracy vs iteration at D = 0.5k, no early stop so the three
+  // traces cover the same x-axis.
+  const std::size_t max_iterations = options.quick ? 20 : 80;
+  std::vector<std::size_t> points;
+  for (std::size_t i = 0; i < max_iterations; i += options.quick ? 4 : 10) {
+    points.push_back(i);
+  }
+  points.push_back(max_iterations - 1);
+
+  auto disthd_config = bench::disthd_config(options, 500);
+  disthd_config.iterations = max_iterations;
+  disthd_config.polish_epochs = 0;
+  disthd_config.stop_when_converged = false;
+  core::DistHDTrainer disthd(disthd_config);
+  disthd.fit(train, &test);
+
+  auto neural_config = bench::neuralhd_config(options, 500);
+  neural_config.iterations = max_iterations;
+  neural_config.stop_when_converged = false;
+  core::NeuralHDTrainer neural(neural_config);
+  neural.fit(train, &test);
+
+  auto base_config = bench::baselinehd_config(options, 500);
+  base_config.iterations = max_iterations;
+  base_config.stop_when_converged = false;
+  core::BaselineHDTrainer baseline(base_config);
+  baseline.fit(train, &test);
+
+  metrics::Table left({"iteration", "BaselineHD", "NeuralHD", "DistHD"});
+  const auto disthd_curve = sample_trace(disthd.last_result(), points);
+  const auto neural_curve = sample_trace(neural.last_result(), points);
+  const auto base_curve = sample_trace(baseline.last_result(), points);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    left.add_row({std::to_string(points[i] + 1),
+                  metrics::Table::fmt_percent(base_curve[i]),
+                  metrics::Table::fmt_percent(neural_curve[i]),
+                  metrics::Table::fmt_percent(disthd_curve[i])});
+  }
+  std::printf("(left) held-out accuracy vs iteration (D = 0.5k)\n");
+  left.print(std::cout);
+
+  // (right) converged accuracy vs physical dimensionality.
+  const std::vector<std::size_t> dims =
+      options.quick ? std::vector<std::size_t>{500, 1000}
+                    : std::vector<std::size_t>{1000, 2000, 3000, 4000};
+  metrics::Table right({"D", "BaselineHD", "NeuralHD", "DistHD"});
+  for (const std::size_t dim : dims) {
+    core::BaselineHDTrainer base_d(bench::baselinehd_config(options, dim));
+    const auto base_model = base_d.fit(train);
+    core::NeuralHDTrainer neural_d(bench::neuralhd_config(options, dim));
+    const auto neural_model = neural_d.fit(train);
+    core::DistHDTrainer disthd_d(bench::disthd_config(options, dim));
+    const auto disthd_model = disthd_d.fit(train);
+    right.add_row(
+        {std::to_string(dim),
+         metrics::Table::fmt_percent(base_model.evaluate_accuracy(test)),
+         metrics::Table::fmt_percent(neural_model.evaluate_accuracy(test)),
+         metrics::Table::fmt_percent(disthd_model.evaluate_accuracy(test))});
+  }
+  std::printf("\n(right) converged accuracy vs dimensionality\n");
+  right.print(std::cout);
+
+  std::printf("\nExpected shape: DistHD converges faster and higher than "
+              "NeuralHD, which beats BaselineHD (paper Fig. 7).\n");
+  return 0;
+}

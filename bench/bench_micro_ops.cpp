@@ -1,0 +1,151 @@
+// Micro-benchmarks (google-benchmark) for the primitive operations behind
+// the paper's "highly parallel and matrix-wise" efficiency claims, plus the
+// column-patching optimization DESIGN.md §6 calls out: after regenerating
+// R% of the dimensions, re-encoding only those columns instead of the full
+// batch is what keeps DistHD's per-iteration cost flat.
+#include <benchmark/benchmark.h>
+
+#include "core/categorize.hpp"
+#include "core/dimension_stats.hpp"
+#include "data/synthetic.hpp"
+#include "hd/encoder.hpp"
+#include "hd/learner.hpp"
+#include "hd/model.hpp"
+#include "util/rng.hpp"
+
+using namespace disthd;
+
+namespace {
+
+constexpr std::size_t kSamples = 1000;
+constexpr std::size_t kFeatures = 64;
+constexpr std::size_t kClasses = 8;
+
+const data::Dataset& workload() {
+  static const data::Dataset dataset = [] {
+    data::SyntheticSpec spec;
+    spec.num_features = kFeatures;
+    spec.num_classes = kClasses;
+    spec.train_size = kSamples;
+    spec.test_size = 1;
+    spec.seed = 11;
+    return data::make_synthetic(spec).train;
+  }();
+  return dataset;
+}
+
+void BM_RbfEncodeBatch(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const hd::RbfEncoder encoder(kFeatures, dim, 1);
+  util::Matrix encoded;
+  for (auto _ : state) {
+    encoder.encode_batch(workload().features, encoded);
+    benchmark::DoNotOptimize(encoded.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kSamples);
+}
+BENCHMARK(BM_RbfEncodeBatch)->Arg(500)->Arg(2000)->Arg(4000);
+
+void BM_ScoresBatch(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const hd::RbfEncoder encoder(kFeatures, dim, 1);
+  util::Matrix encoded;
+  encoder.encode_batch(workload().features, encoded);
+  hd::ClassModel model(kClasses, dim);
+  hd::OneShotLearner::fit(model, encoded, workload().labels);
+  util::Matrix scores;
+  for (auto _ : state) {
+    model.scores_batch(encoded, scores);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kSamples);
+}
+BENCHMARK(BM_ScoresBatch)->Arg(500)->Arg(2000)->Arg(4000);
+
+void BM_AdaptiveEpoch(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const hd::RbfEncoder encoder(kFeatures, dim, 1);
+  util::Matrix encoded;
+  encoder.encode_batch(workload().features, encoded);
+  hd::ClassModel model(kClasses, dim);
+  hd::OneShotLearner::fit(model, encoded, workload().labels);
+  const hd::AdaptiveLearner learner(1.0);
+  for (auto _ : state) {
+    const auto stats = learner.train_epoch(model, encoded, workload().labels);
+    benchmark::DoNotOptimize(stats.mispredictions);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kSamples);
+}
+BENCHMARK(BM_AdaptiveEpoch)->Arg(500)->Arg(2000);
+
+void BM_ReencodeColumns(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  hd::RbfEncoder encoder(kFeatures, dim, 1);
+  util::Matrix encoded;
+  encoder.encode_batch(workload().features, encoded);
+  // 10% of dimensions, the default regeneration budget.
+  std::vector<std::size_t> dims;
+  for (std::size_t d = 0; d < dim / 10; ++d) dims.push_back(d * 10);
+  for (auto _ : state) {
+    encoder.reencode_columns(workload().features, dims, encoded);
+    benchmark::DoNotOptimize(encoded.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kSamples);
+}
+BENCHMARK(BM_ReencodeColumns)->Arg(500)->Arg(2000)->Arg(4000);
+
+void BM_FullReencodeForComparison(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const hd::RbfEncoder encoder(kFeatures, dim, 1);
+  util::Matrix encoded;
+  for (auto _ : state) {
+    encoder.encode_batch(workload().features, encoded);
+    benchmark::DoNotOptimize(encoded.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kSamples);
+}
+BENCHMARK(BM_FullReencodeForComparison)->Arg(500)->Arg(2000)->Arg(4000);
+
+void BM_CategorizeTop2(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const hd::RbfEncoder encoder(kFeatures, dim, 1);
+  util::Matrix encoded;
+  encoder.encode_batch(workload().features, encoded);
+  hd::ClassModel model(kClasses, dim);
+  hd::OneShotLearner::fit(model, encoded, workload().labels);
+  for (auto _ : state) {
+    const auto result =
+        core::categorize_top2(model, encoded, workload().labels);
+    benchmark::DoNotOptimize(result.correct_count);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kSamples);
+}
+BENCHMARK(BM_CategorizeTop2)->Arg(500)->Arg(2000);
+
+void BM_IdentifyUndesiredDimensions(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const hd::RbfEncoder encoder(kFeatures, dim, 1);
+  util::Matrix encoded;
+  encoder.encode_batch(workload().features, encoded);
+  hd::ClassModel model(kClasses, dim);
+  hd::OneShotLearner::fit(model, encoded, workload().labels);
+  const auto categories =
+      core::categorize_top2(model, encoded, workload().labels);
+  const core::DimensionStatsConfig config;
+  for (auto _ : state) {
+    const auto result = core::identify_undesired_dimensions(
+        model, encoded, workload().labels, categories, config);
+    benchmark::DoNotOptimize(result.undesired.data());
+  }
+}
+BENCHMARK(BM_IdentifyUndesiredDimensions)->Arg(500)->Arg(2000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Reproduces Table I: the five evaluation workloads with feature count,
+// class count and train/test sizes, plus this run's provenance (real files
+// vs synthetic stand-in, applied scale, class balance).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "metrics/report.hpp"
+
+using namespace disthd;
+
+int main(int argc, char** argv) {
+  const auto options = bench::parse_options(argc, argv);
+  bench::print_provenance("Table I — datasets", options);
+
+  // The paper's full-size rows, for reference next to what this run loads.
+  struct PaperRow {
+    const char* name;
+    std::size_t n, k, train, test;
+    const char* description;
+  };
+  const PaperRow paper_rows[] = {
+      {"mnist", 784, 10, 60000, 10000, "Handwritten Recognition"},
+      {"ucihar", 561, 12, 6213, 1554, "Mobile Activity Recognition"},
+      {"isolet", 617, 26, 6238, 1559, "Voice Recognition"},
+      {"pamap2", 54, 5, 233687, 115101, "Activity Recognition (IMU)"},
+      {"diabetes", 49, 3, 66000, 34000, "Outcomes of Diabetic Patients"},
+  };
+
+  metrics::Table table({"dataset", "n", "k", "paper train/test",
+                        "loaded train/test", "min/max class share", "source"});
+  for (const auto& row : paper_rows) {
+    bool requested = false;
+    for (const auto& name : options.datasets) requested |= (name == row.name);
+    if (!requested) continue;
+
+    const auto dataset = bench::load_dataset(row.name, options);
+    const auto& train = dataset.split.train;
+    const auto counts = train.class_counts();
+    std::size_t lo = train.size(), hi = 0;
+    for (const auto c : counts) {
+      lo = std::min(lo, c);
+      hi = std::max(hi, c);
+    }
+    const double lo_share = static_cast<double>(lo) / static_cast<double>(train.size());
+    const double hi_share = static_cast<double>(hi) / static_cast<double>(train.size());
+
+    table.add_row(
+        {row.name, std::to_string(train.num_features()),
+         std::to_string(train.num_classes),
+         std::to_string(row.train) + "/" + std::to_string(row.test),
+         std::to_string(train.size()) + "/" +
+             std::to_string(dataset.split.test.size()),
+         metrics::Table::fmt_percent(lo_share) + "/" +
+             metrics::Table::fmt_percent(hi_share),
+         dataset.is_synthetic ? "synthetic" : "real"});
+  }
+  table.print(std::cout);
+  std::printf("\nFeature/class counts always match Table I; sizes shrink with "
+              "--scale (run with --scale 1 for the paper's sizes).\n");
+  return 0;
+}

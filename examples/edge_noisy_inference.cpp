@@ -1,0 +1,82 @@
+// Deploying DistHD on unreliable edge hardware (paper §IV-D): quantize the
+// trained model to low-precision memory, inject random bit flips, and watch
+// it degrade gracefully where an int8 DNN collapses.
+//
+//   ./examples/edge_noisy_inference [--bits 1] [--error 0.10]
+#include <cstdio>
+
+#include "core/disthd_trainer.hpp"
+#include "data/registry.hpp"
+#include "nn/mlp.hpp"
+#include "noise/corruption.hpp"
+#include "util/argparse.hpp"
+
+int main(int argc, char** argv) {
+  using namespace disthd;
+  const util::ArgParser args(argc, argv);
+  const auto bits = static_cast<unsigned>(args.get_int("bits", 1));
+  const double max_error = args.get_double("error", 0.15);
+
+  data::DatasetOptions options;
+  options.scale = args.get_double("scale", 0.05);
+  const auto dataset = data::load_by_name("pamap2", options);
+  const auto& train = dataset.split.train;
+  const auto& test = dataset.split.test;
+  std::printf("PAMAP2-style IMU workload (%s): %zu train / %zu test\n\n",
+              dataset.source.c_str(), train.size(), test.size());
+
+  // Train both deployment candidates.
+  core::DistHDConfig hdc_config;
+  hdc_config.dim = 1000;
+  hdc_config.iterations = 30;
+  hdc_config.regen_every = 3;
+  hdc_config.polish_epochs = 5;
+  core::DistHDTrainer trainer(hdc_config);
+  const auto classifier = trainer.fit(train);
+
+  nn::MlpConfig mlp_config;
+  mlp_config.hidden_sizes = {128};
+  mlp_config.epochs = 30;
+  mlp_config.learning_rate = 0.01;
+  nn::Mlp mlp(train.num_features(), train.num_classes, mlp_config);
+  mlp.fit(train);
+
+  std::printf("clean float accuracy: DistHD %.2f%%  |  DNN %.2f%%\n\n",
+              100.0 * classifier.evaluate_accuracy(test),
+              100.0 * mlp.evaluate_accuracy(test));
+
+  // Model memory: DistHD class hypervectors at `bits` precision vs the
+  // DNN's effective int8 weights.
+  util::Matrix encoded_test;
+  classifier.encoder().encode_batch(test.features, encoded_test);
+  const std::size_t hdc_bits =
+      classifier.num_classes() * classifier.dimensionality() * bits;
+  const std::size_t dnn_bits = mlp.parameter_count() * 8;
+  std::printf("model memory: DistHD %zu-bit model = %.1f KiB, "
+              "DNN int8 = %.1f KiB\n\n",
+              static_cast<std::size_t>(bits),
+              static_cast<double>(hdc_bits) / 8.0 / 1024.0,
+              static_cast<double>(dnn_bits) / 8.0 / 1024.0);
+
+  std::printf("%-12s %-22s %-22s\n", "bit flips", "DistHD accuracy (loss)",
+              "DNN accuracy (loss)");
+  for (double rate = 0.0; rate <= max_error + 1e-9; rate += 0.05) {
+    noise::CorruptionConfig corruption;
+    corruption.bits = bits;
+    corruption.error_rate = rate;
+    corruption.trials = 5;
+    const auto hdc = noise::hdc_corruption_test(classifier.model(),
+                                                encoded_test, test.labels,
+                                                corruption);
+    corruption.bits = 8;
+    const auto dnn = noise::mlp_corruption_test(mlp, test, corruption);
+    std::printf("%-12.0f %6.2f%% (%+5.2f%%)      %6.2f%% (%+5.2f%%)\n",
+                100.0 * rate, 100.0 * hdc.corrupted_accuracy,
+                -100.0 * hdc.quality_loss(), 100.0 * dnn.corrupted_accuracy,
+                -100.0 * dnn.quality_loss());
+  }
+  std::printf("\nEvery hypervector dimension carries an equal share of the "
+              "class pattern, so losing a fraction of them only shaves the "
+              "margin (paper §IV-D).\n");
+  return 0;
+}

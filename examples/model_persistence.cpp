@@ -1,0 +1,60 @@
+// Train once, deploy everywhere: persist a trained DistHD classifier
+// (dynamic encoder + class hypervectors) to a single binary file and load
+// it back — e.g. train on a workstation, ship the file to an edge device.
+//
+//   ./examples/model_persistence [--path /tmp/disthd_model.bin]
+#include <cstdio>
+
+#include "core/disthd_trainer.hpp"
+#include "data/registry.hpp"
+#include "util/argparse.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace disthd;
+  const util::ArgParser args(argc, argv);
+  const std::string path = args.get("path", "/tmp/disthd_model.bin");
+
+  data::DatasetOptions options;
+  options.scale = args.get_double("scale", 0.05);
+  const auto dataset = data::load_by_name("mnist", options);
+  const auto& train = dataset.split.train;
+  const auto& test = dataset.split.test;
+
+  // "Workstation": train and save.
+  core::DistHDConfig config;
+  config.dim = 500;
+  config.iterations = 30;
+  config.regen_every = 3;
+  config.polish_epochs = 5;
+  core::DistHDTrainer trainer(config);
+  const auto classifier = trainer.fit(train);
+  const double trained_accuracy = classifier.evaluate_accuracy(test);
+  classifier.save_file(path);
+  std::printf("trained on %zu samples, accuracy %.2f%%, saved to %s\n",
+              train.size(), 100.0 * trained_accuracy, path.c_str());
+
+  // "Edge device": load and serve.
+  util::WallTimer load_timer;
+  const auto deployed = core::HdcClassifier::load_file(path);
+  std::printf("loaded in %.1f ms: D=%zu, %zu classes, %zu features\n",
+              load_timer.milliseconds(), deployed.dimensionality(),
+              deployed.num_classes(), deployed.num_features());
+
+  const double deployed_accuracy = deployed.evaluate_accuracy(test);
+  std::printf("deployed accuracy %.2f%% (must match trained exactly: %s)\n",
+              100.0 * deployed_accuracy,
+              deployed_accuracy == trained_accuracy ? "yes" : "NO - BUG");
+
+  // Single-query latency, the number an edge deployment cares about.
+  util::WallTimer query_timer;
+  constexpr int kQueries = 200;
+  int checksum = 0;
+  for (int i = 0; i < kQueries; ++i) {
+    checksum += deployed.predict(test.features.row(i % test.size()));
+  }
+  std::printf("single-query latency: %.1f us/query (checksum %d)\n",
+              query_timer.seconds() * 1e6 / kQueries, checksum);
+  std::remove(path.c_str());
+  return deployed_accuracy == trained_accuracy ? 0 : 1;
+}

@@ -1,0 +1,43 @@
+#include "core/categorize.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace disthd::core {
+
+CategorizeResult categorize_top2(const hd::ClassModel& model,
+                                 const util::Matrix& encoded,
+                                 std::span<const int> labels) {
+  assert(encoded.rows() == labels.size());
+  if (model.num_classes() < 2) {
+    throw std::invalid_argument("categorize_top2: needs at least two classes");
+  }
+  CategorizeResult result;
+  result.samples.resize(labels.size());
+  util::parallel_for(labels.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      CategorizedSample& sample = result.samples[i];
+      sample.index = i;
+      sample.top2 = model.top2(encoded.row(i));
+      if (labels[i] == sample.top2.first) {
+        sample.category = Top2Category::correct;
+      } else if (labels[i] == sample.top2.second) {
+        sample.category = Top2Category::partial;
+      } else {
+        sample.category = Top2Category::incorrect;
+      }
+    }
+  });
+  for (const auto& sample : result.samples) {
+    switch (sample.category) {
+      case Top2Category::correct: ++result.correct_count; break;
+      case Top2Category::partial: ++result.partial_count; break;
+      case Top2Category::incorrect: ++result.incorrect_count; break;
+    }
+  }
+  return result;
+}
+
+}  // namespace disthd::core

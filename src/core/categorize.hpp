@@ -1,0 +1,50 @@
+// Top-2 classification buckets (paper §III-B/III-C, Fig. 3 blocks I/J).
+//
+// After each adaptive-learning pass, every training sample is scored against
+// the partially trained model and bucketed:
+//   correct   — true label is the most similar class;
+//   partial   — true label is the second most similar class;
+//   incorrect — true label is neither of the top two.
+// The partial and incorrect buckets drive dimension selection (Algorithm 2).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hd/model.hpp"
+#include "util/matrix.hpp"
+
+namespace disthd::core {
+
+enum class Top2Category { correct, partial, incorrect };
+
+struct CategorizedSample {
+  std::size_t index = 0;  // row in the encoded batch
+  hd::Top2 top2;
+  Top2Category category = Top2Category::correct;
+};
+
+struct CategorizeResult {
+  std::vector<CategorizedSample> samples;  // one entry per input row
+  std::size_t correct_count = 0;
+  std::size_t partial_count = 0;
+  std::size_t incorrect_count = 0;
+
+  double top1_accuracy() const noexcept {
+    const auto n = samples.size();
+    return n == 0 ? 0.0 : static_cast<double>(correct_count) / static_cast<double>(n);
+  }
+  double top2_accuracy() const noexcept {
+    const auto n = samples.size();
+    return n == 0 ? 0.0
+                  : static_cast<double>(correct_count + partial_count) /
+                        static_cast<double>(n);
+  }
+};
+
+/// Buckets every row of `encoded` against `model`. Parallel over rows.
+CategorizeResult categorize_top2(const hd::ClassModel& model,
+                                 const util::Matrix& encoded,
+                                 std::span<const int> labels);
+
+}  // namespace disthd::core

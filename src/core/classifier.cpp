@@ -1,0 +1,81 @@
+#include "core/classifier.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "metrics/accuracy.hpp"
+
+namespace disthd::core {
+
+HdcClassifier::HdcClassifier(std::unique_ptr<hd::Encoder> encoder,
+                             hd::ClassModel model)
+    : encoder_(std::move(encoder)), model_(std::move(model)) {
+  if (!encoder_) {
+    throw std::invalid_argument("HdcClassifier: null encoder");
+  }
+  if (encoder_->dimensionality() != model_.dimensionality()) {
+    throw std::invalid_argument(
+        "HdcClassifier: encoder/model dimensionality mismatch");
+  }
+}
+
+int HdcClassifier::predict(std::span<const float> features) const {
+  std::vector<float> h(dimensionality());
+  encoder_->encode(features, h);
+  return model_.predict(h);
+}
+
+hd::Top2 HdcClassifier::predict_top2(std::span<const float> features) const {
+  std::vector<float> h(dimensionality());
+  encoder_->encode(features, h);
+  return model_.top2(h);
+}
+
+std::vector<int> HdcClassifier::predict_batch(
+    const util::Matrix& features) const {
+  util::Matrix encoded;
+  encoder_->encode_batch(features, encoded);
+  return model_.predict_batch(encoded);
+}
+
+void HdcClassifier::scores_batch(const util::Matrix& features,
+                                 util::Matrix& scores) const {
+  util::Matrix encoded;
+  encoder_->encode_batch(features, encoded);
+  model_.scores_batch(encoded, scores);
+}
+
+double HdcClassifier::evaluate_accuracy(const data::Dataset& dataset) const {
+  const auto predictions = predict_batch(dataset.features);
+  return metrics::accuracy(predictions, dataset.labels);
+}
+
+void HdcClassifier::save(std::ostream& out) const {
+  const auto* rbf = dynamic_cast<const hd::RbfEncoder*>(encoder_.get());
+  if (rbf == nullptr) {
+    throw std::logic_error(
+        "HdcClassifier::save: only RbfEncoder-backed classifiers persist");
+  }
+  rbf->save(out);
+  model_.save(out);
+}
+
+void HdcClassifier::save_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  save(out);
+}
+
+HdcClassifier HdcClassifier::load(std::istream& in) {
+  auto encoder = std::make_unique<hd::RbfEncoder>(hd::RbfEncoder::load(in));
+  hd::ClassModel model = hd::ClassModel::load(in);
+  return HdcClassifier(std::move(encoder), std::move(model));
+}
+
+HdcClassifier HdcClassifier::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  return load(in);
+}
+
+}  // namespace disthd::core

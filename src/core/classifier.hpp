@@ -1,0 +1,61 @@
+// User-facing classifier: an encoder plus a trained class-hypervector model.
+// This is what the trainers in this module produce and what applications
+// deploy (encode query -> similarity against classes -> argmax; paper Fig. 3
+// blocks D/E/F).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "hd/encoder.hpp"
+#include "hd/model.hpp"
+
+namespace disthd::core {
+
+class HdcClassifier {
+public:
+  HdcClassifier(std::unique_ptr<hd::Encoder> encoder, hd::ClassModel model);
+
+  std::size_t num_features() const noexcept { return encoder_->num_features(); }
+  std::size_t num_classes() const noexcept { return model_.num_classes(); }
+  std::size_t dimensionality() const noexcept {
+    return encoder_->dimensionality();
+  }
+
+  const hd::Encoder& encoder() const noexcept { return *encoder_; }
+  hd::Encoder& mutable_encoder() noexcept { return *encoder_; }
+  const hd::ClassModel& model() const noexcept { return model_; }
+  hd::ClassModel& mutable_model() noexcept { return model_; }
+
+  /// Predicts the class of a single feature vector.
+  int predict(std::span<const float> features) const;
+
+  /// Top-2 prediction for a single feature vector.
+  hd::Top2 predict_top2(std::span<const float> features) const;
+
+  /// Batch prediction (encode + similarity argmax).
+  std::vector<int> predict_batch(const util::Matrix& features) const;
+
+  /// Batch cosine scores (rows x classes), for ROC/top-k analyses.
+  void scores_batch(const util::Matrix& features, util::Matrix& scores) const;
+
+  /// Top-1 accuracy on a labeled dataset.
+  double evaluate_accuracy(const data::Dataset& dataset) const;
+
+  /// Persistence. Only RbfEncoder-backed classifiers can be saved (the
+  /// static encoders are cheap to reconstruct from their seed).
+  void save(std::ostream& out) const;
+  void save_file(const std::string& path) const;
+  static HdcClassifier load(std::istream& in);
+  static HdcClassifier load_file(const std::string& path);
+
+private:
+  std::unique_ptr<hd::Encoder> encoder_;
+  hd::ClassModel model_;
+};
+
+}  // namespace disthd::core

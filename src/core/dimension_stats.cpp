@@ -1,0 +1,181 @@
+#include "core/dimension_stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+namespace disthd::core {
+
+void DimensionStatsConfig::validate() const {
+  if (alpha <= 0.0 || beta <= 0.0 || theta <= 0.0) {
+    throw std::invalid_argument("DimensionStatsConfig: weights must be > 0");
+  }
+  if (theta >= beta) {
+    throw std::invalid_argument("DimensionStatsConfig: requires theta < beta");
+  }
+  if (regen_rate <= 0.0 || regen_rate > 1.0) {
+    throw std::invalid_argument(
+        "DimensionStatsConfig: regen_rate must be in (0, 1]");
+  }
+}
+
+std::vector<std::size_t> top_fraction_indices(std::span<const double> scores,
+                                              std::size_t count) {
+  count = std::min(count, scores.size());
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::partial_sort(order.begin(), order.begin() + count, order.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  order.resize(count);
+  return order;
+}
+
+namespace {
+
+/// Accumulates the L2-normalized row `alpha*|h-true| (+/-) ...` into `sums`.
+/// Returns false when the row is all-zero (nothing to accumulate).
+class RowAccumulator {
+public:
+  explicit RowAccumulator(std::size_t dim) : row_(dim) {}
+
+  std::vector<float>& row() noexcept { return row_; }
+
+  void accumulate_into(std::vector<double>& sums) {
+    double sq = 0.0;
+    for (const float v : row_) sq += static_cast<double>(v) * v;
+    if (sq <= 0.0) return;
+    const double inv = 1.0 / std::sqrt(sq);
+    for (std::size_t d = 0; d < row_.size(); ++d) {
+      sums[d] += row_[d] * inv;
+    }
+  }
+
+private:
+  std::vector<float> row_;
+};
+
+}  // namespace
+
+DimensionStatsResult identify_undesired_dimensions(
+    const hd::ClassModel& model, const util::Matrix& encoded,
+    std::span<const int> labels, const CategorizeResult& categories,
+    const DimensionStatsConfig& config) {
+  config.validate();
+  assert(encoded.rows() == labels.size());
+  assert(categories.samples.size() == labels.size());
+
+  const std::size_t dim = model.dimensionality();
+  DimensionStatsResult result;
+  result.m_scores.assign(dim, 0.0);
+  result.n_scores.assign(dim, 0.0);
+
+  const auto alpha = static_cast<float>(config.alpha);
+  const auto beta = static_cast<float>(config.beta);
+  const auto theta = static_cast<float>(config.theta);
+  RowAccumulator acc(dim);
+
+  // Distances are taken in normalized space (paper Fig. 3 block L and
+  // eq. (1)): both the sample hypervector and the class hypervectors are
+  // scaled to unit norm. Without this, |H - C| is dominated by the class
+  // vector's accumulated magnitude and the selection degenerates to
+  // "drop the true class's strongest dimensions".
+  util::Matrix normalized_classes = model.class_vectors();
+  util::normalize_rows(normalized_classes);
+  std::vector<float> h_unit(dim);
+
+  for (const CategorizedSample& sample : categories.samples) {
+    if (sample.category == Top2Category::correct) continue;
+    const auto h_raw = encoded.row(sample.index);
+    const double h_norm = util::norm2(h_raw);
+    const auto h_scale = static_cast<float>(h_norm > 0.0 ? 1.0 / h_norm : 1.0);
+    for (std::size_t d = 0; d < dim; ++d) h_unit[d] = h_raw[d] * h_scale;
+    const std::span<const float> h(h_unit);
+    const auto true_cls =
+        normalized_classes.row(static_cast<std::size_t>(labels[sample.index]));
+    const auto top1 =
+        normalized_classes.row(static_cast<std::size_t>(sample.top2.first));
+
+    auto& row = acc.row();
+    if (sample.category == Top2Category::partial) {
+      // True label is the runner-up: M_i = a|H-C_true| - b|H-C_top1|.
+      ++result.partial_count;
+      for (std::size_t d = 0; d < dim; ++d) {
+        row[d] = alpha * std::fabs(h[d] - true_cls[d]) -
+                 beta * std::fabs(h[d] - top1[d]);
+      }
+      acc.accumulate_into(result.m_scores);
+    } else {
+      ++result.incorrect_count;
+      const auto top2 =
+          normalized_classes.row(static_cast<std::size_t>(sample.top2.second));
+      if (config.incorrect_rule == IncorrectRule::prose) {
+        // N_i = a|H-C_true| - b|H-C_top1| - t|H-C_top2|.
+        for (std::size_t d = 0; d < dim; ++d) {
+          row[d] = alpha * std::fabs(h[d] - true_cls[d]) -
+                   beta * std::fabs(h[d] - top1[d]) -
+                   theta * std::fabs(h[d] - top2[d]);
+        }
+      } else {
+        // Literal Algorithm 2 line 11: a|H-C_top1| + b|H-C_top2| - t|H-true|.
+        for (std::size_t d = 0; d < dim; ++d) {
+          row[d] = alpha * std::fabs(h[d] - top1[d]) +
+                   beta * std::fabs(h[d] - top2[d]) -
+                   theta * std::fabs(h[d] - true_cls[d]);
+        }
+      }
+      acc.accumulate_into(result.n_scores);
+    }
+  }
+
+  const auto budget = static_cast<std::size_t>(
+      config.regen_rate * static_cast<double>(dim));
+  if (budget == 0 ||
+      (result.partial_count == 0 && result.incorrect_count == 0)) {
+    return result;
+  }
+
+  const auto top_m = top_fraction_indices(result.m_scores, budget);
+  const auto top_n = top_fraction_indices(result.n_scores, budget);
+
+  auto pick = [&](const std::vector<std::size_t>& chosen) {
+    result.undesired.assign(chosen.begin(), chosen.end());
+  };
+  CombineRule combine = config.combine;
+  // An empty bucket would make its score vector all-zero and (for
+  // intersection) veto every drop; fall back to the populated side.
+  if (combine == CombineRule::intersection || combine == CombineRule::union_all) {
+    if (result.partial_count == 0) combine = CombineRule::n_only;
+    if (result.incorrect_count == 0) combine = CombineRule::m_only;
+  }
+  switch (combine) {
+    case CombineRule::m_only:
+      pick(top_m);
+      break;
+    case CombineRule::n_only:
+      pick(top_n);
+      break;
+    case CombineRule::union_all: {
+      std::set<std::size_t> merged(top_m.begin(), top_m.end());
+      merged.insert(top_n.begin(), top_n.end());
+      result.undesired.assign(merged.begin(), merged.end());
+      break;
+    }
+    case CombineRule::intersection: {
+      const std::set<std::size_t> m_set(top_m.begin(), top_m.end());
+      for (const std::size_t d : top_n) {
+        if (m_set.count(d)) result.undesired.push_back(d);
+      }
+      break;
+    }
+  }
+  std::sort(result.undesired.begin(), result.undesired.end());
+  return result;
+}
+
+}  // namespace disthd::core

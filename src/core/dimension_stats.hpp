@@ -1,0 +1,74 @@
+// Identifying undesired dimensions (paper Algorithm 2, Fig. 3 blocks K-N).
+//
+// For every *partially correct* sample (true label ranked second) the row
+//     M_i = alpha*|H - C_true| - beta*|H - C_top1|
+// scores each dimension by how far it puts the sample from its true class
+// and how close to the winning wrong class. For every *incorrect* sample,
+//     N_i = alpha*|H - C_true| - beta*|H - C_top1| - theta*|H - C_top2|
+// (theta < beta). Rows are L2-normalized, column-summed into 1xD vectors
+// M' and N', and the undesired set is the intersection of the top-R%
+// dimensions of each — dimensions that consistently mislead both kinds of
+// near-misses without carrying information shared across classes.
+//
+// NOTE on the paper's two variants: Algorithm 2 line 11 writes
+// N_i = alpha*|H-C_top1| + beta*|H-C_top2| - theta*|H-true| which contradicts
+// the prose and the stated weight semantics; see DESIGN.md §1. The prose rule
+// is the default; the algorithm-box rule is available for ablation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/categorize.hpp"
+#include "hd/model.hpp"
+#include "util/matrix.hpp"
+
+namespace disthd::core {
+
+enum class IncorrectRule {
+  prose,          // alpha on |H-true| (+), beta/theta on wrong labels (-)
+  algorithm_box,  // literal Algorithm 2 line 11
+};
+
+/// How M' and N' are combined into the drop set (paper uses intersection).
+enum class CombineRule { intersection, union_all, m_only, n_only };
+
+struct DimensionStatsConfig {
+  // Defaults calibrated on the Table I workloads (see bench_ablation):
+  // beta > alpha weights "close to the winning wrong class" heavily, which
+  // avoids dropping dimensions that store information shared across
+  // classes — the paper's own rationale for the intersection rule.
+  double alpha = 1.0;
+  double beta = 2.0;
+  double theta = 1.0;  // must stay < beta (paper constraint)
+  /// Fraction R of dimensions considered by each of M' and N'.
+  double regen_rate = 0.10;
+  IncorrectRule incorrect_rule = IncorrectRule::prose;
+  CombineRule combine = CombineRule::intersection;
+
+  /// Throws std::invalid_argument when rates/weights are out of range.
+  void validate() const;
+};
+
+struct DimensionStatsResult {
+  std::vector<double> m_scores;  // 1xD column sums of normalized M rows
+  std::vector<double> n_scores;  // 1xD column sums of normalized N rows
+  std::vector<std::size_t> undesired;  // sorted ascending
+  std::size_t partial_count = 0;
+  std::size_t incorrect_count = 0;
+};
+
+/// Indices of the `count` largest entries (ties by lower index).
+std::vector<std::size_t> top_fraction_indices(std::span<const double> scores,
+                                              std::size_t count);
+
+/// Runs Algorithm 2 given the top-2 buckets from categorize_top2.
+/// When one bucket is empty, the drop set falls back to the other bucket's
+/// top-R% (an empty score vector would otherwise veto every regeneration);
+/// when both are empty the drop set is empty.
+DimensionStatsResult identify_undesired_dimensions(
+    const hd::ClassModel& model, const util::Matrix& encoded,
+    std::span<const int> labels, const CategorizeResult& categories,
+    const DimensionStatsConfig& config);
+
+}  // namespace disthd::core

@@ -1,0 +1,66 @@
+// DistHD training (the paper's contribution, §III, Fig. 3).
+//
+// Per iteration:
+//   1. adaptive learning epoch (Algorithm 1) over the encoded batch;
+//   2. top-2 categorization of every training sample (correct / partially
+//      correct / incorrect);
+//   3. Algorithm 2: score dimensions with the M/N distance matrices and
+//      take the intersection of the top-R% of each;
+//   4. regenerate those dimensions in the RBF encoder, re-encode only the
+//      affected columns, and zero the stale model components.
+// The final iteration skips regeneration so the deployed model never
+// carries freshly zeroed (untrained) dimensions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/classifier.hpp"
+#include "core/dimension_stats.hpp"
+#include "core/trainer_common.hpp"
+#include "data/dataset.hpp"
+
+namespace disthd::core {
+
+struct DistHDConfig {
+  std::size_t dim = 500;            // physical dimensionality D
+  std::size_t iterations = 30;      // retraining iterations
+  double learning_rate = 1.0;       // eta in Algorithm 1
+  DimensionStatsConfig stats;       // alpha/beta/theta/R and variant switches
+  std::size_t regen_every = 1;      // regenerate every k-th iteration
+  /// Extra adaptive epochs after the final regeneration ("train until
+  /// convergence", §IV-B): dimensions regenerated late would otherwise
+  /// reach deployment nearly untrained.
+  std::size_t polish_epochs = 0;
+  /// Stop early when an epoch makes zero model updates (converged).
+  bool stop_when_converged = true;
+  /// Per-dimension output centering of the encoder (see hd/centering.hpp).
+  /// Keeps class hypervectors quasi-orthogonal; required for low-precision
+  /// deployment (Fig. 8) and on by default.
+  bool center_encodings = true;
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+class DistHDTrainer {
+public:
+  explicit DistHDTrainer(DistHDConfig config = {});
+
+  const DistHDConfig& config() const noexcept { return config_; }
+
+  /// Trains on `train`; when `eval` is provided, each iteration's trace
+  /// records held-out accuracy (evaluation time is excluded from the
+  /// training clock). The returned classifier owns the dynamic encoder.
+  HdcClassifier fit(const data::Dataset& train,
+                    const data::Dataset* eval = nullptr);
+
+  /// Trace and summary of the most recent fit().
+  const FitResult& last_result() const noexcept { return result_; }
+
+private:
+  DistHDConfig config_;
+  FitResult result_;
+};
+
+}  // namespace disthd::core

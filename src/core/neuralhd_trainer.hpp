@@ -1,0 +1,57 @@
+// NeuralHD baseline (Zou et al., SC 2021), reimplemented for comparison
+// (paper §II-B and Figs. 4, 5, 7).
+//
+// NeuralHD is the prior dynamic-encoding approach: after each adaptive
+// epoch it scores every dimension by its *discriminating power* — the
+// variance of the (L2-normalized) class hypervectors along that dimension —
+// and regenerates the bottom-R% (dimensions whose components look the same
+// for every class carry no class information). DistHD differs by using the
+// learner's top-2 mistakes to decide what to regenerate; NeuralHD only
+// looks at the model itself, which is why it converges more slowly
+// (reproduced in bench_fig7_convergence).
+#pragma once
+
+#include <cstdint>
+
+#include "core/classifier.hpp"
+#include "core/trainer_common.hpp"
+#include "data/dataset.hpp"
+
+namespace disthd::core {
+
+struct NeuralHDConfig {
+  std::size_t dim = 500;
+  std::size_t iterations = 30;
+  double learning_rate = 1.0;
+  /// Fraction of dimensions regenerated per regeneration step.
+  double regen_rate = 0.10;
+  std::size_t regen_every = 1;
+  bool stop_when_converged = true;
+  /// Per-dimension output centering (see hd/centering.hpp).
+  bool center_encodings = true;
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+class NeuralHDTrainer {
+public:
+  explicit NeuralHDTrainer(NeuralHDConfig config = {});
+
+  const NeuralHDConfig& config() const noexcept { return config_; }
+
+  HdcClassifier fit(const data::Dataset& train,
+                    const data::Dataset* eval = nullptr);
+
+  const FitResult& last_result() const noexcept { return result_; }
+
+private:
+  NeuralHDConfig config_;
+  FitResult result_;
+};
+
+/// Per-dimension discriminating power: variance across classes of the
+/// row-normalized class hypervectors. Exposed for unit tests and benches.
+std::vector<double> dimension_variance_scores(const hd::ClassModel& model);
+
+}  // namespace disthd::core

@@ -1,0 +1,183 @@
+#include "core/online_trainer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "hd/centering.hpp"
+#include "hd/learner.hpp"
+#include "metrics/accuracy.hpp"
+
+namespace disthd::core {
+
+void OnlineDistHDConfig::validate() const {
+  if (dim == 0) throw std::invalid_argument("OnlineDistHDConfig: dim == 0");
+  if (learning_rate <= 0.0) {
+    throw std::invalid_argument("OnlineDistHDConfig: learning_rate <= 0");
+  }
+  if (reservoir_capacity == 0) {
+    throw std::invalid_argument("OnlineDistHDConfig: reservoir_capacity == 0");
+  }
+  if (centering_ema < 0.0 || centering_ema > 1.0) {
+    throw std::invalid_argument("OnlineDistHDConfig: centering_ema out of [0,1]");
+  }
+  stats.validate();
+}
+
+OnlineDistHD::OnlineDistHD(std::size_t num_features, std::size_t num_classes,
+                           OnlineDistHDConfig config)
+    : config_(config),
+      model_(num_classes, config.dim),
+      shuffle_rng_(config.seed ^ 0x111),
+      regen_rng_(config.seed ^ 0x222),
+      reservoir_rng_(config.seed ^ 0x333) {
+  config_.validate();
+  util::Rng encoder_seed(config_.seed);
+  encoder_ = std::make_unique<hd::RbfEncoder>(num_features, config_.dim,
+                                              encoder_seed.next_u64());
+  reservoir_features_ = util::Matrix(0, num_features);
+  reservoir_encoded_ = util::Matrix(0, config_.dim);
+}
+
+std::size_t OnlineDistHD::num_features() const noexcept {
+  return encoder_->num_features();
+}
+
+std::size_t OnlineDistHD::total_regenerated() const noexcept {
+  return encoder_->total_regenerated();
+}
+
+void OnlineDistHD::partial_fit(const util::Matrix& features,
+                               std::span<const int> labels) {
+  if (features.rows() != labels.size() || labels.empty()) {
+    throw std::invalid_argument("OnlineDistHD::partial_fit: bad chunk shape");
+  }
+  if (features.cols() != num_features()) {
+    throw std::invalid_argument("OnlineDistHD::partial_fit: feature mismatch");
+  }
+  for (const int label : labels) {
+    if (label < 0 || static_cast<std::size_t>(label) >= num_classes()) {
+      throw std::invalid_argument("OnlineDistHD::partial_fit: label range");
+    }
+  }
+
+  util::Matrix encoded;
+  encoder_->encode_batch(features, encoded);
+  if (!centering_initialized_) {
+    hd::calibrate_output_centering(*encoder_, encoded);
+    centering_initialized_ = true;
+  } else if (config_.centering_ema > 0.0) {
+    // Track bias drift: nudge the stored offsets toward this chunk's
+    // residual mean (reservoir encodings keep their original offsets; the
+    // drift per step is bounded by the EMA factor).
+    std::vector<double> sums;
+    util::col_sums(encoded, sums);
+    const double inv_rows = 1.0 / static_cast<double>(encoded.rows());
+    for (std::size_t d = 0; d < config_.dim; ++d) {
+      const auto drift = static_cast<float>(
+          config_.centering_ema * sums[d] * inv_rows);
+      if (drift != 0.0f) {
+        encoder_->set_output_offset_dim(
+            d, encoder_->output_offset()[d] + drift);
+        for (std::size_t r = 0; r < encoded.rows(); ++r) {
+          encoded(r, d) -= drift;
+        }
+      }
+    }
+  }
+
+  // One-shot bundle the fresh chunk, then stash it in the reservoir.
+  hd::OneShotLearner::fit(model_, encoded, labels);
+  const std::size_t old_count = reservoir_labels_.size();
+  const std::size_t free_slots =
+      std::min(labels.size(), config_.reservoir_capacity - old_count);
+  if (free_slots > 0) {
+    // Grow both matrices once per chunk (amortized linear in stream size).
+    util::Matrix grown_features(old_count + free_slots, num_features());
+    util::Matrix grown_encoded(old_count + free_slots, config_.dim);
+    std::copy(reservoir_features_.data(),
+              reservoir_features_.data() + reservoir_features_.size(),
+              grown_features.data());
+    std::copy(reservoir_encoded_.data(),
+              reservoir_encoded_.data() + reservoir_encoded_.size(),
+              grown_encoded.data());
+    reservoir_features_ = std::move(grown_features);
+    reservoir_encoded_ = std::move(grown_encoded);
+  }
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    ++samples_seen_;
+    if (i < free_slots) {
+      const std::size_t slot = old_count + i;
+      std::copy(features.row(i).begin(), features.row(i).end(),
+                reservoir_features_.row(slot).begin());
+      std::copy(encoded.row(i).begin(), encoded.row(i).end(),
+                reservoir_encoded_.row(slot).begin());
+      reservoir_labels_.push_back(labels[i]);
+    } else {
+      // Classic reservoir sampling keeps a uniform sample of the stream.
+      const auto draw = reservoir_rng_.uniform_index(samples_seen_);
+      if (draw < config_.reservoir_capacity) {
+        std::copy(features.row(i).begin(), features.row(i).end(),
+                  reservoir_features_.row(draw).begin());
+        std::copy(encoded.row(i).begin(), encoded.row(i).end(),
+                  reservoir_encoded_.row(draw).begin());
+        reservoir_labels_[draw] = labels[i];
+      }
+    }
+  }
+
+  const hd::AdaptiveLearner learner(config_.learning_rate);
+  for (std::size_t epoch = 0; epoch < config_.epochs_per_chunk; ++epoch) {
+    learner.train_epoch_shuffled(model_, reservoir_encoded_, reservoir_labels_,
+                                 shuffle_rng_);
+  }
+
+  ++chunks_seen_;
+  if (config_.regen_every_chunks > 0 &&
+      chunks_seen_ % config_.regen_every_chunks == 0) {
+    regenerate();
+    // Give regenerated dimensions one rehearsal epoch immediately.
+    learner.train_epoch_shuffled(model_, reservoir_encoded_, reservoir_labels_,
+                                 shuffle_rng_);
+  }
+}
+
+void OnlineDistHD::regenerate() {
+  if (reservoir_labels_.empty()) return;
+  const CategorizeResult categories =
+      categorize_top2(model_, reservoir_encoded_, reservoir_labels_);
+  const DimensionStatsResult stats = identify_undesired_dimensions(
+      model_, reservoir_encoded_, reservoir_labels_, categories, config_.stats);
+  if (stats.undesired.empty()) return;
+  encoder_->regenerate_dimensions(stats.undesired, regen_rng_);
+  encoder_->reset_output_offset_dims(stats.undesired);
+  encoder_->reencode_columns(reservoir_features_, stats.undesired,
+                             reservoir_encoded_);
+  hd::recenter_columns(*encoder_, reservoir_encoded_, stats.undesired);
+  model_.zero_dimensions(stats.undesired);
+}
+
+int OnlineDistHD::predict(std::span<const float> features) const {
+  std::vector<float> h(config_.dim);
+  encoder_->encode(features, h);
+  return model_.predict(h);
+}
+
+std::vector<int> OnlineDistHD::predict_batch(
+    const util::Matrix& features) const {
+  util::Matrix encoded;
+  encoder_->encode_batch(features, encoded);
+  return model_.predict_batch(encoded);
+}
+
+double OnlineDistHD::evaluate_accuracy(const data::Dataset& dataset) const {
+  const auto predictions = predict_batch(dataset.features);
+  return metrics::accuracy(predictions, dataset.labels);
+}
+
+HdcClassifier OnlineDistHD::snapshot() const {
+  auto encoder_copy = std::make_unique<hd::RbfEncoder>(*encoder_);
+  hd::ClassModel model_copy = model_;
+  return HdcClassifier(std::move(encoder_copy), std::move(model_copy));
+}
+
+}  // namespace disthd::core

@@ -1,0 +1,90 @@
+// Streaming (online) DistHD for IoT data that arrives in chunks.
+//
+// The batch trainer assumes the whole training set is resident; edge
+// deployments the paper targets (§I) see data as a stream. OnlineDistHD
+// keeps the dynamic-encoding loop but feeds it windows:
+//   - partial_fit(chunk) one-shot-bundles unseen samples, runs adaptive
+//     epochs over a sliding reservoir of recent samples, and periodically
+//     regenerates dimensions using the reservoir's top-2 statistics;
+//   - the reservoir bounds memory (the stream itself is never stored).
+// Output centering is calibrated on the first chunk and updated with an
+// exponential moving average afterwards so the encoder tracks drift.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "core/classifier.hpp"
+#include "core/dimension_stats.hpp"
+#include "data/dataset.hpp"
+
+namespace disthd::core {
+
+struct OnlineDistHDConfig {
+  std::size_t dim = 500;
+  double learning_rate = 1.0;
+  DimensionStatsConfig stats;
+  /// Adaptive epochs to run over the reservoir per ingested chunk.
+  std::size_t epochs_per_chunk = 2;
+  /// Regenerate after every k-th chunk (0 disables regeneration).
+  std::size_t regen_every_chunks = 2;
+  /// Maximum samples retained for rehearsal/statistics.
+  std::size_t reservoir_capacity = 2000;
+  /// EMA factor for tracking the output-centering offsets (0 freezes them
+  /// after the first chunk).
+  double centering_ema = 0.05;
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+class OnlineDistHD {
+public:
+  /// The feature and class layout must be known up front (as with any
+  /// deployed encoder).
+  OnlineDistHD(std::size_t num_features, std::size_t num_classes,
+               OnlineDistHDConfig config = {});
+
+  std::size_t num_features() const noexcept;
+  std::size_t num_classes() const noexcept { return model_.num_classes(); }
+  std::size_t dimensionality() const noexcept { return config_.dim; }
+  std::size_t chunks_seen() const noexcept { return chunks_seen_; }
+  std::size_t samples_seen() const noexcept { return samples_seen_; }
+  std::size_t reservoir_size() const noexcept { return reservoir_labels_.size(); }
+  std::size_t total_regenerated() const noexcept;
+
+  /// Ingests a labeled chunk: encode, bundle, rehearse, maybe regenerate.
+  /// Chunks may have any number of rows >= 1.
+  void partial_fit(const util::Matrix& features, std::span<const int> labels);
+
+  /// Current-model prediction (usable at any point in the stream).
+  int predict(std::span<const float> features) const;
+  std::vector<int> predict_batch(const util::Matrix& features) const;
+  double evaluate_accuracy(const data::Dataset& dataset) const;
+
+  /// Freezes the stream into a deployable classifier (copies state).
+  HdcClassifier snapshot() const;
+
+private:
+  void regenerate();
+
+  OnlineDistHDConfig config_;
+  std::unique_ptr<hd::RbfEncoder> encoder_;
+  hd::ClassModel model_;
+  util::Rng shuffle_rng_;
+  util::Rng regen_rng_;
+  util::Rng reservoir_rng_;
+
+  // Rehearsal reservoir: raw features are kept alongside encodings so
+  // regenerated columns can be re-encoded (rows align across all three).
+  util::Matrix reservoir_features_;
+  util::Matrix reservoir_encoded_;
+  std::vector<int> reservoir_labels_;
+
+  std::size_t chunks_seen_ = 0;
+  std::size_t samples_seen_ = 0;
+  bool centering_initialized_ = false;
+};
+
+}  // namespace disthd::core

@@ -1,0 +1,42 @@
+// Shared per-iteration trace and fit-result types for the HDC trainers.
+// The traces feed the convergence study (Fig. 7) and the efficiency study
+// (Fig. 5) directly.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace disthd::core {
+
+struct IterationTrace {
+  std::size_t iteration = 0;
+  /// Accuracy of pre-update predictions during the adaptive epoch.
+  double online_train_accuracy = 0.0;
+  /// Top-1 / top-2 accuracy of the partially trained model on the train set
+  /// (from the categorization pass; NaN for trainers that skip it).
+  double train_top1 = std::numeric_limits<double>::quiet_NaN();
+  double train_top2 = std::numeric_limits<double>::quiet_NaN();
+  /// Accuracy on the held-out set (NaN when no eval set was supplied).
+  double test_accuracy = std::numeric_limits<double>::quiet_NaN();
+  /// Dimensions regenerated at the end of this iteration.
+  std::size_t regenerated = 0;
+  /// Training-only wall-clock seconds accumulated so far (eval excluded).
+  double cumulative_train_seconds = 0.0;
+};
+
+struct FitResult {
+  std::vector<IterationTrace> trace;
+  std::size_t iterations_run = 0;
+  double train_seconds = 0.0;
+  double final_test_accuracy = std::numeric_limits<double>::quiet_NaN();
+  /// Physical dimensionality of the deployed model.
+  std::size_t physical_dim = 0;
+  /// Effective dimensionality D* = D + total regenerated (paper §IV-B).
+  std::size_t effective_dim = 0;
+
+  bool has_eval() const noexcept { return !std::isnan(final_test_accuracy); }
+};
+
+}  // namespace disthd::core

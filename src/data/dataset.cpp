@@ -1,0 +1,95 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace disthd::data {
+
+void Dataset::validate() const {
+  if (features.rows() != labels.size()) {
+    throw std::runtime_error("Dataset '" + name +
+                             "': feature rows != label count");
+  }
+  if (num_classes == 0) {
+    throw std::runtime_error("Dataset '" + name + "': num_classes is zero");
+  }
+  for (const int label : labels) {
+    if (label < 0 || static_cast<std::size_t>(label) >= num_classes) {
+      throw std::runtime_error("Dataset '" + name +
+                               "': label out of [0, num_classes)");
+    }
+  }
+}
+
+std::vector<std::size_t> Dataset::class_counts() const {
+  std::vector<std::size_t> counts(num_classes, 0);
+  for (const int label : labels) {
+    if (label >= 0 && static_cast<std::size_t>(label) < num_classes) {
+      ++counts[label];
+    }
+  }
+  return counts;
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out;
+  out.name = name;
+  out.num_classes = num_classes;
+  out.features = features.gather_rows(indices);
+  out.labels.reserve(indices.size());
+  for (const std::size_t i : indices) out.labels.push_back(labels.at(i));
+  return out;
+}
+
+void Dataset::shuffle(util::Rng& rng) {
+  const auto perm = rng.permutation(size());
+  *this = subset(perm);
+}
+
+TrainTestSplit stratified_split(const Dataset& full, double test_fraction,
+                                util::Rng& rng) {
+  if (test_fraction <= 0.0 || test_fraction >= 1.0) {
+    throw std::invalid_argument("stratified_split: fraction must be in (0,1)");
+  }
+  std::vector<std::vector<std::size_t>> by_class(full.num_classes);
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    by_class[full.labels[i]].push_back(i);
+  }
+  std::vector<std::size_t> train_idx, test_idx;
+  for (auto& members : by_class) {
+    rng.shuffle(members);
+    const auto test_count = static_cast<std::size_t>(
+        static_cast<double>(members.size()) * test_fraction);
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      (i < test_count ? test_idx : train_idx).push_back(members[i]);
+    }
+  }
+  rng.shuffle(train_idx);
+  rng.shuffle(test_idx);
+  return {full.subset(train_idx), full.subset(test_idx)};
+}
+
+Dataset stratified_subsample(const Dataset& full, std::size_t max_samples,
+                             util::Rng& rng) {
+  if (full.size() <= max_samples) return full;
+  std::vector<std::vector<std::size_t>> by_class(full.num_classes);
+  for (std::size_t i = 0; i < full.size(); ++i) {
+    by_class[full.labels[i]].push_back(i);
+  }
+  const double keep = static_cast<double>(max_samples) /
+                      static_cast<double>(full.size());
+  std::vector<std::size_t> kept;
+  for (auto& members : by_class) {
+    rng.shuffle(members);
+    auto count = static_cast<std::size_t>(
+        static_cast<double>(members.size()) * keep + 0.5);
+    count = std::min(count, members.size());
+    count = std::max<std::size_t>(count, members.empty() ? 0 : 1);
+    kept.insert(kept.end(), members.begin(), members.begin() + count);
+  }
+  rng.shuffle(kept);
+  if (kept.size() > max_samples) kept.resize(max_samples);
+  return full.subset(kept);
+}
+
+}  // namespace disthd::data

@@ -1,0 +1,51 @@
+// In-memory labeled dataset and split/shuffle utilities.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace disthd::data {
+
+/// A dense labeled classification dataset: one feature row per sample.
+struct Dataset {
+  std::string name;
+  util::Matrix features;    // num_samples x num_features
+  std::vector<int> labels;  // in [0, num_classes)
+  std::size_t num_classes = 0;
+
+  std::size_t size() const noexcept { return labels.size(); }
+  std::size_t num_features() const noexcept { return features.cols(); }
+
+  /// Throws std::runtime_error when shapes/labels are inconsistent.
+  void validate() const;
+
+  /// Per-class sample counts.
+  std::vector<std::size_t> class_counts() const;
+
+  /// Copy restricted to the given sample indices.
+  Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// In-place random permutation of the samples.
+  void shuffle(util::Rng& rng);
+};
+
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Stratified split preserving per-class proportions. `test_fraction` in
+/// (0, 1). Classes with a single sample land in train.
+TrainTestSplit stratified_split(const Dataset& full, double test_fraction,
+                                util::Rng& rng);
+
+/// Keeps at most `max_samples` samples, sampled stratified without
+/// replacement; returns the dataset unchanged when it is already smaller.
+Dataset stratified_subsample(const Dataset& full, std::size_t max_samples,
+                             util::Rng& rng);
+
+}  // namespace disthd::data

@@ -1,0 +1,168 @@
+#include "data/loaders.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace disthd::data {
+
+namespace {
+
+std::uint32_t read_be_u32(std::istream& in, const std::string& path) {
+  unsigned char bytes[4];
+  in.read(reinterpret_cast<char*>(bytes), 4);
+  if (in.gcount() != 4) throw std::runtime_error("truncated IDX file: " + path);
+  return (std::uint32_t{bytes[0]} << 24) | (std::uint32_t{bytes[1]} << 16) |
+         (std::uint32_t{bytes[2]} << 8) | std::uint32_t{bytes[3]};
+}
+
+/// Remaps arbitrary integer labels to dense [0, k) in *sorted* order.
+/// Sorted (not first-appearance) order matters: independently loaded train
+/// and test files over the same label set must agree on the mapping.
+std::size_t densify_labels(std::vector<int>& labels) {
+  std::map<int, int> remap;
+  for (const int label : labels) remap.emplace(label, 0);
+  int next = 0;
+  for (auto& [original, dense] : remap) {
+    (void)original;
+    dense = next++;
+  }
+  for (int& label : labels) label = remap.at(label);
+  return remap.size();
+}
+
+}  // namespace
+
+Dataset load_idx(const std::string& images_path, const std::string& labels_path,
+                 std::size_t num_classes) {
+  std::ifstream images(images_path, std::ios::binary);
+  if (!images) throw std::runtime_error("cannot open " + images_path);
+  std::ifstream labels(labels_path, std::ios::binary);
+  if (!labels) throw std::runtime_error("cannot open " + labels_path);
+
+  if (read_be_u32(images, images_path) != 0x0803) {
+    throw std::runtime_error("bad image magic in " + images_path);
+  }
+  const std::uint32_t count = read_be_u32(images, images_path);
+  const std::uint32_t height = read_be_u32(images, images_path);
+  const std::uint32_t width = read_be_u32(images, images_path);
+
+  if (read_be_u32(labels, labels_path) != 0x0801) {
+    throw std::runtime_error("bad label magic in " + labels_path);
+  }
+  if (read_be_u32(labels, labels_path) != count) {
+    throw std::runtime_error("image/label count mismatch for " + images_path);
+  }
+
+  Dataset out;
+  out.name = "idx";
+  out.num_classes = num_classes;
+  const std::size_t pixels = static_cast<std::size_t>(height) * width;
+  out.features = util::Matrix(count, pixels);
+  out.labels.resize(count);
+
+  std::vector<unsigned char> buffer(pixels);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    images.read(reinterpret_cast<char*>(buffer.data()),
+                static_cast<std::streamsize>(pixels));
+    if (static_cast<std::size_t>(images.gcount()) != pixels) {
+      throw std::runtime_error("truncated image data in " + images_path);
+    }
+    auto row = out.features.row(i);
+    for (std::size_t p = 0; p < pixels; ++p) {
+      row[p] = static_cast<float>(buffer[p]) / 255.0f;
+    }
+    char label_byte;
+    labels.read(&label_byte, 1);
+    if (labels.gcount() != 1) {
+      throw std::runtime_error("truncated label data in " + labels_path);
+    }
+    out.labels[i] = static_cast<unsigned char>(label_byte);
+  }
+  out.validate();
+  return out;
+}
+
+Dataset load_csv_labeled(const std::string& path, bool has_header,
+                         int label_column) {
+  const util::CsvTable table = util::read_csv(path, has_header);
+  if (table.rows.empty()) throw std::runtime_error("empty CSV: " + path);
+  const std::size_t cols = table.rows.front().size();
+  const std::size_t label_idx =
+      label_column < 0 ? cols + label_column : static_cast<std::size_t>(label_column);
+  if (label_idx >= cols) {
+    throw std::runtime_error("label column out of range in " + path);
+  }
+
+  Dataset out;
+  out.name = path;
+  out.features = util::Matrix(table.rows.size(), cols - 1);
+  out.labels.reserve(table.rows.size());
+  for (std::size_t r = 0; r < table.rows.size(); ++r) {
+    const auto& cells = table.rows[r];
+    auto row = out.features.row(r);
+    std::size_t f = 0;
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c == label_idx) continue;
+      const double v = cells[c];
+      row[f++] = std::isnan(v) ? 0.0f : static_cast<float>(v);
+    }
+    const double label = cells[label_idx];
+    if (std::isnan(label)) {
+      throw std::runtime_error("non-numeric label in " + path);
+    }
+    out.labels.push_back(static_cast<int>(std::lround(label)));
+  }
+  out.num_classes = densify_labels(out.labels);
+  out.validate();
+  return out;
+}
+
+Dataset load_split_files(const std::string& features_path,
+                         const std::string& labels_path) {
+  std::ifstream features(features_path);
+  if (!features) throw std::runtime_error("cannot open " + features_path);
+  std::ifstream labels(labels_path);
+  if (!labels) throw std::runtime_error("cannot open " + labels_path);
+
+  std::vector<std::vector<float>> rows;
+  std::string line;
+  std::size_t cols = 0;
+  while (std::getline(features, line)) {
+    if (line.empty()) continue;
+    std::istringstream ss(line);
+    std::vector<float> row;
+    double v;
+    while (ss >> v) row.push_back(static_cast<float>(v));
+    if (row.empty()) continue;
+    if (cols == 0) {
+      cols = row.size();
+    } else if (row.size() != cols) {
+      throw std::runtime_error("ragged row in " + features_path);
+    }
+    rows.push_back(std::move(row));
+  }
+
+  Dataset out;
+  out.name = features_path;
+  out.features = util::Matrix(rows.size(), cols);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::copy(rows[r].begin(), rows[r].end(), out.features.row(r).begin());
+  }
+  int label;
+  while (labels >> label) out.labels.push_back(label);
+  if (out.labels.size() != rows.size()) {
+    throw std::runtime_error("feature/label count mismatch: " + features_path);
+  }
+  out.num_classes = densify_labels(out.labels);
+  out.validate();
+  return out;
+}
+
+}  // namespace disthd::data

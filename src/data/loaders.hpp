@@ -1,0 +1,31 @@
+// Loaders for the on-disk formats of the paper's five datasets (Table I).
+//
+// These read the *real* files when the user provides them (see
+// data/registry.hpp); the test-suite exercises them with tiny fixture files
+// written in the same formats.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace disthd::data {
+
+/// MNIST/EMNIST IDX pair (big-endian, magic 0x0803 images / 0x0801 labels).
+/// Pixels are scaled to [0, 1]. Throws std::runtime_error on bad files.
+Dataset load_idx(const std::string& images_path, const std::string& labels_path,
+                 std::size_t num_classes = 10);
+
+/// Numeric CSV where column `label_column` (negative = last) holds integer
+/// class ids; all other columns become features. Labels are remapped to a
+/// dense [0, k) range in order of first appearance.
+Dataset load_csv_labeled(const std::string& path, bool has_header,
+                         int label_column = -1);
+
+/// Whitespace-separated values file plus a separate label file with one
+/// integer per line (the UCI HAR / ISOLET distribution format). Labels may
+/// be 1-based; they are remapped to dense [0, k).
+Dataset load_split_files(const std::string& features_path,
+                         const std::string& labels_path);
+
+}  // namespace disthd::data

@@ -1,0 +1,65 @@
+#include "data/normalize.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace disthd::data {
+
+void Scaler::fit(const util::Matrix& train_features) {
+  const std::size_t cols = train_features.cols();
+  const std::size_t rows = train_features.rows();
+  if (rows == 0) throw std::invalid_argument("Scaler::fit: empty matrix");
+  offset_.assign(cols, 0.0f);
+  scale_.assign(cols, 0.0f);
+
+  if (kind_ == ScalerKind::min_max) {
+    std::vector<float> lo(cols, std::numeric_limits<float>::max());
+    std::vector<float> hi(cols, std::numeric_limits<float>::lowest());
+    for (std::size_t r = 0; r < rows; ++r) {
+      const auto row = train_features.row(r);
+      for (std::size_t c = 0; c < cols; ++c) {
+        lo[c] = std::min(lo[c], row[c]);
+        hi[c] = std::max(hi[c], row[c]);
+      }
+    }
+    for (std::size_t c = 0; c < cols; ++c) {
+      offset_[c] = lo[c];
+      const float range = hi[c] - lo[c];
+      scale_[c] = range > 0.0f ? 1.0f / range : 0.0f;
+    }
+  } else {
+    std::vector<double> mean(cols, 0.0);
+    std::vector<double> sq(cols, 0.0);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const auto row = train_features.row(r);
+      for (std::size_t c = 0; c < cols; ++c) {
+        mean[c] += row[c];
+        sq[c] += static_cast<double>(row[c]) * row[c];
+      }
+    }
+    for (std::size_t c = 0; c < cols; ++c) {
+      mean[c] /= static_cast<double>(rows);
+      const double variance =
+          sq[c] / static_cast<double>(rows) - mean[c] * mean[c];
+      const double stddev = variance > 0.0 ? std::sqrt(variance) : 0.0;
+      offset_[c] = static_cast<float>(mean[c]);
+      scale_[c] = stddev > 0.0 ? static_cast<float>(1.0 / stddev) : 0.0f;
+    }
+  }
+}
+
+void Scaler::transform(util::Matrix& features) const {
+  if (!fitted()) throw std::logic_error("Scaler::transform: not fitted");
+  if (features.cols() != offset_.size()) {
+    throw std::invalid_argument("Scaler::transform: column count mismatch");
+  }
+  for (std::size_t r = 0; r < features.rows(); ++r) {
+    auto row = features.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      row[c] = (row[c] - offset_[c]) * scale_[c];
+    }
+  }
+}
+
+}  // namespace disthd::data

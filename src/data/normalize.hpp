@@ -1,0 +1,40 @@
+// Feature scalers fitted on training data and applied to both splits.
+// The RBF encoder assumes roughly unit-scale inputs, so every pipeline in
+// this repo min-max- or z-score-normalizes first (as HDC implementations
+// conventionally do).
+#pragma once
+
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace disthd::data {
+
+enum class ScalerKind { min_max, z_score };
+
+class Scaler {
+public:
+  explicit Scaler(ScalerKind kind = ScalerKind::min_max) : kind_(kind) {}
+
+  ScalerKind kind() const noexcept { return kind_; }
+  bool fitted() const noexcept { return !offset_.empty(); }
+
+  /// Learns per-column statistics from the rows of `train_features`.
+  void fit(const util::Matrix& train_features);
+
+  /// Applies the fitted transform in place. Throws when not fitted or the
+  /// column count differs from the fit.
+  void transform(util::Matrix& features) const;
+
+  void fit_transform(util::Matrix& features) {
+    fit(features);
+    transform(features);
+  }
+
+private:
+  ScalerKind kind_;
+  std::vector<float> offset_;  // min (min_max) or mean (z_score)
+  std::vector<float> scale_;   // 1/(max-min) or 1/stddev; 0 for constant cols
+};
+
+}  // namespace disthd::data

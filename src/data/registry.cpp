@@ -1,0 +1,120 @@
+#include "data/registry.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+
+#include "data/loaders.hpp"
+#include "data/normalize.hpp"
+#include "data/synthetic.hpp"
+
+namespace disthd::data {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string resolve_data_dir(const DatasetOptions& options) {
+  if (!options.data_dir.empty()) return options.data_dir;
+  if (const char* env = std::getenv("DISTHD_DATA_DIR")) return env;
+  return {};
+}
+
+bool exists(const std::string& dir, const std::string& file) {
+  return fs::exists(fs::path(dir) / file);
+}
+
+std::string join(const std::string& dir, const std::string& file) {
+  return (fs::path(dir) / file).string();
+}
+
+/// Attempts the documented real-data layout; returns false when absent.
+bool try_load_real(const std::string& name, const std::string& dir,
+                   TrainTestSplit& out) {
+  if (dir.empty()) return false;
+  if (name == "mnist") {
+    const std::string files[] = {
+        "train-images-idx3-ubyte", "train-labels-idx1-ubyte",
+        "t10k-images-idx3-ubyte", "t10k-labels-idx1-ubyte"};
+    for (const auto& f : files) {
+      if (!exists(dir, f)) return false;
+    }
+    out.train = load_idx(join(dir, files[0]), join(dir, files[1]));
+    out.test = load_idx(join(dir, files[2]), join(dir, files[3]));
+    return true;
+  }
+  // UCIHAR / ISOLET / PAMAP2 style: whitespace features + label files.
+  const std::string x_train = name + "_train_X.txt";
+  const std::string y_train = name + "_train_y.txt";
+  const std::string x_test = name + "_test_X.txt";
+  const std::string y_test = name + "_test_y.txt";
+  if (exists(dir, x_train) && exists(dir, y_train) && exists(dir, x_test) &&
+      exists(dir, y_test)) {
+    out.train = load_split_files(join(dir, x_train), join(dir, y_train));
+    out.test = load_split_files(join(dir, x_test), join(dir, y_test));
+    return true;
+  }
+  // CSV fallback: <name>_train.csv / <name>_test.csv, label in last column.
+  const std::string csv_train = name + "_train.csv";
+  const std::string csv_test = name + "_test.csv";
+  if (exists(dir, csv_train) && exists(dir, csv_test)) {
+    out.train = load_csv_labeled(join(dir, csv_train), /*has_header=*/true);
+    out.test = load_csv_labeled(join(dir, csv_test), /*has_header=*/true);
+    return true;
+  }
+  return false;
+}
+
+SyntheticSpec spec_for(const std::string& name, const DatasetOptions& options) {
+  if (name == "mnist") return mnist_like_spec(options.scale, options.seed);
+  if (name == "ucihar") return ucihar_like_spec(options.scale, options.seed);
+  if (name == "isolet") return isolet_like_spec(options.scale, options.seed);
+  if (name == "pamap2") return pamap2_like_spec(options.scale, options.seed);
+  if (name == "diabetes") return diabetes_like_spec(options.scale, options.seed);
+  throw std::invalid_argument("unknown dataset: " + name);
+}
+
+}  // namespace
+
+const std::vector<std::string>& table1_names() {
+  static const std::vector<std::string> names = {"mnist", "ucihar", "isolet",
+                                                 "pamap2", "diabetes"};
+  return names;
+}
+
+NamedDataset load_by_name(const std::string& name,
+                          const DatasetOptions& options) {
+  NamedDataset result;
+  const std::string dir = resolve_data_dir(options);
+  if (try_load_real(name, dir, result.split)) {
+    result.is_synthetic = false;
+    result.source = "real files from " + dir;
+    result.split.train.name = name;
+    result.split.test.name = name;
+    if (options.scale < 1.0) {
+      util::Rng rng(options.seed);
+      const auto train_cap = static_cast<std::size_t>(
+          static_cast<double>(result.split.train.size()) * options.scale);
+      const auto test_cap = static_cast<std::size_t>(
+          static_cast<double>(result.split.test.size()) * options.scale);
+      result.split.train =
+          stratified_subsample(result.split.train, train_cap, rng);
+      result.split.test = stratified_subsample(result.split.test, test_cap, rng);
+    }
+  } else {
+    const SyntheticSpec spec = spec_for(name, options);
+    result.split = make_synthetic(spec);
+    result.is_synthetic = true;
+    result.source = "synthetic stand-in (seed " + std::to_string(spec.seed) +
+                    ", scale " + std::to_string(options.scale) + ")";
+  }
+  if (options.normalize) {
+    Scaler scaler(ScalerKind::min_max);
+    scaler.fit(result.split.train.features);
+    scaler.transform(result.split.train.features);
+    scaler.transform(result.split.test.features);
+  }
+  return result;
+}
+
+}  // namespace disthd::data

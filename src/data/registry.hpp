@@ -1,0 +1,44 @@
+// Named access to the paper's five evaluation workloads (Table I).
+//
+// Resolution order per dataset:
+//   1. real files under DISTHD_DATA_DIR (or DatasetOptions::data_dir),
+//      in the layout documented in README.md;
+//   2. the synthetic stand-in from data/synthetic.hpp.
+//
+// Every bench binary goes through this registry so swapping in real data is
+// a matter of setting one environment variable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace disthd::data {
+
+struct DatasetOptions {
+  /// Fraction of the paper's train/test sizes to generate/subsample.
+  double scale = 1.0;
+  std::uint64_t seed = 1;
+  /// Overrides the DISTHD_DATA_DIR environment variable when non-empty.
+  std::string data_dir;
+  /// Apply min-max normalization fitted on train (encoder expects [0,1]).
+  bool normalize = true;
+};
+
+struct NamedDataset {
+  TrainTestSplit split;
+  bool is_synthetic = true;
+  std::string source;  // description of where the data came from
+};
+
+/// Names accepted by load_by_name, in the paper's Table I order.
+const std::vector<std::string>& table1_names();
+
+/// Loads "mnist", "ucihar", "isolet", "pamap2" or "diabetes".
+/// Throws std::invalid_argument for unknown names.
+NamedDataset load_by_name(const std::string& name,
+                          const DatasetOptions& options = {});
+
+}  // namespace disthd::data

@@ -1,0 +1,94 @@
+#include "hd/bipolar_model.hpp"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace disthd::hd {
+
+namespace {
+
+std::vector<std::uint64_t> pack_signs(std::span<const float> values,
+                                      std::size_t words) {
+  std::vector<std::uint64_t> packed(words, 0);
+  for (std::size_t d = 0; d < values.size(); ++d) {
+    if (values[d] >= 0.0f) {
+      packed[d / 64] |= (std::uint64_t{1} << (d % 64));
+    }
+  }
+  return packed;
+}
+
+}  // namespace
+
+BipolarModel::BipolarModel(const ClassModel& model)
+    : num_classes_(model.num_classes()),
+      dim_(model.dimensionality()),
+      words_per_class_((model.dimensionality() + 63) / 64) {
+  packed_.reserve(num_classes_ * words_per_class_);
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    const auto words = pack_signs(model.class_vector(c), words_per_class_);
+    packed_.insert(packed_.end(), words.begin(), words.end());
+  }
+}
+
+std::vector<std::uint64_t> BipolarModel::pack_query(
+    std::span<const float> h) const {
+  if (h.size() != dim_) {
+    throw std::invalid_argument("BipolarModel::pack_query: dim mismatch");
+  }
+  return pack_signs(h, words_per_class_);
+}
+
+std::span<const std::uint64_t> BipolarModel::class_words(
+    std::size_t cls) const {
+  return {packed_.data() + cls * words_per_class_, words_per_class_};
+}
+
+std::size_t BipolarModel::agreement(std::span<const std::uint64_t> query,
+                                    std::size_t cls) const {
+  assert(query.size() == words_per_class_);
+  const std::uint64_t* words = packed_.data() + cls * words_per_class_;
+  std::size_t disagree = 0;
+  // Padding bits beyond dim_ are zero in both query and class words, so XOR
+  // never counts them; full words need no masking.
+  for (std::size_t w = 0; w < words_per_class_; ++w) {
+    disagree += std::popcount(query[w] ^ words[w]);
+  }
+  return dim_ - disagree;
+}
+
+int BipolarModel::predict_packed(std::span<const std::uint64_t> query) const {
+  int best = 0;
+  std::size_t best_agreement = 0;
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    const std::size_t score = agreement(query, c);
+    if (c == 0 || score > best_agreement) {
+      best = static_cast<int>(c);
+      best_agreement = score;
+    }
+  }
+  return best;
+}
+
+int BipolarModel::predict(std::span<const float> h) const {
+  return predict_packed(pack_query(h));
+}
+
+std::vector<int> BipolarModel::predict_batch(
+    const util::Matrix& encoded) const {
+  if (encoded.cols() != dim_) {
+    throw std::invalid_argument("BipolarModel::predict_batch: dim mismatch");
+  }
+  std::vector<int> predictions(encoded.rows());
+  util::parallel_for(encoded.rows(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      predictions[r] = predict(encoded.row(r));
+    }
+  });
+  return predictions;
+}
+
+}  // namespace disthd::hd

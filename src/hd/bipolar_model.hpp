@@ -1,0 +1,58 @@
+// Packed bipolar deployment model (paper §III-A: for bipolar hypervectors
+// cosine similarity reduces to Hamming distance).
+//
+// A trained ClassModel is sign-quantized into 64-dimension machine words;
+// queries are sign-quantized the same way and scored with XOR + popcount.
+// This is the 1-bit deployment path of the robustness study (Fig. 8) made
+// fast: a D = 4k model stores 64 bytes per class-word-row and classifies
+// with a few hundred popcounts — the "lightweight hardware implementation"
+// the paper positions HDC for.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hd/model.hpp"
+#include "util/matrix.hpp"
+
+namespace disthd::hd {
+
+class BipolarModel {
+public:
+  /// Sign-quantizes each class hypervector of `model` (>= 0 maps to bit 1).
+  explicit BipolarModel(const ClassModel& model);
+
+  std::size_t num_classes() const noexcept { return num_classes_; }
+  std::size_t dimensionality() const noexcept { return dim_; }
+  /// Model memory in bytes (the Fig. 8 "1-bit storage" footprint).
+  std::size_t storage_bytes() const noexcept {
+    return packed_.size() * sizeof(std::uint64_t);
+  }
+
+  /// Packs a real-valued hypervector into sign bits for querying.
+  std::vector<std::uint64_t> pack_query(std::span<const float> h) const;
+
+  /// Number of agreeing sign positions between a packed query and a class,
+  /// in [0, D]. D/2 means orthogonal.
+  std::size_t agreement(std::span<const std::uint64_t> query,
+                        std::size_t cls) const;
+
+  /// Argmax of agreement over classes.
+  int predict_packed(std::span<const std::uint64_t> query) const;
+  /// Convenience: pack + predict.
+  int predict(std::span<const float> h) const;
+  /// Batch prediction over encoded rows.
+  std::vector<int> predict_batch(const util::Matrix& encoded) const;
+
+  /// Direct access to the packed words of one class (testing/inspection).
+  std::span<const std::uint64_t> class_words(std::size_t cls) const;
+
+private:
+  std::size_t num_classes_ = 0;
+  std::size_t dim_ = 0;
+  std::size_t words_per_class_ = 0;
+  std::vector<std::uint64_t> packed_;  // row-major: class x words
+};
+
+}  // namespace disthd::hd

@@ -1,0 +1,53 @@
+#include "hd/centering.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace disthd::hd {
+
+void calibrate_output_centering(RbfEncoder& encoder, util::Matrix& encoded) {
+  if (encoded.cols() != encoder.dimensionality()) {
+    throw std::invalid_argument("calibrate_output_centering: dim mismatch");
+  }
+  if (encoded.rows() == 0) return;
+  std::vector<double> sums;
+  util::col_sums(encoded, sums);
+  std::vector<float> offset(encoded.cols());
+  const auto inv_rows = 1.0 / static_cast<double>(encoded.rows());
+  for (std::size_t d = 0; d < offset.size(); ++d) {
+    offset[d] = static_cast<float>(sums[d] * inv_rows);
+  }
+  encoder.set_output_offset(offset);
+  util::parallel_for(encoded.rows(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      auto row = encoded.row(r);
+      for (std::size_t d = 0; d < row.size(); ++d) row[d] -= offset[d];
+    }
+  });
+}
+
+void recenter_columns(RbfEncoder& encoder, util::Matrix& encoded,
+                      std::span<const std::size_t> dims) {
+  if (encoded.rows() == 0 || dims.empty()) return;
+  std::vector<double> sums(dims.size(), 0.0);
+  for (std::size_t r = 0; r < encoded.rows(); ++r) {
+    const auto row = encoded.row(r);
+    for (std::size_t i = 0; i < dims.size(); ++i) sums[i] += row[dims[i]];
+  }
+  const auto inv_rows = 1.0 / static_cast<double>(encoded.rows());
+  std::vector<float> means(dims.size());
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    means[i] = static_cast<float>(sums[i] * inv_rows);
+    encoder.set_output_offset_dim(dims[i], means[i]);
+  }
+  util::parallel_for(encoded.rows(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      auto row = encoded.row(r);
+      for (std::size_t i = 0; i < dims.size(); ++i) row[dims[i]] -= means[i];
+    }
+  });
+}
+
+}  // namespace disthd::hd

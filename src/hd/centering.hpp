@@ -1,0 +1,30 @@
+// Output-centering calibration for dynamic encoders.
+//
+// The RBF encoder's cos*sin nonlinearity is biased per dimension, which
+// leaves every bundled class hypervector sharing one dominant direction.
+// These helpers measure the per-dimension mean of an encoded training batch,
+// store it in the encoder as the output offset, and subtract it from the
+// already-encoded matrix in place — after which encodings (and therefore
+// class hypervectors) are zero-mean per dimension and behave like classic
+// quasi-orthogonal hypervectors. Called by the trainers at initial encoding
+// and again for every regenerated dimension.
+#pragma once
+
+#include <span>
+
+#include "hd/encoder.hpp"
+#include "util/matrix.hpp"
+
+namespace disthd::hd {
+
+/// Measures per-dimension means of `encoded` (raw encoder output), installs
+/// them as the encoder's output offset, and subtracts them from `encoded`.
+void calibrate_output_centering(RbfEncoder& encoder, util::Matrix& encoded);
+
+/// Re-centers only `dims` after a regeneration: the caller must have reset
+/// those offsets (RbfEncoder::reset_output_offset_dims) and re-encoded the
+/// columns so they hold raw values.
+void recenter_columns(RbfEncoder& encoder, util::Matrix& encoded,
+                      std::span<const std::size_t> dims);
+
+}  // namespace disthd::hd

@@ -1,0 +1,265 @@
+#include "hd/encoder.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "hd/ops.hpp"
+#include "util/serialize.hpp"
+#include "util/thread_pool.hpp"
+
+namespace disthd::hd {
+
+void Encoder::encode_batch(const util::Matrix& features,
+                           util::Matrix& encoded) const {
+  encoded.reshape(features.rows(), dimensionality());
+  util::parallel_for(
+      features.rows(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          encode(features.row(r), encoded.row(r));
+        }
+      },
+      /*min_chunk=*/1);
+}
+
+// ---- RbfEncoder ------------------------------------------------------------
+
+namespace {
+
+/// 1/|F| (1.0 when normalization is off or the vector is all-zero).
+float input_scale(bool normalize, std::span<const float> features) {
+  if (!normalize) return 1.0f;
+  const double norm = util::norm2(features);
+  return norm > 0.0 ? static_cast<float>(1.0 / norm) : 1.0f;
+}
+
+}  // namespace
+
+RbfEncoder::RbfEncoder(std::size_t num_features, std::size_t dim,
+                       std::uint64_t seed, bool normalize_input)
+    : normalize_input_(normalize_input) {
+  if (num_features == 0 || dim == 0) {
+    throw std::invalid_argument("RbfEncoder: zero num_features or dim");
+  }
+  util::Rng rng(seed);
+  base_ = util::Matrix(dim, num_features);
+  base_.fill_normal(rng, 0.0, 1.0);
+  phase_.resize(dim);
+  for (auto& c : phase_) {
+    c = static_cast<float>(rng.uniform(0.0, 2.0 * std::numbers::pi));
+  }
+}
+
+void RbfEncoder::encode(std::span<const float> features,
+                        std::span<float> out) const {
+  assert(features.size() == num_features());
+  assert(out.size() == dimensionality());
+  const float scale = input_scale(normalize_input_, features);
+  const bool centered = !output_offset_.empty();
+  for (std::size_t d = 0; d < out.size(); ++d) {
+    const auto projection =
+        static_cast<float>(util::dot(base_.row(d), features)) * scale;
+    out[d] = std::cos(projection + phase_[d]) * std::sin(projection);
+    if (centered) out[d] -= output_offset_[d];
+  }
+}
+
+void RbfEncoder::encode_batch(const util::Matrix& features,
+                              util::Matrix& encoded) const {
+  if (features.cols() != num_features()) {
+    throw std::invalid_argument("RbfEncoder::encode_batch: feature mismatch");
+  }
+  // One GEMM gives all projections; the input normalization folds into a
+  // per-row scale and the nonlinearity is a cheap second pass.
+  util::matmul_nt(features, base_, encoded);
+  const bool centered = !output_offset_.empty();
+  util::parallel_for(encoded.rows(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      const float scale = input_scale(normalize_input_, features.row(r));
+      auto row = encoded.row(r);
+      for (std::size_t d = 0; d < row.size(); ++d) {
+        const float projection = row[d] * scale;
+        row[d] = std::cos(projection + phase_[d]) * std::sin(projection);
+        if (centered) row[d] -= output_offset_[d];
+      }
+    }
+  });
+}
+
+void RbfEncoder::regenerate_dimensions(std::span<const std::size_t> dims,
+                                       util::Rng& rng) {
+  for (const std::size_t d : dims) {
+    if (d >= dimensionality()) {
+      throw std::out_of_range("RbfEncoder::regenerate_dimensions");
+    }
+    auto row = base_.row(d);
+    for (auto& v : row) v = static_cast<float>(rng.normal());
+    phase_[d] = static_cast<float>(rng.uniform(0.0, 2.0 * std::numbers::pi));
+  }
+  total_regenerated_ += dims.size();
+}
+
+void RbfEncoder::reencode_columns(const util::Matrix& features,
+                                  std::span<const std::size_t> dims,
+                                  util::Matrix& encoded) const {
+  if (encoded.rows() != features.rows() ||
+      encoded.cols() != dimensionality()) {
+    throw std::invalid_argument("RbfEncoder::reencode_columns: shape mismatch");
+  }
+  util::parallel_for(
+      features.rows(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          const auto f = features.row(r);
+          const float scale = input_scale(normalize_input_, f);
+          const bool centered = !output_offset_.empty();
+          auto enc = encoded.row(r);
+          for (const std::size_t d : dims) {
+            const auto projection =
+                static_cast<float>(util::dot(base_.row(d), f)) * scale;
+            enc[d] = std::cos(projection + phase_[d]) * std::sin(projection);
+            if (centered) enc[d] -= output_offset_[d];
+          }
+        }
+      },
+      /*min_chunk=*/8);
+}
+
+void RbfEncoder::set_output_offset(std::vector<float> offset) {
+  if (!offset.empty() && offset.size() != dimensionality()) {
+    throw std::invalid_argument("RbfEncoder::set_output_offset: size mismatch");
+  }
+  output_offset_ = std::move(offset);
+}
+
+void RbfEncoder::set_output_offset_dim(std::size_t dim, float value) {
+  if (output_offset_.empty()) output_offset_.assign(dimensionality(), 0.0f);
+  output_offset_.at(dim) = value;
+}
+
+void RbfEncoder::reset_output_offset_dims(
+    std::span<const std::size_t> dims) {
+  if (output_offset_.empty()) return;
+  for (const std::size_t d : dims) output_offset_.at(d) = 0.0f;
+}
+
+void RbfEncoder::save(std::ostream& out) const {
+  util::BinaryWriter writer(out);
+  writer.write_magic("RBFE");
+  writer.write_matrix(base_);
+  writer.write_f32_array(phase_);
+  writer.write_f32_array(output_offset_);
+  writer.write_u64(total_regenerated_);
+  writer.write_u32(normalize_input_ ? 1 : 0);
+}
+
+RbfEncoder RbfEncoder::load(std::istream& in) {
+  util::BinaryReader reader(in);
+  reader.expect_magic("RBFE");
+  RbfEncoder encoder;
+  encoder.base_ = reader.read_matrix();
+  encoder.phase_ = reader.read_f32_array();
+  encoder.output_offset_ = reader.read_f32_array();
+  encoder.total_regenerated_ = reader.read_u64();
+  encoder.normalize_input_ = reader.read_u32() != 0;
+  if (encoder.phase_.size() != encoder.base_.rows()) {
+    throw std::runtime_error("RbfEncoder::load: inconsistent dimensions");
+  }
+  if (!encoder.output_offset_.empty() &&
+      encoder.output_offset_.size() != encoder.base_.rows()) {
+    throw std::runtime_error("RbfEncoder::load: inconsistent offset size");
+  }
+  return encoder;
+}
+
+// ---- RandomProjectionEncoder ----------------------------------------------
+
+RandomProjectionEncoder::RandomProjectionEncoder(std::size_t num_features,
+                                                 std::size_t dim,
+                                                 std::uint64_t seed) {
+  if (num_features == 0 || dim == 0) {
+    throw std::invalid_argument("RandomProjectionEncoder: zero size");
+  }
+  util::Rng rng(seed);
+  base_ = util::Matrix(dim, num_features);
+  base_.fill_normal(rng, 0.0, 1.0);
+}
+
+void RandomProjectionEncoder::encode(std::span<const float> features,
+                                     std::span<float> out) const {
+  assert(features.size() == num_features());
+  assert(out.size() == dimensionality());
+  for (std::size_t d = 0; d < out.size(); ++d) {
+    out[d] = util::dot(base_.row(d), features) >= 0.0 ? 1.0f : -1.0f;
+  }
+}
+
+void RandomProjectionEncoder::encode_batch(const util::Matrix& features,
+                                           util::Matrix& encoded) const {
+  if (features.cols() != num_features()) {
+    throw std::invalid_argument(
+        "RandomProjectionEncoder::encode_batch: feature mismatch");
+  }
+  util::matmul_nt(features, base_, encoded);
+  util::parallel_for(encoded.rows(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      sign_quantize(encoded.row(r));
+    }
+  });
+}
+
+// ---- IdLevelEncoder ---------------------------------------------------------
+
+IdLevelEncoder::IdLevelEncoder(std::size_t num_features, std::size_t dim,
+                               std::size_t levels, float lo, float hi,
+                               std::uint64_t seed)
+    : num_features_(num_features), dim_(dim), lo_(lo), hi_(hi) {
+  if (num_features == 0 || dim == 0 || levels < 2) {
+    throw std::invalid_argument("IdLevelEncoder: bad sizes");
+  }
+  if (!(hi > lo)) {
+    throw std::invalid_argument("IdLevelEncoder: hi must exceed lo");
+  }
+  util::Rng rng(seed);
+  ids_ = util::Matrix(num_features, dim);
+  for (std::size_t f = 0; f < num_features; ++f) {
+    const auto hv = random_bipolar(dim, rng);
+    std::copy(hv.begin(), hv.end(), ids_.row(f).begin());
+  }
+  // Level chain: start from a random hypervector and flip a disjoint random
+  // slice per step, so similarity decays linearly with level distance.
+  levels_ = util::Matrix(levels, dim);
+  auto current = random_bipolar(dim, rng);
+  std::copy(current.begin(), current.end(), levels_.row(0).begin());
+  auto flip_order = rng.permutation(dim);
+  const std::size_t flips_per_level = dim / (2 * (levels - 1));
+  std::size_t cursor = 0;
+  for (std::size_t l = 1; l < levels; ++l) {
+    for (std::size_t i = 0; i < flips_per_level && cursor < dim; ++i, ++cursor) {
+      current[flip_order[cursor]] = -current[flip_order[cursor]];
+    }
+    std::copy(current.begin(), current.end(), levels_.row(l).begin());
+  }
+}
+
+void IdLevelEncoder::encode(std::span<const float> features,
+                            std::span<float> out) const {
+  assert(features.size() == num_features_);
+  assert(out.size() == dim_);
+  std::fill(out.begin(), out.end(), 0.0f);
+  const auto num_levels = levels_.rows();
+  for (std::size_t f = 0; f < num_features_; ++f) {
+    float value = std::min(hi_, std::max(lo_, features[f]));
+    const auto level = std::min<std::size_t>(
+        num_levels - 1,
+        static_cast<std::size_t>((value - lo_) / (hi_ - lo_) *
+                                 static_cast<float>(num_levels)));
+    const auto id = ids_.row(f);
+    const auto lvl = levels_.row(level);
+    for (std::size_t d = 0; d < dim_; ++d) out[d] += id[d] * lvl[d];
+  }
+}
+
+}  // namespace disthd::hd

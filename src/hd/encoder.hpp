@@ -1,0 +1,161 @@
+// Feature-to-hypervector encoders.
+//
+// RbfEncoder is the paper's encoding (§III-C): for feature vector F with n
+// features and dimension index d,
+//     h_d = cos(B_d · F + c_d) * sin(B_d · F),
+// with base row B_d ~ N(0,1)^n and phase c_d ~ U[0, 2pi). It is the only
+// encoder that supports *dimension regeneration*: replacing the base row and
+// phase of selected dimensions with fresh random draws, which is the
+// mechanism behind DistHD's and NeuralHD's dynamic encoding.
+//
+// RandomProjectionEncoder (bipolar sign projection) and IdLevelEncoder
+// (record-based ID*level binding) are the classic static encoders used by
+// BaselineHD and in the motivation study (Fig. 2).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace disthd::hd {
+
+class Encoder {
+public:
+  virtual ~Encoder() = default;
+
+  virtual std::size_t dimensionality() const noexcept = 0;
+  virtual std::size_t num_features() const noexcept = 0;
+
+  /// Encodes one feature vector; `out` must have dimensionality() elements.
+  virtual void encode(std::span<const float> features,
+                      std::span<float> out) const = 0;
+
+  /// Encodes each row of `features` into a row of `encoded`
+  /// (resized to rows x dimensionality()). Parallel over rows by default;
+  /// subclasses override with matrix-level kernels.
+  virtual void encode_batch(const util::Matrix& features,
+                            util::Matrix& encoded) const;
+};
+
+/// The paper's nonlinear random-Fourier-feature-style encoder.
+///
+/// Inputs are L2-normalized per sample before projection (the convention of
+/// the NeuralHD/DistHD reference implementations): with |F| = 1 the
+/// projections B_d . F are ~N(0, 1), which keeps the cos/sin nonlinearity in
+/// its informative regime regardless of the raw feature scale. Disable with
+/// `normalize_input = false` for already-unit-scale inputs.
+class RbfEncoder final : public Encoder {
+public:
+  /// Draws base matrix (dim x num_features) i.i.d. N(0,1) and phases
+  /// U[0, 2pi) from `seed`.
+  RbfEncoder(std::size_t num_features, std::size_t dim, std::uint64_t seed,
+             bool normalize_input = true);
+
+  std::size_t dimensionality() const noexcept override { return base_.rows(); }
+  std::size_t num_features() const noexcept override { return base_.cols(); }
+
+  void encode(std::span<const float> features,
+              std::span<float> out) const override;
+  void encode_batch(const util::Matrix& features,
+                    util::Matrix& encoded) const override;
+
+  /// Replaces the base rows and phases of `dims` with fresh random draws
+  /// (paper §III-C "Dimension Regeneration"). Counts are tracked in
+  /// total_regenerated().
+  void regenerate_dimensions(std::span<const std::size_t> dims, util::Rng& rng);
+
+  /// Recomputes only the given columns of an already-encoded batch — after
+  /// regeneration there is no need to re-encode the other D - |dims|
+  /// columns. `encoded` must be features.rows() x dimensionality().
+  void reencode_columns(const util::Matrix& features,
+                        std::span<const std::size_t> dims,
+                        util::Matrix& encoded) const;
+
+  /// Cumulative number of dimension regenerations (for the effective-
+  /// dimensionality metric D* = D + regenerated, paper §IV-B).
+  std::size_t total_regenerated() const noexcept { return total_regenerated_; }
+
+  /// Per-dimension output centering. The cos*sin nonlinearity has a
+  /// dimension-specific bias (E[h_d] = -sin(c_d)(1 - e^{-2 sigma^2})/2), so
+  /// raw bundling gives every class hypervector the same dominant common
+  /// mode; subtracting the training-set mean makes class vectors
+  /// quasi-orthogonal (the classic HDC regime) and is what lets the model
+  /// survive low-precision storage (Fig. 8). Trainers calibrate this from
+  /// the encoded training batch; empty disables centering.
+  void set_output_offset(std::vector<float> offset);
+  void set_output_offset_dim(std::size_t dim, float value);
+  /// Zeroes the offsets of `dims` (used right before re-measuring them
+  /// after a regeneration).
+  void reset_output_offset_dims(std::span<const std::size_t> dims);
+  std::span<const float> output_offset() const noexcept {
+    return output_offset_;
+  }
+
+  const util::Matrix& base() const noexcept { return base_; }
+  std::span<const float> phase() const noexcept { return phase_; }
+  bool normalize_input() const noexcept { return normalize_input_; }
+
+  void save(std::ostream& out) const;
+  static RbfEncoder load(std::istream& in);
+
+private:
+  RbfEncoder() = default;
+
+  util::Matrix base_;                // dim x num_features
+  std::vector<float> phase_;         // dim
+  std::vector<float> output_offset_; // dim when set, empty when disabled
+  std::size_t total_regenerated_ = 0;
+  bool normalize_input_ = true;
+};
+
+/// Static bipolar projection: h_d = sign(B_d · F) (BaselineHD encoding).
+/// Sign projection is scale-invariant, so no input normalization is needed.
+class RandomProjectionEncoder final : public Encoder {
+public:
+  RandomProjectionEncoder(std::size_t num_features, std::size_t dim,
+                          std::uint64_t seed);
+
+  std::size_t dimensionality() const noexcept override { return base_.rows(); }
+  std::size_t num_features() const noexcept override { return base_.cols(); }
+
+  void encode(std::span<const float> features,
+              std::span<float> out) const override;
+  void encode_batch(const util::Matrix& features,
+                    util::Matrix& encoded) const override;
+
+private:
+  util::Matrix base_;
+};
+
+/// Record-based encoder: H = sum_f ID_f * Level(quantize(f)). Level
+/// hypervectors interpolate between two random endpoints so nearby feature
+/// values map to similar hypervectors.
+class IdLevelEncoder final : public Encoder {
+public:
+  /// `levels` is the quantization resolution; features are assumed to lie in
+  /// [lo, hi] (values outside are clamped).
+  IdLevelEncoder(std::size_t num_features, std::size_t dim, std::size_t levels,
+                 float lo, float hi, std::uint64_t seed);
+
+  std::size_t dimensionality() const noexcept override { return dim_; }
+  std::size_t num_features() const noexcept override { return num_features_; }
+
+  void encode(std::span<const float> features,
+              std::span<float> out) const override;
+
+  std::size_t num_levels() const noexcept { return levels_.rows(); }
+
+private:
+  std::size_t num_features_;
+  std::size_t dim_;
+  float lo_, hi_;
+  util::Matrix ids_;     // num_features x dim, bipolar
+  util::Matrix levels_;  // num_levels x dim, bipolar chain
+};
+
+}  // namespace disthd::hd

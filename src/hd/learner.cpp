@@ -1,0 +1,63 @@
+#include "hd/learner.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace disthd::hd {
+
+void OneShotLearner::fit(ClassModel& model, const util::Matrix& encoded,
+                         std::span<const int> labels) {
+  assert(encoded.rows() == labels.size());
+  if (encoded.cols() != model.dimensionality()) {
+    throw std::invalid_argument("OneShotLearner::fit: dimension mismatch");
+  }
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    model.add_scaled(static_cast<std::size_t>(labels[i]), 1.0f,
+                     encoded.row(i));
+  }
+}
+
+EpochStats AdaptiveLearner::train_epoch(
+    ClassModel& model, const util::Matrix& encoded,
+    std::span<const int> labels, std::span<const std::size_t> order) const {
+  assert(encoded.rows() == labels.size());
+  if (encoded.cols() != model.dimensionality()) {
+    throw std::invalid_argument("AdaptiveLearner: dimension mismatch");
+  }
+  EpochStats stats;
+  stats.samples = labels.size();
+  std::vector<double> sims(model.num_classes());
+  for (std::size_t step = 0; step < labels.size(); ++step) {
+    const std::size_t i = order.empty() ? step : order[step];
+    const auto h = encoded.row(i);
+    const auto label = static_cast<std::size_t>(labels[i]);
+
+    model.similarities(h, sims);
+    std::size_t predicted = 0;
+    for (std::size_t c = 1; c < sims.size(); ++c) {
+      if (sims[c] > sims[predicted]) predicted = c;
+    }
+    if (predicted == label) continue;
+    ++stats.mispredictions;
+
+    // Algorithm 1 lines 7-8: pull the true class toward H and push the
+    // winning wrong class away, each scaled by how novel H is to that class.
+    const auto push = static_cast<float>(
+        -learning_rate_ * (1.0 - sims[predicted]));
+    const auto pull = static_cast<float>(
+        learning_rate_ * (1.0 - sims[label]));
+    model.add_scaled(predicted, push, h);
+    model.add_scaled(label, pull, h);
+  }
+  return stats;
+}
+
+EpochStats AdaptiveLearner::train_epoch_shuffled(ClassModel& model,
+                                                 const util::Matrix& encoded,
+                                                 std::span<const int> labels,
+                                                 util::Rng& rng) const {
+  const auto order = rng.permutation(labels.size());
+  return train_epoch(model, encoded, labels, order);
+}
+
+}  // namespace disthd::hd

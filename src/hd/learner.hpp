@@ -1,0 +1,65 @@
+// HDC training rules.
+//
+// OneShotLearner is classical single-pass bundling (C_l = sum of class-l
+// hypervectors). AdaptiveLearner is the paper's Algorithm 1: a
+// similarity-weighted perceptron where a misclassified sample H with true
+// label j and prediction i applies
+//     C_i -= eta * (1 - delta(H, C_i)) * H
+//     C_j += eta * (1 - delta(H, C_j)) * H
+// so common patterns (high similarity) barely move the model while novel
+// patterns move it strongly — the saturation control described in §III-B.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "hd/model.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace disthd::hd {
+
+struct EpochStats {
+  std::size_t samples = 0;
+  std::size_t mispredictions = 0;  // before-update predictions that were wrong
+
+  /// Accuracy of the pre-update predictions seen during the epoch.
+  double online_accuracy() const noexcept {
+    return samples == 0 ? 0.0
+                        : 1.0 - static_cast<double>(mispredictions) /
+                                    static_cast<double>(samples);
+  }
+};
+
+/// Single-pass bundling initialization.
+class OneShotLearner {
+public:
+  /// Adds every encoded row to its label's class hypervector.
+  static void fit(ClassModel& model, const util::Matrix& encoded,
+                  std::span<const int> labels);
+};
+
+class AdaptiveLearner {
+public:
+  explicit AdaptiveLearner(double learning_rate = 1.0)
+      : learning_rate_(learning_rate) {}
+
+  double learning_rate() const noexcept { return learning_rate_; }
+
+  /// One pass of Algorithm 1 over the batch in the given sample order
+  /// (pass an empty order for natural order). Returns pre-update stats.
+  EpochStats train_epoch(ClassModel& model, const util::Matrix& encoded,
+                         std::span<const int> labels,
+                         std::span<const std::size_t> order = {}) const;
+
+  /// Convenience: shuffled epoch using `rng`.
+  EpochStats train_epoch_shuffled(ClassModel& model,
+                                  const util::Matrix& encoded,
+                                  std::span<const int> labels,
+                                  util::Rng& rng) const;
+
+private:
+  double learning_rate_;
+};
+
+}  // namespace disthd::hd

@@ -1,0 +1,137 @@
+#include "hd/model.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/serialize.hpp"
+#include "util/thread_pool.hpp"
+
+namespace disthd::hd {
+
+ClassModel::ClassModel(std::size_t num_classes, std::size_t dim)
+    : class_vectors_(num_classes, dim), norms_(num_classes, 0.0) {
+  if (num_classes == 0 || dim == 0) {
+    throw std::invalid_argument("ClassModel: zero classes or dimension");
+  }
+}
+
+void ClassModel::refresh_norms() {
+  for (std::size_t c = 0; c < num_classes(); ++c) {
+    norms_[c] = util::norm2(class_vectors_.row(c));
+  }
+}
+
+void ClassModel::add_scaled(std::size_t cls, float alpha,
+                            std::span<const float> h) {
+  auto row = class_vectors_.row(cls);
+  util::axpy(alpha, h, row);
+  norms_[cls] = util::norm2(row);
+}
+
+void ClassModel::similarities(std::span<const float> h,
+                              std::span<double> out) const {
+  assert(out.size() == num_classes());
+  const double h_norm = util::norm2(h);
+  for (std::size_t c = 0; c < num_classes(); ++c) {
+    const double denom = h_norm * norms_[c];
+    out[c] = denom > 0.0 ? util::dot(h, class_vectors_.row(c)) / denom : 0.0;
+  }
+}
+
+int ClassModel::predict(std::span<const float> h) const {
+  std::vector<double> sims(num_classes());
+  similarities(h, sims);
+  int best = 0;
+  for (std::size_t c = 1; c < sims.size(); ++c) {
+    if (sims[c] > sims[best]) best = static_cast<int>(c);
+  }
+  return best;
+}
+
+Top2 ClassModel::top2(std::span<const float> h) const {
+  if (num_classes() < 2) {
+    throw std::logic_error("ClassModel::top2: needs at least two classes");
+  }
+  std::vector<double> sims(num_classes());
+  similarities(h, sims);
+  Top2 result;
+  for (std::size_t c = 0; c < sims.size(); ++c) {
+    if (result.first < 0 || sims[c] > result.first_score) {
+      result.second = result.first;
+      result.second_score = result.first_score;
+      result.first = static_cast<int>(c);
+      result.first_score = sims[c];
+    } else if (result.second < 0 || sims[c] > result.second_score) {
+      result.second = static_cast<int>(c);
+      result.second_score = sims[c];
+    }
+  }
+  return result;
+}
+
+void ClassModel::scores_batch(const util::Matrix& encoded,
+                              util::Matrix& scores) const {
+  if (encoded.cols() != dimensionality()) {
+    throw std::invalid_argument("ClassModel::scores_batch: dim mismatch");
+  }
+  // Normalize class vectors once; cosine(h, C) = (h/|h|) . (C/|C|).
+  util::Matrix normalized = class_vectors_;
+  util::normalize_rows(normalized);
+  util::matmul_nt(encoded, normalized, scores);
+  util::parallel_for(encoded.rows(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      const double h_norm = util::norm2(encoded.row(r));
+      if (h_norm > 0.0) {
+        util::scale(scores.row(r), static_cast<float>(1.0 / h_norm));
+      }
+    }
+  });
+}
+
+std::vector<int> ClassModel::predict_batch(const util::Matrix& encoded) const {
+  util::Matrix scores;
+  scores_batch(encoded, scores);
+  std::vector<int> predictions(encoded.rows());
+  util::parallel_for(encoded.rows(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      const auto row = scores.row(r);
+      int best = 0;
+      for (std::size_t c = 1; c < row.size(); ++c) {
+        if (row[c] > row[best]) best = static_cast<int>(c);
+      }
+      predictions[r] = best;
+    }
+  });
+  return predictions;
+}
+
+void ClassModel::zero_dimensions(std::span<const std::size_t> dims) {
+  for (const std::size_t d : dims) {
+    if (d >= dimensionality()) {
+      throw std::out_of_range("ClassModel::zero_dimensions");
+    }
+    for (std::size_t c = 0; c < num_classes(); ++c) {
+      class_vectors_(c, d) = 0.0f;
+    }
+  }
+  refresh_norms();
+}
+
+void ClassModel::save(std::ostream& out) const {
+  util::BinaryWriter writer(out);
+  writer.write_magic("HDCM");
+  writer.write_matrix(class_vectors_);
+}
+
+ClassModel ClassModel::load(std::istream& in) {
+  util::BinaryReader reader(in);
+  reader.expect_magic("HDCM");
+  util::Matrix vectors = reader.read_matrix();
+  ClassModel model(vectors.rows(), vectors.cols());
+  model.class_vectors_ = std::move(vectors);
+  model.refresh_norms();
+  return model;
+}
+
+}  // namespace disthd::hd

@@ -1,0 +1,77 @@
+// Class-hypervector model: one hypervector per class plus cosine-similarity
+// queries (paper §III-A, blocks E/F/I of Fig. 3).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace disthd::hd {
+
+/// Result of a top-2 query.
+struct Top2 {
+  int first = -1;        // most similar class
+  int second = -1;       // runner-up
+  double first_score = 0.0;
+  double second_score = 0.0;
+};
+
+class ClassModel {
+public:
+  ClassModel(std::size_t num_classes, std::size_t dim);
+
+  std::size_t num_classes() const noexcept { return class_vectors_.rows(); }
+  std::size_t dimensionality() const noexcept { return class_vectors_.cols(); }
+
+  std::span<float> class_vector(std::size_t cls) {
+    return class_vectors_.row(cls);
+  }
+  std::span<const float> class_vector(std::size_t cls) const {
+    return class_vectors_.row(cls);
+  }
+  const util::Matrix& class_vectors() const noexcept { return class_vectors_; }
+  util::Matrix& mutable_class_vectors() noexcept { return class_vectors_; }
+
+  /// Cached L2 norm of a class vector; kept in sync by the update helpers.
+  double norm(std::size_t cls) const { return norms_.at(cls); }
+  /// Recomputes all cached norms (call after direct matrix edits).
+  void refresh_norms();
+
+  /// model[cls] += alpha * h, updating the cached norm.
+  void add_scaled(std::size_t cls, float alpha, std::span<const float> h);
+
+  /// Cosine similarities against every class; `out` has num_classes()
+  /// entries. Zero-norm classes score 0.
+  void similarities(std::span<const float> h, std::span<double> out) const;
+
+  /// Arg-max of similarities.
+  int predict(std::span<const float> h) const;
+
+  /// Top-2 classes by similarity (paper block I). Requires >= 2 classes.
+  Top2 top2(std::span<const float> h) const;
+
+  /// Batch scores: encoded (n x D) -> scores (n x k) of cosine similarity
+  /// (dot with L2-normalized class vectors; the query norm is a constant
+  /// per-row factor, kept so scores are true cosines).
+  void scores_batch(const util::Matrix& encoded, util::Matrix& scores) const;
+
+  /// Batch argmax predictions.
+  std::vector<int> predict_batch(const util::Matrix& encoded) const;
+
+  /// Zeros the given dimensions across all classes (used after dimension
+  /// regeneration: stale components are dropped and re-learned).
+  void zero_dimensions(std::span<const std::size_t> dims);
+
+  void save(std::ostream& out) const;
+  static ClassModel load(std::istream& in);
+
+private:
+  util::Matrix class_vectors_;  // k x D
+  std::vector<double> norms_;   // cached L2 norms
+};
+
+}  // namespace disthd::hd

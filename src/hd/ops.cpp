@@ -1,0 +1,67 @@
+#include "hd/ops.hpp"
+
+#include <cassert>
+
+namespace disthd::hd {
+
+double similarity(std::span<const float> a, std::span<const float> b) noexcept {
+  return util::cosine(a, b);
+}
+
+double hamming_agreement(std::span<const float> a,
+                         std::span<const float> b) noexcept {
+  assert(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  std::size_t agree = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    agree += ((a[i] >= 0.0f) == (b[i] >= 0.0f));
+  }
+  return static_cast<double>(agree) / static_cast<double>(a.size());
+}
+
+void bundle_into(std::span<float> out, std::span<const float> h) noexcept {
+  assert(out.size() == h.size());
+  for (std::size_t i = 0; i < h.size(); ++i) out[i] += h[i];
+}
+
+std::vector<float> bundle(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  std::vector<float> out(a.begin(), a.end());
+  bundle_into(out, b);
+  return out;
+}
+
+std::vector<float> bind(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  std::vector<float> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+std::vector<float> permute(std::span<const float> h, std::size_t amount) {
+  std::vector<float> out(h.size());
+  if (h.empty()) return out;
+  amount %= h.size();
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    out[(i + amount) % h.size()] = h[i];
+  }
+  return out;
+}
+
+std::vector<float> random_bipolar(std::size_t d, util::Rng& rng) {
+  std::vector<float> out(d);
+  for (auto& v : out) v = rng.bernoulli(0.5) ? 1.0f : -1.0f;
+  return out;
+}
+
+std::vector<float> random_gaussian(std::size_t d, util::Rng& rng) {
+  std::vector<float> out(d);
+  for (auto& v : out) v = static_cast<float>(rng.normal());
+  return out;
+}
+
+void sign_quantize(std::span<float> h) noexcept {
+  for (auto& v : h) v = v >= 0.0f ? 1.0f : -1.0f;
+}
+
+}  // namespace disthd::hd

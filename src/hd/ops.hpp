@@ -1,0 +1,50 @@
+// Hyperdimensional-computing primitive operations (paper §III-A).
+//
+// Hypervectors are plain float spans. The three classic operations are:
+//   similarity — cosine (real) or normalized Hamming agreement (bipolar);
+//   bundling   — elementwise addition, an associative memory operation;
+//   binding    — elementwise multiplication, reversible for bipolar inputs.
+// The property tests in tests/hd assert the paper's stated invariants
+// (near-orthogonality of random hypervectors, bundle membership, bind
+// reversibility) on top of these kernels.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace disthd::hd {
+
+/// Cosine similarity in [-1, 1]; 0 for zero-norm inputs.
+double similarity(std::span<const float> a, std::span<const float> b) noexcept;
+
+/// Fraction of positions with equal sign, in [0, 1]; 0.5 means orthogonal
+/// for bipolar hypervectors. Zeros count as positive sign.
+double hamming_agreement(std::span<const float> a,
+                         std::span<const float> b) noexcept;
+
+/// out += h (bundling accumulates into an existing memory hypervector).
+void bundle_into(std::span<float> out, std::span<const float> h) noexcept;
+
+/// Returns a + b.
+std::vector<float> bundle(std::span<const float> a, std::span<const float> b);
+
+/// Returns elementwise a * b (binding).
+std::vector<float> bind(std::span<const float> a, std::span<const float> b);
+
+/// Circular shift by `amount` positions (permutation op, used for encoding
+/// sequences; included for substrate completeness).
+std::vector<float> permute(std::span<const float> h, std::size_t amount);
+
+/// Random bipolar (+1/-1) hypervector of dimension d.
+std::vector<float> random_bipolar(std::size_t d, util::Rng& rng);
+
+/// Random Gaussian hypervector of dimension d.
+std::vector<float> random_gaussian(std::size_t d, util::Rng& rng);
+
+/// Elementwise sign quantization to +1/-1 in place (0 maps to +1).
+void sign_quantize(std::span<float> h) noexcept;
+
+}  // namespace disthd::hd

@@ -1,0 +1,74 @@
+#include "metrics/accuracy.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+namespace disthd::metrics {
+
+double accuracy(std::span<const int> predictions, std::span<const int> labels) {
+  assert(predictions.size() == labels.size());
+  if (predictions.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(predictions.size());
+}
+
+std::vector<std::size_t> topk_indices(std::span<const float> scores,
+                                      std::size_t k) {
+  k = std::min(k, scores.size());
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      if (scores[a] != scores[b]) return scores[a] > scores[b];
+                      return a < b;
+                    });
+  order.resize(k);
+  return order;
+}
+
+double topk_accuracy(std::span<const float> scores, std::size_t num_classes,
+                     std::span<const int> labels, std::size_t k) {
+  assert(num_classes > 0);
+  assert(scores.size() == labels.size() * num_classes);
+  if (labels.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const auto row = scores.subspan(i * num_classes, num_classes);
+    const auto top = topk_indices(row, k);
+    for (const std::size_t cls : top) {
+      if (static_cast<int>(cls) == labels[i]) {
+        ++correct;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+std::vector<double> per_class_accuracy(std::span<const int> predictions,
+                                       std::span<const int> labels,
+                                       std::size_t num_classes) {
+  assert(predictions.size() == labels.size());
+  std::vector<std::size_t> total(num_classes, 0);
+  std::vector<std::size_t> hit(num_classes, 0);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const int label = labels[i];
+    if (label < 0 || static_cast<std::size_t>(label) >= num_classes) continue;
+    ++total[label];
+    if (predictions[i] == label) ++hit[label];
+  }
+  std::vector<double> out(num_classes);
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    out[c] = total[c] == 0 ? std::numeric_limits<double>::quiet_NaN()
+                           : static_cast<double>(hit[c]) /
+                                 static_cast<double>(total[c]);
+  }
+  return out;
+}
+
+}  // namespace disthd::metrics

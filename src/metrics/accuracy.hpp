@@ -1,0 +1,29 @@
+// Classification accuracy metrics, including the top-k accuracy the paper's
+// motivation study (Fig. 2b) and top-2 training signal are built on.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace disthd::metrics {
+
+/// Fraction of predictions equal to labels. Returns 0 on empty input.
+double accuracy(std::span<const int> predictions, std::span<const int> labels);
+
+/// Top-k accuracy from a score matrix given row-major scores (num_samples x
+/// num_classes): a sample counts as correct when its label is among the k
+/// highest-scoring classes. Ties broken by lower class index first.
+double topk_accuracy(std::span<const float> scores, std::size_t num_classes,
+                     std::span<const int> labels, std::size_t k);
+
+/// Indices of the k largest entries of `scores`, highest first.
+std::vector<std::size_t> topk_indices(std::span<const float> scores,
+                                      std::size_t k);
+
+/// Per-class recall; classes absent from `labels` report NaN.
+std::vector<double> per_class_accuracy(std::span<const int> predictions,
+                                       std::span<const int> labels,
+                                       std::size_t num_classes);
+
+}  // namespace disthd::metrics

@@ -1,0 +1,131 @@
+#include "metrics/confusion.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace disthd::metrics {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : num_classes_(num_classes), counts_(num_classes * num_classes, 0) {
+  if (num_classes == 0) {
+    throw std::invalid_argument("ConfusionMatrix: num_classes must be > 0");
+  }
+}
+
+ConfusionMatrix ConfusionMatrix::from_predictions(
+    std::span<const int> predictions, std::span<const int> labels,
+    std::size_t num_classes) {
+  assert(predictions.size() == labels.size());
+  ConfusionMatrix cm(num_classes);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    cm.add(predictions[i], labels[i]);
+  }
+  return cm;
+}
+
+void ConfusionMatrix::add(int predicted, int actual) {
+  if (predicted < 0 || actual < 0 ||
+      static_cast<std::size_t>(predicted) >= num_classes_ ||
+      static_cast<std::size_t>(actual) >= num_classes_) {
+    throw std::out_of_range("ConfusionMatrix::add: class index out of range");
+  }
+  ++counts_[static_cast<std::size_t>(actual) * num_classes_ +
+            static_cast<std::size_t>(predicted)];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::count(std::size_t actual,
+                                   std::size_t predicted) const {
+  return counts_.at(actual * num_classes_ + predicted);
+}
+
+std::size_t ConfusionMatrix::true_positives(std::size_t c) const {
+  return count(c, c);
+}
+
+std::size_t ConfusionMatrix::false_positives(std::size_t c) const {
+  std::size_t fp = 0;
+  for (std::size_t actual = 0; actual < num_classes_; ++actual) {
+    if (actual != c) fp += count(actual, c);
+  }
+  return fp;
+}
+
+std::size_t ConfusionMatrix::false_negatives(std::size_t c) const {
+  std::size_t fn = 0;
+  for (std::size_t predicted = 0; predicted < num_classes_; ++predicted) {
+    if (predicted != c) fn += count(c, predicted);
+  }
+  return fn;
+}
+
+std::size_t ConfusionMatrix::true_negatives(std::size_t c) const {
+  return total_ - true_positives(c) - false_positives(c) - false_negatives(c);
+}
+
+namespace {
+double ratio(std::size_t numerator, std::size_t denominator) {
+  if (denominator == 0) return std::numeric_limits<double>::quiet_NaN();
+  return static_cast<double>(numerator) / static_cast<double>(denominator);
+}
+}  // namespace
+
+double ConfusionMatrix::sensitivity(std::size_t c) const {
+  return ratio(true_positives(c), true_positives(c) + false_negatives(c));
+}
+
+double ConfusionMatrix::specificity(std::size_t c) const {
+  return ratio(true_negatives(c), true_negatives(c) + false_positives(c));
+}
+
+double ConfusionMatrix::precision(std::size_t c) const {
+  return ratio(true_positives(c), true_positives(c) + false_positives(c));
+}
+
+double ConfusionMatrix::f1(std::size_t c) const {
+  const double p = precision(c);
+  const double r = sensitivity(c);
+  if (std::isnan(p) || std::isnan(r) || p + r == 0.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::macro_sensitivity() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    const double s = sensitivity(c);
+    if (!std::isnan(s)) {
+      sum += s;
+      ++n;
+    }
+  }
+  return n == 0 ? std::numeric_limits<double>::quiet_NaN()
+                : sum / static_cast<double>(n);
+}
+
+double ConfusionMatrix::macro_specificity() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t c = 0; c < num_classes_; ++c) {
+    const double s = specificity(c);
+    if (!std::isnan(s)) {
+      sum += s;
+      ++n;
+    }
+  }
+  return n == 0 ? std::numeric_limits<double>::quiet_NaN()
+                : sum / static_cast<double>(n);
+}
+
+double ConfusionMatrix::overall_accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t c = 0; c < num_classes_; ++c) correct += count(c, c);
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+}  // namespace disthd::metrics

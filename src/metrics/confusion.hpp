@@ -1,0 +1,52 @@
+// Confusion matrix and the sensitivity/specificity statistics used in the
+// paper's weight-parameter study (§III-C, Fig. 6).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace disthd::metrics {
+
+class ConfusionMatrix {
+public:
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  /// Builds directly from prediction/label pairs.
+  static ConfusionMatrix from_predictions(std::span<const int> predictions,
+                                          std::span<const int> labels,
+                                          std::size_t num_classes);
+
+  void add(int predicted, int actual);
+
+  std::size_t num_classes() const noexcept { return num_classes_; }
+  /// counts(actual, predicted).
+  std::size_t count(std::size_t actual, std::size_t predicted) const;
+  std::size_t total() const noexcept { return total_; }
+
+  /// One-vs-rest tallies for class c.
+  std::size_t true_positives(std::size_t c) const;
+  std::size_t false_positives(std::size_t c) const;
+  std::size_t false_negatives(std::size_t c) const;
+  std::size_t true_negatives(std::size_t c) const;
+
+  /// sensitivity = TP / (TP + FN) = 1 - FNR (paper §III-C).
+  double sensitivity(std::size_t c) const;
+  /// specificity = TN / (TN + FP) = 1 - FPR (paper §III-C).
+  double specificity(std::size_t c) const;
+  double precision(std::size_t c) const;
+  double f1(std::size_t c) const;
+
+  /// Unweighted mean over classes with at least one actual sample.
+  double macro_sensitivity() const;
+  double macro_specificity() const;
+
+  double overall_accuracy() const;
+
+private:
+  std::size_t num_classes_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> counts_;  // row-major: actual x predicted
+};
+
+}  // namespace disthd::metrics

@@ -1,0 +1,33 @@
+// Aligned-console-table printer used by every bench binary so the
+// reproduced tables/figures read like the paper's.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace disthd::metrics {
+
+class Table {
+public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision ("-" for NaN).
+  static std::string fmt(double value, int precision = 2);
+  /// Formats a ratio like "8.0x".
+  static std::string fmt_ratio(double value, int precision = 2);
+  /// Formats a fraction as a percentage like "93.1%".
+  static std::string fmt_percent(double fraction, int precision = 1);
+
+  /// Renders with column alignment and a header rule.
+  void print(std::ostream& out) const;
+
+private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace disthd::metrics

@@ -1,0 +1,95 @@
+#include "metrics/roc.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace disthd::metrics {
+
+RocCurve binary_roc(std::span<const double> scores,
+                    std::span<const int> labels) {
+  assert(scores.size() == labels.size());
+  const std::size_t n = scores.size();
+  std::size_t positives = 0;
+  for (const int label : labels) positives += (label != 0);
+  const std::size_t negatives = n - positives;
+  if (positives == 0 || negatives == 0) {
+    throw std::invalid_argument("binary_roc: need both classes present");
+  }
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+
+  RocCurve curve;
+  curve.points.push_back({0.0, 0.0, scores[order.front()] + 1.0});
+  std::size_t tp = 0, fp = 0;
+  double auc = 0.0;
+  double prev_fpr = 0.0, prev_tpr = 0.0;
+  std::size_t i = 0;
+  while (i < n) {
+    // Sweep the threshold down; samples with equal scores flip together so
+    // ties do not create artificial staircase optimism.
+    const double threshold = scores[order[i]];
+    while (i < n && scores[order[i]] == threshold) {
+      if (labels[order[i]] != 0) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+      ++i;
+    }
+    const double tpr = static_cast<double>(tp) / static_cast<double>(positives);
+    const double fpr = static_cast<double>(fp) / static_cast<double>(negatives);
+    auc += (fpr - prev_fpr) * (tpr + prev_tpr) / 2.0;  // trapezoid
+    curve.points.push_back({fpr, tpr, threshold});
+    prev_fpr = fpr;
+    prev_tpr = tpr;
+  }
+  curve.auc = auc;
+  return curve;
+}
+
+RocCurve one_vs_rest_roc(std::span<const float> scores,
+                         std::size_t num_classes,
+                         std::span<const int> labels, int positive_class) {
+  assert(scores.size() == labels.size() * num_classes);
+  std::vector<double> binary_scores(labels.size());
+  std::vector<int> binary_labels(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    binary_scores[i] =
+        scores[i * num_classes + static_cast<std::size_t>(positive_class)];
+    binary_labels[i] = labels[i] == positive_class ? 1 : 0;
+  }
+  return binary_roc(binary_scores, binary_labels);
+}
+
+RocCurve micro_average_roc(std::span<const float> scores,
+                           std::size_t num_classes,
+                           std::span<const int> labels) {
+  assert(scores.size() == labels.size() * num_classes);
+  std::vector<double> pooled_scores;
+  std::vector<int> pooled_labels;
+  pooled_scores.reserve(scores.size());
+  pooled_labels.reserve(scores.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    // Center each sample's scores before pooling: absolute cosine levels
+    // differ per sample (query-norm effects), and pooling uncentered rows
+    // would compare scores that are not on a common scale.
+    double row_mean = 0.0;
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      row_mean += scores[i * num_classes + c];
+    }
+    row_mean /= static_cast<double>(num_classes);
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      pooled_scores.push_back(scores[i * num_classes + c] - row_mean);
+      pooled_labels.push_back(labels[i] == static_cast<int>(c) ? 1 : 0);
+    }
+  }
+  return binary_roc(pooled_scores, pooled_labels);
+}
+
+}  // namespace disthd::metrics

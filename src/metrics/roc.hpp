@@ -1,0 +1,42 @@
+// ROC curves and AUC for the sensitivity/specificity trade-off study
+// (paper Fig. 6). Multi-class models are evaluated one-vs-rest on the
+// margin score of the positive class, micro- or per-class averaged.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace disthd::metrics {
+
+struct RocPoint {
+  double fpr = 0.0;  // 1 - specificity
+  double tpr = 0.0;  // sensitivity
+  double threshold = 0.0;
+};
+
+struct RocCurve {
+  std::vector<RocPoint> points;  // ordered by increasing FPR
+  double auc = 0.0;
+};
+
+/// Binary ROC from per-sample scores (higher = more positive) and 0/1
+/// labels. The curve always contains the (0,0) and (1,1) endpoints.
+/// Throws std::invalid_argument when either class is absent.
+RocCurve binary_roc(std::span<const double> scores,
+                    std::span<const int> labels);
+
+/// One-vs-rest ROC for class `positive_class` from a row-major score matrix
+/// (num_samples x num_classes).
+RocCurve one_vs_rest_roc(std::span<const float> scores,
+                         std::size_t num_classes,
+                         std::span<const int> labels, int positive_class);
+
+/// Micro-averaged multi-class ROC: pools all (sample, class) pairs, scoring
+/// each pair with the class score and labeling it 1 when the class is the
+/// true label.
+RocCurve micro_average_roc(std::span<const float> scores,
+                           std::size_t num_classes,
+                           std::span<const int> labels);
+
+}  // namespace disthd::metrics

@@ -1,0 +1,262 @@
+#include "nn/mlp.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "metrics/accuracy.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace disthd::nn {
+
+void MlpConfig::validate() const {
+  if (epochs == 0) throw std::invalid_argument("MlpConfig: epochs == 0");
+  if (batch_size == 0) throw std::invalid_argument("MlpConfig: batch_size == 0");
+  if (learning_rate <= 0.0) {
+    throw std::invalid_argument("MlpConfig: learning_rate <= 0");
+  }
+  if (momentum < 0.0 || momentum >= 1.0) {
+    throw std::invalid_argument("MlpConfig: momentum out of [0, 1)");
+  }
+  if (weight_decay < 0.0) {
+    throw std::invalid_argument("MlpConfig: weight_decay < 0");
+  }
+  for (const std::size_t h : hidden_sizes) {
+    if (h == 0) throw std::invalid_argument("MlpConfig: zero hidden size");
+  }
+}
+
+Mlp::Mlp(std::size_t num_features, std::size_t num_classes, MlpConfig config)
+    : num_features_(num_features),
+      num_classes_(num_classes),
+      config_(std::move(config)) {
+  if (num_features == 0 || num_classes < 2) {
+    throw std::invalid_argument("Mlp: bad feature/class counts");
+  }
+  config_.validate();
+
+  std::vector<std::size_t> sizes;
+  sizes.push_back(num_features_);
+  for (const std::size_t h : config_.hidden_sizes) sizes.push_back(h);
+  sizes.push_back(num_classes_);
+
+  util::Rng rng(config_.seed);
+  for (std::size_t l = 0; l + 1 < sizes.size(); ++l) {
+    const std::size_t fan_in = sizes[l];
+    const std::size_t fan_out = sizes[l + 1];
+    util::Matrix w(fan_out, fan_in);
+    // He initialization suits the ReLU hidden stack.
+    w.fill_normal(rng, 0.0, std::sqrt(2.0 / static_cast<double>(fan_in)));
+    weights_.push_back(std::move(w));
+    biases_.emplace_back(fan_out, 0.0f);
+    velocity_w_.emplace_back(fan_out, fan_in, 0.0f);
+    velocity_b_.emplace_back(fan_out, 0.0f);
+  }
+}
+
+std::size_t Mlp::parameter_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& w : weights_) count += w.size();
+  return count;
+}
+
+void Mlp::forward(const util::Matrix& input,
+                  std::vector<util::Matrix>& activations) const {
+  activations.resize(weights_.size() + 1);
+  activations[0] = input;
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    util::Matrix& out = activations[l + 1];
+    util::matmul_nt(activations[l], weights_[l], out);
+    const auto& bias = biases_[l];
+    const bool is_hidden = (l + 1 < weights_.size());
+    util::parallel_for(out.rows(), [&](std::size_t begin, std::size_t end) {
+      for (std::size_t r = begin; r < end; ++r) {
+        auto row = out.row(r);
+        for (std::size_t c = 0; c < row.size(); ++c) {
+          row[c] += bias[c];
+          if (is_hidden && row[c] < 0.0f) row[c] = 0.0f;  // ReLU
+        }
+      }
+    });
+  }
+}
+
+namespace {
+
+/// Softmax in place over each row; numerically stabilized.
+void softmax_rows(util::Matrix& logits) {
+  util::parallel_for(logits.rows(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      auto row = logits.row(r);
+      float max_logit = -std::numeric_limits<float>::infinity();
+      for (const float v : row) max_logit = std::max(max_logit, v);
+      double sum = 0.0;
+      for (auto& v : row) {
+        v = std::exp(v - max_logit);
+        sum += v;
+      }
+      const auto inv = static_cast<float>(1.0 / sum);
+      for (auto& v : row) v *= inv;
+    }
+  });
+}
+
+}  // namespace
+
+MlpFitResult Mlp::fit(const data::Dataset& train, const data::Dataset* eval) {
+  train.validate();
+  if (train.num_features() != num_features_ ||
+      train.num_classes != num_classes_) {
+    throw std::invalid_argument("Mlp::fit: dataset shape mismatch");
+  }
+  MlpFitResult result;
+  util::Rng rng(config_.seed ^ 0x5a5a5a5aULL);
+  double train_seconds = 0.0;
+  util::WallTimer timer;
+
+  std::vector<util::Matrix> activations;
+  util::Matrix grad_w;
+  util::Matrix delta;      // gradient wrt layer output
+  util::Matrix delta_prev; // propagated gradient
+
+  for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    timer.reset();
+    const auto order = rng.permutation(train.size());
+    double loss_sum = 0.0;
+    std::size_t correct = 0;
+
+    for (std::size_t start = 0; start < order.size();
+         start += config_.batch_size) {
+      const std::size_t batch =
+          std::min(config_.batch_size, order.size() - start);
+      const std::span<const std::size_t> batch_idx(order.data() + start, batch);
+      const util::Matrix input = train.features.gather_rows(batch_idx);
+
+      forward(input, activations);
+      util::Matrix& probs = activations.back();
+      softmax_rows(probs);
+
+      // delta = (probs - onehot) / batch; track loss/accuracy on the fly.
+      delta = probs;
+      for (std::size_t r = 0; r < batch; ++r) {
+        const auto label =
+            static_cast<std::size_t>(train.labels[batch_idx[r]]);
+        auto row = delta.row(r);
+        const float p = std::max(probs(r, label), 1e-12f);
+        loss_sum -= std::log(p);
+        std::size_t argmax = 0;
+        const auto prow = probs.row(r);
+        for (std::size_t c = 1; c < prow.size(); ++c) {
+          if (prow[c] > prow[argmax]) argmax = c;
+        }
+        if (argmax == label) ++correct;
+        row[label] -= 1.0f;
+        util::scale(row, 1.0f / static_cast<float>(batch));
+      }
+
+      // Backward through the stack.
+      for (std::size_t l = weights_.size(); l-- > 0;) {
+        util::matmul_tn(delta, activations[l], grad_w);  // out x in
+        // Bias gradient: column sums of delta.
+        std::vector<double> grad_b;
+        util::col_sums(delta, grad_b);
+
+        if (l > 0) {
+          util::matmul_nn(delta, weights_[l], delta_prev);  // batch x in_l
+          // ReLU mask from the post-activation values.
+          const util::Matrix& act = activations[l];
+          util::parallel_for(
+              delta_prev.rows(), [&](std::size_t begin, std::size_t end) {
+                for (std::size_t r = begin; r < end; ++r) {
+                  auto drow = delta_prev.row(r);
+                  const auto arow = act.row(r);
+                  for (std::size_t c = 0; c < drow.size(); ++c) {
+                    if (arow[c] <= 0.0f) drow[c] = 0.0f;
+                  }
+                }
+              });
+        }
+
+        // SGD with momentum + weight decay.
+        const auto lr = static_cast<float>(config_.learning_rate);
+        const auto mu = static_cast<float>(config_.momentum);
+        const auto wd = static_cast<float>(config_.weight_decay);
+        util::Matrix& w = weights_[l];
+        util::Matrix& vw = velocity_w_[l];
+        util::parallel_for(w.rows(), [&](std::size_t begin, std::size_t end) {
+          for (std::size_t r = begin; r < end; ++r) {
+            auto wrow = w.row(r);
+            auto vrow = vw.row(r);
+            const auto grow = grad_w.row(r);
+            for (std::size_t c = 0; c < wrow.size(); ++c) {
+              vrow[c] = mu * vrow[c] - lr * (grow[c] + wd * wrow[c]);
+              wrow[c] += vrow[c];
+            }
+          }
+        });
+        auto& b = biases_[l];
+        auto& vb = velocity_b_[l];
+        for (std::size_t c = 0; c < b.size(); ++c) {
+          vb[c] = mu * vb[c] - lr * static_cast<float>(grad_b[c]);
+          b[c] += vb[c];
+        }
+
+        if (l > 0) delta = std::move(delta_prev);
+      }
+    }
+    train_seconds += timer.seconds();
+
+    MlpEpochTrace trace;
+    trace.epoch = epoch;
+    trace.train_loss = loss_sum / static_cast<double>(train.size());
+    trace.train_accuracy =
+        static_cast<double>(correct) / static_cast<double>(train.size());
+    trace.cumulative_train_seconds = train_seconds;
+    trace.test_accuracy = std::numeric_limits<double>::quiet_NaN();
+    if (eval != nullptr) trace.test_accuracy = evaluate_accuracy(*eval);
+    result.trace.push_back(trace);
+  }
+
+  result.train_seconds = train_seconds;
+  result.final_test_accuracy = result.trace.empty()
+                                   ? std::numeric_limits<double>::quiet_NaN()
+                                   : result.trace.back().test_accuracy;
+  return result;
+}
+
+void Mlp::scores_batch(const util::Matrix& features,
+                       util::Matrix& probs) const {
+  if (features.cols() != num_features_) {
+    throw std::invalid_argument("Mlp::scores_batch: feature mismatch");
+  }
+  std::vector<util::Matrix> activations;
+  forward(features, activations);
+  probs = std::move(activations.back());
+  softmax_rows(probs);
+}
+
+std::vector<int> Mlp::predict_batch(const util::Matrix& features) const {
+  util::Matrix probs;
+  scores_batch(features, probs);
+  std::vector<int> predictions(probs.rows());
+  for (std::size_t r = 0; r < probs.rows(); ++r) {
+    const auto row = probs.row(r);
+    std::size_t argmax = 0;
+    for (std::size_t c = 1; c < row.size(); ++c) {
+      if (row[c] > row[argmax]) argmax = c;
+    }
+    predictions[r] = static_cast<int>(argmax);
+  }
+  return predictions;
+}
+
+double Mlp::evaluate_accuracy(const data::Dataset& dataset) const {
+  const auto predictions = predict_batch(dataset.features);
+  return metrics::accuracy(predictions, dataset.labels);
+}
+
+}  // namespace disthd::nn

@@ -1,0 +1,91 @@
+// Multilayer perceptron — the paper's "SOTA DNN" baseline (TensorFlow MLP
+// in the original; reimplemented from scratch here, see DESIGN.md §3).
+//
+// Architecture: fully connected, ReLU hidden activations, softmax +
+// cross-entropy output, He initialization, minibatch SGD with classical
+// momentum and optional L2 weight decay. The weight matrices are exposed so
+// the robustness study (Fig. 8) can quantize and corrupt them in place.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "util/matrix.hpp"
+
+namespace disthd::nn {
+
+struct MlpConfig {
+  std::vector<std::size_t> hidden_sizes = {128};
+  std::size_t epochs = 20;
+  std::size_t batch_size = 64;
+  double learning_rate = 0.05;
+  double momentum = 0.9;
+  double weight_decay = 1e-5;
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+struct MlpEpochTrace {
+  std::size_t epoch = 0;
+  double train_loss = 0.0;      // mean cross-entropy over the epoch
+  double train_accuracy = 0.0;  // minibatch-forward accuracy over the epoch
+  double test_accuracy = 0.0;   // NaN when no eval set
+  double cumulative_train_seconds = 0.0;
+};
+
+struct MlpFitResult {
+  std::vector<MlpEpochTrace> trace;
+  double train_seconds = 0.0;
+  double final_test_accuracy = 0.0;  // NaN when no eval set
+};
+
+class Mlp {
+public:
+  /// Builds the layer stack input -> hidden_sizes... -> num_classes.
+  Mlp(std::size_t num_features, std::size_t num_classes, MlpConfig config);
+
+  std::size_t num_features() const noexcept { return num_features_; }
+  std::size_t num_classes() const noexcept { return num_classes_; }
+  std::size_t num_layers() const noexcept { return weights_.size(); }
+  const MlpConfig& config() const noexcept { return config_; }
+
+  /// Layer weights (out x in) and biases; mutable access is what the
+  /// hardware-noise harness corrupts.
+  std::vector<util::Matrix>& weights() noexcept { return weights_; }
+  const std::vector<util::Matrix>& weights() const noexcept { return weights_; }
+  std::vector<std::vector<float>>& biases() noexcept { return biases_; }
+  const std::vector<std::vector<float>>& biases() const noexcept {
+    return biases_;
+  }
+
+  MlpFitResult fit(const data::Dataset& train,
+                   const data::Dataset* eval = nullptr);
+
+  /// Softmax probabilities, one row per input row.
+  void scores_batch(const util::Matrix& features, util::Matrix& probs) const;
+  std::vector<int> predict_batch(const util::Matrix& features) const;
+  double evaluate_accuracy(const data::Dataset& dataset) const;
+
+  /// Total number of weight parameters (excluding biases).
+  std::size_t parameter_count() const noexcept;
+
+private:
+  /// Forward pass for a batch; fills per-layer post-activation outputs.
+  /// activations[0] is the input batch; activations[L] holds logits
+  /// (softmax applied separately).
+  void forward(const util::Matrix& input,
+               std::vector<util::Matrix>& activations) const;
+
+  std::size_t num_features_;
+  std::size_t num_classes_;
+  MlpConfig config_;
+  std::vector<util::Matrix> weights_;            // layer l: out_l x in_l
+  std::vector<std::vector<float>> biases_;       // layer l: out_l
+  std::vector<util::Matrix> velocity_w_;         // momentum buffers
+  std::vector<std::vector<float>> velocity_b_;
+};
+
+}  // namespace disthd::nn

@@ -1,0 +1,55 @@
+#include "noise/bitflip.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace disthd::noise {
+
+std::size_t flip_random_bits(std::span<std::uint8_t> storage,
+                             std::size_t num_bits, std::size_t count,
+                             util::Rng& rng) {
+  if (num_bits > storage.size() * 8) {
+    throw std::invalid_argument("flip_random_bits: num_bits exceeds storage");
+  }
+  count = std::min(count, num_bits);
+  if (count == 0) return 0;
+
+  // Sample distinct positions. For small counts relative to num_bits a
+  // rejection set is cheap; for dense counts fall back to a partial
+  // Fisher-Yates over an explicit index array.
+  if (count * 4 <= num_bits) {
+    std::unordered_set<std::size_t> chosen;
+    chosen.reserve(count * 2);
+    while (chosen.size() < count) {
+      chosen.insert(static_cast<std::size_t>(rng.uniform_index(num_bits)));
+    }
+    for (const std::size_t bit : chosen) {
+      storage[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+  } else {
+    std::vector<std::size_t> positions(num_bits);
+    for (std::size_t i = 0; i < num_bits; ++i) positions[i] = i;
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto j =
+          i + static_cast<std::size_t>(rng.uniform_index(num_bits - i));
+      std::swap(positions[i], positions[j]);
+      const std::size_t bit = positions[i];
+      storage[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    }
+  }
+  return count;
+}
+
+std::size_t inject_bit_errors(QuantizedMatrix& quantized, double rate,
+                              util::Rng& rng) {
+  if (rate < 0.0 || rate > 1.0) {
+    throw std::invalid_argument("inject_bit_errors: rate out of [0, 1]");
+  }
+  const std::size_t bits = quantized.num_bits();
+  const auto count = static_cast<std::size_t>(
+      std::llround(rate * static_cast<double>(bits)));
+  return flip_random_bits(quantized.storage, bits, count, rng);
+}
+
+}  // namespace disthd::noise

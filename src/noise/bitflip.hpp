@@ -1,0 +1,29 @@
+// Random bit-flip fault injection on quantized model memory.
+//
+// The fault model follows the paper's Fig. 8: "the error rate refers to the
+// percentage of random bit flips on memory storing DNN and DistHD models".
+// Flips are sampled by count (binomially exact: rate * bits rounded to the
+// nearest integer, positions without replacement), which keeps trials
+// comparable across precisions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "noise/quantize.hpp"
+#include "util/rng.hpp"
+
+namespace disthd::noise {
+
+/// Flips `count` distinct bits chosen uniformly among the first
+/// `num_bits` bits of storage. Returns the number flipped.
+std::size_t flip_random_bits(std::span<std::uint8_t> storage,
+                             std::size_t num_bits, std::size_t count,
+                             util::Rng& rng);
+
+/// Flips a fraction `rate` of the model bits of `quantized` (only bits that
+/// belong to real values; padding in the final byte is never touched).
+std::size_t inject_bit_errors(QuantizedMatrix& quantized, double rate,
+                              util::Rng& rng);
+
+}  // namespace disthd::noise

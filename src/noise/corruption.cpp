@@ -1,0 +1,77 @@
+#include "noise/corruption.hpp"
+
+#include <stdexcept>
+
+#include "metrics/accuracy.hpp"
+#include "noise/bitflip.hpp"
+
+namespace disthd::noise {
+
+CorruptionResult hdc_corruption_test(const hd::ClassModel& model,
+                                     const util::Matrix& encoded_test,
+                                     std::span<const int> labels,
+                                     const CorruptionConfig& config) {
+  if (config.trials == 0) {
+    throw std::invalid_argument("hdc_corruption_test: trials == 0");
+  }
+  util::Rng rng(config.seed);
+  const QuantizedMatrix reference =
+      quantize_matrix(model.class_vectors(), config.bits);
+
+  auto evaluate = [&](const QuantizedMatrix& quantized) {
+    hd::ClassModel probe(model.num_classes(), model.dimensionality());
+    probe.mutable_class_vectors() = dequantize_matrix(quantized);
+    probe.refresh_norms();
+    const auto predictions = probe.predict_batch(encoded_test);
+    return metrics::accuracy(predictions, labels);
+  };
+
+  CorruptionResult result;
+  result.clean_accuracy = evaluate(reference);
+  double sum = 0.0;
+  for (std::size_t trial = 0; trial < config.trials; ++trial) {
+    QuantizedMatrix corrupted = reference;
+    inject_bit_errors(corrupted, config.error_rate, rng);
+    sum += evaluate(corrupted);
+  }
+  result.corrupted_accuracy = sum / static_cast<double>(config.trials);
+  return result;
+}
+
+CorruptionResult mlp_corruption_test(const nn::Mlp& model,
+                                     const data::Dataset& test,
+                                     const CorruptionConfig& config) {
+  if (config.trials == 0) {
+    throw std::invalid_argument("mlp_corruption_test: trials == 0");
+  }
+  util::Rng rng(config.seed);
+
+  std::vector<QuantizedMatrix> reference;
+  reference.reserve(model.weights().size());
+  for (const auto& w : model.weights()) {
+    reference.push_back(quantize_matrix(w, config.bits));
+  }
+
+  auto evaluate = [&](const std::vector<QuantizedMatrix>& layers) {
+    nn::Mlp probe = model;  // copies weights/biases; weights then replaced
+    for (std::size_t l = 0; l < layers.size(); ++l) {
+      probe.weights()[l] = dequantize_matrix(layers[l]);
+    }
+    return probe.evaluate_accuracy(test);
+  };
+
+  CorruptionResult result;
+  result.clean_accuracy = evaluate(reference);
+  double sum = 0.0;
+  for (std::size_t trial = 0; trial < config.trials; ++trial) {
+    std::vector<QuantizedMatrix> corrupted = reference;
+    for (auto& layer : corrupted) {
+      inject_bit_errors(layer, config.error_rate, rng);
+    }
+    sum += evaluate(corrupted);
+  }
+  result.corrupted_accuracy = sum / static_cast<double>(config.trials);
+  return result;
+}
+
+}  // namespace disthd::noise

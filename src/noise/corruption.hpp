@@ -1,0 +1,47 @@
+// End-to-end corrupted-inference harness (paper Fig. 8): quantize a trained
+// model's memory, flip a fraction of its bits, dequantize, and measure the
+// accuracy drop ("quality loss") relative to the clean quantized model.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "data/dataset.hpp"
+#include "hd/model.hpp"
+#include "nn/mlp.hpp"
+#include "util/matrix.hpp"
+
+namespace disthd::noise {
+
+struct CorruptionConfig {
+  unsigned bits = 8;        // model storage precision
+  double error_rate = 0.0;  // fraction of model bits flipped
+  std::size_t trials = 5;   // independent corruption draws, accuracy averaged
+  std::uint64_t seed = 1;
+};
+
+struct CorruptionResult {
+  double clean_accuracy = 0.0;      // quantized but uncorrupted
+  double corrupted_accuracy = 0.0;  // mean over trials
+  /// Quality loss as reported in Fig. 8 (accuracy percentage points lost).
+  double quality_loss() const noexcept {
+    return clean_accuracy - corrupted_accuracy;
+  }
+};
+
+/// HDC robustness: class hypervectors are the stored model memory. The test
+/// set is pre-encoded once by the caller (encoder parameters are assumed to
+/// live in ROM; the paper's fault model targets the class-model memory).
+CorruptionResult hdc_corruption_test(const hd::ClassModel& model,
+                                     const util::Matrix& encoded_test,
+                                     std::span<const int> labels,
+                                     const CorruptionConfig& config);
+
+/// DNN robustness: every weight matrix is quantized to `config.bits`
+/// (8 in the paper), corrupted, dequantized and evaluated. Biases are a
+/// negligible fraction of the memory and stay clean.
+CorruptionResult mlp_corruption_test(const nn::Mlp& model,
+                                     const data::Dataset& test,
+                                     const CorruptionConfig& config);
+
+}  // namespace disthd::noise

@@ -1,0 +1,107 @@
+#include "noise/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace disthd::noise {
+
+namespace {
+
+void check_bits(unsigned bits) {
+  if (bits != 1 && bits != 2 && bits != 4 && bits != 8) {
+    throw std::invalid_argument("quantize: bits must be 1, 2, 4 or 8");
+  }
+}
+
+}  // namespace
+
+QuantizedMatrix quantize_matrix(const util::Matrix& values, unsigned bits) {
+  check_bits(bits);
+  QuantizedMatrix out;
+  out.rows = values.rows();
+  out.cols = values.cols();
+  out.bits = bits;
+
+  const std::size_t n = values.size();
+  if (bits == 1) {
+    // Sign quantization; scale = mean |v| preserves magnitudes on average.
+    double abs_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) abs_sum += std::fabs(values.data()[i]);
+    out.scale = n > 0 ? static_cast<float>(abs_sum / static_cast<double>(n))
+                      : 1.0f;
+    if (out.scale == 0.0f) out.scale = 1.0f;
+  } else {
+    // Clipped symmetric quantization. The clip is a bit-width-dependent
+    // multiple of the standard deviation (the classic uniform-quantizer
+    // loading factors) rather than the absolute max: model entries are
+    // heavy-tailed, and an outlier-stretched range both wastes codes and
+    // makes every MSB flip a many-sigma error.
+    double sum = 0.0, sq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += values.data()[i];
+      sq += static_cast<double>(values.data()[i]) * values.data()[i];
+    }
+    const double mean = n > 0 ? sum / static_cast<double>(n) : 0.0;
+    const double variance =
+        n > 0 ? std::max(0.0, sq / static_cast<double>(n) - mean * mean) : 0.0;
+    const double loading = bits == 2 ? 2.0 : bits == 4 ? 3.0 : 4.0;
+    const double clip = loading * std::sqrt(variance);
+    float max_abs = 0.0f;
+    for (std::size_t i = 0; i < n; ++i) {
+      max_abs = std::max(max_abs, std::fabs(values.data()[i]));
+    }
+    const double limit = clip > 0.0 ? std::min<double>(clip, max_abs) : max_abs;
+    const float q_max = static_cast<float>((1 << (bits - 1)) - 1);
+    out.scale = limit > 0.0 ? static_cast<float>(limit) / q_max : 1.0f;
+  }
+
+  const unsigned per_byte = 8 / bits;
+  out.storage.assign((n + per_byte - 1) / per_byte, 0);
+  const int offset = 1 << (bits - 1);
+  // Symmetric code range: the most negative code (-2^{bits-1}) is unused by
+  // the quantizer (decoded normally if a bit flip produces it) so positive
+  // and negative values get equal resolution.
+  const int q_lo = -(offset - 1);
+  const int q_hi = offset - 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    int q;
+    if (bits == 1) {
+      q = values.data()[i] >= 0.0f ? 0 : -1;  // codes {0,-1} -> offset {1,0}
+    } else {
+      q = static_cast<int>(std::lround(values.data()[i] / out.scale));
+      q = std::clamp(q, q_lo, q_hi);
+    }
+    const auto code = static_cast<unsigned>(q + offset);
+    const std::size_t byte = i / per_byte;
+    const unsigned shift = static_cast<unsigned>(i % per_byte) * bits;
+    out.storage[byte] |= static_cast<std::uint8_t>(code << shift);
+  }
+  return out;
+}
+
+unsigned read_code(const QuantizedMatrix& quantized, std::size_t index) {
+  const unsigned bits = quantized.bits;
+  const unsigned per_byte = 8 / bits;
+  const std::size_t byte = index / per_byte;
+  const unsigned shift = static_cast<unsigned>(index % per_byte) * bits;
+  const unsigned mask = (1u << bits) - 1u;
+  return (quantized.storage.at(byte) >> shift) & mask;
+}
+
+util::Matrix dequantize_matrix(const QuantizedMatrix& quantized) {
+  util::Matrix out(quantized.rows, quantized.cols);
+  const int offset = 1 << (quantized.bits - 1);
+  for (std::size_t i = 0; i < quantized.num_values(); ++i) {
+    const int q = static_cast<int>(read_code(quantized, i)) - offset;
+    if (quantized.bits == 1) {
+      // Codes {1, 0} decode to {+scale, -scale}.
+      out.data()[i] = (q == 0 ? 1.0f : -1.0f) * quantized.scale;
+    } else {
+      out.data()[i] = static_cast<float>(q) * quantized.scale;
+    }
+  }
+  return out;
+}
+
+}  // namespace disthd::noise

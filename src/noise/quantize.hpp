@@ -1,0 +1,43 @@
+// Fixed-point model memory (1/2/4/8-bit) for the hardware-robustness study
+// (paper Fig. 8).
+//
+// Values are quantized symmetrically: an integer code q in
+// [-2^(bits-1), 2^(bits-1)-1] stored offset-binary (u = q + 2^(bits-1)) and
+// packed into bytes. Offset-binary matters for the fault model: a flip of
+// the most significant stored bit crosses the code range's midpoint —
+// exactly the "MSB corruption causes major weight change" behaviour the
+// paper describes for DNNs. 1-bit storage keeps only the sign.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace disthd::noise {
+
+struct QuantizedMatrix {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  unsigned bits = 8;  // 1, 2, 4 or 8
+  float scale = 1.0f;
+  std::vector<std::uint8_t> storage;  // packed offset-binary codes
+
+  std::size_t num_values() const noexcept { return rows * cols; }
+  /// Total model-memory bits (the surface exposed to bit flips).
+  std::size_t num_bits() const noexcept { return num_values() * bits; }
+};
+
+/// Quantizes to `bits` of precision. The scale is chosen from the maximum
+/// absolute value (1-bit uses the mean absolute value, the usual choice for
+/// bipolar HDC models). Throws std::invalid_argument for unsupported bits.
+QuantizedMatrix quantize_matrix(const util::Matrix& values, unsigned bits);
+
+/// Reconstructs the float matrix (q * scale).
+util::Matrix dequantize_matrix(const QuantizedMatrix& quantized);
+
+/// Reads one code (offset-binary, not yet de-offset) for tests.
+unsigned read_code(const QuantizedMatrix& quantized, std::size_t index);
+
+}  // namespace disthd::noise

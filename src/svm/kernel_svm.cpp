@@ -1,0 +1,203 @@
+#include "svm/kernel_svm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "metrics/accuracy.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace disthd::svm {
+
+void KernelSvmConfig::validate() const {
+  if (lambda <= 0.0) throw std::invalid_argument("KernelSvmConfig: lambda <= 0");
+  if (gamma < 0.0) throw std::invalid_argument("KernelSvmConfig: gamma < 0");
+}
+
+KernelSvm::KernelSvm(KernelSvmConfig config) : config_(config) {
+  config_.validate();
+}
+
+double KernelSvm::fit(const data::Dataset& train) {
+  train.validate();
+  util::WallTimer timer;
+  util::Rng rng(config_.seed);
+
+  data::Dataset working = train;
+  if (config_.max_train_samples > 0 &&
+      working.size() > config_.max_train_samples) {
+    working =
+        data::stratified_subsample(working, config_.max_train_samples, rng);
+  }
+  const std::size_t n = working.size();
+  support_ = working.features;
+  support_sq_norm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double norm = util::norm2(support_.row(i));
+    support_sq_norm_[i] = static_cast<float>(norm * norm);
+  }
+  if (config_.gamma > 0.0) {
+    gamma_ = config_.gamma;
+  } else {
+    // scikit-learn's gamma="scale": 1 / (n_features * Var[X]) with the
+    // variance pooled over all matrix entries.
+    double sum = 0.0, sq = 0.0;
+    const std::size_t total = support_.size();
+    for (std::size_t i = 0; i < total; ++i) {
+      sum += support_.data()[i];
+      sq += static_cast<double>(support_.data()[i]) * support_.data()[i];
+    }
+    const double mean = sum / static_cast<double>(total);
+    const double variance =
+        std::max(1e-12, sq / static_cast<double>(total) - mean * mean);
+    gamma_ = 1.0 / (static_cast<double>(working.num_features()) * variance);
+  }
+  const std::size_t iterations = config_.iterations_per_class > 0
+                                     ? config_.iterations_per_class
+                                     : 2 * n;
+
+  alphas_.assign(working.num_classes, std::vector<float>(n, 0.0f));
+
+  // Kernelized Pegasos (Shalev-Shwartz et al.): at step t with sampled i,
+  // f(x_i) = (1 / (lambda * t)) * sum_j alpha_j y_j k(x_j, x_i); add i to
+  // the support set when y_i f(x_i) < 1. The classes run in parallel.
+  util::parallel_for(
+      working.num_classes,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t cls = begin; cls < end; ++cls) {
+          util::Rng class_rng(config_.seed + 104729 * (cls + 1));
+          auto& alpha = alphas_[cls];
+          // Track indices with nonzero alpha to keep margin evaluation
+          // proportional to the active support set.
+          std::vector<std::size_t> active;
+          for (std::size_t t = 1; t <= iterations; ++t) {
+            const auto i = static_cast<std::size_t>(class_rng.uniform_index(n));
+            const auto xi = support_.row(i);
+            const float yi =
+                working.labels[i] == static_cast<int>(cls) ? 1.0f : -1.0f;
+            double f = 0.0;
+            for (const std::size_t j : active) {
+              const float yj =
+                  working.labels[j] == static_cast<int>(cls) ? 1.0f : -1.0f;
+              const double cross = util::dot(support_.row(j), xi);
+              const double dist_sq =
+                  support_sq_norm_[j] + support_sq_norm_[i] - 2.0 * cross;
+              f += alpha[j] * yj * std::exp(-gamma_ * dist_sq);
+            }
+            f /= config_.lambda * static_cast<double>(t);
+            if (yi * f < 1.0) {
+              if (alpha[i] == 0.0f) active.push_back(i);
+              alpha[i] += 1.0f;
+            }
+          }
+          // Fold the 1/(lambda*T) factor into the coefficients.
+          const auto scale_factor = static_cast<float>(
+              1.0 / (config_.lambda * static_cast<double>(iterations)));
+          for (auto& a : alpha) a *= scale_factor;
+        }
+      },
+      /*min_chunk=*/1);
+
+  // Drop non-support rows to speed up inference: find rows with any
+  // nonzero coefficient across classes.
+  std::vector<std::size_t> keep;
+  for (std::size_t i = 0; i < n; ++i) {
+    bool used = false;
+    for (const auto& alpha : alphas_) {
+      if (alpha[i] != 0.0f) {
+        used = true;
+        break;
+      }
+    }
+    if (used) keep.push_back(i);
+  }
+  if (keep.size() < n) {
+    util::Matrix pruned_support = support_.gather_rows(keep);
+    std::vector<float> pruned_norm(keep.size());
+    std::vector<std::vector<float>> pruned_alphas(
+        alphas_.size(), std::vector<float>(keep.size(), 0.0f));
+    std::vector<int> pruned_labels(keep.size());
+    for (std::size_t idx = 0; idx < keep.size(); ++idx) {
+      pruned_norm[idx] = support_sq_norm_[keep[idx]];
+      pruned_labels[idx] = working.labels[keep[idx]];
+      for (std::size_t cls = 0; cls < alphas_.size(); ++cls) {
+        pruned_alphas[cls][idx] = alphas_[cls][keep[idx]];
+      }
+    }
+    support_ = std::move(pruned_support);
+    support_sq_norm_ = std::move(pruned_norm);
+    // Bake the label sign into the coefficient so inference needs no labels.
+    for (std::size_t cls = 0; cls < pruned_alphas.size(); ++cls) {
+      for (std::size_t idx = 0; idx < keep.size(); ++idx) {
+        if (pruned_labels[idx] != static_cast<int>(cls)) {
+          pruned_alphas[cls][idx] = -pruned_alphas[cls][idx];
+        }
+      }
+    }
+    alphas_ = std::move(pruned_alphas);
+  } else {
+    for (std::size_t cls = 0; cls < alphas_.size(); ++cls) {
+      for (std::size_t i = 0; i < n; ++i) {
+        if (working.labels[i] != static_cast<int>(cls)) {
+          alphas_[cls][i] = -alphas_[cls][i];
+        }
+      }
+    }
+  }
+  return timer.seconds();
+}
+
+void KernelSvm::scores_batch(const util::Matrix& features,
+                             util::Matrix& scores) const {
+  if (support_.empty()) {
+    throw std::logic_error("KernelSvm::scores_batch: not fitted");
+  }
+  if (features.cols() != support_.cols()) {
+    throw std::invalid_argument("KernelSvm::scores_batch: feature mismatch");
+  }
+  scores.reshape(features.rows(), alphas_.size());
+  util::parallel_for(features.rows(), [&](std::size_t begin, std::size_t end) {
+    std::vector<double> acc(alphas_.size());
+    for (std::size_t r = begin; r < end; ++r) {
+      const auto x = features.row(r);
+      const double x_norm = util::norm2(x);
+      const double x_sq = x_norm * x_norm;
+      std::fill(acc.begin(), acc.end(), 0.0);
+      for (std::size_t j = 0; j < support_.rows(); ++j) {
+        const double cross = util::dot(support_.row(j), x);
+        const double k =
+            std::exp(-gamma_ * (support_sq_norm_[j] + x_sq - 2.0 * cross));
+        for (std::size_t cls = 0; cls < alphas_.size(); ++cls) {
+          const float a = alphas_[cls][j];
+          if (a != 0.0f) acc[cls] += a * k;
+        }
+      }
+      for (std::size_t cls = 0; cls < alphas_.size(); ++cls) {
+        scores(r, cls) = static_cast<float>(acc[cls]);
+      }
+    }
+  });
+}
+
+std::vector<int> KernelSvm::predict_batch(const util::Matrix& features) const {
+  util::Matrix scores;
+  scores_batch(features, scores);
+  std::vector<int> predictions(scores.rows());
+  for (std::size_t r = 0; r < scores.rows(); ++r) {
+    const auto row = scores.row(r);
+    std::size_t argmax = 0;
+    for (std::size_t c = 1; c < row.size(); ++c) {
+      if (row[c] > row[argmax]) argmax = c;
+    }
+    predictions[r] = static_cast<int>(argmax);
+  }
+  return predictions;
+}
+
+double KernelSvm::evaluate_accuracy(const data::Dataset& dataset) const {
+  const auto predictions = predict_batch(dataset.features);
+  return metrics::accuracy(predictions, dataset.labels);
+}
+
+}  // namespace disthd::svm

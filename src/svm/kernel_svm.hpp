@@ -1,0 +1,57 @@
+// One-vs-rest RBF-kernel SVM trained with kernelized Pegasos.
+//
+// This stands in for the paper's scikit-learn SVC baseline: prediction
+// evaluates the exact Gaussian kernel against the support set, so both
+// training and inference cost grow with the training-set size — which is
+// exactly the "SVM is slow on PAMAP2/DIABETES" shape of Fig. 5. Training
+// cost is bounded by `max_train_samples` (stratified subsample) and the
+// per-class iteration budget; both default high enough to dominate the HDC
+// trainers' runtime, as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "util/matrix.hpp"
+
+namespace disthd::svm {
+
+struct KernelSvmConfig {
+  double lambda = 1e-3;  // regularization
+  /// Gaussian kernel width: k(x,z) = exp(-gamma * |x-z|^2). 0 picks the
+  /// scikit-style "scale" default gamma = 1 / (num_features * Var[X]).
+  double gamma = 0.0;
+  /// Pegasos iterations per class; 0 means 2 * train size.
+  std::size_t iterations_per_class = 0;
+  /// Stratified subsample cap applied before training (0 = no cap).
+  std::size_t max_train_samples = 6000;
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+class KernelSvm {
+public:
+  explicit KernelSvm(KernelSvmConfig config = {});
+
+  std::size_t num_classes() const noexcept { return alphas_.size(); }
+  std::size_t support_size() const noexcept { return support_.rows(); }
+
+  /// Trains all one-vs-rest kernel machines. Returns wall-clock seconds.
+  double fit(const data::Dataset& train);
+
+  /// Decision values f_c(x), one row per sample.
+  void scores_batch(const util::Matrix& features, util::Matrix& scores) const;
+  std::vector<int> predict_batch(const util::Matrix& features) const;
+  double evaluate_accuracy(const data::Dataset& dataset) const;
+
+private:
+  KernelSvmConfig config_;
+  double gamma_ = 0.0;
+  util::Matrix support_;                     // retained training samples
+  std::vector<float> support_sq_norm_;       // |x_j|^2 cache
+  std::vector<std::vector<float>> alphas_;   // per class: signed coefficients
+};
+
+}  // namespace disthd::svm

@@ -1,0 +1,104 @@
+#include "svm/linear_svm.hpp"
+
+#include <stdexcept>
+
+#include "metrics/accuracy.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace disthd::svm {
+
+void LinearSvmConfig::validate() const {
+  if (lambda <= 0.0) throw std::invalid_argument("LinearSvmConfig: lambda <= 0");
+  if (epochs == 0) throw std::invalid_argument("LinearSvmConfig: epochs == 0");
+}
+
+LinearSvm::LinearSvm(std::size_t num_features, std::size_t num_classes,
+                     LinearSvmConfig config)
+    : config_(config), weights_(num_classes, num_features),
+      biases_(num_classes, 0.0f) {
+  if (num_features == 0 || num_classes < 2) {
+    throw std::invalid_argument("LinearSvm: bad feature/class counts");
+  }
+  config_.validate();
+}
+
+double LinearSvm::fit(const data::Dataset& train) {
+  train.validate();
+  if (train.num_features() != num_features() ||
+      train.num_classes != num_classes()) {
+    throw std::invalid_argument("LinearSvm::fit: dataset shape mismatch");
+  }
+  util::WallTimer timer;
+  const std::size_t n = train.size();
+  // The k one-vs-rest problems are independent: train them in parallel.
+  util::parallel_for(
+      num_classes(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t cls = begin; cls < end; ++cls) {
+          util::Rng rng(config_.seed + cls * 7919);
+          auto w = weights_.row(cls);
+          float& b = biases_[cls];
+          std::size_t t = 0;
+          for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+            const auto order = rng.permutation(n);
+            for (const std::size_t i : order) {
+              ++t;
+              const double eta =
+                  1.0 / (config_.lambda * static_cast<double>(t));
+              const auto x = train.features.row(i);
+              const float y =
+                  train.labels[i] == static_cast<int>(cls) ? 1.0f : -1.0f;
+              const double margin = y * (util::dot(w, x) + b);
+              // w <- (1 - eta*lambda) w [+ eta*y*x when margin < 1].
+              const auto shrink =
+                  static_cast<float>(1.0 - eta * config_.lambda);
+              util::scale(w, shrink);
+              if (margin < 1.0) {
+                util::axpy(static_cast<float>(eta) * y, x, w);
+                b += static_cast<float>(eta) * y;
+              }
+            }
+          }
+        }
+      },
+      /*min_chunk=*/1);
+  return timer.seconds();
+}
+
+void LinearSvm::scores_batch(const util::Matrix& features,
+                             util::Matrix& margins) const {
+  if (features.cols() != num_features()) {
+    throw std::invalid_argument("LinearSvm::scores_batch: feature mismatch");
+  }
+  util::matmul_nt(features, weights_, margins);
+  util::parallel_for(margins.rows(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      auto row = margins.row(r);
+      for (std::size_t c = 0; c < row.size(); ++c) row[c] += biases_[c];
+    }
+  });
+}
+
+std::vector<int> LinearSvm::predict_batch(const util::Matrix& features) const {
+  util::Matrix margins;
+  scores_batch(features, margins);
+  std::vector<int> predictions(margins.rows());
+  for (std::size_t r = 0; r < margins.rows(); ++r) {
+    const auto row = margins.row(r);
+    std::size_t argmax = 0;
+    for (std::size_t c = 1; c < row.size(); ++c) {
+      if (row[c] > row[argmax]) argmax = c;
+    }
+    predictions[r] = static_cast<int>(argmax);
+  }
+  return predictions;
+}
+
+double LinearSvm::evaluate_accuracy(const data::Dataset& dataset) const {
+  const auto predictions = predict_batch(dataset.features);
+  return metrics::accuracy(predictions, dataset.labels);
+}
+
+}  // namespace disthd::svm

@@ -1,0 +1,46 @@
+// One-vs-rest linear SVM trained with Pegasos (stochastic sub-gradient on
+// the hinge loss with 1/(lambda*t) step sizes). One of the paper's two
+// classical baselines (Figs. 4 and 5); see svm/kernel_svm.hpp for the
+// kernelized variant.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "util/matrix.hpp"
+
+namespace disthd::svm {
+
+struct LinearSvmConfig {
+  double lambda = 1e-4;     // L2 regularization strength
+  std::size_t epochs = 10;  // passes over the training set per class
+  std::uint64_t seed = 1;
+
+  void validate() const;
+};
+
+class LinearSvm {
+public:
+  LinearSvm(std::size_t num_features, std::size_t num_classes,
+            LinearSvmConfig config = {});
+
+  std::size_t num_features() const noexcept { return weights_.cols(); }
+  std::size_t num_classes() const noexcept { return weights_.rows(); }
+
+  /// Trains all one-vs-rest classifiers. Returns wall-clock seconds.
+  double fit(const data::Dataset& train);
+
+  /// Margins w_c . x + b_c, one row per sample.
+  void scores_batch(const util::Matrix& features, util::Matrix& margins) const;
+  std::vector<int> predict_batch(const util::Matrix& features) const;
+  double evaluate_accuracy(const data::Dataset& dataset) const;
+
+private:
+  LinearSvmConfig config_;
+  util::Matrix weights_;        // k x n
+  std::vector<float> biases_;   // k
+};
+
+}  // namespace disthd::svm

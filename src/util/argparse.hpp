@@ -1,0 +1,31 @@
+// Tiny command-line flag parser for bench/example binaries.
+// Accepts "--key value", "--key=value" and bare boolean "--flag".
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace disthd::util {
+
+class ArgParser {
+public:
+  ArgParser(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  long get_int(const std::string& key, long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback = false) const;
+
+  /// Positional (non --key) arguments in order of appearance.
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace disthd::util

@@ -1,0 +1,112 @@
+#include "util/csv.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace disthd::util {
+
+std::vector<std::string> split_csv_line(const std::string& line, char delim) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == delim) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+namespace {
+double parse_cell(const std::string& text) {
+  if (text.empty()) return std::numeric_limits<double>::quiet_NaN();
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(text, &consumed);
+    // Trailing garbage (e.g. "3abc") counts as non-numeric.
+    for (std::size_t i = consumed; i < text.size(); ++i) {
+      if (!std::isspace(static_cast<unsigned char>(text[i]))) {
+        return std::numeric_limits<double>::quiet_NaN();
+      }
+    }
+    return value;
+  } catch (const std::exception&) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+}
+}  // namespace
+
+CsvTable read_csv(const std::string& path, bool has_header, char delim) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_csv: cannot open " + path);
+
+  CsvTable table;
+  std::string line;
+  bool first = true;
+  std::size_t expected_cols = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto fields = split_csv_line(line, delim);
+    if (first && has_header) {
+      table.header = std::move(fields);
+      expected_cols = table.header.size();
+      first = false;
+      continue;
+    }
+    if (expected_cols == 0) {
+      expected_cols = fields.size();
+    } else if (fields.size() != expected_cols) {
+      throw std::runtime_error("read_csv: ragged row in " + path);
+    }
+    std::vector<double> row;
+    row.reserve(fields.size());
+    for (const auto& f : fields) row.push_back(parse_cell(f));
+    table.rows.push_back(std::move(row));
+    first = false;
+  }
+  return table;
+}
+
+void write_csv(const std::string& path, const std::vector<std::string>& header,
+               const std::vector<std::vector<double>>& rows, char delim) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_csv: cannot open " + path);
+  if (!header.empty()) {
+    for (std::size_t i = 0; i < header.size(); ++i) {
+      if (i) out << delim;
+      out << header[i];
+    }
+    out << '\n';
+  }
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << delim;
+      out << row[i];
+    }
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("write_csv: write failed for " + path);
+}
+
+}  // namespace disthd::util

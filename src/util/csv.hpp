@@ -1,0 +1,31 @@
+// Small CSV reader/writer. Used by the dataset loaders (DIABETES-style
+// tabular files) and by benches that dump series for plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace disthd::util {
+
+struct CsvTable {
+  std::vector<std::string> header;        // empty when has_header was false
+  std::vector<std::vector<double>> rows;  // numeric cells; NaN for blanks
+
+  std::size_t num_rows() const noexcept { return rows.size(); }
+  std::size_t num_cols() const noexcept {
+    return rows.empty() ? header.size() : rows.front().size();
+  }
+};
+
+/// Parses a single CSV line into fields; handles quoted fields with commas.
+std::vector<std::string> split_csv_line(const std::string& line, char delim = ',');
+
+/// Reads a numeric CSV file. Non-numeric cells parse as NaN. Throws
+/// std::runtime_error on missing file or ragged rows.
+CsvTable read_csv(const std::string& path, bool has_header, char delim = ',');
+
+/// Writes header (if non-empty) and rows as CSV. Throws on I/O failure.
+void write_csv(const std::string& path, const std::vector<std::string>& header,
+               const std::vector<std::vector<double>>& rows, char delim = ',');
+
+}  // namespace disthd::util

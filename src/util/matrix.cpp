@@ -1,0 +1,201 @@
+#include "util/matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace disthd::util {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, float value)
+    : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+void Matrix::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+void Matrix::reshape(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0f);
+}
+
+void Matrix::fill_normal(Rng& rng, double mean, double stddev) {
+  for (auto& v : data_) v = static_cast<float>(rng.normal(mean, stddev));
+}
+
+void Matrix::fill_uniform(Rng& rng, double lo, double hi) {
+  for (auto& v : data_) v = static_cast<float>(rng.uniform(lo, hi));
+}
+
+Matrix Matrix::gather_rows(std::span<const std::size_t> indices) const {
+  Matrix out(indices.size(), cols_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const auto src = row(indices[i]);
+    std::copy(src.begin(), src.end(), out.row(i).begin());
+  }
+  return out;
+}
+
+double dot(std::span<const float> a, std::span<const float> b) noexcept {
+  assert(a.size() == b.size());
+  // Four partial sums let the compiler vectorize without -ffast-math.
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t i = 0;
+  const std::size_t n4 = a.size() & ~std::size_t{3};
+  for (; i < n4; i += 4) {
+    s0 += static_cast<double>(a[i]) * b[i];
+    s1 += static_cast<double>(a[i + 1]) * b[i + 1];
+    s2 += static_cast<double>(a[i + 2]) * b[i + 2];
+    s3 += static_cast<double>(a[i + 3]) * b[i + 3];
+  }
+  for (; i < a.size(); ++i) s0 += static_cast<double>(a[i]) * b[i];
+  return (s0 + s1) + (s2 + s3);
+}
+
+double norm2(std::span<const float> a) noexcept {
+  return std::sqrt(dot(a, a));
+}
+
+double cosine(std::span<const float> a, std::span<const float> b) noexcept {
+  const double na = norm2(a);
+  const double nb = norm2(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot(a, b) / (na * nb);
+}
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) noexcept {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(std::span<float> x, float alpha) noexcept {
+  for (auto& v : x) v *= alpha;
+}
+
+void matmul_nt(const Matrix& a, const Matrix& b, Matrix& out) {
+  if (a.cols() != b.cols()) {
+    throw std::invalid_argument("matmul_nt: inner dimensions differ");
+  }
+  const std::size_t m = a.rows();
+  const std::size_t n = b.rows();
+  const std::size_t k = a.cols();
+  out.reshape(m, n);
+  parallel_for(
+      m,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          const float* arow = a.data() + r * k;
+          float* orow = out.data() + r * n;
+          for (std::size_t c = 0; c < n; ++c) {
+            const float* brow = b.data() + c * k;
+            // Float accumulation in four lanes: this is the innermost hot
+            // loop (encoding GEMM); float is sufficient because results feed
+            // a bounded nonlinearity or a similarity ranking.
+            float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+            std::size_t i = 0;
+            const std::size_t k4 = k & ~std::size_t{3};
+            for (; i < k4; i += 4) {
+              s0 += arow[i] * brow[i];
+              s1 += arow[i + 1] * brow[i + 1];
+              s2 += arow[i + 2] * brow[i + 2];
+              s3 += arow[i + 3] * brow[i + 3];
+            }
+            for (; i < k; ++i) s0 += arow[i] * brow[i];
+            orow[c] = (s0 + s1) + (s2 + s3);
+          }
+        }
+      },
+      /*min_chunk=*/1);
+}
+
+void matmul_nn(const Matrix& a, const Matrix& b, Matrix& out) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("matmul_nn: inner dimensions differ");
+  }
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  out.reshape(m, n);
+  parallel_for(
+      m,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          const float* arow = a.data() + r * k;
+          float* orow = out.data() + r * n;
+          // Accumulate along k in row-major order of B (SAXPY form) so the
+          // inner loop streams contiguously.
+          for (std::size_t i = 0; i < k; ++i) {
+            const float av = arow[i];
+            if (av == 0.0f) continue;
+            const float* brow = b.data() + i * n;
+            for (std::size_t c = 0; c < n; ++c) orow[c] += av * brow[c];
+          }
+        }
+      },
+      /*min_chunk=*/1);
+}
+
+void matmul_tn(const Matrix& a, const Matrix& b, Matrix& out) {
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument("matmul_tn: row counts differ");
+  }
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  const std::size_t n = b.cols();
+  out.reshape(k, n);
+  parallel_for(
+      k,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          float* orow = out.data() + r * n;
+          for (std::size_t i = 0; i < m; ++i) {
+            const float av = a(i, r);
+            if (av == 0.0f) continue;
+            const float* brow = b.data() + i * n;
+            for (std::size_t c = 0; c < n; ++c) orow[c] += av * brow[c];
+          }
+        }
+      },
+      /*min_chunk=*/1);
+}
+
+std::vector<float> matvec(const Matrix& a, std::span<const float> x) {
+  if (a.cols() != x.size()) {
+    throw std::invalid_argument("matvec: dimension mismatch");
+  }
+  std::vector<float> out(a.rows());
+  parallel_for(a.rows(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      out[r] = static_cast<float>(dot(a.row(r), x));
+    }
+  });
+  return out;
+}
+
+void col_sums(const Matrix& m, std::vector<double>& out) {
+  out.assign(m.cols(), 0.0);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const auto row = m.row(r);
+    for (std::size_t c = 0; c < m.cols(); ++c) out[c] += row[c];
+  }
+}
+
+void normalize_rows(Matrix& m) {
+  parallel_for(m.rows(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      auto row = m.row(r);
+      const double norm = norm2(row);
+      if (norm > 0.0) scale(row, static_cast<float>(1.0 / norm));
+    }
+  });
+}
+
+Matrix transpose(const Matrix& m) {
+  Matrix out(m.cols(), m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) out(c, r) = m(r, c);
+  }
+  return out;
+}
+
+}  // namespace disthd::util

@@ -1,0 +1,103 @@
+// Dense row-major single-precision matrix plus the handful of BLAS-like
+// kernels the HDC pipeline needs.
+//
+// Storage is float (hypervectors tolerate low precision; the robustness
+// study quantizes down to 1 bit anyway) while reductions that feed into
+// decisions (dot products, norms, statistics) accumulate in double.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace disthd::util {
+
+class Matrix {
+public:
+  Matrix() = default;
+  /// rows x cols matrix, all elements set to `value`.
+  Matrix(std::size_t rows, std::size_t cols, float value = 0.0f);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  float& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  float operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<float> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const float> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  float* data() noexcept { return data_.data(); }
+  const float* data() const noexcept { return data_.data(); }
+
+  void fill(float value);
+  /// Reshapes to rows x cols, discarding contents (elements zeroed).
+  void reshape(std::size_t rows, std::size_t cols);
+
+  /// Fills with i.i.d. N(mean, stddev) draws.
+  void fill_normal(Rng& rng, double mean = 0.0, double stddev = 1.0);
+  /// Fills with i.i.d. U[lo, hi) draws.
+  void fill_uniform(Rng& rng, double lo, double hi);
+
+  /// Returns the matrix restricted to the given rows (copy).
+  Matrix gather_rows(std::span<const std::size_t> indices) const;
+
+  bool operator==(const Matrix& other) const noexcept = default;
+
+private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+// ---- Vector kernels (double accumulation) --------------------------------
+
+/// Dot product with double accumulation. Sizes must match.
+double dot(std::span<const float> a, std::span<const float> b) noexcept;
+/// Euclidean norm with double accumulation.
+double norm2(std::span<const float> a) noexcept;
+/// Cosine similarity; returns 0 when either vector has zero norm.
+double cosine(std::span<const float> a, std::span<const float> b) noexcept;
+/// y += alpha * x.
+void axpy(float alpha, std::span<const float> x, std::span<float> y) noexcept;
+/// x *= alpha.
+void scale(std::span<float> x, float alpha) noexcept;
+
+// ---- Matrix kernels -------------------------------------------------------
+
+/// out = A * B^T where A is (m x k) and B is (n x k); out is resized to
+/// (m x n). Parallelized over rows of A via the global thread pool.
+void matmul_nt(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = A * B where A is (m x k) and B is (k x n); out resized to (m x n).
+void matmul_nn(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// out = A^T * B where A is (m x k) and B is (m x n); out resized to
+/// (k x n). This is the gradient shape dW = delta^T * activations.
+void matmul_tn(const Matrix& a, const Matrix& b, Matrix& out);
+
+/// Returns A * x for A (m x k), x of length k.
+std::vector<float> matvec(const Matrix& a, std::span<const float> x);
+
+/// out[c] = sum over rows of m(r, c); out resized to cols.
+void col_sums(const Matrix& m, std::vector<double>& out);
+
+/// Scales every row to unit L2 norm; zero rows are left untouched.
+void normalize_rows(Matrix& m);
+
+/// Transposed copy.
+Matrix transpose(const Matrix& m);
+
+}  // namespace disthd::util

@@ -1,0 +1,96 @@
+#include "util/serialize.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace disthd::util {
+
+void BinaryWriter::write_u32(std::uint32_t v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void BinaryWriter::write_u64(std::uint64_t v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void BinaryWriter::write_f32(float v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void BinaryWriter::write_f64(double v) {
+  out_.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+void BinaryWriter::write_string(const std::string& s) {
+  write_u64(s.size());
+  out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+void BinaryWriter::write_f32_array(std::span<const float> values) {
+  write_u64(values.size());
+  out_.write(reinterpret_cast<const char*>(values.data()),
+             static_cast<std::streamsize>(values.size() * sizeof(float)));
+}
+void BinaryWriter::write_matrix(const Matrix& m) {
+  write_u64(m.rows());
+  write_u64(m.cols());
+  out_.write(reinterpret_cast<const char*>(m.data()),
+             static_cast<std::streamsize>(m.size() * sizeof(float)));
+}
+void BinaryWriter::write_magic(const char tag[4]) { out_.write(tag, 4); }
+
+void BinaryReader::read_bytes(void* dst, std::size_t n) {
+  in_.read(static_cast<char*>(dst), static_cast<std::streamsize>(n));
+  if (static_cast<std::size_t>(in_.gcount()) != n) {
+    throw std::runtime_error("BinaryReader: truncated input");
+  }
+}
+
+std::uint32_t BinaryReader::read_u32() {
+  std::uint32_t v;
+  read_bytes(&v, sizeof v);
+  return v;
+}
+std::uint64_t BinaryReader::read_u64() {
+  std::uint64_t v;
+  read_bytes(&v, sizeof v);
+  return v;
+}
+float BinaryReader::read_f32() {
+  float v;
+  read_bytes(&v, sizeof v);
+  return v;
+}
+double BinaryReader::read_f64() {
+  double v;
+  read_bytes(&v, sizeof v);
+  return v;
+}
+std::string BinaryReader::read_string() {
+  const std::uint64_t n = read_u64();
+  if (n > (1ULL << 32)) throw std::runtime_error("BinaryReader: string too large");
+  std::string s(n, '\0');
+  read_bytes(s.data(), n);
+  return s;
+}
+std::vector<float> BinaryReader::read_f32_array() {
+  const std::uint64_t n = read_u64();
+  if (n > (1ULL << 34)) throw std::runtime_error("BinaryReader: array too large");
+  std::vector<float> v(n);
+  read_bytes(v.data(), n * sizeof(float));
+  return v;
+}
+Matrix BinaryReader::read_matrix() {
+  const std::uint64_t rows = read_u64();
+  const std::uint64_t cols = read_u64();
+  if (rows * cols > (1ULL << 34)) {
+    throw std::runtime_error("BinaryReader: matrix too large");
+  }
+  Matrix m(rows, cols);
+  read_bytes(m.data(), m.size() * sizeof(float));
+  return m;
+}
+void BinaryReader::expect_magic(const char tag[4]) {
+  char got[4];
+  read_bytes(got, 4);
+  if (std::memcmp(got, tag, 4) != 0) {
+    throw std::runtime_error("BinaryReader: bad magic tag");
+  }
+}
+
+}  // namespace disthd::util

@@ -1,0 +1,55 @@
+// Binary (de)serialization for model persistence.
+//
+// Format: little-endian, length-prefixed primitives behind a magic tag per
+// top-level object. Readers validate magic and sizes and throw
+// std::runtime_error on malformed input, never UB.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace disthd::util {
+
+class BinaryWriter {
+public:
+  explicit BinaryWriter(std::ostream& out) : out_(out) {}
+
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_f32(float v);
+  void write_f64(double v);
+  void write_string(const std::string& s);
+  void write_f32_array(std::span<const float> values);
+  void write_matrix(const Matrix& m);
+  void write_magic(const char tag[4]);
+
+private:
+  std::ostream& out_;
+};
+
+class BinaryReader {
+public:
+  explicit BinaryReader(std::istream& in) : in_(in) {}
+
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  float read_f32();
+  double read_f64();
+  std::string read_string();
+  std::vector<float> read_f32_array();
+  Matrix read_matrix();
+  /// Throws if the next 4 bytes do not equal tag.
+  void expect_magic(const char tag[4]);
+
+private:
+  void read_bytes(void* dst, std::size_t n);
+  std::istream& in_;
+};
+
+}  // namespace disthd::util

@@ -1,0 +1,111 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <stdexcept>
+
+namespace disthd::util {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count, const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t min_chunk) {
+  if (count == 0) return;
+  const std::size_t workers = size();
+  if (workers <= 1 || count <= min_chunk) {
+    fn(0, count);
+    return;
+  }
+  const std::size_t chunks =
+      std::min(workers * 4, std::max<std::size_t>(1, count / min_chunk));
+  const std::size_t chunk_size = (count + chunks - 1) / chunks;
+
+  struct State {
+    std::atomic<std::size_t> remaining;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  } state;
+  state.remaining.store(chunks, std::memory_order_relaxed);
+
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t begin = c * chunk_size;
+      const std::size_t end = std::min(count, begin + chunk_size);
+      tasks_.push([&state, &fn, begin, end] {
+        try {
+          if (begin < end) fn(begin, end);
+        } catch (...) {
+          std::lock_guard error_lock(state.error_mutex);
+          if (!state.error) state.error = std::current_exception();
+        }
+        if (state.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard done_lock(state.done_mutex);
+          state.done_cv.notify_one();
+        }
+      });
+    }
+  }
+  task_ready_.notify_all();
+
+  std::unique_lock done_lock(state.done_mutex);
+  state.done_cv.wait(done_lock, [&state] {
+    return state.remaining.load(std::memory_order_acquire) == 0;
+  });
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("DISTHD_THREADS")) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed > 0) return static_cast<std::size_t>(parsed);
+    }
+    return std::size_t{0};
+  }());
+  return pool;
+}
+
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t, std::size_t)>& fn,
+                  std::size_t min_chunk) {
+  global_pool().parallel_for(count, fn, min_chunk);
+}
+
+}  // namespace disthd::util

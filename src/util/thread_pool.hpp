@@ -1,0 +1,56 @@
+// Minimal fixed-size thread pool with a blocking parallel_for.
+//
+// The HDC pipeline is embarrassingly parallel over samples (encoding,
+// similarity search, distance-matrix accumulation), so a chunked
+// parallel_for over row ranges covers every hot loop in the library.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace disthd::util {
+
+class ThreadPool {
+public:
+  /// Creates `num_threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Runs fn(begin, end) over contiguous chunks of [0, count) on the pool
+  /// and blocks until all chunks complete. Falls back to a direct call when
+  /// the range is small or the pool has a single worker. Exceptions thrown
+  /// by fn propagate to the caller (first one wins).
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t, std::size_t)>& fn,
+                    std::size_t min_chunk = 256);
+
+private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  bool stopping_ = false;
+};
+
+/// Process-wide pool shared by all batched operations. Lazily constructed;
+/// sized from DISTHD_THREADS if set, otherwise hardware concurrency.
+ThreadPool& global_pool();
+
+/// Convenience wrapper over global_pool().parallel_for.
+void parallel_for(std::size_t count,
+                  const std::function<void(std::size_t, std::size_t)>& fn,
+                  std::size_t min_chunk = 256);
+
+}  // namespace disthd::util

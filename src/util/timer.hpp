@@ -1,0 +1,27 @@
+// Wall-clock timing used by the efficiency benchmarks (Fig. 5) and the
+// convergence traces (Fig. 7).
+#pragma once
+
+#include <chrono>
+
+namespace disthd::util {
+
+class WallTimer {
+public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace disthd::util

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "core/categorize.hpp"
+
+namespace disthd::core {
+namespace {
+
+/// Model with three orthogonal class directions in 3 dims.
+hd::ClassModel axis_model() {
+  hd::ClassModel model(3, 3);
+  model.add_scaled(0, 1.0f, std::vector<float>{1.0f, 0.0f, 0.0f});
+  model.add_scaled(1, 1.0f, std::vector<float>{0.0f, 1.0f, 0.0f});
+  model.add_scaled(2, 1.0f, std::vector<float>{0.0f, 0.0f, 1.0f});
+  return model;
+}
+
+TEST(Categorize, BucketsAllThreeCases) {
+  const auto model = axis_model();
+  util::Matrix encoded(3, 3);
+  // Sample 0: mostly axis 0, some axis 1 -> top2 = (0, 1).
+  encoded(0, 0) = 1.0f;
+  encoded(0, 1) = 0.5f;
+  // Sample 1: same direction.
+  encoded(1, 0) = 1.0f;
+  encoded(1, 1) = 0.5f;
+  // Sample 2: same direction again.
+  encoded(2, 0) = 1.0f;
+  encoded(2, 1) = 0.5f;
+  // Labels chosen to produce correct / partial / incorrect.
+  const std::vector<int> labels = {0, 1, 2};
+
+  const CategorizeResult result = categorize_top2(model, encoded, labels);
+  ASSERT_EQ(result.samples.size(), 3u);
+  EXPECT_EQ(result.samples[0].category, Top2Category::correct);
+  EXPECT_EQ(result.samples[1].category, Top2Category::partial);
+  EXPECT_EQ(result.samples[2].category, Top2Category::incorrect);
+  EXPECT_EQ(result.correct_count, 1u);
+  EXPECT_EQ(result.partial_count, 1u);
+  EXPECT_EQ(result.incorrect_count, 1u);
+  // Every sample records the same top-2 pair here.
+  EXPECT_EQ(result.samples[2].top2.first, 0);
+  EXPECT_EQ(result.samples[2].top2.second, 1);
+}
+
+TEST(Categorize, AccuracyHelpers) {
+  const auto model = axis_model();
+  util::Matrix encoded(4, 3);
+  for (std::size_t i = 0; i < 4; ++i) {
+    encoded(i, 0) = 1.0f;
+    encoded(i, 1) = 0.5f;
+  }
+  const std::vector<int> labels = {0, 0, 1, 2};
+  const CategorizeResult result = categorize_top2(model, encoded, labels);
+  EXPECT_DOUBLE_EQ(result.top1_accuracy(), 0.5);   // labels 0, 0 hit top-1
+  EXPECT_DOUBLE_EQ(result.top2_accuracy(), 0.75);  // label 1 hits top-2
+}
+
+TEST(Categorize, IndicesMatchInputRows) {
+  const auto model = axis_model();
+  util::Matrix encoded(5, 3);
+  for (std::size_t i = 0; i < 5; ++i) encoded(i, 0) = 1.0f;
+  const std::vector<int> labels = {0, 0, 0, 0, 0};
+  const CategorizeResult result = categorize_top2(model, encoded, labels);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(result.samples[i].index, i);
+  }
+}
+
+TEST(Categorize, SingleClassModelThrows) {
+  hd::ClassModel model(1, 3);
+  util::Matrix encoded(1, 3);
+  const std::vector<int> labels = {0};
+  EXPECT_THROW(categorize_top2(model, encoded, labels), std::invalid_argument);
+}
+
+TEST(Categorize, EmptyBatch) {
+  const auto model = axis_model();
+  util::Matrix encoded(0, 3);
+  const std::vector<int> labels = {};
+  const CategorizeResult result = categorize_top2(model, encoded, labels);
+  EXPECT_TRUE(result.samples.empty());
+  EXPECT_DOUBLE_EQ(result.top1_accuracy(), 0.0);
+}
+
+}  // namespace
+}  // namespace disthd::core

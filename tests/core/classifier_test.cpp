@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "core/classifier.hpp"
+#include "core/disthd_trainer.hpp"
+#include "data/synthetic.hpp"
+
+namespace disthd::core {
+namespace {
+
+data::TrainTestSplit workload() {
+  data::SyntheticSpec spec;
+  spec.num_features = 16;
+  spec.num_classes = 3;
+  spec.train_size = 300;
+  spec.test_size = 150;
+  spec.cluster_spread = 0.4;
+  spec.seed = 5;
+  return data::make_synthetic(spec);
+}
+
+HdcClassifier trained_classifier(const data::TrainTestSplit& split) {
+  DistHDConfig config;
+  config.dim = 96;
+  config.iterations = 5;
+  config.seed = 9;
+  DistHDTrainer trainer(config);
+  return trainer.fit(split.train);
+}
+
+TEST(HdcClassifier, RejectsNullEncoder) {
+  EXPECT_THROW(HdcClassifier(nullptr, hd::ClassModel(2, 8)),
+               std::invalid_argument);
+}
+
+TEST(HdcClassifier, RejectsDimMismatch) {
+  auto encoder = std::make_unique<hd::RbfEncoder>(4, 16, 1);
+  EXPECT_THROW(HdcClassifier(std::move(encoder), hd::ClassModel(2, 8)),
+               std::invalid_argument);
+}
+
+TEST(HdcClassifier, PredictMatchesBatch) {
+  const auto split = workload();
+  const auto classifier = trained_classifier(split);
+  const auto batch = classifier.predict_batch(split.test.features);
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(classifier.predict(split.test.features.row(i)), batch[i]);
+  }
+}
+
+TEST(HdcClassifier, Top2FirstEqualsPredict) {
+  const auto split = workload();
+  const auto classifier = trained_classifier(split);
+  for (std::size_t i = 0; i < 20; ++i) {
+    const auto top2 = classifier.predict_top2(split.test.features.row(i));
+    EXPECT_EQ(top2.first, classifier.predict(split.test.features.row(i)));
+    EXPECT_NE(top2.first, top2.second);
+    EXPECT_GE(top2.first_score, top2.second_score);
+  }
+}
+
+TEST(HdcClassifier, ScoresBatchShape) {
+  const auto split = workload();
+  const auto classifier = trained_classifier(split);
+  util::Matrix scores;
+  classifier.scores_batch(split.test.features, scores);
+  EXPECT_EQ(scores.rows(), split.test.size());
+  EXPECT_EQ(scores.cols(), 3u);
+  // Scores are cosines.
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    EXPECT_LE(std::abs(scores.data()[i]), 1.0f + 1e-4f);
+  }
+}
+
+TEST(HdcClassifier, EvaluateAccuracyConsistent) {
+  const auto split = workload();
+  const auto classifier = trained_classifier(split);
+  const double accuracy = classifier.evaluate_accuracy(split.test);
+  EXPECT_GT(accuracy, 0.8);
+  const auto predictions = classifier.predict_batch(split.test.features);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    correct += (predictions[i] == split.test.labels[i]);
+  }
+  EXPECT_DOUBLE_EQ(accuracy,
+                   static_cast<double>(correct) / predictions.size());
+}
+
+TEST(HdcClassifier, StreamSaveLoadRoundTrip) {
+  const auto split = workload();
+  const auto classifier = trained_classifier(split);
+  std::stringstream buffer;
+  classifier.save(buffer);
+  const HdcClassifier loaded = HdcClassifier::load(buffer);
+  EXPECT_EQ(loaded.dimensionality(), classifier.dimensionality());
+  EXPECT_EQ(loaded.num_classes(), classifier.num_classes());
+  // Identical predictions on the test set.
+  const auto a = classifier.predict_batch(split.test.features);
+  const auto b = loaded.predict_batch(split.test.features);
+  EXPECT_EQ(a, b);
+}
+
+TEST(HdcClassifier, FileSaveLoadRoundTrip) {
+  const auto split = workload();
+  const auto classifier = trained_classifier(split);
+  const auto path =
+      (std::filesystem::temp_directory_path() / "disthd_model.bin").string();
+  classifier.save_file(path);
+  const HdcClassifier loaded = HdcClassifier::load_file(path);
+  EXPECT_DOUBLE_EQ(loaded.evaluate_accuracy(split.test),
+                   classifier.evaluate_accuracy(split.test));
+  std::filesystem::remove(path);
+}
+
+TEST(HdcClassifier, LoadFromGarbageThrows) {
+  std::stringstream buffer;
+  buffer << "not a model";
+  EXPECT_THROW(HdcClassifier::load(buffer), std::runtime_error);
+}
+
+TEST(HdcClassifier, SaveRequiresRbfEncoder) {
+  auto encoder = std::make_unique<hd::RandomProjectionEncoder>(4, 16, 1);
+  const HdcClassifier classifier(std::move(encoder), hd::ClassModel(2, 16));
+  std::stringstream buffer;
+  EXPECT_THROW(classifier.save(buffer), std::logic_error);
+}
+
+TEST(HdcClassifier, MissingFileThrows) {
+  EXPECT_THROW(HdcClassifier::load_file("/nonexistent/model.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace disthd::core

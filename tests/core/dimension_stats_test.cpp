@@ -1,0 +1,242 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dimension_stats.hpp"
+
+namespace disthd::core {
+namespace {
+
+/// Three axis-aligned classes in 4 dims (dim 3 unused by every class).
+hd::ClassModel axis_model() {
+  hd::ClassModel model(3, 4);
+  model.add_scaled(0, 1.0f, std::vector<float>{1.0f, 0.0f, 0.0f, 0.0f});
+  model.add_scaled(1, 1.0f, std::vector<float>{0.0f, 1.0f, 0.0f, 0.0f});
+  model.add_scaled(2, 1.0f, std::vector<float>{0.0f, 0.0f, 1.0f, 0.0f});
+  return model;
+}
+
+/// A single sample along (1, 0.5, 0, 0): top-2 is always (class 0, class 1).
+util::Matrix misleading_sample() {
+  util::Matrix encoded(1, 4);
+  encoded(0, 0) = 1.0f;
+  encoded(0, 1) = 0.5f;
+  return encoded;
+}
+
+DimensionStatsConfig config_with(CombineRule combine, double rate = 0.25) {
+  DimensionStatsConfig config;
+  config.alpha = 1.0;
+  config.beta = 0.5;
+  config.theta = 0.25;
+  config.regen_rate = rate;  // budget = rate * 4 dims
+  config.combine = combine;
+  return config;
+}
+
+TEST(DimensionStatsConfig, ValidatesWeights) {
+  DimensionStatsConfig config;
+  config.theta = config.beta;  // violates theta < beta
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = DimensionStatsConfig{};
+  config.alpha = 0.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = DimensionStatsConfig{};
+  config.regen_rate = 0.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = DimensionStatsConfig{};
+  config.regen_rate = 1.5;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(DimensionStatsConfig{}.validate());
+}
+
+TEST(TopFractionIndices, HandComputed) {
+  const std::vector<double> scores = {0.1, 0.9, 0.5, 0.7};
+  const auto top2 = top_fraction_indices(scores, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0], 1u);
+  EXPECT_EQ(top2[1], 3u);
+}
+
+TEST(TopFractionIndices, TieBreaksByLowerIndex) {
+  const std::vector<double> scores = {0.5, 0.5, 0.5};
+  const auto top2 = top_fraction_indices(scores, 2);
+  EXPECT_EQ(top2[0], 0u);
+  EXPECT_EQ(top2[1], 1u);
+}
+
+TEST(TopFractionIndices, CountClampedToSize) {
+  const std::vector<double> scores = {1.0, 2.0};
+  EXPECT_EQ(top_fraction_indices(scores, 10).size(), 2u);
+}
+
+TEST(DimensionStats, PartialSampleFeedsMOnly) {
+  const auto model = axis_model();
+  const auto encoded = misleading_sample();
+  const std::vector<int> labels = {1};  // true label ranked second -> partial
+  const auto categories = categorize_top2(model, encoded, labels);
+  ASSERT_EQ(categories.partial_count, 1u);
+
+  const auto result = identify_undesired_dimensions(
+      model, encoded, labels, categories, config_with(CombineRule::m_only));
+  EXPECT_EQ(result.partial_count, 1u);
+  EXPECT_EQ(result.incorrect_count, 0u);
+  double n_energy = 0.0;
+  for (const double v : result.n_scores) n_energy += std::fabs(v);
+  EXPECT_DOUBLE_EQ(n_energy, 0.0);
+  // The misleading dimension is dim 0 (large component on the wrong class
+  // axis, far from the true class axis): M_0 = a|h-C1| - b|h-C0| is maximal
+  // there.
+  ASSERT_EQ(result.undesired.size(), 1u);
+  EXPECT_EQ(result.undesired[0], 0u);
+}
+
+TEST(DimensionStats, IncorrectSampleFeedsNOnly) {
+  const auto model = axis_model();
+  const auto encoded = misleading_sample();
+  const std::vector<int> labels = {2};  // label not in top-2 -> incorrect
+  const auto categories = categorize_top2(model, encoded, labels);
+  ASSERT_EQ(categories.incorrect_count, 1u);
+
+  const auto result = identify_undesired_dimensions(
+      model, encoded, labels, categories, config_with(CombineRule::n_only));
+  EXPECT_EQ(result.incorrect_count, 1u);
+  double m_energy = 0.0;
+  for (const double v : result.m_scores) m_energy += std::fabs(v);
+  EXPECT_DOUBLE_EQ(m_energy, 0.0);
+  // The dominant undesired dimension is dim 2: the sample entirely lacks
+  // its true class's component there (|h - C_true| is maximal).
+  ASSERT_EQ(result.undesired.size(), 1u);
+  EXPECT_EQ(result.undesired[0], 2u);
+}
+
+TEST(DimensionStats, IntersectionOfDisjointTopSetsIsEmpty) {
+  const auto model = axis_model();
+  util::Matrix encoded(2, 4);
+  encoded(0, 0) = 1.0f;
+  encoded(0, 1) = 0.5f;
+  encoded(1, 0) = 1.0f;
+  encoded(1, 1) = 0.5f;
+  const std::vector<int> labels = {1, 2};  // one partial, one incorrect
+  const auto categories = categorize_top2(model, encoded, labels);
+  const auto result = identify_undesired_dimensions(
+      model, encoded, labels, categories,
+      config_with(CombineRule::intersection));
+  // Top-1 of M' is dim 0, top-1 of N' is dim 2 -> empty intersection.
+  EXPECT_TRUE(result.undesired.empty());
+}
+
+TEST(DimensionStats, UnionMergesBothTopSets) {
+  const auto model = axis_model();
+  util::Matrix encoded(2, 4);
+  encoded(0, 0) = 1.0f;
+  encoded(0, 1) = 0.5f;
+  encoded(1, 0) = 1.0f;
+  encoded(1, 1) = 0.5f;
+  const std::vector<int> labels = {1, 2};
+  const auto categories = categorize_top2(model, encoded, labels);
+  const auto result = identify_undesired_dimensions(
+      model, encoded, labels, categories, config_with(CombineRule::union_all));
+  EXPECT_EQ(result.undesired, (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(DimensionStats, EmptyPartialBucketFallsBackToN) {
+  const auto model = axis_model();
+  const auto encoded = misleading_sample();
+  const std::vector<int> labels = {2};  // incorrect only
+  const auto categories = categorize_top2(model, encoded, labels);
+  const auto result = identify_undesired_dimensions(
+      model, encoded, labels, categories,
+      config_with(CombineRule::intersection));
+  // Without the fallback an all-zero M' would veto everything.
+  EXPECT_FALSE(result.undesired.empty());
+  EXPECT_EQ(result.undesired[0], 2u);
+}
+
+TEST(DimensionStats, AllCorrectSelectsNothing) {
+  const auto model = axis_model();
+  const auto encoded = misleading_sample();
+  const std::vector<int> labels = {0};  // correct
+  const auto categories = categorize_top2(model, encoded, labels);
+  const auto result = identify_undesired_dimensions(
+      model, encoded, labels, categories,
+      config_with(CombineRule::intersection));
+  EXPECT_TRUE(result.undesired.empty());
+  EXPECT_EQ(result.partial_count, 0u);
+  EXPECT_EQ(result.incorrect_count, 0u);
+}
+
+TEST(DimensionStats, ZeroBudgetSelectsNothing) {
+  const auto model = axis_model();
+  const auto encoded = misleading_sample();
+  const std::vector<int> labels = {1};
+  const auto categories = categorize_top2(model, encoded, labels);
+  // rate 0.2 of 4 dims floors to budget 0.
+  const auto result = identify_undesired_dimensions(
+      model, encoded, labels, categories,
+      config_with(CombineRule::m_only, /*rate=*/0.2));
+  EXPECT_TRUE(result.undesired.empty());
+}
+
+TEST(DimensionStats, InvariantToClassVectorScale) {
+  // Scaling a class hypervector must not change the selection (distances
+  // are taken in normalized space, paper Fig. 3 block L).
+  const auto encoded = misleading_sample();
+  const std::vector<int> labels = {1};
+
+  const auto model_a = axis_model();
+  hd::ClassModel model_b(3, 4);
+  model_b.add_scaled(0, 100.0f, std::vector<float>{1.0f, 0.0f, 0.0f, 0.0f});
+  model_b.add_scaled(1, 0.01f, std::vector<float>{0.0f, 1.0f, 0.0f, 0.0f});
+  model_b.add_scaled(2, 7.0f, std::vector<float>{0.0f, 0.0f, 1.0f, 0.0f});
+
+  const auto cat_a = categorize_top2(model_a, encoded, labels);
+  const auto cat_b = categorize_top2(model_b, encoded, labels);
+  const auto result_a = identify_undesired_dimensions(
+      model_a, encoded, labels, cat_a, config_with(CombineRule::m_only));
+  const auto result_b = identify_undesired_dimensions(
+      model_b, encoded, labels, cat_b, config_with(CombineRule::m_only));
+  EXPECT_EQ(result_a.undesired, result_b.undesired);
+  for (std::size_t d = 0; d < 4; ++d) {
+    EXPECT_NEAR(result_a.m_scores[d], result_b.m_scores[d], 1e-6);
+  }
+}
+
+TEST(DimensionStats, AlgorithmBoxRuleDiffersFromProse) {
+  const auto model = axis_model();
+  const auto encoded = misleading_sample();
+  const std::vector<int> labels = {2};
+  const auto categories = categorize_top2(model, encoded, labels);
+
+  auto prose = config_with(CombineRule::n_only);
+  auto box = prose;
+  box.incorrect_rule = IncorrectRule::algorithm_box;
+  const auto result_prose = identify_undesired_dimensions(
+      model, encoded, labels, categories, prose);
+  const auto result_box = identify_undesired_dimensions(
+      model, encoded, labels, categories, box);
+  bool any_diff = false;
+  for (std::size_t d = 0; d < 4; ++d) {
+    if (std::fabs(result_prose.n_scores[d] - result_box.n_scores[d]) > 1e-9) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(DimensionStats, RowsAreL2Normalized) {
+  // With a single partial sample, M' equals the normalized row, so its
+  // L2 norm is 1.
+  const auto model = axis_model();
+  const auto encoded = misleading_sample();
+  const std::vector<int> labels = {1};
+  const auto categories = categorize_top2(model, encoded, labels);
+  const auto result = identify_undesired_dimensions(
+      model, encoded, labels, categories, config_with(CombineRule::m_only));
+  double norm_sq = 0.0;
+  for (const double v : result.m_scores) norm_sq += v * v;
+  EXPECT_NEAR(std::sqrt(norm_sq), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace disthd::core

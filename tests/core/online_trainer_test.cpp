@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "core/disthd_trainer.hpp"
+#include "core/online_trainer.hpp"
+#include "data/synthetic.hpp"
+
+namespace disthd::core {
+namespace {
+
+data::TrainTestSplit workload(std::uint64_t seed = 3) {
+  data::SyntheticSpec spec;
+  spec.num_features = 24;
+  spec.num_classes = 4;
+  spec.train_size = 1200;
+  spec.test_size = 400;
+  spec.cluster_spread = 0.5;
+  spec.seed = seed;
+  return data::make_synthetic(spec);
+}
+
+/// Feeds the train split in `chunk` sized pieces.
+void stream(OnlineDistHD& learner, const data::Dataset& train,
+            std::size_t chunk) {
+  for (std::size_t start = 0; start < train.size(); start += chunk) {
+    const std::size_t count = std::min(chunk, train.size() - start);
+    std::vector<std::size_t> idx(count);
+    for (std::size_t i = 0; i < count; ++i) idx[i] = start + i;
+    const auto piece = train.subset(idx);
+    learner.partial_fit(piece.features, piece.labels);
+  }
+}
+
+TEST(OnlineDistHDConfig, Validation) {
+  OnlineDistHDConfig config;
+  config.dim = 0;
+  EXPECT_THROW(OnlineDistHD(4, 2, config), std::invalid_argument);
+  config = OnlineDistHDConfig{};
+  config.reservoir_capacity = 0;
+  EXPECT_THROW(OnlineDistHD(4, 2, config), std::invalid_argument);
+  config = OnlineDistHDConfig{};
+  config.centering_ema = 1.5;
+  EXPECT_THROW(OnlineDistHD(4, 2, config), std::invalid_argument);
+}
+
+TEST(OnlineDistHD, RejectsBadChunks) {
+  OnlineDistHDConfig config;
+  config.dim = 64;
+  OnlineDistHD learner(8, 3, config);
+  util::Matrix features(2, 8);
+  EXPECT_THROW(learner.partial_fit(features, std::vector<int>{0}),
+               std::invalid_argument);
+  EXPECT_THROW(learner.partial_fit(features, std::vector<int>{0, 5}),
+               std::invalid_argument);
+  util::Matrix wrong(2, 7);
+  EXPECT_THROW(learner.partial_fit(wrong, std::vector<int>{0, 1}),
+               std::invalid_argument);
+}
+
+TEST(OnlineDistHD, LearnsFromStream) {
+  const auto split = workload();
+  OnlineDistHDConfig config;
+  config.dim = 256;
+  config.reservoir_capacity = 600;
+  config.seed = 5;
+  OnlineDistHD learner(24, 4, config);
+  stream(learner, split.train, 100);
+
+  EXPECT_EQ(learner.samples_seen(), 1200u);
+  EXPECT_EQ(learner.chunks_seen(), 12u);
+  EXPECT_EQ(learner.reservoir_size(), 600u);
+  EXPECT_GT(learner.evaluate_accuracy(split.test), 0.8);
+}
+
+TEST(OnlineDistHD, AccuracyImprovesAlongStream) {
+  const auto split = workload(7);
+  OnlineDistHDConfig config;
+  config.dim = 256;
+  config.seed = 9;
+  OnlineDistHD learner(24, 4, config);
+
+  // After the first small chunk vs after the full stream.
+  std::vector<std::size_t> first_idx(60);
+  for (std::size_t i = 0; i < 60; ++i) first_idx[i] = i;
+  const auto first = split.train.subset(first_idx);
+  learner.partial_fit(first.features, first.labels);
+  const double early = learner.evaluate_accuracy(split.test);
+
+  std::vector<std::size_t> rest_idx(split.train.size() - 60);
+  for (std::size_t i = 0; i < rest_idx.size(); ++i) rest_idx[i] = 60 + i;
+  const auto rest = split.train.subset(rest_idx);
+  for (std::size_t start = 0; start < rest.size(); start += 100) {
+    const std::size_t count = std::min<std::size_t>(100, rest.size() - start);
+    std::vector<std::size_t> idx(count);
+    for (std::size_t i = 0; i < count; ++i) idx[i] = start + i;
+    const auto piece = rest.subset(idx);
+    learner.partial_fit(piece.features, piece.labels);
+  }
+  const double late = learner.evaluate_accuracy(split.test);
+  EXPECT_GE(late, early - 0.02);  // no catastrophic forgetting
+  EXPECT_GT(late, 0.8);
+}
+
+TEST(OnlineDistHD, RegenerationHappensOnStream) {
+  auto spec_split = workload(11);
+  OnlineDistHDConfig config;
+  config.dim = 128;
+  config.regen_every_chunks = 1;
+  config.stats.regen_rate = 0.2;
+  OnlineDistHD learner(24, 4, config);
+  // A hard-to-fit chunk sequence keeps errors alive so regeneration fires.
+  data::SyntheticSpec hard;
+  hard.num_features = 24;
+  hard.num_classes = 4;
+  hard.train_size = 600;
+  hard.test_size = 10;
+  hard.cluster_spread = 1.5;
+  hard.seed = 13;
+  const auto hard_split = data::make_synthetic(hard);
+  stream(learner, hard_split.train, 100);
+  EXPECT_GT(learner.total_regenerated(), 0u);
+}
+
+TEST(OnlineDistHD, RegenerationDisabled) {
+  const auto split = workload(15);
+  OnlineDistHDConfig config;
+  config.dim = 128;
+  config.regen_every_chunks = 0;
+  OnlineDistHD learner(24, 4, config);
+  stream(learner, split.train, 200);
+  EXPECT_EQ(learner.total_regenerated(), 0u);
+}
+
+TEST(OnlineDistHD, SnapshotMatchesLivePredictions) {
+  const auto split = workload(17);
+  OnlineDistHDConfig config;
+  config.dim = 128;
+  OnlineDistHD learner(24, 4, config);
+  stream(learner, split.train, 150);
+
+  const auto deployed = learner.snapshot();
+  const auto live = learner.predict_batch(split.test.features);
+  const auto frozen = deployed.predict_batch(split.test.features);
+  EXPECT_EQ(live, frozen);
+
+  // The snapshot is independent: further streaming must not change it.
+  std::vector<std::size_t> idx(50);
+  for (std::size_t i = 0; i < 50; ++i) idx[i] = i;
+  const auto more = split.train.subset(idx);
+  learner.partial_fit(more.features, more.labels);
+  EXPECT_EQ(deployed.predict_batch(split.test.features), frozen);
+}
+
+TEST(OnlineDistHD, ComparableToBatchTraining) {
+  const auto split = workload(19);
+  OnlineDistHDConfig config;
+  config.dim = 256;
+  config.reservoir_capacity = 1200;  // reservoir covers the whole stream
+  config.epochs_per_chunk = 2;
+  OnlineDistHD online(24, 4, config);
+  stream(online, split.train, 200);
+  const double online_accuracy = online.evaluate_accuracy(split.test);
+
+  DistHDConfig batch_config;
+  batch_config.dim = 256;
+  batch_config.iterations = 10;
+  DistHDTrainer batch(batch_config);
+  batch.fit(split.train, &split.test);
+  const double batch_accuracy = batch.last_result().final_test_accuracy;
+
+  EXPECT_GT(online_accuracy, batch_accuracy - 0.07);
+}
+
+}  // namespace
+}  // namespace disthd::core

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/baselinehd_trainer.hpp"
+#include "core/disthd_trainer.hpp"
+#include "core/neuralhd_trainer.hpp"
+#include "data/synthetic.hpp"
+
+namespace disthd::core {
+namespace {
+
+data::TrainTestSplit workload(double spread = 0.5, std::uint64_t seed = 42) {
+  data::SyntheticSpec spec;
+  spec.num_features = 24;
+  spec.num_classes = 4;
+  spec.train_size = 600;
+  spec.test_size = 300;
+  spec.clusters_per_class = 2;
+  spec.cluster_spread = spread;
+  spec.seed = seed;
+  return data::make_synthetic(spec);
+}
+
+TEST(DistHDConfig, Validation) {
+  DistHDConfig config;
+  config.dim = 0;
+  EXPECT_THROW(DistHDTrainer{config}, std::invalid_argument);
+  config = DistHDConfig{};
+  config.iterations = 0;
+  EXPECT_THROW(DistHDTrainer{config}, std::invalid_argument);
+  config = DistHDConfig{};
+  config.learning_rate = -1.0;
+  EXPECT_THROW(DistHDTrainer{config}, std::invalid_argument);
+  config = DistHDConfig{};
+  config.regen_every = 0;
+  EXPECT_THROW(DistHDTrainer{config}, std::invalid_argument);
+  config = DistHDConfig{};
+  config.stats.theta = 5.0;  // >= beta
+  EXPECT_THROW(DistHDTrainer{config}, std::invalid_argument);
+}
+
+TEST(DistHDTrainer, LearnsAndReports) {
+  const auto split = workload();
+  DistHDConfig config;
+  config.dim = 128;
+  config.iterations = 8;
+  config.seed = 3;
+  DistHDTrainer trainer(config);
+  const auto classifier = trainer.fit(split.train, &split.test);
+  const auto& result = trainer.last_result();
+
+  EXPECT_GT(result.final_test_accuracy, 0.8);
+  EXPECT_EQ(result.physical_dim, 128u);
+  EXPECT_GE(result.effective_dim, result.physical_dim);
+  EXPECT_GE(result.iterations_run, 1u);
+  EXPECT_EQ(result.trace.size(), result.iterations_run);
+  EXPECT_GT(result.train_seconds, 0.0);
+  EXPECT_EQ(classifier.dimensionality(), 128u);
+  EXPECT_EQ(classifier.num_classes(), 4u);
+}
+
+TEST(DistHDTrainer, EffectiveDimCountsRegenerations) {
+  const auto split = workload(/*spread=*/1.2, /*seed=*/7);  // hard: errors stay
+  DistHDConfig config;
+  config.dim = 100;
+  config.iterations = 6;
+  config.stats.regen_rate = 0.2;
+  config.stop_when_converged = false;
+  DistHDTrainer trainer(config);
+  trainer.fit(split.train);
+  const auto& result = trainer.last_result();
+  std::size_t total_regen = 0;
+  for (const auto& trace : result.trace) total_regen += trace.regenerated;
+  EXPECT_EQ(result.effective_dim, 100u + total_regen);
+}
+
+TEST(DistHDTrainer, FinalIterationNeverRegenerates) {
+  const auto split = workload(1.2, 9);
+  DistHDConfig config;
+  config.dim = 64;
+  config.iterations = 5;
+  config.polish_epochs = 0;
+  config.stop_when_converged = false;
+  DistHDTrainer trainer(config);
+  trainer.fit(split.train);
+  const auto& trace = trainer.last_result().trace;
+  ASSERT_EQ(trace.size(), 5u);
+  EXPECT_EQ(trace.back().regenerated, 0u);
+}
+
+TEST(DistHDTrainer, PolishEpochsAppendToTrace) {
+  const auto split = workload();
+  DistHDConfig config;
+  config.dim = 64;
+  config.iterations = 3;
+  config.polish_epochs = 2;
+  config.stop_when_converged = false;
+  DistHDTrainer trainer(config);
+  trainer.fit(split.train, &split.test);
+  // Up to 3 + 2 entries (polish may stop early on zero mispredictions).
+  EXPECT_GE(trainer.last_result().trace.size(), 3u);
+  EXPECT_LE(trainer.last_result().trace.size(), 5u);
+}
+
+TEST(DistHDTrainer, DeterministicGivenSeed) {
+  const auto split = workload();
+  DistHDConfig config;
+  config.dim = 96;
+  config.iterations = 5;
+  config.seed = 11;
+  DistHDTrainer a(config), b(config);
+  const auto model_a = a.fit(split.train, &split.test);
+  const auto model_b = b.fit(split.train, &split.test);
+  EXPECT_DOUBLE_EQ(a.last_result().final_test_accuracy,
+                   b.last_result().final_test_accuracy);
+  EXPECT_EQ(model_a.model().class_vectors(), model_b.model().class_vectors());
+}
+
+TEST(DistHDTrainer, TraceAccuraciesAreSane) {
+  const auto split = workload();
+  DistHDConfig config;
+  config.dim = 64;
+  config.iterations = 4;
+  DistHDTrainer trainer(config);
+  trainer.fit(split.train, &split.test);
+  for (const auto& trace : trainer.last_result().trace) {
+    EXPECT_GE(trace.online_train_accuracy, 0.0);
+    EXPECT_LE(trace.online_train_accuracy, 1.0);
+    if (!std::isnan(trace.train_top1)) {
+      EXPECT_LE(trace.train_top1, trace.train_top2);
+    }
+    EXPECT_GE(trace.test_accuracy, 0.0);
+    EXPECT_LE(trace.test_accuracy, 1.0);
+  }
+}
+
+TEST(DistHDTrainer, NoEvalMeansNaNFinalAccuracy) {
+  const auto split = workload();
+  DistHDConfig config;
+  config.dim = 64;
+  config.iterations = 2;
+  DistHDTrainer trainer(config);
+  trainer.fit(split.train);
+  EXPECT_TRUE(std::isnan(trainer.last_result().final_test_accuracy));
+  EXPECT_FALSE(trainer.last_result().has_eval());
+}
+
+TEST(NeuralHDTrainer, LearnsAndTracksRegeneration) {
+  const auto split = workload();
+  NeuralHDConfig config;
+  config.dim = 128;
+  config.iterations = 8;
+  config.seed = 3;
+  NeuralHDTrainer trainer(config);
+  const auto classifier = trainer.fit(split.train, &split.test);
+  EXPECT_GT(trainer.last_result().final_test_accuracy, 0.8);
+  EXPECT_GE(trainer.last_result().effective_dim, 128u);
+  EXPECT_EQ(classifier.dimensionality(), 128u);
+}
+
+TEST(NeuralHDTrainer, RegeneratesExactBudget) {
+  const auto split = workload(1.2, 5);
+  NeuralHDConfig config;
+  config.dim = 100;
+  config.iterations = 4;
+  config.regen_rate = 0.10;
+  config.stop_when_converged = false;
+  NeuralHDTrainer trainer(config);
+  trainer.fit(split.train);
+  const auto& trace = trainer.last_result().trace;
+  ASSERT_EQ(trace.size(), 4u);
+  // Every non-final iteration regenerates exactly 10 of 100 dims.
+  for (std::size_t i = 0; i + 1 < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].regenerated, 10u);
+  }
+  EXPECT_EQ(trace.back().regenerated, 0u);
+}
+
+TEST(NeuralHDTrainer, VarianceScoresFlagDeadDimensions) {
+  hd::ClassModel model(3, 4);
+  // Dim 0 identical across classes (dead); dim 1 discriminates.
+  model.add_scaled(0, 1.0f, std::vector<float>{1.0f, 1.0f, 0.0f, 0.0f});
+  model.add_scaled(1, 1.0f, std::vector<float>{1.0f, -1.0f, 0.0f, 0.0f});
+  model.add_scaled(2, 1.0f, std::vector<float>{1.0f, 0.0f, 1.0f, 0.0f});
+  const auto scores = dimension_variance_scores(model);
+  ASSERT_EQ(scores.size(), 4u);
+  EXPECT_GT(scores[1], scores[0]);
+  EXPECT_GT(scores[1], scores[3]);  // untouched dim is dead too
+}
+
+TEST(BaselineHDTrainer, ProjectionAndRbfBothLearn) {
+  const auto split = workload();
+  for (const auto kind :
+       {StaticEncoderKind::projection, StaticEncoderKind::rbf}) {
+    BaselineHDConfig config;
+    config.dim = 256;
+    config.iterations = 8;
+    config.encoder = kind;
+    config.seed = 3;
+    BaselineHDTrainer trainer(config);
+    const auto classifier = trainer.fit(split.train, &split.test);
+    EXPECT_GT(trainer.last_result().final_test_accuracy, 0.7)
+        << "encoder kind " << static_cast<int>(kind);
+    // Static encoder: effective dimensionality equals physical.
+    EXPECT_EQ(trainer.last_result().effective_dim, 256u);
+  }
+}
+
+TEST(BaselineHDTrainer, StopsWhenConverged) {
+  const auto split = workload(0.2, 3);  // trivially separable
+  BaselineHDConfig config;
+  config.dim = 256;
+  config.iterations = 50;
+  config.encoder = StaticEncoderKind::rbf;
+  BaselineHDTrainer trainer(config);
+  trainer.fit(split.train);
+  EXPECT_LT(trainer.last_result().iterations_run, 50u);
+}
+
+TEST(Trainers, DistHDBeatsStaticBaselineAtSameDim) {
+  // The paper's core claim at compressed dimensionality (Fig. 4): dynamic
+  // encoding wins against the static bipolar baseline at equal D on a task
+  // with correlated features, where D is the bottleneck. The latent mixing
+  // (sensor-style data) is what makes the coarse bipolar projection waste
+  // capacity; see bench_fig4_accuracy for the full-scale version.
+  data::SyntheticSpec spec;
+  spec.num_features = 96;
+  spec.num_classes = 6;
+  spec.train_size = 900;
+  spec.test_size = 450;
+  spec.clusters_per_class = 3;
+  spec.cluster_spread = 0.9;
+  spec.latent_dim = 12;
+  spec.seed = 13;
+  const auto split = data::make_synthetic(spec);
+
+  DistHDConfig disthd_config;
+  disthd_config.dim = 192;
+  disthd_config.iterations = 18;
+  disthd_config.regen_every = 3;
+  disthd_config.polish_epochs = 3;
+  DistHDTrainer disthd(disthd_config);
+  disthd.fit(split.train, &split.test);
+
+  BaselineHDConfig base_config;
+  base_config.dim = 192;
+  base_config.iterations = 18;
+  base_config.encoder = StaticEncoderKind::projection;
+  BaselineHDTrainer baseline(base_config);
+  baseline.fit(split.train, &split.test);
+
+  EXPECT_GT(disthd.last_result().final_test_accuracy,
+            baseline.last_result().final_test_accuracy);
+}
+
+}  // namespace
+}  // namespace disthd::core

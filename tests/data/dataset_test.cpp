@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "data/dataset.hpp"
+
+namespace disthd::data {
+namespace {
+
+Dataset tiny_dataset() {
+  Dataset d;
+  d.name = "tiny";
+  d.num_classes = 3;
+  d.features = util::Matrix(6, 2);
+  for (std::size_t i = 0; i < 6; ++i) {
+    d.features(i, 0) = static_cast<float>(i);
+    d.features(i, 1) = static_cast<float>(10 * i);
+  }
+  d.labels = {0, 1, 2, 0, 1, 2};
+  return d;
+}
+
+TEST(Dataset, ValidatePasses) {
+  EXPECT_NO_THROW(tiny_dataset().validate());
+}
+
+TEST(Dataset, ValidateCatchesRowMismatch) {
+  auto d = tiny_dataset();
+  d.labels.pop_back();
+  EXPECT_THROW(d.validate(), std::runtime_error);
+}
+
+TEST(Dataset, ValidateCatchesBadLabel) {
+  auto d = tiny_dataset();
+  d.labels[0] = 3;
+  EXPECT_THROW(d.validate(), std::runtime_error);
+  d.labels[0] = -1;
+  EXPECT_THROW(d.validate(), std::runtime_error);
+}
+
+TEST(Dataset, ValidateCatchesZeroClasses) {
+  auto d = tiny_dataset();
+  d.num_classes = 0;
+  EXPECT_THROW(d.validate(), std::runtime_error);
+}
+
+TEST(Dataset, ClassCounts) {
+  const auto counts = tiny_dataset().class_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  for (const auto c : counts) EXPECT_EQ(c, 2u);
+}
+
+TEST(Dataset, SubsetPreservesPairs) {
+  const auto d = tiny_dataset();
+  const std::vector<std::size_t> idx = {4, 1};
+  const auto sub = d.subset(idx);
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.labels[0], 1);
+  EXPECT_FLOAT_EQ(sub.features(0, 0), 4.0f);
+  EXPECT_EQ(sub.labels[1], 1);
+  EXPECT_FLOAT_EQ(sub.features(1, 1), 10.0f);
+}
+
+TEST(Dataset, ShuffleKeepsFeatureLabelAlignment) {
+  auto d = tiny_dataset();
+  util::Rng rng(1);
+  d.shuffle(rng);
+  EXPECT_EQ(d.size(), 6u);
+  // Feature column 0 was the original index; label = index % 3.
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const auto original = static_cast<int>(d.features(i, 0));
+    EXPECT_EQ(d.labels[i], original % 3);
+  }
+}
+
+TEST(StratifiedSplit, PreservesClassProportions) {
+  Dataset d;
+  d.name = "prop";
+  d.num_classes = 2;
+  d.features = util::Matrix(100, 1);
+  d.labels.resize(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    d.labels[i] = i < 80 ? 0 : 1;  // 80/20 imbalance
+  }
+  util::Rng rng(3);
+  const auto split = stratified_split(d, 0.25, rng);
+  EXPECT_EQ(split.test.size(), 25u);
+  EXPECT_EQ(split.train.size(), 75u);
+  const auto test_counts = split.test.class_counts();
+  EXPECT_EQ(test_counts[0], 20u);
+  EXPECT_EQ(test_counts[1], 5u);
+}
+
+TEST(StratifiedSplit, RejectsBadFraction) {
+  const auto d = tiny_dataset();
+  util::Rng rng(1);
+  EXPECT_THROW(stratified_split(d, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(stratified_split(d, 1.0, rng), std::invalid_argument);
+}
+
+TEST(StratifiedSubsample, CapsSizeKeepsBalance) {
+  Dataset d;
+  d.num_classes = 2;
+  d.features = util::Matrix(200, 1);
+  d.labels.resize(200);
+  for (std::size_t i = 0; i < 200; ++i) d.labels[i] = static_cast<int>(i % 2);
+  util::Rng rng(5);
+  const auto sub = stratified_subsample(d, 50, rng);
+  EXPECT_LE(sub.size(), 50u);
+  const auto counts = sub.class_counts();
+  EXPECT_NEAR(static_cast<double>(counts[0]), static_cast<double>(counts[1]),
+              2.0);
+}
+
+TEST(StratifiedSubsample, NoopWhenSmaller) {
+  const auto d = tiny_dataset();
+  util::Rng rng(5);
+  const auto sub = stratified_subsample(d, 100, rng);
+  EXPECT_EQ(sub.size(), d.size());
+}
+
+}  // namespace
+}  // namespace disthd::data

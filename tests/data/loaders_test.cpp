@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+
+#include "data/loaders.hpp"
+
+namespace disthd::data {
+namespace {
+
+class LoadersTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "disthd_loaders_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  static void write_be_u32(std::ofstream& out, std::uint32_t v) {
+    const unsigned char bytes[4] = {
+        static_cast<unsigned char>(v >> 24),
+        static_cast<unsigned char>(v >> 16),
+        static_cast<unsigned char>(v >> 8), static_cast<unsigned char>(v)};
+    out.write(reinterpret_cast<const char*>(bytes), 4);
+  }
+
+  /// Writes a 2-image 2x2 IDX pair in the genuine MNIST format.
+  void write_idx_pair(const std::string& images, const std::string& labels) {
+    std::ofstream img(path(images), std::ios::binary);
+    write_be_u32(img, 0x0803);
+    write_be_u32(img, 2);  // count
+    write_be_u32(img, 2);  // height
+    write_be_u32(img, 2);  // width
+    const unsigned char pixels[8] = {0, 255, 128, 64, 255, 255, 0, 0};
+    img.write(reinterpret_cast<const char*>(pixels), 8);
+
+    std::ofstream lbl(path(labels), std::ios::binary);
+    write_be_u32(lbl, 0x0801);
+    write_be_u32(lbl, 2);
+    const unsigned char values[2] = {7, 3};
+    lbl.write(reinterpret_cast<const char*>(values), 2);
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(LoadersTest, IdxRoundTrip) {
+  write_idx_pair("imgs", "lbls");
+  const Dataset d = load_idx(path("imgs"), path("lbls"));
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.num_features(), 4u);
+  EXPECT_EQ(d.labels[0], 7);
+  EXPECT_EQ(d.labels[1], 3);
+  EXPECT_FLOAT_EQ(d.features(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(d.features(0, 1), 1.0f);
+  EXPECT_NEAR(d.features(0, 2), 128.0f / 255.0f, 1e-6);
+}
+
+TEST_F(LoadersTest, IdxBadMagicThrows) {
+  std::ofstream img(path("bad"), std::ios::binary);
+  write_be_u32(img, 0x9999);
+  img.close();
+  write_idx_pair("imgs", "lbls");
+  EXPECT_THROW(load_idx(path("bad"), path("lbls")), std::runtime_error);
+}
+
+TEST_F(LoadersTest, IdxCountMismatchThrows) {
+  write_idx_pair("imgs", "lbls");
+  // Write a label file with a different count.
+  std::ofstream lbl(path("short"), std::ios::binary);
+  write_be_u32(lbl, 0x0801);
+  write_be_u32(lbl, 1);
+  const char one = 1;
+  lbl.write(&one, 1);
+  lbl.close();
+  EXPECT_THROW(load_idx(path("imgs"), path("short")), std::runtime_error);
+}
+
+TEST_F(LoadersTest, IdxMissingFileThrows) {
+  EXPECT_THROW(load_idx(path("none"), path("none2")), std::runtime_error);
+}
+
+TEST_F(LoadersTest, CsvLabeledLastColumn) {
+  std::ofstream out(path("d.csv"));
+  out << "f1,f2,label\n1.0,2.0,5\n3.0,4.0,9\n5.0,6.0,5\n";
+  out.close();
+  const Dataset d = load_csv_labeled(path("d.csv"), /*has_header=*/true);
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.num_features(), 2u);
+  // Labels remapped densely in sorted order: 5 -> 0, 9 -> 1.
+  EXPECT_EQ(d.num_classes, 2u);
+  EXPECT_EQ(d.labels[0], 0);
+  EXPECT_EQ(d.labels[1], 1);
+  EXPECT_EQ(d.labels[2], 0);
+  EXPECT_FLOAT_EQ(d.features(1, 1), 4.0f);
+}
+
+TEST_F(LoadersTest, CsvLabeledCustomColumn) {
+  std::ofstream out(path("d2.csv"));
+  out << "2,1.5,2.5\n1,3.5,4.5\n";
+  out.close();
+  const Dataset d =
+      load_csv_labeled(path("d2.csv"), /*has_header=*/false, /*label_column=*/0);
+  EXPECT_EQ(d.num_features(), 2u);
+  EXPECT_EQ(d.labels[0], 1);  // sorted order: 1 -> 0, 2 -> 1
+  EXPECT_EQ(d.labels[1], 0);
+  EXPECT_FLOAT_EQ(d.features(0, 0), 1.5f);
+}
+
+TEST_F(LoadersTest, CsvNonNumericLabelThrows) {
+  std::ofstream out(path("d3.csv"));
+  out << "1.0,abc\n";
+  out.close();
+  EXPECT_THROW(load_csv_labeled(path("d3.csv"), false), std::runtime_error);
+}
+
+TEST_F(LoadersTest, SplitFilesUciFormat) {
+  std::ofstream x(path("X.txt"));
+  x << "  0.1  0.2 0.3\n0.4 0.5 0.6\n 0.7 0.8 0.9\n";
+  x.close();
+  std::ofstream y(path("y.txt"));
+  y << "1\n2\n1\n";  // 1-based labels as in UCI HAR
+  y.close();
+  const Dataset d = load_split_files(path("X.txt"), path("y.txt"));
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.num_features(), 3u);
+  EXPECT_EQ(d.num_classes, 2u);
+  EXPECT_EQ(d.labels[0], 0);
+  EXPECT_EQ(d.labels[1], 1);
+  EXPECT_FLOAT_EQ(d.features(2, 2), 0.9f);
+}
+
+TEST_F(LoadersTest, SplitFilesCountMismatchThrows) {
+  std::ofstream x(path("X2.txt"));
+  x << "1 2\n3 4\n";
+  x.close();
+  std::ofstream y(path("y2.txt"));
+  y << "1\n";
+  y.close();
+  EXPECT_THROW(load_split_files(path("X2.txt"), path("y2.txt")),
+               std::runtime_error);
+}
+
+TEST_F(LoadersTest, SplitFilesRaggedThrows) {
+  std::ofstream x(path("X3.txt"));
+  x << "1 2\n3\n";
+  x.close();
+  std::ofstream y(path("y3.txt"));
+  y << "1\n2\n";
+  y.close();
+  EXPECT_THROW(load_split_files(path("X3.txt"), path("y3.txt")),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace disthd::data

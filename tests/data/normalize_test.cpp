@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/normalize.hpp"
+#include "util/rng.hpp"
+
+namespace disthd::data {
+namespace {
+
+TEST(Scaler, MinMaxMapsTrainToUnitRange) {
+  util::Matrix m(3, 2);
+  m(0, 0) = 0.0f;  m(0, 1) = 10.0f;
+  m(1, 0) = 5.0f;  m(1, 1) = 20.0f;
+  m(2, 0) = 10.0f; m(2, 1) = 30.0f;
+  Scaler scaler(ScalerKind::min_max);
+  scaler.fit_transform(m);
+  EXPECT_FLOAT_EQ(m(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(m(1, 0), 0.5f);
+  EXPECT_FLOAT_EQ(m(2, 0), 1.0f);
+  EXPECT_FLOAT_EQ(m(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(m(2, 1), 1.0f);
+}
+
+TEST(Scaler, TransformUsesTrainStatistics) {
+  util::Matrix train(2, 1);
+  train(0, 0) = 0.0f;
+  train(1, 0) = 10.0f;
+  Scaler scaler(ScalerKind::min_max);
+  scaler.fit(train);
+  util::Matrix test(1, 1);
+  test(0, 0) = 20.0f;  // outside train range -> maps beyond 1
+  scaler.transform(test);
+  EXPECT_FLOAT_EQ(test(0, 0), 2.0f);
+}
+
+TEST(Scaler, ConstantColumnMapsToZero) {
+  util::Matrix m(3, 1, 7.0f);
+  Scaler scaler(ScalerKind::min_max);
+  scaler.fit_transform(m);
+  for (std::size_t r = 0; r < 3; ++r) EXPECT_FLOAT_EQ(m(r, 0), 0.0f);
+}
+
+TEST(Scaler, ZScoreMeanZeroStdOne) {
+  util::Rng rng(3);
+  util::Matrix m(1000, 4);
+  m.fill_normal(rng, 5.0, 3.0);
+  Scaler scaler(ScalerKind::z_score);
+  scaler.fit_transform(m);
+  for (std::size_t c = 0; c < 4; ++c) {
+    double mean = 0.0, sq = 0.0;
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      mean += m(r, c);
+      sq += static_cast<double>(m(r, c)) * m(r, c);
+    }
+    mean /= static_cast<double>(m.rows());
+    const double variance = sq / static_cast<double>(m.rows()) - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(variance, 1.0, 1e-3);
+  }
+}
+
+TEST(Scaler, NotFittedThrows) {
+  Scaler scaler;
+  util::Matrix m(1, 1);
+  EXPECT_THROW(scaler.transform(m), std::logic_error);
+  EXPECT_FALSE(scaler.fitted());
+}
+
+TEST(Scaler, ColumnMismatchThrows) {
+  util::Matrix train(2, 3);
+  Scaler scaler;
+  scaler.fit(train);
+  util::Matrix wrong(2, 4);
+  EXPECT_THROW(scaler.transform(wrong), std::invalid_argument);
+}
+
+TEST(Scaler, EmptyFitThrows) {
+  util::Matrix empty(0, 3);
+  Scaler scaler;
+  EXPECT_THROW(scaler.fit(empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace disthd::data

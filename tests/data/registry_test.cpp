@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "data/registry.hpp"
+
+namespace disthd::data {
+namespace {
+
+TEST(Registry, Table1NamesComplete) {
+  const auto& names = table1_names();
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(names[0], "mnist");
+  EXPECT_EQ(names[4], "diabetes");
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(load_by_name("cifar10"), std::invalid_argument);
+}
+
+TEST(Registry, SyntheticFallbackHasCorrectShape) {
+  DatasetOptions options;
+  options.scale = 0.02;
+  options.data_dir = "/nonexistent_dir_disthd";
+  const auto dataset = load_by_name("ucihar", options);
+  EXPECT_TRUE(dataset.is_synthetic);
+  EXPECT_EQ(dataset.split.train.num_features(), 561u);
+  EXPECT_EQ(dataset.split.train.num_classes, 12u);
+  EXPECT_NO_THROW(dataset.split.train.validate());
+}
+
+TEST(Registry, NormalizationMapsTrainToUnitRange) {
+  DatasetOptions options;
+  options.scale = 0.02;
+  options.normalize = true;
+  const auto dataset = load_by_name("pamap2", options);
+  const auto& f = dataset.split.train.features;
+  float lo = 1e30f, hi = -1e30f;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    lo = std::min(lo, f.data()[i]);
+    hi = std::max(hi, f.data()[i]);
+  }
+  EXPECT_GE(lo, 0.0f);
+  EXPECT_LE(hi, 1.0f + 1e-5f);
+}
+
+TEST(Registry, NoNormalizeKeepsRawValues) {
+  DatasetOptions options;
+  options.scale = 0.02;
+  options.normalize = false;
+  const auto dataset = load_by_name("pamap2", options);
+  const auto& f = dataset.split.train.features;
+  float lo = 1e30f;
+  for (std::size_t i = 0; i < f.size(); ++i) lo = std::min(lo, f.data()[i]);
+  EXPECT_LT(lo, 0.0f);  // raw Gaussian mixtures go negative
+}
+
+TEST(Registry, SeedChangesData) {
+  DatasetOptions a;
+  a.scale = 0.02;
+  a.seed = 1;
+  DatasetOptions b = a;
+  b.seed = 2;
+  const auto da = load_by_name("diabetes", a);
+  const auto db = load_by_name("diabetes", b);
+  EXPECT_NE(da.split.train.features, db.split.train.features);
+}
+
+TEST(Registry, RealCsvLayoutTakesPrecedence) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "disthd_registry_test";
+  std::filesystem::create_directories(dir);
+  {
+    std::ofstream train(dir / "diabetes_train.csv");
+    train << "f1,f2,label\n";
+    for (int i = 0; i < 30; ++i) {
+      train << (i % 10) << "," << (i % 7) << "," << (i % 3) << "\n";
+    }
+    std::ofstream test(dir / "diabetes_test.csv");
+    test << "f1,f2,label\n";
+    for (int i = 0; i < 9; ++i) {
+      test << (i % 10) << "," << (i % 7) << "," << (i % 3) << "\n";
+    }
+  }
+  DatasetOptions options;
+  options.data_dir = dir.string();
+  const auto dataset = load_by_name("diabetes", options);
+  EXPECT_FALSE(dataset.is_synthetic);
+  EXPECT_EQ(dataset.split.train.size(), 30u);
+  EXPECT_EQ(dataset.split.test.size(), 9u);
+  EXPECT_EQ(dataset.split.train.num_features(), 2u);
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace disthd::data

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "core/disthd_trainer.hpp"
+#include "data/synthetic.hpp"
+#include "hd/bipolar_model.hpp"
+
+namespace disthd::hd {
+namespace {
+
+TEST(BipolarModel, PackedShape) {
+  const ClassModel model(3, 130);  // 130 dims -> 3 words per class
+  const BipolarModel packed(model);
+  EXPECT_EQ(packed.num_classes(), 3u);
+  EXPECT_EQ(packed.dimensionality(), 130u);
+  EXPECT_EQ(packed.class_words(0).size(), 3u);
+  EXPECT_EQ(packed.storage_bytes(), 3u * 3u * 8u);
+}
+
+TEST(BipolarModel, SignsArePackedLsbFirst) {
+  ClassModel model(1, 4);
+  model.add_scaled(0, 1.0f, std::vector<float>{1.0f, -1.0f, 0.5f, -0.5f});
+  const BipolarModel packed(model);
+  // Signs: + - + -  -> bits 0b0101 = 5.
+  EXPECT_EQ(packed.class_words(0)[0], 0b0101u);
+}
+
+TEST(BipolarModel, AgreementIdenticalIsDim) {
+  ClassModel model(2, 100);
+  util::Rng rng(3);
+  std::vector<float> h(100);
+  for (auto& v : h) v = static_cast<float>(rng.normal());
+  model.add_scaled(0, 1.0f, h);
+  const BipolarModel packed(model);
+  const auto query = packed.pack_query(h);
+  EXPECT_EQ(packed.agreement(query, 0), 100u);
+}
+
+TEST(BipolarModel, AgreementOppositeIsZero) {
+  ClassModel model(1, 64);
+  std::vector<float> h(64, 1.0f);
+  model.add_scaled(0, 1.0f, h);
+  const BipolarModel packed(model);
+  const std::vector<float> negated(64, -1.0f);
+  const auto query = packed.pack_query(negated);
+  EXPECT_EQ(packed.agreement(query, 0), 0u);
+}
+
+TEST(BipolarModel, PaddingBitsDoNotCount) {
+  // dim = 65 leaves 63 padding bits in the second word; agreement of a
+  // vector with itself must still be exactly 65.
+  ClassModel model(1, 65);
+  util::Rng rng(5);
+  std::vector<float> h(65);
+  for (auto& v : h) v = static_cast<float>(rng.normal());
+  model.add_scaled(0, 1.0f, h);
+  const BipolarModel packed(model);
+  EXPECT_EQ(packed.agreement(packed.pack_query(h), 0), 65u);
+}
+
+TEST(BipolarModel, QueryDimMismatchThrows) {
+  const ClassModel model(2, 64);
+  const BipolarModel packed(model);
+  EXPECT_THROW(packed.pack_query(std::vector<float>(63, 1.0f)),
+               std::invalid_argument);
+}
+
+TEST(BipolarModel, TrackedAccuracyNearFloatModel) {
+  // End to end: packed Hamming inference retains most of the float model's
+  // accuracy (the paper's 1-bit deployment story).
+  data::SyntheticSpec spec;
+  spec.num_features = 24;
+  spec.num_classes = 4;
+  spec.train_size = 800;
+  spec.test_size = 400;
+  spec.cluster_spread = 0.5;
+  spec.seed = 11;
+  const auto split = data::make_synthetic(spec);
+
+  core::DistHDConfig config;
+  config.dim = 2048;  // redundancy is what makes sign quantization cheap
+  config.iterations = 8;
+  config.polish_epochs = 2;
+  core::DistHDTrainer trainer(config);
+  const auto classifier = trainer.fit(split.train);
+  const double float_accuracy = classifier.evaluate_accuracy(split.test);
+
+  const BipolarModel packed(classifier.model());
+  util::Matrix encoded;
+  classifier.encoder().encode_batch(split.test.features, encoded);
+  const auto predictions = packed.predict_batch(encoded);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    correct += (predictions[i] == split.test.labels[i]);
+  }
+  const double packed_accuracy =
+      static_cast<double>(correct) / predictions.size();
+  EXPECT_GT(packed_accuracy, float_accuracy - 0.10);
+  EXPECT_GT(packed_accuracy, 0.7);
+  // 1-bit storage: 4 classes x 2048 dims / 8 = 1 KiB.
+  EXPECT_EQ(packed.storage_bytes(), 4u * (2048u / 64u) * 8u);
+}
+
+TEST(BipolarModel, PredictMatchesPredictPacked) {
+  ClassModel model(3, 128);
+  util::Rng rng(7);
+  for (std::size_t c = 0; c < 3; ++c) {
+    std::vector<float> proto(128);
+    for (auto& v : proto) v = static_cast<float>(rng.normal());
+    model.add_scaled(c, 1.0f, proto);
+  }
+  const BipolarModel packed(model);
+  std::vector<float> query(128);
+  for (auto& v : query) v = static_cast<float>(rng.normal());
+  EXPECT_EQ(packed.predict(query), packed.predict_packed(packed.pack_query(query)));
+}
+
+}  // namespace
+}  // namespace disthd::hd

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hd/centering.hpp"
+#include "util/rng.hpp"
+
+namespace disthd::hd {
+namespace {
+
+util::Matrix random_features(std::size_t rows, std::size_t cols,
+                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  util::Matrix m(rows, cols);
+  m.fill_uniform(rng, 0.0, 1.0);
+  return m;
+}
+
+TEST(Centering, EncodedColumnsBecomeZeroMean) {
+  RbfEncoder encoder(8, 64, 5);
+  const auto features = random_features(200, 8, 7);
+  util::Matrix encoded;
+  encoder.encode_batch(features, encoded);
+  calibrate_output_centering(encoder, encoded);
+  std::vector<double> sums;
+  util::col_sums(encoded, sums);
+  for (const double s : sums) {
+    EXPECT_NEAR(s / 200.0, 0.0, 1e-5);
+  }
+}
+
+TEST(Centering, FreshEncodingsMatchCalibratedBatch) {
+  RbfEncoder encoder(8, 64, 5);
+  const auto features = random_features(50, 8, 9);
+  util::Matrix encoded;
+  encoder.encode_batch(features, encoded);
+  calibrate_output_centering(encoder, encoded);
+  // Re-encoding the same rows through the calibrated encoder reproduces the
+  // centered batch.
+  util::Matrix again;
+  encoder.encode_batch(features, again);
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    EXPECT_NEAR(encoded.data()[i], again.data()[i], 1e-5);
+  }
+}
+
+TEST(Centering, RawBatchHasBiasedColumns) {
+  // Sanity for the premise: without centering the cos*sin outputs have a
+  // clearly nonzero per-dimension mean for at least some dimensions.
+  const RbfEncoder encoder(8, 64, 5);
+  const auto features = random_features(500, 8, 11);
+  util::Matrix encoded;
+  encoder.encode_batch(features, encoded);
+  std::vector<double> sums;
+  util::col_sums(encoded, sums);
+  double max_abs_mean = 0.0;
+  for (const double s : sums) {
+    max_abs_mean = std::max(max_abs_mean, std::fabs(s / 500.0));
+  }
+  EXPECT_GT(max_abs_mean, 0.1);
+}
+
+TEST(Centering, RecenterColumnsAfterRegeneration) {
+  RbfEncoder encoder(8, 32, 5);
+  const auto features = random_features(100, 8, 13);
+  util::Matrix encoded;
+  encoder.encode_batch(features, encoded);
+  calibrate_output_centering(encoder, encoded);
+
+  util::Rng rng(3);
+  const std::vector<std::size_t> dims = {4, 17};
+  encoder.regenerate_dimensions(dims, rng);
+  encoder.reset_output_offset_dims(dims);
+  encoder.reencode_columns(features, dims, encoded);
+  recenter_columns(encoder, encoded, dims);
+
+  // All columns (old and regenerated) are zero-mean again.
+  std::vector<double> sums;
+  util::col_sums(encoded, sums);
+  for (const double s : sums) {
+    EXPECT_NEAR(s / 100.0, 0.0, 1e-5);
+  }
+  // And fresh encodes agree with the batch.
+  util::Matrix again;
+  encoder.encode_batch(features, again);
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    EXPECT_NEAR(encoded.data()[i], again.data()[i], 1e-5);
+  }
+}
+
+TEST(Centering, DimMismatchThrows) {
+  RbfEncoder encoder(8, 32, 5);
+  util::Matrix wrong(10, 31);
+  EXPECT_THROW(calibrate_output_centering(encoder, wrong),
+               std::invalid_argument);
+}
+
+TEST(Centering, EmptyDimsIsNoop) {
+  RbfEncoder encoder(8, 32, 5);
+  const auto features = random_features(10, 8, 13);
+  util::Matrix encoded;
+  encoder.encode_batch(features, encoded);
+  const util::Matrix before = encoded;
+  recenter_columns(encoder, encoded, {});
+  EXPECT_EQ(encoded, before);
+}
+
+}  // namespace
+}  // namespace disthd::hd

@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "hd/encoder.hpp"
+#include "hd/ops.hpp"
+#include "util/rng.hpp"
+
+namespace disthd::hd {
+namespace {
+
+util::Matrix random_features(std::size_t rows, std::size_t cols,
+                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  util::Matrix m(rows, cols);
+  m.fill_uniform(rng, 0.0, 1.0);
+  return m;
+}
+
+TEST(RbfEncoder, ShapeAccessors) {
+  const RbfEncoder encoder(16, 128, 1);
+  EXPECT_EQ(encoder.num_features(), 16u);
+  EXPECT_EQ(encoder.dimensionality(), 128u);
+  EXPECT_EQ(encoder.total_regenerated(), 0u);
+}
+
+TEST(RbfEncoder, RejectsZeroSizes) {
+  EXPECT_THROW(RbfEncoder(0, 10, 1), std::invalid_argument);
+  EXPECT_THROW(RbfEncoder(10, 0, 1), std::invalid_argument);
+}
+
+TEST(RbfEncoder, DeterministicForSameSeed) {
+  const RbfEncoder a(8, 64, 99);
+  const RbfEncoder b(8, 64, 99);
+  const auto features = random_features(1, 8, 5);
+  std::vector<float> ha(64), hb(64);
+  a.encode(features.row(0), ha);
+  b.encode(features.row(0), hb);
+  EXPECT_EQ(ha, hb);
+}
+
+TEST(RbfEncoder, DifferentSeedsDiffer) {
+  const RbfEncoder a(8, 64, 1);
+  const RbfEncoder b(8, 64, 2);
+  const auto features = random_features(1, 8, 5);
+  std::vector<float> ha(64), hb(64);
+  a.encode(features.row(0), ha);
+  b.encode(features.row(0), hb);
+  EXPECT_NE(ha, hb);
+}
+
+TEST(RbfEncoder, OutputBounded) {
+  const RbfEncoder encoder(8, 256, 3);
+  const auto features = random_features(10, 8, 7);
+  util::Matrix encoded;
+  encoder.encode_batch(features, encoded);
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    EXPECT_LE(std::fabs(encoded.data()[i]), 1.0f);
+  }
+}
+
+TEST(RbfEncoder, BatchMatchesSingle) {
+  const RbfEncoder encoder(12, 100, 4);
+  const auto features = random_features(5, 12, 9);
+  util::Matrix encoded;
+  encoder.encode_batch(features, encoded);
+  std::vector<float> single(100);
+  for (std::size_t r = 0; r < 5; ++r) {
+    encoder.encode(features.row(r), single);
+    for (std::size_t d = 0; d < 100; ++d) {
+      EXPECT_NEAR(encoded(r, d), single[d], 1e-4) << "row " << r << " d " << d;
+    }
+  }
+}
+
+TEST(RbfEncoder, InputNormalizationMakesScaleInvariant) {
+  const RbfEncoder encoder(6, 64, 5);
+  util::Matrix features = random_features(1, 6, 11);
+  std::vector<float> h1(64), h2(64);
+  encoder.encode(features.row(0), h1);
+  for (auto& v : features.row(0)) v *= 10.0f;  // same direction, 10x scale
+  encoder.encode(features.row(0), h2);
+  for (std::size_t d = 0; d < 64; ++d) EXPECT_NEAR(h1[d], h2[d], 1e-5);
+}
+
+TEST(RbfEncoder, WithoutNormalizationScaleMatters) {
+  const RbfEncoder encoder(6, 64, 5, /*normalize_input=*/false);
+  util::Matrix features = random_features(1, 6, 11);
+  std::vector<float> h1(64), h2(64);
+  encoder.encode(features.row(0), h1);
+  for (auto& v : features.row(0)) v *= 10.0f;
+  encoder.encode(features.row(0), h2);
+  EXPECT_NE(h1, h2);
+}
+
+TEST(RbfEncoder, SimilarInputsEncodeSimilarly) {
+  const RbfEncoder encoder(10, 2000, 6);
+  util::Rng rng(13);
+  util::Matrix features(3, 10);
+  for (std::size_t c = 0; c < 10; ++c) {
+    features(0, c) = static_cast<float>(rng.uniform(0.0, 1.0));
+    features(1, c) = features(0, c) + 0.01f;  // small perturbation
+    features(2, c) = static_cast<float>(rng.uniform(0.0, 1.0));  // unrelated
+  }
+  util::Matrix encoded;
+  encoder.encode_batch(features, encoded);
+  const double near = util::cosine(encoded.row(0), encoded.row(1));
+  const double far = util::cosine(encoded.row(0), encoded.row(2));
+  EXPECT_GT(near, 0.9);
+  EXPECT_LT(far, near);
+}
+
+TEST(RbfEncoder, RegenerationChangesOnlySelectedDims) {
+  RbfEncoder encoder(8, 100, 7);
+  const auto features = random_features(4, 8, 15);
+  util::Matrix before;
+  encoder.encode_batch(features, before);
+
+  util::Rng rng(21);
+  const std::vector<std::size_t> dims = {3, 50, 99};
+  encoder.regenerate_dimensions(dims, rng);
+  EXPECT_EQ(encoder.total_regenerated(), 3u);
+
+  util::Matrix after;
+  encoder.encode_batch(features, after);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t d = 0; d < 100; ++d) {
+      const bool regenerated =
+          (d == 3 || d == 50 || d == 99);
+      if (regenerated) continue;  // those may change arbitrarily
+      EXPECT_FLOAT_EQ(before(r, d), after(r, d)) << "r=" << r << " d=" << d;
+    }
+  }
+  // At least one regenerated column must actually differ.
+  bool changed = false;
+  for (std::size_t r = 0; r < 4 && !changed; ++r) {
+    for (const std::size_t d : dims) {
+      if (before(r, d) != after(r, d)) changed = true;
+    }
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(RbfEncoder, RegenerateOutOfRangeThrows) {
+  RbfEncoder encoder(8, 10, 7);
+  util::Rng rng(1);
+  const std::vector<std::size_t> dims = {10};
+  EXPECT_THROW(encoder.regenerate_dimensions(dims, rng), std::out_of_range);
+}
+
+TEST(RbfEncoder, ReencodeColumnsMatchesFullEncode) {
+  RbfEncoder encoder(8, 60, 7);
+  const auto features = random_features(6, 8, 17);
+  util::Matrix encoded;
+  encoder.encode_batch(features, encoded);
+
+  util::Rng rng(23);
+  const std::vector<std::size_t> dims = {0, 7, 31, 59};
+  encoder.regenerate_dimensions(dims, rng);
+  encoder.reencode_columns(features, dims, encoded);
+
+  util::Matrix reference;
+  encoder.encode_batch(features, reference);
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    EXPECT_NEAR(encoded.data()[i], reference.data()[i], 1e-4);
+  }
+}
+
+TEST(RbfEncoder, ReencodeColumnsShapeMismatchThrows) {
+  RbfEncoder encoder(8, 60, 7);
+  const auto features = random_features(6, 8, 17);
+  util::Matrix wrong(6, 59);
+  const std::vector<std::size_t> dims = {1};
+  EXPECT_THROW(encoder.reencode_columns(features, dims, wrong),
+               std::invalid_argument);
+}
+
+TEST(RbfEncoder, OutputOffsetIsSubtracted) {
+  RbfEncoder encoder(4, 8, 3);
+  const auto features = random_features(1, 4, 19);
+  std::vector<float> raw(8), shifted(8);
+  encoder.encode(features.row(0), raw);
+  std::vector<float> offset(8, 0.25f);
+  encoder.set_output_offset(offset);
+  encoder.encode(features.row(0), shifted);
+  for (std::size_t d = 0; d < 8; ++d) {
+    EXPECT_NEAR(shifted[d], raw[d] - 0.25f, 1e-6);
+  }
+}
+
+TEST(RbfEncoder, OutputOffsetSizeMismatchThrows) {
+  RbfEncoder encoder(4, 8, 3);
+  EXPECT_THROW(encoder.set_output_offset(std::vector<float>(7, 0.0f)),
+               std::invalid_argument);
+}
+
+TEST(RbfEncoder, ResetOutputOffsetDims) {
+  RbfEncoder encoder(4, 8, 3);
+  encoder.set_output_offset(std::vector<float>(8, 0.5f));
+  const std::vector<std::size_t> dims = {2, 5};
+  encoder.reset_output_offset_dims(dims);
+  EXPECT_FLOAT_EQ(encoder.output_offset()[2], 0.0f);
+  EXPECT_FLOAT_EQ(encoder.output_offset()[5], 0.0f);
+  EXPECT_FLOAT_EQ(encoder.output_offset()[0], 0.5f);
+}
+
+TEST(RbfEncoder, SaveLoadRoundTrip) {
+  RbfEncoder encoder(8, 32, 77);
+  util::Rng rng(1);
+  const std::vector<std::size_t> dims = {1, 2};
+  encoder.regenerate_dimensions(dims, rng);
+  encoder.set_output_offset(std::vector<float>(32, 0.1f));
+
+  std::stringstream buffer;
+  encoder.save(buffer);
+  const RbfEncoder loaded = RbfEncoder::load(buffer);
+
+  EXPECT_EQ(loaded.dimensionality(), 32u);
+  EXPECT_EQ(loaded.num_features(), 8u);
+  EXPECT_EQ(loaded.total_regenerated(), 2u);
+  EXPECT_EQ(loaded.base(), encoder.base());
+
+  const auto features = random_features(1, 8, 3);
+  std::vector<float> h1(32), h2(32);
+  encoder.encode(features.row(0), h1);
+  loaded.encode(features.row(0), h2);
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(RandomProjectionEncoder, OutputIsBipolar) {
+  const RandomProjectionEncoder encoder(8, 64, 1);
+  const auto features = random_features(5, 8, 5);
+  util::Matrix encoded;
+  encoder.encode_batch(features, encoded);
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    EXPECT_TRUE(encoded.data()[i] == 1.0f || encoded.data()[i] == -1.0f);
+  }
+}
+
+TEST(RandomProjectionEncoder, BatchMatchesSingle) {
+  const RandomProjectionEncoder encoder(8, 64, 2);
+  const auto features = random_features(3, 8, 5);
+  util::Matrix encoded;
+  encoder.encode_batch(features, encoded);
+  std::vector<float> single(64);
+  for (std::size_t r = 0; r < 3; ++r) {
+    encoder.encode(features.row(r), single);
+    for (std::size_t d = 0; d < 64; ++d) {
+      EXPECT_FLOAT_EQ(encoded(r, d), single[d]);
+    }
+  }
+}
+
+TEST(IdLevelEncoder, RequiresAtLeastTwoLevels) {
+  EXPECT_THROW(IdLevelEncoder(4, 32, 1, 0.0f, 1.0f, 1), std::invalid_argument);
+}
+
+TEST(IdLevelEncoder, RequiresValidRange) {
+  EXPECT_THROW(IdLevelEncoder(4, 32, 8, 1.0f, 1.0f, 1), std::invalid_argument);
+}
+
+TEST(IdLevelEncoder, NearbyValuesEncodeMoreSimilarly) {
+  const IdLevelEncoder encoder(1, 4096, 16, 0.0f, 1.0f, 3);
+  std::vector<float> h_low(4096), h_mid(4096), h_high(4096);
+  const float low[] = {0.1f};
+  const float mid[] = {0.2f};
+  const float high[] = {0.9f};
+  encoder.encode(low, h_low);
+  encoder.encode(mid, h_mid);
+  encoder.encode(high, h_high);
+  EXPECT_GT(similarity(h_low, h_mid), similarity(h_low, h_high));
+}
+
+TEST(IdLevelEncoder, OutOfRangeValuesClamp) {
+  const IdLevelEncoder encoder(1, 1024, 8, 0.0f, 1.0f, 3);
+  std::vector<float> h_over(1024), h_max(1024);
+  const float over[] = {5.0f};
+  const float max_val[] = {1.0f};
+  encoder.encode(over, h_over);
+  encoder.encode(max_val, h_max);
+  EXPECT_EQ(h_over, h_max);
+}
+
+// Sweep the RBF encoder contract over (features, dim) shapes.
+class RbfEncoderShapes
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(RbfEncoderShapes, EncodeBatchProducesExpectedShape) {
+  const auto [features, dim] = GetParam();
+  const RbfEncoder encoder(features, dim, 11);
+  const auto input = random_features(3, features, 13);
+  util::Matrix encoded;
+  encoder.encode_batch(input, encoded);
+  EXPECT_EQ(encoded.rows(), 3u);
+  EXPECT_EQ(encoded.cols(), dim);
+  // Not all-zero.
+  double energy = 0.0;
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    energy += std::fabs(encoded.data()[i]);
+  }
+  EXPECT_GT(energy, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RbfEncoderShapes,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{1, 16},
+                      std::pair<std::size_t, std::size_t>{5, 100},
+                      std::pair<std::size_t, std::size_t>{100, 500},
+                      std::pair<std::size_t, std::size_t>{784, 50}));
+
+}  // namespace
+}  // namespace disthd::hd

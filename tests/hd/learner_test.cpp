@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "hd/encoder.hpp"
+#include "hd/learner.hpp"
+#include "util/rng.hpp"
+
+namespace disthd::hd {
+namespace {
+
+/// Two well-separated clusters encoded into hyperspace.
+struct Workload {
+  util::Matrix encoded;
+  std::vector<int> labels;
+};
+
+Workload make_workload(std::size_t dim, std::size_t per_class,
+                       std::uint64_t seed) {
+  util::Rng rng(seed);
+  const std::size_t features = 8;
+  // Two distinct random directions (inputs are L2-normalized inside the
+  // encoder, so the class centers must differ in direction, not scale).
+  util::Matrix centers(2, features);
+  centers.fill_uniform(rng, 0.0, 1.0);
+  util::Matrix raw(per_class * 2, features);
+  std::vector<int> labels(per_class * 2);
+  for (std::size_t i = 0; i < per_class * 2; ++i) {
+    const int cls = static_cast<int>(i % 2);
+    labels[i] = cls;
+    for (std::size_t f = 0; f < features; ++f) {
+      raw(i, f) = centers(cls, f) + static_cast<float>(rng.normal(0.0, 0.05));
+    }
+  }
+  const RbfEncoder encoder(features, dim, seed + 1);
+  Workload w;
+  encoder.encode_batch(raw, w.encoded);
+  w.labels = std::move(labels);
+  return w;
+}
+
+TEST(OneShotLearner, AccumulatesPerClass) {
+  util::Matrix encoded(3, 2);
+  encoded(0, 0) = 1.0f;
+  encoded(1, 0) = 2.0f;
+  encoded(2, 1) = 5.0f;
+  const std::vector<int> labels = {0, 0, 1};
+  ClassModel model(2, 2);
+  OneShotLearner::fit(model, encoded, labels);
+  EXPECT_FLOAT_EQ(model.class_vector(0)[0], 3.0f);
+  EXPECT_FLOAT_EQ(model.class_vector(1)[1], 5.0f);
+}
+
+TEST(OneShotLearner, DimensionMismatchThrows) {
+  util::Matrix encoded(1, 3);
+  const std::vector<int> labels = {0};
+  ClassModel model(2, 4);
+  EXPECT_THROW(OneShotLearner::fit(model, encoded, labels),
+               std::invalid_argument);
+}
+
+TEST(AdaptiveLearner, NoUpdateWhenAlreadyCorrect) {
+  // Model already classifies the sample correctly -> epoch is a no-op.
+  util::Matrix encoded(1, 2);
+  encoded(0, 0) = 1.0f;
+  const std::vector<int> labels = {0};
+  ClassModel model(2, 2);
+  model.add_scaled(0, 1.0f, std::vector<float>{1.0f, 0.0f});
+  model.add_scaled(1, 1.0f, std::vector<float>{0.0f, 1.0f});
+  const util::Matrix before = model.class_vectors();
+
+  const AdaptiveLearner learner(1.0);
+  const EpochStats stats = learner.train_epoch(model, encoded, labels);
+  EXPECT_EQ(stats.mispredictions, 0u);
+  EXPECT_EQ(model.class_vectors(), before);
+}
+
+TEST(AdaptiveLearner, UpdateRuleMatchesAlgorithm1) {
+  // One misclassified sample; verify both class updates element by element.
+  util::Matrix encoded(1, 2);
+  encoded(0, 0) = 1.0f;  // h = (1, 0)
+  const std::vector<int> labels = {1};  // true label is class 1
+  ClassModel model(2, 2);
+  model.add_scaled(0, 1.0f, std::vector<float>{2.0f, 0.0f});  // winner
+  model.add_scaled(1, 1.0f, std::vector<float>{0.0f, 2.0f});  // true
+
+  // Pre-update similarities: delta(h, C0) = 1, delta(h, C1) = 0.
+  const double eta = 0.5;
+  const AdaptiveLearner learner(eta);
+  const EpochStats stats = learner.train_epoch(model, encoded, labels);
+  EXPECT_EQ(stats.mispredictions, 1u);
+  // C0 -= eta*(1 - 1)*h  -> unchanged.
+  EXPECT_FLOAT_EQ(model.class_vector(0)[0], 2.0f);
+  EXPECT_FLOAT_EQ(model.class_vector(0)[1], 0.0f);
+  // C1 += eta*(1 - 0)*h = 0.5*h.
+  EXPECT_FLOAT_EQ(model.class_vector(1)[0], 0.5f);
+  EXPECT_FLOAT_EQ(model.class_vector(1)[1], 2.0f);
+}
+
+TEST(AdaptiveLearner, NoveltyScalingShrinksFamiliarUpdates) {
+  // A sample similar to its class hypervector produces a smaller update
+  // than a novel one (the 1 - delta factor in Algorithm 1).
+  ClassModel model(2, 2);
+  model.add_scaled(0, 1.0f, std::vector<float>{1.0f, 1.0f});
+  model.add_scaled(1, 1.0f, std::vector<float>{-1.0f, 1.0f});
+
+  // Query along (1, 0.9): closest to class 0 but labeled 1 -> misprediction.
+  util::Matrix encoded(1, 2);
+  encoded(0, 0) = 1.0f;
+  encoded(0, 1) = 0.9f;
+  const std::vector<int> labels = {1};
+  const AdaptiveLearner learner(1.0);
+  const util::Matrix before = model.class_vectors();
+  learner.train_epoch(model, encoded, labels);
+
+  // delta(h, C0) is high -> subtraction from C0 small;
+  // delta(h, C1) is low -> addition to C1 large.
+  const float c0_change = std::abs(model.class_vector(0)[0] - before(0, 0));
+  const float c1_change = std::abs(model.class_vector(1)[0] - before(1, 0));
+  EXPECT_LT(c0_change, c1_change);
+}
+
+TEST(AdaptiveLearner, ImprovesOnlineAccuracyAcrossEpochs) {
+  const auto w = make_workload(256, 100, 31);
+  ClassModel model(2, 256);
+  OneShotLearner::fit(model, w.encoded, w.labels);
+  const AdaptiveLearner learner(1.0);
+  const EpochStats first = learner.train_epoch(model, w.encoded, w.labels);
+  EpochStats last = first;
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    last = learner.train_epoch(model, w.encoded, w.labels);
+  }
+  EXPECT_GE(last.online_accuracy(), first.online_accuracy());
+  EXPECT_GT(last.online_accuracy(), 0.95);
+}
+
+TEST(AdaptiveLearner, ShuffledEpochVisitsEverySample) {
+  const auto w = make_workload(64, 20, 37);
+  ClassModel model(2, 64);
+  const AdaptiveLearner learner(1.0);
+  util::Rng rng(5);
+  const EpochStats stats =
+      learner.train_epoch_shuffled(model, w.encoded, w.labels, rng);
+  EXPECT_EQ(stats.samples, w.labels.size());
+}
+
+TEST(AdaptiveLearner, ExplicitOrderRespected) {
+  // With order = {1}, only sample 1 is visited.
+  util::Matrix encoded(2, 2);
+  encoded(0, 0) = 1.0f;
+  encoded(1, 1) = 1.0f;
+  const std::vector<int> labels = {0, 1};
+  ClassModel model(2, 2);
+  // Empty model: every sample predicted as class 0 (ties by index).
+  const AdaptiveLearner learner(1.0);
+  const std::vector<std::size_t> order = {1};
+  // Order shorter than the batch trains on just that subset.
+  util::Matrix one_row(1, 2);
+  one_row(0, 0) = encoded(1, 0);
+  one_row(0, 1) = encoded(1, 1);
+  const std::vector<int> one_label = {labels[1]};
+  const EpochStats stats = learner.train_epoch(model, one_row, one_label);
+  EXPECT_EQ(stats.samples, 1u);
+}
+
+TEST(EpochStats, OnlineAccuracy) {
+  EpochStats stats;
+  stats.samples = 10;
+  stats.mispredictions = 3;
+  EXPECT_DOUBLE_EQ(stats.online_accuracy(), 0.7);
+  EpochStats empty;
+  EXPECT_DOUBLE_EQ(empty.online_accuracy(), 0.0);
+}
+
+}  // namespace
+}  // namespace disthd::hd

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "hd/model.hpp"
+#include "util/rng.hpp"
+
+namespace disthd::hd {
+namespace {
+
+TEST(ClassModel, ConstructionValidation) {
+  EXPECT_THROW(ClassModel(0, 10), std::invalid_argument);
+  EXPECT_THROW(ClassModel(3, 0), std::invalid_argument);
+  const ClassModel model(3, 10);
+  EXPECT_EQ(model.num_classes(), 3u);
+  EXPECT_EQ(model.dimensionality(), 10u);
+}
+
+TEST(ClassModel, AddScaledUpdatesNormCache) {
+  ClassModel model(2, 4);
+  const std::vector<float> h = {1.0f, 0.0f, 0.0f, 0.0f};
+  model.add_scaled(0, 2.0f, h);
+  EXPECT_DOUBLE_EQ(model.norm(0), 2.0);
+  EXPECT_DOUBLE_EQ(model.norm(1), 0.0);
+  model.add_scaled(0, -1.0f, h);
+  EXPECT_DOUBLE_EQ(model.norm(0), 1.0);
+}
+
+TEST(ClassModel, SimilaritiesAreCosines) {
+  ClassModel model(2, 2);
+  model.add_scaled(0, 1.0f, std::vector<float>{1.0f, 0.0f});
+  model.add_scaled(1, 1.0f, std::vector<float>{3.0f, 3.0f});  // direction (1,1)
+  std::vector<double> sims(2);
+  const std::vector<float> query = {1.0f, 0.0f};
+  model.similarities(query, sims);
+  EXPECT_NEAR(sims[0], 1.0, 1e-9);
+  EXPECT_NEAR(sims[1], std::sqrt(0.5), 1e-6);
+}
+
+TEST(ClassModel, ZeroNormClassScoresZero) {
+  ClassModel model(2, 2);
+  model.add_scaled(0, 1.0f, std::vector<float>{1.0f, 1.0f});
+  std::vector<double> sims(2);
+  model.similarities(std::vector<float>{1.0f, 0.0f}, sims);
+  EXPECT_DOUBLE_EQ(sims[1], 0.0);
+}
+
+TEST(ClassModel, PredictReturnsArgmax) {
+  ClassModel model(3, 2);
+  model.add_scaled(0, 1.0f, std::vector<float>{1.0f, 0.0f});
+  model.add_scaled(1, 1.0f, std::vector<float>{0.0f, 1.0f});
+  model.add_scaled(2, 1.0f, std::vector<float>{-1.0f, 0.0f});
+  EXPECT_EQ(model.predict(std::vector<float>{0.9f, 0.1f}), 0);
+  EXPECT_EQ(model.predict(std::vector<float>{0.1f, 0.9f}), 1);
+  EXPECT_EQ(model.predict(std::vector<float>{-1.0f, -0.1f}), 2);
+}
+
+TEST(ClassModel, Top2OrdersByScore) {
+  ClassModel model(3, 2);
+  model.add_scaled(0, 1.0f, std::vector<float>{1.0f, 0.0f});
+  model.add_scaled(1, 1.0f, std::vector<float>{1.0f, 0.5f});
+  model.add_scaled(2, 1.0f, std::vector<float>{0.0f, -1.0f});
+  const Top2 top = model.top2(std::vector<float>{1.0f, 0.0f});
+  EXPECT_EQ(top.first, 0);
+  EXPECT_EQ(top.second, 1);
+  EXPECT_GE(top.first_score, top.second_score);
+}
+
+TEST(ClassModel, Top2NeedsTwoClasses) {
+  ClassModel model(1, 4);
+  EXPECT_THROW(model.top2(std::vector<float>{1, 2, 3, 4}),
+               std::logic_error);
+}
+
+TEST(ClassModel, ScoresBatchMatchesSimilarities) {
+  util::Rng rng(3);
+  ClassModel model(4, 16);
+  for (std::size_t c = 0; c < 4; ++c) {
+    std::vector<float> proto(16);
+    for (auto& v : proto) v = static_cast<float>(rng.normal());
+    model.add_scaled(c, 1.0f, proto);
+  }
+  util::Matrix queries(5, 16);
+  queries.fill_normal(rng);
+  util::Matrix scores;
+  model.scores_batch(queries, scores);
+  ASSERT_EQ(scores.rows(), 5u);
+  ASSERT_EQ(scores.cols(), 4u);
+  std::vector<double> sims(4);
+  for (std::size_t r = 0; r < 5; ++r) {
+    model.similarities(queries.row(r), sims);
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_NEAR(scores(r, c), sims[c], 1e-4);
+    }
+  }
+}
+
+TEST(ClassModel, PredictBatchMatchesPredict) {
+  util::Rng rng(5);
+  ClassModel model(3, 32);
+  for (std::size_t c = 0; c < 3; ++c) {
+    std::vector<float> proto(32);
+    for (auto& v : proto) v = static_cast<float>(rng.normal());
+    model.add_scaled(c, 1.0f, proto);
+  }
+  util::Matrix queries(10, 32);
+  queries.fill_normal(rng);
+  const auto batch = model.predict_batch(queries);
+  for (std::size_t r = 0; r < 10; ++r) {
+    EXPECT_EQ(batch[r], model.predict(queries.row(r)));
+  }
+}
+
+TEST(ClassModel, ZeroDimensionsClearsAcrossClasses) {
+  ClassModel model(2, 4);
+  model.add_scaled(0, 1.0f, std::vector<float>{1, 2, 3, 4});
+  model.add_scaled(1, 1.0f, std::vector<float>{5, 6, 7, 8});
+  const std::vector<std::size_t> dims = {1, 3};
+  model.zero_dimensions(dims);
+  EXPECT_FLOAT_EQ(model.class_vector(0)[1], 0.0f);
+  EXPECT_FLOAT_EQ(model.class_vector(0)[3], 0.0f);
+  EXPECT_FLOAT_EQ(model.class_vector(1)[1], 0.0f);
+  EXPECT_FLOAT_EQ(model.class_vector(0)[0], 1.0f);
+  // Norm cache refreshed: |(1,0,3,0)| = sqrt(10).
+  EXPECT_NEAR(model.norm(0), std::sqrt(10.0), 1e-6);
+}
+
+TEST(ClassModel, ZeroDimensionsOutOfRangeThrows) {
+  ClassModel model(2, 4);
+  const std::vector<std::size_t> dims = {4};
+  EXPECT_THROW(model.zero_dimensions(dims), std::out_of_range);
+}
+
+TEST(ClassModel, SaveLoadRoundTrip) {
+  util::Rng rng(7);
+  ClassModel model(3, 8);
+  for (std::size_t c = 0; c < 3; ++c) {
+    std::vector<float> proto(8);
+    for (auto& v : proto) v = static_cast<float>(rng.normal());
+    model.add_scaled(c, 1.0f, proto);
+  }
+  std::stringstream buffer;
+  model.save(buffer);
+  const ClassModel loaded = ClassModel::load(buffer);
+  EXPECT_EQ(loaded.class_vectors(), model.class_vectors());
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_DOUBLE_EQ(loaded.norm(c), model.norm(c));
+  }
+}
+
+}  // namespace
+}  // namespace disthd::hd

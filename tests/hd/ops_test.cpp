@@ -1,0 +1,151 @@
+// Property tests for the HDC invariants the paper states in §III-A:
+// near-orthogonality of random hypervectors, bundle membership, and bind
+// reversibility for bipolar hypervectors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hd/ops.hpp"
+
+namespace disthd::hd {
+namespace {
+
+TEST(Ops, SimilarityOfIdenticalIsOne) {
+  util::Rng rng(1);
+  const auto h = random_gaussian(1000, rng);
+  EXPECT_NEAR(similarity(h, h), 1.0, 1e-9);
+}
+
+TEST(Ops, HammingAgreementIdenticalIsOne) {
+  util::Rng rng(2);
+  const auto h = random_bipolar(512, rng);
+  EXPECT_DOUBLE_EQ(hamming_agreement(h, h), 1.0);
+}
+
+TEST(Ops, BundlePreservesDimension) {
+  util::Rng rng(3);
+  const auto a = random_gaussian(64, rng);
+  const auto b = random_gaussian(64, rng);
+  EXPECT_EQ(bundle(a, b).size(), 64u);
+}
+
+TEST(Ops, BundleIsElementwiseSum) {
+  const std::vector<float> a = {1.0f, 2.0f};
+  const std::vector<float> b = {10.0f, -2.0f};
+  const auto s = bundle(a, b);
+  EXPECT_FLOAT_EQ(s[0], 11.0f);
+  EXPECT_FLOAT_EQ(s[1], 0.0f);
+}
+
+TEST(Ops, BundleIntoAccumulates) {
+  std::vector<float> memory(4, 0.0f);
+  const std::vector<float> h = {1.0f, 2.0f, 3.0f, 4.0f};
+  bundle_into(memory, h);
+  bundle_into(memory, h);
+  EXPECT_FLOAT_EQ(memory[3], 8.0f);
+}
+
+TEST(Ops, BindIsElementwiseProduct) {
+  const std::vector<float> a = {2.0f, -3.0f};
+  const std::vector<float> b = {4.0f, 5.0f};
+  const auto bound = (bind)(a, b);
+  EXPECT_FLOAT_EQ(bound[0], 8.0f);
+  EXPECT_FLOAT_EQ(bound[1], -15.0f);
+}
+
+TEST(Ops, PermuteRotates) {
+  const std::vector<float> h = {1.0f, 2.0f, 3.0f, 4.0f};
+  const auto p = permute(h, 1);
+  EXPECT_FLOAT_EQ(p[0], 4.0f);
+  EXPECT_FLOAT_EQ(p[1], 1.0f);
+  EXPECT_FLOAT_EQ(p[3], 3.0f);
+}
+
+TEST(Ops, PermuteByDimensionIsIdentity) {
+  util::Rng rng(5);
+  const auto h = random_gaussian(32, rng);
+  EXPECT_EQ(permute(h, 32), h);
+}
+
+TEST(Ops, PermuteEmptyIsEmpty) {
+  EXPECT_TRUE(permute(std::vector<float>{}, 3).empty());
+}
+
+TEST(Ops, SignQuantizeMakesBipolar) {
+  std::vector<float> h = {0.5f, -0.1f, 0.0f, -7.0f};
+  sign_quantize(h);
+  EXPECT_FLOAT_EQ(h[0], 1.0f);
+  EXPECT_FLOAT_EQ(h[1], -1.0f);
+  EXPECT_FLOAT_EQ(h[2], 1.0f);  // zero maps to +1
+  EXPECT_FLOAT_EQ(h[3], -1.0f);
+}
+
+TEST(Ops, RandomBipolarIsBalanced) {
+  util::Rng rng(7);
+  const auto h = random_bipolar(10000, rng);
+  double sum = 0.0;
+  for (const float v : h) {
+    EXPECT_TRUE(v == 1.0f || v == -1.0f);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.0, 0.05);
+}
+
+// ---- Paper §III-A property sweeps over dimensionality ----------------------
+
+class HdcInvariants : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HdcInvariants, RandomBipolarHypervectorsAreNearOrthogonal) {
+  const std::size_t dim = GetParam();
+  util::Rng rng(dim);
+  const auto h1 = random_bipolar(dim, rng);
+  const auto h2 = random_bipolar(dim, rng);
+  // Paper: H1 . H2 ~ 0 for large D; the dot concentrates within ~4 sqrt(D).
+  EXPECT_LT(std::fabs(util::dot(h1, h2)),
+            4.0 * std::sqrt(static_cast<double>(dim)));
+  EXPECT_NEAR(hamming_agreement(h1, h2), 0.5,
+              4.0 / std::sqrt(static_cast<double>(dim)));
+}
+
+TEST_P(HdcInvariants, BundleRemembersItsMembers) {
+  const std::size_t dim = GetParam();
+  util::Rng rng(dim + 1);
+  const auto h1 = random_bipolar(dim, rng);
+  const auto h2 = random_bipolar(dim, rng);
+  const auto h3 = random_bipolar(dim, rng);
+  const auto bundled = bundle(h1, h2);
+  // Paper: delta(bundle, member) >> 0 while delta(bundle, other) ~ 0.
+  EXPECT_GT(similarity(bundled, h1), 0.3);
+  EXPECT_GT(similarity(bundled, h2), 0.3);
+  EXPECT_LT(std::fabs(similarity(bundled, h3)),
+            5.0 / std::sqrt(static_cast<double>(dim)));
+}
+
+TEST_P(HdcInvariants, BindingIsReversibleForBipolar) {
+  const std::size_t dim = GetParam();
+  util::Rng rng(dim + 2);
+  const auto h1 = random_bipolar(dim, rng);
+  const auto h2 = random_bipolar(dim, rng);
+  const auto bound = (bind)(h1, h2);
+  // Paper: H_bind * H1 = H2 in the bipolar case.
+  EXPECT_EQ((bind)(bound, h1), h2);
+  EXPECT_EQ((bind)(bound, h2), h1);
+}
+
+TEST_P(HdcInvariants, BindingCreatesNearOrthogonalVector) {
+  const std::size_t dim = GetParam();
+  util::Rng rng(dim + 3);
+  const auto h1 = random_bipolar(dim, rng);
+  const auto h2 = random_bipolar(dim, rng);
+  const auto bound = (bind)(h1, h2);
+  EXPECT_LT(std::fabs(similarity(bound, h1)),
+            5.0 / std::sqrt(static_cast<double>(dim)));
+  EXPECT_LT(std::fabs(similarity(bound, h2)),
+            5.0 / std::sqrt(static_cast<double>(dim)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dimensions, HdcInvariants,
+                         ::testing::Values(256, 512, 1024, 4096, 10000));
+
+}  // namespace
+}  // namespace disthd::hd

@@ -1,0 +1,182 @@
+// Cross-module integration: the full DistHD pipeline on every Table I
+// synthetic preset (tiny scale), plus end-to-end persistence and the
+// paper-shape assertions that tie the modules together.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/baselinehd_trainer.hpp"
+#include "core/disthd_trainer.hpp"
+#include "core/neuralhd_trainer.hpp"
+#include "data/registry.hpp"
+#include "metrics/accuracy.hpp"
+#include "metrics/roc.hpp"
+#include "noise/corruption.hpp"
+
+namespace disthd {
+namespace {
+
+class Table1Pipeline : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(Table1Pipeline, DistHdLearnsEveryPreset) {
+  data::DatasetOptions options;
+  options.scale = 0.01;  // floor sizes kick in; runs in well under a second
+  options.seed = 3;
+  const auto dataset = data::load_by_name(GetParam(), options);
+  const auto& split = dataset.split;
+
+  core::DistHDConfig config;
+  config.dim = 256;
+  config.iterations = 10;
+  config.regen_every = 3;
+  config.polish_epochs = 2;
+  config.seed = 7;
+  core::DistHDTrainer trainer(config);
+  const auto classifier = trainer.fit(split.train, &split.test);
+
+  const double chance = 1.0 / static_cast<double>(split.train.num_classes);
+  EXPECT_GT(trainer.last_result().final_test_accuracy, 1.8 * chance)
+      << "preset " << GetParam();
+  EXPECT_EQ(classifier.num_features(), split.train.num_features());
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, Table1Pipeline,
+                         ::testing::Values("mnist", "ucihar", "isolet",
+                                           "pamap2", "diabetes"),
+                         [](const ::testing::TestParamInfo<std::string>&
+                                param_info) { return param_info.param; });
+
+TEST(Pipeline, TrainedModelSurvivesSerializationAndCorruptionHarness) {
+  data::DatasetOptions options;
+  options.scale = 0.01;
+  const auto dataset = data::load_by_name("pamap2", options);
+  const auto& split = dataset.split;
+
+  core::DistHDConfig config;
+  config.dim = 200;
+  config.iterations = 8;
+  config.polish_epochs = 2;
+  core::DistHDTrainer trainer(config);
+  const auto classifier = trainer.fit(split.train);
+
+  // Persist, reload, verify, then run the reloaded model through the
+  // robustness harness — the full deployment story in one test.
+  std::stringstream buffer;
+  classifier.save(buffer);
+  const auto reloaded = core::HdcClassifier::load(buffer);
+  EXPECT_DOUBLE_EQ(reloaded.evaluate_accuracy(split.test),
+                   classifier.evaluate_accuracy(split.test));
+
+  util::Matrix encoded;
+  reloaded.encoder().encode_batch(split.test.features, encoded);
+  noise::CorruptionConfig corruption;
+  corruption.bits = 1;
+  corruption.error_rate = 0.05;
+  corruption.trials = 3;
+  const auto result = noise::hdc_corruption_test(reloaded.model(), encoded,
+                                                 split.test.labels, corruption);
+  EXPECT_GT(result.corrupted_accuracy,
+            0.8 * result.clean_accuracy);  // graceful degradation
+}
+
+TEST(Pipeline, Top2AccuracyExceedsTop1AfterTraining) {
+  // The observation motivating the whole method (paper Fig. 2b).
+  data::DatasetOptions options;
+  options.scale = 0.02;
+  const auto dataset = data::load_by_name("isolet", options);
+  const auto& split = dataset.split;
+
+  core::BaselineHDConfig config;
+  config.dim = 300;
+  config.iterations = 10;
+  config.encoder = core::StaticEncoderKind::rbf;
+  core::BaselineHDTrainer trainer(config);
+  const auto classifier = trainer.fit(split.train);
+
+  util::Matrix scores;
+  classifier.scores_batch(split.test.features, scores);
+  const std::span<const float> flat(scores.data(), scores.size());
+  const double top1 = metrics::topk_accuracy(flat, split.test.num_classes,
+                                             split.test.labels, 1);
+  const double top2 = metrics::topk_accuracy(flat, split.test.num_classes,
+                                             split.test.labels, 2);
+  const double top3 = metrics::topk_accuracy(flat, split.test.num_classes,
+                                             split.test.labels, 3);
+  EXPECT_GT(top2, top1);
+  EXPECT_GE(top3, top2);
+  // Paper: the top-2 over top-1 jump dominates the top-3 over top-2 jump.
+  EXPECT_GT(top2 - top1, top3 - top2);
+}
+
+TEST(Pipeline, EffectiveDimensionalityAccounting) {
+  // D* = D + D*R%*(regenerating iterations); verify the trainer's ledger
+  // against the encoder's own counter.
+  data::DatasetOptions options;
+  options.scale = 0.01;
+  const auto dataset = data::load_by_name("ucihar", options);
+
+  core::DistHDConfig config;
+  config.dim = 100;
+  config.iterations = 9;
+  config.regen_every = 2;
+  config.stats.regen_rate = 0.2;
+  config.stop_when_converged = false;
+  core::DistHDTrainer trainer(config);
+  const auto classifier = trainer.fit(dataset.split.train);
+
+  const auto* encoder =
+      dynamic_cast<const hd::RbfEncoder*>(&classifier.encoder());
+  ASSERT_NE(encoder, nullptr);
+  EXPECT_EQ(trainer.last_result().effective_dim,
+            100u + encoder->total_regenerated());
+  // Regeneration really happened on this hard preset.
+  EXPECT_GT(encoder->total_regenerated(), 0u);
+}
+
+TEST(Pipeline, RocOfTrainedModelBeatsRandomGuess) {
+  data::DatasetOptions options;
+  options.scale = 0.01;
+  const auto dataset = data::load_by_name("diabetes", options);
+  const auto& split = dataset.split;
+
+  core::DistHDConfig config;
+  config.dim = 200;
+  config.iterations = 8;
+  core::DistHDTrainer trainer(config);
+  const auto classifier = trainer.fit(split.train);
+
+  util::Matrix scores;
+  classifier.scores_batch(split.test.features, scores);
+  const auto curve = metrics::micro_average_roc(
+      std::span<const float>(scores.data(), scores.size()),
+      split.test.num_classes, split.test.labels);
+  EXPECT_GT(curve.auc, 0.6);  // paper Fig. 6 reference: random guess = 0.5
+}
+
+TEST(Pipeline, DynamicMethodsShareTheSameInterface) {
+  // NeuralHD and DistHD are drop-in replacements for each other: same
+  // dataset, same classifier API, both usable behind HdcClassifier.
+  data::DatasetOptions options;
+  options.scale = 0.01;
+  const auto dataset = data::load_by_name("pamap2", options);
+
+  core::DistHDConfig disthd_config;
+  disthd_config.dim = 128;
+  disthd_config.iterations = 6;
+  core::DistHDTrainer disthd(disthd_config);
+
+  core::NeuralHDConfig neural_config;
+  neural_config.dim = 128;
+  neural_config.iterations = 6;
+  core::NeuralHDTrainer neural(neural_config);
+
+  const auto a = disthd.fit(dataset.split.train);
+  const auto b = neural.fit(dataset.split.train);
+  EXPECT_EQ(a.dimensionality(), b.dimensionality());
+  const auto sample = dataset.split.test.features.row(0);
+  EXPECT_GE(a.predict(sample), 0);
+  EXPECT_GE(b.predict(sample), 0);
+}
+
+}  // namespace
+}  // namespace disthd

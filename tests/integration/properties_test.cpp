@@ -1,0 +1,151 @@
+// Cross-cutting property sweeps (TEST_P) over the knobs users actually
+// turn: dimensionality, regeneration rate, encoder family, precision.
+// These assert *relations* (monotonicity, invariants, conservation) rather
+// than point values, so they stay meaningful across seeds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/baselinehd_trainer.hpp"
+#include "core/disthd_trainer.hpp"
+#include "data/synthetic.hpp"
+#include "noise/bitflip.hpp"
+#include "noise/corruption.hpp"
+
+namespace disthd {
+namespace {
+
+const data::TrainTestSplit& shared_workload() {
+  static const data::TrainTestSplit split = [] {
+    data::SyntheticSpec spec;
+    spec.num_features = 32;
+    spec.num_classes = 5;
+    spec.train_size = 750;
+    spec.test_size = 400;
+    spec.clusters_per_class = 2;
+    spec.cluster_spread = 0.8;
+    spec.latent_dim = 10;
+    spec.seed = 23;
+    return data::make_synthetic(spec);
+  }();
+  return split;
+}
+
+// ---- Accuracy is (weakly) monotone in dimensionality ----------------------
+
+class DimensionalitySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DimensionalitySweep, DistHdAboveChanceAndBoundedByOne) {
+  const auto& split = shared_workload();
+  core::DistHDConfig config;
+  config.dim = GetParam();
+  config.iterations = 10;
+  config.regen_every = 3;
+  config.seed = 31;
+  core::DistHDTrainer trainer(config);
+  const auto classifier = trainer.fit(split.train);
+  const double accuracy = classifier.evaluate_accuracy(split.test);
+  EXPECT_GT(accuracy, 0.2 * 2);  // well above the 20% chance level
+  EXPECT_LE(accuracy, 1.0);
+  EXPECT_EQ(classifier.dimensionality(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, DimensionalitySweep,
+                         ::testing::Values(64, 128, 256, 512, 1024));
+
+TEST(DimensionalityRelation, BigDimBeatsTinyDim) {
+  const auto& split = shared_workload();
+  auto accuracy_at = [&](std::size_t dim) {
+    core::BaselineHDConfig config;
+    config.dim = dim;
+    config.iterations = 10;
+    config.encoder = core::StaticEncoderKind::projection;
+    config.seed = 7;
+    core::BaselineHDTrainer trainer(config);
+    return trainer.fit(split.train).evaluate_accuracy(split.test);
+  };
+  // The paper's Fig. 2a premise: static HDC starves at tiny D.
+  EXPECT_GT(accuracy_at(2048), accuracy_at(32));
+}
+
+// ---- Regeneration bookkeeping holds for any rate ---------------------------
+
+class RegenRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RegenRateSweep, EffectiveDimMatchesLedger) {
+  const auto& split = shared_workload();
+  core::DistHDConfig config;
+  config.dim = 120;
+  config.iterations = 7;
+  config.stats.regen_rate = GetParam();
+  config.stop_when_converged = false;
+  core::DistHDTrainer trainer(config);
+  trainer.fit(split.train);
+  const auto& result = trainer.last_result();
+  std::size_t regenerated = 0;
+  for (const auto& trace : result.trace) {
+    regenerated += trace.regenerated;
+    // Per-iteration drops can never exceed the R% budget.
+    EXPECT_LE(trace.regenerated,
+              static_cast<std::size_t>(GetParam() * 120.0) + 1);
+  }
+  EXPECT_EQ(result.effective_dim, 120u + regenerated);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, RegenRateSweep,
+                         ::testing::Values(0.05, 0.10, 0.25, 0.50));
+
+// ---- Bit-flip conservation across precisions -------------------------------
+
+class PrecisionSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PrecisionSweep, FlippingTwiceRestoresStorage) {
+  util::Rng data_rng(41);
+  util::Matrix model(6, 200);
+  model.fill_normal(data_rng);
+  const auto quantized = noise::quantize_matrix(model, GetParam());
+  auto corrupted = quantized;
+  // XOR is an involution: applying the same flip mask twice is identity.
+  util::Rng a(99), b(99);
+  noise::inject_bit_errors(corrupted, 0.2, a);
+  noise::inject_bit_errors(corrupted, 0.2, b);
+  EXPECT_EQ(corrupted.storage, quantized.storage);
+}
+
+TEST_P(PrecisionSweep, DequantizeBoundedByScaleRange) {
+  util::Rng data_rng(43);
+  util::Matrix model(4, 100);
+  model.fill_normal(data_rng);
+  const auto quantized = noise::quantize_matrix(model, GetParam());
+  const auto back = noise::dequantize_matrix(quantized);
+  const double bound =
+      quantized.scale * static_cast<double>(1 << GetParam());
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_LE(std::fabs(back.data()[i]), bound);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, PrecisionSweep, ::testing::Values(1, 2, 4, 8));
+
+// ---- Determinism across the whole pipeline ---------------------------------
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, EndToEndReproducible) {
+  const auto& split = shared_workload();
+  auto run = [&] {
+    core::DistHDConfig config;
+    config.dim = 96;
+    config.iterations = 6;
+    config.seed = GetParam();
+    core::DistHDTrainer trainer(config);
+    const auto classifier = trainer.fit(split.train);
+    return classifier.predict_batch(split.test.features);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Values(1, 2, 1234567));
+
+}  // namespace
+}  // namespace disthd

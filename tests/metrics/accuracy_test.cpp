@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/accuracy.hpp"
+
+namespace disthd::metrics {
+namespace {
+
+TEST(Accuracy, HandComputed) {
+  const std::vector<int> predictions = {0, 1, 2, 1};
+  const std::vector<int> labels = {0, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(accuracy(predictions, labels), 0.75);
+}
+
+TEST(Accuracy, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(accuracy({}, {}), 0.0);
+}
+
+TEST(Accuracy, AllCorrectAndAllWrong) {
+  const std::vector<int> labels = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(accuracy(labels, labels), 1.0);
+  const std::vector<int> wrong = {2, 3, 1};
+  EXPECT_DOUBLE_EQ(accuracy(wrong, labels), 0.0);
+}
+
+TEST(TopkIndices, OrdersDescending) {
+  const std::vector<float> scores = {0.1f, 0.9f, 0.5f, 0.7f};
+  const auto top = topk_indices(scores, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1u);
+  EXPECT_EQ(top[1], 3u);
+  EXPECT_EQ(top[2], 2u);
+}
+
+TEST(TopkIndices, TiesBreakByIndex) {
+  const std::vector<float> scores = {0.5f, 0.5f, 0.5f};
+  const auto top = topk_indices(scores, 2);
+  EXPECT_EQ(top[0], 0u);
+  EXPECT_EQ(top[1], 1u);
+}
+
+TEST(TopkIndices, KLargerThanSizeClamps) {
+  const std::vector<float> scores = {1.0f, 2.0f};
+  EXPECT_EQ(topk_indices(scores, 5).size(), 2u);
+}
+
+TEST(TopkAccuracy, HandComputed) {
+  // Two samples, three classes.
+  // Sample 0 scores: class1 > class0 > class2, label 0 -> top1 miss, top2 hit.
+  // Sample 1 scores: class2 > class1 > class0, label 0 -> top2 miss, top3 hit.
+  const std::vector<float> scores = {0.5f, 0.8f, 0.1f, 0.1f, 0.5f, 0.8f};
+  const std::vector<int> labels = {0, 0};
+  EXPECT_DOUBLE_EQ(topk_accuracy(scores, 3, labels, 1), 0.0);
+  EXPECT_DOUBLE_EQ(topk_accuracy(scores, 3, labels, 2), 0.5);
+  EXPECT_DOUBLE_EQ(topk_accuracy(scores, 3, labels, 3), 1.0);
+}
+
+TEST(TopkAccuracy, MonotoneInK) {
+  const std::vector<float> scores = {0.3f, 0.2f, 0.5f, 0.9f, 0.05f, 0.05f,
+                                     0.1f, 0.8f, 0.1f, 0.2f, 0.3f, 0.5f};
+  const std::vector<int> labels = {2, 0, 1, 0};
+  double previous = 0.0;
+  for (std::size_t k = 1; k <= 3; ++k) {
+    const double acc = topk_accuracy(scores, 3, labels, k);
+    EXPECT_GE(acc, previous);
+    previous = acc;
+  }
+  EXPECT_DOUBLE_EQ(topk_accuracy(scores, 3, labels, 3), 1.0);
+}
+
+TEST(PerClassAccuracy, HandComputed) {
+  const std::vector<int> predictions = {0, 0, 1, 1, 1};
+  const std::vector<int> labels = {0, 1, 1, 1, 0};
+  const auto per_class = per_class_accuracy(predictions, labels, 3);
+  ASSERT_EQ(per_class.size(), 3u);
+  EXPECT_DOUBLE_EQ(per_class[0], 0.5);          // one of two class-0 correct
+  EXPECT_NEAR(per_class[1], 2.0 / 3.0, 1e-12);  // two of three class-1
+  EXPECT_TRUE(std::isnan(per_class[2]));        // class absent
+}
+
+}  // namespace
+}  // namespace disthd::metrics

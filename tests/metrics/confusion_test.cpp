@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/confusion.hpp"
+
+namespace disthd::metrics {
+namespace {
+
+/// Binary case with known tallies: TP=3, FN=1, FP=2, TN=4 (class 1 positive).
+ConfusionMatrix binary_case() {
+  ConfusionMatrix cm(2);
+  for (int i = 0; i < 3; ++i) cm.add(1, 1);  // TP
+  cm.add(0, 1);                              // FN
+  for (int i = 0; i < 2; ++i) cm.add(1, 0);  // FP
+  for (int i = 0; i < 4; ++i) cm.add(0, 0);  // TN
+  return cm;
+}
+
+TEST(ConfusionMatrix, ZeroClassesThrows) {
+  EXPECT_THROW(ConfusionMatrix(0), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, AddOutOfRangeThrows) {
+  ConfusionMatrix cm(2);
+  EXPECT_THROW(cm.add(2, 0), std::out_of_range);
+  EXPECT_THROW(cm.add(0, -1), std::out_of_range);
+}
+
+TEST(ConfusionMatrix, BinaryTallies) {
+  const auto cm = binary_case();
+  EXPECT_EQ(cm.total(), 10u);
+  EXPECT_EQ(cm.true_positives(1), 3u);
+  EXPECT_EQ(cm.false_negatives(1), 1u);
+  EXPECT_EQ(cm.false_positives(1), 2u);
+  EXPECT_EQ(cm.true_negatives(1), 4u);
+}
+
+TEST(ConfusionMatrix, SensitivitySpecificityMatchPaperDefinitions) {
+  const auto cm = binary_case();
+  // sensitivity = TP/(TP+FN) = 3/4; specificity = TN/(TN+FP) = 4/6.
+  EXPECT_DOUBLE_EQ(cm.sensitivity(1), 0.75);
+  EXPECT_NEAR(cm.specificity(1), 4.0 / 6.0, 1e-12);
+  // 1 - FNR / 1 - FPR identities (paper §III-C).
+  const double fnr = 1.0 / 4.0;
+  const double fpr = 2.0 / 6.0;
+  EXPECT_DOUBLE_EQ(cm.sensitivity(1), 1.0 - fnr);
+  EXPECT_NEAR(cm.specificity(1), 1.0 - fpr, 1e-12);
+}
+
+TEST(ConfusionMatrix, PrecisionAndF1) {
+  const auto cm = binary_case();
+  EXPECT_DOUBLE_EQ(cm.precision(1), 0.6);  // 3/(3+2)
+  const double p = 0.6, r = 0.75;
+  EXPECT_NEAR(cm.f1(1), 2 * p * r / (p + r), 1e-12);
+}
+
+TEST(ConfusionMatrix, OverallAccuracy) {
+  const auto cm = binary_case();
+  EXPECT_DOUBLE_EQ(cm.overall_accuracy(), 0.7);  // (3+4)/10
+}
+
+TEST(ConfusionMatrix, FromPredictions) {
+  const std::vector<int> predictions = {0, 1, 1, 2};
+  const std::vector<int> labels = {0, 1, 2, 2};
+  const auto cm = ConfusionMatrix::from_predictions(predictions, labels, 3);
+  EXPECT_EQ(cm.count(0, 0), 1u);
+  EXPECT_EQ(cm.count(1, 1), 1u);
+  EXPECT_EQ(cm.count(2, 1), 1u);
+  EXPECT_EQ(cm.count(2, 2), 1u);
+  EXPECT_DOUBLE_EQ(cm.overall_accuracy(), 0.75);
+}
+
+TEST(ConfusionMatrix, AbsentClassGivesNaN) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);
+  EXPECT_TRUE(std::isnan(cm.sensitivity(2)));
+}
+
+TEST(ConfusionMatrix, MacroAveragesSkipNaN) {
+  ConfusionMatrix cm(3);
+  cm.add(0, 0);  // class 0: sensitivity 1
+  cm.add(0, 1);  // class 1: sensitivity 0
+  // class 2 absent -> skipped.
+  EXPECT_DOUBLE_EQ(cm.macro_sensitivity(), 0.5);
+  EXPECT_FALSE(std::isnan(cm.macro_specificity()));
+}
+
+TEST(ConfusionMatrix, PerfectClassifier) {
+  ConfusionMatrix cm(3);
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 5; ++i) cm.add(c, c);
+  }
+  EXPECT_DOUBLE_EQ(cm.overall_accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.macro_sensitivity(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.macro_specificity(), 1.0);
+}
+
+}  // namespace
+}  // namespace disthd::metrics

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "metrics/report.hpp"
+
+namespace disthd::metrics {
+namespace {
+
+TEST(Table, FormatsNumbers) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(3.14159, 4), "3.1416");
+  EXPECT_EQ(Table::fmt(std::numeric_limits<double>::quiet_NaN()), "-");
+}
+
+TEST(Table, FormatsRatiosAndPercents) {
+  EXPECT_EQ(Table::fmt_ratio(8.0), "8.00x");
+  EXPECT_EQ(Table::fmt_percent(0.931), "93.1%");
+  EXPECT_EQ(Table::fmt_percent(std::numeric_limits<double>::quiet_NaN()), "-");
+}
+
+TEST(Table, ArityMismatchThrows) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Table, PrintAlignsColumns) {
+  Table table({"name", "value"});
+  table.add_row({"x", "1"});
+  table.add_row({"longer", "22"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  // Header, rule, two rows.
+  EXPECT_NE(text.find("| name"), std::string::npos);
+  EXPECT_NE(text.find("|-"), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+  // All lines share the same width.
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(Table, EmptyTablePrintsHeaderOnly) {
+  Table table({"h1"});
+  std::ostringstream out;
+  table.print(out);
+  EXPECT_NE(out.str().find("h1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace disthd::metrics

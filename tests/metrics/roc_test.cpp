@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "metrics/roc.hpp"
+#include "util/rng.hpp"
+
+namespace disthd::metrics {
+namespace {
+
+TEST(BinaryRoc, PerfectClassifierAucIsOne) {
+  const std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  const std::vector<int> labels = {1, 1, 0, 0};
+  const auto curve = binary_roc(scores, labels);
+  EXPECT_DOUBLE_EQ(curve.auc, 1.0);
+}
+
+TEST(BinaryRoc, InvertedClassifierAucIsZero) {
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  const std::vector<int> labels = {1, 1, 0, 0};
+  const auto curve = binary_roc(scores, labels);
+  EXPECT_DOUBLE_EQ(curve.auc, 0.0);
+}
+
+TEST(BinaryRoc, HandComputedAuc) {
+  // scores: pos {0.8, 0.4}, neg {0.6, 0.2}.
+  // Pairs: (0.8 vs 0.6) win, (0.8 vs 0.2) win, (0.4 vs 0.6) loss,
+  // (0.4 vs 0.2) win -> AUC = 3/4.
+  const std::vector<double> scores = {0.8, 0.4, 0.6, 0.2};
+  const std::vector<int> labels = {1, 1, 0, 0};
+  const auto curve = binary_roc(scores, labels);
+  EXPECT_DOUBLE_EQ(curve.auc, 0.75);
+}
+
+TEST(BinaryRoc, TiedScoresUseTrapezoidCorrection) {
+  // All scores equal: the curve is the diagonal, AUC = 0.5 exactly.
+  const std::vector<double> scores = {0.5, 0.5, 0.5, 0.5};
+  const std::vector<int> labels = {1, 0, 1, 0};
+  const auto curve = binary_roc(scores, labels);
+  EXPECT_DOUBLE_EQ(curve.auc, 0.5);
+}
+
+TEST(BinaryRoc, CurveEndpointsAndMonotonicity) {
+  util::Rng rng(3);
+  std::vector<double> scores(200);
+  std::vector<int> labels(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    labels[i] = static_cast<int>(i % 2);
+    scores[i] = rng.uniform() + 0.3 * labels[i];
+  }
+  const auto curve = binary_roc(scores, labels);
+  ASSERT_GE(curve.points.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve.points.front().fpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.points.front().tpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.points.back().fpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.points.back().tpr, 1.0);
+  for (std::size_t i = 1; i < curve.points.size(); ++i) {
+    EXPECT_GE(curve.points[i].fpr, curve.points[i - 1].fpr);
+    EXPECT_GE(curve.points[i].tpr, curve.points[i - 1].tpr);
+  }
+  EXPECT_GT(curve.auc, 0.5);  // informative scores
+  EXPECT_LT(curve.auc, 1.0);
+}
+
+TEST(BinaryRoc, SingleClassThrows) {
+  const std::vector<double> scores = {0.5, 0.6};
+  const std::vector<int> labels = {1, 1};
+  EXPECT_THROW(binary_roc(scores, labels), std::invalid_argument);
+}
+
+TEST(OneVsRestRoc, ExtractsClassColumn) {
+  // 3 samples x 2 classes; class-1 scores separate label 1 perfectly.
+  const std::vector<float> scores = {0.9f, 0.1f, 0.2f, 0.8f, 0.7f, 0.3f};
+  const std::vector<int> labels = {0, 1, 0};
+  const auto curve = one_vs_rest_roc(scores, 2, labels, /*positive_class=*/1);
+  EXPECT_DOUBLE_EQ(curve.auc, 1.0);
+}
+
+TEST(MicroAverageRoc, PerfectScoresGivePerfectAuc) {
+  // One-hot score rows exactly matching the labels.
+  const std::vector<float> scores = {1.0f, 0.0f, 0.0f, 1.0f, 1.0f, 0.0f};
+  const std::vector<int> labels = {0, 1, 0};
+  const auto curve = micro_average_roc(scores, 2, labels);
+  EXPECT_DOUBLE_EQ(curve.auc, 1.0);
+}
+
+TEST(MicroAverageRoc, RandomScoresNearHalf) {
+  util::Rng rng(7);
+  const std::size_t n = 600, k = 4;
+  std::vector<float> scores(n * k);
+  std::vector<int> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    labels[i] = static_cast<int>(rng.uniform_index(k));
+    for (std::size_t c = 0; c < k; ++c) {
+      scores[i * k + c] = static_cast<float>(rng.uniform());
+    }
+  }
+  const auto curve = micro_average_roc(scores, k, labels);
+  EXPECT_NEAR(curve.auc, 0.5, 0.05);
+}
+
+}  // namespace
+}  // namespace disthd::metrics

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "nn/mlp.hpp"
+
+namespace disthd::nn {
+namespace {
+
+TEST(MlpConfig, Validation) {
+  MlpConfig config;
+  config.epochs = 0;
+  EXPECT_THROW(Mlp(4, 2, config), std::invalid_argument);
+  config = MlpConfig{};
+  config.batch_size = 0;
+  EXPECT_THROW(Mlp(4, 2, config), std::invalid_argument);
+  config = MlpConfig{};
+  config.learning_rate = 0.0;
+  EXPECT_THROW(Mlp(4, 2, config), std::invalid_argument);
+  config = MlpConfig{};
+  config.momentum = 1.0;
+  EXPECT_THROW(Mlp(4, 2, config), std::invalid_argument);
+  config = MlpConfig{};
+  config.hidden_sizes = {0};
+  EXPECT_THROW(Mlp(4, 2, config), std::invalid_argument);
+}
+
+TEST(Mlp, RejectsBadShapes) {
+  EXPECT_THROW(Mlp(0, 2, {}), std::invalid_argument);
+  EXPECT_THROW(Mlp(4, 1, {}), std::invalid_argument);
+}
+
+TEST(Mlp, LayerShapesFollowConfig) {
+  MlpConfig config;
+  config.hidden_sizes = {32, 16};
+  const Mlp mlp(8, 3, config);
+  ASSERT_EQ(mlp.num_layers(), 3u);
+  EXPECT_EQ(mlp.weights()[0].rows(), 32u);
+  EXPECT_EQ(mlp.weights()[0].cols(), 8u);
+  EXPECT_EQ(mlp.weights()[1].rows(), 16u);
+  EXPECT_EQ(mlp.weights()[2].rows(), 3u);
+  EXPECT_EQ(mlp.parameter_count(), 32u * 8 + 16u * 32 + 3u * 16);
+}
+
+TEST(Mlp, SoftmaxRowsSumToOne) {
+  MlpConfig config;
+  config.hidden_sizes = {16};
+  const Mlp mlp(6, 4, config);
+  util::Rng rng(3);
+  util::Matrix input(5, 6);
+  input.fill_normal(rng);
+  util::Matrix probs;
+  mlp.scores_batch(input, probs);
+  ASSERT_EQ(probs.rows(), 5u);
+  ASSERT_EQ(probs.cols(), 4u);
+  for (std::size_t r = 0; r < 5; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_GE(probs(r, c), 0.0f);
+      sum += probs(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Mlp, LearnsXor) {
+  // XOR needs the hidden layer: linear models cannot reach 100%.
+  data::Dataset train;
+  train.name = "xor";
+  train.num_classes = 2;
+  train.features = util::Matrix(4, 2);
+  const float points[4][2] = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  for (std::size_t i = 0; i < 4; ++i) {
+    train.features(i, 0) = points[i][0];
+    train.features(i, 1) = points[i][1];
+  }
+  train.labels = {0, 1, 1, 0};
+
+  MlpConfig config;
+  config.hidden_sizes = {16};
+  config.epochs = 600;
+  config.batch_size = 4;
+  config.learning_rate = 0.1;
+  config.weight_decay = 0.0;
+  config.seed = 5;
+  Mlp mlp(2, 2, config);
+  mlp.fit(train);
+  EXPECT_DOUBLE_EQ(mlp.evaluate_accuracy(train), 1.0);
+}
+
+TEST(Mlp, TrainLossDecreases) {
+  data::SyntheticSpec spec;
+  spec.num_features = 12;
+  spec.num_classes = 3;
+  spec.train_size = 300;
+  spec.test_size = 60;
+  spec.seed = 11;
+  const auto split = data::make_synthetic(spec);
+
+  MlpConfig config;
+  config.hidden_sizes = {32};
+  config.epochs = 10;
+  config.seed = 1;
+  Mlp mlp(12, 3, config);
+  const auto result = mlp.fit(split.train);
+  ASSERT_EQ(result.trace.size(), 10u);
+  EXPECT_LT(result.trace.back().train_loss, result.trace.front().train_loss);
+}
+
+TEST(Mlp, LearnsGaussianMixture) {
+  data::SyntheticSpec spec;
+  spec.num_features = 16;
+  spec.num_classes = 4;
+  spec.train_size = 800;
+  spec.test_size = 400;
+  spec.cluster_spread = 0.4;
+  spec.seed = 17;
+  const auto split = data::make_synthetic(spec);
+
+  MlpConfig config;
+  config.hidden_sizes = {64};
+  config.epochs = 30;
+  config.learning_rate = 0.02;
+  config.seed = 3;
+  Mlp mlp(16, 4, config);
+  const auto result = mlp.fit(split.train, &split.test);
+  EXPECT_GT(result.final_test_accuracy, 0.9);
+  EXPECT_GT(result.train_seconds, 0.0);
+}
+
+TEST(Mlp, DeterministicGivenSeed) {
+  data::SyntheticSpec spec;
+  spec.num_features = 8;
+  spec.num_classes = 2;
+  spec.train_size = 100;
+  spec.test_size = 40;
+  const auto split = data::make_synthetic(spec);
+
+  MlpConfig config;
+  config.epochs = 5;
+  config.seed = 9;
+  Mlp a(8, 2, config), b(8, 2, config);
+  a.fit(split.train);
+  b.fit(split.train);
+  EXPECT_EQ(a.weights()[0], b.weights()[0]);
+  EXPECT_EQ(a.predict_batch(split.test.features),
+            b.predict_batch(split.test.features));
+}
+
+TEST(Mlp, FitRejectsShapeMismatch) {
+  data::Dataset bad;
+  bad.num_classes = 2;
+  bad.features = util::Matrix(4, 3);  // 3 features, model expects 8
+  bad.labels = {0, 1, 0, 1};
+  MlpConfig config;
+  Mlp mlp(8, 2, config);
+  EXPECT_THROW(mlp.fit(bad), std::invalid_argument);
+}
+
+TEST(Mlp, CopyIsIndependent) {
+  MlpConfig config;
+  Mlp original(4, 2, config);
+  Mlp copy = original;
+  copy.weights()[0](0, 0) += 100.0f;
+  EXPECT_NE(copy.weights()[0](0, 0), original.weights()[0](0, 0));
+}
+
+TEST(Mlp, GradientMatchesFiniteDifference) {
+  // Numerical gradient check on a tiny network: run one batch update with
+  // momentum 0 and lr eta; the weight delta equals -eta * dL/dW, which we
+  // compare against central finite differences of the loss.
+  data::Dataset train;
+  train.num_classes = 2;
+  train.features = util::Matrix(2, 3);
+  train.features(0, 0) = 0.4f;
+  train.features(0, 1) = -0.3f;
+  train.features(0, 2) = 0.9f;
+  train.features(1, 0) = -0.6f;
+  train.features(1, 1) = 0.2f;
+  train.features(1, 2) = 0.1f;
+  train.labels = {0, 1};
+
+  MlpConfig config;
+  config.hidden_sizes = {4};
+  config.epochs = 1;
+  config.batch_size = 2;
+  config.learning_rate = 1e-3;
+  config.momentum = 0.0;
+  config.weight_decay = 0.0;
+  config.seed = 13;
+
+  // Loss evaluator with frozen initial weights.
+  auto loss_of = [&](const Mlp& net) {
+    util::Matrix probs;
+    net.scores_batch(train.features, probs);
+    double loss = 0.0;
+    for (std::size_t i = 0; i < 2; ++i) {
+      loss -= std::log(std::max(1e-12f, probs(i, train.labels[i])));
+    }
+    return loss / 2.0;
+  };
+
+  const Mlp reference(3, 2, config);
+  Mlp trained = reference;
+  trained.fit(train);
+
+  // Check a handful of weights in each layer.
+  for (std::size_t layer = 0; layer < reference.num_layers(); ++layer) {
+    for (const std::size_t flat : {std::size_t{0}, std::size_t{3}}) {
+      const std::size_t r = flat / reference.weights()[layer].cols();
+      const std::size_t c = flat % reference.weights()[layer].cols();
+      const double eps = 1e-3;
+      Mlp plus = reference;
+      plus.weights()[layer](r, c) += static_cast<float>(eps);
+      Mlp minus = reference;
+      minus.weights()[layer](r, c) -= static_cast<float>(eps);
+      const double numeric_grad =
+          (loss_of(plus) - loss_of(minus)) / (2.0 * eps);
+      const double actual_delta =
+          trained.weights()[layer](r, c) - reference.weights()[layer](r, c);
+      const double expected_delta = -config.learning_rate * numeric_grad;
+      EXPECT_NEAR(actual_delta, expected_delta,
+                  5e-4 * std::max(1.0, std::fabs(expected_delta)))
+          << "layer " << layer << " weight (" << r << "," << c << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace disthd::nn

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "noise/bitflip.hpp"
+
+namespace disthd::noise {
+namespace {
+
+std::size_t popcount_diff(std::span<const std::uint8_t> a,
+                          std::span<const std::uint8_t> b) {
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    diff += std::popcount(static_cast<unsigned>(a[i] ^ b[i]));
+  }
+  return diff;
+}
+
+TEST(BitFlip, FlipsExactCount) {
+  std::vector<std::uint8_t> storage(100, 0);
+  const auto original = storage;
+  util::Rng rng(1);
+  const std::size_t flipped = flip_random_bits(storage, 800, 50, rng);
+  EXPECT_EQ(flipped, 50u);
+  EXPECT_EQ(popcount_diff(original, storage), 50u);
+}
+
+TEST(BitFlip, ZeroCountIsNoop) {
+  std::vector<std::uint8_t> storage(10, 0xAB);
+  const auto original = storage;
+  util::Rng rng(1);
+  EXPECT_EQ(flip_random_bits(storage, 80, 0, rng), 0u);
+  EXPECT_EQ(storage, original);
+}
+
+TEST(BitFlip, CountClampedToNumBits) {
+  std::vector<std::uint8_t> storage(2, 0);
+  util::Rng rng(1);
+  const std::size_t flipped = flip_random_bits(storage, 16, 100, rng);
+  EXPECT_EQ(flipped, 16u);
+  // All 16 bits flipped exactly once.
+  EXPECT_EQ(storage[0], 0xFF);
+  EXPECT_EQ(storage[1], 0xFF);
+}
+
+TEST(BitFlip, DenseSamplingPathAlsoDistinct) {
+  // count * 4 > num_bits triggers the Fisher-Yates path.
+  std::vector<std::uint8_t> storage(4, 0);
+  util::Rng rng(3);
+  const std::size_t flipped = flip_random_bits(storage, 32, 20, rng);
+  EXPECT_EQ(flipped, 20u);
+  std::size_t ones = 0;
+  for (const auto byte : storage) {
+    ones += std::popcount(static_cast<unsigned>(byte));
+  }
+  EXPECT_EQ(ones, 20u);  // distinct positions -> popcount equals count
+}
+
+TEST(BitFlip, RespectsNumBitsBoundary) {
+  // Only the first 8 bits are eligible; the second byte must stay clean.
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint8_t> storage(2, 0);
+    util::Rng rng(trial);
+    flip_random_bits(storage, 8, 4, rng);
+    EXPECT_EQ(storage[1], 0);
+  }
+}
+
+TEST(BitFlip, NumBitsBeyondStorageThrows) {
+  std::vector<std::uint8_t> storage(1, 0);
+  util::Rng rng(1);
+  EXPECT_THROW(flip_random_bits(storage, 9, 1, rng), std::invalid_argument);
+}
+
+TEST(BitFlip, DeterministicGivenSeed) {
+  std::vector<std::uint8_t> a(50, 0), b(50, 0);
+  util::Rng rng_a(9), rng_b(9);
+  flip_random_bits(a, 400, 40, rng_a);
+  flip_random_bits(b, 400, 40, rng_b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(InjectBitErrors, RateTranslatesToCount) {
+  util::Matrix m(10, 100);  // 1000 values
+  const auto q = quantize_matrix(m, 8);  // 8000 bits
+  auto corrupted = q;
+  util::Rng rng(5);
+  const std::size_t flipped = inject_bit_errors(corrupted, 0.10, rng);
+  EXPECT_EQ(flipped, 800u);
+  EXPECT_EQ(popcount_diff(q.storage, corrupted.storage), 800u);
+}
+
+TEST(InjectBitErrors, ZeroRateIsClean) {
+  util::Matrix m(4, 4, 1.0f);
+  auto q = quantize_matrix(m, 4);
+  const auto original = q.storage;
+  util::Rng rng(5);
+  EXPECT_EQ(inject_bit_errors(q, 0.0, rng), 0u);
+  EXPECT_EQ(q.storage, original);
+}
+
+TEST(InjectBitErrors, InvalidRateThrows) {
+  util::Matrix m(2, 2, 1.0f);
+  auto q = quantize_matrix(m, 8);
+  util::Rng rng(1);
+  EXPECT_THROW(inject_bit_errors(q, -0.1, rng), std::invalid_argument);
+  EXPECT_THROW(inject_bit_errors(q, 1.1, rng), std::invalid_argument);
+}
+
+TEST(InjectBitErrors, PaddingBitsNeverTouched) {
+  // 3 values at 2 bits = 6 bits used of 8; the top 2 bits of the single
+  // byte are padding and must never flip.
+  util::Matrix m(1, 3, 1.0f);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto q = quantize_matrix(m, 2);
+    util::Rng rng(trial);
+    inject_bit_errors(q, 1.0, rng);  // flip every eligible bit
+    EXPECT_EQ(q.storage[0] >> 6, quantize_matrix(m, 2).storage[0] >> 6);
+  }
+}
+
+}  // namespace
+}  // namespace disthd::noise

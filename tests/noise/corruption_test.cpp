@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "core/disthd_trainer.hpp"
+#include "data/synthetic.hpp"
+#include "nn/mlp.hpp"
+#include "noise/corruption.hpp"
+
+namespace disthd::noise {
+namespace {
+
+struct Fixture {
+  data::TrainTestSplit split;
+  core::HdcClassifier classifier;
+  util::Matrix encoded_test;
+};
+
+const Fixture& fixture() {
+  static const Fixture f = [] {
+    data::SyntheticSpec spec;
+    spec.num_features = 16;
+    spec.num_classes = 3;
+    spec.train_size = 450;
+    spec.test_size = 300;
+    spec.cluster_spread = 0.4;
+    spec.seed = 3;
+    auto split = data::make_synthetic(spec);
+
+    core::DistHDConfig config;
+    config.dim = 256;
+    config.iterations = 8;
+    config.polish_epochs = 3;
+    config.seed = 5;
+    core::DistHDTrainer trainer(config);
+    auto classifier = trainer.fit(split.train);
+    util::Matrix encoded;
+    classifier.encoder().encode_batch(split.test.features, encoded);
+    return Fixture{std::move(split), std::move(classifier), std::move(encoded)};
+  }();
+  return f;
+}
+
+TEST(HdcCorruption, ZeroErrorHasZeroLoss) {
+  const auto& f = fixture();
+  CorruptionConfig config;
+  config.bits = 8;
+  config.error_rate = 0.0;
+  config.trials = 2;
+  const auto result = hdc_corruption_test(f.classifier.model(), f.encoded_test,
+                                          f.split.test.labels, config);
+  EXPECT_DOUBLE_EQ(result.quality_loss(), 0.0);
+  EXPECT_GT(result.clean_accuracy, 0.8);
+}
+
+TEST(HdcCorruption, QuantizedCleanAccuracyNearFloat) {
+  const auto& f = fixture();
+  const auto predictions = f.classifier.model().predict_batch(f.encoded_test);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    correct += (predictions[i] == f.split.test.labels[i]);
+  }
+  const double float_accuracy =
+      static_cast<double>(correct) / predictions.size();
+
+  CorruptionConfig config;
+  config.bits = 8;
+  config.error_rate = 0.0;
+  config.trials = 1;
+  const auto result = hdc_corruption_test(f.classifier.model(), f.encoded_test,
+                                          f.split.test.labels, config);
+  EXPECT_NEAR(result.clean_accuracy, float_accuracy, 0.05);
+}
+
+TEST(HdcCorruption, LossGrowsWithErrorRate) {
+  const auto& f = fixture();
+  double previous = -1.0;
+  for (const double rate : {0.02, 0.30}) {
+    CorruptionConfig config;
+    config.bits = 8;
+    config.error_rate = rate;
+    config.trials = 5;
+    config.seed = 11;
+    const auto result = hdc_corruption_test(
+        f.classifier.model(), f.encoded_test, f.split.test.labels, config);
+    EXPECT_GT(result.quality_loss(), previous);
+    previous = result.quality_loss();
+  }
+}
+
+TEST(HdcCorruption, OneBitStorageIsMostRobust) {
+  // Paper Fig. 8: lower precision -> flips only touch signs -> smaller loss.
+  const auto& f = fixture();
+  auto loss_at = [&](unsigned bits) {
+    CorruptionConfig config;
+    config.bits = bits;
+    config.error_rate = 0.15;
+    config.trials = 5;
+    config.seed = 13;
+    return hdc_corruption_test(f.classifier.model(), f.encoded_test,
+                               f.split.test.labels, config)
+        .quality_loss();
+  };
+  EXPECT_LT(loss_at(1), loss_at(8));
+}
+
+TEST(HdcCorruption, DeterministicGivenSeed) {
+  const auto& f = fixture();
+  CorruptionConfig config;
+  config.bits = 4;
+  config.error_rate = 0.05;
+  config.trials = 3;
+  config.seed = 17;
+  const auto a = hdc_corruption_test(f.classifier.model(), f.encoded_test,
+                                     f.split.test.labels, config);
+  const auto b = hdc_corruption_test(f.classifier.model(), f.encoded_test,
+                                     f.split.test.labels, config);
+  EXPECT_DOUBLE_EQ(a.corrupted_accuracy, b.corrupted_accuracy);
+}
+
+TEST(HdcCorruption, ZeroTrialsThrows) {
+  const auto& f = fixture();
+  CorruptionConfig config;
+  config.trials = 0;
+  EXPECT_THROW(hdc_corruption_test(f.classifier.model(), f.encoded_test,
+                                   f.split.test.labels, config),
+               std::invalid_argument);
+}
+
+TEST(MlpCorruption, CleanAccuracyPreservedAtZeroError) {
+  const auto& f = fixture();
+  nn::MlpConfig mlp_config;
+  mlp_config.hidden_sizes = {32};
+  mlp_config.epochs = 15;
+  nn::Mlp mlp(16, 3, mlp_config);
+  mlp.fit(f.split.train);
+
+  CorruptionConfig config;
+  config.bits = 8;
+  config.error_rate = 0.0;
+  config.trials = 1;
+  const auto result = mlp_corruption_test(mlp, f.split.test, config);
+  EXPECT_DOUBLE_EQ(result.quality_loss(), 0.0);
+  EXPECT_NEAR(result.clean_accuracy, mlp.evaluate_accuracy(f.split.test), 0.05);
+}
+
+TEST(MlpCorruption, HeavyCorruptionDegradesDnn) {
+  const auto& f = fixture();
+  nn::MlpConfig mlp_config;
+  mlp_config.hidden_sizes = {32};
+  mlp_config.epochs = 15;
+  nn::Mlp mlp(16, 3, mlp_config);
+  mlp.fit(f.split.train);
+
+  CorruptionConfig config;
+  config.bits = 8;
+  config.error_rate = 0.15;
+  config.trials = 5;
+  const auto result = mlp_corruption_test(mlp, f.split.test, config);
+  EXPECT_GT(result.quality_loss(), 0.1);
+}
+
+TEST(Corruption, HdcBeatsDnnAtOneBit) {
+  // The paper's central robustness claim, in miniature.
+  const auto& f = fixture();
+  nn::MlpConfig mlp_config;
+  mlp_config.hidden_sizes = {32};
+  mlp_config.epochs = 15;
+  nn::Mlp mlp(16, 3, mlp_config);
+  mlp.fit(f.split.train);
+
+  CorruptionConfig config;
+  config.error_rate = 0.10;
+  config.trials = 5;
+  config.seed = 19;
+  config.bits = 8;
+  const auto dnn = mlp_corruption_test(mlp, f.split.test, config);
+  config.bits = 1;
+  const auto hdc = hdc_corruption_test(f.classifier.model(), f.encoded_test,
+                                       f.split.test.labels, config);
+  EXPECT_LT(hdc.quality_loss(), dnn.quality_loss());
+}
+
+}  // namespace
+}  // namespace disthd::noise

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "noise/quantize.hpp"
+#include "util/rng.hpp"
+
+namespace disthd::noise {
+namespace {
+
+TEST(Quantize, RejectsUnsupportedBits) {
+  util::Matrix m(2, 2, 1.0f);
+  EXPECT_THROW(quantize_matrix(m, 3), std::invalid_argument);
+  EXPECT_THROW(quantize_matrix(m, 16), std::invalid_argument);
+  EXPECT_THROW(quantize_matrix(m, 0), std::invalid_argument);
+}
+
+TEST(Quantize, StorageSizeIsPacked) {
+  util::Matrix m(3, 5);  // 15 values
+  EXPECT_EQ(quantize_matrix(m, 1).storage.size(), 2u);   // 15 bits -> 2 bytes
+  EXPECT_EQ(quantize_matrix(m, 2).storage.size(), 4u);   // 30 bits
+  EXPECT_EQ(quantize_matrix(m, 4).storage.size(), 8u);   // 60 bits
+  EXPECT_EQ(quantize_matrix(m, 8).storage.size(), 15u);  // 120 bits
+  EXPECT_EQ(quantize_matrix(m, 8).num_bits(), 120u);
+}
+
+TEST(Quantize, OneBitKeepsSigns) {
+  util::Matrix m(1, 4);
+  m(0, 0) = 3.0f;
+  m(0, 1) = -2.0f;
+  m(0, 2) = 0.5f;
+  m(0, 3) = -0.1f;
+  const auto q = quantize_matrix(m, 1);
+  const auto back = dequantize_matrix(q);
+  EXPECT_GT(back(0, 0), 0.0f);
+  EXPECT_LT(back(0, 1), 0.0f);
+  EXPECT_GT(back(0, 2), 0.0f);
+  EXPECT_LT(back(0, 3), 0.0f);
+  // Magnitude is the mean |v| = (3 + 2 + 0.5 + 0.1)/4 = 1.4.
+  EXPECT_NEAR(std::fabs(back(0, 0)), 1.4f, 1e-5);
+}
+
+TEST(Quantize, EightBitRoundTripIsAccurate) {
+  util::Rng rng(3);
+  util::Matrix m(20, 50);
+  m.fill_normal(rng);
+  const auto q = quantize_matrix(m, 8);
+  const auto back = dequantize_matrix(q);
+  double err = 0.0, sig = 0.0;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    const double d = back.data()[i] - m.data()[i];
+    err += d * d;
+    sig += static_cast<double>(m.data()[i]) * m.data()[i];
+  }
+  EXPECT_LT(std::sqrt(err / sig), 0.05);  // < 5% relative RMS error
+}
+
+TEST(Quantize, LowerPrecisionHasHigherError) {
+  util::Rng rng(5);
+  util::Matrix m(20, 50);
+  m.fill_normal(rng);
+  auto rms = [&](unsigned bits) {
+    const auto q = quantize_matrix(m, bits);
+    const auto back = dequantize_matrix(q);
+    double err = 0.0;
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      const double d = back.data()[i] - m.data()[i];
+      err += d * d;
+    }
+    return std::sqrt(err / static_cast<double>(m.size()));
+  };
+  EXPECT_LT(rms(8), rms(4));
+  EXPECT_LT(rms(4), rms(2));
+}
+
+TEST(Quantize, SymmetricCodeRange) {
+  // +v and -v quantize to codes symmetric about the offset midpoint.
+  util::Matrix m(1, 2);
+  m(0, 0) = 0.7f;
+  m(0, 1) = -0.7f;
+  for (const unsigned bits : {2u, 4u, 8u}) {
+    const auto q = quantize_matrix(m, bits);
+    const auto back = dequantize_matrix(q);
+    EXPECT_NEAR(back(0, 0), -back(0, 1), 1e-6) << "bits " << bits;
+  }
+}
+
+TEST(Quantize, ClippingBoundsOutliers) {
+  // One extreme outlier must not stretch the quantization range by more
+  // than the 4-sigma loading (8-bit case).
+  util::Rng rng(7);
+  util::Matrix m(10, 100);
+  m.fill_normal(rng);
+  m(0, 0) = 1000.0f;  // outlier
+  const auto q = quantize_matrix(m, 8);
+  // scale * q_max is the representable max; must be near 4 sigma of the
+  // data (sigma ~ sqrt(1 + 1000^2/1000) ~ 31.6), far below the outlier.
+  EXPECT_LT(q.scale * 127.0f, 500.0f);
+}
+
+TEST(Quantize, ReadCodeRoundTrips) {
+  util::Matrix m(1, 8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    m(0, i) = static_cast<float>(i) - 4.0f;
+  }
+  for (const unsigned bits : {1u, 2u, 4u, 8u}) {
+    const auto q = quantize_matrix(m, bits);
+    for (std::size_t i = 0; i < 8; ++i) {
+      const unsigned code = read_code(q, i);
+      EXPECT_LT(code, 1u << bits) << "bits " << bits << " index " << i;
+    }
+  }
+}
+
+TEST(Quantize, AllZeroMatrixSafe) {
+  util::Matrix m(4, 4, 0.0f);
+  for (const unsigned bits : {1u, 2u, 4u, 8u}) {
+    const auto q = quantize_matrix(m, bits);
+    const auto back = dequantize_matrix(q);
+    for (std::size_t i = 0; i < back.size(); ++i) {
+      EXPECT_LE(std::fabs(back.data()[i]), 1.0f);  // finite, bounded
+    }
+  }
+}
+
+}  // namespace
+}  // namespace disthd::noise

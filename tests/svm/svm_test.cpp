@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "svm/kernel_svm.hpp"
+#include "svm/linear_svm.hpp"
+
+namespace disthd::svm {
+namespace {
+
+data::TrainTestSplit blobs(std::size_t clusters_per_class, double spread,
+                           std::uint64_t seed) {
+  data::SyntheticSpec spec;
+  spec.num_features = 10;
+  spec.num_classes = 3;
+  spec.train_size = 450;
+  spec.test_size = 300;
+  spec.clusters_per_class = clusters_per_class;
+  spec.cluster_spread = spread;
+  spec.seed = seed;
+  return data::make_synthetic(spec);
+}
+
+TEST(LinearSvmConfig, Validation) {
+  LinearSvmConfig config;
+  config.lambda = 0.0;
+  EXPECT_THROW(LinearSvm(4, 2, config), std::invalid_argument);
+  config = LinearSvmConfig{};
+  config.epochs = 0;
+  EXPECT_THROW(LinearSvm(4, 2, config), std::invalid_argument);
+}
+
+TEST(LinearSvm, RejectsBadShapes) {
+  EXPECT_THROW(LinearSvm(0, 2), std::invalid_argument);
+  EXPECT_THROW(LinearSvm(4, 1), std::invalid_argument);
+}
+
+TEST(LinearSvm, LearnsSeparableBlobs) {
+  const auto split = blobs(1, 0.2, 3);
+  LinearSvm svm(10, 3);
+  const double seconds = svm.fit(split.train);
+  EXPECT_GT(seconds, 0.0);
+  EXPECT_GT(svm.evaluate_accuracy(split.test), 0.95);
+}
+
+TEST(LinearSvm, ScoresShape) {
+  const auto split = blobs(1, 0.2, 3);
+  LinearSvm svm(10, 3);
+  svm.fit(split.train);
+  util::Matrix margins;
+  svm.scores_batch(split.test.features, margins);
+  EXPECT_EQ(margins.rows(), split.test.size());
+  EXPECT_EQ(margins.cols(), 3u);
+}
+
+TEST(LinearSvm, FitRejectsShapeMismatch) {
+  const auto split = blobs(1, 0.2, 3);
+  LinearSvm svm(11, 3);  // wrong feature count
+  EXPECT_THROW(svm.fit(split.train), std::invalid_argument);
+}
+
+TEST(LinearSvm, DeterministicGivenSeed) {
+  const auto split = blobs(1, 0.4, 5);
+  LinearSvmConfig config;
+  config.seed = 17;
+  LinearSvm a(10, 3, config), b(10, 3, config);
+  a.fit(split.train);
+  b.fit(split.train);
+  EXPECT_EQ(a.predict_batch(split.test.features),
+            b.predict_batch(split.test.features));
+}
+
+TEST(KernelSvmConfig, Validation) {
+  KernelSvmConfig config;
+  config.lambda = -1.0;
+  EXPECT_THROW(KernelSvm{config}, std::invalid_argument);
+  config = KernelSvmConfig{};
+  config.gamma = -0.5;
+  EXPECT_THROW(KernelSvm{config}, std::invalid_argument);
+}
+
+TEST(KernelSvm, ScoresBeforeFitThrows) {
+  KernelSvm svm;
+  util::Matrix features(1, 4);
+  util::Matrix scores;
+  EXPECT_THROW(svm.scores_batch(features, scores), std::logic_error);
+}
+
+TEST(KernelSvm, LearnsSeparableBlobs) {
+  const auto split = blobs(1, 0.2, 7);
+  KernelSvm svm;
+  svm.fit(split.train);
+  EXPECT_GT(svm.evaluate_accuracy(split.test), 0.95);
+}
+
+TEST(KernelSvm, HandlesMultiModalClassesBetterThanLinear) {
+  // Multi-cluster classes are non-convex; the RBF kernel should win.
+  const auto split = blobs(3, 0.45, 11);
+  LinearSvm linear(10, 3);
+  linear.fit(split.train);
+  KernelSvm kernel;
+  kernel.fit(split.train);
+  EXPECT_GT(kernel.evaluate_accuracy(split.test),
+            linear.evaluate_accuracy(split.test));
+}
+
+TEST(KernelSvm, SubsamplingCapsSupportSize) {
+  const auto split = blobs(2, 0.5, 13);
+  KernelSvmConfig config;
+  config.max_train_samples = 100;
+  KernelSvm svm(config);
+  svm.fit(split.train);
+  EXPECT_LE(svm.support_size(), 100u);
+  // Still clearly better than chance.
+  EXPECT_GT(svm.evaluate_accuracy(split.test), 0.55);
+}
+
+TEST(KernelSvm, ExplicitGammaHonored) {
+  const auto split = blobs(1, 0.3, 17);
+  KernelSvmConfig config;
+  config.gamma = 0.5;
+  KernelSvm svm(config);
+  svm.fit(split.train);
+  EXPECT_GT(svm.evaluate_accuracy(split.test), 0.8);
+}
+
+TEST(KernelSvm, FitReturnsElapsedSeconds) {
+  const auto split = blobs(1, 0.3, 19);
+  KernelSvm svm;
+  EXPECT_GT(svm.fit(split.train), 0.0);
+}
+
+}  // namespace
+}  // namespace disthd::svm

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/disthd_trainer.hpp"
+#include "data/normalize.hpp"
+#include "data/synthetic.hpp"
+#include "tools_common.hpp"
+
+namespace disthd::tools {
+namespace {
+
+class BundleTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() / "disthd_bundle_test.bin")
+                .string();
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path_;
+};
+
+core::HdcClassifier train_small(const data::TrainTestSplit& split) {
+  core::DistHDConfig config;
+  config.dim = 128;
+  config.iterations = 6;
+  config.seed = 3;
+  core::DistHDTrainer trainer(config);
+  return trainer.fit(split.train);
+}
+
+TEST_F(BundleTest, RoundTripPreservesPredictions) {
+  data::SyntheticSpec spec;
+  spec.num_features = 12;
+  spec.num_classes = 3;
+  spec.train_size = 300;
+  spec.test_size = 100;
+  spec.seed = 9;
+  const auto split = data::make_synthetic(spec);
+  const auto classifier = train_small(split);
+
+  const std::vector<float> offset(12, 0.0f);
+  const std::vector<float> scale(12, 1.0f);
+  save_bundle(path_, offset, scale, classifier);
+
+  const auto bundle = load_bundle(path_);
+  ASSERT_NE(bundle.classifier, nullptr);
+  util::Matrix features = split.test.features;  // identity scaler
+  bundle.apply_scaler(features);
+  EXPECT_EQ(bundle.classifier->predict_batch(features),
+            classifier.predict_batch(split.test.features));
+}
+
+TEST_F(BundleTest, ScalerIsApplied) {
+  data::SyntheticSpec spec;
+  spec.num_features = 4;
+  spec.num_classes = 2;
+  spec.train_size = 100;
+  spec.test_size = 20;
+  const auto split = data::make_synthetic(spec);
+  const auto classifier = train_small(split);
+
+  const std::vector<float> offset = {1.0f, 2.0f, 3.0f, 4.0f};
+  const std::vector<float> scale = {0.5f, 0.5f, 0.5f, 0.5f};
+  save_bundle(path_, offset, scale, classifier);
+  const auto bundle = load_bundle(path_);
+
+  util::Matrix features(1, 4);
+  features(0, 0) = 3.0f;  // (3 - 1) * 0.5 = 1
+  features(0, 1) = 2.0f;  // 0
+  features(0, 2) = 3.0f;  // 0
+  features(0, 3) = 6.0f;  // 1
+  bundle.apply_scaler(features);
+  EXPECT_FLOAT_EQ(features(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(features(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(features(0, 3), 1.0f);
+}
+
+TEST_F(BundleTest, FeatureCountMismatchThrows) {
+  data::SyntheticSpec spec;
+  spec.num_features = 4;
+  spec.num_classes = 2;
+  spec.train_size = 100;
+  spec.test_size = 20;
+  const auto split = data::make_synthetic(spec);
+  const auto classifier = train_small(split);
+  save_bundle(path_, std::vector<float>(4, 0.0f), std::vector<float>(4, 1.0f),
+              classifier);
+  const auto bundle = load_bundle(path_);
+  util::Matrix wrong(1, 5);
+  EXPECT_THROW(bundle.apply_scaler(wrong), std::runtime_error);
+}
+
+TEST_F(BundleTest, MissingFileThrows) {
+  EXPECT_THROW(load_bundle("/nonexistent/bundle.bin"), std::runtime_error);
+}
+
+TEST_F(BundleTest, GarbageFileThrows) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "garbage data, not a bundle";
+  }
+  EXPECT_THROW(load_bundle(path_), std::runtime_error);
+}
+
+TEST_F(BundleTest, EmptyScalerMeansIdentity) {
+  data::SyntheticSpec spec;
+  spec.num_features = 4;
+  spec.num_classes = 2;
+  spec.train_size = 100;
+  spec.test_size = 20;
+  const auto split = data::make_synthetic(spec);
+  const auto classifier = train_small(split);
+  save_bundle(path_, {}, {}, classifier);
+  const auto bundle = load_bundle(path_);
+  util::Matrix features(1, 4, 2.5f);
+  const util::Matrix before = features;
+  bundle.apply_scaler(features);
+  EXPECT_EQ(features, before);
+}
+
+}  // namespace
+}  // namespace disthd::tools

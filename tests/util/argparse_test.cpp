@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "util/argparse.hpp"
+
+namespace disthd::util {
+namespace {
+
+ArgParser make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, KeyValuePairs) {
+  const auto args = make({"--scale", "0.5", "--seed", "7"});
+  EXPECT_EQ(args.get("scale", ""), "0.5");
+  EXPECT_EQ(args.get_int("seed", 0), 7);
+}
+
+TEST(ArgParser, EqualsSyntax) {
+  const auto args = make({"--scale=0.25"});
+  EXPECT_DOUBLE_EQ(args.get_double("scale", 0.0), 0.25);
+}
+
+TEST(ArgParser, BareFlagIsTrue) {
+  const auto args = make({"--quick"});
+  EXPECT_TRUE(args.get_bool("quick"));
+  EXPECT_TRUE(args.has("quick"));
+}
+
+TEST(ArgParser, FlagFollowedByFlag) {
+  const auto args = make({"--quick", "--verbose"});
+  EXPECT_TRUE(args.get_bool("quick"));
+  EXPECT_TRUE(args.get_bool("verbose"));
+}
+
+TEST(ArgParser, MissingKeyUsesFallback) {
+  const auto args = make({});
+  EXPECT_EQ(args.get("missing", "fallback"), "fallback");
+  EXPECT_EQ(args.get_int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 1.5), 1.5);
+  EXPECT_FALSE(args.get_bool("missing"));
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(ArgParser, PositionalArguments) {
+  const auto args = make({"input.txt", "--k", "3", "output.txt"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "input.txt");
+  EXPECT_EQ(args.positional()[1], "output.txt");
+}
+
+TEST(ArgParser, BoolVariants) {
+  EXPECT_TRUE(make({"--a", "true"}).get_bool("a"));
+  EXPECT_TRUE(make({"--a", "1"}).get_bool("a"));
+  EXPECT_TRUE(make({"--a", "yes"}).get_bool("a"));
+  EXPECT_TRUE(make({"--a", "on"}).get_bool("a"));
+  EXPECT_FALSE(make({"--a", "false"}).get_bool("a", true));
+  EXPECT_FALSE(make({"--a", "0"}).get_bool("a", true));
+}
+
+TEST(ArgParser, MalformedIntThrows) {
+  const auto args = make({"--n", "abc"});
+  EXPECT_THROW(args.get_int("n", 0), std::invalid_argument);
+}
+
+TEST(ArgParser, MalformedDoubleThrows) {
+  const auto args = make({"--x", "xyz"});
+  EXPECT_THROW(args.get_double("x", 0.0), std::invalid_argument);
+}
+
+TEST(ArgParser, NegativeNumbers) {
+  const auto args = make({"--n=-5", "--x=-2.5"});
+  EXPECT_EQ(args.get_int("n", 0), -5);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 0.0), -2.5);
+}
+
+TEST(ArgParser, LastValueWins) {
+  const auto args = make({"--k", "1", "--k", "2"});
+  EXPECT_EQ(args.get_int("k", 0), 2);
+}
+
+}  // namespace
+}  // namespace disthd::util

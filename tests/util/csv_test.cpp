@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/csv.hpp"
+
+namespace disthd::util {
+namespace {
+
+class CsvTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "disthd_csv_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string write_file(const std::string& name, const std::string& content) {
+    const auto path = (dir_ / name).string();
+    std::ofstream out(path);
+    out << content;
+    return path;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST(SplitCsvLine, BasicFields) {
+  const auto fields = split_csv_line("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(SplitCsvLine, EmptyFieldsPreserved) {
+  const auto fields = split_csv_line("a,,c,");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(SplitCsvLine, QuotedCommas) {
+  const auto fields = split_csv_line(R"(1,"hello, world",3)");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "hello, world");
+}
+
+TEST(SplitCsvLine, EscapedQuotes) {
+  const auto fields = split_csv_line(R"("say ""hi""",2)");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "say \"hi\"");
+}
+
+TEST(SplitCsvLine, StripsCarriageReturn) {
+  const auto fields = split_csv_line("a,b\r");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST(SplitCsvLine, CustomDelimiter) {
+  const auto fields = split_csv_line("1;2;3", ';');
+  ASSERT_EQ(fields.size(), 3u);
+}
+
+TEST_F(CsvTest, ReadWithHeader) {
+  const auto path = write_file("t.csv", "x,y\n1,2\n3,4\n");
+  const auto table = read_csv(path, /*has_header=*/true);
+  ASSERT_EQ(table.header.size(), 2u);
+  EXPECT_EQ(table.header[0], "x");
+  ASSERT_EQ(table.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(table.rows[1][1], 4.0);
+}
+
+TEST_F(CsvTest, ReadWithoutHeader) {
+  const auto path = write_file("t2.csv", "1,2\n3,4\n");
+  const auto table = read_csv(path, /*has_header=*/false);
+  EXPECT_TRUE(table.header.empty());
+  ASSERT_EQ(table.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(table.rows[0][0], 1.0);
+}
+
+TEST_F(CsvTest, NonNumericCellsBecomeNaN) {
+  const auto path = write_file("t3.csv", "1,abc\n2,3\n");
+  const auto table = read_csv(path, false);
+  EXPECT_TRUE(std::isnan(table.rows[0][1]));
+  EXPECT_DOUBLE_EQ(table.rows[1][1], 3.0);
+}
+
+TEST_F(CsvTest, SkipsBlankLines) {
+  const auto path = write_file("t4.csv", "1,2\n\n3,4\n");
+  const auto table = read_csv(path, false);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST_F(CsvTest, RaggedRowThrows) {
+  const auto path = write_file("t5.csv", "1,2\n3\n");
+  EXPECT_THROW(read_csv(path, false), std::runtime_error);
+}
+
+TEST_F(CsvTest, MissingFileThrows) {
+  EXPECT_THROW(read_csv((dir_ / "nope.csv").string(), false),
+               std::runtime_error);
+}
+
+TEST_F(CsvTest, NegativeAndScientificNumbers) {
+  const auto path = write_file("t6.csv", "-1.5,2e3\n");
+  const auto table = read_csv(path, false);
+  EXPECT_DOUBLE_EQ(table.rows[0][0], -1.5);
+  EXPECT_DOUBLE_EQ(table.rows[0][1], 2000.0);
+}
+
+TEST_F(CsvTest, WriteThenReadRoundTrip) {
+  const auto path = (dir_ / "out.csv").string();
+  write_csv(path, {"a", "b"}, {{1.5, 2.5}, {-3.0, 4.0}});
+  const auto table = read_csv(path, true);
+  ASSERT_EQ(table.header.size(), 2u);
+  ASSERT_EQ(table.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(table.rows[0][0], 1.5);
+  EXPECT_DOUBLE_EQ(table.rows[1][1], 4.0);
+}
+
+TEST_F(CsvTest, WriteToUnwritablePathThrows) {
+  EXPECT_THROW(write_csv("/nonexistent_dir_xyz/out.csv", {}, {{1.0}}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace disthd::util

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace disthd::util {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5f);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_FLOAT_EQ(m(1, 2), 1.5f);
+  m(0, 1) = -2.0f;
+  EXPECT_FLOAT_EQ(m(0, 1), -2.0f);
+}
+
+TEST(Matrix, RowSpanAliasesStorage) {
+  Matrix m(3, 4);
+  auto row = m.row(1);
+  row[2] = 9.0f;
+  EXPECT_FLOAT_EQ(m(1, 2), 9.0f);
+  EXPECT_EQ(row.size(), 4u);
+}
+
+TEST(Matrix, ReshapeZeroes) {
+  Matrix m(2, 2, 5.0f);
+  m.reshape(3, 1);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 1u);
+  for (std::size_t r = 0; r < 3; ++r) EXPECT_FLOAT_EQ(m(r, 0), 0.0f);
+}
+
+TEST(Matrix, GatherRows) {
+  Matrix m(3, 2);
+  for (std::size_t r = 0; r < 3; ++r) {
+    m(r, 0) = static_cast<float>(r);
+    m(r, 1) = static_cast<float>(10 * r);
+  }
+  const std::size_t idx[] = {2, 0};
+  const Matrix g = m.gather_rows(idx);
+  EXPECT_EQ(g.rows(), 2u);
+  EXPECT_FLOAT_EQ(g(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(g(0, 1), 20.0f);
+  EXPECT_FLOAT_EQ(g(1, 0), 0.0f);
+}
+
+TEST(VectorKernels, DotHandComputed) {
+  const float a[] = {1.0f, 2.0f, 3.0f};
+  const float b[] = {4.0f, -5.0f, 6.0f};
+  EXPECT_DOUBLE_EQ(dot(a, b), 4.0 - 10.0 + 18.0);
+}
+
+TEST(VectorKernels, DotEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(dot(std::span<const float>{}, std::span<const float>{}), 0.0);
+}
+
+TEST(VectorKernels, DotUnrolledTailCorrect) {
+  // Length 7 exercises both the 4-wide lanes and the scalar tail.
+  const float a[] = {1, 1, 1, 1, 1, 1, 1};
+  const float b[] = {1, 2, 3, 4, 5, 6, 7};
+  EXPECT_DOUBLE_EQ(dot(a, b), 28.0);
+}
+
+TEST(VectorKernels, Norm2) {
+  const float a[] = {3.0f, 4.0f};
+  EXPECT_DOUBLE_EQ(norm2(a), 5.0);
+}
+
+TEST(VectorKernels, CosineOfParallelVectorsIsOne) {
+  const float a[] = {1.0f, 2.0f, 2.0f};
+  const float b[] = {2.0f, 4.0f, 4.0f};
+  EXPECT_NEAR(cosine(a, b), 1.0, 1e-12);
+}
+
+TEST(VectorKernels, CosineOfOrthogonalVectorsIsZero) {
+  const float a[] = {1.0f, 0.0f};
+  const float b[] = {0.0f, 1.0f};
+  EXPECT_DOUBLE_EQ(cosine(a, b), 0.0);
+}
+
+TEST(VectorKernels, CosineZeroVectorIsZero) {
+  const float a[] = {0.0f, 0.0f};
+  const float b[] = {1.0f, 1.0f};
+  EXPECT_DOUBLE_EQ(cosine(a, b), 0.0);
+}
+
+TEST(VectorKernels, AxpyAndScale) {
+  const float x[] = {1.0f, 2.0f};
+  float y[] = {10.0f, 20.0f};
+  axpy(2.0f, x, y);
+  EXPECT_FLOAT_EQ(y[0], 12.0f);
+  EXPECT_FLOAT_EQ(y[1], 24.0f);
+  scale(y, 0.5f);
+  EXPECT_FLOAT_EQ(y[0], 6.0f);
+  EXPECT_FLOAT_EQ(y[1], 12.0f);
+}
+
+TEST(MatrixKernels, MatmulNtHandComputed) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  // a = [[1,2,3],[4,5,6]]; b = [[1,0,1],[0,1,0]]
+  float av[] = {1, 2, 3, 4, 5, 6};
+  float bv[] = {1, 0, 1, 0, 1, 0};
+  std::copy(av, av + 6, a.data());
+  std::copy(bv, bv + 6, b.data());
+  Matrix out;
+  matmul_nt(a, b, out);
+  ASSERT_EQ(out.rows(), 2u);
+  ASSERT_EQ(out.cols(), 2u);
+  EXPECT_FLOAT_EQ(out(0, 0), 4.0f);   // 1+3
+  EXPECT_FLOAT_EQ(out(0, 1), 2.0f);   // 2
+  EXPECT_FLOAT_EQ(out(1, 0), 10.0f);  // 4+6
+  EXPECT_FLOAT_EQ(out(1, 1), 5.0f);   // 5
+}
+
+TEST(MatrixKernels, MatmulNtShapeMismatchThrows) {
+  Matrix a(2, 3), b(2, 4), out;
+  EXPECT_THROW(matmul_nt(a, b, out), std::invalid_argument);
+}
+
+TEST(MatrixKernels, MatmulNnMatchesNtWithTranspose) {
+  Rng rng(5);
+  Matrix a(7, 5), b(5, 6);
+  a.fill_normal(rng);
+  b.fill_normal(rng);
+  Matrix nn_out, nt_out;
+  matmul_nn(a, b, nn_out);
+  matmul_nt(a, transpose(b), nt_out);
+  ASSERT_EQ(nn_out.rows(), nt_out.rows());
+  ASSERT_EQ(nn_out.cols(), nt_out.cols());
+  for (std::size_t i = 0; i < nn_out.size(); ++i) {
+    EXPECT_NEAR(nn_out.data()[i], nt_out.data()[i], 1e-4);
+  }
+}
+
+TEST(MatrixKernels, MatmulTnMatchesManualTranspose) {
+  Rng rng(9);
+  Matrix a(6, 3), b(6, 4);
+  a.fill_normal(rng);
+  b.fill_normal(rng);
+  Matrix tn_out, ref;
+  matmul_tn(a, b, tn_out);
+  matmul_nn(transpose(a), b, ref);
+  ASSERT_EQ(tn_out.rows(), 3u);
+  ASSERT_EQ(tn_out.cols(), 4u);
+  for (std::size_t i = 0; i < tn_out.size(); ++i) {
+    EXPECT_NEAR(tn_out.data()[i], ref.data()[i], 1e-4);
+  }
+}
+
+TEST(MatrixKernels, MatvecMatchesMatmul) {
+  Rng rng(11);
+  Matrix a(5, 4);
+  a.fill_normal(rng);
+  std::vector<float> x = {1.0f, -1.0f, 0.5f, 2.0f};
+  const auto y = matvec(a, x);
+  ASSERT_EQ(y.size(), 5u);
+  for (std::size_t r = 0; r < 5; ++r) {
+    EXPECT_NEAR(y[r], static_cast<float>(dot(a.row(r), x)), 1e-5);
+  }
+}
+
+TEST(MatrixKernels, ColSums) {
+  Matrix m(2, 3);
+  float values[] = {1, 2, 3, 4, 5, 6};
+  std::copy(values, values + 6, m.data());
+  std::vector<double> sums;
+  col_sums(m, sums);
+  ASSERT_EQ(sums.size(), 3u);
+  EXPECT_DOUBLE_EQ(sums[0], 5.0);
+  EXPECT_DOUBLE_EQ(sums[1], 7.0);
+  EXPECT_DOUBLE_EQ(sums[2], 9.0);
+}
+
+TEST(MatrixKernels, NormalizeRowsMakesUnitNorm) {
+  Rng rng(13);
+  Matrix m(4, 10);
+  m.fill_normal(rng);
+  normalize_rows(m);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    EXPECT_NEAR(norm2(m.row(r)), 1.0, 1e-5);
+  }
+}
+
+TEST(MatrixKernels, NormalizeRowsLeavesZeroRows) {
+  Matrix m(2, 3, 0.0f);
+  m(0, 0) = 2.0f;
+  normalize_rows(m);
+  EXPECT_NEAR(norm2(m.row(0)), 1.0, 1e-6);
+  EXPECT_DOUBLE_EQ(norm2(m.row(1)), 0.0);
+}
+
+TEST(MatrixKernels, TransposeRoundTrip) {
+  Rng rng(17);
+  Matrix m(3, 5);
+  m.fill_normal(rng);
+  const Matrix round_trip = transpose(transpose(m));
+  EXPECT_EQ(round_trip, m);
+}
+
+// Property sweep: matmul_nt against a naive reference across shapes.
+class MatmulProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatmulProperty, MatchesNaiveReference) {
+  const auto [m, n, k] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 10007 + n * 101 + k));
+  Matrix a(m, k), b(n, k);
+  a.fill_normal(rng);
+  b.fill_normal(rng);
+  Matrix out;
+  matmul_nt(a, b, out);
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+      double ref = 0.0;
+      for (std::size_t i = 0; i < a.cols(); ++i) {
+        ref += static_cast<double>(a(r, i)) * b(c, i);
+      }
+      EXPECT_NEAR(out(r, c), ref, 1e-3) << "at (" << r << "," << c << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatmulProperty,
+                         ::testing::Values(std::tuple{1, 1, 1},
+                                           std::tuple{3, 2, 7},
+                                           std::tuple{8, 8, 8},
+                                           std::tuple{17, 5, 33},
+                                           std::tuple{64, 3, 129}));
+
+}  // namespace
+}  // namespace disthd::util

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/rng.hpp"
+#include "util/serialize.hpp"
+
+namespace disthd::util {
+namespace {
+
+TEST(Serialize, PrimitivesRoundTrip) {
+  std::stringstream buffer;
+  BinaryWriter writer(buffer);
+  writer.write_u32(0xDEADBEEFu);
+  writer.write_u64(0x123456789ABCDEF0ULL);
+  writer.write_f32(3.25f);
+  writer.write_f64(-1e100);
+
+  BinaryReader reader(buffer);
+  EXPECT_EQ(reader.read_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.read_u64(), 0x123456789ABCDEF0ULL);
+  EXPECT_FLOAT_EQ(reader.read_f32(), 3.25f);
+  EXPECT_DOUBLE_EQ(reader.read_f64(), -1e100);
+}
+
+TEST(Serialize, StringRoundTrip) {
+  std::stringstream buffer;
+  BinaryWriter writer(buffer);
+  writer.write_string("hello world");
+  writer.write_string("");
+  BinaryReader reader(buffer);
+  EXPECT_EQ(reader.read_string(), "hello world");
+  EXPECT_EQ(reader.read_string(), "");
+}
+
+TEST(Serialize, F32ArrayRoundTrip) {
+  std::stringstream buffer;
+  BinaryWriter writer(buffer);
+  const std::vector<float> values = {1.0f, -2.5f, 0.0f, 1e-20f};
+  writer.write_f32_array(values);
+  BinaryReader reader(buffer);
+  EXPECT_EQ(reader.read_f32_array(), values);
+}
+
+TEST(Serialize, EmptyArrayRoundTrip) {
+  std::stringstream buffer;
+  BinaryWriter writer(buffer);
+  writer.write_f32_array(std::vector<float>{});
+  BinaryReader reader(buffer);
+  EXPECT_TRUE(reader.read_f32_array().empty());
+}
+
+TEST(Serialize, MatrixRoundTrip) {
+  Rng rng(3);
+  Matrix m(7, 11);
+  m.fill_normal(rng);
+  std::stringstream buffer;
+  BinaryWriter writer(buffer);
+  writer.write_matrix(m);
+  BinaryReader reader(buffer);
+  const Matrix loaded = reader.read_matrix();
+  EXPECT_EQ(loaded, m);
+}
+
+TEST(Serialize, MagicTagAcceptsMatch) {
+  std::stringstream buffer;
+  BinaryWriter writer(buffer);
+  writer.write_magic("ABCD");
+  BinaryReader reader(buffer);
+  EXPECT_NO_THROW(reader.expect_magic("ABCD"));
+}
+
+TEST(Serialize, MagicTagRejectsMismatch) {
+  std::stringstream buffer;
+  BinaryWriter writer(buffer);
+  writer.write_magic("ABCD");
+  BinaryReader reader(buffer);
+  EXPECT_THROW(reader.expect_magic("WXYZ"), std::runtime_error);
+}
+
+TEST(Serialize, TruncatedInputThrows) {
+  std::stringstream buffer;
+  BinaryWriter writer(buffer);
+  writer.write_u32(1);
+  BinaryReader reader(buffer);
+  reader.read_u32();
+  EXPECT_THROW(reader.read_u64(), std::runtime_error);
+}
+
+TEST(Serialize, TruncatedArrayThrows) {
+  std::stringstream buffer;
+  BinaryWriter writer(buffer);
+  writer.write_u64(1000);  // claims 1000 floats, provides none
+  BinaryReader reader(buffer);
+  EXPECT_THROW(reader.read_f32_array(), std::runtime_error);
+}
+
+TEST(Serialize, AbsurdStringLengthRejected) {
+  std::stringstream buffer;
+  BinaryWriter writer(buffer);
+  writer.write_u64(1ULL << 40);
+  BinaryReader reader(buffer);
+  EXPECT_THROW(reader.read_string(), std::runtime_error);
+}
+
+TEST(Serialize, InterleavedSequenceRoundTrip) {
+  std::stringstream buffer;
+  BinaryWriter writer(buffer);
+  writer.write_magic("SEQ1");
+  writer.write_string("model");
+  writer.write_u64(42);
+  Matrix m(2, 2, 1.0f);
+  writer.write_matrix(m);
+  writer.write_f64(2.5);
+
+  BinaryReader reader(buffer);
+  reader.expect_magic("SEQ1");
+  EXPECT_EQ(reader.read_string(), "model");
+  EXPECT_EQ(reader.read_u64(), 42u);
+  EXPECT_EQ(reader.read_matrix(), m);
+  EXPECT_DOUBLE_EQ(reader.read_f64(), 2.5);
+}
+
+}  // namespace
+}  // namespace disthd::util

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace disthd::util {
+namespace {
+
+TEST(ThreadPool, SizeDefaultsToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, CoversFullRangeExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t n = 10000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+      },
+      /*min_chunk=*/16);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, SmallRangeRunsInline) {
+  ThreadPool pool(4);
+  std::size_t calls = 0;  // safe without atomics when run inline
+  pool.parallel_for(
+      10, [&](std::size_t begin, std::size_t end) { calls += end - begin; },
+      /*min_chunk=*/256);
+  EXPECT_EQ(calls, 10u);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerial) {
+  ThreadPool pool(8);
+  constexpr std::size_t n = 100000;
+  std::vector<double> values(n);
+  std::iota(values.begin(), values.end(), 0.0);
+  std::atomic<long long> parallel_sum{0};
+  pool.parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end) {
+        long long local = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+          local += static_cast<long long>(values[i]);
+        }
+        parallel_sum.fetch_add(local, std::memory_order_relaxed);
+      },
+      /*min_chunk=*/64);
+  EXPECT_EQ(parallel_sum.load(),
+            static_cast<long long>(n) * (n - 1) / 2);
+}
+
+TEST(ThreadPool, PropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(
+          10000,
+          [](std::size_t begin, std::size_t) {
+            if (begin == 0) throw std::runtime_error("boom");
+          },
+          /*min_chunk=*/16),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAfterException) {
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for(
+        1000, [](std::size_t, std::size_t) { throw std::runtime_error("x"); },
+        /*min_chunk=*/16);
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<std::size_t> count{0};
+  pool.parallel_for(
+      1000,
+      [&](std::size_t begin, std::size_t end) {
+        count.fetch_add(end - begin, std::memory_order_relaxed);
+      },
+      /*min_chunk=*/16);
+  EXPECT_EQ(count.load(), 1000u);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  ThreadPool& a = global_pool();
+  ThreadPool& b = global_pool();
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(ThreadPool, NestedSubmissionFromWorkerDoesNotDeadlock) {
+  // A worker task calling back into the free-function parallel_for (the
+  // global pool) must complete; the global pool differs from this pool so
+  // no self-wait cycle exists.
+  ThreadPool pool(2);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(
+      4,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          parallel_for(100, [&](std::size_t b, std::size_t e) {
+            total.fetch_add(e - b, std::memory_order_relaxed);
+          });
+        }
+      },
+      /*min_chunk=*/1);
+  EXPECT_EQ(total.load(), 400u);
+}
+
+}  // namespace
+}  // namespace disthd::util

@@ -1,0 +1,52 @@
+// disthd_eval — evaluate a saved model bundle on a labeled CSV.
+//
+//   disthd_eval --model model.bin --test test.csv [--no-header] [--per-class]
+#include <cstdio>
+
+#include "metrics/confusion.hpp"
+#include "tools_common.hpp"
+#include "util/argparse.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace disthd;
+  try {
+    const util::ArgParser args(argc, argv);
+    const std::string model_path = args.get("model", "");
+    const std::string test_path = args.get("test", "");
+    if (model_path.empty() || test_path.empty()) {
+      std::fprintf(stderr,
+                   "usage: disthd_eval --model model.bin --test test.csv\n");
+      return 2;
+    }
+    const auto bundle = tools::load_bundle(model_path);
+    auto test = tools::load_csv(test_path, !args.get_bool("no-header", false));
+    bundle.apply_scaler(test.features);
+
+    util::WallTimer timer;
+    const auto predictions =
+        bundle.classifier->predict_batch(test.features);
+    const double seconds = timer.seconds();
+
+    const auto confusion = metrics::ConfusionMatrix::from_predictions(
+        predictions, test.labels, test.num_classes);
+    std::printf("samples    : %zu\n", test.size());
+    std::printf("accuracy   : %.2f%%\n", 100.0 * confusion.overall_accuracy());
+    std::printf("sensitivity: %.3f (macro)\n", confusion.macro_sensitivity());
+    std::printf("specificity: %.3f (macro)\n", confusion.macro_specificity());
+    std::printf("latency    : %.3f s total, %.1f us/sample\n", seconds,
+                seconds * 1e6 / static_cast<double>(test.size()));
+
+    if (args.get_bool("per-class", false)) {
+      std::printf("\nclass  recall  precision  f1\n");
+      for (std::size_t c = 0; c < test.num_classes; ++c) {
+        std::printf("%-6zu %-7.3f %-10.3f %.3f\n", c, confusion.sensitivity(c),
+                    confusion.precision(c), confusion.f1(c));
+      }
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,63 @@
+// disthd_predict — classify unlabeled CSV rows with a saved model bundle.
+//
+//   disthd_predict --model model.bin --input features.csv
+//                  [--no-header] [--top2]
+//
+// The input CSV contains feature columns only (no label). One prediction is
+// printed per row; --top2 also prints the runner-up class and both scores.
+#include <cmath>
+#include <cstdio>
+
+#include "tools_common.hpp"
+#include "util/argparse.hpp"
+#include "util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace disthd;
+  try {
+    const util::ArgParser args(argc, argv);
+    const std::string model_path = args.get("model", "");
+    const std::string input_path = args.get("input", "");
+    if (model_path.empty() || input_path.empty()) {
+      std::fprintf(
+          stderr,
+          "usage: disthd_predict --model model.bin --input features.csv\n");
+      return 2;
+    }
+    const auto bundle = tools::load_bundle(model_path);
+
+    const auto table =
+        util::read_csv(input_path, !args.get_bool("no-header", false));
+    if (table.rows.empty()) {
+      std::fprintf(stderr, "error: no rows in %s\n", input_path.c_str());
+      return 1;
+    }
+    util::Matrix features(table.rows.size(), table.rows.front().size());
+    for (std::size_t r = 0; r < table.rows.size(); ++r) {
+      for (std::size_t c = 0; c < table.rows[r].size(); ++c) {
+        const double value = table.rows[r][c];
+        features(r, c) = std::isnan(value) ? 0.0f : static_cast<float>(value);
+      }
+    }
+    bundle.apply_scaler(features);
+
+    if (args.get_bool("top2", false)) {
+      std::printf("row,top1,score1,top2,score2\n");
+      for (std::size_t r = 0; r < features.rows(); ++r) {
+        const auto top2 = bundle.classifier->predict_top2(features.row(r));
+        std::printf("%zu,%d,%.4f,%d,%.4f\n", r, top2.first, top2.first_score,
+                    top2.second, top2.second_score);
+      }
+    } else {
+      const auto predictions = bundle.classifier->predict_batch(features);
+      std::printf("row,prediction\n");
+      for (std::size_t r = 0; r < predictions.size(); ++r) {
+        std::printf("%zu,%d\n", r, predictions[r]);
+      }
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,133 @@
+// disthd_train — train a DistHD classifier from a labeled CSV and save a
+// deployable model bundle (scaler + dynamic encoder + class hypervectors).
+//
+//   disthd_train --train train.csv --model model.bin
+//                [--test test.csv] [--dim 500] [--iterations 50]
+//                [--regen-rate 0.10] [--regen-every 3] [--lr 1.0]
+//                [--alpha 1] [--beta 2] [--theta 1] [--seed 1]
+//                [--no-header] [--trainer disthd|neuralhd|baseline]
+//
+// CSV format: one sample per row, label (integer) in the last column.
+#include <cstdio>
+
+#include "core/baselinehd_trainer.hpp"
+#include "core/disthd_trainer.hpp"
+#include "core/neuralhd_trainer.hpp"
+#include "tools_common.hpp"
+#include "util/argparse.hpp"
+
+int main(int argc, char** argv) {
+  using namespace disthd;
+  try {
+    const util::ArgParser args(argc, argv);
+    const std::string train_path = args.get("train", "");
+    const std::string model_path = args.get("model", "");
+    if (train_path.empty() || model_path.empty()) {
+      std::fprintf(stderr,
+                   "usage: disthd_train --train train.csv --model out.bin "
+                   "[--test test.csv] [--dim N] [--iterations N] ...\n");
+      return 2;
+    }
+    const bool has_header = !args.get_bool("no-header", false);
+    auto train = tools::load_csv(train_path, has_header);
+    std::printf("loaded %zu samples, %zu features, %zu classes from %s\n",
+                train.size(), train.num_features(), train.num_classes,
+                train_path.c_str());
+
+    data::Scaler scaler(data::ScalerKind::min_max);
+    scaler.fit(train.features);
+    scaler.transform(train.features);
+
+    std::optional<data::Dataset> test;
+    if (args.has("test")) {
+      test = tools::load_csv(args.get("test", ""), has_header);
+      scaler.transform(test->features);
+    }
+
+    const auto dim = static_cast<std::size_t>(args.get_int("dim", 500));
+    const auto iterations =
+        static_cast<std::size_t>(args.get_int("iterations", 50));
+    const std::string kind = args.get("trainer", "disthd");
+
+    std::unique_ptr<core::HdcClassifier> classifier;
+    double train_seconds = 0.0;
+    if (kind == "disthd") {
+      core::DistHDConfig config;
+      config.dim = dim;
+      config.iterations = iterations;
+      config.learning_rate = args.get_double("lr", 1.0);
+      config.stats.regen_rate = args.get_double("regen-rate", 0.10);
+      config.stats.alpha = args.get_double("alpha", 1.0);
+      config.stats.beta = args.get_double("beta", 2.0);
+      config.stats.theta = args.get_double("theta", 1.0);
+      config.regen_every =
+          static_cast<std::size_t>(args.get_int("regen-every", 3));
+      config.polish_epochs = 5;
+      config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+      core::DistHDTrainer trainer(config);
+      classifier = std::make_unique<core::HdcClassifier>(
+          trainer.fit(train, test ? &*test : nullptr));
+      train_seconds = trainer.last_result().train_seconds;
+      std::printf("effective dimensionality D* = %zu\n",
+                  trainer.last_result().effective_dim);
+    } else if (kind == "neuralhd") {
+      core::NeuralHDConfig config;
+      config.dim = dim;
+      config.iterations = iterations;
+      config.learning_rate = args.get_double("lr", 1.0);
+      config.regen_rate = args.get_double("regen-rate", 0.10);
+      config.regen_every =
+          static_cast<std::size_t>(args.get_int("regen-every", 3));
+      config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+      core::NeuralHDTrainer trainer(config);
+      classifier = std::make_unique<core::HdcClassifier>(
+          trainer.fit(train, test ? &*test : nullptr));
+      train_seconds = trainer.last_result().train_seconds;
+    } else if (kind == "baseline") {
+      core::BaselineHDConfig config;
+      config.dim = dim;
+      config.iterations = iterations;
+      config.learning_rate = args.get_double("lr", 1.0);
+      // The CLI bundle persists RBF encoders only.
+      config.encoder = core::StaticEncoderKind::rbf;
+      config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+      core::BaselineHDTrainer trainer(config);
+      classifier = std::make_unique<core::HdcClassifier>(
+          trainer.fit(train, test ? &*test : nullptr));
+      train_seconds = trainer.last_result().train_seconds;
+    } else {
+      std::fprintf(stderr, "unknown --trainer '%s'\n", kind.c_str());
+      return 2;
+    }
+
+    std::printf("trained in %.3f s; train accuracy %.2f%%\n", train_seconds,
+                100.0 * classifier->evaluate_accuracy(train));
+    if (test) {
+      std::printf("test accuracy %.2f%%\n",
+                  100.0 * classifier->evaluate_accuracy(*test));
+    }
+
+    // Persist the scaler statistics alongside the classifier.
+    // (Reconstructed from the fitted transform on an identity probe.)
+    std::vector<float> offset(train.num_features());
+    std::vector<float> scale(train.num_features());
+    {
+      util::Matrix probe(2, train.num_features());
+      for (std::size_t c = 0; c < train.num_features(); ++c) {
+        probe(0, c) = 0.0f;
+        probe(1, c) = 1.0f;
+      }
+      scaler.transform(probe);
+      for (std::size_t c = 0; c < train.num_features(); ++c) {
+        scale[c] = probe(1, c) - probe(0, c);
+        offset[c] = scale[c] != 0.0f ? -probe(0, c) / scale[c] : 0.0f;
+      }
+    }
+    tools::save_bundle(args.get("model", ""), offset, scale, *classifier);
+    std::printf("model bundle written to %s\n", model_path.c_str());
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

@@ -1,0 +1,72 @@
+// Shared plumbing for the disthd_* command-line tools: a model container
+// that bundles the feature scaler with the classifier (a deployed model is
+// useless without the normalization fitted at training time), and CSV
+// loading helpers.
+#pragma once
+
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "core/classifier.hpp"
+#include "data/loaders.hpp"
+#include "data/normalize.hpp"
+#include "util/serialize.hpp"
+
+namespace disthd::tools {
+
+/// On-disk deployment bundle: min-max scaler statistics + classifier.
+struct ModelBundle {
+  std::vector<float> scaler_offset;
+  std::vector<float> scaler_scale;
+  std::unique_ptr<core::HdcClassifier> classifier;
+
+  void apply_scaler(util::Matrix& features) const {
+    if (scaler_offset.empty()) return;
+    if (features.cols() != scaler_offset.size()) {
+      throw std::runtime_error("model expects " +
+                               std::to_string(scaler_offset.size()) +
+                               " features, got " +
+                               std::to_string(features.cols()));
+    }
+    for (std::size_t r = 0; r < features.rows(); ++r) {
+      auto row = features.row(r);
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        row[c] = (row[c] - scaler_offset[c]) * scaler_scale[c];
+      }
+    }
+  }
+};
+
+inline void save_bundle(const std::string& path,
+                        const std::vector<float>& offset,
+                        const std::vector<float>& scale,
+                        const core::HdcClassifier& classifier) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  util::BinaryWriter writer(out);
+  writer.write_magic("DCLI");
+  writer.write_f32_array(offset);
+  writer.write_f32_array(scale);
+  classifier.save(out);
+}
+
+inline ModelBundle load_bundle(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  util::BinaryReader reader(in);
+  reader.expect_magic("DCLI");
+  ModelBundle bundle;
+  bundle.scaler_offset = reader.read_f32_array();
+  bundle.scaler_scale = reader.read_f32_array();
+  bundle.classifier =
+      std::make_unique<core::HdcClassifier>(core::HdcClassifier::load(in));
+  return bundle;
+}
+
+/// Loads a labeled CSV (header optional, label in the last column).
+inline data::Dataset load_csv(const std::string& path, bool has_header) {
+  return data::load_csv_labeled(path, has_header);
+}
+
+}  // namespace disthd::tools
