@@ -27,11 +27,16 @@ struct DistHDConfig {
   std::size_t iterations = 30;      // retraining iterations
   double learning_rate = 1.0;       // eta in Algorithm 1
   DimensionStatsConfig stats;       // alpha/beta/theta/R and variant switches
-  std::size_t regen_every = 1;      // regenerate every k-th iteration
+  /// Regenerate every k-th iteration. Regenerating every epoch gives fresh
+  /// dimensions no time to train before they are scored (and often culled)
+  /// again, and measurably *loses* to the static-encoder ablation; a few
+  /// retrain epochs between regenerations is the paper-matched cadence used
+  /// by every bench and example in this repo.
+  std::size_t regen_every = 3;
   /// Extra adaptive epochs after the final regeneration ("train until
   /// convergence", §IV-B): dimensions regenerated late would otherwise
   /// reach deployment nearly untrained.
-  std::size_t polish_epochs = 0;
+  std::size_t polish_epochs = 5;
   /// Stop early when an epoch makes zero model updates (converged).
   bool stop_when_converged = true;
   /// Per-dimension output centering of the encoder (see hd/centering.hpp).

@@ -25,7 +25,9 @@ struct NeuralHDConfig {
   double learning_rate = 1.0;
   /// Fraction of dimensions regenerated per regeneration step.
   double regen_rate = 0.10;
-  std::size_t regen_every = 1;
+  /// Regenerate every k-th iteration (see DistHDConfig::regen_every for why
+  /// the default leaves retrain epochs between regenerations).
+  std::size_t regen_every = 3;
   bool stop_when_converged = true;
   /// Per-dimension output centering (see hd/centering.hpp).
   bool center_encodings = true;

@@ -42,6 +42,56 @@ TEST(HdcClassifier, RejectsDimMismatch) {
                std::invalid_argument);
 }
 
+TEST(HdcClassifier, SaveLoadPreservesEncoderDynamicState) {
+  // A DistHD-trained classifier carries dynamic-encoding state in its
+  // RbfEncoder: centering offsets and the cumulative regeneration count
+  // (the D* effective-dimensionality metric). Both must survive the
+  // util/serialize round trip exactly.
+  // A noisy, overlapping workload: regeneration only fires when some
+  // training samples are misclassified, so the task must stay imperfect.
+  data::SyntheticSpec spec;
+  spec.num_features = 16;
+  spec.num_classes = 3;
+  spec.train_size = 300;
+  spec.test_size = 50;
+  spec.cluster_spread = 1.2;
+  spec.label_noise = 0.1;
+  spec.seed = 5;
+  const auto split = data::make_synthetic(spec);
+  DistHDConfig config;
+  config.dim = 96;
+  config.iterations = 5;
+  config.seed = 9;
+  config.regen_every = 1;  // don't depend on the default cadence firing
+  config.stop_when_converged = false;
+  DistHDTrainer trainer(config);
+  const auto classifier = trainer.fit(split.train);
+  const auto& original =
+      dynamic_cast<const hd::RbfEncoder&>(classifier.encoder());
+  ASSERT_GT(original.total_regenerated(), 0u)
+      << "trainer config should regenerate at least once";
+  ASSERT_FALSE(original.output_offset().empty())
+      << "centering should be on by default";
+
+  std::stringstream buffer;
+  classifier.save(buffer);
+  const HdcClassifier loaded = HdcClassifier::load(buffer);
+  const auto& restored = dynamic_cast<const hd::RbfEncoder&>(loaded.encoder());
+
+  EXPECT_EQ(restored.total_regenerated(), original.total_regenerated());
+  EXPECT_EQ(restored.normalize_input(), original.normalize_input());
+  ASSERT_EQ(restored.output_offset().size(), original.output_offset().size());
+  for (std::size_t d = 0; d < original.output_offset().size(); ++d) {
+    EXPECT_EQ(restored.output_offset()[d], original.output_offset()[d])
+        << "offset dim " << d;
+  }
+  EXPECT_EQ(restored.base(), original.base());
+  ASSERT_EQ(restored.phase().size(), original.phase().size());
+  for (std::size_t d = 0; d < original.phase().size(); ++d) {
+    EXPECT_EQ(restored.phase()[d], original.phase()[d]) << "phase dim " << d;
+  }
+}
+
 TEST(HdcClassifier, PredictMatchesBatch) {
   const auto split = workload();
   const auto classifier = trained_classifier(split);

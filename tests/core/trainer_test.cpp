@@ -80,6 +80,7 @@ TEST(DistHDTrainer, FinalIterationNeverRegenerates) {
   DistHDConfig config;
   config.dim = 64;
   config.iterations = 5;
+  config.regen_every = 1;  // make regeneration due on the final iteration
   config.polish_epochs = 0;
   config.stop_when_converged = false;
   DistHDTrainer trainer(config);
@@ -165,6 +166,7 @@ TEST(NeuralHDTrainer, RegeneratesExactBudget) {
   config.dim = 100;
   config.iterations = 4;
   config.regen_rate = 0.10;
+  config.regen_every = 1;  // exact budget on every non-final iteration
   config.stop_when_converged = false;
   NeuralHDTrainer trainer(config);
   trainer.fit(split.train);

@@ -176,6 +176,63 @@ TEST(RbfEncoder, ReencodeColumnsShapeMismatchThrows) {
                std::invalid_argument);
 }
 
+TEST(RbfEncoder, ReencodeColumnsOverMultipleRegenRoundsMatchesScratch) {
+  // The core incremental-update invariant behind DistHD's dimension
+  // regeneration: after any number of regenerate/re-encode rounds, the
+  // incrementally maintained encoded batch must equal a full encode_batch
+  // from scratch with the encoder's current state.
+  RbfEncoder encoder(10, 80, 41);
+  const auto features = random_features(7, 10, 43);
+  util::Matrix encoded;
+  encoder.encode_batch(features, encoded);
+
+  util::Rng rng(47);
+  const std::vector<std::vector<std::size_t>> rounds = {
+      {2, 5, 79}, {0, 5, 33, 64}, {1}, {2, 3, 4, 5, 6}};
+  std::size_t expected_total = 0;
+  for (const auto& dims : rounds) {
+    encoder.regenerate_dimensions(dims, rng);
+    encoder.reencode_columns(features, dims, encoded);
+    expected_total += dims.size();
+
+    util::Matrix scratch;
+    encoder.encode_batch(features, scratch);
+    ASSERT_EQ(scratch.rows(), encoded.rows());
+    ASSERT_EQ(scratch.cols(), encoded.cols());
+    for (std::size_t i = 0; i < encoded.size(); ++i) {
+      ASSERT_NEAR(encoded.data()[i], scratch.data()[i], 1e-4)
+          << "after " << expected_total << " regenerations, flat index " << i;
+    }
+  }
+  EXPECT_EQ(encoder.total_regenerated(), expected_total);
+}
+
+TEST(RbfEncoder, ReencodeColumnsRespectsOutputOffset) {
+  // Centering offsets are per-dimension state; reencode_columns must apply
+  // the same offsets encode_batch would.
+  RbfEncoder encoder(6, 40, 53);
+  const auto features = random_features(5, 6, 55);
+  std::vector<float> offset(40);
+  for (std::size_t d = 0; d < offset.size(); ++d) {
+    offset[d] = 0.01f * static_cast<float>(d) - 0.2f;
+  }
+  encoder.set_output_offset(offset);
+  util::Matrix encoded;
+  encoder.encode_batch(features, encoded);
+
+  util::Rng rng(59);
+  const std::vector<std::size_t> dims = {0, 13, 39};
+  encoder.regenerate_dimensions(dims, rng);
+  encoder.reset_output_offset_dims(dims);
+  encoder.reencode_columns(features, dims, encoded);
+
+  util::Matrix reference;
+  encoder.encode_batch(features, reference);
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    EXPECT_NEAR(encoded.data()[i], reference.data()[i], 1e-4);
+  }
+}
+
 TEST(RbfEncoder, OutputOffsetIsSubtracted) {
   RbfEncoder encoder(4, 8, 3);
   const auto features = random_features(1, 4, 19);
@@ -226,6 +283,35 @@ TEST(RbfEncoder, SaveLoadRoundTrip) {
   encoder.encode(features.row(0), h1);
   loaded.encode(features.row(0), h2);
   EXPECT_EQ(h1, h2);
+}
+
+TEST(RbfEncoder, SaveLoadPreservesOffsetAndRegenStateExactly) {
+  RbfEncoder encoder(8, 32, 81);
+  util::Rng rng(5);
+  const std::vector<std::size_t> dims = {0, 4, 31};
+  encoder.regenerate_dimensions(dims, rng);
+  std::vector<float> offset(32);
+  for (std::size_t d = 0; d < offset.size(); ++d) {
+    offset[d] = -0.5f + 0.03f * static_cast<float>(d);
+  }
+  encoder.set_output_offset(offset);
+
+  std::stringstream buffer;
+  encoder.save(buffer);
+  RbfEncoder loaded = RbfEncoder::load(buffer);
+
+  EXPECT_EQ(loaded.total_regenerated(), 3u);
+  ASSERT_EQ(loaded.output_offset().size(), offset.size());
+  for (std::size_t d = 0; d < offset.size(); ++d) {
+    EXPECT_EQ(loaded.output_offset()[d], offset[d]) << "dim " << d;
+  }
+
+  // Regeneration keeps working on the loaded encoder and the count keeps
+  // accumulating (a reloaded model can continue dynamic training).
+  util::Rng rng2(6);
+  const std::vector<std::size_t> more = {1, 2};
+  loaded.regenerate_dimensions(more, rng2);
+  EXPECT_EQ(loaded.total_regenerated(), 5u);
 }
 
 TEST(RandomProjectionEncoder, OutputIsBipolar) {

@@ -1,0 +1,112 @@
+// Deterministic end-to-end smoke on the synthetic workload (ISSUE 1
+// satellite): train DistHD, NeuralHD, and BaselineHD for a few epochs with
+// fixed seeds and assert the paper's qualitative ordering — the dynamic
+// encoders beat the static baseline at equal compressed dimensionality, and
+// everything is comfortably above chance.
+//
+// Workload choice matters: on isotropic Gaussian clusters a bipolar sign
+// projection is near-optimal and no encoder adaptation can pay off. The
+// paper's regime is correlated sensor-style features, which the generator
+// models with a low-rank latent mixing matrix (latent_dim below); there the
+// static projection collapses and dimension regeneration has real slack to
+// exploit (verified to hold across seeds 11-20 before pinning this one).
+// Sized to finish in a few hundred milliseconds so it is CI-safe.
+#include <gtest/gtest.h>
+
+#include "core/baselinehd_trainer.hpp"
+#include "core/disthd_trainer.hpp"
+#include "core/neuralhd_trainer.hpp"
+#include "data/synthetic.hpp"
+#include "metrics/accuracy.hpp"
+
+namespace disthd {
+namespace {
+
+constexpr std::size_t kDim = 64;
+constexpr std::size_t kIterations = 30;
+constexpr std::uint64_t kTrainerSeed = 12;
+
+data::TrainTestSplit e2e_workload() {
+  data::SyntheticSpec spec;
+  spec.name = "e2e";
+  spec.num_features = 24;
+  spec.num_classes = 5;
+  spec.train_size = 600;
+  spec.test_size = 300;
+  spec.clusters_per_class = 3;
+  spec.cluster_spread = 0.8;
+  spec.latent_dim = 8;  // correlated features: the regime DistHD targets
+  spec.seed = 1234;
+  return data::make_synthetic(spec);
+}
+
+core::DistHDConfig disthd_config() {
+  core::DistHDConfig config;
+  config.dim = kDim;
+  config.iterations = kIterations;
+  config.regen_every = 3;
+  config.polish_epochs = 5;
+  config.seed = kTrainerSeed;
+  return config;
+}
+
+TEST(EndToEndSynthetic, DynamicEncodersBeatStaticBaselineAboveChance) {
+  const auto workload = e2e_workload();
+  const double chance = 1.0 / 5.0;
+
+  core::DistHDTrainer disthd(disthd_config());
+  const auto disthd_model = disthd.fit(workload.train, &workload.test);
+  const double disthd_acc = disthd.last_result().final_test_accuracy;
+
+  core::NeuralHDConfig neural_config;
+  neural_config.dim = kDim;
+  neural_config.iterations = kIterations;
+  neural_config.regen_every = 3;
+  neural_config.regen_rate = 0.10;
+  neural_config.seed = kTrainerSeed;
+  core::NeuralHDTrainer neuralhd(neural_config);
+  neuralhd.fit(workload.train, &workload.test);
+  const double neuralhd_acc = neuralhd.last_result().final_test_accuracy;
+
+  core::BaselineHDConfig base_config;
+  base_config.dim = kDim;
+  base_config.iterations = kIterations;
+  base_config.seed = kTrainerSeed;
+  core::BaselineHDTrainer baseline(base_config);
+  baseline.fit(workload.train, &workload.test);
+  const double baseline_acc = baseline.last_result().final_test_accuracy;
+
+  EXPECT_GT(disthd_acc, chance + 0.25);
+  EXPECT_GT(neuralhd_acc, chance + 0.25);
+  EXPECT_GT(baseline_acc, chance + 0.25);
+  // The paper's headline claim: learner-aware dynamic encoding is at least
+  // as accurate as the static baseline at equal physical dimensionality.
+  EXPECT_GE(disthd_acc, baseline_acc);
+  EXPECT_GE(neuralhd_acc, baseline_acc);
+
+  // Dimension regeneration actually fired (effective dim D* > D), so the
+  // comparison above exercised the dynamic path.
+  EXPECT_GT(disthd.last_result().effective_dim, kDim);
+
+  // The reported trace accuracy must agree with re-scoring the returned
+  // classifier on the same held-out set. The trace evaluates incrementally
+  // patched eval encodings, so allow a few borderline prediction flips.
+  const auto predictions = disthd_model.predict_batch(workload.test.features);
+  EXPECT_NEAR(metrics::accuracy(predictions, workload.test.labels), disthd_acc,
+              0.02);
+}
+
+TEST(EndToEndSynthetic, FixedSeedsAreReproducible) {
+  const auto workload = e2e_workload();
+
+  core::DistHDTrainer first(disthd_config());
+  first.fit(workload.train, &workload.test);
+  core::DistHDTrainer second(disthd_config());
+  second.fit(workload.train, &workload.test);
+
+  EXPECT_DOUBLE_EQ(first.last_result().final_test_accuracy,
+                   second.last_result().final_test_accuracy);
+}
+
+}  // namespace
+}  // namespace disthd

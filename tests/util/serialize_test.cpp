@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
+#include <limits>
 #include <sstream>
 
 #include "util/rng.hpp"
@@ -101,6 +104,29 @@ TEST(Serialize, AbsurdStringLengthRejected) {
   writer.write_u64(1ULL << 40);
   BinaryReader reader(buffer);
   EXPECT_THROW(reader.read_string(), std::runtime_error);
+}
+
+TEST(Serialize, NonFiniteAndDenormalFloatsRoundTripBitExact) {
+  // Model persistence must not corrupt unusual float values (centering
+  // offsets can be denormal; a corrupted model could carry infinities).
+  const std::vector<float> values = {
+      std::numeric_limits<float>::infinity(),
+      -std::numeric_limits<float>::infinity(),
+      std::numeric_limits<float>::quiet_NaN(),
+      std::numeric_limits<float>::denorm_min(),
+      -0.0f,
+  };
+  std::stringstream buffer;
+  BinaryWriter writer(buffer);
+  writer.write_f32_array(values);
+  BinaryReader reader(buffer);
+  const auto loaded = reader.read_f32_array();
+  ASSERT_EQ(loaded.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint32_t>(loaded[i]),
+              std::bit_cast<std::uint32_t>(values[i]))
+        << "index " << i;
+  }
 }
 
 TEST(Serialize, InterleavedSequenceRoundTrip) {
