@@ -1,11 +1,7 @@
 #include "core/baselinehd_trainer.hpp"
 
+#include <memory>
 #include <stdexcept>
-
-#include "hd/centering.hpp"
-#include "hd/learner.hpp"
-#include "metrics/accuracy.hpp"
-#include "util/timer.hpp"
 
 namespace disthd::core {
 
@@ -28,65 +24,20 @@ HdcClassifier BaselineHDTrainer::fit(const data::Dataset& train,
                                      const data::Dataset* eval) {
   train.validate();
   if (eval != nullptr) eval->validate();
-  result_ = FitResult{};
-  result_.physical_dim = config_.dim;
 
-  util::Rng rng(config_.seed);
-  util::Rng shuffle_rng = rng.split(1);
+  FitSessionConfig session_config;
+  session_config.dim = config_.dim;
+  session_config.iterations = config_.iterations;
+  session_config.learning_rate = config_.learning_rate;
+  session_config.stop_when_converged = config_.stop_when_converged;
+  session_config.center_encodings = config_.center_encodings;
+  session_config.encoder = config_.encoder;
 
-  std::unique_ptr<hd::Encoder> encoder;
-  const std::uint64_t encoder_seed = rng.split(3).next_u64();
-  if (config_.encoder == StaticEncoderKind::rbf) {
-    encoder = std::make_unique<hd::RbfEncoder>(train.num_features(),
-                                               config_.dim, encoder_seed);
-  } else {
-    encoder = std::make_unique<hd::RandomProjectionEncoder>(
-        train.num_features(), config_.dim, encoder_seed);
-  }
-  hd::ClassModel model(train.num_classes, config_.dim);
-  const hd::AdaptiveLearner learner(config_.learning_rate);
-
-  double train_seconds = 0.0;
-  util::WallTimer timer;
-  util::Matrix encoded;
-  encoder->encode_batch(train.features, encoded);
-  if (config_.center_encodings) {
-    if (auto* rbf = dynamic_cast<hd::RbfEncoder*>(encoder.get())) {
-      hd::calibrate_output_centering(*rbf, encoded);
-    }
-  }
-  hd::OneShotLearner::fit(model, encoded, train.labels);
-  train_seconds += timer.seconds();
-
-  util::Matrix encoded_eval;
-  if (eval != nullptr) encoder->encode_batch(eval->features, encoded_eval);
-
-  for (std::size_t iter = 0; iter < config_.iterations; ++iter) {
-    timer.reset();
-    const hd::EpochStats epoch =
-        learner.train_epoch_shuffled(model, encoded, train.labels, shuffle_rng);
-    train_seconds += timer.seconds();
-
-    IterationTrace trace;
-    trace.iteration = iter;
-    trace.online_train_accuracy = epoch.online_accuracy();
-    trace.cumulative_train_seconds = train_seconds;
-    if (eval != nullptr) {
-      const auto predictions = model.predict_batch(encoded_eval);
-      trace.test_accuracy = metrics::accuracy(predictions, eval->labels);
-    }
-    result_.trace.push_back(trace);
-    result_.iterations_run = iter + 1;
-
-    if (config_.stop_when_converged && epoch.mispredictions == 0) break;
-  }
-
-  result_.train_seconds = train_seconds;
-  result_.effective_dim = config_.dim;  // static encoder: D* == D
-  if (!result_.trace.empty()) {
-    result_.final_test_accuracy = result_.trace.back().test_accuracy;
-  }
-  return HdcClassifier(std::move(encoder), std::move(model));
+  FitSession session(train.num_features(), train.num_classes, session_config,
+                     SessionSeeds::batch_static(config_.seed),
+                     std::make_unique<NoRegen>());
+  result_ = session.fit(train, eval);
+  return session.release_classifier();
 }
 
 }  // namespace disthd::core

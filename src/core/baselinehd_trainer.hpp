@@ -11,15 +11,11 @@
 #include <cstdint>
 
 #include "core/classifier.hpp"
+#include "core/fit_session.hpp"
 #include "core/trainer_common.hpp"
 #include "data/dataset.hpp"
 
 namespace disthd::core {
-
-enum class StaticEncoderKind {
-  rbf,         // nonlinear cos*sin encoder (same family as DistHD)
-  projection,  // bipolar sign random projection
-};
 
 struct BaselineHDConfig {
   std::size_t dim = 4000;

@@ -1,11 +1,9 @@
 #include "core/disthd_trainer.hpp"
 
+#include <memory>
 #include <stdexcept>
 
-#include "hd/centering.hpp"
-#include "hd/learner.hpp"
-#include "metrics/accuracy.hpp"
-#include "util/timer.hpp"
+#include "core/fit_session.hpp"
 
 namespace disthd::core {
 
@@ -27,114 +25,22 @@ HdcClassifier DistHDTrainer::fit(const data::Dataset& train,
                                  const data::Dataset* eval) {
   train.validate();
   if (eval != nullptr) eval->validate();
-  result_ = FitResult{};
-  result_.physical_dim = config_.dim;
 
-  util::Rng rng(config_.seed);
-  util::Rng shuffle_rng = rng.split(1);
-  util::Rng regen_rng = rng.split(2);
+  FitSessionConfig session_config;
+  session_config.dim = config_.dim;
+  session_config.iterations = config_.iterations;
+  session_config.learning_rate = config_.learning_rate;
+  session_config.regen_every = config_.regen_every;
+  session_config.polish_epochs = config_.polish_epochs;
+  session_config.stop_when_converged = config_.stop_when_converged;
+  session_config.center_encodings = config_.center_encodings;
+  session_config.trace_categorize = true;  // trace train top-1/top-2
 
-  auto encoder = std::make_unique<hd::RbfEncoder>(
-      train.num_features(), config_.dim, rng.split(3).next_u64());
-  hd::ClassModel model(train.num_classes, config_.dim);
-  const hd::AdaptiveLearner learner(config_.learning_rate);
-
-  double train_seconds = 0.0;
-  util::WallTimer timer;
-
-  util::Matrix encoded;
-  encoder->encode_batch(train.features, encoded);
-  if (config_.center_encodings) {
-    hd::calibrate_output_centering(*encoder, encoded);
-  }
-  hd::OneShotLearner::fit(model, encoded, train.labels);
-  train_seconds += timer.seconds();
-
-  // The eval set is encoded once and patched column-wise after each
-  // regeneration; this keeps per-iteration eval cheap and is excluded from
-  // the training clock.
-  util::Matrix encoded_eval;
-  if (eval != nullptr) encoder->encode_batch(eval->features, encoded_eval);
-
-  for (std::size_t iter = 0; iter < config_.iterations; ++iter) {
-    timer.reset();
-    const hd::EpochStats epoch =
-        learner.train_epoch_shuffled(model, encoded, train.labels, shuffle_rng);
-
-    const CategorizeResult categories =
-        categorize_top2(model, encoded, train.labels);
-
-    IterationTrace trace;
-    trace.iteration = iter;
-    trace.online_train_accuracy = epoch.online_accuracy();
-    trace.train_top1 = categories.top1_accuracy();
-    trace.train_top2 = categories.top2_accuracy();
-
-    const bool last_iteration = (iter + 1 == config_.iterations);
-    const bool regen_due = ((iter + 1) % config_.regen_every) == 0;
-    std::vector<std::size_t> regenerated_dims;
-    if (!last_iteration && regen_due) {
-      const DimensionStatsResult stats = identify_undesired_dimensions(
-          model, encoded, train.labels, categories, config_.stats);
-      if (!stats.undesired.empty()) {
-        regenerated_dims = stats.undesired;
-        encoder->regenerate_dimensions(regenerated_dims, regen_rng);
-        encoder->reset_output_offset_dims(regenerated_dims);
-        encoder->reencode_columns(train.features, regenerated_dims, encoded);
-        if (config_.center_encodings) {
-          hd::recenter_columns(*encoder, encoded, regenerated_dims);
-        }
-        model.zero_dimensions(regenerated_dims);
-        trace.regenerated = regenerated_dims.size();
-      }
-    }
-    train_seconds += timer.seconds();
-    trace.cumulative_train_seconds = train_seconds;
-
-    if (eval != nullptr) {
-      if (!regenerated_dims.empty()) {
-        // Only the regenerated columns changed (patched off the training
-        // clock — eval is instrumentation, not part of the algorithm).
-        encoder->reencode_columns(eval->features, regenerated_dims,
-                                  encoded_eval);
-      }
-      const auto predictions = model.predict_batch(encoded_eval);
-      trace.test_accuracy = metrics::accuracy(predictions, eval->labels);
-    }
-    result_.trace.push_back(trace);
-    result_.iterations_run = iter + 1;
-
-    if (config_.stop_when_converged && epoch.mispredictions == 0 &&
-        trace.regenerated == 0) {
-      break;
-    }
-  }
-
-  for (std::size_t polish = 0; polish < config_.polish_epochs; ++polish) {
-    timer.reset();
-    const hd::EpochStats epoch =
-        learner.train_epoch_shuffled(model, encoded, train.labels, shuffle_rng);
-    train_seconds += timer.seconds();
-
-    IterationTrace trace;
-    trace.iteration = result_.iterations_run;
-    trace.online_train_accuracy = epoch.online_accuracy();
-    trace.cumulative_train_seconds = train_seconds;
-    if (eval != nullptr) {
-      const auto predictions = model.predict_batch(encoded_eval);
-      trace.test_accuracy = metrics::accuracy(predictions, eval->labels);
-    }
-    result_.trace.push_back(trace);
-    ++result_.iterations_run;
-    if (epoch.mispredictions == 0) break;
-  }
-
-  result_.train_seconds = train_seconds;
-  result_.effective_dim = config_.dim + encoder->total_regenerated();
-  if (!result_.trace.empty()) {
-    result_.final_test_accuracy = result_.trace.back().test_accuracy;
-  }
-  return HdcClassifier(std::move(encoder), std::move(model));
+  FitSession session(train.num_features(), train.num_classes, session_config,
+                     SessionSeeds::batch_dynamic(config_.seed),
+                     std::make_unique<DistRegen>(config_.stats));
+  result_ = session.fit(train, eval);
+  return session.release_classifier();
 }
 
 }  // namespace disthd::core

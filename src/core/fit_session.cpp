@@ -1,0 +1,218 @@
+#include "core/fit_session.hpp"
+
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "hd/centering.hpp"
+#include "metrics/accuracy.hpp"
+#include "util/timer.hpp"
+
+namespace disthd::core {
+
+SessionSeeds SessionSeeds::batch_static(std::uint64_t seed) {
+  util::Rng rng(seed);
+  SessionSeeds seeds;
+  seeds.shuffle_rng = rng.split(1);
+  // split() advances the parent stream, so NOT drawing split(2) here is
+  // deliberate: the static trainer never had a regeneration stream and
+  // drawing one would shift the encoder seed.
+  seeds.encoder_seed = rng.split(3).next_u64();
+  return seeds;
+}
+
+SessionSeeds SessionSeeds::batch_dynamic(std::uint64_t seed) {
+  util::Rng rng(seed);
+  SessionSeeds seeds;
+  seeds.shuffle_rng = rng.split(1);
+  seeds.regen_rng = rng.split(2);
+  seeds.encoder_seed = rng.split(3).next_u64();
+  return seeds;
+}
+
+SessionSeeds SessionSeeds::streaming(std::uint64_t seed) {
+  SessionSeeds seeds;
+  seeds.shuffle_rng = util::Rng(seed ^ 0x111);
+  seeds.regen_rng = util::Rng(seed ^ 0x222);
+  seeds.encoder_seed = util::Rng(seed).next_u64();
+  return seeds;
+}
+
+FitSession::FitSession(std::size_t num_features, std::size_t num_classes,
+                       FitSessionConfig config, SessionSeeds seeds,
+                       std::unique_ptr<RegenPolicy> policy)
+    : config_(config),
+      seeds_(std::move(seeds)),
+      policy_(std::move(policy)),
+      model_(num_classes, config.dim),
+      learner_(config.learning_rate) {
+  if (policy_ == nullptr) {
+    throw std::invalid_argument("FitSession: null policy");
+  }
+  if (config_.encoder == StaticEncoderKind::rbf) {
+    encoder_ = std::make_unique<hd::RbfEncoder>(num_features, config_.dim,
+                                                seeds_.encoder_seed);
+  } else {
+    encoder_ = std::make_unique<hd::RandomProjectionEncoder>(
+        num_features, config_.dim, seeds_.encoder_seed);
+  }
+  if (policy_->enabled() && config_.encoder != StaticEncoderKind::rbf) {
+    throw std::invalid_argument(
+        "FitSession: regeneration requires the rbf encoder");
+  }
+}
+
+hd::RbfEncoder* FitSession::rbf_encoder() noexcept {
+  return dynamic_cast<hd::RbfEncoder*>(encoder_.get());
+}
+
+std::size_t FitSession::total_regenerated() const noexcept {
+  const auto* rbf = dynamic_cast<const hd::RbfEncoder*>(encoder_.get());
+  return rbf != nullptr ? rbf->total_regenerated() : 0;
+}
+
+void FitSession::apply_regeneration(std::span<const std::size_t> dims,
+                                    const util::Matrix& features,
+                                    util::Matrix& encoded) {
+  hd::RbfEncoder* rbf = rbf_encoder();
+  rbf->regenerate_dimensions(dims, seeds_.regen_rng);
+  rbf->reset_output_offset_dims(dims);
+  rbf->reencode_columns(features, dims, encoded);
+  if (config_.center_encodings) {
+    hd::recenter_columns(*rbf, encoded, dims);
+  }
+  model_.zero_dimensions(dims);
+}
+
+FitResult FitSession::fit(const data::Dataset& train,
+                          const data::Dataset* eval) {
+  FitResult result;
+  result.physical_dim = config_.dim;
+
+  double train_seconds = 0.0;
+  util::WallTimer timer;
+  encoder_->encode_batch(train.features, encoded_train_);
+  if (config_.center_encodings) {
+    if (auto* rbf = rbf_encoder()) {
+      hd::calibrate_output_centering(*rbf, encoded_train_);
+    }
+  }
+  hd::OneShotLearner::fit(model_, encoded_train_, train.labels);
+  train_seconds += timer.seconds();
+
+  // The eval set is encoded once and patched column-wise after each
+  // regeneration; this keeps per-iteration eval cheap and is excluded from
+  // the training clock (eval is instrumentation, not part of the algorithm).
+  if (eval != nullptr) encoder_->encode_batch(eval->features, encoded_eval_);
+
+  for (std::size_t iter = 0; iter < config_.iterations; ++iter) {
+    timer.reset();
+    const hd::EpochStats epoch = learner_.train_epoch_shuffled(
+        model_, encoded_train_, train.labels, seeds_.shuffle_rng);
+
+    IterationTrace trace;
+    trace.iteration = iter;
+    trace.online_train_accuracy = epoch.online_accuracy();
+
+    std::optional<CategorizeResult> categories;
+    if (config_.trace_categorize) {
+      categories = categorize_top2(model_, encoded_train_, train.labels);
+      trace.train_top1 = categories->top1_accuracy();
+      trace.train_top2 = categories->top2_accuracy();
+    }
+
+    // The final iteration skips regeneration so the deployed model never
+    // carries freshly zeroed (untrained) dimensions.
+    const bool last_iteration = (iter + 1 == config_.iterations);
+    const bool regen_due = ((iter + 1) % config_.regen_every) == 0;
+    std::vector<std::size_t> regenerated_dims;
+    if (!last_iteration && regen_due && policy_->enabled()) {
+      if (!categories.has_value() && policy_->needs_categorize()) {
+        categories = categorize_top2(model_, encoded_train_, train.labels);
+      }
+      const RegenContext context{model_, encoded_train_, train.labels,
+                                 categories.has_value() ? &*categories
+                                                        : nullptr};
+      regenerated_dims = policy_->select(context);
+      if (!regenerated_dims.empty()) {
+        apply_regeneration(regenerated_dims, train.features, encoded_train_);
+        trace.regenerated = regenerated_dims.size();
+      }
+    }
+    train_seconds += timer.seconds();
+    trace.cumulative_train_seconds = train_seconds;
+
+    if (eval != nullptr) {
+      if (!regenerated_dims.empty()) {
+        // Only the regenerated columns changed.
+        rbf_encoder()->reencode_columns(eval->features, regenerated_dims,
+                                        encoded_eval_);
+      }
+      const auto predictions = model_.predict_batch(encoded_eval_);
+      trace.test_accuracy = metrics::accuracy(predictions, eval->labels);
+    }
+    result.trace.push_back(trace);
+    result.iterations_run = iter + 1;
+
+    if (config_.stop_when_converged && epoch.mispredictions == 0 &&
+        trace.regenerated == 0) {
+      break;
+    }
+  }
+
+  for (std::size_t polish = 0; polish < config_.polish_epochs; ++polish) {
+    timer.reset();
+    const hd::EpochStats epoch = learner_.train_epoch_shuffled(
+        model_, encoded_train_, train.labels, seeds_.shuffle_rng);
+    train_seconds += timer.seconds();
+
+    IterationTrace trace;
+    trace.iteration = result.iterations_run;
+    trace.online_train_accuracy = epoch.online_accuracy();
+    trace.cumulative_train_seconds = train_seconds;
+    if (eval != nullptr) {
+      const auto predictions = model_.predict_batch(encoded_eval_);
+      trace.test_accuracy = metrics::accuracy(predictions, eval->labels);
+    }
+    result.trace.push_back(trace);
+    ++result.iterations_run;
+    if (epoch.mispredictions == 0) break;
+  }
+
+  result.train_seconds = train_seconds;
+  // Effective dimensionality D* = D + total regenerated (paper §IV-B);
+  // static encoders never regenerate, so D* == D.
+  result.effective_dim = config_.dim + total_regenerated();
+  if (!result.trace.empty()) {
+    result.final_test_accuracy = result.trace.back().test_accuracy;
+  }
+  return result;
+}
+
+hd::EpochStats FitSession::run_epoch(const util::Matrix& encoded,
+                                     std::span<const int> labels) {
+  return learner_.train_epoch_shuffled(model_, encoded, labels,
+                                       seeds_.shuffle_rng);
+}
+
+std::size_t FitSession::regenerate(const util::Matrix& features,
+                                   util::Matrix& encoded,
+                                   std::span<const int> labels) {
+  if (encoded.rows() == 0 || !policy_->enabled()) return 0;
+  std::optional<CategorizeResult> categories;
+  if (policy_->needs_categorize()) {
+    categories = categorize_top2(model_, encoded, labels);
+  }
+  const RegenContext context{model_, encoded, labels,
+                             categories.has_value() ? &*categories : nullptr};
+  const auto dims = policy_->select(context);
+  if (dims.empty()) return 0;
+  apply_regeneration(dims, features, encoded);
+  return dims.size();
+}
+
+HdcClassifier FitSession::release_classifier() {
+  return HdcClassifier(std::move(encoder_), std::move(model_));
+}
+
+}  // namespace disthd::core

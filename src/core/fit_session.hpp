@@ -1,0 +1,125 @@
+// The single fit pipeline behind every trainer in this library.
+//
+// BaselineHD, NeuralHD, DistHD, and the streaming OnlineDistHD all share the
+// same skeleton: encode the batch, calibrate output centering, one-shot
+// bundle, then iterate adaptive epochs with optional dimension regeneration
+// (regenerate → reset offsets → re-encode columns → re-center → zero stale
+// model components), tracing per-iteration accuracy and patching the eval
+// cache column-wise. FitSession owns that skeleton — encoder, model,
+// learner, RNG streams, the encoded train/eval caches, trace emission,
+// convergence stop, and polish epochs — and a RegenPolicy supplies the only
+// learner-specific decision: which dimensions to drop. The public trainers
+// are thin config→session adapters, and their traces are bit-identical to
+// the pre-session fit loops at pinned seeds (tests/core/
+// fit_session_golden_test.cpp holds the transcribed legacy loops).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "core/classifier.hpp"
+#include "core/regen_policy.hpp"
+#include "core/trainer_common.hpp"
+#include "data/dataset.hpp"
+#include "hd/learner.hpp"
+#include "util/rng.hpp"
+
+namespace disthd::core {
+
+enum class StaticEncoderKind {
+  rbf,         // nonlinear cos*sin encoder (same family as DistHD)
+  projection,  // bipolar sign random projection
+};
+
+/// The RNG streams a session consumes. Rng::split mutates the parent, so the
+/// historical draw ORDER of each trainer is part of its reproducibility
+/// contract — these factories freeze those orders.
+struct SessionSeeds {
+  util::Rng shuffle_rng{0};
+  util::Rng regen_rng{0};
+  std::uint64_t encoder_seed = 0;
+
+  /// BaselineHD's legacy order: split(1) for shuffling, then split(3) for
+  /// the encoder. No regeneration stream is ever drawn.
+  static SessionSeeds batch_static(std::uint64_t seed);
+  /// DistHD/NeuralHD's legacy order: split(1), split(2), split(3).
+  static SessionSeeds batch_dynamic(std::uint64_t seed);
+  /// OnlineDistHD's legacy scheme: xor-tagged direct seeds.
+  static SessionSeeds streaming(std::uint64_t seed);
+};
+
+struct FitSessionConfig {
+  std::size_t dim = 500;
+  std::size_t iterations = 30;
+  double learning_rate = 1.0;
+  /// Run the policy every k-th iteration (never on the final one, so the
+  /// deployed model never carries freshly zeroed dimensions).
+  std::size_t regen_every = 1;
+  /// Extra adaptive epochs after the iteration loop ("train until
+  /// convergence", paper §IV-B).
+  std::size_t polish_epochs = 0;
+  /// Stop early when an epoch makes zero updates and nothing regenerated.
+  bool stop_when_converged = true;
+  /// Per-dimension output centering (rbf encoder only; see hd/centering.hpp).
+  bool center_encodings = true;
+  /// Record train top-1/top-2 accuracy per iteration (costs a categorize
+  /// pass; DistHD traces it, the policy reuses the same result).
+  bool trace_categorize = false;
+  StaticEncoderKind encoder = StaticEncoderKind::rbf;
+};
+
+class FitSession {
+public:
+  FitSession(std::size_t num_features, std::size_t num_classes,
+             FitSessionConfig config, SessionSeeds seeds,
+             std::unique_ptr<RegenPolicy> policy);
+
+  /// Runs the full batch pipeline. Datasets must already be validated.
+  FitResult fit(const data::Dataset& train, const data::Dataset* eval);
+
+  // ---- streaming building blocks (OnlineDistHD's per-chunk loop) ---------
+
+  /// One shuffled adaptive epoch over an externally owned encoded batch
+  /// (the online trainer's rehearsal reservoir).
+  hd::EpochStats run_epoch(const util::Matrix& encoded,
+                           std::span<const int> labels);
+
+  /// Runs the policy on an externally owned batch and applies the full
+  /// regeneration plumbing to it. Returns the number of regenerated
+  /// dimensions (0 when the policy declines or the batch is empty).
+  std::size_t regenerate(const util::Matrix& features, util::Matrix& encoded,
+                         std::span<const int> labels);
+
+  // ---- state access ------------------------------------------------------
+
+  hd::Encoder& encoder() noexcept { return *encoder_; }
+  const hd::Encoder& encoder() const noexcept { return *encoder_; }
+  /// nullptr when the session drives a static projection encoder.
+  hd::RbfEncoder* rbf_encoder() noexcept;
+  hd::ClassModel& model() noexcept { return model_; }
+  const hd::ClassModel& model() const noexcept { return model_; }
+  std::size_t total_regenerated() const noexcept;
+
+  /// Moves encoder and model out into a deployable classifier; the session
+  /// must not be used afterwards.
+  HdcClassifier release_classifier();
+
+private:
+  /// The shared plumbing: regenerate dims in the encoder, reset their
+  /// centering offsets, re-encode only those columns, re-center them, and
+  /// zero the stale model components.
+  void apply_regeneration(std::span<const std::size_t> dims,
+                          const util::Matrix& features, util::Matrix& encoded);
+
+  FitSessionConfig config_;
+  SessionSeeds seeds_;
+  std::unique_ptr<RegenPolicy> policy_;
+  std::unique_ptr<hd::Encoder> encoder_;
+  hd::ClassModel model_;
+  hd::AdaptiveLearner learner_;
+  util::Matrix encoded_train_;
+  util::Matrix encoded_eval_;
+};
+
+}  // namespace disthd::core

@@ -1,13 +1,9 @@
 #include "core/neuralhd_trainer.hpp"
 
-#include <algorithm>
-#include <numeric>
+#include <memory>
 #include <stdexcept>
 
-#include "hd/centering.hpp"
-#include "hd/learner.hpp"
-#include "metrics/accuracy.hpp"
-#include "util/timer.hpp"
+#include "core/fit_session.hpp"
 
 namespace disthd::core {
 
@@ -27,28 +23,6 @@ void NeuralHDConfig::validate() const {
   }
 }
 
-std::vector<double> dimension_variance_scores(const hd::ClassModel& model) {
-  // Normalize per class so a class with a large norm does not dominate the
-  // per-dimension spread.
-  util::Matrix normalized = model.class_vectors();
-  util::normalize_rows(normalized);
-  const std::size_t k = normalized.rows();
-  const std::size_t dim = normalized.cols();
-  std::vector<double> scores(dim, 0.0);
-  for (std::size_t d = 0; d < dim; ++d) {
-    double mean = 0.0;
-    for (std::size_t c = 0; c < k; ++c) mean += normalized(c, d);
-    mean /= static_cast<double>(k);
-    double variance = 0.0;
-    for (std::size_t c = 0; c < k; ++c) {
-      const double delta = normalized(c, d) - mean;
-      variance += delta * delta;
-    }
-    scores[d] = variance / static_cast<double>(k);
-  }
-  return scores;
-}
-
 NeuralHDTrainer::NeuralHDTrainer(NeuralHDConfig config) : config_(config) {
   config_.validate();
 }
@@ -57,95 +31,20 @@ HdcClassifier NeuralHDTrainer::fit(const data::Dataset& train,
                                    const data::Dataset* eval) {
   train.validate();
   if (eval != nullptr) eval->validate();
-  result_ = FitResult{};
-  result_.physical_dim = config_.dim;
 
-  util::Rng rng(config_.seed);
-  util::Rng shuffle_rng = rng.split(1);
-  util::Rng regen_rng = rng.split(2);
+  FitSessionConfig session_config;
+  session_config.dim = config_.dim;
+  session_config.iterations = config_.iterations;
+  session_config.learning_rate = config_.learning_rate;
+  session_config.regen_every = config_.regen_every;
+  session_config.stop_when_converged = config_.stop_when_converged;
+  session_config.center_encodings = config_.center_encodings;
 
-  auto encoder = std::make_unique<hd::RbfEncoder>(
-      train.num_features(), config_.dim, rng.split(3).next_u64());
-  hd::ClassModel model(train.num_classes, config_.dim);
-  const hd::AdaptiveLearner learner(config_.learning_rate);
-
-  double train_seconds = 0.0;
-  util::WallTimer timer;
-  util::Matrix encoded;
-  encoder->encode_batch(train.features, encoded);
-  if (config_.center_encodings) {
-    hd::calibrate_output_centering(*encoder, encoded);
-  }
-  hd::OneShotLearner::fit(model, encoded, train.labels);
-  train_seconds += timer.seconds();
-
-  util::Matrix encoded_eval;
-  if (eval != nullptr) encoder->encode_batch(eval->features, encoded_eval);
-
-  const auto budget = static_cast<std::size_t>(
-      config_.regen_rate * static_cast<double>(config_.dim));
-
-  for (std::size_t iter = 0; iter < config_.iterations; ++iter) {
-    timer.reset();
-    const hd::EpochStats epoch =
-        learner.train_epoch_shuffled(model, encoded, train.labels, shuffle_rng);
-
-    IterationTrace trace;
-    trace.iteration = iter;
-    trace.online_train_accuracy = epoch.online_accuracy();
-
-    const bool last_iteration = (iter + 1 == config_.iterations);
-    const bool regen_due = ((iter + 1) % config_.regen_every) == 0;
-    std::vector<std::size_t> regenerated_dims;
-    if (!last_iteration && regen_due && budget > 0) {
-      // Bottom-R% by discriminating power.
-      const auto scores = dimension_variance_scores(model);
-      std::vector<std::size_t> order(scores.size());
-      std::iota(order.begin(), order.end(), std::size_t{0});
-      std::partial_sort(order.begin(), order.begin() + budget, order.end(),
-                        [&](std::size_t a, std::size_t b) {
-                          if (scores[a] != scores[b]) {
-                            return scores[a] < scores[b];
-                          }
-                          return a < b;
-                        });
-      regenerated_dims.assign(order.begin(), order.begin() + budget);
-      std::sort(regenerated_dims.begin(), regenerated_dims.end());
-      encoder->regenerate_dimensions(regenerated_dims, regen_rng);
-      encoder->reset_output_offset_dims(regenerated_dims);
-      encoder->reencode_columns(train.features, regenerated_dims, encoded);
-      if (config_.center_encodings) {
-        hd::recenter_columns(*encoder, encoded, regenerated_dims);
-      }
-      model.zero_dimensions(regenerated_dims);
-      trace.regenerated = regenerated_dims.size();
-    }
-    train_seconds += timer.seconds();
-    trace.cumulative_train_seconds = train_seconds;
-
-    if (eval != nullptr) {
-      if (!regenerated_dims.empty()) {
-        encoder->reencode_columns(eval->features, regenerated_dims,
-                                  encoded_eval);
-      }
-      const auto predictions = model.predict_batch(encoded_eval);
-      trace.test_accuracy = metrics::accuracy(predictions, eval->labels);
-    }
-    result_.trace.push_back(trace);
-    result_.iterations_run = iter + 1;
-
-    if (config_.stop_when_converged && epoch.mispredictions == 0 &&
-        trace.regenerated == 0) {
-      break;
-    }
-  }
-
-  result_.train_seconds = train_seconds;
-  result_.effective_dim = config_.dim + encoder->total_regenerated();
-  if (!result_.trace.empty()) {
-    result_.final_test_accuracy = result_.trace.back().test_accuracy;
-  }
-  return HdcClassifier(std::move(encoder), std::move(model));
+  FitSession session(train.num_features(), train.num_classes, session_config,
+                     SessionSeeds::batch_dynamic(config_.seed),
+                     std::make_unique<VarianceRegen>(config_.regen_rate));
+  result_ = session.fit(train, eval);
+  return session.release_classifier();
 }
 
 }  // namespace disthd::core

@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "core/classifier.hpp"
+#include "core/regen_policy.hpp"  // VarianceRegen + dimension_variance_scores
 #include "core/trainer_common.hpp"
 #include "data/dataset.hpp"
 
@@ -51,9 +52,5 @@ private:
   NeuralHDConfig config_;
   FitResult result_;
 };
-
-/// Per-dimension discriminating power: variance across classes of the
-/// row-normalized class hypervectors. Exposed for unit tests and benches.
-std::vector<double> dimension_variance_scores(const hd::ClassModel& model);
 
 }  // namespace disthd::core

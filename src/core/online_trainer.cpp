@@ -23,27 +23,47 @@ void OnlineDistHDConfig::validate() const {
   stats.validate();
 }
 
+namespace {
+
+FitSessionConfig streaming_session_config(const OnlineDistHDConfig& config) {
+  FitSessionConfig session_config;
+  session_config.dim = config.dim;
+  session_config.learning_rate = config.learning_rate;
+  session_config.center_encodings = true;
+  // Explicit (not just the default): OnlineDistHD::encoder() static_casts
+  // the session's encoder to RbfEncoder, so this is a hard precondition.
+  session_config.encoder = StaticEncoderKind::rbf;
+  return session_config;
+}
+
+}  // namespace
+
 OnlineDistHD::OnlineDistHD(std::size_t num_features, std::size_t num_classes,
                            OnlineDistHDConfig config)
     : config_(config),
-      model_(num_classes, config.dim),
-      shuffle_rng_(config.seed ^ 0x111),
-      regen_rng_(config.seed ^ 0x222),
+      session_(num_features, num_classes, streaming_session_config(config),
+               SessionSeeds::streaming(config.seed),
+               std::make_unique<DistRegen>(config.stats)),
       reservoir_rng_(config.seed ^ 0x333) {
   config_.validate();
-  util::Rng encoder_seed(config_.seed);
-  encoder_ = std::make_unique<hd::RbfEncoder>(num_features, config_.dim,
-                                              encoder_seed.next_u64());
   reservoir_features_ = util::Matrix(0, num_features);
   reservoir_encoded_ = util::Matrix(0, config_.dim);
 }
 
+const hd::RbfEncoder& OnlineDistHD::encoder() const noexcept {
+  return *static_cast<const hd::RbfEncoder*>(&session_.encoder());
+}
+
+hd::RbfEncoder& OnlineDistHD::encoder() noexcept {
+  return *static_cast<hd::RbfEncoder*>(&session_.encoder());
+}
+
 std::size_t OnlineDistHD::num_features() const noexcept {
-  return encoder_->num_features();
+  return session_.encoder().num_features();
 }
 
 std::size_t OnlineDistHD::total_regenerated() const noexcept {
-  return encoder_->total_regenerated();
+  return session_.total_regenerated();
 }
 
 void OnlineDistHD::partial_fit(const util::Matrix& features,
@@ -61,9 +81,9 @@ void OnlineDistHD::partial_fit(const util::Matrix& features,
   }
 
   util::Matrix encoded;
-  encoder_->encode_batch(features, encoded);
+  encoder().encode_batch(features, encoded);
   if (!centering_initialized_) {
-    hd::calibrate_output_centering(*encoder_, encoded);
+    hd::calibrate_output_centering(encoder(), encoded);
     centering_initialized_ = true;
   } else if (config_.centering_ema > 0.0) {
     // Track bias drift: nudge the stored offsets toward this chunk's
@@ -76,8 +96,8 @@ void OnlineDistHD::partial_fit(const util::Matrix& features,
       const auto drift = static_cast<float>(
           config_.centering_ema * sums[d] * inv_rows);
       if (drift != 0.0f) {
-        encoder_->set_output_offset_dim(
-            d, encoder_->output_offset()[d] + drift);
+        encoder().set_output_offset_dim(
+            d, encoder().output_offset()[d] + drift);
         for (std::size_t r = 0; r < encoded.rows(); ++r) {
           encoded(r, d) -= drift;
         }
@@ -86,7 +106,7 @@ void OnlineDistHD::partial_fit(const util::Matrix& features,
   }
 
   // One-shot bundle the fresh chunk, then stash it in the reservoir.
-  hd::OneShotLearner::fit(model_, encoded, labels);
+  hd::OneShotLearner::fit(session_.model(), encoded, labels);
   const std::size_t old_count = reservoir_labels_.size();
   const std::size_t free_slots =
       std::min(labels.size(), config_.reservoir_capacity - old_count);
@@ -125,48 +145,31 @@ void OnlineDistHD::partial_fit(const util::Matrix& features,
     }
   }
 
-  const hd::AdaptiveLearner learner(config_.learning_rate);
   for (std::size_t epoch = 0; epoch < config_.epochs_per_chunk; ++epoch) {
-    learner.train_epoch_shuffled(model_, reservoir_encoded_, reservoir_labels_,
-                                 shuffle_rng_);
+    session_.run_epoch(reservoir_encoded_, reservoir_labels_);
   }
 
   ++chunks_seen_;
   if (config_.regen_every_chunks > 0 &&
       chunks_seen_ % config_.regen_every_chunks == 0) {
-    regenerate();
+    session_.regenerate(reservoir_features_, reservoir_encoded_,
+                        reservoir_labels_);
     // Give regenerated dimensions one rehearsal epoch immediately.
-    learner.train_epoch_shuffled(model_, reservoir_encoded_, reservoir_labels_,
-                                 shuffle_rng_);
+    session_.run_epoch(reservoir_encoded_, reservoir_labels_);
   }
-}
-
-void OnlineDistHD::regenerate() {
-  if (reservoir_labels_.empty()) return;
-  const CategorizeResult categories =
-      categorize_top2(model_, reservoir_encoded_, reservoir_labels_);
-  const DimensionStatsResult stats = identify_undesired_dimensions(
-      model_, reservoir_encoded_, reservoir_labels_, categories, config_.stats);
-  if (stats.undesired.empty()) return;
-  encoder_->regenerate_dimensions(stats.undesired, regen_rng_);
-  encoder_->reset_output_offset_dims(stats.undesired);
-  encoder_->reencode_columns(reservoir_features_, stats.undesired,
-                             reservoir_encoded_);
-  hd::recenter_columns(*encoder_, reservoir_encoded_, stats.undesired);
-  model_.zero_dimensions(stats.undesired);
 }
 
 int OnlineDistHD::predict(std::span<const float> features) const {
   std::vector<float> h(config_.dim);
-  encoder_->encode(features, h);
-  return model_.predict(h);
+  encoder().encode(features, h);
+  return session_.model().predict(h);
 }
 
 std::vector<int> OnlineDistHD::predict_batch(
     const util::Matrix& features) const {
   util::Matrix encoded;
-  encoder_->encode_batch(features, encoded);
-  return model_.predict_batch(encoded);
+  encoder().encode_batch(features, encoded);
+  return session_.model().predict_batch(encoded);
 }
 
 double OnlineDistHD::evaluate_accuracy(const data::Dataset& dataset) const {
@@ -175,8 +178,8 @@ double OnlineDistHD::evaluate_accuracy(const data::Dataset& dataset) const {
 }
 
 HdcClassifier OnlineDistHD::snapshot() const {
-  auto encoder_copy = std::make_unique<hd::RbfEncoder>(*encoder_);
-  hd::ClassModel model_copy = model_;
+  auto encoder_copy = std::make_unique<hd::RbfEncoder>(encoder());
+  hd::ClassModel model_copy = session_.model();
   return HdcClassifier(std::move(encoder_copy), std::move(model_copy));
 }
 

@@ -17,6 +17,7 @@
 
 #include "core/classifier.hpp"
 #include "core/dimension_stats.hpp"
+#include "core/fit_session.hpp"
 #include "data/dataset.hpp"
 
 namespace disthd::core {
@@ -47,7 +48,9 @@ public:
                OnlineDistHDConfig config = {});
 
   std::size_t num_features() const noexcept;
-  std::size_t num_classes() const noexcept { return model_.num_classes(); }
+  std::size_t num_classes() const noexcept {
+    return session_.model().num_classes();
+  }
   std::size_t dimensionality() const noexcept { return config_.dim; }
   std::size_t chunks_seen() const noexcept { return chunks_seen_; }
   std::size_t samples_seen() const noexcept { return samples_seen_; }
@@ -67,13 +70,14 @@ public:
   HdcClassifier snapshot() const;
 
 private:
-  void regenerate();
+  const hd::RbfEncoder& encoder() const noexcept;
+  hd::RbfEncoder& encoder() noexcept;
 
   OnlineDistHDConfig config_;
-  std::unique_ptr<hd::RbfEncoder> encoder_;
-  hd::ClassModel model_;
-  util::Rng shuffle_rng_;
-  util::Rng regen_rng_;
+  // The session owns encoder/model/learner and the shuffle/regen RNG
+  // streams; this class layers the streaming concerns on top (reservoir,
+  // EMA centering, chunk cadence).
+  FitSession session_;
   util::Rng reservoir_rng_;
 
   // Rehearsal reservoir: raw features are kept alongside encodings so

@@ -1,0 +1,58 @@
+#include "core/regen_policy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace disthd::core {
+
+std::vector<double> dimension_variance_scores(const hd::ClassModel& model) {
+  // Normalize per class so a class with a large norm does not dominate the
+  // per-dimension spread.
+  util::Matrix normalized = model.class_vectors();
+  util::normalize_rows(normalized);
+  const std::size_t k = normalized.rows();
+  const std::size_t dim = normalized.cols();
+  std::vector<double> scores(dim, 0.0);
+  for (std::size_t d = 0; d < dim; ++d) {
+    double mean = 0.0;
+    for (std::size_t c = 0; c < k; ++c) mean += normalized(c, d);
+    mean /= static_cast<double>(k);
+    double variance = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      const double delta = normalized(c, d) - mean;
+      variance += delta * delta;
+    }
+    scores[d] = variance / static_cast<double>(k);
+  }
+  return scores;
+}
+
+std::vector<std::size_t> VarianceRegen::select(const RegenContext& context) {
+  const std::size_t dim = context.model.dimensionality();
+  const auto budget =
+      static_cast<std::size_t>(regen_rate_ * static_cast<double>(dim));
+  if (budget == 0) return {};
+  // Bottom-R% by discriminating power.
+  const auto scores = dimension_variance_scores(context.model);
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::partial_sort(order.begin(), order.begin() + budget, order.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      if (scores[a] != scores[b]) {
+                        return scores[a] < scores[b];
+                      }
+                      return a < b;
+                    });
+  std::vector<std::size_t> dims(order.begin(), order.begin() + budget);
+  std::sort(dims.begin(), dims.end());
+  return dims;
+}
+
+std::vector<std::size_t> DistRegen::select(const RegenContext& context) {
+  const DimensionStatsResult stats = identify_undesired_dimensions(
+      context.model, context.encoded, context.labels, *context.categories,
+      config_);
+  return stats.undesired;
+}
+
+}  // namespace disthd::core

@@ -1,0 +1,87 @@
+// Dimension-regeneration strategies for the FitSession pipeline.
+//
+// The paper's three learners differ ONLY in which dimensions they throw away
+// each iteration: BaselineHD never regenerates, NeuralHD (§II-B) drops the
+// bottom-R% by class-variance "discriminating power", and DistHD (§III)
+// drops the intersection of the top-R% of the learner-aware M'/N' distance
+// scores. Everything else about the fit loop is identical, so the loop
+// lives once in core::FitSession and the per-learner decision is this
+// strategy interface.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/categorize.hpp"
+#include "core/dimension_stats.hpp"
+#include "hd/model.hpp"
+#include "util/matrix.hpp"
+
+namespace disthd::core {
+
+/// Everything a policy may look at when choosing dimensions to drop. The
+/// categorization is only computed when the policy asks for it
+/// (needs_categorize) or the session already produced it for tracing.
+struct RegenContext {
+  const hd::ClassModel& model;
+  const util::Matrix& encoded;
+  std::span<const int> labels;
+  /// Top-2 buckets of the training batch; nullptr unless requested.
+  const CategorizeResult* categories = nullptr;
+};
+
+class RegenPolicy {
+public:
+  virtual ~RegenPolicy() = default;
+
+  /// False for the no-op policy: lets the session skip the whole
+  /// regeneration block (and its categorization) statically.
+  virtual bool enabled() const noexcept { return true; }
+
+  /// Whether select() wants RegenContext::categories filled in.
+  virtual bool needs_categorize() const noexcept { return false; }
+
+  /// Returns the dimensions to regenerate, sorted ascending. May be empty
+  /// (nothing worth dropping this iteration).
+  virtual std::vector<std::size_t> select(const RegenContext& context) = 0;
+};
+
+/// Static encoders (BaselineHD): never regenerate.
+class NoRegen final : public RegenPolicy {
+public:
+  bool enabled() const noexcept override { return false; }
+  std::vector<std::size_t> select(const RegenContext&) override { return {}; }
+};
+
+/// NeuralHD: bottom-R% of dimensions by discriminating power (variance of
+/// the row-normalized class hypervectors along each dimension).
+class VarianceRegen final : public RegenPolicy {
+public:
+  explicit VarianceRegen(double regen_rate) : regen_rate_(regen_rate) {}
+
+  std::vector<std::size_t> select(const RegenContext& context) override;
+
+private:
+  double regen_rate_;
+};
+
+/// DistHD Algorithm 2: score dimensions with the M/N distance matrices from
+/// the learner's top-2 mistakes and drop the combined top-R% set.
+class DistRegen final : public RegenPolicy {
+public:
+  explicit DistRegen(DimensionStatsConfig config) : config_(config) {}
+
+  bool needs_categorize() const noexcept override { return true; }
+  std::vector<std::size_t> select(const RegenContext& context) override;
+
+private:
+  DimensionStatsConfig config_;
+};
+
+/// Per-dimension discriminating power: variance across classes of the
+/// row-normalized class hypervectors. Exposed for unit tests and benches.
+std::vector<double> dimension_variance_scores(const hd::ClassModel& model);
+
+}  // namespace disthd::core

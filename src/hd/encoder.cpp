@@ -13,7 +13,7 @@ namespace disthd::hd {
 
 void Encoder::encode_batch(const util::Matrix& features,
                            util::Matrix& encoded) const {
-  encoded.reshape(features.rows(), dimensionality());
+  encoded.reshape_uninitialized(features.rows(), dimensionality());
   util::parallel_for(
       features.rows(),
       [&](std::size_t begin, std::size_t end) {
@@ -35,6 +35,16 @@ float input_scale(bool normalize, std::span<const float> features) {
   return norm > 0.0 ? static_cast<float>(1.0 / norm) : 1.0f;
 }
 
+/// h_d = cos(p + c)·sin(p) via the product-to-sum identity
+///   sin(p)·cos(p + c) = (sin(2p + c) − sin(c)) / 2,
+/// with sin(c) precomputed per dimension: one sin() per element instead of a
+/// cos() and a sin(). |p| is O(1) for normalized inputs, so no argument-
+/// reduction concerns.
+inline float rbf_activate(float projection, float phase,
+                          float sin_phase) noexcept {
+  return 0.5f * (std::sin(projection + projection + phase) - sin_phase);
+}
+
 }  // namespace
 
 RbfEncoder::RbfEncoder(std::size_t num_features, std::size_t dim,
@@ -50,6 +60,14 @@ RbfEncoder::RbfEncoder(std::size_t num_features, std::size_t dim,
   for (auto& c : phase_) {
     c = static_cast<float>(rng.uniform(0.0, 2.0 * std::numbers::pi));
   }
+  refresh_sin_phase();
+}
+
+void RbfEncoder::refresh_sin_phase() {
+  sin_phase_.resize(phase_.size());
+  for (std::size_t d = 0; d < phase_.size(); ++d) {
+    sin_phase_[d] = std::sin(phase_[d]);
+  }
 }
 
 void RbfEncoder::encode(std::span<const float> features,
@@ -61,7 +79,7 @@ void RbfEncoder::encode(std::span<const float> features,
   for (std::size_t d = 0; d < out.size(); ++d) {
     const auto projection =
         static_cast<float>(util::dot(base_.row(d), features)) * scale;
-    out[d] = std::cos(projection + phase_[d]) * std::sin(projection);
+    out[d] = rbf_activate(projection, phase_[d], sin_phase_[d]);
     if (centered) out[d] -= output_offset_[d];
   }
 }
@@ -71,21 +89,34 @@ void RbfEncoder::encode_batch(const util::Matrix& features,
   if (features.cols() != num_features()) {
     throw std::invalid_argument("RbfEncoder::encode_batch: feature mismatch");
   }
-  // One GEMM gives all projections; the input normalization folds into a
-  // per-row scale and the nonlinearity is a cheap second pass.
-  util::matmul_nt(features, base_, encoded);
+  // Fused projection → sin → center in a single parallel pass: the blocked
+  // GEMM computes the projections tile by tile (base rows stay cache-hot
+  // across the chunk), then the nonlinearity and centering are applied to
+  // each row while it is still warm — one trig sweep, no second dispatch,
+  // and no zero-fill of the output.
+  encoded.reshape_uninitialized(features.rows(), dimensionality());
+  const std::size_t dim = dimensionality();
   const bool centered = !output_offset_.empty();
-  util::parallel_for(encoded.rows(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t r = begin; r < end; ++r) {
-      const float scale = input_scale(normalize_input_, features.row(r));
-      auto row = encoded.row(r);
-      for (std::size_t d = 0; d < row.size(); ++d) {
-        const float projection = row[d] * scale;
-        row[d] = std::cos(projection + phase_[d]) * std::sin(projection);
-        if (centered) row[d] -= output_offset_[d];
-      }
-    }
-  });
+  util::parallel_for(
+      features.rows(),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t c0 = 0; c0 < dim; c0 += util::kGemmColTile) {
+          const std::size_t tile = std::min(util::kGemmColTile, dim - c0);
+          for (std::size_t r = begin; r < end; ++r) {
+            util::row_dots_nt(features.row(r), base_, c0,
+                              encoded.row(r).subspan(c0, tile));
+          }
+        }
+        for (std::size_t r = begin; r < end; ++r) {
+          const float scale = input_scale(normalize_input_, features.row(r));
+          auto row = encoded.row(r);
+          for (std::size_t d = 0; d < dim; ++d) {
+            row[d] = rbf_activate(row[d] * scale, phase_[d], sin_phase_[d]);
+            if (centered) row[d] -= output_offset_[d];
+          }
+        }
+      },
+      /*min_chunk=*/1);
 }
 
 void RbfEncoder::regenerate_dimensions(std::span<const std::size_t> dims,
@@ -97,6 +128,7 @@ void RbfEncoder::regenerate_dimensions(std::span<const std::size_t> dims,
     auto row = base_.row(d);
     for (auto& v : row) v = static_cast<float>(rng.normal());
     phase_[d] = static_cast<float>(rng.uniform(0.0, 2.0 * std::numbers::pi));
+    sin_phase_[d] = std::sin(phase_[d]);
   }
   total_regenerated_ += dims.size();
 }
@@ -119,7 +151,7 @@ void RbfEncoder::reencode_columns(const util::Matrix& features,
           for (const std::size_t d : dims) {
             const auto projection =
                 static_cast<float>(util::dot(base_.row(d), f)) * scale;
-            enc[d] = std::cos(projection + phase_[d]) * std::sin(projection);
+            enc[d] = rbf_activate(projection, phase_[d], sin_phase_[d]);
             if (centered) enc[d] -= output_offset_[d];
           }
         }
@@ -171,6 +203,7 @@ RbfEncoder RbfEncoder::load(std::istream& in) {
       encoder.output_offset_.size() != encoder.base_.rows()) {
     throw std::runtime_error("RbfEncoder::load: inconsistent offset size");
   }
+  encoder.refresh_sin_phase();
   return encoder;
 }
 

@@ -106,8 +106,16 @@ public:
 private:
   RbfEncoder() = default;
 
+  /// Rebuilds the derived sin(phase) cache (after ctor/regenerate/load).
+  void refresh_sin_phase();
+
   util::Matrix base_;                // dim x num_features
   std::vector<float> phase_;         // dim
+  /// Derived cache: sin(c_d) per dimension. The encoding is evaluated as
+  /// cos(p + c)·sin(p) = (sin(2p + c) − sin(c)) / 2, which needs ONE trig
+  /// call per element instead of two — the trig sweep dominates encode_batch.
+  /// Not serialized; recomputed on load.
+  std::vector<float> sin_phase_;     // dim
   std::vector<float> output_offset_; // dim when set, empty when disabled
   std::size_t total_regenerated_ = 0;
   bool normalize_input_ = true;

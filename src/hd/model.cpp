@@ -32,10 +32,13 @@ void ClassModel::add_scaled(std::size_t cls, float alpha,
 void ClassModel::similarities(std::span<const float> h,
                               std::span<double> out) const {
   assert(out.size() == num_classes());
+  // All k class dots in one fused sweep over h (dots_rows) instead of k
+  // scalar passes — this is the per-sample hot path of the adaptive epoch.
+  util::dots_rows(class_vectors_, h, out);
   const double h_norm = util::norm2(h);
   for (std::size_t c = 0; c < num_classes(); ++c) {
     const double denom = h_norm * norms_[c];
-    out[c] = denom > 0.0 ? util::dot(h, class_vectors_.row(c)) / denom : 0.0;
+    out[c] = denom > 0.0 ? out[c] / denom : 0.0;
   }
 }
 
@@ -78,15 +81,19 @@ void ClassModel::scores_batch(const util::Matrix& encoded,
   // Normalize class vectors once; cosine(h, C) = (h/|h|) . (C/|C|).
   util::Matrix normalized = class_vectors_;
   util::normalize_rows(normalized);
-  util::matmul_nt(encoded, normalized, scores);
+  // One fused pass per row: the k dots and the query-norm scaling happen
+  // while the encoded row is cache-hot, instead of a full GEMM followed by a
+  // second sweep over the batch.
+  scores.reshape_uninitialized(encoded.rows(), normalized.rows());
   util::parallel_for(encoded.rows(), [&](std::size_t begin, std::size_t end) {
     for (std::size_t r = begin; r < end; ++r) {
+      util::row_dots_nt(encoded.row(r), normalized, 0, scores.row(r));
       const double h_norm = util::norm2(encoded.row(r));
       if (h_norm > 0.0) {
         util::scale(scores.row(r), static_cast<float>(1.0 / h_norm));
       }
     }
-  });
+  }, /*min_chunk=*/1);
 }
 
 std::vector<int> ClassModel::predict_batch(const util::Matrix& encoded) const {

@@ -45,6 +45,12 @@ public:
   void fill(float value);
   /// Reshapes to rows x cols, discarding contents (elements zeroed).
   void reshape(std::size_t rows, std::size_t cols);
+  /// Reshapes to rows x cols WITHOUT clearing: contents are unspecified.
+  /// For outputs that are fully overwritten anyway (GEMM results, batch
+  /// encodings) this skips the redundant zero-fill `reshape` pays on every
+  /// call; when the size is unchanged — the steady state of a training
+  /// loop — it is free.
+  void reshape_uninitialized(std::size_t rows, std::size_t cols);
 
   /// Fills with i.i.d. N(mean, stddev) draws.
   void fill_normal(Rng& rng, double mean = 0.0, double stddev = 1.0);
@@ -63,6 +69,12 @@ private:
 };
 
 // ---- Vector kernels (double accumulation) --------------------------------
+//
+// Kernel-layer contract: GEMM-style kernels (matmul_nt, row_dots_nt)
+// accumulate in float — their results feed a bounded nonlinearity or a
+// similarity ranking, where float error is immaterial. Reductions that feed
+// decisions directly (dot, norm2, dots_rows, the statistics kernels)
+// accumulate in double.
 
 /// Dot product with double accumulation. Sizes must match.
 double dot(std::span<const float> a, std::span<const float> b) noexcept;
@@ -75,10 +87,31 @@ void axpy(float alpha, std::span<const float> x, std::span<float> y) noexcept;
 /// x *= alpha.
 void scale(std::span<float> x, float alpha) noexcept;
 
+/// Multi-dot: out[j] = m.row(j) · v for every row of m, double accumulation
+/// bit-identical to calling dot() per row. The batch entry point behind
+/// ClassModel::similarities (the per-sample hot path of the adaptive epoch).
+void dots_rows(const Matrix& m, std::span<const float> v,
+               std::span<double> out) noexcept;
+
+/// out[j] = arow · b.row(col_begin + j) for j in [0, out.size()) with the
+/// 8-lane float accumulation of the GEMM micro-kernel — the per-row building
+/// block of matmul_nt, exposed so encoders can fuse a nonlinearity onto the
+/// projection pass without a second sweep over the output.
+void row_dots_nt(std::span<const float> arow, const Matrix& b,
+                 std::size_t col_begin, std::span<float> out) noexcept;
+
+/// B rows per cache tile in the blocked A·Bᵀ kernels: one tile times k
+/// floats stays L2-resident across a whole chunk of A rows for every k this
+/// library uses. Shared by matmul_nt and the fused encoder pass so blocking
+/// is tuned in one place.
+inline constexpr std::size_t kGemmColTile = 256;
+
 // ---- Matrix kernels -------------------------------------------------------
 
 /// out = A * B^T where A is (m x k) and B is (n x k); out is resized to
-/// (m x n). Parallelized over rows of A via the global thread pool.
+/// (m x n). Parallelized over rows of A via the global thread pool; within a
+/// chunk the kernel is cache-blocked over B-row tiles so a tile is reused by
+/// every A row of the chunk (see row_dots_nt for the accumulation contract).
 void matmul_nt(const Matrix& a, const Matrix& b, Matrix& out);
 
 /// out = A * B where A is (m x k) and B is (k x n); out resized to (m x n).

@@ -1,0 +1,423 @@
+// Golden trainer-equivalence tests for the FitSession refactor.
+//
+// The three batch trainers used to carry their own copies of the fit
+// skeleton; they are now thin adapters over core::FitSession + RegenPolicy.
+// These tests hold verbatim transcriptions of the PRE-refactor fit loops
+// (built from the same public encoder/learner/statistics APIs) and assert
+// that the session-backed trainers reproduce their per-iteration traces —
+// online accuracy, train top-1/top-2, regenerated counts, test accuracy —
+// and final model state BIT-IDENTICALLY at pinned seeds. Any drift in the
+// session's operation order, RNG stream consumption, or trace bookkeeping
+// fails these tests exactly (not within a tolerance).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "core/baselinehd_trainer.hpp"
+#include "core/categorize.hpp"
+#include "core/dimension_stats.hpp"
+#include "core/disthd_trainer.hpp"
+#include "core/neuralhd_trainer.hpp"
+#include "data/synthetic.hpp"
+#include "hd/centering.hpp"
+#include "hd/learner.hpp"
+#include "metrics/accuracy.hpp"
+
+namespace disthd::core {
+namespace {
+
+data::TrainTestSplit workload(std::uint64_t seed) {
+  data::SyntheticSpec spec;
+  spec.num_features = 24;
+  spec.num_classes = 4;
+  spec.train_size = 400;
+  spec.test_size = 200;
+  spec.clusters_per_class = 2;
+  spec.cluster_spread = 1.0;  // hard enough that errors (and regens) persist
+  spec.seed = seed;
+  return data::make_synthetic(spec);
+}
+
+/// Deterministic slice of a fit trace (wall-clock fields excluded).
+struct GoldenTrace {
+  std::vector<IterationTrace> trace;
+  std::size_t iterations_run = 0;
+  std::size_t physical_dim = 0;
+  std::size_t effective_dim = 0;
+  util::Matrix class_vectors;
+  std::vector<int> test_predictions;
+};
+
+void expect_identical(const GoldenTrace& reference, const FitResult& result,
+                      const util::Matrix& class_vectors,
+                      const std::vector<int>& test_predictions) {
+  EXPECT_EQ(reference.iterations_run, result.iterations_run);
+  EXPECT_EQ(reference.physical_dim, result.physical_dim);
+  EXPECT_EQ(reference.effective_dim, result.effective_dim);
+  ASSERT_EQ(reference.trace.size(), result.trace.size());
+  for (std::size_t i = 0; i < reference.trace.size(); ++i) {
+    const auto& a = reference.trace[i];
+    const auto& b = result.trace[i];
+    EXPECT_EQ(a.iteration, b.iteration) << "iteration " << i;
+    EXPECT_EQ(a.regenerated, b.regenerated) << "iteration " << i;
+    // Bit-identical doubles, not near-equal: the refactor must not change
+    // a single arithmetic step of the algorithm.
+    EXPECT_DOUBLE_EQ(a.online_train_accuracy, b.online_train_accuracy)
+        << "iteration " << i;
+    EXPECT_TRUE((std::isnan(a.train_top1) && std::isnan(b.train_top1)) ||
+                a.train_top1 == b.train_top1)
+        << "iteration " << i;
+    EXPECT_TRUE((std::isnan(a.train_top2) && std::isnan(b.train_top2)) ||
+                a.train_top2 == b.train_top2)
+        << "iteration " << i;
+    EXPECT_TRUE((std::isnan(a.test_accuracy) && std::isnan(b.test_accuracy)) ||
+                a.test_accuracy == b.test_accuracy)
+        << "iteration " << i;
+  }
+  EXPECT_EQ(reference.class_vectors, class_vectors);
+  EXPECT_EQ(reference.test_predictions, test_predictions);
+}
+
+// ---- verbatim legacy loops -------------------------------------------------
+
+GoldenTrace legacy_baselinehd_fit(const BaselineHDConfig& config,
+                                  const data::Dataset& train,
+                                  const data::Dataset& eval) {
+  GoldenTrace golden;
+  golden.physical_dim = config.dim;
+
+  util::Rng rng(config.seed);
+  util::Rng shuffle_rng = rng.split(1);
+
+  std::unique_ptr<hd::Encoder> encoder;
+  const std::uint64_t encoder_seed = rng.split(3).next_u64();
+  if (config.encoder == StaticEncoderKind::rbf) {
+    encoder = std::make_unique<hd::RbfEncoder>(train.num_features(),
+                                               config.dim, encoder_seed);
+  } else {
+    encoder = std::make_unique<hd::RandomProjectionEncoder>(
+        train.num_features(), config.dim, encoder_seed);
+  }
+  hd::ClassModel model(train.num_classes, config.dim);
+  const hd::AdaptiveLearner learner(config.learning_rate);
+
+  util::Matrix encoded;
+  encoder->encode_batch(train.features, encoded);
+  if (config.center_encodings) {
+    if (auto* rbf = dynamic_cast<hd::RbfEncoder*>(encoder.get())) {
+      hd::calibrate_output_centering(*rbf, encoded);
+    }
+  }
+  hd::OneShotLearner::fit(model, encoded, train.labels);
+
+  util::Matrix encoded_eval;
+  encoder->encode_batch(eval.features, encoded_eval);
+
+  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    const hd::EpochStats epoch =
+        learner.train_epoch_shuffled(model, encoded, train.labels, shuffle_rng);
+    IterationTrace trace;
+    trace.iteration = iter;
+    trace.online_train_accuracy = epoch.online_accuracy();
+    const auto predictions = model.predict_batch(encoded_eval);
+    trace.test_accuracy = metrics::accuracy(predictions, eval.labels);
+    golden.trace.push_back(trace);
+    golden.iterations_run = iter + 1;
+    if (config.stop_when_converged && epoch.mispredictions == 0) break;
+  }
+
+  golden.effective_dim = config.dim;
+  golden.class_vectors = model.class_vectors();
+  golden.test_predictions = model.predict_batch(encoded_eval);
+  return golden;
+}
+
+GoldenTrace legacy_neuralhd_fit(const NeuralHDConfig& config,
+                                const data::Dataset& train,
+                                const data::Dataset& eval) {
+  GoldenTrace golden;
+  golden.physical_dim = config.dim;
+
+  util::Rng rng(config.seed);
+  util::Rng shuffle_rng = rng.split(1);
+  util::Rng regen_rng = rng.split(2);
+
+  auto encoder = std::make_unique<hd::RbfEncoder>(
+      train.num_features(), config.dim, rng.split(3).next_u64());
+  hd::ClassModel model(train.num_classes, config.dim);
+  const hd::AdaptiveLearner learner(config.learning_rate);
+
+  util::Matrix encoded;
+  encoder->encode_batch(train.features, encoded);
+  if (config.center_encodings) {
+    hd::calibrate_output_centering(*encoder, encoded);
+  }
+  hd::OneShotLearner::fit(model, encoded, train.labels);
+
+  util::Matrix encoded_eval;
+  encoder->encode_batch(eval.features, encoded_eval);
+
+  const auto budget = static_cast<std::size_t>(
+      config.regen_rate * static_cast<double>(config.dim));
+
+  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    const hd::EpochStats epoch =
+        learner.train_epoch_shuffled(model, encoded, train.labels, shuffle_rng);
+    IterationTrace trace;
+    trace.iteration = iter;
+    trace.online_train_accuracy = epoch.online_accuracy();
+
+    const bool last_iteration = (iter + 1 == config.iterations);
+    const bool regen_due = ((iter + 1) % config.regen_every) == 0;
+    std::vector<std::size_t> regenerated_dims;
+    if (!last_iteration && regen_due && budget > 0) {
+      const auto scores = dimension_variance_scores(model);
+      std::vector<std::size_t> order(scores.size());
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      std::partial_sort(order.begin(), order.begin() + budget, order.end(),
+                        [&](std::size_t a, std::size_t b) {
+                          if (scores[a] != scores[b]) {
+                            return scores[a] < scores[b];
+                          }
+                          return a < b;
+                        });
+      regenerated_dims.assign(order.begin(), order.begin() + budget);
+      std::sort(regenerated_dims.begin(), regenerated_dims.end());
+      encoder->regenerate_dimensions(regenerated_dims, regen_rng);
+      encoder->reset_output_offset_dims(regenerated_dims);
+      encoder->reencode_columns(train.features, regenerated_dims, encoded);
+      if (config.center_encodings) {
+        hd::recenter_columns(*encoder, encoded, regenerated_dims);
+      }
+      model.zero_dimensions(regenerated_dims);
+      trace.regenerated = regenerated_dims.size();
+    }
+
+    if (!regenerated_dims.empty()) {
+      encoder->reencode_columns(eval.features, regenerated_dims, encoded_eval);
+    }
+    const auto predictions = model.predict_batch(encoded_eval);
+    trace.test_accuracy = metrics::accuracy(predictions, eval.labels);
+    golden.trace.push_back(trace);
+    golden.iterations_run = iter + 1;
+
+    if (config.stop_when_converged && epoch.mispredictions == 0 &&
+        trace.regenerated == 0) {
+      break;
+    }
+  }
+
+  golden.effective_dim = config.dim + encoder->total_regenerated();
+  golden.class_vectors = model.class_vectors();
+  golden.test_predictions = model.predict_batch(encoded_eval);
+  return golden;
+}
+
+GoldenTrace legacy_disthd_fit(const DistHDConfig& config,
+                              const data::Dataset& train,
+                              const data::Dataset& eval) {
+  GoldenTrace golden;
+  golden.physical_dim = config.dim;
+
+  util::Rng rng(config.seed);
+  util::Rng shuffle_rng = rng.split(1);
+  util::Rng regen_rng = rng.split(2);
+
+  auto encoder = std::make_unique<hd::RbfEncoder>(
+      train.num_features(), config.dim, rng.split(3).next_u64());
+  hd::ClassModel model(train.num_classes, config.dim);
+  const hd::AdaptiveLearner learner(config.learning_rate);
+
+  util::Matrix encoded;
+  encoder->encode_batch(train.features, encoded);
+  if (config.center_encodings) {
+    hd::calibrate_output_centering(*encoder, encoded);
+  }
+  hd::OneShotLearner::fit(model, encoded, train.labels);
+
+  util::Matrix encoded_eval;
+  encoder->encode_batch(eval.features, encoded_eval);
+
+  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    const hd::EpochStats epoch =
+        learner.train_epoch_shuffled(model, encoded, train.labels, shuffle_rng);
+    const CategorizeResult categories =
+        categorize_top2(model, encoded, train.labels);
+
+    IterationTrace trace;
+    trace.iteration = iter;
+    trace.online_train_accuracy = epoch.online_accuracy();
+    trace.train_top1 = categories.top1_accuracy();
+    trace.train_top2 = categories.top2_accuracy();
+
+    const bool last_iteration = (iter + 1 == config.iterations);
+    const bool regen_due = ((iter + 1) % config.regen_every) == 0;
+    std::vector<std::size_t> regenerated_dims;
+    if (!last_iteration && regen_due) {
+      const DimensionStatsResult stats = identify_undesired_dimensions(
+          model, encoded, train.labels, categories, config.stats);
+      if (!stats.undesired.empty()) {
+        regenerated_dims = stats.undesired;
+        encoder->regenerate_dimensions(regenerated_dims, regen_rng);
+        encoder->reset_output_offset_dims(regenerated_dims);
+        encoder->reencode_columns(train.features, regenerated_dims, encoded);
+        if (config.center_encodings) {
+          hd::recenter_columns(*encoder, encoded, regenerated_dims);
+        }
+        model.zero_dimensions(regenerated_dims);
+        trace.regenerated = regenerated_dims.size();
+      }
+    }
+
+    if (!regenerated_dims.empty()) {
+      encoder->reencode_columns(eval.features, regenerated_dims, encoded_eval);
+    }
+    const auto predictions = model.predict_batch(encoded_eval);
+    trace.test_accuracy = metrics::accuracy(predictions, eval.labels);
+    golden.trace.push_back(trace);
+    golden.iterations_run = iter + 1;
+
+    if (config.stop_when_converged && epoch.mispredictions == 0 &&
+        trace.regenerated == 0) {
+      break;
+    }
+  }
+
+  for (std::size_t polish = 0; polish < config.polish_epochs; ++polish) {
+    const hd::EpochStats epoch =
+        learner.train_epoch_shuffled(model, encoded, train.labels, shuffle_rng);
+    IterationTrace trace;
+    trace.iteration = golden.iterations_run;
+    trace.online_train_accuracy = epoch.online_accuracy();
+    const auto predictions = model.predict_batch(encoded_eval);
+    trace.test_accuracy = metrics::accuracy(predictions, eval.labels);
+    golden.trace.push_back(trace);
+    ++golden.iterations_run;
+    if (epoch.mispredictions == 0) break;
+  }
+
+  golden.effective_dim = config.dim + encoder->total_regenerated();
+  golden.class_vectors = model.class_vectors();
+  golden.test_predictions = model.predict_batch(encoded_eval);
+  return golden;
+}
+
+// ---- the tests -------------------------------------------------------------
+
+TEST(FitSessionGolden, DistHDMatchesLegacyLoopBitIdentically) {
+  for (const std::uint64_t seed : {3ull, 11ull}) {
+    const auto split = workload(40 + seed);
+    DistHDConfig config;
+    config.dim = 96;
+    config.iterations = 7;
+    config.regen_every = 2;
+    config.polish_epochs = 2;
+    config.stop_when_converged = false;
+    config.seed = seed;
+
+    const auto reference = legacy_disthd_fit(config, split.train, split.test);
+
+    DistHDTrainer trainer(config);
+    const auto classifier = trainer.fit(split.train, &split.test);
+    expect_identical(reference, trainer.last_result(),
+                     classifier.model().class_vectors(),
+                     classifier.predict_batch(split.test.features));
+  }
+}
+
+TEST(FitSessionGolden, DistHDMatchesLegacyWithConvergenceStop) {
+  const auto split = workload(51);
+  DistHDConfig config;
+  config.dim = 128;
+  config.iterations = 12;
+  config.regen_every = 3;
+  config.polish_epochs = 3;
+  config.stop_when_converged = true;
+  config.seed = 7;
+
+  const auto reference = legacy_disthd_fit(config, split.train, split.test);
+
+  DistHDTrainer trainer(config);
+  const auto classifier = trainer.fit(split.train, &split.test);
+  expect_identical(reference, trainer.last_result(),
+                   classifier.model().class_vectors(),
+                   classifier.predict_batch(split.test.features));
+}
+
+TEST(FitSessionGolden, NeuralHDMatchesLegacyLoopBitIdentically) {
+  for (const std::uint64_t seed : {3ull, 11ull}) {
+    const auto split = workload(60 + seed);
+    NeuralHDConfig config;
+    config.dim = 100;
+    config.iterations = 6;
+    config.regen_rate = 0.10;
+    config.regen_every = 2;
+    config.stop_when_converged = false;
+    config.seed = seed;
+
+    const auto reference = legacy_neuralhd_fit(config, split.train, split.test);
+
+    NeuralHDTrainer trainer(config);
+    const auto classifier = trainer.fit(split.train, &split.test);
+    expect_identical(reference, trainer.last_result(),
+                     classifier.model().class_vectors(),
+                     classifier.predict_batch(split.test.features));
+  }
+}
+
+TEST(FitSessionGolden, BaselineHDMatchesLegacyLoopBothEncoders) {
+  for (const auto kind :
+       {StaticEncoderKind::projection, StaticEncoderKind::rbf}) {
+    const auto split = workload(73);
+    BaselineHDConfig config;
+    config.dim = 128;
+    config.iterations = 6;
+    config.encoder = kind;
+    config.seed = 5;
+
+    const auto reference =
+        legacy_baselinehd_fit(config, split.train, split.test);
+
+    BaselineHDTrainer trainer(config);
+    const auto classifier = trainer.fit(split.train, &split.test);
+    expect_identical(reference, trainer.last_result(),
+                     classifier.model().class_vectors(),
+                     classifier.predict_batch(split.test.features));
+  }
+}
+
+TEST(FitSessionGolden, NoEvalTraceMatchesEvalTraceTrainFields) {
+  // The eval set is instrumentation only: dropping it must not change any
+  // training-side field of the trace (same RNG streams, same regens).
+  const auto split = workload(81);
+  DistHDConfig config;
+  config.dim = 64;
+  config.iterations = 5;
+  config.regen_every = 2;
+  config.polish_epochs = 1;
+  config.stop_when_converged = false;
+  config.seed = 13;
+
+  DistHDTrainer with_eval(config);
+  with_eval.fit(split.train, &split.test);
+  DistHDTrainer without_eval(config);
+  without_eval.fit(split.train);
+
+  const auto& a = with_eval.last_result();
+  const auto& b = without_eval.last_result();
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.trace[i].online_train_accuracy,
+                     b.trace[i].online_train_accuracy);
+    EXPECT_EQ(a.trace[i].regenerated, b.trace[i].regenerated);
+    EXPECT_TRUE(std::isnan(b.trace[i].test_accuracy));
+  }
+  EXPECT_EQ(a.effective_dim, b.effective_dim);
+}
+
+}  // namespace
+}  // namespace disthd::core

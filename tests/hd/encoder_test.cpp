@@ -368,6 +368,54 @@ TEST(IdLevelEncoder, OutOfRangeValuesClamp) {
   EXPECT_EQ(h_over, h_max);
 }
 
+TEST(IdLevelEncoder, ValuesBelowLoClampToLo) {
+  const IdLevelEncoder encoder(1, 1024, 8, -1.0f, 1.0f, 7);
+  std::vector<float> h_under(1024), h_lo(1024);
+  const float under[] = {-9.0f};
+  const float lo_val[] = {-1.0f};
+  encoder.encode(under, h_under);
+  encoder.encode(lo_val, h_lo);
+  EXPECT_EQ(h_under, h_lo);
+}
+
+TEST(IdLevelEncoder, LevelChainSimilarityDecaysMonotonically) {
+  // The level chain flips a disjoint random slice per step, so similarity to
+  // the lowest level must decay monotonically (and roughly linearly) as the
+  // feature value walks up through the levels.
+  constexpr std::size_t kLevels = 16;
+  const IdLevelEncoder encoder(1, 8192, kLevels, 0.0f, 1.0f, 11);
+  EXPECT_EQ(encoder.num_levels(), kLevels);
+  std::vector<float> h_base(8192), h(8192);
+  const float base_val[] = {0.0f};
+  encoder.encode(base_val, h_base);
+  double previous = 1.0;
+  for (std::size_t level = 1; level < kLevels; ++level) {
+    // Center of each level bucket: level l covers [l/L, (l+1)/L).
+    const float value[] = {(static_cast<float>(level) + 0.5f) /
+                           static_cast<float>(kLevels)};
+    encoder.encode(value, h);
+    const double sim = similarity(h_base, h);
+    EXPECT_LT(sim, previous) << "level " << level;
+    previous = sim;
+  }
+  // The far end of the chain is near-orthogonal (half the slice flipped).
+  EXPECT_LT(previous, 0.15);
+}
+
+TEST(IdLevelEncoder, MultiFeatureBundleReflectsPerFeatureAgreement) {
+  // With two features, flipping only one of them moves the encoding less
+  // than flipping both (record encoding bundles ID*level per feature).
+  const IdLevelEncoder encoder(2, 8192, 8, 0.0f, 1.0f, 13);
+  std::vector<float> h00(8192), h01(8192), h11(8192);
+  const float both_lo[] = {0.05f, 0.05f};
+  const float one_hi[] = {0.05f, 0.95f};
+  const float both_hi[] = {0.95f, 0.95f};
+  encoder.encode(both_lo, h00);
+  encoder.encode(one_hi, h01);
+  encoder.encode(both_hi, h11);
+  EXPECT_GT(similarity(h00, h01), similarity(h00, h11));
+}
+
 // Sweep the RBF encoder contract over (features, dim) shapes.
 class RbfEncoderShapes
     : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};

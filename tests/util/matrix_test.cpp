@@ -34,6 +34,24 @@ TEST(Matrix, ReshapeZeroes) {
   for (std::size_t r = 0; r < 3; ++r) EXPECT_FLOAT_EQ(m(r, 0), 0.0f);
 }
 
+TEST(Matrix, ReshapeUninitializedSetsShapeWithoutClearing) {
+  Matrix m(2, 2, 5.0f);
+  m.reshape_uninitialized(4, 3);
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 12u);
+  // Contents are unspecified; the contract is only that every element is
+  // writable and the shape is right.
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) m(r, c) = 1.0f;
+  }
+  m.reshape_uninitialized(2, 2);
+  EXPECT_EQ(m.size(), 4u);
+  m.reshape_uninitialized(0, 7);
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
 TEST(Matrix, GatherRows) {
   Matrix m(3, 2);
   for (std::size_t r = 0; r < 3; ++r) {
@@ -202,6 +220,60 @@ TEST(MatrixKernels, TransposeRoundTrip) {
   EXPECT_EQ(round_trip, m);
 }
 
+TEST(VectorKernels, DotsRowsBitIdenticalToPerRowDot) {
+  Rng rng(91);
+  Matrix m(11, 135);  // odd row count and k straddling the 8-lane unroll
+  m.fill_normal(rng);
+  std::vector<float> v(135);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  std::vector<double> out(m.rows());
+  dots_rows(m, v, out);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    EXPECT_EQ(out[r], dot(m.row(r), v)) << "row " << r;
+  }
+}
+
+TEST(MatrixKernels, RowDotsNtMatchesMatmulColumns) {
+  // row_dots_nt is the exposed micro-kernel of matmul_nt; a sub-range call
+  // must produce exactly the bytes the full GEMM writes for those columns.
+  Rng rng(93);
+  for (const std::size_t k : {1u, 7u, 8u, 9u, 64u, 67u}) {
+    Matrix a(3, k), b(21, k);
+    a.fill_normal(rng);
+    b.fill_normal(rng);
+    Matrix full;
+    matmul_nt(a, b, full);
+    std::vector<float> out(5);
+    row_dots_nt(a.row(1), b, /*col_begin=*/13, out);
+    for (std::size_t j = 0; j < out.size(); ++j) {
+      EXPECT_EQ(out[j], full(1, 13 + j)) << "k=" << k << " j=" << j;
+    }
+  }
+}
+
+TEST(MatrixKernels, MatmulNtEmptyShapes) {
+  // Degenerate shapes must produce well-formed (possibly empty) outputs.
+  Matrix a(0, 5), b(3, 5), out;
+  matmul_nt(a, b, out);
+  EXPECT_EQ(out.rows(), 0u);
+  EXPECT_EQ(out.cols(), 3u);
+
+  Matrix a2(4, 5), b2(0, 5);
+  matmul_nt(a2, b2, out);
+  EXPECT_EQ(out.rows(), 4u);
+  EXPECT_EQ(out.cols(), 0u);
+  EXPECT_TRUE(out.empty());
+
+  // k == 0: every dot is an empty sum.
+  Matrix a3(2, 0), b3(3, 0);
+  matmul_nt(a3, b3, out);
+  ASSERT_EQ(out.rows(), 2u);
+  ASSERT_EQ(out.cols(), 3u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_FLOAT_EQ(out.data()[i], 0.0f);
+  }
+}
+
 // Property sweep: matmul_nt against a naive reference across shapes.
 class MatmulProperty
     : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
@@ -230,7 +302,11 @@ INSTANTIATE_TEST_SUITE_P(Shapes, MatmulProperty,
                                            std::tuple{3, 2, 7},
                                            std::tuple{8, 8, 8},
                                            std::tuple{17, 5, 33},
-                                           std::tuple{64, 3, 129}));
+                                           std::tuple{64, 3, 129},
+                                           // k straddling the 8-lane unroll
+                                           std::tuple{5, 9, 15},
+                                           std::tuple{2, 300, 17},  // n > tile
+                                           std::tuple{9, 257, 8}));
 
 }  // namespace
 }  // namespace disthd::util
