@@ -1,0 +1,231 @@
+// Serving throughput/latency harness (ISSUE 3 tentpole).
+//
+// Drives the InferenceEngine with closed-loop clients (each keeps a fixed
+// window of in-flight requests) against a fixed published snapshot and
+// sweeps micro-batch size and worker count. Reports throughput and p50/p99
+// request latency per configuration, plus the headline ratio of the best
+// batched configuration over the single-request single-worker baseline
+// (window 1, batch 1 — one request-response at a time). Batching wins even
+// on one core: a batch of rows amortizes the queue/wakeup overhead and runs
+// through the fused cache-blocked encode_batch/scores_batch kernels instead
+// of per-request sweeps.
+//
+//   --requests N     requests per client (default 2000; 400 in --quick)
+//   --clients C      client threads per configuration (default 2)
+//   --features F     input feature count (default 54, PAMAP2-like)
+//   --dim D          hypervector dimensionality (default 64)
+//   --classes K      number of classes (default 5)
+//
+// The default model is the paper's smallest Table-I deployment shape
+// (PAMAP2 sensors at the compressed dimensionality the e2e suite uses):
+// per-request compute is a few microseconds, so serving overhead — context
+// switches, queue wakeups — dominates, which is exactly the regime
+// micro-batching exists for. Larger models (--dim 512 and up) become
+// GEMM-bound on one core and the batching ratio shrinks toward 1; on
+// multi-core hosts the worker sweep recovers it.
+//   --out FILE       JSON report path (default BENCH_serving.json)
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "hd/encoder.hpp"
+#include "hd/model.hpp"
+#include "serve/inference_engine.hpp"
+#include "util/timer.hpp"
+
+using namespace disthd;
+
+namespace {
+
+struct RunConfig {
+  std::size_t max_batch = 1;
+  std::size_t workers = 1;
+  std::size_t clients = 1;
+  std::size_t window = 1;  // in-flight requests per client
+};
+
+struct RunResult {
+  RunConfig config;
+  double throughput_rps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_batch = 0.0;
+};
+
+core::HdcClassifier make_classifier(std::size_t features, std::size_t dim,
+                                    std::size_t classes, std::uint64_t seed) {
+  auto encoder = std::make_unique<hd::RbfEncoder>(features, dim, seed);
+  hd::ClassModel model(classes, dim);
+  util::Rng rng(seed ^ 0x5e);
+  model.mutable_class_vectors().fill_normal(rng, 0.0, 1.0);
+  model.refresh_norms();
+  return core::HdcClassifier(std::move(encoder), std::move(model));
+}
+
+double percentile(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const auto index = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_ms.size() - 1));
+  return sorted_ms[index];
+}
+
+RunResult run_one(const serve::SnapshotSlot& slot, const util::Matrix& queries,
+                  const RunConfig& config, std::size_t requests_per_client) {
+  serve::InferenceEngineConfig engine_config;
+  engine_config.max_batch = config.max_batch;
+  engine_config.workers = config.workers;
+  engine_config.queue_capacity =
+      std::max<std::size_t>(1024, config.clients * config.window * 2);
+  engine_config.flush_deadline = std::chrono::microseconds(200);
+  serve::InferenceEngine engine(slot, engine_config);
+
+  std::vector<std::vector<double>> latencies(config.clients);
+  std::vector<std::thread> clients;
+  clients.reserve(config.clients);
+  util::WallTimer wall;
+  for (std::size_t c = 0; c < config.clients; ++c) {
+    clients.emplace_back([&, c] {
+      auto& samples = latencies[c];
+      samples.reserve(requests_per_client);
+      // Sliding window of in-flight requests; each latency sample spans
+      // submit -> response (queue wait + batch + scoring).
+      std::deque<std::pair<util::WallTimer,
+                           std::future<serve::PredictResponse>>> inflight;
+      std::size_t next = 0;
+      auto drain_front = [&] {
+        inflight.front().second.get();
+        samples.push_back(inflight.front().first.milliseconds());
+        inflight.pop_front();
+      };
+      for (std::size_t r = 0; r < requests_per_client; ++r) {
+        if (inflight.size() >= config.window) drain_front();
+        const auto row = queries.row((c * requests_per_client + next++) %
+                                     queries.rows());
+        inflight.emplace_back(util::WallTimer{}, engine.submit(row));
+      }
+      while (!inflight.empty()) drain_front();
+    });
+  }
+  for (auto& client : clients) client.join();
+  const double elapsed = wall.seconds();
+  engine.shutdown();
+
+  RunResult result;
+  result.config = config;
+  const auto total =
+      static_cast<double>(config.clients * requests_per_client);
+  result.throughput_rps = total / elapsed;
+  std::vector<double> all;
+  for (auto& samples : latencies) {
+    all.insert(all.end(), samples.begin(), samples.end());
+  }
+  std::sort(all.begin(), all.end());
+  result.p50_ms = percentile(all, 0.50);
+  result.p99_ms = percentile(all, 0.99);
+  result.mean_batch = engine.stats().mean_batch_size();
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::ArgParser args(argc, argv);
+  auto options = bench::parse_options(argc, argv);
+  const auto features = static_cast<std::size_t>(args.get_int("features", 54));
+  const auto dim = static_cast<std::size_t>(args.get_int("dim", 64));
+  const auto classes = static_cast<std::size_t>(args.get_int("classes", 5));
+  const auto clients = static_cast<std::size_t>(args.get_int("clients", 2));
+  const auto requests = static_cast<std::size_t>(
+      args.get_int("requests", options.quick ? 400 : 2000));
+  const std::string out_path = args.get("out", "BENCH_serving.json");
+  bench::print_provenance("serving throughput/latency", options);
+
+  serve::SnapshotSlot slot(
+      make_classifier(features, dim, classes, options.seed));
+  util::Matrix queries(256, features);
+  util::Rng rng(options.seed ^ 0x9);
+  queries.fill_normal(rng, 0.0, 1.0);
+
+  // Baseline first: strictly serial request-response on one worker.
+  std::vector<RunConfig> configs;
+  configs.push_back({1, 1, 1, 1});
+  const std::vector<std::size_t> batches =
+      options.quick ? std::vector<std::size_t>{8, 64}
+                    : std::vector<std::size_t>{1, 8, 64};
+  const std::vector<std::size_t> workers =
+      options.quick ? std::vector<std::size_t>{2}
+                    : std::vector<std::size_t>{1, 2, 4};
+  for (const auto batch : batches) {
+    for (const auto worker_count : workers) {
+      // Window of 2x the batch per client keeps a full batch queued while
+      // the previous one is being scored, so workers never stall on the
+      // flush deadline.
+      configs.push_back({batch, worker_count, clients,
+                         std::max<std::size_t>(2, batch * 2)});
+    }
+  }
+
+  std::vector<RunResult> results;
+  std::printf("%8s %8s %8s %8s %12s %9s %9s %10s\n", "batch", "workers",
+              "clients", "window", "rps", "p50_ms", "p99_ms", "mean_bat");
+  for (const auto& config : configs) {
+    const auto result = run_one(slot, queries, config, requests);
+    results.push_back(result);
+    std::printf("%8zu %8zu %8zu %8zu %12.0f %9.3f %9.3f %10.2f\n",
+                config.max_batch, config.workers, config.clients,
+                config.window, result.throughput_rps, result.p50_ms,
+                result.p99_ms, result.mean_batch);
+  }
+
+  const double baseline = results.front().throughput_rps;
+  double best = baseline;
+  for (const auto& result : results) {
+    best = std::max(best, result.throughput_rps);
+  }
+  const double speedup = baseline > 0.0 ? best / baseline : 0.0;
+  std::printf("\nbest batched throughput %.0f rps = %.2fx the single-request "
+              "single-worker baseline (%.0f rps)\n",
+              best, speedup, baseline);
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n  \"bench\": \"serving\",\n";
+  out << "  \"features\": " << features << ", \"dim\": " << dim
+      << ", \"classes\": " << classes << ",\n";
+  out << "  \"requests_per_client\": " << requests << ",\n";
+  out << "  \"baseline_rps\": " << baseline << ",\n";
+  out << "  \"best_rps\": " << best << ",\n";
+  out << "  \"speedup_best_vs_baseline\": " << speedup << ",\n";
+  out << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    out << "    {\"max_batch\": " << r.config.max_batch
+        << ", \"workers\": " << r.config.workers
+        << ", \"clients\": " << r.config.clients
+        << ", \"window\": " << r.config.window
+        << ", \"throughput_rps\": " << r.throughput_rps
+        << ", \"p50_ms\": " << r.p50_ms << ", \"p99_ms\": " << r.p99_ms
+        << ", \"mean_batch\": " << r.mean_batch << "}"
+        << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // The tentpole acceptance bar: batching + workers must at least double
+  // single-request single-worker throughput on the same machine.
+  if (speedup < 2.0) {
+    std::fprintf(stderr,
+                 "WARNING: best/baseline speedup %.2fx below the 2x bar\n",
+                 speedup);
+    return args.get_bool("enforce-speedup", false) ? 1 : 0;
+  }
+  return 0;
+}

@@ -157,6 +157,7 @@ void OnlineDistHD::partial_fit(const util::Matrix& features,
     // Give regenerated dimensions one rehearsal epoch immediately.
     session_.run_epoch(reservoir_encoded_, reservoir_labels_);
   }
+  ++revision_;
 }
 
 int OnlineDistHD::predict(std::span<const float> features) const {

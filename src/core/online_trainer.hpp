@@ -54,6 +54,10 @@ public:
   std::size_t dimensionality() const noexcept { return config_.dim; }
   std::size_t chunks_seen() const noexcept { return chunks_seen_; }
   std::size_t samples_seen() const noexcept { return samples_seen_; }
+  /// Monotonic counter bumped whenever partial_fit changes the deployable
+  /// model. Snapshot publishers compare it to skip redundant model copies
+  /// (see serve/online_publish.hpp) — polling a quiet learner is free.
+  std::uint64_t revision() const noexcept { return revision_; }
   std::size_t reservoir_size() const noexcept { return reservoir_labels_.size(); }
   std::size_t total_regenerated() const noexcept;
 
@@ -88,6 +92,7 @@ private:
 
   std::size_t chunks_seen_ = 0;
   std::size_t samples_seen_ = 0;
+  std::uint64_t revision_ = 0;
   bool centering_initialized_ = false;
 };
 

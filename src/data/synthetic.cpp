@@ -113,6 +113,12 @@ TrainTestSplit make_synthetic(const SyntheticSpec& spec) {
 
 // Difficulty profiles are calibrated so that the relative orderings of the
 // paper's Fig. 4 hold on the synthetic stand-ins (see EXPERIMENTS.md).
+//
+// Latent ranks target the low-rank window mapped by bench_encoder_crossover
+// (RBF-family encoders beat bipolar projection for latent rank between
+// ~n/24 and ~n/4 of the feature count): the stand-ins sit near n/8 — the
+// correlated-sensor regime the paper evaluates in. pamap2/diabetes were
+// already inside the window (n/5.4 and n/4.9) and keep their ranks.
 
 SyntheticSpec mnist_like_spec(double scale, std::uint64_t seed) {
   SyntheticSpec spec;
@@ -124,7 +130,7 @@ SyntheticSpec mnist_like_spec(double scale, std::uint64_t seed) {
   spec.clusters_per_class = 6;
   spec.prototype_scale = 1.0;
   spec.cluster_spread = 1.0;
-  spec.latent_dim = 24;
+  spec.latent_dim = 24;  // absolute rank inside the crossover window
   spec.seed = seed;
   return spec;
 }
@@ -139,7 +145,7 @@ SyntheticSpec ucihar_like_spec(double scale, std::uint64_t seed) {
   spec.clusters_per_class = 4;
   spec.prototype_scale = 1.0;
   spec.cluster_spread = 1.0;
-  spec.latent_dim = 16;
+  spec.latent_dim = 16;  // absolute rank inside the crossover window
   spec.seed = seed + 1;
   return spec;
 }
@@ -154,7 +160,7 @@ SyntheticSpec isolet_like_spec(double scale, std::uint64_t seed) {
   spec.clusters_per_class = 3;
   spec.prototype_scale = 1.0;
   spec.cluster_spread = 1.0;
-  spec.latent_dim = 20;
+  spec.latent_dim = 20;  // absolute rank inside the crossover window
   spec.seed = seed + 2;
   return spec;
 }

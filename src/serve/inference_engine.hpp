@@ -1,0 +1,119 @@
+// Micro-batching concurrent inference engine.
+//
+// Predict requests are pushed onto a bounded queue; batch workers collect
+// them into micro-batches (flushed when max_batch requests are pending or a
+// flush deadline elapses, whichever is first — SHEARer-style batching turns
+// n scalar encodes into one fused encode_batch/scores_batch sweep) and score
+// each batch against the snapshot current at pop time. The model is read
+// through SnapshotSlot::current() only, so a trainer can publish new
+// snapshots — including after dimension regenerations — while the engine
+// serves, with zero reader locking and no torn encoder/model state. Each
+// response carries the version of the snapshot that produced it.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "serve/model_snapshot.hpp"
+
+namespace disthd::serve {
+
+struct InferenceEngineConfig {
+  /// Flush a micro-batch as soon as this many requests are pending.
+  std::size_t max_batch = 64;
+  /// Flush a partial batch this long after its first request was claimed.
+  std::chrono::microseconds flush_deadline{200};
+  /// Pending-request bound; submit() blocks while the queue is full.
+  std::size_t queue_capacity = 1024;
+  /// Batch worker threads (each collects and scores whole batches; the
+  /// fused kernels inside additionally fan out over the global pool).
+  std::size_t workers = 1;
+
+  void validate() const;
+};
+
+/// One served prediction, attributable to one published model snapshot.
+struct PredictResponse {
+  std::uint64_t version = 0;  ///< snapshot that produced this answer
+  int label = -1;             ///< argmax class
+  double score = 0.0;         ///< cosine score of the winning class
+};
+
+struct EngineStats {
+  std::uint64_t requests = 0;       ///< requests popped into batches
+  std::uint64_t batches = 0;        ///< batches flushed
+  std::uint64_t largest_batch = 0;  ///< max rows in one batch
+
+  double mean_batch_size() const noexcept {
+    return batches == 0
+               ? 0.0
+               : static_cast<double>(requests) / static_cast<double>(batches);
+  }
+};
+
+class InferenceEngine {
+public:
+  /// The slot must already hold a snapshot (it pins the feature layout).
+  /// The engine keeps a reference; the slot must outlive it.
+  explicit InferenceEngine(const SnapshotSlot& slot,
+                           InferenceEngineConfig config = {});
+
+  /// Graceful: drains every pending request before the workers exit.
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  std::size_t num_features() const noexcept { return num_features_; }
+
+  /// Enqueues one feature vector (copied) and returns a future for its
+  /// prediction. Blocks while the queue is at capacity. Throws
+  /// std::invalid_argument on a feature-count mismatch and
+  /// std::runtime_error after shutdown.
+  std::future<PredictResponse> submit(std::span<const float> features);
+
+  /// Convenience: submit + wait.
+  PredictResponse predict(std::span<const float> features);
+
+  /// Stops accepting requests, serves everything already queued, and joins
+  /// the workers. Idempotent; also run by the destructor.
+  void shutdown();
+
+  EngineStats stats() const;
+
+private:
+  struct Request {
+    std::vector<float> features;
+    std::promise<PredictResponse> promise;
+  };
+
+  void serve_loop();
+  void process_batch(std::vector<Request>& batch);
+
+  const SnapshotSlot& slot_;
+  InferenceEngineConfig config_;
+  std::size_t num_features_ = 0;
+
+  mutable std::mutex mutex_;
+  std::condition_variable request_ready_;
+  std::condition_variable space_available_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+  EngineStats stats_;
+
+  // Serializes shutdown end-to-end (including the joins), so a concurrent
+  // second shutdown/destructor cannot return while workers are still alive.
+  std::mutex shutdown_mutex_;
+  bool joined_ = false;  // guarded by shutdown_mutex_
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace disthd::serve

@@ -1,0 +1,43 @@
+#include "serve/line_protocol.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace disthd::serve {
+
+bool parse_feature_line(const std::string& line, std::vector<float>& features,
+                        std::size_t expected_features) {
+  std::size_t first = line.find_first_not_of(" \t\r");
+  if (first == std::string::npos || line[first] == '#') return false;
+
+  const auto fields = util::split_csv_line(line);
+  features.clear();
+  features.reserve(fields.size());
+  for (const auto& field : fields) {
+    char* end = nullptr;
+    const double value = std::strtod(field.c_str(), &end);
+    // Unparsable or blank cells become 0, like disthd_predict's NaN policy.
+    features.push_back(end == field.c_str() ? 0.0f
+                                            : static_cast<float>(value));
+  }
+  if (expected_features != 0 && features.size() != expected_features) {
+    throw std::runtime_error("request line has " +
+                             std::to_string(features.size()) +
+                             " fields, model expects " +
+                             std::to_string(expected_features));
+  }
+  return true;
+}
+
+std::string format_response(const PredictResponse& response) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%llu,%d,%.4f",
+                static_cast<unsigned long long>(response.version),
+                response.label, response.score);
+  return buffer;
+}
+
+}  // namespace disthd::serve

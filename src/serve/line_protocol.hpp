@@ -1,0 +1,32 @@
+// Text protocol of the disthd_serve tool, factored out so the parsing and
+// formatting rules are unit-testable without driving a subprocess.
+//
+// Request lines are plain CSV feature rows ("0.5,-1.2,..."); in replay mode
+// labeled training rows use the same CSV shape with the label in the last
+// column (the disthd_train fixture format). Responses are one line per
+// request: "version,label,score" — version is the snapshot that answered,
+// score the cosine of the winning class, printed with the same %.4f
+// precision as disthd_predict so outputs diff cleanly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "serve/inference_engine.hpp"
+
+namespace disthd::serve {
+
+/// Parses a CSV line of numeric features. Blank and "#"-comment lines
+/// return false. Non-numeric/blank cells parse as 0 (mirroring
+/// disthd_predict's NaN handling). Throws std::runtime_error when
+/// `expected_features` is nonzero and the field count differs.
+bool parse_feature_line(const std::string& line, std::vector<float>& features,
+                        std::size_t expected_features = 0);
+
+/// Formats one response line (no trailing newline).
+std::string format_response(const PredictResponse& response);
+
+/// Header line matching format_response's columns.
+inline const char* response_header() { return "version,label,score"; }
+
+}  // namespace disthd::serve

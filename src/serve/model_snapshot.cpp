@@ -1,0 +1,16 @@
+#include "serve/model_snapshot.hpp"
+
+namespace disthd::serve {
+
+std::uint64_t SnapshotSlot::publish(core::HdcClassifier classifier) {
+  std::lock_guard writer_lock(writer_mutex_);
+  const std::uint64_t version =
+      published_version_.load(std::memory_order_relaxed) + 1;
+  slot_.store(std::make_shared<const ModelSnapshot>(version,
+                                                    std::move(classifier)),
+              std::memory_order_release);
+  published_version_.store(version, std::memory_order_release);
+  return version;
+}
+
+}  // namespace disthd::serve

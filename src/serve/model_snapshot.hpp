@@ -1,0 +1,69 @@
+// Immutable, versioned model snapshots for concurrent serving.
+//
+// DistHD's dimension regeneration rewrites encoder columns *and* class-model
+// columns together, so a reader that interleaves with a writer can observe a
+// torn encoder/model pair — an encoding produced by the new base rows scored
+// against class vectors still carrying the old components. The serving layer
+// therefore never shares mutable state: a writer publishes a deep copy of
+// (encoder + centering offsets + class model) as an immutable ModelSnapshot,
+// and readers grab the whole triple through one atomic shared_ptr load.
+// Every snapshot carries a monotonic version so each response is
+// attributable to exactly one published model.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "core/classifier.hpp"
+
+namespace disthd::serve {
+
+/// One published model: version + the deployable (encoder, model) pair.
+/// Immutable after construction — readers share it by shared_ptr and never
+/// synchronize beyond the slot load.
+struct ModelSnapshot {
+  std::uint64_t version = 0;
+  core::HdcClassifier classifier;
+
+  ModelSnapshot(std::uint64_t snapshot_version, core::HdcClassifier deployed)
+      : version(snapshot_version), classifier(std::move(deployed)) {}
+};
+
+/// The single writer/multi-reader exchange point. Readers call current()
+/// with no locking (one atomic shared_ptr load); a writer publishes a new
+/// snapshot with an atomic store. Versions are assigned by the slot and
+/// strictly increase in the order snapshots become visible, so any reader
+/// performing ordered loads observes a monotonic version sequence.
+class SnapshotSlot {
+public:
+  SnapshotSlot() = default;
+  explicit SnapshotSlot(core::HdcClassifier initial) { publish(std::move(initial)); }
+
+  SnapshotSlot(const SnapshotSlot&) = delete;
+  SnapshotSlot& operator=(const SnapshotSlot&) = delete;
+
+  /// The latest published snapshot; nullptr before the first publish.
+  std::shared_ptr<const ModelSnapshot> current() const noexcept {
+    return slot_.load(std::memory_order_acquire);
+  }
+
+  /// Wraps the classifier into the next-versioned snapshot and makes it
+  /// visible to readers. Returns the assigned version. Safe against
+  /// concurrent publishers (serialized by a writer-side mutex; readers are
+  /// never blocked by it).
+  std::uint64_t publish(core::HdcClassifier classifier);
+
+  /// Version of the latest published snapshot (0 before the first publish).
+  std::uint64_t latest_version() const noexcept {
+    return published_version_.load(std::memory_order_acquire);
+  }
+
+private:
+  std::atomic<std::shared_ptr<const ModelSnapshot>> slot_{nullptr};
+  std::atomic<std::uint64_t> published_version_{0};
+  std::mutex writer_mutex_;
+};
+
+}  // namespace disthd::serve

@@ -1,0 +1,15 @@
+#include "serve/online_publish.hpp"
+
+namespace disthd::serve {
+
+std::uint64_t publish_online(SnapshotSlot& slot,
+                             const core::OnlineDistHD& learner,
+                             std::uint64_t& last_published_revision) {
+  const std::uint64_t revision = learner.revision();
+  if (revision == last_published_revision) return 0;
+  const std::uint64_t version = slot.publish(learner.snapshot());
+  last_published_revision = revision;
+  return version;
+}
+
+}  // namespace disthd::serve

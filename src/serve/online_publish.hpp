@@ -1,0 +1,26 @@
+// Writer-side bridge: OnlineDistHD -> SnapshotSlot.
+//
+// The streaming trainer keeps mutating its encoder/model in place; serving
+// readers must never touch that state. publish_online() deep-copies the
+// learner's deployable state (OnlineDistHD::snapshot()) and publishes it —
+// but only when the learner's revision counter has advanced, so a publisher
+// polling a quiet learner costs two integer reads, not a model copy.
+#pragma once
+
+#include <cstdint>
+
+#include "core/online_trainer.hpp"
+#include "serve/model_snapshot.hpp"
+
+namespace disthd::serve {
+
+/// Publishes `learner`'s current model into `slot` iff learner.revision()
+/// differs from `last_published_revision` (pass 0 initially; updated on
+/// publish). Returns the new snapshot version, or 0 when nothing changed.
+/// Must be called from the thread driving partial_fit (it reads the
+/// learner's live state).
+std::uint64_t publish_online(SnapshotSlot& slot,
+                             const core::OnlineDistHD& learner,
+                             std::uint64_t& last_published_revision);
+
+}  // namespace disthd::serve

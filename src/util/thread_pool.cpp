@@ -33,13 +33,66 @@ void ThreadPool::worker_loop() {
     {
       std::unique_lock lock(mutex_);
       task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
-      if (stopping_ && tasks_.empty()) return;
+      if (tasks_.empty()) return;  // stopping_ and fully drained
       task = std::move(tasks_.front());
       tasks_.pop();
     }
     task();
   }
 }
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_) {
+      throw std::runtime_error("ThreadPool::submit: pool is shutting down");
+    }
+    tasks_.push(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+namespace {
+
+/// Shared chunk-claiming state of one parallel_for call. Heap-allocated and
+/// reference-counted because helper tasks can outlive the call: a helper
+/// that wakes after every chunk was claimed just returns. fn is only
+/// dereferenced while a chunk is held, and a chunk can only be claimed
+/// before its completion is counted — i.e. while the caller still blocks in
+/// parallel_for and fn is alive.
+struct ParallelForState {
+  const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+  std::size_t count = 0;
+  std::size_t chunk_size = 0;
+  std::size_t chunks = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> remaining{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::exception_ptr error;
+  std::mutex error_mutex;
+};
+
+void run_chunks(const std::shared_ptr<ParallelForState>& state) {
+  for (;;) {
+    const std::size_t c = state->next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= state->chunks) return;
+    const std::size_t begin = c * state->chunk_size;
+    const std::size_t end = std::min(state->count, begin + state->chunk_size);
+    try {
+      if (begin < end) (*state->fn)(begin, end);
+    } catch (...) {
+      std::lock_guard error_lock(state->error_mutex);
+      if (!state->error) state->error = std::current_exception();
+    }
+    if (state->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard done_lock(state->done_mutex);
+      state->done_cv.notify_all();
+    }
+  }
+}
+
+}  // namespace
 
 void ThreadPool::parallel_for(
     std::size_t count, const std::function<void(std::size_t, std::size_t)>& fn,
@@ -54,41 +107,35 @@ void ThreadPool::parallel_for(
       std::min(workers * 4, std::max<std::size_t>(1, count / min_chunk));
   const std::size_t chunk_size = (count + chunks - 1) / chunks;
 
-  struct State {
-    std::atomic<std::size_t> remaining;
-    std::mutex done_mutex;
-    std::condition_variable done_cv;
-    std::exception_ptr error;
-    std::mutex error_mutex;
-  } state;
-  state.remaining.store(chunks, std::memory_order_relaxed);
+  auto state = std::make_shared<ParallelForState>();
+  state->fn = &fn;
+  state->count = count;
+  state->chunk_size = chunk_size;
+  state->chunks = chunks;
+  state->remaining.store(chunks, std::memory_order_relaxed);
 
+  // The caller claims chunks too, so at most chunks - 1 helpers are useful.
+  const std::size_t helpers = std::min(workers, chunks - 1);
   {
     std::lock_guard lock(mutex_);
-    for (std::size_t c = 0; c < chunks; ++c) {
-      const std::size_t begin = c * chunk_size;
-      const std::size_t end = std::min(count, begin + chunk_size);
-      tasks_.push([&state, &fn, begin, end] {
-        try {
-          if (begin < end) fn(begin, end);
-        } catch (...) {
-          std::lock_guard error_lock(state.error_mutex);
-          if (!state.error) state.error = std::current_exception();
-        }
-        if (state.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-          std::lock_guard done_lock(state.done_mutex);
-          state.done_cv.notify_one();
-        }
-      });
+    // Never throw here even mid-shutdown (a worker draining the queue may
+    // legitimately reach a nested parallel_for): with zero helpers the
+    // caller simply runs every chunk itself.
+    if (!stopping_) {
+      for (std::size_t h = 0; h < helpers; ++h) {
+        tasks_.push([state] { run_chunks(state); });
+      }
     }
   }
   task_ready_.notify_all();
 
-  std::unique_lock done_lock(state.done_mutex);
-  state.done_cv.wait(done_lock, [&state] {
-    return state.remaining.load(std::memory_order_acquire) == 0;
+  run_chunks(state);
+
+  std::unique_lock done_lock(state->done_mutex);
+  state->done_cv.wait(done_lock, [&state] {
+    return state->remaining.load(std::memory_order_acquire) == 0;
   });
-  if (state.error) std::rethrow_exception(state.error);
+  if (state->error) std::rethrow_exception(state->error);
 }
 
 ThreadPool& global_pool() {

@@ -1,16 +1,27 @@
-// Minimal fixed-size thread pool with a blocking parallel_for.
+// Minimal fixed-size thread pool with a blocking parallel_for and
+// fire-and-forget task submission with futures.
 //
 // The HDC pipeline is embarrassingly parallel over samples (encoding,
 // similarity search, distance-matrix accumulation), so a chunked
 // parallel_for over row ranges covers every hot loop in the library.
+// parallel_for is re-entrant: a task running on the pool can fan a fused
+// kernel out over the same pool, because the caller of parallel_for always
+// participates in executing its own chunks — nested calls make progress
+// even when every worker is busy, and can never deadlock. submit() offers
+// future-returning one-off scheduling for background work that should not
+// block the caller (the serving engine runs dedicated batch threads and
+// does NOT use it; see tests/util/thread_pool_test.cpp for the contract).
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace disthd::util {
@@ -19,6 +30,9 @@ class ThreadPool {
 public:
   /// Creates `num_threads` workers; 0 means hardware_concurrency (min 1).
   explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Graceful shutdown: tasks already queued (including submit futures) are
+  /// drained before the workers exit.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -26,16 +40,32 @@ public:
 
   std::size_t size() const noexcept { return workers_.size(); }
 
-  /// Runs fn(begin, end) over contiguous chunks of [0, count) on the pool
-  /// and blocks until all chunks complete. Falls back to a direct call when
-  /// the range is small or the pool has a single worker. Exceptions thrown
-  /// by fn propagate to the caller (first one wins).
+  /// Runs fn(begin, end) over contiguous chunks of [0, count) and blocks
+  /// until all chunks complete. Falls back to a direct call when the range
+  /// is small or the pool has a single worker. The calling thread claims
+  /// chunks alongside the workers, so calling parallel_for from inside a
+  /// pool task is safe (no self-wait deadlock). Exceptions thrown by fn
+  /// propagate to the caller (first one wins).
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t, std::size_t)>& fn,
                     std::size_t min_chunk = 256);
 
+  /// Schedules fn() on the pool and returns a future for its result.
+  /// Exceptions thrown by fn are captured in the future. Throws
+  /// std::runtime_error if the pool is shutting down.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using Result = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<Result()>>(std::forward<F>(fn));
+    std::future<Result> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
 private:
   void worker_loop();
+  void enqueue(std::function<void()> task);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

@@ -1,0 +1,177 @@
+// InferenceEngine unit contract: construction, validation, micro-batch
+// flush triggers (size and deadline), snapshot/version attribution, stats,
+// and shutdown semantics.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <vector>
+
+#include "hd/encoder.hpp"
+#include "hd/model.hpp"
+#include "serve/inference_engine.hpp"
+#include "serve/line_protocol.hpp"
+#include "serve/model_snapshot.hpp"
+#include "util/rng.hpp"
+
+namespace disthd::serve {
+namespace {
+
+constexpr std::size_t kFeatures = 6;
+constexpr std::size_t kDim = 32;
+constexpr std::size_t kClasses = 3;
+
+core::HdcClassifier make_classifier(std::uint64_t seed) {
+  auto encoder = std::make_unique<hd::RbfEncoder>(kFeatures, kDim, seed);
+  hd::ClassModel model(kClasses, kDim);
+  util::Rng rng(seed ^ 0xABC);
+  model.mutable_class_vectors().fill_normal(rng, 0.0, 1.0);
+  model.refresh_norms();
+  return core::HdcClassifier(std::move(encoder), std::move(model));
+}
+
+std::vector<float> query(std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> features(kFeatures);
+  for (auto& f : features) f = static_cast<float>(rng.normal());
+  return features;
+}
+
+TEST(SnapshotSlot, VersionsAreAssignedInPublishOrder) {
+  SnapshotSlot slot;
+  EXPECT_EQ(slot.current(), nullptr);
+  EXPECT_EQ(slot.latest_version(), 0u);
+  EXPECT_EQ(slot.publish(make_classifier(1)), 1u);
+  EXPECT_EQ(slot.publish(make_classifier(2)), 2u);
+  ASSERT_NE(slot.current(), nullptr);
+  EXPECT_EQ(slot.current()->version, 2u);
+  EXPECT_EQ(slot.latest_version(), 2u);
+}
+
+TEST(SnapshotSlot, ReadersKeepOldSnapshotsAlive) {
+  SnapshotSlot slot;
+  slot.publish(make_classifier(1));
+  const auto old_snapshot = slot.current();
+  slot.publish(make_classifier(2));
+  // The superseded snapshot stays fully usable for readers holding it.
+  EXPECT_EQ(old_snapshot->version, 1u);
+  EXPECT_EQ(old_snapshot->classifier.num_features(), kFeatures);
+  const auto q = query(7);
+  (void)old_snapshot->classifier.predict(q);
+}
+
+TEST(InferenceEngine, RequiresPublishedSnapshot) {
+  SnapshotSlot empty;
+  EXPECT_THROW(InferenceEngine(empty, {}), std::invalid_argument);
+}
+
+TEST(InferenceEngine, ValidatesConfig) {
+  SnapshotSlot slot(make_classifier(1));
+  InferenceEngineConfig bad;
+  bad.max_batch = 0;
+  EXPECT_THROW(InferenceEngine(slot, bad), std::invalid_argument);
+  bad = {};
+  bad.workers = 0;
+  EXPECT_THROW(InferenceEngine(slot, bad), std::invalid_argument);
+  bad = {};
+  bad.queue_capacity = 3;
+  bad.max_batch = 8;
+  EXPECT_THROW(InferenceEngine(slot, bad), std::invalid_argument);
+}
+
+TEST(InferenceEngine, RejectsWrongFeatureCount) {
+  SnapshotSlot slot(make_classifier(1));
+  InferenceEngine engine(slot);
+  std::vector<float> short_query(kFeatures - 1, 0.0f);
+  EXPECT_THROW(engine.submit(short_query), std::invalid_argument);
+}
+
+TEST(InferenceEngine, SinglePredictMatchesClassifier) {
+  SnapshotSlot slot(make_classifier(3));
+  InferenceEngine engine(slot);
+  const auto q = query(11);
+  const auto response = engine.predict(q);
+  EXPECT_EQ(response.version, 1u);
+  EXPECT_EQ(response.label, slot.current()->classifier.predict(q));
+}
+
+TEST(InferenceEngine, DeadlineFlushesPartialBatch) {
+  SnapshotSlot slot(make_classifier(3));
+  InferenceEngineConfig config;
+  config.max_batch = 1000;  // never reached
+  config.flush_deadline = std::chrono::microseconds(500);
+  InferenceEngine engine(slot, config);
+  // A single request must be answered without 999 peers arriving.
+  const auto response = engine.predict(query(1));
+  EXPECT_EQ(response.version, 1u);
+  EXPECT_EQ(engine.stats().requests, 1u);
+}
+
+TEST(InferenceEngine, BatchSizeFlushesBeforeDeadline) {
+  SnapshotSlot slot(make_classifier(3));
+  InferenceEngineConfig config;
+  config.max_batch = 4;
+  // A deadline long enough that only the size trigger can flush this fast.
+  config.flush_deadline = std::chrono::seconds(60);
+  InferenceEngine engine(slot, config);
+  std::vector<std::future<PredictResponse>> futures;
+  for (int i = 0; i < 8; ++i) futures.push_back(engine.submit(query(i)));
+  for (auto& future : futures) (void)future.get();
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.requests, 8u);
+  EXPECT_LE(stats.batches, 4u);  // at least two size-triggered flushes
+  EXPECT_GE(stats.largest_batch, 2u);
+}
+
+TEST(InferenceEngine, ResponsesCarryLatestSnapshotVersion) {
+  SnapshotSlot slot(make_classifier(3));
+  InferenceEngine engine(slot);
+  EXPECT_EQ(engine.predict(query(1)).version, 1u);
+  slot.publish(make_classifier(4));
+  EXPECT_EQ(engine.predict(query(1)).version, 2u);
+}
+
+TEST(InferenceEngine, ShutdownDrainsPendingAndRejectsNewSubmits) {
+  SnapshotSlot slot(make_classifier(3));
+  InferenceEngineConfig config;
+  config.max_batch = 64;
+  config.flush_deadline = std::chrono::milliseconds(50);
+  InferenceEngine engine(slot, config);
+  std::vector<std::future<PredictResponse>> futures;
+  for (int i = 0; i < 32; ++i) futures.push_back(engine.submit(query(i)));
+  engine.shutdown();  // must serve all 32, not drop them
+  for (auto& future : futures) {
+    EXPECT_EQ(future.get().version, 1u);
+  }
+  EXPECT_EQ(engine.stats().requests, 32u);
+  EXPECT_THROW(engine.submit(query(0)), std::runtime_error);
+  engine.shutdown();  // idempotent
+}
+
+TEST(LineProtocol, ParsesFeaturesSkipsBlanksAndComments) {
+  std::vector<float> features;
+  EXPECT_FALSE(parse_feature_line("", features));
+  EXPECT_FALSE(parse_feature_line("   ", features));
+  EXPECT_FALSE(parse_feature_line("# comment", features));
+  ASSERT_TRUE(parse_feature_line("1.5,-2,0.25", features));
+  ASSERT_EQ(features.size(), 3u);
+  EXPECT_FLOAT_EQ(features[0], 1.5f);
+  EXPECT_FLOAT_EQ(features[1], -2.0f);
+  EXPECT_FLOAT_EQ(features[2], 0.25f);
+  // Unparsable cells become 0, mirroring disthd_predict's NaN policy.
+  ASSERT_TRUE(parse_feature_line("1,abc,3", features));
+  EXPECT_FLOAT_EQ(features[1], 0.0f);
+  EXPECT_THROW(parse_feature_line("1,2", features, 3), std::runtime_error);
+}
+
+TEST(LineProtocol, FormatsResponse) {
+  PredictResponse response;
+  response.version = 17;
+  response.label = 4;
+  response.score = 0.87654;
+  EXPECT_EQ(format_response(response), "17,4,0.8765");
+  EXPECT_STREQ(response_header(), "version,label,score");
+}
+
+}  // namespace
+}  // namespace disthd::serve

@@ -1,0 +1,120 @@
+// Serving <-> offline parity (ISSUE 3 satellite).
+//
+// Predictions served through the InferenceEngine must be BIT-IDENTICAL to
+// HdcClassifier::predict_batch / scores_batch, for every micro-batch size
+// and worker count: the engine batches whatever requests happen to be
+// pending, so the same query is scored inside differently-shaped batches
+// depending on timing — parity holds because every kernel in the path
+// (encode_batch, scores_batch) computes each row independently of its
+// batch-mates. A trained DistHD classifier on the committed fixture CSVs is
+// the reference model, so regeneration-produced state (offsets, zeroed
+// model columns) is part of what is compared.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "core/disthd_trainer.hpp"
+#include "data/loaders.hpp"
+#include "serve/inference_engine.hpp"
+#include "serve/model_snapshot.hpp"
+
+namespace disthd::serve {
+namespace {
+
+data::Dataset fixture_dataset(const char* name) {
+  return data::load_csv_labeled(std::string(DISTHD_FIXTURE_DIR) + "/" + name,
+                                /*has_header=*/true);
+}
+
+/// Reference classifier trained once on the fixture train CSV.
+const core::HdcClassifier& reference_classifier() {
+  static const core::HdcClassifier classifier = [] {
+    const auto train = fixture_dataset("synth_train.csv");
+    core::DistHDConfig config;
+    config.dim = 96;
+    config.iterations = 12;
+    config.regen_every = 3;
+    config.polish_epochs = 2;
+    config.seed = 5;
+    core::DistHDTrainer trainer(config);
+    return trainer.fit(train, nullptr);
+  }();
+  return classifier;
+}
+
+core::HdcClassifier clone_reference() {
+  const auto& reference = reference_classifier();
+  const auto* rbf =
+      dynamic_cast<const hd::RbfEncoder*>(&reference.encoder());
+  return core::HdcClassifier(std::make_unique<hd::RbfEncoder>(*rbf),
+                             hd::ClassModel(reference.model()));
+}
+
+class ServingParity
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(ServingParity, EngineMatchesOfflinePredictBatchBitExactly) {
+  const auto [batch_size, workers] = GetParam();
+  const auto& reference = reference_classifier();
+  const auto test = fixture_dataset("synth_test.csv");
+
+  const auto expected_labels = reference.predict_batch(test.features);
+  util::Matrix expected_scores;
+  reference.scores_batch(test.features, expected_scores);
+
+  SnapshotSlot slot(clone_reference());
+  InferenceEngineConfig config;
+  config.max_batch = batch_size;
+  config.workers = workers;
+  config.flush_deadline = std::chrono::microseconds(200);
+  InferenceEngine engine(slot, config);
+
+  // Submit everything up front so micro-batches actually form (and split at
+  // ragged boundaries: 45 fixture rows across batch sizes 1/7/64).
+  std::vector<std::future<PredictResponse>> futures;
+  futures.reserve(test.features.rows());
+  for (std::size_t r = 0; r < test.features.rows(); ++r) {
+    futures.push_back(engine.submit(test.features.row(r)));
+  }
+  for (std::size_t r = 0; r < futures.size(); ++r) {
+    const auto response = futures[r].get();
+    ASSERT_EQ(response.label, expected_labels[r]) << "row " << r;
+    // Bit-identical score, not approximately equal: same kernels, same
+    // per-row arithmetic, regardless of how the engine batched the row.
+    ASSERT_EQ(static_cast<float>(response.score),
+              expected_scores(r, static_cast<std::size_t>(response.label)))
+        << "row " << r;
+    ASSERT_EQ(response.version, 1u);
+  }
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.requests, test.features.rows());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BatchSizesAndWorkers, ServingParity,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{1, 1},
+                      std::pair<std::size_t, std::size_t>{1, 2},
+                      std::pair<std::size_t, std::size_t>{7, 1},
+                      std::pair<std::size_t, std::size_t>{7, 2},
+                      std::pair<std::size_t, std::size_t>{7, 8},
+                      std::pair<std::size_t, std::size_t>{64, 1},
+                      std::pair<std::size_t, std::size_t>{64, 8}));
+
+TEST(ServingParity, SingleSubmitMatchesSingleRowBatch) {
+  const auto test = fixture_dataset("synth_test.csv");
+  SnapshotSlot slot(clone_reference());
+  InferenceEngine engine(slot);
+  const auto& reference = reference_classifier();
+  util::Matrix one_row(1, test.features.cols());
+  for (std::size_t r = 0; r < std::min<std::size_t>(8, test.features.rows());
+       ++r) {
+    std::copy(test.features.row(r).begin(), test.features.row(r).end(),
+              one_row.row(0).begin());
+    const auto expected = reference.predict_batch(one_row);
+    EXPECT_EQ(engine.predict(test.features.row(r)).label, expected[0]);
+  }
+}
+
+}  // namespace
+}  // namespace disthd::serve

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <future>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/thread_pool.hpp"
@@ -102,6 +105,101 @@ TEST(ThreadPool, GlobalPoolIsSingleton) {
   ThreadPool& a = global_pool();
   ThreadPool& b = global_pool();
   EXPECT_EQ(&a, &b);
+}
+
+TEST(ThreadPool, SingleElementRange) {
+  ThreadPool pool(4);
+  std::size_t calls = 0;
+  std::size_t seen_begin = 99, seen_end = 99;
+  pool.parallel_for(
+      1,
+      [&](std::size_t begin, std::size_t end) {
+        ++calls;
+        seen_begin = begin;
+        seen_end = end;
+      },
+      /*min_chunk=*/1);
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(seen_begin, 0u);
+  EXPECT_EQ(seen_end, 1u);
+}
+
+TEST(ThreadPool, NestedParallelForOnSamePoolDoesNotDeadlock) {
+  // Every worker (and the caller) re-enters parallel_for on the SAME pool.
+  // The caller of a parallel_for always claims chunks itself, so the inner
+  // calls complete even with every worker occupied by an outer chunk.
+  ThreadPool pool(2);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for(
+      8,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          pool.parallel_for(
+              64,
+              [&](std::size_t b, std::size_t e) {
+                total.fetch_add(e - b, std::memory_order_relaxed);
+              },
+              /*min_chunk=*/4);
+        }
+      },
+      /*min_chunk=*/1);
+  EXPECT_EQ(total.load(), 8u * 64u);
+}
+
+TEST(ThreadPool, NestedExceptionPropagatesThroughBothLevels) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(
+          4,
+          [&](std::size_t begin, std::size_t) {
+            pool.parallel_for(
+                64,
+                [&](std::size_t b, std::size_t) {
+                  if (b == 0 && begin == 0) throw std::runtime_error("inner");
+                },
+                /*min_chunk=*/4);
+          },
+          /*min_chunk=*/1),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitReturnsValueThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+  auto void_future = pool.submit([] {});
+  void_future.get();  // completes without throwing
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  auto future = pool.submit([]() -> int { throw std::runtime_error("task"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, GracefulShutdownDrainsQueuedTasks) {
+  std::atomic<int> completed{0};
+  std::future<void> slow;
+  std::vector<std::future<int>> queued;
+  {
+    ThreadPool pool(1);
+    // One slow task occupies the single worker while more tasks queue up
+    // behind it; destroying the pool must run them all, not drop them.
+    slow = pool.submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      completed.fetch_add(1);
+    });
+    for (int i = 0; i < 8; ++i) {
+      queued.push_back(pool.submit([&, i] {
+        completed.fetch_add(1);
+        return i;
+      }));
+    }
+  }  // ~ThreadPool: graceful drain
+  EXPECT_EQ(completed.load(), 9);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(queued[static_cast<std::size_t>(i)].get(), i);
 }
 
 TEST(ThreadPool, NestedSubmissionFromWorkerDoesNotDeadlock) {

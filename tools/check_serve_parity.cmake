@@ -1,0 +1,61 @@
+# CTest script: disthd_serve's replayed label column must match
+# disthd_predict on the same model bundle and query CSV (ISSUE 3 satellite).
+#
+# Invoked as:
+#   cmake -DSERVE=<disthd_serve> -DPREDICT=<disthd_predict>
+#         -DMODEL=<bundle.bin> -DQUERY=<queries.csv> -P check_serve_parity.cmake
+#
+# disthd_predict prints "row,prediction"; disthd_serve prints
+# "version,label,score". Extract the label sequences from both and compare.
+
+foreach(var SERVE PREDICT MODEL QUERY)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${PREDICT} --model ${MODEL} --input ${QUERY}
+  OUTPUT_VARIABLE predict_out RESULT_VARIABLE predict_rc)
+if(NOT predict_rc EQUAL 0)
+  message(FATAL_ERROR "disthd_predict failed (${predict_rc})")
+endif()
+
+execute_process(
+  COMMAND ${SERVE} --model ${MODEL} --input ${QUERY} --max-batch 3
+  OUTPUT_VARIABLE serve_out RESULT_VARIABLE serve_rc)
+if(NOT serve_rc EQUAL 0)
+  message(FATAL_ERROR "disthd_serve failed (${serve_rc})")
+endif()
+
+function(extract_labels text label_column skip_header out_var)
+  string(REPLACE "\n" ";" lines "${text}")
+  set(labels "")
+  set(index 0)
+  foreach(line IN LISTS lines)
+    if(line STREQUAL "")
+      continue()
+    endif()
+    math(EXPR row "${index}")
+    math(EXPR index "${index} + 1")
+    if(row LESS ${skip_header})
+      continue()
+    endif()
+    string(REPLACE "," ";" fields "${line}")
+    list(GET fields ${label_column} label)
+    list(APPEND labels "${label}")
+  endforeach()
+  set(${out_var} "${labels}" PARENT_SCOPE)
+endfunction()
+
+extract_labels("${predict_out}" 1 1 predict_labels)
+extract_labels("${serve_out}" 1 1 serve_labels)
+
+if(NOT predict_labels STREQUAL serve_labels)
+  message(FATAL_ERROR "label mismatch:\n  predict: ${predict_labels}\n  serve:   ${serve_labels}")
+endif()
+list(LENGTH serve_labels n)
+if(n EQUAL 0)
+  message(FATAL_ERROR "no labels extracted — output format changed?")
+endif()
+message(STATUS "serve/predict parity OK over ${n} queries")

@@ -1,0 +1,178 @@
+// disthd_serve — concurrent inference serving over a line protocol.
+//
+// Static serving (a saved model bundle answers every query):
+//   disthd_serve --model model.bin [--input queries.csv] [--no-header]
+//                [--max-batch N] [--deadline-us U] [--workers W] [--window K]
+//
+// Replay serving (an OnlineDistHD keeps learning from a labeled stream
+// while queries are answered; snapshots are published between chunks):
+//   disthd_serve --train-stream labeled.csv [--input queries.csv]
+//                [--train-chunk C] [--train-every Q] [--dim D] [--seed S]
+//                [... engine flags as above]
+//
+// Queries are CSV feature rows (stdin when --input is omitted; "#" comments
+// and blank lines are skipped). One response line is printed per query, in
+// request order: "version,label,score" — version names the snapshot that
+// answered, so interleaved output is attributable even while the model
+// moves underneath. With no --train-stream the replay degenerates to a
+// single static snapshot and the label column matches disthd_predict.
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serve/inference_engine.hpp"
+#include "serve/line_protocol.hpp"
+#include "serve/online_publish.hpp"
+#include "tools_common.hpp"
+#include "util/argparse.hpp"
+
+namespace {
+
+using namespace disthd;
+
+serve::InferenceEngineConfig engine_config(const util::ArgParser& args) {
+  serve::InferenceEngineConfig config;
+  config.max_batch =
+      static_cast<std::size_t>(args.get_int("max-batch", 64));
+  config.flush_deadline =
+      std::chrono::microseconds(args.get_int("deadline-us", 200));
+  config.workers = static_cast<std::size_t>(args.get_int("workers", 1));
+  config.queue_capacity = std::max<std::size_t>(config.max_batch * 4, 1024);
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::ArgParser args(argc, argv);
+    const std::string model_path = args.get("model", "");
+    const std::string train_path = args.get("train-stream", "");
+    const std::string input_path = args.get("input", "");
+    if (model_path.empty() == train_path.empty()) {
+      std::fprintf(stderr,
+                   "usage: disthd_serve (--model model.bin | --train-stream "
+                   "labeled.csv) [--input queries.csv]\n");
+      return 2;
+    }
+    const bool has_header = !args.get_bool("no-header", false);
+    const std::size_t window =
+        std::max<long>(1, args.get_int("window", 32));
+
+    serve::SnapshotSlot slot;
+    std::vector<float> scaler_offset;
+    std::vector<float> scaler_scale;
+
+    // Replay state: the labeled stream feeds an online learner in chunks.
+    std::unique_ptr<core::OnlineDistHD> learner;
+    data::Dataset stream;
+    std::size_t stream_cursor = 0;
+    std::uint64_t published_revision = 0;
+    const std::size_t train_chunk =
+        std::max<long>(1, args.get_int("train-chunk", 64));
+    const std::size_t train_every = std::max<long>(
+        0, args.get_int("train-every", train_path.empty() ? 0 : 32));
+
+    auto ingest_next_chunk = [&] {
+      if (!learner || stream_cursor >= stream.features.rows()) return;
+      const std::size_t take =
+          std::min(train_chunk, stream.features.rows() - stream_cursor);
+      std::vector<std::size_t> rows(take);
+      for (std::size_t i = 0; i < take; ++i) rows[i] = stream_cursor + i;
+      const util::Matrix chunk = stream.features.gather_rows(rows);
+      const std::span<const int> labels(stream.labels.data() + stream_cursor,
+                                        take);
+      learner->partial_fit(chunk, labels);
+      stream_cursor += take;
+      serve::publish_online(slot, *learner, published_revision);
+    };
+
+    if (!model_path.empty()) {
+      auto bundle = tools::load_bundle(model_path);
+      if (!bundle.scaler_offset.empty() &&
+          (bundle.scaler_offset.size() != bundle.classifier->num_features() ||
+           bundle.scaler_scale.size() != bundle.scaler_offset.size())) {
+        throw std::runtime_error(
+            "model bundle scaler does not match its classifier's feature "
+            "count");
+      }
+      scaler_offset = bundle.scaler_offset;
+      scaler_scale = bundle.scaler_scale;
+      slot.publish(std::move(*bundle.classifier));
+    } else {
+      stream = tools::load_csv(train_path, has_header);
+      core::OnlineDistHDConfig config;
+      config.dim = static_cast<std::size_t>(args.get_int("dim", 256));
+      config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+      learner = std::make_unique<core::OnlineDistHD>(
+          stream.features.cols(), stream.num_classes, config);
+      ingest_next_chunk();  // the first snapshot must exist before serving
+    }
+
+    serve::InferenceEngine engine(slot, engine_config(args));
+
+    std::ifstream input_file;
+    if (!input_path.empty()) {
+      input_file.open(input_path);
+      if (!input_file) {
+        std::fprintf(stderr, "error: cannot read %s\n", input_path.c_str());
+        return 1;
+      }
+    }
+    std::istream& input = input_path.empty() ? std::cin : input_file;
+
+    std::printf("%s\n", serve::response_header());
+    std::deque<std::future<serve::PredictResponse>> inflight;
+    auto drain_one = [&] {
+      const auto response = inflight.front().get();
+      inflight.pop_front();
+      std::printf("%s\n", serve::format_response(response).c_str());
+    };
+
+    std::string line;
+    std::vector<float> features;
+    // Same header rule as disthd_predict, for stdin and --input alike: the
+    // first line is a header unless --no-header (a header's column names
+    // would otherwise parse as an all-zero query and shift every response).
+    bool skipped_header = !has_header;
+    std::size_t queries = 0;
+    while (std::getline(input, line)) {
+      if (!skipped_header) {
+        skipped_header = true;
+        continue;
+      }
+      if (!serve::parse_feature_line(line, features, engine.num_features())) {
+        continue;
+      }
+      for (std::size_t c = 0; c < scaler_offset.size(); ++c) {
+        features[c] = (features[c] - scaler_offset[c]) * scaler_scale[c];
+      }
+      inflight.push_back(engine.submit(features));
+      while (inflight.size() >= window) drain_one();
+      ++queries;
+      if (train_every > 0 && queries % train_every == 0) ingest_next_chunk();
+    }
+    while (!inflight.empty()) drain_one();
+    engine.shutdown();
+
+    const auto stats = engine.stats();
+    std::fprintf(stderr,
+                 "served %llu requests in %llu batches (mean batch %.2f, "
+                 "largest %llu), final model version %llu\n",
+                 static_cast<unsigned long long>(stats.requests),
+                 static_cast<unsigned long long>(stats.batches),
+                 stats.mean_batch_size(),
+                 static_cast<unsigned long long>(stats.largest_batch),
+                 static_cast<unsigned long long>(slot.latest_version()));
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
