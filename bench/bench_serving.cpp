@@ -1,20 +1,31 @@
-// Serving throughput/latency harness (ISSUE 3 tentpole).
+// Serving throughput/latency harness (ISSUE 3 tentpole, ISSUE 4 v2 API).
 //
 // Drives the InferenceEngine with closed-loop clients (each keeps a fixed
-// window of in-flight requests) against a fixed published snapshot and
-// sweeps micro-batch size and worker count. Reports throughput and p50/p99
-// request latency per configuration, plus the headline ratio of the best
-// batched configuration over the single-request single-worker baseline
-// (window 1, batch 1 — one request-response at a time). Batching wins even
-// on one core: a batch of rows amortizes the queue/wakeup overhead and runs
-// through the fused cache-blocked encode_batch/scores_batch kernels instead
-// of per-request sweeps.
+// window of in-flight requests) against published snapshots and sweeps
+// micro-batch size, worker count, and — new in the v2 registry API — the
+// number of models served side by side from one process (clients
+// round-robin their requests across the registered models, so per-model
+// micro-batches shrink as the model count grows; the sweep quantifies that
+// cost). Reports throughput and p50/p99 request latency per configuration,
+// plus the headline ratio of the best batched configuration over the
+// single-request single-worker baseline (window 1, batch 1 — one
+// request-response at a time). Batching wins even on one core: a batch of
+// rows amortizes the queue/wakeup overhead and runs through the fused
+// cache-blocked encode_batch/scores_batch kernels instead of per-request
+// sweeps.
+//
+// Also measures the snapshot pre-normalization win: scoring a batch via
+// ClassModel::scores_batch re-normalizes the k×D class vectors per call,
+// while a published ModelSnapshot hoists that to publish time — the
+// micro-bench times both paths on identical encoded batches and reports
+// the per-batch speedup (the ROADMAP `scores_batch` re-normalization item).
 //
 //   --requests N     requests per client (default 2000; 400 in --quick)
 //   --clients C      client threads per configuration (default 2)
 //   --features F     input feature count (default 54, PAMAP2-like)
 //   --dim D          hypervector dimensionality (default 64)
 //   --classes K      number of classes (default 5)
+//   --models M       model count for the multi-model sweep (default 4)
 //
 // The default model is the paper's smallest Table-I deployment shape
 // (PAMAP2 sensors at the compressed dimensionality the e2e suite uses):
@@ -36,6 +47,7 @@
 #include "hd/encoder.hpp"
 #include "hd/model.hpp"
 #include "serve/inference_engine.hpp"
+#include "serve/model_registry.hpp"
 #include "util/timer.hpp"
 
 using namespace disthd;
@@ -47,6 +59,7 @@ struct RunConfig {
   std::size_t workers = 1;
   std::size_t clients = 1;
   std::size_t window = 1;  // in-flight requests per client
+  std::size_t models = 1;  // request round-robin targets
 };
 
 struct RunResult {
@@ -74,15 +87,18 @@ double percentile(std::vector<double>& sorted_ms, double p) {
   return sorted_ms[index];
 }
 
-RunResult run_one(const serve::SnapshotSlot& slot, const util::Matrix& queries,
-                  const RunConfig& config, std::size_t requests_per_client) {
+RunResult run_one(const serve::ModelRegistry& registry,
+                  const std::vector<std::string>& model_names,
+                  const util::Matrix& queries, const RunConfig& config,
+                  std::size_t requests_per_client) {
   serve::InferenceEngineConfig engine_config;
   engine_config.max_batch = config.max_batch;
   engine_config.workers = config.workers;
   engine_config.queue_capacity =
       std::max<std::size_t>(1024, config.clients * config.window * 2);
   engine_config.flush_deadline = std::chrono::microseconds(200);
-  serve::InferenceEngine engine(slot, engine_config);
+  engine_config.default_model = model_names.front();
+  serve::InferenceEngine engine(registry, engine_config);
 
   std::vector<std::vector<double>> latencies(config.clients);
   std::vector<std::thread> clients;
@@ -95,7 +111,7 @@ RunResult run_one(const serve::SnapshotSlot& slot, const util::Matrix& queries,
       // Sliding window of in-flight requests; each latency sample spans
       // submit -> response (queue wait + batch + scoring).
       std::deque<std::pair<util::WallTimer,
-                           std::future<serve::PredictResponse>>> inflight;
+                           std::future<serve::PredictResult>>> inflight;
       std::size_t next = 0;
       auto drain_front = [&] {
         inflight.front().second.get();
@@ -104,9 +120,19 @@ RunResult run_one(const serve::SnapshotSlot& slot, const util::Matrix& queries,
       };
       for (std::size_t r = 0; r < requests_per_client; ++r) {
         if (inflight.size() >= config.window) drain_front();
-        const auto row = queries.row((c * requests_per_client + next++) %
-                                     queries.rows());
-        inflight.emplace_back(util::WallTimer{}, engine.submit(row));
+        const std::size_t sequence = c * requests_per_client + next++;
+        const auto row = queries.row(sequence % queries.rows());
+        if (config.models == 1) {
+          inflight.emplace_back(util::WallTimer{}, engine.submit(row));
+        } else {
+          // Round-robin across the registered models: one process, every
+          // Table-I-style workload side by side.
+          serve::PredictRequest request;
+          request.model = model_names[sequence % config.models];
+          request.features.assign(row.begin(), row.end());
+          inflight.emplace_back(util::WallTimer{},
+                                engine.submit(std::move(request)));
+        }
       }
       while (!inflight.empty()) drain_front();
     });
@@ -131,6 +157,58 @@ RunResult run_one(const serve::SnapshotSlot& slot, const util::Matrix& queries,
   return result;
 }
 
+struct PrenormalizeResult {
+  std::size_t batch_rows = 0;
+  std::size_t iterations = 0;
+  double per_call_us = 0.0;       // scores_batch (re-normalizes k×D per call)
+  double prenormalized_us = 0.0;  // snapshot path (normalization hoisted)
+  double speedup = 1.0;
+};
+
+/// The hoisted-normalization win is largest where it matters most: small
+/// micro-batches — at batch 1 (the top_k=1 single-request path) the k×D
+/// copy+normalize is comparable to the scoring work itself, while at batch
+/// 64 it is amortized across the rows.
+PrenormalizeResult bench_prenormalize(const core::HdcClassifier& classifier,
+                                      const util::Matrix& queries,
+                                      std::size_t batch_rows,
+                                      std::size_t iterations) {
+  util::Matrix features(batch_rows, queries.cols());
+  for (std::size_t r = 0; r < batch_rows; ++r) {
+    const auto row = queries.row(r % queries.rows());
+    std::copy(row.begin(), row.end(), features.row(r).begin());
+  }
+  util::Matrix encoded;
+  classifier.encoder().encode_batch(features, encoded);
+  const util::Matrix normalized =
+      classifier.model().normalized_class_vectors();
+
+  PrenormalizeResult result;
+  result.batch_rows = batch_rows;
+  result.iterations = iterations;
+  util::Matrix scores;
+  {
+    util::WallTimer timer;
+    for (std::size_t i = 0; i < iterations; ++i) {
+      classifier.model().scores_batch(encoded, scores);
+    }
+    result.per_call_us =
+        timer.seconds() * 1e6 / static_cast<double>(iterations);
+  }
+  {
+    util::WallTimer timer;
+    for (std::size_t i = 0; i < iterations; ++i) {
+      hd::scores_batch_prenormalized(encoded, normalized, scores);
+    }
+    result.prenormalized_us =
+        timer.seconds() * 1e6 / static_cast<double>(iterations);
+  }
+  result.speedup = result.prenormalized_us > 0.0
+                       ? result.per_call_us / result.prenormalized_us
+                       : 1.0;
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -140,20 +218,28 @@ int main(int argc, char** argv) {
   const auto dim = static_cast<std::size_t>(args.get_int("dim", 64));
   const auto classes = static_cast<std::size_t>(args.get_int("classes", 5));
   const auto clients = static_cast<std::size_t>(args.get_int("clients", 2));
+  // --models 1 skips the multi-model sweep (single-model registry only).
+  const auto model_count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(args.get_int("models", 4)));
   const auto requests = static_cast<std::size_t>(
       args.get_int("requests", options.quick ? 400 : 2000));
   const std::string out_path = args.get("out", "BENCH_serving.json");
   bench::print_provenance("serving throughput/latency", options);
 
-  serve::SnapshotSlot slot(
-      make_classifier(features, dim, classes, options.seed));
+  serve::ModelRegistry registry;
+  std::vector<std::string> model_names;
+  for (std::size_t m = 0; m < model_count; ++m) {
+    model_names.push_back("m" + std::to_string(m));
+    registry.register_model(model_names.back())
+        .publish(make_classifier(features, dim, classes, options.seed + m));
+  }
   util::Matrix queries(256, features);
   util::Rng rng(options.seed ^ 0x9);
   queries.fill_normal(rng, 0.0, 1.0);
 
   // Baseline first: strictly serial request-response on one worker.
   std::vector<RunConfig> configs;
-  configs.push_back({1, 1, 1, 1});
+  configs.push_back({1, 1, 1, 1, 1});
   const std::vector<std::size_t> batches =
       options.quick ? std::vector<std::size_t>{8, 64}
                     : std::vector<std::size_t>{1, 8, 64};
@@ -166,31 +252,66 @@ int main(int argc, char** argv) {
       // the previous one is being scored, so workers never stall on the
       // flush deadline.
       configs.push_back({batch, worker_count, clients,
-                         std::max<std::size_t>(2, batch * 2)});
+                         std::max<std::size_t>(2, batch * 2), 1});
+    }
+  }
+  // Multi-model sweep: the best batched single-model shapes, re-run with
+  // requests spread across the registry.
+  if (model_count > 1) {
+    for (const auto worker_count : workers) {
+      configs.push_back({64, worker_count, clients, 128, model_count});
     }
   }
 
   std::vector<RunResult> results;
-  std::printf("%8s %8s %8s %8s %12s %9s %9s %10s\n", "batch", "workers",
-              "clients", "window", "rps", "p50_ms", "p99_ms", "mean_bat");
+  std::printf("%8s %8s %8s %8s %8s %12s %9s %9s %10s\n", "batch", "workers",
+              "clients", "window", "models", "rps", "p50_ms", "p99_ms",
+              "mean_bat");
   for (const auto& config : configs) {
-    const auto result = run_one(slot, queries, config, requests);
+    const auto result =
+        run_one(registry, model_names, queries, config, requests);
     results.push_back(result);
-    std::printf("%8zu %8zu %8zu %8zu %12.0f %9.3f %9.3f %10.2f\n",
+    std::printf("%8zu %8zu %8zu %8zu %8zu %12.0f %9.3f %9.3f %10.2f\n",
                 config.max_batch, config.workers, config.clients,
-                config.window, result.throughput_rps, result.p50_ms,
-                result.p99_ms, result.mean_batch);
+                config.window, config.models, result.throughput_rps,
+                result.p50_ms, result.p99_ms, result.mean_batch);
   }
 
   const double baseline = results.front().throughput_rps;
   double best = baseline;
+  double best_multi = 0.0;
   for (const auto& result : results) {
-    best = std::max(best, result.throughput_rps);
+    if (result.config.models == 1) {
+      best = std::max(best, result.throughput_rps);
+    } else {
+      best_multi = std::max(best_multi, result.throughput_rps);
+    }
   }
   const double speedup = baseline > 0.0 ? best / baseline : 0.0;
   std::printf("\nbest batched throughput %.0f rps = %.2fx the single-request "
               "single-worker baseline (%.0f rps)\n",
               best, speedup, baseline);
+  if (model_count > 1) {
+    std::printf("best %zu-model throughput %.0f rps\n", model_count,
+                best_multi);
+  }
+
+  const auto micro_classifier =
+      make_classifier(features, dim, classes, options.seed);
+  const std::size_t micro_iterations = options.quick ? 2000 : 20000;
+  std::vector<PrenormalizeResult> prenormalize;
+  std::printf("\nprenormalized scores_batch vs per-call normalize "
+              "(dim %zu, classes %zu):\n", dim, classes);
+  for (const std::size_t batch_rows : {std::size_t{1}, std::size_t{8},
+                                       std::size_t{64}}) {
+    prenormalize.push_back(bench_prenormalize(
+        micro_classifier, queries, batch_rows, micro_iterations));
+    const auto& row = prenormalize.back();
+    std::printf("  batch %3zu: %8.3f us/batch hoisted vs %8.3f us/batch "
+                "per-call = %.2fx\n",
+                row.batch_rows, row.prenormalized_us, row.per_call_us,
+                row.speedup);
+  }
 
   std::ofstream out(out_path);
   if (!out) {
@@ -199,11 +320,24 @@ int main(int argc, char** argv) {
   }
   out << "{\n  \"bench\": \"serving\",\n";
   out << "  \"features\": " << features << ", \"dim\": " << dim
-      << ", \"classes\": " << classes << ",\n";
+      << ", \"classes\": " << classes << ", \"models\": " << model_count
+      << ",\n";
   out << "  \"requests_per_client\": " << requests << ",\n";
   out << "  \"baseline_rps\": " << baseline << ",\n";
   out << "  \"best_rps\": " << best << ",\n";
+  out << "  \"best_multi_model_rps\": " << best_multi << ",\n";
   out << "  \"speedup_best_vs_baseline\": " << speedup << ",\n";
+  out << "  \"prenormalize\": [\n";
+  for (std::size_t i = 0; i < prenormalize.size(); ++i) {
+    const auto& row = prenormalize[i];
+    out << "    {\"batch_rows\": " << row.batch_rows
+        << ", \"iterations\": " << row.iterations
+        << ", \"per_call_us\": " << row.per_call_us
+        << ", \"prenormalized_us\": " << row.prenormalized_us
+        << ", \"speedup\": " << row.speedup << "}"
+        << (i + 1 < prenormalize.size() ? ",\n" : "\n");
+  }
+  out << "  ],\n";
   out << "  \"runs\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const auto& r = results[i];
@@ -211,6 +345,7 @@ int main(int argc, char** argv) {
         << ", \"workers\": " << r.config.workers
         << ", \"clients\": " << r.config.clients
         << ", \"window\": " << r.config.window
+        << ", \"models\": " << r.config.models
         << ", \"throughput_rps\": " << r.throughput_rps
         << ", \"p50_ms\": " << r.p50_ms << ", \"p99_ms\": " << r.p99_ms
         << ", \"mean_batch\": " << r.mean_batch << "}"

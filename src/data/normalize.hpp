@@ -31,6 +31,12 @@ public:
     transform(features);
   }
 
+  /// The fitted per-column statistics, in (f - offset) * scale form — the
+  /// exact values transform() applies, exportable into model bundles and
+  /// serving snapshots without lossy reconstruction. Empty before fit().
+  const std::vector<float>& offset() const noexcept { return offset_; }
+  const std::vector<float>& scale() const noexcept { return scale_; }
+
 private:
   ScalerKind kind_;
   std::vector<float> offset_;  // min (min_max) or mean (z_score)

@@ -79,15 +79,30 @@ void ClassModel::scores_batch(const util::Matrix& encoded,
     throw std::invalid_argument("ClassModel::scores_batch: dim mismatch");
   }
   // Normalize class vectors once; cosine(h, C) = (h/|h|) . (C/|C|).
+  // Callers scoring many batches against a frozen model hoist this via
+  // normalized_class_vectors() + scores_batch_prenormalized.
+  scores_batch_prenormalized(encoded, normalized_class_vectors(), scores);
+}
+
+util::Matrix ClassModel::normalized_class_vectors() const {
   util::Matrix normalized = class_vectors_;
   util::normalize_rows(normalized);
+  return normalized;
+}
+
+void scores_batch_prenormalized(const util::Matrix& encoded,
+                                const util::Matrix& normalized_classes,
+                                util::Matrix& scores) {
+  if (encoded.cols() != normalized_classes.cols()) {
+    throw std::invalid_argument("scores_batch_prenormalized: dim mismatch");
+  }
   // One fused pass per row: the k dots and the query-norm scaling happen
   // while the encoded row is cache-hot, instead of a full GEMM followed by a
   // second sweep over the batch.
-  scores.reshape_uninitialized(encoded.rows(), normalized.rows());
+  scores.reshape_uninitialized(encoded.rows(), normalized_classes.rows());
   util::parallel_for(encoded.rows(), [&](std::size_t begin, std::size_t end) {
     for (std::size_t r = begin; r < end; ++r) {
-      util::row_dots_nt(encoded.row(r), normalized, 0, scores.row(r));
+      util::row_dots_nt(encoded.row(r), normalized_classes, 0, scores.row(r));
       const double h_norm = util::norm2(encoded.row(r));
       if (h_norm > 0.0) {
         util::scale(scores.row(r), static_cast<float>(1.0 / h_norm));

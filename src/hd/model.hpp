@@ -59,6 +59,12 @@ public:
   /// per-row factor, kept so scores are true cosines).
   void scores_batch(const util::Matrix& encoded, util::Matrix& scores) const;
 
+  /// The class vectors scaled to unit L2 (the copy scores_batch makes per
+  /// call). Callers that score many batches against a frozen model — the
+  /// serving snapshot — hoist this once and use
+  /// scores_batch_prenormalized below.
+  util::Matrix normalized_class_vectors() const;
+
   /// Batch argmax predictions.
   std::vector<int> predict_batch(const util::Matrix& encoded) const;
 
@@ -73,5 +79,14 @@ private:
   util::Matrix class_vectors_;  // k x D
   std::vector<double> norms_;   // cached L2 norms
 };
+
+/// scores_batch against already-normalized class vectors: encoded (n x D) x
+/// normalized_classes (k x D) -> scores (n x k). Bit-identical to
+/// ClassModel::scores_batch when `normalized_classes` is that model's
+/// normalized_class_vectors() — the per-call k×D normalization is the only
+/// thing hoisted out.
+void scores_batch_prenormalized(const util::Matrix& encoded,
+                                const util::Matrix& normalized_classes,
+                                util::Matrix& scores);
 
 }  // namespace disthd::hd

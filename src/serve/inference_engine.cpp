@@ -24,16 +24,25 @@ void InferenceEngineConfig::validate() const {
   }
 }
 
-InferenceEngine::InferenceEngine(const SnapshotSlot& slot,
+InferenceEngine::InferenceEngine(const ModelRegistry& registry,
                                  InferenceEngineConfig config)
-    : slot_(slot), config_(config) {
+    : registry_(registry), config_(std::move(config)) {
   config_.validate();
-  const auto snapshot = slot_.current();
-  if (!snapshot) {
-    throw std::invalid_argument(
-        "InferenceEngine: slot has no published snapshot");
+  if (registry_.empty()) {
+    throw std::invalid_argument("InferenceEngine: registry has no models");
   }
-  num_features_ = snapshot->classifier.num_features();
+  if (!config_.default_model.empty()) {
+    if (!registry_.find(config_.default_model)) {
+      throw std::invalid_argument("InferenceEngine: default model '" +
+                                  config_.default_model +
+                                  "' is not registered");
+    }
+    default_model_ = config_.default_model;
+  } else if (registry_.size() == 1) {
+    default_model_ = registry_.names().front();
+  }
+  // With several models and no explicit default, default_model_ stays empty
+  // and every request must name its model.
   workers_.reserve(config_.workers);
   for (std::size_t w = 0; w < config_.workers; ++w) {
     workers_.emplace_back([this] { serve_loop(); });
@@ -42,14 +51,38 @@ InferenceEngine::InferenceEngine(const SnapshotSlot& slot,
 
 InferenceEngine::~InferenceEngine() { shutdown(); }
 
-std::future<PredictResponse> InferenceEngine::submit(
-    std::span<const float> features) {
-  if (features.size() != num_features_) {
-    throw std::invalid_argument("InferenceEngine::submit: feature mismatch");
+std::future<PredictResult> InferenceEngine::submit(PredictRequest request) {
+  const std::string& name =
+      request.model.empty() ? default_model_ : request.model;
+  if (name.empty()) {
+    throw std::invalid_argument(
+        "InferenceEngine::submit: request names no model and the engine has "
+        "no default");
   }
-  Request request;
-  request.features.assign(features.begin(), features.end());
-  std::future<PredictResponse> future = request.promise.get_future();
+  const auto slot = registry_.find(name);
+  if (!slot) {
+    throw std::invalid_argument("InferenceEngine::submit: unknown model '" +
+                                name + "'");
+  }
+  const auto snapshot = slot->current();
+  if (!snapshot) {
+    throw std::runtime_error("InferenceEngine::submit: model '" + name +
+                             "' has no published snapshot");
+  }
+  if (request.features.size() != snapshot->classifier.num_features()) {
+    throw std::invalid_argument(
+        "InferenceEngine::submit: feature mismatch for model '" + name + "'");
+  }
+  if (request.top_k == 0) {
+    throw std::invalid_argument("InferenceEngine::submit: top_k == 0");
+  }
+
+  Request pending;
+  pending.slot = slot.get();
+  pending.features = std::move(request.features);
+  pending.top_k = request.top_k;
+  pending.want_scores = request.want_scores;
+  std::future<PredictResult> future = pending.promise.get_future();
   bool first_pending = false;
   bool batch_ready = false;
   {
@@ -60,26 +93,39 @@ std::future<PredictResponse> InferenceEngine::submit(
     if (stopping_) {
       throw std::runtime_error("InferenceEngine::submit: engine stopped");
     }
-    queue_.push_back(std::move(request));
+    queue_.push_back(std::move(pending));
+    const std::size_t slot_pending = ++pending_per_slot_[slot.get()];
+    if (slot_pending == config_.max_batch) ++full_batches_;
     // Notify discipline: waking the collecting worker on EVERY submit costs
-    // a futex round-trip per request (it re-checks size < max_batch and
+    // a futex round-trip per request (it re-checks the pending count and
     // sleeps again — measured as the dominant per-request overhead of the
     // batched path on one core). Wake only on the transitions a worker acts
-    // on: queue became non-empty (an idle worker must start a batch; all of
-    // them, as a collecting worker can swallow a notify_one without
-    // popping) or a full batch just completed (end collection early).
+    // on: queue became non-empty (an idle worker must start a batch) or one
+    // model just reached a full batch (end collection early). Both use
+    // notify_all: a worker collecting for a DIFFERENT model swallows a
+    // notify_one without acting on it, and batch-ready fires once per
+    // max_batch submits, so the broadcast is off the per-request path.
     first_pending = queue_.size() == 1;
-    batch_ready = queue_.size() == config_.max_batch;
+    batch_ready = slot_pending == config_.max_batch;
   }
-  if (first_pending) {
+  if (first_pending || batch_ready) {
     request_ready_.notify_all();
-  } else if (batch_ready) {
-    request_ready_.notify_one();
   }
   return future;
 }
 
-PredictResponse InferenceEngine::predict(std::span<const float> features) {
+std::future<PredictResult> InferenceEngine::submit(
+    std::span<const float> features) {
+  PredictRequest request;
+  request.features.assign(features.begin(), features.end());
+  return submit(std::move(request));
+}
+
+PredictResult InferenceEngine::predict(PredictRequest request) {
+  return submit(std::move(request)).get();
+}
+
+PredictResult InferenceEngine::predict(std::span<const float> features) {
   return submit(features).get();
 }
 
@@ -92,30 +138,64 @@ void InferenceEngine::serve_loop() {
                           [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping and fully drained
 
-      // Micro-batch collection: the deadline clock starts at the first
-      // request this worker claims; more arrivals top the batch up until
+      // Per-model micro-batch collection: this worker batches for the model
+      // of the oldest pending request. The deadline clock starts at claim
+      // time; more arrivals FOR THAT MODEL top the batch up until
       // max_batch, the deadline, or shutdown flushes it.
+      const SnapshotSlot* target = queue_.front().slot;
+      auto pending_for_target = [&]() -> std::size_t {
+        const auto it = pending_per_slot_.find(target);
+        return it == pending_per_slot_.end() ? 0 : it->second;
+      };
       const auto deadline =
           std::chrono::steady_clock::now() + config_.flush_deadline;
-      while (queue_.size() < config_.max_batch && !stopping_) {
+      // Top up until the target's batch is full, the deadline fires, we
+      // stop — or ANY model reaches a full batch (full_batches_). The last
+      // case flushes the target partially, exactly like a deadline would,
+      // so the full model's (now oldest) requests are collected on the
+      // next loop iteration instead of stalling behind this wait.
+      while (!stopping_ && pending_for_target() != 0 &&
+             pending_for_target() < config_.max_batch &&
+             full_batches_ == 0) {
         if (request_ready_.wait_until(lock, deadline) ==
             std::cv_status::timeout) {
           break;
         }
       }
-      const std::size_t take = std::min(queue_.size(), config_.max_batch);
-      // Two workers can collect concurrently (the first-pending notify wakes
-      // everyone) and one may drain the queue before the other's deadline
-      // fires; an empty take just goes back to waiting.
-      if (take == 0) continue;
-      batch.reserve(take);
-      for (std::size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
+      // Two workers can collect concurrently (the first-pending notify
+      // wakes everyone) and one may drain this model's requests before the
+      // other's deadline fires; an empty take just goes back to waiting.
+      // Requests for OTHER models keep their arrival order: the scan pops
+      // from the front and puts non-target requests back in place. The
+      // scan stops as soon as the batch fills and the queue is
+      // capacity-bounded, so the worst case (sparse target under a full
+      // mixed queue) moves queue_capacity requests under the lock once per
+      // flush — acceptable until a measured workload says otherwise.
+      std::deque<Request> skipped;
+      while (!queue_.empty() && batch.size() < config_.max_batch) {
+        Request request = std::move(queue_.front());
         queue_.pop_front();
+        if (request.slot == target) {
+          batch.push_back(std::move(request));
+        } else {
+          skipped.push_back(std::move(request));
+        }
       }
-      stats_.requests += take;
+      while (!skipped.empty()) {
+        queue_.push_front(std::move(skipped.back()));
+        skipped.pop_back();
+      }
+      if (batch.empty()) continue;
+      const std::size_t before = pending_per_slot_[target];
+      pending_per_slot_[target] = before - batch.size();
+      if (before >= config_.max_batch &&
+          pending_per_slot_[target] < config_.max_batch) {
+        --full_batches_;
+      }
+      stats_.requests += batch.size();
       stats_.batches += 1;
-      stats_.largest_batch = std::max<std::uint64_t>(stats_.largest_batch, take);
+      stats_.largest_batch =
+          std::max<std::uint64_t>(stats_.largest_batch, batch.size());
     }
     space_available_.notify_all();
     process_batch(batch);
@@ -124,33 +204,84 @@ void InferenceEngine::serve_loop() {
 
 void InferenceEngine::process_batch(std::vector<Request>& batch) {
   // One snapshot load covers the whole batch: every row of it is scored by
-  // the same (encoder, model) pair and attributed to that version.
-  const auto snapshot = slot_.current();
+  // the same self-contained (scaler, encoder, model) bundle and attributed
+  // to that version.
+  const auto snapshot = batch.front().slot->current();
   try {
-    util::Matrix features(batch.size(), num_features_);
-    for (std::size_t r = 0; r < batch.size(); ++r) {
-      std::copy(batch[r].features.begin(), batch[r].features.end(),
+    const std::size_t num_features = snapshot->classifier.num_features();
+    // A publish that changed the model's feature layout between submit-time
+    // validation and now would make these rows unscorable; fail them
+    // individually rather than poisoning the batch-mates.
+    std::vector<Request*> rows;
+    rows.reserve(batch.size());
+    for (auto& request : batch) {
+      if (request.features.size() != num_features) {
+        request.promise.set_exception(
+            std::make_exception_ptr(std::runtime_error(
+                "InferenceEngine: model feature layout changed mid-flight")));
+      } else {
+        rows.push_back(&request);
+      }
+    }
+    if (rows.empty()) return;
+
+    util::Matrix features(rows.size(), num_features);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      std::copy(rows[r]->features.begin(), rows[r]->features.end(),
                 features.row(r).begin());
     }
     util::Matrix encoded;
     util::Matrix scores;
-    snapshot->classifier.encoder().encode_batch(features, encoded);
-    snapshot->classifier.model().scores_batch(encoded, scores);
-    for (std::size_t r = 0; r < batch.size(); ++r) {
-      // Same argmax rule as ClassModel::predict_batch (first strict max), so
-      // served labels are bit-identical to the offline path.
+    // Scaler + encode + pre-normalized scores, one fused sweep for the
+    // whole batch regardless of per-request top_k/want_scores.
+    snapshot->score_raw(features, encoded, scores);
+
+    for (std::size_t r = 0; r < rows.size(); ++r) {
       const auto row = scores.row(r);
-      int best = 0;
-      for (std::size_t c = 1; c < row.size(); ++c) {
-        if (row[c] > row[best]) best = static_cast<int>(c);
+      const std::size_t classes = row.size();
+      PredictResult result;
+      result.version = snapshot->version;
+      const std::size_t top_k = std::min(rows[r]->top_k, classes);
+      if (top_k == 1) {
+        // Fast path: same argmax rule as ClassModel::predict_batch (first
+        // strict max), so served labels are bit-identical to the offline
+        // path.
+        std::size_t best = 0;
+        for (std::size_t c = 1; c < classes; ++c) {
+          if (row[c] > row[best]) best = c;
+        }
+        result.top.push_back({static_cast<int>(best), row[best]});
+      } else {
+        // Repeated first-strict-max selection: rank i is the argmax over
+        // the not-yet-taken classes, so ties resolve to the lower label at
+        // every rank — the rule ClassModel::top2 and predict_batch share.
+        result.top.reserve(top_k);
+        std::vector<char> taken(classes, 0);
+        for (std::size_t rank = 0; rank < top_k; ++rank) {
+          std::size_t best = classes;
+          for (std::size_t c = 0; c < classes; ++c) {
+            if (taken[c]) continue;
+            if (best == classes || row[c] > row[best]) best = c;
+          }
+          taken[best] = 1;
+          result.top.push_back({static_cast<int>(best), row[best]});
+        }
       }
-      batch[r].promise.set_value(PredictResponse{
-          snapshot->version, best, static_cast<double>(row[best])});
+      if (rows[r]->want_scores) {
+        result.scores.assign(row.begin(), row.end());
+      }
+      rows[r]->promise.set_value(std::move(result));
     }
   } catch (...) {
     const auto error = std::current_exception();
     for (auto& request : batch) {
-      request.promise.set_exception(error);
+      // Requests already answered (value or layout-mismatch exception)
+      // throw promise_already_satisfied here; swallow so the rest of the
+      // batch still learns about the failure.
+      try {
+        request.promise.set_exception(error);
+      } catch (const std::future_error&) {
+      }
     }
   }
 }

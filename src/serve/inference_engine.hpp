@@ -1,14 +1,21 @@
-// Micro-batching concurrent inference engine.
+// Micro-batching concurrent inference engine over a ModelRegistry.
 //
-// Predict requests are pushed onto a bounded queue; batch workers collect
-// them into micro-batches (flushed when max_batch requests are pending or a
-// flush deadline elapses, whichever is first — SHEARer-style batching turns
-// n scalar encodes into one fused encode_batch/scores_batch sweep) and score
-// each batch against the snapshot current at pop time. The model is read
-// through SnapshotSlot::current() only, so a trainer can publish new
-// snapshots — including after dimension regenerations — while the engine
-// serves, with zero reader locking and no torn encoder/model state. Each
-// response carries the version of the snapshot that produced it.
+// Predict requests name a registered model (or fall back to the engine's
+// default) and are pushed onto a bounded queue; batch workers collect them
+// into PER-MODEL micro-batches (flushed when max_batch requests for that
+// model are pending or a flush deadline elapses, whichever is first —
+// SHEARer-style batching turns n scalar encodes into one fused
+// encode_batch/scores_batch sweep) and score each batch against the model's
+// snapshot current at pop time. Models are read through
+// SnapshotSlot::current() only, so trainers can publish new snapshots —
+// including after dimension regenerations — while the engine serves, with
+// zero reader locking and no torn encoder/model state. Each result carries
+// the version of the snapshot that produced it.
+//
+// Snapshots are self-contained (training-time scaler + pre-normalized class
+// vectors live inside), so requests carry RAW feature rows and top-k /
+// full-score-vector responses come out of the same fused scores sweep the
+// top-1 fast path uses.
 #pragma once
 
 #include <chrono>
@@ -18,32 +25,61 @@
 #include <future>
 #include <mutex>
 #include <span>
+#include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "serve/model_registry.hpp"
 #include "serve/model_snapshot.hpp"
 
 namespace disthd::serve {
 
 struct InferenceEngineConfig {
-  /// Flush a micro-batch as soon as this many requests are pending.
+  /// Flush a micro-batch as soon as this many requests are pending for one
+  /// model.
   std::size_t max_batch = 64;
   /// Flush a partial batch this long after its first request was claimed.
   std::chrono::microseconds flush_deadline{200};
-  /// Pending-request bound; submit() blocks while the queue is full.
+  /// Pending-request bound across all models; submit() blocks while the
+  /// queue is full.
   std::size_t queue_capacity = 1024;
   /// Batch worker threads (each collects and scores whole batches; the
   /// fused kernels inside additionally fan out over the global pool).
   std::size_t workers = 1;
+  /// Model answering requests that name no model. Empty = the registry's
+  /// sole model at construction (ambiguous with several registered).
+  std::string default_model;
 
   void validate() const;
 };
 
+/// One typed prediction request. `features` are RAW (pre-scaler) rows; the
+/// snapshot's own scaler is applied inside the engine.
+struct PredictRequest {
+  std::string model;           ///< registered name; empty = engine default
+  std::vector<float> features;
+  std::size_t top_k = 1;       ///< top classes wanted; clamped to the class count
+  bool want_scores = false;    ///< also return the full score vector
+};
+
+/// One ranked class of a result.
+struct ScoredLabel {
+  int label = -1;
+  float score = 0.0f;  ///< cosine score, bit-identical to offline scores_batch
+};
+
 /// One served prediction, attributable to one published model snapshot.
-struct PredictResponse {
-  std::uint64_t version = 0;  ///< snapshot that produced this answer
-  int label = -1;             ///< argmax class
-  double score = 0.0;         ///< cosine score of the winning class
+struct PredictResult {
+  std::uint64_t version = 0;      ///< snapshot that produced this answer
+  std::vector<ScoredLabel> top;   ///< best-first; ties resolved to the lower
+                                  ///< label, the predict_batch argmax rule
+  std::vector<float> scores;      ///< full score vector iff want_scores
+
+  int label() const noexcept { return top.empty() ? -1 : top.front().label; }
+  float score() const noexcept {
+    return top.empty() ? 0.0f : top.front().score;
+  }
 };
 
 struct EngineStats {
@@ -60,9 +96,10 @@ struct EngineStats {
 
 class InferenceEngine {
 public:
-  /// The slot must already hold a snapshot (it pins the feature layout).
-  /// The engine keeps a reference; the slot must outlive it.
-  explicit InferenceEngine(const SnapshotSlot& slot,
+  /// The registry must have at least one model; slots may be published to
+  /// (and new models registered) while the engine serves. The engine keeps
+  /// a reference; the registry must outlive it.
+  explicit InferenceEngine(const ModelRegistry& registry,
                            InferenceEngineConfig config = {});
 
   /// Graceful: drains every pending request before the workers exit.
@@ -71,16 +108,23 @@ public:
   InferenceEngine(const InferenceEngine&) = delete;
   InferenceEngine& operator=(const InferenceEngine&) = delete;
 
-  std::size_t num_features() const noexcept { return num_features_; }
+  const ModelRegistry& registry() const noexcept { return registry_; }
+  const std::string& default_model() const noexcept { return default_model_; }
 
-  /// Enqueues one feature vector (copied) and returns a future for its
-  /// prediction. Blocks while the queue is at capacity. Throws
-  /// std::invalid_argument on a feature-count mismatch and
-  /// std::runtime_error after shutdown.
-  std::future<PredictResponse> submit(std::span<const float> features);
+  /// Enqueues one typed request (features moved in) and returns a future
+  /// for its result. Blocks while the queue is at capacity. Throws
+  /// std::invalid_argument on an unknown model, top_k == 0, or a
+  /// feature-count mismatch against the model's current snapshot;
+  /// std::runtime_error when the model has no published snapshot or after
+  /// shutdown.
+  std::future<PredictResult> submit(PredictRequest request);
+
+  /// Convenience: top-1 against the default model (the v1 shape).
+  std::future<PredictResult> submit(std::span<const float> features);
 
   /// Convenience: submit + wait.
-  PredictResponse predict(std::span<const float> features);
+  PredictResult predict(PredictRequest request);
+  PredictResult predict(std::span<const float> features);
 
   /// Stops accepting requests, serves everything already queued, and joins
   /// the workers. Idempotent; also run by the destructor.
@@ -90,21 +134,34 @@ public:
 
 private:
   struct Request {
+    SnapshotSlot* slot = nullptr;  // resolved at submit; registry-owned
     std::vector<float> features;
-    std::promise<PredictResponse> promise;
+    std::size_t top_k = 1;
+    bool want_scores = false;
+    std::promise<PredictResult> promise;
   };
 
   void serve_loop();
   void process_batch(std::vector<Request>& batch);
 
-  const SnapshotSlot& slot_;
+  const ModelRegistry& registry_;
   InferenceEngineConfig config_;
-  std::size_t num_features_ = 0;
+  std::string default_model_;
 
   mutable std::mutex mutex_;
   std::condition_variable request_ready_;
   std::condition_variable space_available_;
   std::deque<Request> queue_;
+  // Pending-request count per model slot (guarded by mutex_), so the
+  // full-batch notify/flush decisions stay O(1) per submit instead of a
+  // queue scan.
+  std::unordered_map<const SnapshotSlot*, std::size_t> pending_per_slot_;
+  // Number of slots whose pending count is >= max_batch (guarded by
+  // mutex_). A worker topping up a partial batch for one model exits its
+  // wait as soon as ANY model has a full batch — without this, a full
+  // batch could sit until that worker's flush deadline because the wait
+  // predicate only watches its own target.
+  std::size_t full_batches_ = 0;
   bool stopping_ = false;
   EngineStats stats_;
 

@@ -32,12 +32,92 @@ bool parse_feature_line(const std::string& line, std::vector<float>& features,
   return true;
 }
 
-std::string format_response(const PredictResponse& response) {
+namespace {
+
+void parse_directive(const std::string& token, ParsedRequest& request) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos) {
+    throw std::runtime_error("malformed request directive '" + token +
+                             "' (expected key=value)");
+  }
+  const std::string key = token.substr(0, eq);
+  const std::string value = token.substr(eq + 1);
+  if (key == "model") {
+    if (value.empty()) {
+      throw std::runtime_error("request directive 'model=' names no model");
+    }
+    request.model = value;
+  } else if (key == "topk") {
+    char* end = nullptr;
+    const long parsed = std::strtol(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || parsed < 1) {
+      throw std::runtime_error("request directive 'topk=" + value +
+                               "' is not a positive integer");
+    }
+    request.top_k = static_cast<std::size_t>(parsed);
+  } else if (key == "scores") {
+    if (value != "0" && value != "1") {
+      throw std::runtime_error("request directive 'scores=" + value +
+                               "' must be 0 or 1");
+    }
+    request.want_scores = value == "1";
+  } else {
+    throw std::runtime_error("unknown request directive '" + key + "'");
+  }
+}
+
+}  // namespace
+
+bool parse_request_line(const std::string& line, ParsedRequest& request,
+                        std::size_t expected_features) {
+  request = ParsedRequest{};
+  const std::size_t first = line.find_first_not_of(" \t\r");
+  if (first == std::string::npos || line[first] == '#') return false;
+
+  std::string features_part = line;
+  const std::size_t bar = line.find('|');
+  if (bar != std::string::npos) {
+    // v2 prefix: space-separated key=value directives before the "|".
+    const std::string prefix = line.substr(first, bar - first);
+    std::size_t pos = 0;
+    while (pos < prefix.size()) {
+      const std::size_t token_end = prefix.find(' ', pos);
+      const std::string token =
+          prefix.substr(pos, token_end == std::string::npos
+                                 ? std::string::npos
+                                 : token_end - pos);
+      if (!token.empty()) parse_directive(token, request);
+      if (token_end == std::string::npos) break;
+      pos = token_end + 1;
+    }
+    features_part = line.substr(bar + 1);
+  }
+  if (!parse_feature_line(features_part, request.features,
+                          expected_features)) {
+    throw std::runtime_error("request line has directives but no features");
+  }
+  return true;
+}
+
+std::string format_result(const PredictResult& result) {
   char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%llu,%d,%.4f",
-                static_cast<unsigned long long>(response.version),
-                response.label, response.score);
-  return buffer;
+  std::snprintf(buffer, sizeof(buffer), "%llu",
+                static_cast<unsigned long long>(result.version));
+  std::string out = buffer;
+  for (const auto& ranked : result.top) {
+    std::snprintf(buffer, sizeof(buffer), ",%d,%.4f", ranked.label,
+                  static_cast<double>(ranked.score));
+    out += buffer;
+  }
+  if (!result.scores.empty()) {
+    out += '|';
+    for (std::size_t c = 0; c < result.scores.size(); ++c) {
+      std::snprintf(buffer, sizeof(buffer), c == 0 ? "%.4f" : ",%.4f",
+                    static_cast<double>(result.scores[c]));
+      out += buffer;
+    }
+  }
+  return out;
 }
 
 }  // namespace disthd::serve

@@ -1,12 +1,35 @@
-// Text protocol of the disthd_serve tool, factored out so the parsing and
-// formatting rules are unit-testable without driving a subprocess.
+// Text protocol of the disthd_serve tool (v2), factored out so the parsing
+// and formatting rules are unit-testable without driving a subprocess.
 //
-// Request lines are plain CSV feature rows ("0.5,-1.2,..."); in replay mode
-// labeled training rows use the same CSV shape with the label in the last
-// column (the disthd_train fixture format). Responses are one line per
-// request: "version,label,score" — version is the snapshot that answered,
-// score the cosine of the winning class, printed with the same %.4f
-// precision as disthd_predict so outputs diff cleanly.
+// Request grammar (one request per line):
+//
+//   request    = [ directives "|" ] features
+//   directives = directive *( SP directive )
+//   directive  = "model=" name          ; registered model (default: the
+//                                       ; engine's default model)
+//              / "topk=" 1*DIGIT        ; ranked classes wanted (default 1)
+//              / "scores=" ("0" / "1")  ; full score vector too (default 0)
+//   features   = CSV floats (the v1 request line)
+//
+// A line with no "|" is a plain v1 feature row — v1 clients keep working
+// unchanged, and feature CSVs can never collide with the prefix because "|"
+// is not a CSV character. Blank and "#"-comment lines are skipped. In
+// replay mode labeled training rows use the same CSV shape with the label
+// in the last column (the disthd_train fixture format).
+//
+// Response grammar (one line per request, in request order):
+//
+//   header   = "#proto=2 version,label,score"
+//   response = version "," label "," score
+//              *( "," label "," score )      ; ranks 2..topk
+//              [ "|" score *( "," score ) ]  ; full vector iff scores=1
+//
+// version is the snapshot that answered; scores are cosines of the ranked
+// classes, best first, printed with the same %.4f precision as
+// disthd_predict so outputs diff cleanly. A topk=1 response without scores
+// is exactly the v1 "version,label,score" line, and field 1 of every
+// response is always the top-1 label, so v1 consumers (and the
+// check_serve_parity.cmake label diff) parse v2 streams unmodified.
 #pragma once
 
 #include <string>
@@ -23,10 +46,29 @@ namespace disthd::serve {
 bool parse_feature_line(const std::string& line, std::vector<float>& features,
                         std::size_t expected_features = 0);
 
-/// Formats one response line (no trailing newline).
-std::string format_response(const PredictResponse& response);
+/// One parsed v2 request line: routing/shape directives + the feature row.
+struct ParsedRequest {
+  std::string model;         // empty = engine default
+  std::size_t top_k = 1;
+  bool want_scores = false;
+  std::vector<float> features;
+};
 
-/// Header line matching format_response's columns.
-inline const char* response_header() { return "version,label,score"; }
+/// Parses a v2 request line (see the grammar above); plain v1 feature rows
+/// parse with the directive defaults. Returns false for blank/comment
+/// lines. Throws std::runtime_error on an unknown or malformed directive,
+/// or when `expected_features` is nonzero and the field count differs.
+bool parse_request_line(const std::string& line, ParsedRequest& request,
+                        std::size_t expected_features = 0);
+
+/// Formats one response line (no trailing newline): the ranked
+/// (label,score) pairs after the version, then "|"-appended full scores
+/// when present.
+std::string format_result(const PredictResult& result);
+
+/// Versioned response header naming the protocol and the fixed columns.
+inline const char* response_header() {
+  return "#proto=2 version,label,score";
+}
 
 }  // namespace disthd::serve

@@ -1,0 +1,48 @@
+#include "serve/model_registry.hpp"
+
+#include <stdexcept>
+
+namespace disthd::serve {
+
+SnapshotSlot& ModelRegistry::register_model(const std::string& name) {
+  if (name.empty()) {
+    throw std::invalid_argument(
+        "ModelRegistry::register_model: empty model name");
+  }
+  std::lock_guard writer_lock(writer_mutex_);
+  const auto current_map = load_map();
+  if (const auto it = current_map->find(name); it != current_map->end()) {
+    return *it->second;
+  }
+  auto slot = std::make_shared<SnapshotSlot>();
+  auto next = std::make_shared<Map>(*current_map);
+  next->emplace(name, slot);
+  map_.store(std::shared_ptr<const Map>(std::move(next)),
+             std::memory_order_release);
+  return *slot;
+}
+
+std::shared_ptr<SnapshotSlot> ModelRegistry::find(
+    const std::string& name) const noexcept {
+  const auto map = load_map();
+  const auto it = map->find(name);
+  return it == map->end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const ModelSnapshot> ModelRegistry::current(
+    const std::string& name) const noexcept {
+  const auto slot = find(name);
+  return slot ? slot->current() : nullptr;
+}
+
+std::vector<std::string> ModelRegistry::names() const {
+  const auto map = load_map();
+  std::vector<std::string> result;
+  result.reserve(map->size());
+  for (const auto& [name, slot] : *map) result.push_back(name);
+  return result;
+}
+
+std::size_t ModelRegistry::size() const noexcept { return load_map()->size(); }
+
+}  // namespace disthd::serve

@@ -1,0 +1,65 @@
+// Name -> SnapshotSlot map with single-writer registration and lock-free
+// reader lookup, so one process serves every workload side by side.
+//
+// The same reader/writer asymmetry as SnapshotSlot, one level up: the set of
+// served models changes rarely (registration), while lookups happen on every
+// request. The map is therefore copy-on-write — an immutable name->slot map
+// held in an atomic shared_ptr. register_model() (serialized by a
+// writer-side mutex) clones the map, inserts, and swaps it in; find() is one
+// atomic load plus a read-only map lookup, no locks. Slots are heap-owned
+// and never move or disappear once registered, so slot references and the
+// shared_ptrs handed to readers stay valid across any number of later
+// registrations.
+#pragma once
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/model_snapshot.hpp"
+
+namespace disthd::serve {
+
+class ModelRegistry {
+public:
+  ModelRegistry() = default;
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Create-or-get: registers `name` with a fresh (unpublished) slot, or
+  /// returns the existing one. The reference is stable for the registry's
+  /// lifetime. Throws std::invalid_argument on an empty name (reserved for
+  /// "the default model" in requests).
+  SnapshotSlot& register_model(const std::string& name);
+
+  /// Lock-free reader lookup: one atomic map load + lookup. Returns nullptr
+  /// when `name` is not registered.
+  std::shared_ptr<SnapshotSlot> find(const std::string& name) const noexcept;
+
+  /// Convenience: the latest snapshot of `name`, or nullptr when the model
+  /// is unknown or nothing has been published yet.
+  std::shared_ptr<const ModelSnapshot> current(
+      const std::string& name) const noexcept;
+
+  /// Registered model names, sorted.
+  std::vector<std::string> names() const;
+
+  std::size_t size() const noexcept;
+  bool empty() const noexcept { return size() == 0; }
+
+private:
+  using Map = std::map<std::string, std::shared_ptr<SnapshotSlot>>;
+
+  std::shared_ptr<const Map> load_map() const noexcept {
+    return map_.load(std::memory_order_acquire);
+  }
+
+  std::atomic<std::shared_ptr<const Map>> map_{std::make_shared<const Map>()};
+  std::mutex writer_mutex_;
+};
+
+}  // namespace disthd::serve

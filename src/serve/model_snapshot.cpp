@@ -1,13 +1,62 @@
 #include "serve/model_snapshot.hpp"
 
+#include <stdexcept>
+
 namespace disthd::serve {
 
-std::uint64_t SnapshotSlot::publish(core::HdcClassifier classifier) {
+ModelSnapshot::ModelSnapshot(std::uint64_t snapshot_version,
+                             core::HdcClassifier deployed,
+                             std::vector<float> offset,
+                             std::vector<float> scale)
+    : version(snapshot_version),
+      classifier(std::move(deployed)),
+      scaler_offset(std::move(offset)),
+      scaler_scale(std::move(scale)) {
+  if (scaler_offset.size() != scaler_scale.size()) {
+    throw std::invalid_argument(
+        "ModelSnapshot: scaler offset/scale size mismatch");
+  }
+  if (!scaler_offset.empty() &&
+      scaler_offset.size() != classifier.num_features()) {
+    throw std::invalid_argument(
+        "ModelSnapshot: scaler does not match the classifier's feature "
+        "count");
+  }
+  // The hoisted k×D normalization: identical to the copy+normalize
+  // ClassModel::scores_batch performs per call, done once per publish.
+  normalized_class_vectors = classifier.model().class_vectors();
+  util::normalize_rows(normalized_class_vectors);
+}
+
+void ModelSnapshot::apply_scaler(util::Matrix& features) const {
+  if (!has_scaler()) return;
+  if (features.cols() != scaler_offset.size()) {
+    throw std::invalid_argument("ModelSnapshot: feature-count mismatch");
+  }
+  for (std::size_t r = 0; r < features.rows(); ++r) {
+    auto row = features.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      row[c] = (row[c] - scaler_offset[c]) * scaler_scale[c];
+    }
+  }
+}
+
+void ModelSnapshot::score_raw(util::Matrix& features, util::Matrix& encoded,
+                              util::Matrix& scores) const {
+  apply_scaler(features);
+  classifier.encoder().encode_batch(features, encoded);
+  hd::scores_batch_prenormalized(encoded, normalized_class_vectors, scores);
+}
+
+std::uint64_t SnapshotSlot::publish(core::HdcClassifier classifier,
+                                    std::vector<float> scaler_offset,
+                                    std::vector<float> scaler_scale) {
   std::lock_guard writer_lock(writer_mutex_);
   const std::uint64_t version =
       published_version_.load(std::memory_order_relaxed) + 1;
-  slot_.store(std::make_shared<const ModelSnapshot>(version,
-                                                    std::move(classifier)),
+  slot_.store(std::make_shared<const ModelSnapshot>(
+                  version, std::move(classifier), std::move(scaler_offset),
+                  std::move(scaler_scale)),
               std::memory_order_release);
   published_version_.store(version, std::memory_order_release);
   return version;

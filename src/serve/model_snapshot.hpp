@@ -1,34 +1,69 @@
-// Immutable, versioned model snapshots for concurrent serving.
+// Immutable, versioned, self-contained model snapshots for serving.
 //
 // DistHD's dimension regeneration rewrites encoder columns *and* class-model
 // columns together, so a reader that interleaves with a writer can observe a
 // torn encoder/model pair — an encoding produced by the new base rows scored
 // against class vectors still carrying the old components. The serving layer
 // therefore never shares mutable state: a writer publishes a deep copy of
-// (encoder + centering offsets + class model) as an immutable ModelSnapshot,
-// and readers grab the whole triple through one atomic shared_ptr load.
-// Every snapshot carries a monotonic version so each response is
-// attributable to exactly one published model.
+// the deployable model as an immutable ModelSnapshot, and readers grab the
+// whole bundle through one atomic shared_ptr load. Every snapshot carries a
+// monotonic version so each response is attributable to exactly one
+// published model.
+//
+// A snapshot is SELF-CONTAINED: it owns everything needed to turn raw
+// feature rows into scores —
+//   - the training-time min-max scaler (offset/scale pairs; empty =
+//     identity), folded in at publish so a served model no longer depends on
+//     tool-side state (the v1 gap where the scaler lived in
+//     tools::ModelBundle and replay-mode queries were scored unscaled);
+//   - the (encoder + centering, class model) pair;
+//   - the class vectors pre-normalized to unit L2 once at construction, so
+//     scoring a batch skips the k×D re-normalization ClassModel::scores_batch
+//     pays per call (bit-safe: the identical computation, hoisted).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <vector>
 
 #include "core/classifier.hpp"
 
 namespace disthd::serve {
 
-/// One published model: version + the deployable (encoder, model) pair.
-/// Immutable after construction — readers share it by shared_ptr and never
-/// synchronize beyond the slot load.
+/// One published model: version + scaler + (encoder, model) pair + the
+/// pre-normalized class vectors. Immutable after construction — readers
+/// share it by shared_ptr and never synchronize beyond the slot load.
 struct ModelSnapshot {
   std::uint64_t version = 0;
   core::HdcClassifier classifier;
+  /// Training-time feature scaler, applied as (f - offset) * scale per
+  /// column. Both empty = identity (raw features go straight to the
+  /// encoder). Sizes are validated against the classifier at construction.
+  std::vector<float> scaler_offset;
+  std::vector<float> scaler_scale;
+  /// classifier.model()'s class vectors scaled to unit L2, computed once
+  /// here so every batch scored against this snapshot skips the per-call
+  /// normalization (bit-identical to ClassModel::scores_batch's own copy).
+  util::Matrix normalized_class_vectors;
 
-  ModelSnapshot(std::uint64_t snapshot_version, core::HdcClassifier deployed)
-      : version(snapshot_version), classifier(std::move(deployed)) {}
+  ModelSnapshot(std::uint64_t snapshot_version, core::HdcClassifier deployed,
+                std::vector<float> offset = {}, std::vector<float> scale = {});
+
+  bool has_scaler() const noexcept { return !scaler_offset.empty(); }
+
+  /// Applies the scaler in place (no-op for an identity scaler). Same
+  /// arithmetic and order as tools::ModelBundle::apply_scaler, so scaled
+  /// serving diffs cleanly against disthd_predict.
+  void apply_scaler(util::Matrix& features) const;
+
+  /// Raw feature rows -> cosine scores (rows x classes): scaler (in place
+  /// on `features`), encode_batch, then the pre-normalized scores sweep.
+  /// Bit-identical to ModelBundle::apply_scaler +
+  /// HdcClassifier::scores_batch on the same rows.
+  void score_raw(util::Matrix& features, util::Matrix& encoded,
+                 util::Matrix& scores) const;
 };
 
 /// The single writer/multi-reader exchange point. Readers call current()
@@ -49,11 +84,13 @@ public:
     return slot_.load(std::memory_order_acquire);
   }
 
-  /// Wraps the classifier into the next-versioned snapshot and makes it
-  /// visible to readers. Returns the assigned version. Safe against
-  /// concurrent publishers (serialized by a writer-side mutex; readers are
-  /// never blocked by it).
-  std::uint64_t publish(core::HdcClassifier classifier);
+  /// Wraps the classifier (and its training-time scaler, when given) into
+  /// the next-versioned snapshot and makes it visible to readers. Returns
+  /// the assigned version. Safe against concurrent publishers (serialized
+  /// by a writer-side mutex; readers are never blocked by it).
+  std::uint64_t publish(core::HdcClassifier classifier,
+                        std::vector<float> scaler_offset = {},
+                        std::vector<float> scaler_scale = {});
 
   /// Version of the latest published snapshot (0 before the first publish).
   std::uint64_t latest_version() const noexcept {

@@ -4,10 +4,13 @@ namespace disthd::serve {
 
 std::uint64_t publish_online(SnapshotSlot& slot,
                              const core::OnlineDistHD& learner,
-                             std::uint64_t& last_published_revision) {
+                             std::uint64_t& last_published_revision,
+                             const std::vector<float>& scaler_offset,
+                             const std::vector<float>& scaler_scale) {
   const std::uint64_t revision = learner.revision();
   if (revision == last_published_revision) return 0;
-  const std::uint64_t version = slot.publish(learner.snapshot());
+  const std::uint64_t version =
+      slot.publish(learner.snapshot(), scaler_offset, scaler_scale);
   last_published_revision = revision;
   return version;
 }

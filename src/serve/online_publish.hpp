@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/online_trainer.hpp"
 #include "serve/model_snapshot.hpp"
@@ -17,10 +18,15 @@ namespace disthd::serve {
 /// Publishes `learner`'s current model into `slot` iff learner.revision()
 /// differs from `last_published_revision` (pass 0 initially; updated on
 /// publish). Returns the new snapshot version, or 0 when nothing changed.
-/// Must be called from the thread driving partial_fit (it reads the
-/// learner's live state).
+/// `scaler_offset`/`scaler_scale` (the training-time feature scaler the
+/// learner's chunks were transformed with; empty = identity) are folded
+/// into every published snapshot so served queries are scaled exactly like
+/// the training stream. Must be called from the thread driving partial_fit
+/// (it reads the learner's live state).
 std::uint64_t publish_online(SnapshotSlot& slot,
                              const core::OnlineDistHD& learner,
-                             std::uint64_t& last_published_revision);
+                             std::uint64_t& last_published_revision,
+                             const std::vector<float>& scaler_offset = {},
+                             const std::vector<float>& scaler_scale = {});
 
 }  // namespace disthd::serve

@@ -15,14 +15,14 @@ ArgParser::ArgParser(int argc, const char* const* argv) {
     std::string key = arg.substr(2);
     const auto eq = key.find('=');
     if (eq != std::string::npos) {
-      values_[key.substr(0, eq)] = key.substr(eq + 1);
+      values_[key.substr(0, eq)].push_back(key.substr(eq + 1));
       continue;
     }
     // "--key value" unless the next token is another flag (then boolean).
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      values_[key] = argv[++i];
+      values_[key].push_back(argv[++i]);
     } else {
-      values_[key] = "true";
+      values_[key].push_back("true");
     }
   }
 }
@@ -34,17 +34,17 @@ bool ArgParser::has(const std::string& key) const {
 std::string ArgParser::get(const std::string& key,
                            const std::string& fallback) const {
   const auto it = values_.find(key);
-  return it == values_.end() ? fallback : it->second;
+  return it == values_.end() ? fallback : it->second.back();
 }
 
 long ArgParser::get_int(const std::string& key, long fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   try {
-    return std::stol(it->second);
+    return std::stol(it->second.back());
   } catch (const std::exception&) {
     throw std::invalid_argument("--" + key + " expects an integer, got '" +
-                                it->second + "'");
+                                it->second.back() + "'");
   }
 }
 
@@ -52,18 +52,23 @@ double ArgParser::get_double(const std::string& key, double fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
   try {
-    return std::stod(it->second);
+    return std::stod(it->second.back());
   } catch (const std::exception&) {
     throw std::invalid_argument("--" + key + " expects a number, got '" +
-                                it->second + "'");
+                                it->second.back() + "'");
   }
 }
 
 bool ArgParser::get_bool(const std::string& key, bool fallback) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return fallback;
-  return it->second == "true" || it->second == "1" || it->second == "yes" ||
-         it->second == "on";
+  const std::string& value = it->second.back();
+  return value == "true" || value == "1" || value == "yes" || value == "on";
+}
+
+std::vector<std::string> ArgParser::get_all(const std::string& key) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? std::vector<std::string>{} : it->second;
 }
 
 }  // namespace disthd::util

@@ -18,13 +18,18 @@ public:
   double get_double(const std::string& key, double fallback) const;
   bool get_bool(const std::string& key, bool fallback = false) const;
 
+  /// Every value given for a repeatable flag ("--model a --model b"), in
+  /// order of appearance; empty when the flag is absent. The scalar getters
+  /// above see the LAST occurrence.
+  std::vector<std::string> get_all(const std::string& key) const;
+
   /// Positional (non --key) arguments in order of appearance.
   const std::vector<std::string>& positional() const noexcept {
     return positional_;
   }
 
 private:
-  std::map<std::string, std::string> values_;
+  std::map<std::string, std::vector<std::string>> values_;
   std::vector<std::string> positional_;
 };
 

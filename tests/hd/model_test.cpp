@@ -132,6 +132,29 @@ TEST(ClassModel, ZeroDimensionsOutOfRangeThrows) {
   EXPECT_THROW(model.zero_dimensions(dims), std::out_of_range);
 }
 
+TEST(ClassModel, PrenormalizedScoresBatchIsBitIdentical) {
+  // The serving snapshot hoists the per-call k×D normalization out of
+  // scores_batch; both paths must produce the same bits.
+  util::Rng rng(21);
+  ClassModel model(4, 16);
+  model.mutable_class_vectors().fill_normal(rng, 0.0, 1.0);
+  model.refresh_norms();
+  util::Matrix encoded(9, 16);
+  encoded.fill_normal(rng, 0.0, 2.0);
+
+  util::Matrix per_call_scores;
+  model.scores_batch(encoded, per_call_scores);
+  const util::Matrix normalized = model.normalized_class_vectors();
+  util::Matrix hoisted_scores;
+  scores_batch_prenormalized(encoded, normalized, hoisted_scores);
+  EXPECT_EQ(per_call_scores, hoisted_scores);
+
+  util::Matrix wrong_dim(2, 8);
+  EXPECT_THROW(scores_batch_prenormalized(wrong_dim, normalized,
+                                          hoisted_scores),
+               std::invalid_argument);
+}
+
 TEST(ClassModel, SaveLoadRoundTrip) {
   util::Rng rng(7);
   ClassModel model(3, 8);

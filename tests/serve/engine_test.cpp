@@ -1,6 +1,7 @@
-// InferenceEngine unit contract: construction, validation, micro-batch
-// flush triggers (size and deadline), snapshot/version attribution, stats,
-// and shutdown semantics.
+// InferenceEngine unit contract: construction, validation, default-model
+// resolution, micro-batch flush triggers (size and deadline),
+// snapshot/version attribution, typed top-k/score requests, stats, and
+// shutdown semantics. Plus the SnapshotSlot and line-protocol v2 contracts.
 #include <gtest/gtest.h>
 
 #include <chrono>
@@ -11,6 +12,7 @@
 #include "hd/model.hpp"
 #include "serve/inference_engine.hpp"
 #include "serve/line_protocol.hpp"
+#include "serve/model_registry.hpp"
 #include "serve/model_snapshot.hpp"
 #include "util/rng.hpp"
 
@@ -37,6 +39,15 @@ std::vector<float> query(std::uint64_t seed) {
   return features;
 }
 
+/// Registry holding one published model named "m".
+class SingleModelRegistry {
+public:
+  explicit SingleModelRegistry(std::uint64_t seed = 1) {
+    registry.register_model("m").publish(make_classifier(seed));
+  }
+  ModelRegistry registry;
+};
+
 TEST(SnapshotSlot, VersionsAreAssignedInPublishOrder) {
   SnapshotSlot slot;
   EXPECT_EQ(slot.current(), nullptr);
@@ -60,61 +71,232 @@ TEST(SnapshotSlot, ReadersKeepOldSnapshotsAlive) {
   (void)old_snapshot->classifier.predict(q);
 }
 
-TEST(InferenceEngine, RequiresPublishedSnapshot) {
-  SnapshotSlot empty;
+TEST(SnapshotSlot, SnapshotPrenormalizesClassVectors) {
+  SnapshotSlot slot;
+  slot.publish(make_classifier(3));
+  const auto snapshot = slot.current();
+  // The hoisted normalization equals the per-call copy bit-for-bit.
+  EXPECT_EQ(snapshot->normalized_class_vectors,
+            snapshot->classifier.model().normalized_class_vectors());
+  EXPECT_FALSE(snapshot->has_scaler());
+}
+
+TEST(SnapshotSlot, SnapshotCarriesAndValidatesScaler) {
+  SnapshotSlot slot;
+  const std::vector<float> offset(kFeatures, 1.0f);
+  const std::vector<float> scale(kFeatures, 0.5f);
+  slot.publish(make_classifier(3), offset, scale);
+  const auto snapshot = slot.current();
+  ASSERT_TRUE(snapshot->has_scaler());
+  util::Matrix features(1, kFeatures, 3.0f);
+  snapshot->apply_scaler(features);
+  for (std::size_t c = 0; c < kFeatures; ++c) {
+    EXPECT_FLOAT_EQ(features(0, c), 1.0f);  // (3 - 1) * 0.5
+  }
+  // Wrong-sized scalers are rejected at publish.
+  EXPECT_THROW(slot.publish(make_classifier(3),
+                            std::vector<float>(kFeatures - 1, 0.0f),
+                            std::vector<float>(kFeatures - 1, 1.0f)),
+               std::invalid_argument);
+  EXPECT_THROW(slot.publish(make_classifier(3), offset,
+                            std::vector<float>(kFeatures - 1, 1.0f)),
+               std::invalid_argument);
+}
+
+TEST(InferenceEngine, RequiresNonEmptyRegistry) {
+  ModelRegistry empty;
   EXPECT_THROW(InferenceEngine(empty, {}), std::invalid_argument);
 }
 
+TEST(InferenceEngine, SubmitToUnpublishedModelThrows) {
+  ModelRegistry registry;
+  registry.register_model("m");  // registered but never published
+  InferenceEngine engine(registry);
+  EXPECT_THROW(engine.predict(query(1)), std::runtime_error);
+}
+
 TEST(InferenceEngine, ValidatesConfig) {
-  SnapshotSlot slot(make_classifier(1));
+  SingleModelRegistry fixture;
   InferenceEngineConfig bad;
   bad.max_batch = 0;
-  EXPECT_THROW(InferenceEngine(slot, bad), std::invalid_argument);
+  EXPECT_THROW(InferenceEngine(fixture.registry, bad), std::invalid_argument);
   bad = {};
   bad.workers = 0;
-  EXPECT_THROW(InferenceEngine(slot, bad), std::invalid_argument);
+  EXPECT_THROW(InferenceEngine(fixture.registry, bad), std::invalid_argument);
   bad = {};
   bad.queue_capacity = 3;
   bad.max_batch = 8;
-  EXPECT_THROW(InferenceEngine(slot, bad), std::invalid_argument);
+  EXPECT_THROW(InferenceEngine(fixture.registry, bad), std::invalid_argument);
+  bad = {};
+  bad.default_model = "no-such-model";
+  EXPECT_THROW(InferenceEngine(fixture.registry, bad), std::invalid_argument);
 }
 
-TEST(InferenceEngine, RejectsWrongFeatureCount) {
-  SnapshotSlot slot(make_classifier(1));
-  InferenceEngine engine(slot);
+TEST(InferenceEngine, ResolvesDefaultModel) {
+  SingleModelRegistry fixture;
+  // Sole registered model becomes the default implicitly.
+  InferenceEngine sole(fixture.registry);
+  EXPECT_EQ(sole.default_model(), "m");
+
+  ModelRegistry two;
+  two.register_model("a").publish(make_classifier(1));
+  two.register_model("b").publish(make_classifier(2));
+  // Ambiguous: no implicit default, requests must name their model.
+  InferenceEngine ambiguous(two);
+  EXPECT_EQ(ambiguous.default_model(), "");
+  EXPECT_THROW(ambiguous.predict(query(1)), std::invalid_argument);
+  PredictRequest named;
+  named.model = "b";
+  named.features = query(1);
+  EXPECT_EQ(ambiguous.predict(std::move(named)).version, 1u);
+
+  InferenceEngineConfig config;
+  config.default_model = "a";
+  InferenceEngine explicit_default(two, config);
+  EXPECT_EQ(explicit_default.default_model(), "a");
+  (void)explicit_default.predict(query(1));  // routes to "a"
+}
+
+TEST(InferenceEngine, RejectsWrongFeatureCountAndUnknownModel) {
+  SingleModelRegistry fixture;
+  InferenceEngine engine(fixture.registry);
   std::vector<float> short_query(kFeatures - 1, 0.0f);
   EXPECT_THROW(engine.submit(short_query), std::invalid_argument);
+  PredictRequest unknown;
+  unknown.model = "ghost";
+  unknown.features = query(1);
+  EXPECT_THROW(engine.submit(std::move(unknown)), std::invalid_argument);
+  PredictRequest zero_k;
+  zero_k.features = query(1);
+  zero_k.top_k = 0;
+  EXPECT_THROW(engine.submit(std::move(zero_k)), std::invalid_argument);
 }
 
 TEST(InferenceEngine, SinglePredictMatchesClassifier) {
-  SnapshotSlot slot(make_classifier(3));
-  InferenceEngine engine(slot);
+  SingleModelRegistry fixture(3);
+  InferenceEngine engine(fixture.registry);
   const auto q = query(11);
-  const auto response = engine.predict(q);
-  EXPECT_EQ(response.version, 1u);
-  EXPECT_EQ(response.label, slot.current()->classifier.predict(q));
+  const auto result = engine.predict(q);
+  EXPECT_EQ(result.version, 1u);
+  ASSERT_EQ(result.top.size(), 1u);
+  EXPECT_TRUE(result.scores.empty());
+  util::Matrix one_row(1, kFeatures);
+  std::copy(q.begin(), q.end(), one_row.row(0).begin());
+  const auto snapshot = fixture.registry.current("m");
+  EXPECT_EQ(result.label(),
+            snapshot->classifier.predict_batch(one_row).front());
+}
+
+TEST(InferenceEngine, TopKClampsToClassCountAndRanksDescending) {
+  SingleModelRegistry fixture(5);
+  InferenceEngine engine(fixture.registry);
+  PredictRequest request;
+  request.features = query(2);
+  request.top_k = kClasses + 10;  // clamped
+  request.want_scores = true;
+  const auto result = engine.predict(std::move(request));
+  ASSERT_EQ(result.top.size(), kClasses);
+  ASSERT_EQ(result.scores.size(), kClasses);
+  for (std::size_t rank = 1; rank < result.top.size(); ++rank) {
+    EXPECT_GE(result.top[rank - 1].score, result.top[rank].score);
+  }
+  // The ranked pairs are a reordering of the full score vector.
+  for (const auto& ranked : result.top) {
+    EXPECT_EQ(ranked.score,
+              result.scores[static_cast<std::size_t>(ranked.label)]);
+  }
+}
+
+TEST(InferenceEngine, MixedShapesShareOneBatch) {
+  SingleModelRegistry fixture(4);
+  InferenceEngineConfig config;
+  config.max_batch = 3;
+  config.flush_deadline = std::chrono::milliseconds(50);
+  InferenceEngine engine(fixture.registry, config);
+  // One top-1, one top-2, one full-vector request, batched together.
+  PredictRequest top2;
+  top2.features = query(9);
+  top2.top_k = 2;
+  PredictRequest full;
+  full.features = query(9);
+  full.want_scores = true;
+  auto f1 = engine.submit(query(9));
+  auto f2 = engine.submit(std::move(top2));
+  auto f3 = engine.submit(std::move(full));
+  const auto r1 = f1.get();
+  const auto r2 = f2.get();
+  const auto r3 = f3.get();
+  ASSERT_EQ(r1.top.size(), 1u);
+  ASSERT_EQ(r2.top.size(), 2u);
+  ASSERT_EQ(r3.scores.size(), kClasses);
+  // Same query row, same snapshot: identical top-1 everywhere.
+  EXPECT_EQ(r1.label(), r2.label());
+  EXPECT_EQ(r1.label(), r3.label());
+  EXPECT_EQ(r1.score(), r2.score());
+  EXPECT_EQ(r1.score(), r3.scores[static_cast<std::size_t>(r3.label())]);
+}
+
+TEST(InferenceEngine, FullBatchForOneModelFlushesWhileWorkerCollectsAnother) {
+  // Regression: with every worker topping up a partial batch for model B
+  // under a long flush deadline, a FULL batch for model A must still flush
+  // promptly (the full-batch signal breaks the collection wait like a
+  // deadline would) — not sit until B's deadline fires.
+  ModelRegistry registry;
+  registry.register_model("a").publish(make_classifier(1));
+  registry.register_model("b").publish(make_classifier(2));
+  InferenceEngineConfig config;
+  config.max_batch = 2;
+  config.workers = 1;
+  config.flush_deadline = std::chrono::seconds(60);
+  InferenceEngine engine(registry, config);
+
+  PredictRequest for_b;
+  for_b.model = "b";
+  for_b.features = query(1);
+  auto b_future = engine.submit(std::move(for_b));
+  // Give the worker a moment to claim b's partial batch and start waiting.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  std::vector<std::future<PredictResult>> a_futures;
+  for (int i = 0; i < 2; ++i) {  // fills a's batch
+    PredictRequest for_a;
+    for_a.model = "a";
+    for_a.features = query(10 + i);
+    a_futures.push_back(engine.submit(std::move(for_a)));
+  }
+  for (auto& future : a_futures) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(20)),
+              std::future_status::ready);
+    EXPECT_EQ(future.get().version, 1u);
+  }
+  // b's request rides out on the same wake-up (partial flush), far before
+  // its 60 s deadline.
+  ASSERT_EQ(b_future.wait_for(std::chrono::seconds(20)),
+            std::future_status::ready);
+  engine.shutdown();
 }
 
 TEST(InferenceEngine, DeadlineFlushesPartialBatch) {
-  SnapshotSlot slot(make_classifier(3));
+  SingleModelRegistry fixture(3);
   InferenceEngineConfig config;
   config.max_batch = 1000;  // never reached
+  config.queue_capacity = 1024;
   config.flush_deadline = std::chrono::microseconds(500);
-  InferenceEngine engine(slot, config);
+  InferenceEngine engine(fixture.registry, config);
   // A single request must be answered without 999 peers arriving.
-  const auto response = engine.predict(query(1));
-  EXPECT_EQ(response.version, 1u);
+  const auto result = engine.predict(query(1));
+  EXPECT_EQ(result.version, 1u);
   EXPECT_EQ(engine.stats().requests, 1u);
 }
 
 TEST(InferenceEngine, BatchSizeFlushesBeforeDeadline) {
-  SnapshotSlot slot(make_classifier(3));
+  SingleModelRegistry fixture(3);
   InferenceEngineConfig config;
   config.max_batch = 4;
   // A deadline long enough that only the size trigger can flush this fast.
   config.flush_deadline = std::chrono::seconds(60);
-  InferenceEngine engine(slot, config);
-  std::vector<std::future<PredictResponse>> futures;
+  InferenceEngine engine(fixture.registry, config);
+  std::vector<std::future<PredictResult>> futures;
   for (int i = 0; i < 8; ++i) futures.push_back(engine.submit(query(i)));
   for (auto& future : futures) (void)future.get();
   const auto stats = engine.stats();
@@ -124,20 +306,31 @@ TEST(InferenceEngine, BatchSizeFlushesBeforeDeadline) {
 }
 
 TEST(InferenceEngine, ResponsesCarryLatestSnapshotVersion) {
-  SnapshotSlot slot(make_classifier(3));
-  InferenceEngine engine(slot);
+  SingleModelRegistry fixture(3);
+  InferenceEngine engine(fixture.registry);
   EXPECT_EQ(engine.predict(query(1)).version, 1u);
-  slot.publish(make_classifier(4));
+  fixture.registry.find("m")->publish(make_classifier(4));
   EXPECT_EQ(engine.predict(query(1)).version, 2u);
 }
 
+TEST(InferenceEngine, ServesModelRegisteredAfterConstruction) {
+  ModelRegistry registry;
+  registry.register_model("first").publish(make_classifier(1));
+  InferenceEngine engine(registry);
+  registry.register_model("late").publish(make_classifier(2));
+  PredictRequest request;
+  request.model = "late";
+  request.features = query(5);
+  EXPECT_EQ(engine.predict(std::move(request)).version, 1u);
+}
+
 TEST(InferenceEngine, ShutdownDrainsPendingAndRejectsNewSubmits) {
-  SnapshotSlot slot(make_classifier(3));
+  SingleModelRegistry fixture(3);
   InferenceEngineConfig config;
   config.max_batch = 64;
   config.flush_deadline = std::chrono::milliseconds(50);
-  InferenceEngine engine(slot, config);
-  std::vector<std::future<PredictResponse>> futures;
+  InferenceEngine engine(fixture.registry, config);
+  std::vector<std::future<PredictResult>> futures;
   for (int i = 0; i < 32; ++i) futures.push_back(engine.submit(query(i)));
   engine.shutdown();  // must serve all 32, not drop them
   for (auto& future : futures) {
@@ -164,13 +357,72 @@ TEST(LineProtocol, ParsesFeaturesSkipsBlanksAndComments) {
   EXPECT_THROW(parse_feature_line("1,2", features, 3), std::runtime_error);
 }
 
-TEST(LineProtocol, FormatsResponse) {
-  PredictResponse response;
-  response.version = 17;
-  response.label = 4;
-  response.score = 0.87654;
-  EXPECT_EQ(format_response(response), "17,4,0.8765");
-  EXPECT_STREQ(response_header(), "version,label,score");
+TEST(LineProtocol, V1LinesParseWithDirectiveDefaults) {
+  ParsedRequest request;
+  EXPECT_FALSE(parse_request_line("", request));
+  EXPECT_FALSE(parse_request_line("# comment", request));
+  ASSERT_TRUE(parse_request_line("1.5,-2,0.25", request));
+  EXPECT_EQ(request.model, "");
+  EXPECT_EQ(request.top_k, 1u);
+  EXPECT_FALSE(request.want_scores);
+  ASSERT_EQ(request.features.size(), 3u);
+  EXPECT_FLOAT_EQ(request.features[1], -2.0f);
+}
+
+TEST(LineProtocol, V2DirectivesRouteAndShapeTheRequest) {
+  ParsedRequest request;
+  ASSERT_TRUE(
+      parse_request_line("model=mnist topk=2 scores=1|0.5,1.5", request));
+  EXPECT_EQ(request.model, "mnist");
+  EXPECT_EQ(request.top_k, 2u);
+  EXPECT_TRUE(request.want_scores);
+  ASSERT_EQ(request.features.size(), 2u);
+  EXPECT_FLOAT_EQ(request.features[0], 0.5f);
+
+  ASSERT_TRUE(parse_request_line("topk=3|1,2", request));
+  EXPECT_EQ(request.model, "");
+  EXPECT_EQ(request.top_k, 3u);
+  EXPECT_FALSE(request.want_scores);
+
+  // Directive state never leaks between lines.
+  ASSERT_TRUE(parse_request_line("1,2", request));
+  EXPECT_EQ(request.top_k, 1u);
+}
+
+TEST(LineProtocol, RejectsMalformedDirectives) {
+  ParsedRequest request;
+  EXPECT_THROW(parse_request_line("model=|1,2", request), std::runtime_error);
+  EXPECT_THROW(parse_request_line("topk=0|1,2", request), std::runtime_error);
+  EXPECT_THROW(parse_request_line("topk=abc|1,2", request),
+               std::runtime_error);
+  EXPECT_THROW(parse_request_line("scores=2|1,2", request),
+               std::runtime_error);
+  EXPECT_THROW(parse_request_line("frobnicate=1|1,2", request),
+               std::runtime_error);
+  EXPECT_THROW(parse_request_line("model=a|", request), std::runtime_error);
+  EXPECT_THROW(parse_request_line("model|1,2", request), std::runtime_error);
+  EXPECT_THROW(parse_request_line("1,2", request, 3), std::runtime_error);
+}
+
+TEST(LineProtocol, FormatsResults) {
+  PredictResult top1;
+  top1.version = 17;
+  top1.top.push_back({4, 0.87654f});
+  // topk=1, no scores: exactly the v1 "version,label,score" line.
+  EXPECT_EQ(format_result(top1), "17,4,0.8765");
+
+  PredictResult top2;
+  top2.version = 3;
+  top2.top.push_back({1, 0.9f});
+  top2.top.push_back({0, 0.25f});
+  EXPECT_EQ(format_result(top2), "3,1,0.9000,0,0.2500");
+
+  PredictResult with_scores = top2;
+  with_scores.scores = {0.25f, 0.9f, -0.125f};
+  EXPECT_EQ(format_result(with_scores),
+            "3,1,0.9000,0,0.2500|0.2500,0.9000,-0.1250");
+
+  EXPECT_STREQ(response_header(), "#proto=2 version,label,score");
 }
 
 }  // namespace

@@ -1,14 +1,18 @@
-// Serving <-> offline parity (ISSUE 3 satellite).
+// Serving <-> offline parity (ISSUE 3 satellite, extended for the v2 API).
 //
 // Predictions served through the InferenceEngine must be BIT-IDENTICAL to
 // HdcClassifier::predict_batch / scores_batch, for every micro-batch size
 // and worker count: the engine batches whatever requests happen to be
 // pending, so the same query is scored inside differently-shaped batches
 // depending on timing — parity holds because every kernel in the path
-// (encode_batch, scores_batch) computes each row independently of its
-// batch-mates. A trained DistHD classifier on the committed fixture CSVs is
-// the reference model, so regeneration-produced state (offsets, zeroed
-// model columns) is part of what is compared.
+// (encode_batch, pre-normalized scores_batch) computes each row
+// independently of its batch-mates, and the snapshot's pre-normalized class
+// vectors hoist the exact computation scores_batch performs per call. A
+// trained DistHD classifier on the committed fixture CSVs is the reference
+// model, so regeneration-produced state (offsets, zeroed model columns) is
+// part of what is compared. The scaler suite proves the self-contained
+// snapshot applies the training-time scaler exactly like
+// tools::ModelBundle::apply_scaler does offline.
 #include <gtest/gtest.h>
 
 #include <future>
@@ -17,6 +21,7 @@
 #include "core/disthd_trainer.hpp"
 #include "data/loaders.hpp"
 #include "serve/inference_engine.hpp"
+#include "serve/model_registry.hpp"
 #include "serve/model_snapshot.hpp"
 
 namespace disthd::serve {
@@ -63,29 +68,31 @@ TEST_P(ServingParity, EngineMatchesOfflinePredictBatchBitExactly) {
   util::Matrix expected_scores;
   reference.scores_batch(test.features, expected_scores);
 
-  SnapshotSlot slot(clone_reference());
+  ModelRegistry registry;
+  registry.register_model("ref").publish(clone_reference());
   InferenceEngineConfig config;
   config.max_batch = batch_size;
   config.workers = workers;
   config.flush_deadline = std::chrono::microseconds(200);
-  InferenceEngine engine(slot, config);
+  InferenceEngine engine(registry, config);
 
   // Submit everything up front so micro-batches actually form (and split at
   // ragged boundaries: 45 fixture rows across batch sizes 1/7/64).
-  std::vector<std::future<PredictResponse>> futures;
+  std::vector<std::future<PredictResult>> futures;
   futures.reserve(test.features.rows());
   for (std::size_t r = 0; r < test.features.rows(); ++r) {
     futures.push_back(engine.submit(test.features.row(r)));
   }
   for (std::size_t r = 0; r < futures.size(); ++r) {
-    const auto response = futures[r].get();
-    ASSERT_EQ(response.label, expected_labels[r]) << "row " << r;
+    const auto result = futures[r].get();
+    ASSERT_EQ(result.label(), expected_labels[r]) << "row " << r;
     // Bit-identical score, not approximately equal: same kernels, same
-    // per-row arithmetic, regardless of how the engine batched the row.
-    ASSERT_EQ(static_cast<float>(response.score),
-              expected_scores(r, static_cast<std::size_t>(response.label)))
+    // per-row arithmetic, regardless of how the engine batched the row or
+    // that the snapshot's class vectors were pre-normalized at publish.
+    ASSERT_EQ(result.score(),
+              expected_scores(r, static_cast<std::size_t>(result.label())))
         << "row " << r;
-    ASSERT_EQ(response.version, 1u);
+    ASSERT_EQ(result.version, 1u);
   }
   const auto stats = engine.stats();
   EXPECT_EQ(stats.requests, test.features.rows());
@@ -103,8 +110,9 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(ServingParity, SingleSubmitMatchesSingleRowBatch) {
   const auto test = fixture_dataset("synth_test.csv");
-  SnapshotSlot slot(clone_reference());
-  InferenceEngine engine(slot);
+  ModelRegistry registry;
+  registry.register_model("ref").publish(clone_reference());
+  InferenceEngine engine(registry);
   const auto& reference = reference_classifier();
   util::Matrix one_row(1, test.features.cols());
   for (std::size_t r = 0; r < std::min<std::size_t>(8, test.features.rows());
@@ -112,7 +120,54 @@ TEST(ServingParity, SingleSubmitMatchesSingleRowBatch) {
     std::copy(test.features.row(r).begin(), test.features.row(r).end(),
               one_row.row(0).begin());
     const auto expected = reference.predict_batch(one_row);
-    EXPECT_EQ(engine.predict(test.features.row(r)).label, expected[0]);
+    EXPECT_EQ(engine.predict(test.features.row(r)).label(), expected[0]);
+  }
+}
+
+TEST(ServingParity, SnapshotScalerMatchesOfflineBundleScaler) {
+  // A deliberately non-trivial scaler (per-column offset and scale), the
+  // shape disthd_train persists into bundles. The engine gets RAW rows and
+  // must reproduce offline apply_scaler + scores_batch bit-for-bit through
+  // the snapshot's own scaler.
+  const auto test = fixture_dataset("synth_test.csv");
+  const std::size_t features = test.features.cols();
+  std::vector<float> offset(features);
+  std::vector<float> scale(features);
+  for (std::size_t c = 0; c < features; ++c) {
+    offset[c] = -1.5f + 0.25f * static_cast<float>(c);
+    scale[c] = 0.125f * static_cast<float>(c + 1);
+  }
+
+  // Offline reference path: exactly what disthd_predict does with a bundle.
+  const auto& reference = reference_classifier();
+  util::Matrix scaled = test.features;
+  for (std::size_t r = 0; r < scaled.rows(); ++r) {
+    auto row = scaled.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      row[c] = (row[c] - offset[c]) * scale[c];
+    }
+  }
+  const auto expected_labels = reference.predict_batch(scaled);
+  util::Matrix expected_scores;
+  reference.scores_batch(scaled, expected_scores);
+
+  ModelRegistry registry;
+  registry.register_model("scaled").publish(clone_reference(), offset, scale);
+  InferenceEngineConfig config;
+  config.max_batch = 7;
+  InferenceEngine engine(registry, config);
+
+  std::vector<std::future<PredictResult>> futures;
+  futures.reserve(test.features.rows());
+  for (std::size_t r = 0; r < test.features.rows(); ++r) {
+    futures.push_back(engine.submit(test.features.row(r)));  // RAW row
+  }
+  for (std::size_t r = 0; r < futures.size(); ++r) {
+    const auto result = futures[r].get();
+    ASSERT_EQ(result.label(), expected_labels[r]) << "row " << r;
+    ASSERT_EQ(result.score(),
+              expected_scores(r, static_cast<std::size_t>(result.label())))
+        << "row " << r;
   }
 }
 

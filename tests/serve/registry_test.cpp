@@ -1,0 +1,213 @@
+// ModelRegistry contract + multi-model concurrency stress (ISSUE 4).
+//
+// Unit part: create-or-get registration, lock-free lookup, stable slot
+// references across later registrations, name listing.
+//
+// Stress part (also run under the ThreadSanitizer CI job): a writer thread
+// keeps REGISTERING new models and PUBLISHING fresh snapshots to existing
+// ones while reader threads hammer registry lookups and engine predicts
+// across every model. For each response the test proves cross-model
+// attributability: its version maps to a snapshot the writer recorded FOR
+// THAT MODEL, and re-scoring the query against that recorded snapshot
+// reproduces label and score bit-for-bit — impossible if the registry ever
+// routed a request to the wrong model's slot or tore a lookup during a
+// concurrent registration.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hd/encoder.hpp"
+#include "hd/model.hpp"
+#include "serve/inference_engine.hpp"
+#include "serve/model_registry.hpp"
+#include "util/rng.hpp"
+
+namespace disthd::serve {
+namespace {
+
+constexpr std::size_t kFeatures = 8;
+constexpr std::size_t kDim = 32;
+constexpr std::size_t kClasses = 3;
+
+core::HdcClassifier make_classifier(std::uint64_t seed) {
+  auto encoder = std::make_unique<hd::RbfEncoder>(kFeatures, kDim, seed);
+  hd::ClassModel model(kClasses, kDim);
+  util::Rng rng(seed ^ 0xABC);
+  model.mutable_class_vectors().fill_normal(rng, 0.0, 1.0);
+  model.refresh_norms();
+  return core::HdcClassifier(std::move(encoder), std::move(model));
+}
+
+std::vector<float> query(std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> features(kFeatures);
+  for (auto& f : features) f = static_cast<float>(rng.normal());
+  return features;
+}
+
+TEST(ModelRegistry, RegisterIsCreateOrGet) {
+  ModelRegistry registry;
+  EXPECT_TRUE(registry.empty());
+  SnapshotSlot& slot = registry.register_model("a");
+  EXPECT_EQ(&registry.register_model("a"), &slot);  // idempotent
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_THROW(registry.register_model(""), std::invalid_argument);
+}
+
+TEST(ModelRegistry, FindIsLockFreeLookup) {
+  ModelRegistry registry;
+  EXPECT_EQ(registry.find("missing"), nullptr);
+  SnapshotSlot& slot = registry.register_model("a");
+  const auto found = registry.find("a");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found.get(), &slot);
+  EXPECT_EQ(registry.current("a"), nullptr);  // registered, not published
+  slot.publish(make_classifier(1));
+  ASSERT_NE(registry.current("a"), nullptr);
+  EXPECT_EQ(registry.current("a")->version, 1u);
+  EXPECT_EQ(registry.current("missing"), nullptr);
+}
+
+TEST(ModelRegistry, SlotReferencesSurviveLaterRegistrations) {
+  ModelRegistry registry;
+  SnapshotSlot& first = registry.register_model("first");
+  first.publish(make_classifier(1));
+  const auto held = registry.find("first");
+  for (int i = 0; i < 64; ++i) {
+    registry.register_model("model-" + std::to_string(i));
+  }
+  // The early slot (by reference and by shared_ptr) is untouched by the
+  // copy-on-write map swaps behind the 64 registrations.
+  EXPECT_EQ(&first, registry.find("first").get());
+  EXPECT_EQ(held.get(), &first);
+  EXPECT_EQ(first.latest_version(), 1u);
+  EXPECT_EQ(registry.size(), 65u);
+}
+
+TEST(ModelRegistry, NamesAreSorted) {
+  ModelRegistry registry;
+  registry.register_model("pamap2");
+  registry.register_model("cardio");
+  registry.register_model("mnist");
+  EXPECT_EQ(registry.names(),
+            (std::vector<std::string>{"cardio", "mnist", "pamap2"}));
+}
+
+TEST(RegistryStress, ConcurrentRegisterPublishLookupPredictAcrossModels) {
+  constexpr std::size_t kModels = 3;           // predict targets
+  constexpr std::size_t kPublishRounds = 12;   // republishes per model
+  constexpr std::size_t kExtraModels = 24;     // registered mid-flight
+  constexpr std::size_t kReaders = 4;
+  constexpr std::size_t kQueriesPerReader = 90;
+
+  ModelRegistry registry;
+  std::vector<std::string> names;
+  for (std::size_t m = 0; m < kModels; ++m) {
+    names.push_back("model-" + std::to_string(m));
+    registry.register_model(names.back()).publish(make_classifier(m + 1));
+  }
+
+  // Writer-recorded history: (model, version) -> immutable snapshot. Only
+  // the writer thread touches it while readers run; readers consult it
+  // after joining.
+  std::map<std::pair<std::string, std::uint64_t>,
+           std::shared_ptr<const ModelSnapshot>> history;
+  for (const auto& name : names) {
+    history[{name, 1}] = registry.current(name);
+  }
+
+  InferenceEngineConfig config;
+  config.max_batch = 16;
+  config.workers = 2;
+  config.flush_deadline = std::chrono::microseconds(100);
+  InferenceEngine engine(registry, config);
+
+  std::thread writer([&] {
+    std::uint64_t seed = 1000;
+    for (std::size_t round = 0; round < kPublishRounds; ++round) {
+      for (std::size_t m = 0; m < kModels; ++m) {
+        const auto version =
+            registry.find(names[m])->publish(make_classifier(++seed));
+        history[{names[m], version}] = registry.current(names[m]);
+      }
+      // Interleave registrations so reader lookups race the copy-on-write
+      // map swap, not just the per-slot publishes.
+      for (std::size_t e = 0; e < kExtraModels / kPublishRounds + 1; ++e) {
+        registry.register_model("extra-" + std::to_string(round) + "-" +
+                                std::to_string(e));
+      }
+    }
+  });
+
+  struct Record {
+    std::size_t model = 0;
+    std::uint64_t query_seed = 0;
+    PredictResult result;
+  };
+  std::vector<std::vector<Record>> per_reader(kReaders);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (std::size_t reader = 0; reader < kReaders; ++reader) {
+    readers.emplace_back([&, reader] {
+      auto& log = per_reader[reader];
+      log.reserve(kQueriesPerReader);
+      for (std::size_t q = 0; q < kQueriesPerReader; ++q) {
+        Record record;
+        record.model = (reader + q) % kModels;
+        record.query_seed = reader * 1000 + q;
+        PredictRequest request;
+        request.model = names[record.model];
+        request.features = query(record.query_seed);
+        request.top_k = 2;
+        record.result = engine.predict(std::move(request));
+        log.push_back(std::move(record));
+        // Lookups race registrations; a found slot must always be usable.
+        const auto slot = registry.find(names[q % kModels]);
+        ASSERT_NE(slot, nullptr);
+        ASSERT_GE(slot->latest_version(), 1u);
+      }
+    });
+  }
+  for (auto& reader : readers) reader.join();
+  writer.join();
+  engine.shutdown();
+
+  for (std::size_t reader = 0; reader < kReaders; ++reader) {
+    // Versions are monotone per (client, model) sequence.
+    std::vector<std::uint64_t> last_version(kModels, 0);
+    for (const auto& record : per_reader[reader]) {
+      const auto& result = record.result;
+      ASSERT_GE(result.version, last_version[record.model])
+          << "reader " << reader;
+      last_version[record.model] = result.version;
+      // Attributable to a publish of the RIGHT model...
+      const auto found =
+          history.find({names[record.model], result.version});
+      ASSERT_NE(found, history.end())
+          << "response cites version " << result.version
+          << " never published for " << names[record.model];
+      // ...and bit-identical to that snapshot's own scoring.
+      util::Matrix one_row(1, kFeatures);
+      const auto q = query(record.query_seed);
+      std::copy(q.begin(), q.end(), one_row.row(0).begin());
+      util::Matrix features = one_row, encoded, scores;
+      found->second->score_raw(features, encoded, scores);
+      ASSERT_EQ(result.top.size(), 2u);
+      const auto row = scores.row(0);
+      std::size_t best = 0;
+      for (std::size_t c = 1; c < row.size(); ++c) {
+        if (row[c] > row[best]) best = c;
+      }
+      ASSERT_EQ(result.top[0].label, static_cast<int>(best));
+      ASSERT_EQ(result.top[0].score, row[best]);
+    }
+  }
+  EXPECT_GE(registry.size(), kModels + kExtraModels);
+}
+
+}  // namespace
+}  // namespace disthd::serve

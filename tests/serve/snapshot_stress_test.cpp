@@ -27,6 +27,7 @@
 #include "core/online_trainer.hpp"
 #include "data/synthetic.hpp"
 #include "serve/inference_engine.hpp"
+#include "serve/model_registry.hpp"
 #include "serve/online_publish.hpp"
 
 namespace disthd::serve {
@@ -42,7 +43,7 @@ constexpr std::size_t kQueriesPerReader = 120;
 
 struct RecordedResponse {
   std::size_t query = 0;
-  PredictResponse response;
+  PredictResult response;
 };
 
 TEST(SnapshotStress, ConcurrentPartialFitWithRegenNeverTearsReads) {
@@ -64,7 +65,8 @@ TEST(SnapshotStress, ConcurrentPartialFitWithRegenNeverTearsReads) {
   core::OnlineDistHD learner(kFeatures, kClasses, config);
 
   // First chunk + publish before serving starts (the slot must be primed).
-  SnapshotSlot slot;
+  ModelRegistry registry;
+  SnapshotSlot& slot = registry.register_model("online");
   std::uint64_t published_revision = 0;
   std::vector<std::size_t> first_rows(kChunk);
   for (std::size_t i = 0; i < kChunk; ++i) first_rows[i] = i;
@@ -82,7 +84,7 @@ TEST(SnapshotStress, ConcurrentPartialFitWithRegenNeverTearsReads) {
   engine_config.max_batch = 16;
   engine_config.workers = 2;
   engine_config.flush_deadline = std::chrono::microseconds(100);
-  InferenceEngine engine(slot, engine_config);
+  InferenceEngine engine(registry, engine_config);
 
   std::thread writer([&] {
     for (std::size_t chunk = 1; chunk < kChunks; ++chunk) {
@@ -149,9 +151,8 @@ TEST(SnapshotStress, ConcurrentPartialFitWithRegenNeverTearsReads) {
       for (std::size_t c = 1; c < kClasses; ++c) {
         if (scores(0, c) > scores(0, best)) best = static_cast<int>(c);
       }
-      ASSERT_EQ(response.label, best);
-      ASSERT_EQ(static_cast<float>(response.score),
-                scores(0, static_cast<std::size_t>(best)));
+      ASSERT_EQ(response.label(), best);
+      ASSERT_EQ(response.score(), scores(0, static_cast<std::size_t>(best)));
     }
   }
   // The learner regenerated dimensions while serving (the hard part), and

@@ -1,0 +1,169 @@
+// Top-k / score-vector parity (ISSUE 4 satellite).
+//
+// topk=2 and scores=1 responses are computed inside process_batch from the
+// SAME fused scores sweep as the top-1 fast path, so they must re-score
+// offline bit-for-bit: every ranked (label, score) pair equals repeated
+// first-strict-max selection over HdcClassifier::scores_batch's row, and
+// the full score vector equals that row verbatim. The last suite drives the
+// DistHD α/β/γ consumer (paper §III-B): top-2 read from a served result
+// buckets samples into correct/partial/incorrect exactly like
+// core::categorize_top2 does offline against the same model.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "core/categorize.hpp"
+#include "core/disthd_trainer.hpp"
+#include "data/loaders.hpp"
+#include "serve/inference_engine.hpp"
+#include "serve/model_registry.hpp"
+
+namespace disthd::serve {
+namespace {
+
+data::Dataset fixture_dataset(const char* name) {
+  return data::load_csv_labeled(std::string(DISTHD_FIXTURE_DIR) + "/" + name,
+                                /*has_header=*/true);
+}
+
+const core::HdcClassifier& reference_classifier() {
+  static const core::HdcClassifier classifier = [] {
+    const auto train = fixture_dataset("synth_train.csv");
+    core::DistHDConfig config;
+    config.dim = 96;
+    config.iterations = 12;
+    config.regen_every = 3;
+    config.polish_epochs = 2;
+    config.seed = 5;
+    core::DistHDTrainer trainer(config);
+    return trainer.fit(train, nullptr);
+  }();
+  return classifier;
+}
+
+core::HdcClassifier clone_reference() {
+  const auto& reference = reference_classifier();
+  const auto* rbf =
+      dynamic_cast<const hd::RbfEncoder*>(&reference.encoder());
+  return core::HdcClassifier(std::make_unique<hd::RbfEncoder>(*rbf),
+                             hd::ClassModel(reference.model()));
+}
+
+/// Offline re-scoring rule: rank i is the first strict max over the
+/// not-yet-taken classes of a scores_batch row — the tie rule predict_batch
+/// and ClassModel::top2 share.
+std::vector<ScoredLabel> offline_topk(std::span<const float> row,
+                                      std::size_t top_k) {
+  std::vector<ScoredLabel> ranked;
+  std::vector<bool> taken(row.size(), false);
+  for (std::size_t rank = 0; rank < std::min(top_k, row.size()); ++rank) {
+    std::size_t best = row.size();
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (taken[c]) continue;
+      if (best == row.size() || row[c] > row[best]) best = c;
+    }
+    taken[best] = true;
+    ranked.push_back({static_cast<int>(best), row[best]});
+  }
+  return ranked;
+}
+
+class TopKParity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TopKParity, ServedTopKRescoresOfflineBitExactly) {
+  const std::size_t top_k = GetParam();
+  const auto& reference = reference_classifier();
+  const auto test = fixture_dataset("synth_test.csv");
+  util::Matrix expected_scores;
+  reference.scores_batch(test.features, expected_scores);
+
+  ModelRegistry registry;
+  registry.register_model("ref").publish(clone_reference());
+  InferenceEngineConfig config;
+  config.max_batch = 7;  // ragged micro-batches over the 45 fixture rows
+  InferenceEngine engine(registry, config);
+
+  std::vector<std::future<PredictResult>> futures;
+  futures.reserve(test.features.rows());
+  for (std::size_t r = 0; r < test.features.rows(); ++r) {
+    PredictRequest request;
+    request.features.assign(test.features.row(r).begin(),
+                            test.features.row(r).end());
+    request.top_k = top_k;
+    request.want_scores = true;
+    futures.push_back(engine.submit(std::move(request)));
+  }
+  for (std::size_t r = 0; r < futures.size(); ++r) {
+    const auto result = futures[r].get();
+    const auto row = expected_scores.row(r);
+    // Full score vector: the scores_batch row verbatim.
+    ASSERT_EQ(result.scores.size(), row.size()) << "row " << r;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      ASSERT_EQ(result.scores[c], row[c]) << "row " << r << " class " << c;
+    }
+    // Ranked pairs: repeated strict-argmax over that row, bit-for-bit.
+    const auto expected = offline_topk(row, top_k);
+    ASSERT_EQ(result.top.size(), expected.size()) << "row " << r;
+    for (std::size_t rank = 0; rank < expected.size(); ++rank) {
+      ASSERT_EQ(result.top[rank].label, expected[rank].label)
+          << "row " << r << " rank " << rank;
+      ASSERT_EQ(result.top[rank].score, expected[rank].score)
+          << "row " << r << " rank " << rank;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, TopKParity,
+                         ::testing::Values(std::size_t{1}, std::size_t{2},
+                                           std::size_t{3}));
+
+TEST(TopKParity, ServedTop2DrivesTheCategorizeConsumer) {
+  // The α/β/γ partial-distance diagnosis consumes top-2: true label first
+  // -> correct (α region), second -> partial (β/γ), else incorrect. Bucket
+  // every labeled fixture row from SERVED top-2 results and compare against
+  // core::categorize_top2 on the same model and encodings.
+  const auto& reference = reference_classifier();
+  const auto test = fixture_dataset("synth_test.csv");
+
+  util::Matrix encoded;
+  reference.encoder().encode_batch(test.features, encoded);
+  const auto offline = core::categorize_top2(
+      reference.model(), encoded,
+      std::span<const int>(test.labels.data(), test.labels.size()));
+
+  ModelRegistry registry;
+  registry.register_model("ref").publish(clone_reference());
+  InferenceEngine engine(registry);
+
+  std::size_t correct = 0, partial = 0, incorrect = 0;
+  for (std::size_t r = 0; r < test.features.rows(); ++r) {
+    PredictRequest request;
+    request.features.assign(test.features.row(r).begin(),
+                            test.features.row(r).end());
+    request.top_k = 2;
+    const auto result = engine.predict(std::move(request));
+    ASSERT_EQ(result.top.size(), 2u);
+    const auto& sample = offline.samples[r];
+    core::Top2Category category;
+    if (test.labels[r] == result.top[0].label) {
+      category = core::Top2Category::correct;
+      ++correct;
+    } else if (test.labels[r] == result.top[1].label) {
+      category = core::Top2Category::partial;
+      ++partial;
+    } else {
+      category = core::Top2Category::incorrect;
+      ++incorrect;
+    }
+    EXPECT_EQ(category, sample.category) << "row " << r;
+    EXPECT_EQ(result.top[0].label, sample.top2.first) << "row " << r;
+    EXPECT_EQ(result.top[1].label, sample.top2.second) << "row " << r;
+  }
+  EXPECT_EQ(correct, offline.correct_count);
+  EXPECT_EQ(partial, offline.partial_count);
+  EXPECT_EQ(incorrect, offline.incorrect_count);
+}
+
+}  // namespace
+}  // namespace disthd::serve

@@ -80,5 +80,15 @@ TEST(ArgParser, LastValueWins) {
   EXPECT_EQ(args.get_int("k", 0), 2);
 }
 
+TEST(ArgParser, GetAllReturnsRepeatedValuesInOrder) {
+  const auto args = make({"--model", "a=1.bin", "--x", "7", "--model",
+                          "b=2.bin", "--model=c=3.bin"});
+  EXPECT_EQ(args.get_all("model"),
+            (std::vector<std::string>{"a=1.bin", "b=2.bin", "c=3.bin"}));
+  EXPECT_EQ(args.get("model", ""), "c=3.bin");  // scalar getter: last wins
+  EXPECT_TRUE(args.get_all("absent").empty());
+  EXPECT_EQ(args.get_all("x"), (std::vector<std::string>{"7"}));
+}
+
 }  // namespace
 }  // namespace disthd::util

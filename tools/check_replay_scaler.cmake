@@ -1,0 +1,54 @@
+# CTest script: the ModelBundle/snapshot scaler gap, end-to-end (ISSUE 4
+# satellite). disthd_serve replay mode fits a min-max scaler on its first
+# training chunk, folds it into every published snapshot (so queries are
+# scaled exactly like the training stream), and --save-bundle writes the
+# final snapshot back out as a bundle. If any link drops the scaler —
+# training on raw rows, serving queries unscaled, or saving a bundle
+# without the statistics — the label sequences diverge on a
+# wildly-scaled fixture.
+#
+#   cmake -DSERVE=<disthd_serve> -DPREDICT=<disthd_predict>
+#         -DTRAIN=<scaled_train.csv> -DQUERY=<scaled_query.csv>
+#         -DWORK_DIR=<dir> -P check_replay_scaler.cmake
+#
+# The replay ingests the whole stream as one chunk before serving (chunk
+# size >= the fixture), so the saved bundle is exactly the model every
+# query was answered with and disthd_predict must reproduce every label.
+
+foreach(var SERVE PREDICT TRAIN QUERY WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+set(bundle ${WORK_DIR}/replay_scaler_bundle.bin)
+
+execute_process(
+  COMMAND ${SERVE} --train-stream ${TRAIN} --input ${QUERY}
+          --train-chunk 100000 --train-every 0
+          --dim 128 --seed 3 --max-batch 4 --save-bundle ${bundle}
+  OUTPUT_VARIABLE serve_out RESULT_VARIABLE serve_rc)
+if(NOT serve_rc EQUAL 0)
+  message(FATAL_ERROR "disthd_serve replay failed (${serve_rc})")
+endif()
+
+execute_process(
+  COMMAND ${PREDICT} --model ${bundle} --input ${QUERY}
+  OUTPUT_VARIABLE predict_out RESULT_VARIABLE predict_rc)
+if(NOT predict_rc EQUAL 0)
+  message(FATAL_ERROR "disthd_predict on the saved replay bundle failed (${predict_rc})")
+endif()
+
+include(${CMAKE_CURRENT_LIST_DIR}/parity_common.cmake)
+
+extract_labels("${serve_out}" 1 1 serve_labels)
+extract_labels("${predict_out}" 1 1 predict_labels)
+
+if(NOT serve_labels STREQUAL predict_labels)
+  message(FATAL_ERROR "replay-scaler label mismatch:\n  serve:   ${serve_labels}\n  predict: ${predict_labels}")
+endif()
+list(LENGTH serve_labels n)
+if(n EQUAL 0)
+  message(FATAL_ERROR "no labels extracted — output format changed?")
+endif()
+message(STATUS "replay scaler round-trip parity OK over ${n} queries")

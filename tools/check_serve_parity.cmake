@@ -1,12 +1,20 @@
-# CTest script: disthd_serve's replayed label column must match
-# disthd_predict on the same model bundle and query CSV (ISSUE 3 satellite).
+# CTest script: disthd_serve's label column must match disthd_predict on the
+# same model bundle(s) and query CSV (ISSUE 3 satellite; multi-model in
+# ISSUE 4).
 #
-# Invoked as:
+# Single model (v1-shaped plain CSV queries):
 #   cmake -DSERVE=<disthd_serve> -DPREDICT=<disthd_predict>
 #         -DMODEL=<bundle.bin> -DQUERY=<queries.csv> -P check_serve_parity.cmake
 #
+# Two models through ONE serve process (v2 "model=" routed queries): also
+# pass -DMODEL2=<bundle2.bin> -DWORK_DIR=<dir>. The script interleaves every
+# query row as a "model=a|..." and a "model=b|..." request, drives one serve
+# process with both bundles registered, de-interleaves the response stream,
+# and diffs each model's label sequence against its own disthd_predict run.
+#
 # disthd_predict prints "row,prediction"; disthd_serve prints
-# "version,label,score". Extract the label sequences from both and compare.
+# "version,label,score..." (field 1 is always the top-1 label, per the v2
+# protocol). Extract the label sequences from both and compare.
 
 foreach(var SERVE PREDICT MODEL QUERY)
   if(NOT DEFINED ${var})
@@ -14,48 +22,88 @@ foreach(var SERVE PREDICT MODEL QUERY)
   endif()
 endforeach()
 
-execute_process(
-  COMMAND ${PREDICT} --model ${MODEL} --input ${QUERY}
-  OUTPUT_VARIABLE predict_out RESULT_VARIABLE predict_rc)
-if(NOT predict_rc EQUAL 0)
-  message(FATAL_ERROR "disthd_predict failed (${predict_rc})")
-endif()
+include(${CMAKE_CURRENT_LIST_DIR}/parity_common.cmake)
 
-execute_process(
-  COMMAND ${SERVE} --model ${MODEL} --input ${QUERY} --max-batch 3
-  OUTPUT_VARIABLE serve_out RESULT_VARIABLE serve_rc)
-if(NOT serve_rc EQUAL 0)
-  message(FATAL_ERROR "disthd_serve failed (${serve_rc})")
-endif()
-
-function(extract_labels text label_column skip_header out_var)
-  string(REPLACE "\n" ";" lines "${text}")
-  set(labels "")
-  set(index 0)
-  foreach(line IN LISTS lines)
-    if(line STREQUAL "")
-      continue()
-    endif()
-    math(EXPR row "${index}")
-    math(EXPR index "${index} + 1")
-    if(row LESS ${skip_header})
-      continue()
-    endif()
-    string(REPLACE "," ";" fields "${line}")
-    list(GET fields ${label_column} label)
-    list(APPEND labels "${label}")
-  endforeach()
+function(run_predict model out_var)
+  execute_process(
+    COMMAND ${PREDICT} --model ${model} --input ${QUERY}
+    OUTPUT_VARIABLE predict_out RESULT_VARIABLE predict_rc)
+  if(NOT predict_rc EQUAL 0)
+    message(FATAL_ERROR "disthd_predict failed (${predict_rc})")
+  endif()
+  extract_labels("${predict_out}" 1 1 labels)
   set(${out_var} "${labels}" PARENT_SCOPE)
 endfunction()
 
-extract_labels("${predict_out}" 1 1 predict_labels)
+function(check_match what expected actual)
+  if(NOT expected STREQUAL actual)
+    message(FATAL_ERROR "${what} label mismatch:\n  predict: ${expected}\n  serve:   ${actual}")
+  endif()
+  list(LENGTH actual n)
+  if(n EQUAL 0)
+    message(FATAL_ERROR "${what}: no labels extracted — output format changed?")
+  endif()
+  message(STATUS "${what} parity OK over ${n} queries")
+endfunction()
+
+run_predict(${MODEL} predict_labels)
+
+if(NOT DEFINED MODEL2)
+  execute_process(
+    COMMAND ${SERVE} --model ${MODEL} --input ${QUERY} --max-batch 3
+    OUTPUT_VARIABLE serve_out RESULT_VARIABLE serve_rc)
+  if(NOT serve_rc EQUAL 0)
+    message(FATAL_ERROR "disthd_serve failed (${serve_rc})")
+  endif()
+  extract_labels("${serve_out}" 1 1 serve_labels)
+  check_match("serve/predict" "${predict_labels}" "${serve_labels}")
+  return()
+endif()
+
+# ---- two models, one process ----------------------------------------------
+
+if(NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "missing -DWORK_DIR=... (needed with MODEL2)")
+endif()
+run_predict(${MODEL2} predict2_labels)
+
+# Interleave "model=a|row" / "model=b|row" requests from the query CSV
+# (dropping its header — the request file is fed with --no-header).
+file(STRINGS ${QUERY} query_lines)
+list(POP_FRONT query_lines)  # header
+set(request_lines "")
+foreach(line IN LISTS query_lines)
+  if(line STREQUAL "")
+    continue()
+  endif()
+  string(APPEND request_lines "model=a|${line}\nmodel=b|${line}\n")
+endforeach()
+set(request_file ${WORK_DIR}/multi_model_requests.txt)
+file(WRITE ${request_file} "${request_lines}")
+
+execute_process(
+  COMMAND ${SERVE} --model a=${MODEL} --model b=${MODEL2}
+          --input ${request_file} --no-header --max-batch 3
+  OUTPUT_VARIABLE serve_out RESULT_VARIABLE serve_rc)
+if(NOT serve_rc EQUAL 0)
+  message(FATAL_ERROR "disthd_serve (two models) failed (${serve_rc})")
+endif()
 extract_labels("${serve_out}" 1 1 serve_labels)
 
-if(NOT predict_labels STREQUAL serve_labels)
-  message(FATAL_ERROR "label mismatch:\n  predict: ${predict_labels}\n  serve:   ${serve_labels}")
-endif()
-list(LENGTH serve_labels n)
-if(n EQUAL 0)
-  message(FATAL_ERROR "no labels extracted — output format changed?")
-endif()
-message(STATUS "serve/predict parity OK over ${n} queries")
+# De-interleave: responses come back in request order, so even positions
+# belong to model a, odd to model b.
+set(serve_a "")
+set(serve_b "")
+set(index 0)
+foreach(label IN LISTS serve_labels)
+  math(EXPR parity "${index} % 2")
+  if(parity EQUAL 0)
+    list(APPEND serve_a "${label}")
+  else()
+    list(APPEND serve_b "${label}")
+  endif()
+  math(EXPR index "${index} + 1")
+endforeach()
+
+check_match("model a (of two served)" "${predict_labels}" "${serve_a}")
+check_match("model b (of two served)" "${predict2_labels}" "${serve_b}")

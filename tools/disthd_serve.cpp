@@ -1,21 +1,32 @@
-// disthd_serve — concurrent inference serving over a line protocol.
+// disthd_serve — concurrent multi-model inference serving over the v2 line
+// protocol (see serve/line_protocol.hpp for the full grammar).
 //
-// Static serving (a saved model bundle answers every query):
-//   disthd_serve --model model.bin [--input queries.csv] [--no-header]
+// Static serving (saved model bundles answer queries; --model repeats):
+//   disthd_serve --model bundle.bin --model name2=bundle2.bin
+//                [--default-model NAME] [--input queries.csv] [--no-header]
 //                [--max-batch N] [--deadline-us U] [--workers W] [--window K]
 //
 // Replay serving (an OnlineDistHD keeps learning from a labeled stream
-// while queries are answered; snapshots are published between chunks):
-//   disthd_serve --train-stream labeled.csv [--input queries.csv]
-//                [--train-chunk C] [--train-every Q] [--dim D] [--seed S]
+// while queries are answered; snapshots are published between chunks; the
+// min-max scaler fitted on the first chunk is folded into every snapshot):
+//   disthd_serve --train-stream labeled.csv [--train-model NAME]
+//                [--input queries.csv] [--train-chunk C] [--train-every Q]
+//                [--dim D] [--seed S] [--save-bundle out.bin]
 //                [... engine flags as above]
 //
-// Queries are CSV feature rows (stdin when --input is omitted; "#" comments
-// and blank lines are skipped). One response line is printed per query, in
-// request order: "version,label,score" — version names the snapshot that
-// answered, so interleaved output is attributable even while the model
-// moves underneath. With no --train-stream the replay degenerates to a
-// single static snapshot and the label column matches disthd_predict.
+// Both modes combine: every --model registers a bundle under its name (a
+// bare "--model bundle.bin" registers as "default"), --train-stream
+// registers a live learner next to them, and request lines route with the
+// "model=NAME|" prefix. Queries are CSV feature rows — RAW, the
+// training-time scaler inside each model's snapshot is applied by the
+// engine (stdin when --input is omitted; "#" comments and blank lines are
+// skipped). One response line is printed per query, in request order:
+// "version,label,score" extended per the v2 grammar for topk=/scores=
+// requests — version names the snapshot that answered, so interleaved
+// output is attributable even while a model moves underneath.
+// --save-bundle writes the final snapshot (classifier + scaler) of the
+// replay-trained model — or of the default model when there is no
+// --train-stream — back out as a loadable bundle when serving ends.
 #include <chrono>
 #include <cstdio>
 #include <deque>
@@ -26,8 +37,10 @@
 #include <string>
 #include <vector>
 
+#include "data/normalize.hpp"
 #include "serve/inference_engine.hpp"
 #include "serve/line_protocol.hpp"
+#include "serve/model_registry.hpp"
 #include "serve/online_publish.hpp"
 #include "tools_common.hpp"
 #include "util/argparse.hpp"
@@ -36,7 +49,8 @@ namespace {
 
 using namespace disthd;
 
-serve::InferenceEngineConfig engine_config(const util::ArgParser& args) {
+serve::InferenceEngineConfig engine_config(const util::ArgParser& args,
+                                           const std::string& default_model) {
   serve::InferenceEngineConfig config;
   config.max_batch =
       static_cast<std::size_t>(args.get_int("max-batch", 64));
@@ -44,7 +58,19 @@ serve::InferenceEngineConfig engine_config(const util::ArgParser& args) {
       std::chrono::microseconds(args.get_int("deadline-us", 200));
   config.workers = static_cast<std::size_t>(args.get_int("workers", 1));
   config.queue_capacity = std::max<std::size_t>(config.max_batch * 4, 1024);
+  config.default_model = default_model;
   return config;
+}
+
+/// "name=path" -> {name, path}; a bare "path" registers as "default".
+std::pair<std::string, std::string> split_model_arg(const std::string& arg) {
+  const auto eq = arg.find('=');
+  if (eq == std::string::npos) return {"default", arg};
+  if (eq == 0 || eq + 1 == arg.size()) {
+    throw std::runtime_error("--model expects NAME=BUNDLE or BUNDLE, got '" +
+                             arg + "'");
+  }
+  return {arg.substr(0, eq), arg.substr(eq + 1)};
 }
 
 }  // namespace
@@ -52,25 +78,30 @@ serve::InferenceEngineConfig engine_config(const util::ArgParser& args) {
 int main(int argc, char** argv) {
   try {
     const util::ArgParser args(argc, argv);
-    const std::string model_path = args.get("model", "");
+    const auto model_args = args.get_all("model");
     const std::string train_path = args.get("train-stream", "");
     const std::string input_path = args.get("input", "");
-    if (model_path.empty() == train_path.empty()) {
+    if (model_args.empty() && train_path.empty()) {
       std::fprintf(stderr,
-                   "usage: disthd_serve (--model model.bin | --train-stream "
-                   "labeled.csv) [--input queries.csv]\n");
+                   "usage: disthd_serve (--model [name=]bundle.bin)... "
+                   "[--train-stream labeled.csv] [--input queries.csv]\n");
       return 2;
     }
     const bool has_header = !args.get_bool("no-header", false);
     const std::size_t window =
         std::max<long>(1, args.get_int("window", 32));
 
-    serve::SnapshotSlot slot;
-    std::vector<float> scaler_offset;
-    std::vector<float> scaler_scale;
+    serve::ModelRegistry registry;
+    std::string default_model = args.get("default-model", "");
 
     // Replay state: the labeled stream feeds an online learner in chunks.
+    // The min-max scaler is fitted on the first chunk (the replay stand-in
+    // for "training time") and folded into every published snapshot, so
+    // training chunks and served queries see the same normalization.
+    const std::string train_model_name = args.get("train-model", "online");
     std::unique_ptr<core::OnlineDistHD> learner;
+    serve::SnapshotSlot* learner_slot = nullptr;
+    data::Scaler stream_scaler(data::ScalerKind::min_max);
     data::Dataset stream;
     std::size_t stream_cursor = 0;
     std::uint64_t published_revision = 0;
@@ -85,37 +116,41 @@ int main(int argc, char** argv) {
           std::min(train_chunk, stream.features.rows() - stream_cursor);
       std::vector<std::size_t> rows(take);
       for (std::size_t i = 0; i < take; ++i) rows[i] = stream_cursor + i;
-      const util::Matrix chunk = stream.features.gather_rows(rows);
+      util::Matrix chunk = stream.features.gather_rows(rows);
+      if (!stream_scaler.fitted()) stream_scaler.fit(chunk);
+      stream_scaler.transform(chunk);
       const std::span<const int> labels(stream.labels.data() + stream_cursor,
                                         take);
       learner->partial_fit(chunk, labels);
       stream_cursor += take;
-      serve::publish_online(slot, *learner, published_revision);
+      serve::publish_online(*learner_slot, *learner, published_revision,
+                            stream_scaler.offset(), stream_scaler.scale());
     };
 
-    if (!model_path.empty()) {
-      auto bundle = tools::load_bundle(model_path);
-      if (!bundle.scaler_offset.empty() &&
-          (bundle.scaler_offset.size() != bundle.classifier->num_features() ||
-           bundle.scaler_scale.size() != bundle.scaler_offset.size())) {
-        throw std::runtime_error(
-            "model bundle scaler does not match its classifier's feature "
-            "count");
-      }
-      scaler_offset = bundle.scaler_offset;
-      scaler_scale = bundle.scaler_scale;
-      slot.publish(std::move(*bundle.classifier));
-    } else {
+    for (const auto& model_arg : model_args) {
+      const auto [name, path] = split_model_arg(model_arg);
+      auto bundle = tools::load_bundle(path);
+      // Fold the bundle's training-time scaler into the snapshot: the
+      // published model is self-contained and queries arrive raw.
+      registry.register_model(name).publish(std::move(*bundle.classifier),
+                                            std::move(bundle.scaler_offset),
+                                            std::move(bundle.scaler_scale));
+      if (default_model.empty()) default_model = name;
+    }
+    if (!train_path.empty()) {
       stream = tools::load_csv(train_path, has_header);
       core::OnlineDistHDConfig config;
       config.dim = static_cast<std::size_t>(args.get_int("dim", 256));
       config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
       learner = std::make_unique<core::OnlineDistHD>(
           stream.features.cols(), stream.num_classes, config);
+      learner_slot = &registry.register_model(train_model_name);
+      if (default_model.empty()) default_model = train_model_name;
       ingest_next_chunk();  // the first snapshot must exist before serving
     }
 
-    serve::InferenceEngine engine(slot, engine_config(args));
+    serve::InferenceEngine engine(registry,
+                                  engine_config(args, default_model));
 
     std::ifstream input_file;
     if (!input_path.empty()) {
@@ -128,15 +163,15 @@ int main(int argc, char** argv) {
     std::istream& input = input_path.empty() ? std::cin : input_file;
 
     std::printf("%s\n", serve::response_header());
-    std::deque<std::future<serve::PredictResponse>> inflight;
+    std::deque<std::future<serve::PredictResult>> inflight;
     auto drain_one = [&] {
-      const auto response = inflight.front().get();
+      const auto result = inflight.front().get();
       inflight.pop_front();
-      std::printf("%s\n", serve::format_response(response).c_str());
+      std::printf("%s\n", serve::format_result(result).c_str());
     };
 
     std::string line;
-    std::vector<float> features;
+    serve::ParsedRequest parsed;
     // Same header rule as disthd_predict, for stdin and --input alike: the
     // first line is a header unless --no-header (a header's column names
     // would otherwise parse as an all-zero query and shift every response).
@@ -147,13 +182,15 @@ int main(int argc, char** argv) {
         skipped_header = true;
         continue;
       }
-      if (!serve::parse_feature_line(line, features, engine.num_features())) {
+      if (!serve::parse_request_line(line, parsed)) {
         continue;
       }
-      for (std::size_t c = 0; c < scaler_offset.size(); ++c) {
-        features[c] = (features[c] - scaler_offset[c]) * scaler_scale[c];
-      }
-      inflight.push_back(engine.submit(features));
+      serve::PredictRequest request;
+      request.model = std::move(parsed.model);
+      request.features = std::move(parsed.features);
+      request.top_k = parsed.top_k;
+      request.want_scores = parsed.want_scores;
+      inflight.push_back(engine.submit(std::move(request)));
       while (inflight.size() >= window) drain_one();
       ++queries;
       if (train_every > 0 && queries % train_every == 0) ingest_next_chunk();
@@ -161,15 +198,37 @@ int main(int argc, char** argv) {
     while (!inflight.empty()) drain_one();
     engine.shutdown();
 
+    const std::string save_path = args.get("save-bundle", "");
+    if (!save_path.empty()) {
+      // The replay-trained model when there is one (saving a static bundle
+      // back out unchanged is never what --save-bundle meant), otherwise
+      // the default model.
+      const std::string save_model = learner ? train_model_name : default_model;
+      const auto snapshot = registry.current(save_model);
+      if (!snapshot) {
+        throw std::runtime_error("--save-bundle: model '" + save_model +
+                                 "' has no snapshot");
+      }
+      tools::save_bundle(save_path, snapshot->scaler_offset,
+                         snapshot->scaler_scale, snapshot->classifier);
+      std::fprintf(stderr, "final snapshot of '%s' saved to %s\n",
+                   save_model.c_str(), save_path.c_str());
+    }
+
     const auto stats = engine.stats();
+    std::uint64_t final_version = 0;
+    if (const auto slot = registry.find(default_model)) {
+      final_version = slot->latest_version();
+    }
     std::fprintf(stderr,
                  "served %llu requests in %llu batches (mean batch %.2f, "
-                 "largest %llu), final model version %llu\n",
+                 "largest %llu) across %zu models, final '%s' version %llu\n",
                  static_cast<unsigned long long>(stats.requests),
                  static_cast<unsigned long long>(stats.batches),
                  stats.mean_batch_size(),
                  static_cast<unsigned long long>(stats.largest_batch),
-                 static_cast<unsigned long long>(slot.latest_version()));
+                 registry.size(), default_model.c_str(),
+                 static_cast<unsigned long long>(final_version));
     return 0;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());

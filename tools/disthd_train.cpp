@@ -107,23 +107,10 @@ int main(int argc, char** argv) {
                   100.0 * classifier->evaluate_accuracy(*test));
     }
 
-    // Persist the scaler statistics alongside the classifier.
-    // (Reconstructed from the fitted transform on an identity probe.)
-    std::vector<float> offset(train.num_features());
-    std::vector<float> scale(train.num_features());
-    {
-      util::Matrix probe(2, train.num_features());
-      for (std::size_t c = 0; c < train.num_features(); ++c) {
-        probe(0, c) = 0.0f;
-        probe(1, c) = 1.0f;
-      }
-      scaler.transform(probe);
-      for (std::size_t c = 0; c < train.num_features(); ++c) {
-        scale[c] = probe(1, c) - probe(0, c);
-        offset[c] = scale[c] != 0.0f ? -probe(0, c) / scale[c] : 0.0f;
-      }
-    }
-    tools::save_bundle(args.get("model", ""), offset, scale, *classifier);
+    // Persist the scaler statistics alongside the classifier — the exact
+    // fitted values, so the bundle reapplies bit-for-bit what training saw.
+    tools::save_bundle(args.get("model", ""), scaler.offset(), scaler.scale(),
+                       *classifier);
     std::printf("model bundle written to %s\n", model_path.c_str());
     return 0;
   } catch (const std::exception& error) {

@@ -1,0 +1,28 @@
+# Shared helper for the serve-vs-predict parity CTest scripts
+# (check_serve_parity.cmake, check_replay_scaler.cmake).
+#
+# extract_labels(<text> <label_column> <skip_header> <out_var>): splits
+# tool output into lines, drops the first `skip_header` non-empty lines,
+# and collects field `label_column` of each remaining CSV line. Works for
+# both disthd_predict ("row,prediction") and disthd_serve v2 responses
+# ("version,label,score..." — field 1 is always the top-1 label).
+
+function(extract_labels text label_column skip_header out_var)
+  string(REPLACE "\n" ";" lines "${text}")
+  set(labels "")
+  set(index 0)
+  foreach(line IN LISTS lines)
+    if(line STREQUAL "")
+      continue()
+    endif()
+    math(EXPR row "${index}")
+    math(EXPR index "${index} + 1")
+    if(row LESS ${skip_header})
+      continue()
+    endif()
+    string(REPLACE "," ";" fields "${line}")
+    list(GET fields ${label_column} label)
+    list(APPEND labels "${label}")
+  endforeach()
+  set(${out_var} "${labels}" PARENT_SCOPE)
+endfunction()
