@@ -1,13 +1,20 @@
-// Serving throughput/latency harness (ISSUE 3 tentpole, ISSUE 4 v2 API).
+// Serving throughput/latency harness (ISSUE 3 tentpole, ISSUE 4 v2 API,
+// ISSUE 5 model-affine pools).
 //
-// Drives the InferenceEngine with closed-loop clients (each keeps a fixed
+// Drives the serving layer with closed-loop clients (each keeps a fixed
 // window of in-flight requests) against published snapshots and sweeps
-// micro-batch size, worker count, and — new in the v2 registry API — the
-// number of models served side by side from one process (clients
-// round-robin their requests across the registered models, so per-model
-// micro-batches shrink as the model count grows; the sweep quantifies that
-// cost). Reports throughput and p50/p99 request latency per configuration,
-// plus the headline ratio of the best batched configuration over the
+// micro-batch size, worker count, and the number of models served side by
+// side from one process (clients round-robin their requests across the
+// registered models, so per-model micro-batches shrink as the model count
+// grows; the sweep quantifies that cost). The multi-model shapes run TWICE:
+// once through a single shared InferenceEngine (every model interleaved in
+// one queue — the v2 baseline) and once through a model-affine EnginePool
+// (one engine per model by consistent-hash routing), so the JSON shows how
+// much of the round-robin regression affinity recovers. Per-model stats
+// rows (batch shape, flush reasons, latency quantiles) are recorded for
+// every multi-model run, attributing batch shape per workload. Reports
+// throughput and p50/p99 request latency per configuration, plus the
+// headline ratio of the best batched configuration over the
 // single-request single-worker baseline (window 1, batch 1 — one
 // request-response at a time). Batching wins even on one core: a batch of
 // rows amortizes the queue/wakeup overhead and runs through the fused
@@ -46,6 +53,7 @@
 #include "bench_common.hpp"
 #include "hd/encoder.hpp"
 #include "hd/model.hpp"
+#include "serve/engine_pool.hpp"
 #include "serve/inference_engine.hpp"
 #include "serve/model_registry.hpp"
 #include "util/timer.hpp"
@@ -60,6 +68,7 @@ struct RunConfig {
   std::size_t clients = 1;
   std::size_t window = 1;  // in-flight requests per client
   std::size_t models = 1;  // request round-robin targets
+  std::size_t pool = 1;    // >1 = model-affine EnginePool of this size
 };
 
 struct RunResult {
@@ -68,6 +77,7 @@ struct RunResult {
   double p50_ms = 0.0;
   double p99_ms = 0.0;
   double mean_batch = 0.0;
+  std::vector<serve::ModelStats> model_stats;  // recorded when models > 1
 };
 
 core::HdcClassifier make_classifier(std::size_t features, std::size_t dim,
@@ -87,19 +97,13 @@ double percentile(std::vector<double>& sorted_ms, double p) {
   return sorted_ms[index];
 }
 
-RunResult run_one(const serve::ModelRegistry& registry,
-                  const std::vector<std::string>& model_names,
-                  const util::Matrix& queries, const RunConfig& config,
-                  std::size_t requests_per_client) {
-  serve::InferenceEngineConfig engine_config;
-  engine_config.max_batch = config.max_batch;
-  engine_config.workers = config.workers;
-  engine_config.queue_capacity =
-      std::max<std::size_t>(1024, config.clients * config.window * 2);
-  engine_config.flush_deadline = std::chrono::microseconds(200);
-  engine_config.default_model = model_names.front();
-  serve::InferenceEngine engine(registry, engine_config);
-
+/// Closed-loop client drive, shared by the single-engine and the
+/// model-affine pool runs (both expose the same submit/stats surface).
+template <typename EngineT>
+RunResult drive_clients(EngineT& engine,
+                        const std::vector<std::string>& model_names,
+                        const util::Matrix& queries, const RunConfig& config,
+                        std::size_t requests_per_client) {
   std::vector<std::vector<double>> latencies(config.clients);
   std::vector<std::thread> clients;
   clients.reserve(config.clients);
@@ -154,7 +158,32 @@ RunResult run_one(const serve::ModelRegistry& registry,
   result.p50_ms = percentile(all, 0.50);
   result.p99_ms = percentile(all, 0.99);
   result.mean_batch = engine.stats().mean_batch_size();
+  if (config.models > 1) result.model_stats = engine.model_stats();
   return result;
+}
+
+RunResult run_one(const serve::ModelRegistry& registry,
+                  const std::vector<std::string>& model_names,
+                  const util::Matrix& queries, const RunConfig& config,
+                  std::size_t requests_per_client) {
+  serve::InferenceEngineConfig engine_config;
+  engine_config.max_batch = config.max_batch;
+  engine_config.workers = config.workers;
+  engine_config.queue_capacity =
+      std::max<std::size_t>(1024, config.clients * config.window * 2);
+  engine_config.flush_deadline = std::chrono::microseconds(200);
+  engine_config.default_model = model_names.front();
+  if (config.pool > 1) {
+    serve::EnginePoolConfig pool_config;
+    pool_config.engines = config.pool;
+    pool_config.engine = engine_config;
+    serve::EnginePool pool(registry, pool_config);
+    return drive_clients(pool, model_names, queries, config,
+                         requests_per_client);
+  }
+  serve::InferenceEngine engine(registry, engine_config);
+  return drive_clients(engine, model_names, queries, config,
+                       requests_per_client);
 }
 
 struct PrenormalizeResult {
@@ -256,35 +285,55 @@ int main(int argc, char** argv) {
     }
   }
   // Multi-model sweep: the best batched single-model shapes, re-run with
-  // requests spread across the registry.
+  // requests spread across the registry — once through ONE shared engine
+  // (round-robin traffic interleaved in a single queue) and once through a
+  // model-affine EnginePool with one engine per model, so the JSON shows
+  // the routed-vs-round-robin gap directly.
+  // Window 128 keeps ~32 requests in flight per model per client at 4
+  // models; 256 keeps a full batch queued per model while one is scored
+  // (the single-model sweep's 2x-batch rule, per model).
   if (model_count > 1) {
-    for (const auto worker_count : workers) {
-      configs.push_back({64, worker_count, clients, 128, model_count});
+    const std::vector<std::size_t> multi_windows{128, 64 * model_count};
+    for (const auto window : multi_windows) {
+      for (const auto worker_count : workers) {
+        configs.push_back(
+            {64, worker_count, clients, window, model_count, 1});
+      }
+    }
+    for (const auto window : multi_windows) {
+      for (const auto worker_count : workers) {
+        configs.push_back(
+            {64, worker_count, clients, window, model_count, model_count});
+      }
     }
   }
 
   std::vector<RunResult> results;
-  std::printf("%8s %8s %8s %8s %8s %12s %9s %9s %10s\n", "batch", "workers",
-              "clients", "window", "models", "rps", "p50_ms", "p99_ms",
-              "mean_bat");
+  std::printf("%8s %8s %8s %8s %8s %8s %12s %9s %9s %10s\n", "batch",
+              "workers", "clients", "window", "models", "pool", "rps",
+              "p50_ms", "p99_ms", "mean_bat");
   for (const auto& config : configs) {
     const auto result =
         run_one(registry, model_names, queries, config, requests);
     results.push_back(result);
-    std::printf("%8zu %8zu %8zu %8zu %8zu %12.0f %9.3f %9.3f %10.2f\n",
+    std::printf("%8zu %8zu %8zu %8zu %8zu %8zu %12.0f %9.3f %9.3f %10.2f\n",
                 config.max_batch, config.workers, config.clients,
-                config.window, config.models, result.throughput_rps,
-                result.p50_ms, result.p99_ms, result.mean_batch);
+                config.window, config.models, config.pool,
+                result.throughput_rps, result.p50_ms, result.p99_ms,
+                result.mean_batch);
   }
 
   const double baseline = results.front().throughput_rps;
   double best = baseline;
-  double best_multi = 0.0;
+  double best_multi_shared = 0.0;
+  double best_multi_affine = 0.0;
   for (const auto& result : results) {
     if (result.config.models == 1) {
       best = std::max(best, result.throughput_rps);
+    } else if (result.config.pool == 1) {
+      best_multi_shared = std::max(best_multi_shared, result.throughput_rps);
     } else {
-      best_multi = std::max(best_multi, result.throughput_rps);
+      best_multi_affine = std::max(best_multi_affine, result.throughput_rps);
     }
   }
   const double speedup = baseline > 0.0 ? best / baseline : 0.0;
@@ -292,8 +341,12 @@ int main(int argc, char** argv) {
               "single-worker baseline (%.0f rps)\n",
               best, speedup, baseline);
   if (model_count > 1) {
-    std::printf("best %zu-model throughput %.0f rps\n", model_count,
-                best_multi);
+    std::printf("best %zu-model throughput: shared engine %.0f rps, "
+                "model-affine pool %.0f rps (%.2fx)\n",
+                model_count, best_multi_shared, best_multi_affine,
+                best_multi_shared > 0.0
+                    ? best_multi_affine / best_multi_shared
+                    : 0.0);
   }
 
   const auto micro_classifier =
@@ -325,7 +378,8 @@ int main(int argc, char** argv) {
   out << "  \"requests_per_client\": " << requests << ",\n";
   out << "  \"baseline_rps\": " << baseline << ",\n";
   out << "  \"best_rps\": " << best << ",\n";
-  out << "  \"best_multi_model_rps\": " << best_multi << ",\n";
+  out << "  \"best_multi_model_rps\": " << best_multi_shared << ",\n";
+  out << "  \"best_multi_model_affine_rps\": " << best_multi_affine << ",\n";
   out << "  \"speedup_best_vs_baseline\": " << speedup << ",\n";
   out << "  \"prenormalize\": [\n";
   for (std::size_t i = 0; i < prenormalize.size(); ++i) {
@@ -346,10 +400,31 @@ int main(int argc, char** argv) {
         << ", \"clients\": " << r.config.clients
         << ", \"window\": " << r.config.window
         << ", \"models\": " << r.config.models
+        << ", \"pool\": " << r.config.pool << ", \"routing\": \""
+        << (r.config.pool > 1 ? "affine" : "shared") << "\""
         << ", \"throughput_rps\": " << r.throughput_rps
         << ", \"p50_ms\": " << r.p50_ms << ", \"p99_ms\": " << r.p99_ms
-        << ", \"mean_batch\": " << r.mean_batch << "}"
-        << (i + 1 < results.size() ? ",\n" : "\n");
+        << ", \"mean_batch\": " << r.mean_batch;
+    if (!r.model_stats.empty()) {
+      out << ",\n     \"model_stats\": [\n";
+      for (std::size_t m = 0; m < r.model_stats.size(); ++m) {
+        const auto& stats = r.model_stats[m];
+        out << "       {\"model\": \"" << stats.model << "\""
+            << ", \"requests\": " << stats.requests
+            << ", \"batches\": " << stats.batches
+            << ", \"mean_batch\": " << stats.mean_batch_size()
+            << ", \"largest_batch\": " << stats.largest_batch
+            << ", \"p50_us\": " << stats.p50_us()
+            << ", \"p99_us\": " << stats.p99_us()
+            << ", \"flush_full\": " << stats.flush_full
+            << ", \"flush_deadline\": " << stats.flush_deadline
+            << ", \"flush_preempted\": " << stats.flush_preempted
+            << ", \"flush_shutdown\": " << stats.flush_shutdown << "}"
+            << (m + 1 < r.model_stats.size() ? ",\n" : "\n");
+      }
+      out << "     ]";
+    }
+    out << "}" << (i + 1 < results.size() ? ",\n" : "\n");
   }
   out << "  ]\n}\n";
   std::printf("wrote %s\n", out_path.c_str());

@@ -1,0 +1,120 @@
+#include "serve/engine_pool.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "serve/routing.hpp"
+
+namespace disthd::serve {
+
+void EnginePoolConfig::validate() const {
+  if (engines == 0) {
+    throw std::invalid_argument("EnginePoolConfig: engines == 0");
+  }
+  engine.validate();
+}
+
+EnginePool::EnginePool(const ModelRegistry& registry, EnginePoolConfig config)
+    : registry_(registry), config_(std::move(config)) {
+  config_.validate();
+  if (registry_.empty()) {
+    throw std::invalid_argument("EnginePool: registry has no models");
+  }
+  // Same default-model resolution as InferenceEngine: explicit wins, a sole
+  // registered model is implicit, several models with no explicit default
+  // means every request must name its model.
+  if (!config_.engine.default_model.empty()) {
+    if (!registry_.find(config_.engine.default_model)) {
+      throw std::invalid_argument("EnginePool: default model '" +
+                                  config_.engine.default_model +
+                                  "' is not registered");
+    }
+    default_model_ = config_.engine.default_model;
+  } else if (registry_.size() == 1) {
+    default_model_ = registry_.names().front();
+  }
+  // The pool resolves names BEFORE routing, so its engines never see an
+  // empty model field; their own default-model config stays unset.
+  InferenceEngineConfig engine_config = config_.engine;
+  engine_config.default_model.clear();
+  engines_.reserve(config_.engines);
+  for (std::size_t e = 0; e < config_.engines; ++e) {
+    engines_.push_back(
+        std::make_unique<InferenceEngine>(registry_, engine_config));
+  }
+}
+
+EnginePool::~EnginePool() { shutdown(); }
+
+const std::string& EnginePool::resolve(const std::string& model) const {
+  const std::string& name = model.empty() ? default_model_ : model;
+  if (name.empty()) {
+    throw std::invalid_argument(
+        "EnginePool: request names no model and the pool has no default");
+  }
+  return name;
+}
+
+std::size_t EnginePool::route(const std::string& model) const {
+  return rendezvous_route(resolve(model), engines_.size());
+}
+
+std::future<PredictResult> EnginePool::submit(PredictRequest request) {
+  // Resolve once so routing and the engine agree on the name even if the
+  // default changes meaning between pools.
+  request.model = resolve(request.model);
+  const std::size_t engine = rendezvous_route(request.model, engines_.size());
+  return engines_[engine]->submit(std::move(request));
+}
+
+std::future<PredictResult> EnginePool::submit(
+    std::span<const float> features) {
+  PredictRequest request;
+  request.features.assign(features.begin(), features.end());
+  return submit(std::move(request));
+}
+
+PredictResult EnginePool::predict(PredictRequest request) {
+  return submit(std::move(request)).get();
+}
+
+PredictResult EnginePool::predict(std::span<const float> features) {
+  return submit(features).get();
+}
+
+void EnginePool::shutdown() {
+  for (auto& engine : engines_) engine->shutdown();
+}
+
+EngineStats EnginePool::stats() const {
+  EngineStats aggregate;
+  for (const auto& engine : engines_) {
+    const EngineStats one = engine->stats();
+    aggregate.requests += one.requests;
+    aggregate.batches += one.batches;
+    aggregate.largest_batch =
+        std::max(aggregate.largest_batch, one.largest_batch);
+  }
+  return aggregate;
+}
+
+std::vector<ModelStats> EnginePool::model_stats() const {
+  std::map<std::string, ModelStats> merged;
+  for (const auto& engine : engines_) {
+    for (auto& model : engine->model_stats()) {
+      const auto it = merged.find(model.model);
+      if (it == merged.end()) {
+        merged.emplace(model.model, std::move(model));
+      } else {
+        it->second.merge(model);
+      }
+    }
+  }
+  std::vector<ModelStats> result;
+  result.reserve(merged.size());
+  for (auto& [name, stats] : merged) result.push_back(std::move(stats));
+  return result;
+}
+
+}  // namespace disthd::serve

@@ -1,0 +1,122 @@
+#include "serve/engine_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace disthd::serve {
+
+std::size_t BatchSizeHistogram::bucket_for(std::size_t rows) noexcept {
+  if (rows <= 1) return 0;
+  std::size_t bucket = 0;
+  std::size_t edge = 1;
+  while (bucket + 1 < kBuckets && edge * 2 <= rows) {
+    edge *= 2;
+    ++bucket;
+  }
+  return bucket;
+}
+
+std::size_t BatchSizeHistogram::bucket_lower(std::size_t bucket) noexcept {
+  return std::size_t{1} << std::min(bucket, kBuckets - 1);
+}
+
+void BatchSizeHistogram::record(std::size_t rows) noexcept {
+  ++counts[bucket_for(rows)];
+}
+
+std::size_t LatencyHistogram::bucket_for(double us) noexcept {
+  if (!(us >= 1.0)) return 0;  // underflow (and NaN) bucket
+  // log2(us) * kBucketsPerOctave, clamped into the overflow bucket.
+  const double position = std::log2(us) * kBucketsPerOctave;
+  const auto bucket = static_cast<std::size_t>(position) + 1;
+  return std::min(bucket, kBuckets - 1);
+}
+
+double LatencyHistogram::bucket_lower_us(std::size_t bucket) noexcept {
+  if (bucket == 0) return 0.0;
+  return std::exp2(static_cast<double>(bucket - 1) /
+                   static_cast<double>(kBucketsPerOctave));
+}
+
+void LatencyHistogram::record(double us) noexcept {
+  ++counts[bucket_for(us)];
+  ++total;
+  sum_us += us;
+}
+
+double LatencyHistogram::quantile(double q) const noexcept {
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample (0-based, the percentile() convention the
+  // serving bench uses on its raw samples).
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(total - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t bucket = 0; bucket < kBuckets; ++bucket) {
+    if (counts[bucket] == 0) continue;
+    if (seen + counts[bucket] > rank) {
+      const double lower = bucket_lower_us(bucket);
+      if (bucket == 0) return lower;  // underflow: report 0..1 us as ~0
+      if (bucket == kBuckets - 1) return lower;  // open-ended overflow
+      const double upper = bucket_lower_us(bucket + 1);
+      // Linear interpolation of the rank inside the bucket's span.
+      const double within =
+          (static_cast<double>(rank - seen) + 0.5) /
+          static_cast<double>(counts[bucket]);
+      return lower + (upper - lower) * within;
+    }
+    seen += counts[bucket];
+  }
+  return bucket_lower_us(kBuckets - 1);
+}
+
+void ModelStats::merge(const ModelStats& other) {
+  requests += other.requests;
+  batches += other.batches;
+  largest_batch = std::max(largest_batch, other.largest_batch);
+  flush_full += other.flush_full;
+  flush_deadline += other.flush_deadline;
+  flush_preempted += other.flush_preempted;
+  flush_shutdown += other.flush_shutdown;
+  for (std::size_t b = 0; b < BatchSizeHistogram::kBuckets; ++b) {
+    batch_sizes.counts[b] += other.batch_sizes.counts[b];
+  }
+  for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+    latency.counts[b] += other.latency.counts[b];
+  }
+  latency.total += other.latency.total;
+  latency.sum_us += other.latency.sum_us;
+}
+
+ModelStatsCell::ModelStatsCell(std::string model_name)
+    : model_(std::move(model_name)) {
+  stats_.model = model_;
+}
+
+void ModelStatsCell::record_flush(std::size_t rows,
+                                  FlushReason reason) noexcept {
+  std::lock_guard lock(mutex_);
+  stats_.requests += rows;
+  stats_.batches += 1;
+  stats_.largest_batch =
+      std::max<std::uint64_t>(stats_.largest_batch, rows);
+  stats_.batch_sizes.record(rows);
+  switch (reason) {
+    case FlushReason::full: ++stats_.flush_full; break;
+    case FlushReason::deadline: ++stats_.flush_deadline; break;
+    case FlushReason::preempted: ++stats_.flush_preempted; break;
+    case FlushReason::shutdown: ++stats_.flush_shutdown; break;
+  }
+}
+
+void ModelStatsCell::record_latencies(const std::vector<double>& us) noexcept {
+  std::lock_guard lock(mutex_);
+  for (const double sample : us) stats_.latency.record(sample);
+}
+
+ModelStats ModelStatsCell::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace disthd::serve

@@ -1,0 +1,127 @@
+// Per-model serving statistics with atomic-copy snapshot reads.
+//
+// The v1 engine kept three global counters inside its queue mutex; they
+// could not say WHICH workload produced which batch shape (the multi-model
+// bench's open question) and every update lengthened the queue critical
+// section. Stats now live in per-model cells outside the queue lock:
+// workers record flushes and latencies under a small per-cell mutex, and
+// readers take snapshot() — a consistent copy under that same mutex — so a
+// reader can never observe a half-updated (requests, batches, histogram)
+// triple no matter how many workers and stats pollers race (pinned under
+// TSan by EnginePoolStats.SnapshotReadersRaceServingTraffic).
+//
+// Histograms, not raw samples: a serving process must answer `stats` after
+// millions of requests without having retained them. Batch sizes bucket by
+// power of two; latencies bucket geometrically (4 sub-buckets per octave
+// from 1 us), and quantiles interpolate inside the hit bucket, so p50/p99
+// carry ~19% worst-case resolution at O(100) fixed counters.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace disthd::serve {
+
+/// Why a micro-batch left the collection wait.
+enum class FlushReason {
+  full,       ///< the model's pending count reached its max_batch
+  deadline,   ///< the model's flush deadline elapsed on a partial batch
+  preempted,  ///< another model filled a batch; this partial flushed early
+  shutdown,   ///< engine drain on stop
+};
+
+/// Power-of-two batch-size histogram: bucket b counts batches with
+/// 2^b <= rows < 2^(b+1); the last bucket is open-ended.
+struct BatchSizeHistogram {
+  static constexpr std::size_t kBuckets = 12;  // 1 .. 2048+, covers max_batch
+  std::array<std::uint64_t, kBuckets> counts{};
+
+  static std::size_t bucket_for(std::size_t rows) noexcept;
+  /// Inclusive lower edge of bucket b (1, 2, 4, ...).
+  static std::size_t bucket_lower(std::size_t bucket) noexcept;
+  void record(std::size_t rows) noexcept;
+};
+
+/// Geometric latency histogram: 4 sub-buckets per octave from 1 us to ~1 s,
+/// plus an underflow and an open-ended overflow bucket.
+struct LatencyHistogram {
+  static constexpr std::size_t kBucketsPerOctave = 4;
+  static constexpr std::size_t kOctaves = 20;  // 1 us * 2^20 ~= 1.05 s
+  static constexpr std::size_t kBuckets = kBucketsPerOctave * kOctaves + 2;
+
+  std::array<std::uint64_t, kBuckets> counts{};
+  std::uint64_t total = 0;
+  double sum_us = 0.0;
+
+  static std::size_t bucket_for(double us) noexcept;
+  /// Lower edge in microseconds of bucket b (0 for the underflow bucket).
+  static double bucket_lower_us(std::size_t bucket) noexcept;
+  void record(double us) noexcept;
+  /// q in [0, 1]; geometric interpolation inside the hit bucket. 0 when
+  /// nothing has been recorded.
+  double quantile(double q) const noexcept;
+  double mean_us() const noexcept {
+    return total == 0 ? 0.0 : sum_us / static_cast<double>(total);
+  }
+};
+
+/// One model's serving statistics — a plain value, safe to copy and hold
+/// beyond the engine's lifetime.
+struct ModelStats {
+  std::string model;
+  std::uint64_t requests = 0;       ///< requests popped into this model's batches
+  std::uint64_t batches = 0;        ///< batches flushed
+  std::uint64_t largest_batch = 0;  ///< max rows in one batch
+  std::uint64_t flush_full = 0;
+  std::uint64_t flush_deadline = 0;
+  std::uint64_t flush_preempted = 0;
+  std::uint64_t flush_shutdown = 0;
+  BatchSizeHistogram batch_sizes;
+  LatencyHistogram latency;  ///< submit -> result-ready, microseconds
+
+  double mean_batch_size() const noexcept {
+    return batches == 0
+               ? 0.0
+               : static_cast<double>(requests) / static_cast<double>(batches);
+  }
+  double p50_us() const noexcept { return latency.quantile(0.50); }
+  double p99_us() const noexcept { return latency.quantile(0.99); }
+
+  /// Accumulates `other` into this (used by EnginePool to merge engines'
+  /// views of the same model after a resize re-homed it).
+  void merge(const ModelStats& other);
+};
+
+/// The mutable cell workers write into. Writers hold the cell mutex only
+/// for a handful of counter bumps per BATCH (not per request); readers copy
+/// the whole ModelStats under the same mutex, so snapshots are atomic.
+class ModelStatsCell {
+public:
+  explicit ModelStatsCell(std::string model_name);
+
+  ModelStatsCell(const ModelStatsCell&) = delete;
+  ModelStatsCell& operator=(const ModelStatsCell&) = delete;
+
+  const std::string& model() const noexcept { return model_; }
+
+  /// One flushed batch of `rows` requests: counters + batch-size histogram.
+  void record_flush(std::size_t rows, FlushReason reason) noexcept;
+
+  /// Latencies (submit -> result set) of one batch's requests, recorded in
+  /// one lock acquisition.
+  void record_latencies(const std::vector<double>& us) noexcept;
+
+  /// Atomic-copy read: a consistent view of every counter and histogram.
+  ModelStats snapshot() const;
+
+private:
+  const std::string model_;
+  mutable std::mutex mutex_;
+  ModelStats stats_;
+};
+
+}  // namespace disthd::serve

@@ -79,6 +79,7 @@ std::future<PredictResult> InferenceEngine::submit(PredictRequest request) {
 
   Request pending;
   pending.slot = slot.get();
+  pending.submit_time = std::chrono::steady_clock::now();
   pending.features = std::move(request.features);
   pending.top_k = request.top_k;
   pending.want_scores = request.want_scores;
@@ -93,9 +94,25 @@ std::future<PredictResult> InferenceEngine::submit(PredictRequest request) {
     if (stopping_) {
       throw std::runtime_error("InferenceEngine::submit: engine stopped");
     }
+    const auto [it, inserted] = slot_states_.try_emplace(slot.get());
+    SlotState& state = it->second;
+    if (inserted) {
+      // Resolve the slot's ModelServeConfig once, here: the thresholds the
+      // full-batch bookkeeping uses must never move for a live engine.
+      const ModelServeConfig overrides = slot->serve_config();
+      state.max_batch = overrides.max_batch > 0
+                            ? std::min(overrides.max_batch,
+                                       config_.queue_capacity)
+                            : config_.max_batch;
+      state.flush_deadline = overrides.flush_deadline.count() >= 0
+                                 ? overrides.flush_deadline
+                                 : config_.flush_deadline;
+      state.stats = std::make_shared<ModelStatsCell>(name);
+    }
+    pending.state = &state;
     queue_.push_back(std::move(pending));
-    const std::size_t slot_pending = ++pending_per_slot_[slot.get()];
-    if (slot_pending == config_.max_batch) ++full_batches_;
+    const std::size_t slot_pending = ++state.pending;
+    if (slot_pending == state.max_batch) ++full_batches_;
     // Notify discipline: waking the collecting worker on EVERY submit costs
     // a futex round-trip per request (it re-checks the pending count and
     // sleeps again — measured as the dominant per-request overhead of the
@@ -106,7 +123,7 @@ std::future<PredictResult> InferenceEngine::submit(PredictRequest request) {
     // notify_one without acting on it, and batch-ready fires once per
     // max_batch submits, so the broadcast is off the per-request path.
     first_pending = queue_.size() == 1;
-    batch_ready = slot_pending == config_.max_batch;
+    batch_ready = slot_pending == state.max_batch;
   }
   if (first_pending || batch_ready) {
     request_ready_.notify_all();
@@ -132,6 +149,8 @@ PredictResult InferenceEngine::predict(std::span<const float> features) {
 void InferenceEngine::serve_loop() {
   for (;;) {
     std::vector<Request> batch;
+    std::shared_ptr<ModelStatsCell> batch_stats;
+    FlushReason flush_reason = FlushReason::deadline;
     {
       std::unique_lock lock(mutex_);
       request_ready_.wait(lock,
@@ -139,26 +158,26 @@ void InferenceEngine::serve_loop() {
       if (queue_.empty()) return;  // stopping and fully drained
 
       // Per-model micro-batch collection: this worker batches for the model
-      // of the oldest pending request. The deadline clock starts at claim
-      // time; more arrivals FOR THAT MODEL top the batch up until
-      // max_batch, the deadline, or shutdown flushes it.
+      // of the oldest pending request, under that model's OWN max_batch and
+      // flush deadline (the slot's ModelServeConfig, resolved at first
+      // submit). The deadline clock starts at claim time; more arrivals FOR
+      // THAT MODEL top the batch up until max_batch, the deadline, or
+      // shutdown flushes it.
       const SnapshotSlot* target = queue_.front().slot;
-      auto pending_for_target = [&]() -> std::size_t {
-        const auto it = pending_per_slot_.find(target);
-        return it == pending_per_slot_.end() ? 0 : it->second;
-      };
+      SlotState& state = *queue_.front().state;
       const auto deadline =
-          std::chrono::steady_clock::now() + config_.flush_deadline;
+          std::chrono::steady_clock::now() + state.flush_deadline;
       // Top up until the target's batch is full, the deadline fires, we
       // stop — or ANY model reaches a full batch (full_batches_). The last
       // case flushes the target partially, exactly like a deadline would,
       // so the full model's (now oldest) requests are collected on the
       // next loop iteration instead of stalling behind this wait.
-      while (!stopping_ && pending_for_target() != 0 &&
-             pending_for_target() < config_.max_batch &&
-             full_batches_ == 0) {
+      bool timed_out = false;
+      while (!stopping_ && state.pending != 0 &&
+             state.pending < state.max_batch && full_batches_ == 0) {
         if (request_ready_.wait_until(lock, deadline) ==
             std::cv_status::timeout) {
+          timed_out = true;
           break;
         }
       }
@@ -170,9 +189,11 @@ void InferenceEngine::serve_loop() {
       // scan stops as soon as the batch fills and the queue is
       // capacity-bounded, so the worst case (sparse target under a full
       // mixed queue) moves queue_capacity requests under the lock once per
-      // flush — acceptable until a measured workload says otherwise.
+      // flush — EnginePool's model-affine routing exists because that cost
+      // (and the thin per-model batches behind it) was measured dominating
+      // the multi-model sweep.
       std::deque<Request> skipped;
-      while (!queue_.empty() && batch.size() < config_.max_batch) {
+      while (!queue_.empty() && batch.size() < state.max_batch) {
         Request request = std::move(queue_.front());
         queue_.pop_front();
         if (request.slot == target) {
@@ -186,18 +207,28 @@ void InferenceEngine::serve_loop() {
         skipped.pop_back();
       }
       if (batch.empty()) continue;
-      const std::size_t before = pending_per_slot_[target];
-      pending_per_slot_[target] = before - batch.size();
-      if (before >= config_.max_batch &&
-          pending_per_slot_[target] < config_.max_batch) {
+      const std::size_t before = state.pending;
+      state.pending = before - batch.size();
+      if (before >= state.max_batch && state.pending < state.max_batch) {
         --full_batches_;
       }
-      stats_.requests += batch.size();
-      stats_.batches += 1;
-      stats_.largest_batch =
-          std::max<std::uint64_t>(stats_.largest_batch, batch.size());
+      // Attribute WHY this batch left collection (recorded outside the
+      // lock): a full batch beats all other causes; otherwise the wait
+      // ended by timeout (deadline), shutdown, or another model going full
+      // (preempted).
+      if (batch.size() >= state.max_batch) {
+        flush_reason = FlushReason::full;
+      } else if (timed_out) {
+        flush_reason = FlushReason::deadline;
+      } else if (stopping_) {
+        flush_reason = FlushReason::shutdown;
+      } else {
+        flush_reason = FlushReason::preempted;
+      }
+      batch_stats = state.stats;
     }
     space_available_.notify_all();
+    batch_stats->record_flush(batch.size(), flush_reason);
     process_batch(batch);
   }
 }
@@ -207,81 +238,105 @@ void InferenceEngine::process_batch(std::vector<Request>& batch) {
   // the same self-contained (scaler, encoder, model) bundle and attributed
   // to that version.
   const auto snapshot = batch.front().slot->current();
+  // Outcomes are staged (value or exception per row) and promises fulfilled
+  // only AFTER the batch's latencies are recorded: a future resolving wakes
+  // its client, and a `stats` drain must then find latency counters that
+  // already cover the request (the line-protocol guarantee).
+  std::vector<PredictResult> results(batch.size());
+  std::vector<std::exception_ptr> errors(batch.size());
   try {
     const std::size_t num_features = snapshot->classifier.num_features();
     // A publish that changed the model's feature layout between submit-time
     // validation and now would make these rows unscorable; fail them
     // individually rather than poisoning the batch-mates.
-    std::vector<Request*> rows;
+    std::vector<std::size_t> rows;
     rows.reserve(batch.size());
-    for (auto& request : batch) {
-      if (request.features.size() != num_features) {
-        request.promise.set_exception(
-            std::make_exception_ptr(std::runtime_error(
-                "InferenceEngine: model feature layout changed mid-flight")));
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].features.size() != num_features) {
+        errors[i] = std::make_exception_ptr(std::runtime_error(
+            "InferenceEngine: model feature layout changed mid-flight"));
       } else {
-        rows.push_back(&request);
+        rows.push_back(i);
       }
     }
-    if (rows.empty()) return;
+    if (!rows.empty()) {
+      util::Matrix features(rows.size(), num_features);
+      for (std::size_t r = 0; r < rows.size(); ++r) {
+        const auto& source = batch[rows[r]].features;
+        std::copy(source.begin(), source.end(), features.row(r).begin());
+      }
+      util::Matrix encoded;
+      util::Matrix scores;
+      // Scaler + encode + pre-normalized scores, one fused sweep for the
+      // whole batch regardless of per-request top_k/want_scores.
+      snapshot->score_raw(features, encoded, scores);
 
-    util::Matrix features(rows.size(), num_features);
-    for (std::size_t r = 0; r < rows.size(); ++r) {
-      std::copy(rows[r]->features.begin(), rows[r]->features.end(),
-                features.row(r).begin());
-    }
-    util::Matrix encoded;
-    util::Matrix scores;
-    // Scaler + encode + pre-normalized scores, one fused sweep for the
-    // whole batch regardless of per-request top_k/want_scores.
-    snapshot->score_raw(features, encoded, scores);
-
-    for (std::size_t r = 0; r < rows.size(); ++r) {
-      const auto row = scores.row(r);
-      const std::size_t classes = row.size();
-      PredictResult result;
-      result.version = snapshot->version;
-      const std::size_t top_k = std::min(rows[r]->top_k, classes);
-      if (top_k == 1) {
-        // Fast path: same argmax rule as ClassModel::predict_batch (first
-        // strict max), so served labels are bit-identical to the offline
-        // path.
-        std::size_t best = 0;
-        for (std::size_t c = 1; c < classes; ++c) {
-          if (row[c] > row[best]) best = c;
-        }
-        result.top.push_back({static_cast<int>(best), row[best]});
-      } else {
-        // Repeated first-strict-max selection: rank i is the argmax over
-        // the not-yet-taken classes, so ties resolve to the lower label at
-        // every rank — the rule ClassModel::top2 and predict_batch share.
-        result.top.reserve(top_k);
-        std::vector<char> taken(classes, 0);
-        for (std::size_t rank = 0; rank < top_k; ++rank) {
-          std::size_t best = classes;
-          for (std::size_t c = 0; c < classes; ++c) {
-            if (taken[c]) continue;
-            if (best == classes || row[c] > row[best]) best = c;
+      for (std::size_t r = 0; r < rows.size(); ++r) {
+        const Request& request = batch[rows[r]];
+        const auto row = scores.row(r);
+        const std::size_t classes = row.size();
+        PredictResult result;
+        result.version = snapshot->version;
+        const std::size_t top_k = std::min(request.top_k, classes);
+        if (top_k == 1) {
+          // Fast path: same argmax rule as ClassModel::predict_batch (first
+          // strict max), so served labels are bit-identical to the offline
+          // path.
+          std::size_t best = 0;
+          for (std::size_t c = 1; c < classes; ++c) {
+            if (row[c] > row[best]) best = c;
           }
-          taken[best] = 1;
           result.top.push_back({static_cast<int>(best), row[best]});
+        } else {
+          // Repeated first-strict-max selection: rank i is the argmax over
+          // the not-yet-taken classes, so ties resolve to the lower label at
+          // every rank — the rule ClassModel::top2 and predict_batch share.
+          result.top.reserve(top_k);
+          std::vector<char> taken(classes, 0);
+          for (std::size_t rank = 0; rank < top_k; ++rank) {
+            std::size_t best = classes;
+            for (std::size_t c = 0; c < classes; ++c) {
+              if (taken[c]) continue;
+              if (best == classes || row[c] > row[best]) best = c;
+            }
+            taken[best] = 1;
+            result.top.push_back({static_cast<int>(best), row[best]});
+          }
         }
+        if (request.want_scores) {
+          result.scores.assign(row.begin(), row.end());
+        }
+        results[rows[r]] = std::move(result);
       }
-      if (rows[r]->want_scores) {
-        result.scores.assign(row.begin(), row.end());
-      }
-      rows[r]->promise.set_value(std::move(result));
     }
   } catch (...) {
+    // A scoring failure fails every row that does not already carry its own
+    // (layout-mismatch) error.
     const auto error = std::current_exception();
-    for (auto& request : batch) {
-      // Requests already answered (value or layout-mismatch exception)
-      // throw promise_already_satisfied here; swallow so the rest of the
-      // batch still learns about the failure.
-      try {
-        request.promise.set_exception(error);
-      } catch (const std::future_error&) {
-      }
+    for (auto& slot : errors) {
+      if (!slot) slot = error;
+    }
+  }
+
+  // Submit -> result-ready latency for every request of the batch (answered
+  // ones and failed ones alike), recorded into the model's cell in one lock
+  // acquisition — BEFORE any promise is fulfilled, see above. Outside the
+  // queue mutex by construction.
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<double> latencies_us;
+  latencies_us.reserve(batch.size());
+  for (const auto& request : batch) {
+    latencies_us.push_back(
+        std::chrono::duration<double, std::micro>(now - request.submit_time)
+            .count());
+  }
+  batch.front().state->stats->record_latencies(latencies_us);
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (errors[i]) {
+      batch[i].promise.set_exception(errors[i]);
+    } else {
+      batch[i].promise.set_value(std::move(results[i]));
     }
   }
 }
@@ -300,8 +355,34 @@ void InferenceEngine::shutdown() {
 }
 
 EngineStats InferenceEngine::stats() const {
-  std::lock_guard lock(mutex_);
-  return stats_;
+  EngineStats aggregate;
+  for (const auto& model : model_stats()) {
+    aggregate.requests += model.requests;
+    aggregate.batches += model.batches;
+    aggregate.largest_batch =
+        std::max(aggregate.largest_batch, model.largest_batch);
+  }
+  return aggregate;
+}
+
+std::vector<ModelStats> InferenceEngine::model_stats() const {
+  // Grab the cells under the queue mutex, snapshot them outside it: each
+  // snapshot is an atomic copy under the cell's own mutex, so a model's
+  // counters are internally consistent even while its workers keep serving.
+  std::vector<std::shared_ptr<ModelStatsCell>> cells;
+  {
+    std::lock_guard lock(mutex_);
+    cells.reserve(slot_states_.size());
+    for (const auto& [slot, state] : slot_states_) cells.push_back(state.stats);
+  }
+  std::vector<ModelStats> result;
+  result.reserve(cells.size());
+  for (const auto& cell : cells) result.push_back(cell->snapshot());
+  std::sort(result.begin(), result.end(),
+            [](const ModelStats& a, const ModelStats& b) {
+              return a.model < b.model;
+            });
+  return result;
 }
 
 }  // namespace disthd::serve

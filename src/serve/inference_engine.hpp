@@ -16,6 +16,14 @@
 // vectors live inside), so requests carry RAW feature rows and top-k /
 // full-score-vector responses come out of the same fused scores sweep the
 // top-1 fast path uses.
+//
+// Each model's batching knobs can be overridden through its slot's
+// ModelServeConfig (resolved once, at the model's first request), and every
+// model gets its own ModelStatsCell — batch-size histogram, flush-reason
+// counters, latency quantiles — so batch shape is attributable per
+// workload. One engine still interleaves all models in one queue; EnginePool
+// (engine_pool.hpp) routes each model to a dedicated engine by consistent
+// hash when that interleaving costs throughput.
 #pragma once
 
 #include <chrono>
@@ -23,6 +31,7 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <string>
@@ -30,6 +39,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "serve/engine_stats.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/model_snapshot.hpp"
 
@@ -37,9 +47,11 @@ namespace disthd::serve {
 
 struct InferenceEngineConfig {
   /// Flush a micro-batch as soon as this many requests are pending for one
-  /// model.
+  /// model. A model's slot may override this (ModelServeConfig); the
+  /// override is clamped to queue_capacity.
   std::size_t max_batch = 64;
   /// Flush a partial batch this long after its first request was claimed.
+  /// A model's slot may override this too.
   std::chrono::microseconds flush_deadline{200};
   /// Pending-request bound across all models; submit() blocks while the
   /// queue is full.
@@ -82,6 +94,9 @@ struct PredictResult {
   }
 };
 
+/// Engine-wide aggregate view, summed over the per-model cells (see
+/// engine_stats.hpp for the per-model breakdown and the snapshot-consistency
+/// contract).
 struct EngineStats {
   std::uint64_t requests = 0;       ///< requests popped into batches
   std::uint64_t batches = 0;        ///< batches flushed
@@ -130,11 +145,33 @@ public:
   /// the workers. Idempotent; also run by the destructor.
   void shutdown();
 
+  /// Aggregate across every model this engine has served. An atomic-copy
+  /// read: each model's cell is snapshotted consistently (never a torn
+  /// counter/histogram pair), then summed.
   EngineStats stats() const;
 
+  /// Per-model statistics, sorted by model name: batch shape, flush
+  /// reasons, and request-latency quantiles per workload. Models appear
+  /// after their first submitted request.
+  std::vector<ModelStats> model_stats() const;
+
 private:
+  // Per-slot serving state (guarded by mutex_; node addresses are stable
+  // across rehash, so Requests hold plain pointers). The effective
+  // max_batch/flush_deadline are resolved from the slot's ModelServeConfig
+  // ONCE, when the model's first request arrives, so the full-batch
+  // bookkeeping below can never see the threshold move underneath it.
+  struct SlotState {
+    std::size_t pending = 0;
+    std::size_t max_batch = 0;
+    std::chrono::microseconds flush_deadline{0};
+    std::shared_ptr<ModelStatsCell> stats;
+  };
+
   struct Request {
     SnapshotSlot* slot = nullptr;  // resolved at submit; registry-owned
+    SlotState* state = nullptr;    // engine-owned, stable address
+    std::chrono::steady_clock::time_point submit_time;
     std::vector<float> features;
     std::size_t top_k = 1;
     bool want_scores = false;
@@ -152,18 +189,17 @@ private:
   std::condition_variable request_ready_;
   std::condition_variable space_available_;
   std::deque<Request> queue_;
-  // Pending-request count per model slot (guarded by mutex_), so the
-  // full-batch notify/flush decisions stay O(1) per submit instead of a
-  // queue scan.
-  std::unordered_map<const SnapshotSlot*, std::size_t> pending_per_slot_;
-  // Number of slots whose pending count is >= max_batch (guarded by
+  // Pending-request count + resolved per-model config + stats cell per
+  // slot (guarded by mutex_), so the full-batch notify/flush decisions
+  // stay O(1) per submit instead of a queue scan.
+  std::unordered_map<const SnapshotSlot*, SlotState> slot_states_;
+  // Number of slots whose pending count is >= their max_batch (guarded by
   // mutex_). A worker topping up a partial batch for one model exits its
   // wait as soon as ANY model has a full batch — without this, a full
   // batch could sit until that worker's flush deadline because the wait
   // predicate only watches its own target.
   std::size_t full_batches_ = 0;
   bool stopping_ = false;
-  EngineStats stats_;
 
   // Serializes shutdown end-to-end (including the joins), so a concurrent
   // second shutdown/destructor cannot return while workers are still alive.

@@ -74,6 +74,31 @@ bool parse_request_line(const std::string& line, ParsedRequest& request,
   const std::size_t first = line.find_first_not_of(" \t\r");
   if (first == std::string::npos || line[first] == '#') return false;
 
+  // The stats verb: "stats", optionally followed by one "model=" directive.
+  const std::size_t last = line.find_last_not_of(" \t\r");
+  const std::string trimmed = line.substr(first, last - first + 1);
+  if (trimmed == "stats" || trimmed.rfind("stats ", 0) == 0) {
+    request.kind = RequestKind::stats;
+    std::size_t pos = 5;  // past "stats"
+    while (pos < trimmed.size()) {
+      const std::size_t token_start = trimmed.find_first_not_of(' ', pos);
+      if (token_start == std::string::npos) break;
+      std::size_t token_end = trimmed.find(' ', token_start);
+      if (token_end == std::string::npos) token_end = trimmed.size();
+      ParsedRequest directive_sink;
+      const std::string token =
+          trimmed.substr(token_start, token_end - token_start);
+      parse_directive(token, directive_sink);
+      if (directive_sink.model.empty()) {
+        throw std::runtime_error("stats request accepts only 'model=NAME', "
+                                 "got '" + token + "'");
+      }
+      request.model = directive_sink.model;
+      pos = token_end;
+    }
+    return true;
+  }
+
   std::string features_part = line;
   const std::size_t bar = line.find('|');
   if (bar != std::string::npos) {
@@ -117,6 +142,25 @@ std::string format_result(const PredictResult& result) {
       out += buffer;
     }
   }
+  return out;
+}
+
+std::string format_model_stats(const ModelStats& stats) {
+  std::string out = "#stats model=" + stats.model;
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      " requests=%llu batches=%llu mean_batch=%.2f largest_batch=%llu "
+      "p50_us=%.1f p99_us=%.1f flush_full=%llu flush_deadline=%llu "
+      "flush_preempted=%llu flush_shutdown=%llu",
+      static_cast<unsigned long long>(stats.requests),
+      static_cast<unsigned long long>(stats.batches), stats.mean_batch_size(),
+      static_cast<unsigned long long>(stats.largest_batch), stats.p50_us(),
+      stats.p99_us(), static_cast<unsigned long long>(stats.flush_full),
+      static_cast<unsigned long long>(stats.flush_deadline),
+      static_cast<unsigned long long>(stats.flush_preempted),
+      static_cast<unsigned long long>(stats.flush_shutdown));
+  out += buffer;
   return out;
 }
 

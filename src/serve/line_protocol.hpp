@@ -3,13 +3,15 @@
 //
 // Request grammar (one request per line):
 //
-//   request    = [ directives "|" ] features
+//   request    = stats-verb / predict
+//   predict    = [ directives "|" ] features
 //   directives = directive *( SP directive )
 //   directive  = "model=" name          ; registered model (default: the
 //                                       ; engine's default model)
 //              / "topk=" 1*DIGIT        ; ranked classes wanted (default 1)
 //              / "scores=" ("0" / "1")  ; full score vector too (default 0)
 //   features   = CSV floats (the v1 request line)
+//   stats-verb = "stats" [ SP "model=" name ]
 //
 // A line with no "|" is a plain v1 feature row — v1 clients keep working
 // unchanged, and feature CSVs can never collide with the prefix because "|"
@@ -30,6 +32,15 @@
 // is exactly the v1 "version,label,score" line, and field 1 of every
 // response is always the top-1 label, so v1 consumers (and the
 // check_serve_parity.cmake label diff) parse v2 streams unmodified.
+//
+// A "stats" request answers with one "#stats ..." line per served model
+// (or just the named one): requests, batches, mean/largest batch, p50/p99
+// latency, and flush-reason counters, all from the engine's per-model
+// stats cells. The "#" prefix makes stats lines comments to every response
+// consumer, so they can be interleaved into any response stream without
+// breaking v1 parsers or the parity diffs. disthd_serve additionally
+// drains in-flight predictions before answering a stats line, so the
+// counters cover every request submitted before it.
 #pragma once
 
 #include <string>
@@ -46,9 +57,18 @@ namespace disthd::serve {
 bool parse_feature_line(const std::string& line, std::vector<float>& features,
                         std::size_t expected_features = 0);
 
-/// One parsed v2 request line: routing/shape directives + the feature row.
+/// What a request line asks for.
+enum class RequestKind {
+  predict,  ///< a feature row to score
+  stats,    ///< per-model serving statistics ("stats" verb)
+};
+
+/// One parsed v2 request line: routing/shape directives + the feature row,
+/// or a stats verb (kind == stats; only `model` is meaningful, empty =
+/// every served model).
 struct ParsedRequest {
-  std::string model;         // empty = engine default
+  RequestKind kind = RequestKind::predict;
+  std::string model;         // empty = engine default (stats: all models)
   std::size_t top_k = 1;
   bool want_scores = false;
   std::vector<float> features;
@@ -65,6 +85,10 @@ bool parse_request_line(const std::string& line, ParsedRequest& request,
 /// (label,score) pairs after the version, then "|"-appended full scores
 /// when present.
 std::string format_result(const PredictResult& result);
+
+/// Formats one "#stats ..." response line (no trailing newline) for one
+/// model's statistics snapshot.
+std::string format_model_stats(const ModelStats& stats);
 
 /// Versioned response header naming the protocol and the fixed columns.
 inline const char* response_header() {

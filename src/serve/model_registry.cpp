@@ -22,6 +22,13 @@ SnapshotSlot& ModelRegistry::register_model(const std::string& name) {
   return *slot;
 }
 
+SnapshotSlot& ModelRegistry::configure_model(const std::string& name,
+                                             const ModelServeConfig& config) {
+  SnapshotSlot& slot = register_model(name);
+  slot.set_serve_config(config);
+  return slot;
+}
+
 std::shared_ptr<SnapshotSlot> ModelRegistry::find(
     const std::string& name) const noexcept {
   const auto map = load_map();

@@ -36,6 +36,12 @@ public:
   /// "the default model" in requests).
   SnapshotSlot& register_model(const std::string& name);
 
+  /// Create-or-get `name` and attach per-model serving overrides to its
+  /// slot (see ModelServeConfig). Engines resolve the overrides when the
+  /// model first appears in their queue, so configure before traffic.
+  SnapshotSlot& configure_model(const std::string& name,
+                                const ModelServeConfig& config);
+
   /// Lock-free reader lookup: one atomic map load + lookup. Returns nullptr
   /// when `name` is not registered.
   std::shared_ptr<SnapshotSlot> find(const std::string& name) const noexcept;

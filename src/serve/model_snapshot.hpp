@@ -23,6 +23,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -31,6 +32,21 @@
 #include "core/classifier.hpp"
 
 namespace disthd::serve {
+
+/// Per-model serving overrides, carried by the model's registry slot so
+/// every engine (and every pool member) serving the model sees the same
+/// knobs. Sentinel values mean "inherit the engine's configured default":
+/// a latency-critical model can take a short flush deadline while a bulk
+/// workload on the same process keeps fat batches, without either tuning
+/// leaking into the other.
+struct ModelServeConfig {
+  /// Flush this model's micro-batch at this many pending requests.
+  /// 0 = inherit the engine's max_batch.
+  std::size_t max_batch = 0;
+  /// Flush this model's partial batch this long after collection starts.
+  /// Negative = inherit the engine's flush_deadline.
+  std::chrono::microseconds flush_deadline{-1};
+};
 
 /// One published model: version + scaler + (encoder, model) pair + the
 /// pre-normalized class vectors. Immutable after construction — readers
@@ -97,9 +113,27 @@ public:
     return published_version_.load(std::memory_order_acquire);
   }
 
+  /// Per-model serving overrides. Engines resolve them ONCE, when the model
+  /// first appears in their queue, so set them before sending traffic (a
+  /// later change applies to engines constructed afterwards).
+  void set_serve_config(const ModelServeConfig& config) noexcept {
+    serve_max_batch_.store(config.max_batch, std::memory_order_relaxed);
+    serve_deadline_us_.store(config.flush_deadline.count(),
+                             std::memory_order_relaxed);
+  }
+  ModelServeConfig serve_config() const noexcept {
+    ModelServeConfig config;
+    config.max_batch = serve_max_batch_.load(std::memory_order_relaxed);
+    config.flush_deadline = std::chrono::microseconds(
+        serve_deadline_us_.load(std::memory_order_relaxed));
+    return config;
+  }
+
 private:
   std::atomic<std::shared_ptr<const ModelSnapshot>> slot_{nullptr};
   std::atomic<std::uint64_t> published_version_{0};
+  std::atomic<std::size_t> serve_max_batch_{0};
+  std::atomic<std::int64_t> serve_deadline_us_{-1};
   std::mutex writer_mutex_;
 };
 

@@ -1,0 +1,41 @@
+#include "serve/routing.hpp"
+
+namespace disthd::serve {
+
+std::uint64_t fnv1a64(std::string_view data) noexcept {
+  std::uint64_t hash = 0xcbf29ce484222325ull;  // FNV offset basis
+  for (const char byte : data) {
+    hash ^= static_cast<unsigned char>(byte);
+    hash *= 0x100000001b3ull;  // FNV prime
+  }
+  return hash;
+}
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t rendezvous_score(std::uint64_t key_hash,
+                               std::size_t bucket) noexcept {
+  return mix64(key_hash ^ mix64(static_cast<std::uint64_t>(bucket)));
+}
+
+std::size_t rendezvous_route(std::string_view key,
+                             std::size_t buckets) noexcept {
+  const std::uint64_t key_hash = fnv1a64(key);
+  std::size_t best = 0;
+  std::uint64_t best_score = rendezvous_score(key_hash, 0);
+  for (std::size_t bucket = 1; bucket < buckets; ++bucket) {
+    const std::uint64_t score = rendezvous_score(key_hash, bucket);
+    if (score > best_score) {  // strict: ties keep the lower index
+      best = bucket;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+}  // namespace disthd::serve

@@ -1,0 +1,49 @@
+// Consistent-hash routing for model-affine engine pools.
+//
+// An EnginePool owns N independent InferenceEngines and must send every
+// request for one model to the SAME engine, so that model's micro-batches
+// collect in one queue instead of being sliced N ways. The mapping has two
+// requirements the obvious `hash(name) % N` fails:
+//
+//   - Stability under resize: going from N to N+1 engines must re-home only
+//     ~K/(N+1) of K models (modulo re-homes almost all of them), so a pool
+//     restart at a new size keeps most models' queues, stats, and cache
+//     affinity where they were.
+//   - Determinism across processes: two serve processes (or a bench and the
+//     test asserting on it) given the same name and pool size must agree on
+//     the route. std::hash makes no such promise, so the hash here is a
+//     fully-specified FNV-1a.
+//
+// Rendezvous (highest-random-weight) hashing gives both: every (model,
+// engine-index) pair gets a pseudo-random score and the model routes to the
+// argmax. Adding engine N+1 only moves the models whose new score beats
+// their old maximum — in expectation K/(N+1) of them — and removing an
+// engine only re-homes the models that lived on it.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace disthd::serve {
+
+/// 64-bit FNV-1a over the bytes of `data`. Fully specified (offset basis
+/// 0xcbf29ce484222325, prime 0x100000001b3), so values are identical across
+/// processes, platforms, and standard libraries.
+std::uint64_t fnv1a64(std::string_view data) noexcept;
+
+/// SplitMix64 finalizer: a bijective avalanche mix so that related inputs
+/// (consecutive engine indices) produce uncorrelated scores.
+std::uint64_t mix64(std::uint64_t x) noexcept;
+
+/// Rendezvous score of (key-hash, bucket) — exposed so tests can assert the
+/// argmax rule directly.
+std::uint64_t rendezvous_score(std::uint64_t key_hash,
+                               std::size_t bucket) noexcept;
+
+/// The bucket in [0, buckets) with the highest rendezvous score for `key`;
+/// ties (astronomically unlikely with 64-bit scores) resolve to the lowest
+/// index. Requires buckets >= 1.
+std::size_t rendezvous_route(std::string_view key,
+                             std::size_t buckets) noexcept;
+
+}  // namespace disthd::serve

@@ -389,6 +389,31 @@ TEST(LineProtocol, V2DirectivesRouteAndShapeTheRequest) {
   EXPECT_EQ(request.top_k, 1u);
 }
 
+TEST(LineProtocol, StatsVerbParsesWithOptionalModel) {
+  ParsedRequest request;
+  ASSERT_TRUE(parse_request_line("stats", request));
+  EXPECT_EQ(request.kind, RequestKind::stats);
+  EXPECT_EQ(request.model, "");  // all served models
+  EXPECT_TRUE(request.features.empty());
+
+  ASSERT_TRUE(parse_request_line("  stats model=pamap2  ", request));
+  EXPECT_EQ(request.kind, RequestKind::stats);
+  EXPECT_EQ(request.model, "pamap2");
+
+  // Verb state never leaks into the next parsed line.
+  ASSERT_TRUE(parse_request_line("1,2", request));
+  EXPECT_EQ(request.kind, RequestKind::predict);
+
+  // Only model= is meaningful on a stats line.
+  EXPECT_THROW(parse_request_line("stats topk=2", request),
+               std::runtime_error);
+  EXPECT_THROW(parse_request_line("stats model=", request),
+               std::runtime_error);
+  // "statsy,1,2" is NOT the verb — it is a (zero-parsing) feature row.
+  ASSERT_TRUE(parse_request_line("statsy,1,2", request));
+  EXPECT_EQ(request.kind, RequestKind::predict);
+}
+
 TEST(LineProtocol, RejectsMalformedDirectives) {
   ParsedRequest request;
   EXPECT_THROW(parse_request_line("model=|1,2", request), std::runtime_error);

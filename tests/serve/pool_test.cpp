@@ -1,0 +1,351 @@
+// EnginePool contract: model-affine routing over independent engines.
+//
+//   - Construction/validation and default-model resolution mirror the
+//     single engine.
+//   - route() is exactly the rendezvous hash of the resolved name over the
+//     pool size.
+//   - Parity: pooled serving returns BIT-IDENTICAL results to a single
+//     engine (and therefore to the offline predict path the single engine
+//     is already pinned against) — routing must never change an answer,
+//     only where it is computed.
+//   - Per-model ModelServeConfig overrides (slot-carried max_batch / flush
+//     deadline) actually govern batching, per model.
+//   - Per-model stats attribute batch shape to the right workload, and
+//     stats snapshots stay consistent while readers race live traffic
+//     (the TSan CI job runs this suite).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hd/encoder.hpp"
+#include "hd/model.hpp"
+#include "serve/engine_pool.hpp"
+#include "serve/inference_engine.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/routing.hpp"
+#include "util/rng.hpp"
+
+namespace disthd::serve {
+namespace {
+
+constexpr std::size_t kFeatures = 6;
+constexpr std::size_t kDim = 32;
+constexpr std::size_t kClasses = 3;
+
+core::HdcClassifier make_classifier(std::uint64_t seed) {
+  auto encoder = std::make_unique<hd::RbfEncoder>(kFeatures, kDim, seed);
+  hd::ClassModel model(kClasses, kDim);
+  util::Rng rng(seed ^ 0xABC);
+  model.mutable_class_vectors().fill_normal(rng, 0.0, 1.0);
+  model.refresh_norms();
+  return core::HdcClassifier(std::move(encoder), std::move(model));
+}
+
+std::vector<float> query(std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> features(kFeatures);
+  for (auto& f : features) f = static_cast<float>(rng.normal());
+  return features;
+}
+
+std::vector<std::string> register_models(ModelRegistry& registry,
+                                         std::size_t count) {
+  std::vector<std::string> names;
+  for (std::size_t m = 0; m < count; ++m) {
+    names.push_back("model-" + std::to_string(m));
+    registry.register_model(names.back()).publish(make_classifier(m + 1));
+  }
+  return names;
+}
+
+TEST(EnginePool, ValidatesConfigAndRegistry) {
+  ModelRegistry registry;
+  register_models(registry, 1);
+  EnginePoolConfig config;
+  config.engines = 0;
+  EXPECT_THROW(EnginePool(registry, config), std::invalid_argument);
+  config = {};
+  config.engine.max_batch = 0;
+  EXPECT_THROW(EnginePool(registry, config), std::invalid_argument);
+  config = {};
+  config.engine.default_model = "ghost";
+  EXPECT_THROW(EnginePool(registry, config), std::invalid_argument);
+  ModelRegistry empty;
+  EXPECT_THROW(EnginePool(empty, {}), std::invalid_argument);
+}
+
+TEST(EnginePool, ResolvesDefaultModelLikeTheSingleEngine) {
+  ModelRegistry one;
+  register_models(one, 1);
+  EnginePoolConfig config;
+  config.engines = 2;
+  EnginePool sole(one, config);
+  EXPECT_EQ(sole.default_model(), "model-0");
+  EXPECT_EQ(sole.size(), 2u);
+  EXPECT_EQ(sole.predict(query(1)).version, 1u);  // empty name -> default
+
+  ModelRegistry two;
+  register_models(two, 2);
+  EnginePool ambiguous(two, config);
+  EXPECT_EQ(ambiguous.default_model(), "");
+  EXPECT_THROW(ambiguous.predict(query(1)), std::invalid_argument);
+  EXPECT_THROW(ambiguous.route(""), std::invalid_argument);
+
+  config.engine.default_model = "model-1";
+  EnginePool explicit_default(two, config);
+  EXPECT_EQ(explicit_default.default_model(), "model-1");
+  EXPECT_EQ(explicit_default.route(""), explicit_default.route("model-1"));
+}
+
+TEST(EnginePool, RoutesByRendezvousHashOfTheResolvedName) {
+  ModelRegistry registry;
+  const auto names = register_models(registry, 6);
+  EnginePoolConfig config;
+  config.engines = 3;
+  EnginePool pool(registry, config);
+  for (const auto& name : names) {
+    EXPECT_EQ(pool.route(name), rendezvous_route(name, 3));
+    EXPECT_LT(pool.route(name), pool.size());
+  }
+  // Unknown model: routing is a pure hash (no registry probe) but submit
+  // still validates.
+  PredictRequest ghost;
+  ghost.model = "ghost";
+  ghost.features = query(1);
+  EXPECT_THROW(pool.submit(std::move(ghost)), std::invalid_argument);
+}
+
+TEST(EnginePool, ParityBitIdenticalToSingleEngineAcrossModels) {
+  ModelRegistry registry;
+  const auto names = register_models(registry, 4);
+  InferenceEngineConfig engine_config;
+  engine_config.max_batch = 8;
+  engine_config.flush_deadline = std::chrono::microseconds(100);
+
+  InferenceEngine single(registry, engine_config);
+  EnginePoolConfig pool_config;
+  pool_config.engines = 4;
+  pool_config.engine = engine_config;
+  EnginePool pool(registry, pool_config);
+
+  for (std::size_t q = 0; q < 48; ++q) {
+    PredictRequest request;
+    request.model = names[q % names.size()];
+    request.features = query(100 + q);
+    request.top_k = 2;
+    request.want_scores = true;
+    PredictRequest same = request;
+    const PredictResult from_single = single.predict(std::move(request));
+    const PredictResult from_pool = pool.predict(std::move(same));
+    EXPECT_EQ(from_pool.version, from_single.version);
+    ASSERT_EQ(from_pool.top.size(), from_single.top.size());
+    for (std::size_t rank = 0; rank < from_pool.top.size(); ++rank) {
+      EXPECT_EQ(from_pool.top[rank].label, from_single.top[rank].label);
+      EXPECT_EQ(from_pool.top[rank].score, from_single.top[rank].score);
+    }
+    ASSERT_EQ(from_pool.scores.size(), from_single.scores.size());
+    for (std::size_t c = 0; c < from_pool.scores.size(); ++c) {
+      EXPECT_EQ(from_pool.scores[c], from_single.scores[c]);
+    }
+  }
+}
+
+TEST(EnginePool, PerModelMaxBatchOverrideFlushesBySize) {
+  ModelRegistry registry;
+  const auto names = register_models(registry, 2);
+  // Engine defaults would never flush on their own within the test
+  // lifetime; the override must.
+  ModelServeConfig fast;
+  fast.max_batch = 2;
+  registry.configure_model(names[0], fast);
+
+  EnginePoolConfig config;
+  config.engines = 2;
+  config.engine.max_batch = 1000;
+  config.engine.flush_deadline = std::chrono::seconds(60);
+  EnginePool pool(registry, config);
+
+  std::vector<std::future<PredictResult>> futures;
+  for (int i = 0; i < 4; ++i) {
+    PredictRequest request;
+    request.model = names[0];
+    request.features = query(i);
+    futures.push_back(pool.submit(std::move(request)));
+  }
+  for (auto& future : futures) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(20)),
+              std::future_status::ready);
+    EXPECT_EQ(future.get().version, 1u);
+  }
+  const auto stats = pool.model_stats();
+  ASSERT_EQ(stats.size(), 1u);  // only the trafficked model has a cell
+  EXPECT_EQ(stats[0].model, names[0]);
+  EXPECT_EQ(stats[0].requests, 4u);
+  EXPECT_GE(stats[0].flush_full, 2u);  // two size-triggered flushes of 2
+  EXPECT_EQ(stats[0].largest_batch, 2u);
+}
+
+TEST(EnginePool, PerModelDeadlineOverrideFlushesPartialBatch) {
+  ModelRegistry registry;
+  const auto names = register_models(registry, 2);
+  ModelServeConfig latency_critical;
+  latency_critical.flush_deadline = std::chrono::microseconds(500);
+  registry.configure_model(names[1], latency_critical);
+
+  EnginePoolConfig config;
+  config.engines = 2;
+  config.engine.max_batch = 1000;  // never reached
+  config.engine.flush_deadline = std::chrono::seconds(60);
+  EnginePool pool(registry, config);
+
+  // Without the override this predict would sit the full 60 s deadline.
+  PredictRequest request;
+  request.model = names[1];
+  request.features = query(7);
+  auto future = pool.submit(std::move(request));
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(20)),
+            std::future_status::ready);
+  EXPECT_EQ(future.get().version, 1u);
+  const auto stats = pool.model_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].flush_deadline, 1u);
+}
+
+TEST(EnginePool, PerModelStatsAttributeBatchShapePerWorkload) {
+  ModelRegistry registry;
+  const auto names = register_models(registry, 2);
+  ModelServeConfig batchy;
+  batchy.max_batch = 4;
+  registry.configure_model(names[0], batchy);
+
+  EnginePoolConfig config;
+  config.engines = 2;
+  config.engine.max_batch = 1000;
+  config.engine.flush_deadline = std::chrono::milliseconds(2);
+  EnginePool pool(registry, config);
+
+  // Workload 0: two full batches of 4. Workload 1: three lone requests.
+  std::vector<std::future<PredictResult>> futures;
+  for (int i = 0; i < 8; ++i) {
+    PredictRequest request;
+    request.model = names[0];
+    request.features = query(i);
+    futures.push_back(pool.submit(std::move(request)));
+  }
+  for (auto& future : futures) (void)future.get();
+  for (int i = 0; i < 3; ++i) {
+    PredictRequest request;
+    request.model = names[1];
+    request.features = query(50 + i);
+    (void)pool.predict(std::move(request));
+  }
+
+  const auto stats = pool.model_stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].model, names[0]);  // sorted by name
+  EXPECT_EQ(stats[0].requests, 8u);
+  EXPECT_GE(stats[0].flush_full, 1u);
+  EXPECT_EQ(stats[0].largest_batch, 4u);
+  EXPECT_EQ(stats[1].model, names[1]);
+  EXPECT_EQ(stats[1].requests, 3u);
+  EXPECT_EQ(stats[1].batches, 3u);  // lone requests, deadline-flushed
+  EXPECT_EQ(stats[1].flush_deadline, 3u);
+  EXPECT_EQ(stats[1].largest_batch, 1u);
+  // Latency histograms saw every request.
+  EXPECT_EQ(stats[0].latency.total, 8u);
+  EXPECT_EQ(stats[1].latency.total, 3u);
+  EXPECT_GT(stats[1].p99_us(), 0.0);
+
+  // The aggregate view sums the cells.
+  const EngineStats aggregate = pool.stats();
+  EXPECT_EQ(aggregate.requests, 11u);
+  EXPECT_EQ(aggregate.largest_batch, 4u);
+}
+
+TEST(EnginePool, ShutdownDrainsAndRejectsNewSubmits) {
+  ModelRegistry registry;
+  const auto names = register_models(registry, 3);
+  EnginePoolConfig config;
+  config.engines = 3;
+  config.engine.max_batch = 64;
+  config.engine.flush_deadline = std::chrono::milliseconds(50);
+  EnginePool pool(registry, config);
+  std::vector<std::future<PredictResult>> futures;
+  for (int i = 0; i < 30; ++i) {
+    PredictRequest request;
+    request.model = names[i % names.size()];
+    request.features = query(i);
+    futures.push_back(pool.submit(std::move(request)));
+  }
+  pool.shutdown();  // must serve all 30, on every engine
+  for (auto& future : futures) {
+    EXPECT_EQ(future.get().version, 1u);
+  }
+  EXPECT_EQ(pool.stats().requests, 30u);
+  PredictRequest late;
+  late.model = names[0];
+  late.features = query(0);
+  EXPECT_THROW(pool.submit(std::move(late)), std::runtime_error);
+  pool.shutdown();  // idempotent
+}
+
+// Stats snapshots racing live traffic: pinned under the TSan CI job. The
+// invariants assert per-model snapshot consistency (an atomic-copy read
+// can never observe requests and batches from different instants that
+// violate requests >= batches >= flush-reason sum).
+TEST(EnginePoolStats, SnapshotReadersRaceServingTraffic) {
+  ModelRegistry registry;
+  const auto names = register_models(registry, 3);
+  EnginePoolConfig config;
+  config.engines = 2;
+  config.engine.max_batch = 8;
+  config.engine.flush_deadline = std::chrono::microseconds(100);
+  config.engine.workers = 2;
+  EnginePool pool(registry, config);
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> clients;
+  constexpr std::size_t kClients = 2;
+  constexpr std::size_t kRequestsPerClient = 150;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t q = 0; q < kRequestsPerClient; ++q) {
+        PredictRequest request;
+        request.model = names[(c + q) % names.size()];
+        request.features = query(c * 1000 + q);
+        (void)pool.predict(std::move(request));
+      }
+    });
+  }
+  std::vector<std::thread> pollers;
+  for (int p = 0; p < 2; ++p) {
+    pollers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        const EngineStats aggregate = pool.stats();
+        ASSERT_GE(aggregate.requests, aggregate.batches);
+        for (const auto& model : pool.model_stats()) {
+          ASSERT_GE(model.requests, model.batches);
+          ASSERT_EQ(model.batches, model.flush_full + model.flush_deadline +
+                                       model.flush_preempted +
+                                       model.flush_shutdown);
+          ASSERT_LE(model.latency.total, model.requests);
+          ASSERT_LE(model.largest_batch, 8u);
+        }
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  done.store(true, std::memory_order_release);
+  for (auto& poller : pollers) poller.join();
+  pool.shutdown();
+  EXPECT_EQ(pool.stats().requests, kClients * kRequestsPerClient);
+}
+
+}  // namespace
+}  // namespace disthd::serve

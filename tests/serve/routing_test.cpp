@@ -1,0 +1,97 @@
+// Consistent-hash routing contract (serve/routing.hpp): the properties
+// EnginePool's model affinity depends on.
+//
+//   - Determinism ACROSS PROCESSES: the hash is fully specified (FNV-1a +
+//     SplitMix64), so golden values pinned here hold on every platform and
+//     standard library — two serve processes always agree on a route.
+//   - Stability under resize: growing the pool N -> N+1 moves only the
+//     models whose new score wins, all of them TO the new engine, in
+//     expectation K/(N+1) of K models (modulo would re-home nearly all).
+//   - Balance: rendezvous scores spread models roughly evenly.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "serve/routing.hpp"
+
+namespace disthd::serve {
+namespace {
+
+TEST(Routing, Fnv1a64MatchesPublishedVectors) {
+  // Standard FNV-1a test vectors; if these move, saved routes rot.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Routing, SingleBucketAlwaysRoutesToZero) {
+  EXPECT_EQ(rendezvous_route("anything", 1), 0u);
+  EXPECT_EQ(rendezvous_route("", 1), 0u);
+}
+
+TEST(Routing, RouteIsTheArgmaxOfRendezvousScores) {
+  const std::string name = "pamap2";
+  const std::size_t buckets = 5;
+  const std::size_t route = rendezvous_route(name, buckets);
+  const std::uint64_t key = fnv1a64(name);
+  for (std::size_t bucket = 0; bucket < buckets; ++bucket) {
+    EXPECT_LE(rendezvous_score(key, bucket), rendezvous_score(key, route));
+  }
+}
+
+TEST(Routing, GoldenRoutesPinCrossProcessDeterminism) {
+  // Pinned observed values: a change here breaks route agreement between
+  // processes built from different commits — treat as a protocol break.
+  EXPECT_EQ(rendezvous_route("pamap2", 4), 2u);
+  EXPECT_EQ(rendezvous_route("mnist", 4), 0u);
+  EXPECT_EQ(rendezvous_route("isolet", 4), 3u);
+  EXPECT_EQ(rendezvous_route("online", 8), 1u);
+  EXPECT_EQ(rendezvous_route("default", 2), 0u);
+}
+
+TEST(Routing, ResizeMovesOnlyOntoTheNewBucket) {
+  constexpr std::size_t kModels = 512;
+  std::vector<std::string> names;
+  names.reserve(kModels);
+  for (std::size_t m = 0; m < kModels; ++m) {
+    names.push_back("model-" + std::to_string(m));
+  }
+  for (std::size_t buckets = 1; buckets <= 7; ++buckets) {
+    std::size_t moved = 0;
+    for (const auto& name : names) {
+      const std::size_t before = rendezvous_route(name, buckets);
+      const std::size_t after = rendezvous_route(name, buckets + 1);
+      if (before != after) {
+        // A model only ever moves TO the newly added bucket.
+        EXPECT_EQ(after, buckets) << name << " at " << buckets;
+        ++moved;
+      }
+    }
+    // Expectation is K/(N+1); allow a 2x band. (Modulo hashing would move
+    // ~K*N/(N+1) — the property this asserts is what makes resize cheap.)
+    const double expected =
+        static_cast<double>(kModels) / static_cast<double>(buckets + 1);
+    EXPECT_GT(moved, expected / 2) << "buckets " << buckets;
+    EXPECT_LT(moved, expected * 2) << "buckets " << buckets;
+  }
+}
+
+TEST(Routing, SpreadsModelsAcrossBuckets) {
+  constexpr std::size_t kModels = 4096;
+  constexpr std::size_t kBuckets = 8;
+  std::vector<std::size_t> per_bucket(kBuckets, 0);
+  for (std::size_t m = 0; m < kModels; ++m) {
+    ++per_bucket[rendezvous_route("workload-" + std::to_string(m), kBuckets)];
+  }
+  for (std::size_t bucket = 0; bucket < kBuckets; ++bucket) {
+    // Expected 512 per bucket; a generous band still catches a broken mix
+    // (which collapses to one or two buckets).
+    EXPECT_GT(per_bucket[bucket], 256u) << "bucket " << bucket;
+    EXPECT_LT(per_bucket[bucket], 768u) << "bucket " << bucket;
+  }
+}
+
+}  // namespace
+}  // namespace disthd::serve

@@ -1,0 +1,154 @@
+// Per-model serving statistics contract (serve/engine_stats.hpp): histogram
+// bucketing, quantile interpolation, flush-reason attribution, atomic-copy
+// cell snapshots, merge semantics, and the "#stats" line format.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/engine_stats.hpp"
+#include "serve/line_protocol.hpp"
+
+namespace disthd::serve {
+namespace {
+
+TEST(EngineStatsHistogram, BatchSizesBucketByPowerOfTwo) {
+  EXPECT_EQ(BatchSizeHistogram::bucket_for(0), 0u);
+  EXPECT_EQ(BatchSizeHistogram::bucket_for(1), 0u);
+  EXPECT_EQ(BatchSizeHistogram::bucket_for(2), 1u);
+  EXPECT_EQ(BatchSizeHistogram::bucket_for(3), 1u);
+  EXPECT_EQ(BatchSizeHistogram::bucket_for(4), 2u);
+  EXPECT_EQ(BatchSizeHistogram::bucket_for(64), 6u);
+  EXPECT_EQ(BatchSizeHistogram::bucket_for(100), 6u);
+  // Open-ended last bucket.
+  EXPECT_EQ(BatchSizeHistogram::bucket_for(1u << 20),
+            BatchSizeHistogram::kBuckets - 1);
+  EXPECT_EQ(BatchSizeHistogram::bucket_lower(0), 1u);
+  EXPECT_EQ(BatchSizeHistogram::bucket_lower(6), 64u);
+
+  BatchSizeHistogram hist;
+  hist.record(1);
+  hist.record(1);
+  hist.record(5);
+  EXPECT_EQ(hist.counts[0], 2u);
+  EXPECT_EQ(hist.counts[2], 1u);
+}
+
+TEST(EngineStatsHistogram, LatencyQuantilesInterpolateWithinBuckets) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.quantile(0.5), 0.0);  // empty
+  for (int i = 0; i < 1000; ++i) hist.record(100.0);
+  // Geometric buckets are 2^(1/4) wide (~19%); the quantile must land in
+  // the 100 us bucket.
+  EXPECT_NEAR(hist.quantile(0.50), 100.0, 20.0);
+  EXPECT_NEAR(hist.quantile(0.99), 100.0, 20.0);
+  EXPECT_DOUBLE_EQ(hist.mean_us(), 100.0);
+  EXPECT_EQ(hist.total, 1000u);
+}
+
+TEST(EngineStatsHistogram, TailQuantileSeparatesFromTheBody) {
+  LatencyHistogram hist;
+  for (int i = 0; i < 900; ++i) hist.record(10.0);
+  for (int i = 0; i < 100; ++i) hist.record(5000.0);
+  EXPECT_NEAR(hist.quantile(0.50), 10.0, 2.5);
+  EXPECT_NEAR(hist.quantile(0.99), 5000.0, 1000.0);
+  // Sub-microsecond samples land in the underflow bucket and report ~0.
+  LatencyHistogram fast;
+  fast.record(0.2);
+  EXPECT_EQ(fast.quantile(0.5), 0.0);
+}
+
+TEST(EngineStats, FlushReasonsAndBatchShapeAccumulate) {
+  ModelStatsCell cell("m");
+  cell.record_flush(64, FlushReason::full);
+  cell.record_flush(64, FlushReason::full);
+  cell.record_flush(7, FlushReason::deadline);
+  cell.record_flush(3, FlushReason::preempted);
+  cell.record_flush(1, FlushReason::shutdown);
+  const ModelStats stats = cell.snapshot();
+  EXPECT_EQ(stats.model, "m");
+  EXPECT_EQ(stats.requests, 139u);
+  EXPECT_EQ(stats.batches, 5u);
+  EXPECT_EQ(stats.largest_batch, 64u);
+  EXPECT_EQ(stats.flush_full, 2u);
+  EXPECT_EQ(stats.flush_deadline, 1u);
+  EXPECT_EQ(stats.flush_preempted, 1u);
+  EXPECT_EQ(stats.flush_shutdown, 1u);
+  EXPECT_NEAR(stats.mean_batch_size(), 139.0 / 5.0, 1e-9);
+  EXPECT_EQ(stats.batch_sizes.counts[6], 2u);  // the two 64-row batches
+  EXPECT_EQ(stats.batch_sizes.counts[0], 1u);
+}
+
+TEST(EngineStats, MergeSumsCountersAndHistograms) {
+  ModelStatsCell a("m");
+  ModelStatsCell b("m");
+  a.record_flush(8, FlushReason::full);
+  a.record_latencies({10.0, 20.0});
+  b.record_flush(2, FlushReason::deadline);
+  b.record_latencies({30.0});
+  ModelStats merged = a.snapshot();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.requests, 10u);
+  EXPECT_EQ(merged.batches, 2u);
+  EXPECT_EQ(merged.largest_batch, 8u);
+  EXPECT_EQ(merged.flush_full, 1u);
+  EXPECT_EQ(merged.flush_deadline, 1u);
+  EXPECT_EQ(merged.latency.total, 3u);
+  EXPECT_DOUBLE_EQ(merged.latency.sum_us, 60.0);
+}
+
+// The atomic-copy contract: concurrent snapshot() readers racing writers
+// must always observe internally consistent stats (requests/batches move
+// together under one mutex). Run under the TSan CI job with the other
+// serve suites; the invariant checks below catch torn copies even without
+// the sanitizer.
+TEST(EngineStats, SnapshotReadersRaceRecordingWriters) {
+  ModelStatsCell cell("raced");
+  constexpr int kBatches = 400;
+  std::thread writer([&] {
+    for (int i = 0; i < kBatches; ++i) {
+      cell.record_flush(4, FlushReason::full);
+      cell.record_latencies({1.0, 2.0, 3.0, 4.0});
+    }
+  });
+  std::thread reader([&] {
+    std::uint64_t last_requests = 0;
+    for (int i = 0; i < 2000; ++i) {
+      const ModelStats stats = cell.snapshot();
+      // Counters only grow, and a snapshot is never torn: every flush
+      // records 4 requests and 1 batch atomically.
+      ASSERT_GE(stats.requests, last_requests);
+      ASSERT_EQ(stats.requests, stats.batches * 4);
+      ASSERT_LE(stats.latency.total, stats.requests);
+      last_requests = stats.requests;
+    }
+  });
+  writer.join();
+  reader.join();
+  const ModelStats final_stats = cell.snapshot();
+  EXPECT_EQ(final_stats.requests, static_cast<std::uint64_t>(kBatches) * 4);
+  EXPECT_EQ(final_stats.latency.total,
+            static_cast<std::uint64_t>(kBatches) * 4);
+}
+
+TEST(EngineStats, FormatsTheStatsVerbResponseLine) {
+  ModelStatsCell cell("pamap2");
+  cell.record_flush(64, FlushReason::full);
+  cell.record_flush(6, FlushReason::deadline);
+  const std::string line = format_model_stats(cell.snapshot());
+  // A "#"-prefixed comment line, so stats interleave into any response
+  // stream without breaking v1 consumers.
+  EXPECT_EQ(line.rfind("#stats model=pamap2 requests=70 batches=2 "
+                       "mean_batch=35.00 largest_batch=64",
+                       0),
+            0u)
+      << line;
+  EXPECT_NE(line.find("flush_full=1"), std::string::npos);
+  EXPECT_NE(line.find("flush_deadline=1"), std::string::npos);
+  EXPECT_NE(line.find("flush_preempted=0"), std::string::npos);
+  EXPECT_NE(line.find("p50_us="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace disthd::serve

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Check that intra-repo markdown references resolve to real files.
+
+Two classes of reference are validated across every tracked *.md file:
+
+1. Inline markdown links ``[text](target)`` whose target is a relative
+   path (external ``http(s)://``/``mailto:`` links and pure ``#anchor``
+   fragments are skipped). The target is resolved against the linking
+   file's directory; a ``#fragment`` suffix is stripped first.
+
+2. Backtick-quoted repo paths like ``src/serve/engine_pool.hpp`` — any
+   `...` token that contains a ``/`` and starts with a known top-level
+   source directory. Brace groups expand (``fit_session.{hpp,cpp}`` checks
+   both members); tokens containing glob characters are skipped.
+
+Exit status 0 when everything resolves, 1 with one line per stale
+reference otherwise — wired into CI as the `docs` job and into CTest as
+`docs.links`, so documentation cannot rot silently as the tree moves.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Directories whose markdown is checked; build trees and third-party
+# checkouts are not ours to police.
+SKIP_DIR_PREFIXES = ("build", ".git", ".claude")
+
+# A backticked token must start with one of these to be treated as a repo
+# path claim (so `a/b` ratios or URL fragments in prose are ignored).
+PATH_ROOTS = (
+    "src/",
+    "docs/",
+    "tools/",
+    "tests/",
+    "bench/",
+    "examples/",
+    ".github/",
+)
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+CODE_RE = re.compile(r"`([^`\n]+)`")
+TOKEN_RE = re.compile(r"^[A-Za-z0-9_.{},/\-]+$")
+
+
+def markdown_files() -> list[Path]:
+    files = []
+    for path in sorted(REPO_ROOT.rglob("*.md")):
+        relative = path.relative_to(REPO_ROOT)
+        if relative.parts[0].startswith(SKIP_DIR_PREFIXES):
+            continue
+        files.append(path)
+    return files
+
+
+def expand_braces(token: str) -> list[str]:
+    """`a.{hpp,cpp}` -> [`a.hpp`, `a.cpp`]; nested braces unsupported."""
+    match = re.search(r"\{([^{}]*)\}", token)
+    if not match:
+        return [token]
+    head, tail = token[: match.start()], token[match.end() :]
+    expanded = []
+    for option in match.group(1).split(","):
+        expanded.extend(expand_braces(head + option + tail))
+    return expanded
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    relative = path.relative_to(REPO_ROOT)
+
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            errors.append(f"{relative}: broken link -> {target}")
+
+    for match in CODE_RE.finditer(text):
+        token = match.group(1)
+        if "/" not in token or not token.startswith(PATH_ROOTS):
+            continue
+        if not TOKEN_RE.match(token) or "*" in token:
+            continue  # command lines, globs, placeholders
+        for candidate in expand_braces(token):
+            if not (REPO_ROOT / candidate).exists():
+                errors.append(f"{relative}: stale file reference -> {candidate}")
+
+    return errors
+
+
+def main() -> int:
+    files = markdown_files()
+    errors = list(itertools.chain.from_iterable(check_file(f) for f in files))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(
+        f"checked {len(files)} markdown files: "
+        + (f"{len(errors)} stale reference(s)" if errors else "all clean")
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

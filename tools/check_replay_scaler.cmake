@@ -41,7 +41,7 @@ endif()
 
 include(${CMAKE_CURRENT_LIST_DIR}/parity_common.cmake)
 
-extract_labels("${serve_out}" 1 1 serve_labels)
+extract_labels("${serve_out}" 1 0 serve_labels)
 extract_labels("${predict_out}" 1 1 predict_labels)
 
 if(NOT serve_labels STREQUAL predict_labels)

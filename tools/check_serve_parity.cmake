@@ -12,6 +12,11 @@
 # process with both bundles registered, de-interleaves the response stream,
 # and diffs each model's label sequence against its own disthd_predict run.
 #
+# -DPOOL=<P> additionally serves through a model-affine EnginePool of P
+# engines (consistent-hash routing must not change a single label) and
+# appends a "stats" verb request, whose "#stats" comment lines must leave
+# the label stream untouched (ISSUE 5).
+#
 # disthd_predict prints "row,prediction"; disthd_serve prints
 # "version,label,score..." (field 1 is always the top-1 label, per the v2
 # protocol). Extract the label sequences from both and compare.
@@ -55,7 +60,7 @@ if(NOT DEFINED MODEL2)
   if(NOT serve_rc EQUAL 0)
     message(FATAL_ERROR "disthd_serve failed (${serve_rc})")
   endif()
-  extract_labels("${serve_out}" 1 1 serve_labels)
+  extract_labels("${serve_out}" 1 0 serve_labels)
   check_match("serve/predict" "${predict_labels}" "${serve_labels}")
   return()
 endif()
@@ -78,17 +83,26 @@ foreach(line IN LISTS query_lines)
   endif()
   string(APPEND request_lines "model=a|${line}\nmodel=b|${line}\n")
 endforeach()
-set(request_file ${WORK_DIR}/multi_model_requests.txt)
+set(serve_extra "")
+set(request_suffix "")
+if(DEFINED POOL)
+  list(APPEND serve_extra --pool ${POOL})
+  set(request_suffix "pool")
+  # The "#stats" responses are comments; the de-interleave below must not
+  # see them as labels.
+  string(APPEND request_lines "stats\n")
+endif()
+set(request_file ${WORK_DIR}/multi_model_requests${request_suffix}.txt)
 file(WRITE ${request_file} "${request_lines}")
 
 execute_process(
   COMMAND ${SERVE} --model a=${MODEL} --model b=${MODEL2}
-          --input ${request_file} --no-header --max-batch 3
+          --input ${request_file} --no-header --max-batch 3 ${serve_extra}
   OUTPUT_VARIABLE serve_out RESULT_VARIABLE serve_rc)
 if(NOT serve_rc EQUAL 0)
   message(FATAL_ERROR "disthd_serve (two models) failed (${serve_rc})")
 endif()
-extract_labels("${serve_out}" 1 1 serve_labels)
+extract_labels("${serve_out}" 1 0 serve_labels)
 
 # De-interleave: responses come back in request order, so even positions
 # belong to model a, odd to model b.

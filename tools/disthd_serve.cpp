@@ -5,6 +5,15 @@
 //   disthd_serve --model bundle.bin --model name2=bundle2.bin
 //                [--default-model NAME] [--input queries.csv] [--no-header]
 //                [--max-batch N] [--deadline-us U] [--workers W] [--window K]
+//                [--pool P] [--model-config NAME=max_batch:B,deadline_us:U]
+//
+// --pool P serves through a model-affine EnginePool of P engines: each
+// model routes to one engine by consistent hash of its name, so one
+// model's flush deadline never stalls another's batch (P = 1, the
+// default, is a single engine). --model-config overrides the engine
+// batching knobs for ONE model; repeatable, set before traffic starts. A
+// "stats" request line answers with per-model "#stats ..." comment lines
+// (batch shape, latency quantiles, flush reasons).
 //
 // Replay serving (an OnlineDistHD keeps learning from a labeled stream
 // while queries are answered; snapshots are published between chunks; the
@@ -29,6 +38,7 @@
 // --train-stream — back out as a loadable bundle when serving ends.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <fstream>
 #include <iostream>
@@ -38,7 +48,7 @@
 #include <vector>
 
 #include "data/normalize.hpp"
-#include "serve/inference_engine.hpp"
+#include "serve/engine_pool.hpp"
 #include "serve/line_protocol.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/online_publish.hpp"
@@ -49,16 +59,19 @@ namespace {
 
 using namespace disthd;
 
-serve::InferenceEngineConfig engine_config(const util::ArgParser& args,
-                                           const std::string& default_model) {
-  serve::InferenceEngineConfig config;
-  config.max_batch =
+serve::EnginePoolConfig pool_config(const util::ArgParser& args,
+                                    const std::string& default_model) {
+  serve::EnginePoolConfig config;
+  config.engines = std::max<long>(1, args.get_int("pool", 1));
+  config.engine.max_batch =
       static_cast<std::size_t>(args.get_int("max-batch", 64));
-  config.flush_deadline =
+  config.engine.flush_deadline =
       std::chrono::microseconds(args.get_int("deadline-us", 200));
-  config.workers = static_cast<std::size_t>(args.get_int("workers", 1));
-  config.queue_capacity = std::max<std::size_t>(config.max_batch * 4, 1024);
-  config.default_model = default_model;
+  config.engine.workers =
+      static_cast<std::size_t>(args.get_int("workers", 1));
+  config.engine.queue_capacity =
+      std::max<std::size_t>(config.engine.max_batch * 4, 1024);
+  config.engine.default_model = default_model;
   return config;
 }
 
@@ -71,6 +84,49 @@ std::pair<std::string, std::string> split_model_arg(const std::string& arg) {
                              arg + "'");
   }
   return {arg.substr(0, eq), arg.substr(eq + 1)};
+}
+
+/// "NAME=max_batch:B,deadline_us:U" -> (NAME, ModelServeConfig). Either
+/// knob may be omitted; an omitted knob inherits the engine default.
+std::pair<std::string, serve::ModelServeConfig> parse_model_config(
+    const std::string& arg) {
+  const auto eq = arg.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 == arg.size()) {
+    throw std::runtime_error(
+        "--model-config expects NAME=KEY:VALUE[,KEY:VALUE], got '" + arg +
+        "'");
+  }
+  const std::string name = arg.substr(0, eq);
+  serve::ModelServeConfig config;
+  std::size_t pos = eq + 1;
+  while (pos < arg.size()) {
+    std::size_t comma = arg.find(',', pos);
+    if (comma == std::string::npos) comma = arg.size();
+    const std::string knob = arg.substr(pos, comma - pos);
+    const auto colon = knob.find(':');
+    if (colon == std::string::npos) {
+      throw std::runtime_error("--model-config knob '" + knob +
+                               "' is not KEY:VALUE");
+    }
+    const std::string key = knob.substr(0, colon);
+    char* end = nullptr;
+    const char* value_text = knob.c_str() + colon + 1;
+    const long value = std::strtol(value_text, &end, 10);
+    if (end == value_text || *end != '\0') {
+      throw std::runtime_error("--model-config knob '" + knob +
+                               "' has a non-numeric value");
+    }
+    if (key == "max_batch" && value > 0) {
+      config.max_batch = static_cast<std::size_t>(value);
+    } else if (key == "deadline_us" && value >= 0) {
+      config.flush_deadline = std::chrono::microseconds(value);
+    } else {
+      throw std::runtime_error("--model-config knob '" + knob +
+                               "' (want max_batch:N>0 or deadline_us:N>=0)");
+    }
+    pos = comma + 1;
+  }
+  return {name, config};
 }
 
 }  // namespace
@@ -149,8 +205,18 @@ int main(int argc, char** argv) {
       ingest_next_chunk();  // the first snapshot must exist before serving
     }
 
-    serve::InferenceEngine engine(registry,
-                                  engine_config(args, default_model));
+    // Per-model overrides attach to the registry slots BEFORE the pool
+    // spins up (engines resolve them at each model's first request).
+    for (const auto& config_arg : args.get_all("model-config")) {
+      const auto [name, model_config] = parse_model_config(config_arg);
+      if (!registry.find(name)) {
+        throw std::runtime_error("--model-config names unknown model '" +
+                                 name + "'");
+      }
+      registry.configure_model(name, model_config);
+    }
+
+    serve::EnginePool engine(registry, pool_config(args, default_model));
 
     std::ifstream input_file;
     if (!input_path.empty()) {
@@ -183,6 +249,30 @@ int main(int argc, char** argv) {
         continue;
       }
       if (!serve::parse_request_line(line, parsed)) {
+        continue;
+      }
+      if (parsed.kind == serve::RequestKind::stats) {
+        // Answer order stays deterministic: drain everything submitted
+        // before the stats line, then emit one #stats comment line per
+        // model (or just the named one). A named model must be registered
+        // (typos fail loudly, like every other malformed request); a
+        // registered model with no traffic yet reports a zero row.
+        while (!inflight.empty()) drain_one();
+        if (!parsed.model.empty() && !registry.find(parsed.model)) {
+          throw std::runtime_error("stats request names unknown model '" +
+                                   parsed.model + "'");
+        }
+        bool printed = false;
+        for (const auto& model : engine.model_stats()) {
+          if (!parsed.model.empty() && model.model != parsed.model) continue;
+          std::printf("%s\n", serve::format_model_stats(model).c_str());
+          printed = true;
+        }
+        if (!parsed.model.empty() && !printed) {
+          serve::ModelStats idle;
+          idle.model = parsed.model;
+          std::printf("%s\n", serve::format_model_stats(idle).c_str());
+        }
         continue;
       }
       serve::PredictRequest request;
@@ -222,12 +312,13 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr,
                  "served %llu requests in %llu batches (mean batch %.2f, "
-                 "largest %llu) across %zu models, final '%s' version %llu\n",
+                 "largest %llu) across %zu models on %zu engine(s), final "
+                 "'%s' version %llu\n",
                  static_cast<unsigned long long>(stats.requests),
                  static_cast<unsigned long long>(stats.batches),
                  stats.mean_batch_size(),
                  static_cast<unsigned long long>(stats.largest_batch),
-                 registry.size(), default_model.c_str(),
+                 registry.size(), engine.size(), default_model.c_str(),
                  static_cast<unsigned long long>(final_version));
     return 0;
   } catch (const std::exception& error) {

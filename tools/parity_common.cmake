@@ -2,10 +2,12 @@
 # (check_serve_parity.cmake, check_replay_scaler.cmake).
 #
 # extract_labels(<text> <label_column> <skip_header> <out_var>): splits
-# tool output into lines, drops the first `skip_header` non-empty lines,
-# and collects field `label_column` of each remaining CSV line. Works for
-# both disthd_predict ("row,prediction") and disthd_serve v2 responses
-# ("version,label,score..." — field 1 is always the top-1 label).
+# tool output into lines, drops "#" comment lines (the v2 protocol's
+# response header and "#stats" lines) and the first `skip_header` remaining
+# non-empty lines, and collects field `label_column` of each remaining CSV
+# line. Works for both disthd_predict ("row,prediction", skip_header 1) and
+# disthd_serve v2 responses ("version,label,score..." — field 1 is always
+# the top-1 label; skip_header 0, the header is a comment).
 
 function(extract_labels text label_column skip_header out_var)
   string(REPLACE "\n" ";" lines "${text}")
@@ -13,6 +15,9 @@ function(extract_labels text label_column skip_header out_var)
   set(index 0)
   foreach(line IN LISTS lines)
     if(line STREQUAL "")
+      continue()
+    endif()
+    if(line MATCHES "^#")
       continue()
     endif()
     math(EXPR row "${index}")
