@@ -1,0 +1,64 @@
+#include "net/event_loop.hpp"
+
+#include <poll.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace disthd::net {
+
+void EventLoop::add(int fd, short events, Callback callback) {
+  const auto [it, inserted] =
+      entries_.emplace(fd, Entry{events, std::move(callback), ++next_generation_});
+  (void)it;
+  if (!inserted) {
+    throw std::invalid_argument("EventLoop::add: fd " + std::to_string(fd) +
+                                " already registered");
+  }
+}
+
+void EventLoop::set_events(int fd, short events) {
+  const auto it = entries_.find(fd);
+  if (it != entries_.end()) it->second.events = events;
+}
+
+void EventLoop::remove(int fd) { entries_.erase(fd); }
+
+int EventLoop::poll_once(int timeout_ms) {
+  retired_.clear();  // no callback frame on the stack here
+
+  std::vector<pollfd> fds;
+  std::vector<std::uint64_t> generations;
+  fds.reserve(entries_.size());
+  generations.reserve(entries_.size());
+  for (const auto& [fd, entry] : entries_) {
+    fds.push_back({fd, entry.events, 0});
+    generations.push_back(entry.generation);
+  }
+  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return 0;  // signal: caller re-checks its stop flag
+    throw std::runtime_error(std::string("poll: ") + std::strerror(errno));
+  }
+  if (ready == 0) return 0;
+
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    if (fds[i].revents == 0) continue;
+    // Re-probe per dispatch: an earlier callback this round may have
+    // removed this registration (generation mismatch = removed and the fd
+    // number reused — the stale revents must not reach the new callback).
+    const auto it = entries_.find(fds[i].fd);
+    if (it == entries_.end() || it->second.generation != generations[i]) {
+      continue;
+    }
+    // Invoke through a stack copy: the callback may remove() its own
+    // registration, and erasing the map entry destroys the stored
+    // std::function — which must not free the closure mid-execution.
+    const Callback callback = it->second.callback;
+    callback(fds[i].revents);
+  }
+  return ready;
+}
+
+}  // namespace disthd::net

@@ -1,0 +1,80 @@
+// Single-threaded poll(2) event loop for the serving transport.
+//
+// Deliberately minimal: a map of fd -> (interest mask, callback) and a
+// poll_once() that dispatches whatever fired. The serving workloads behind
+// it (a shard's client sessions, a router's clients + backends) are tens of
+// descriptors, far below where epoll's O(ready) beats rebuilding a pollfd
+// array — and poll is portable to every POSIX the rest of the tree builds
+// on. The loop owner calls poll_once() from exactly one thread; callbacks
+// run on that thread, so per-connection state needs no locking.
+//
+// Lifetime discipline: a callback may add/modify/remove ANY registration,
+// including its own. Destroying the object that owns a live callback is the
+// one thing that cannot happen mid-dispatch — owners hand it to retire()
+// instead, and the loop frees it at the top of the next poll_once(), when
+// no callback frame is on the stack. (LineServer and the router use this
+// for connections that close from inside their own event handler.)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace disthd::net {
+
+class EventLoop {
+public:
+  /// Invoked with the poll revents that fired for the fd.
+  using Callback = std::function<void(short)>;
+
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` with the poll interest `events` (POLLIN/POLLOUT...).
+  /// Throws std::invalid_argument if `fd` is already registered.
+  void add(int fd, short events, Callback callback);
+
+  /// Changes the interest mask of a registered fd; unknown fds are ignored
+  /// (the connection may have closed between decision and call).
+  void set_events(int fd, short events);
+
+  /// Drops the registration. Safe from inside any callback, including the
+  /// fd's own. Unknown fds are ignored.
+  void remove(int fd);
+
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Defers destruction of `object` until the top of the next poll_once(),
+  /// when no callback stack frame can still reference it.
+  template <typename T>
+  void retire(std::unique_ptr<T> object) {
+    retired_.emplace_back(object.release(), [](void* p) {
+      delete static_cast<T*>(p);
+    });
+  }
+
+  /// One poll + dispatch round. timeout_ms < 0 blocks until an event; 0
+  /// returns immediately. Returns the number of descriptors that fired
+  /// (0 on timeout or EINTR — signal handlers set flags the caller checks).
+  int poll_once(int timeout_ms);
+
+private:
+  struct Entry {
+    short events = 0;
+    Callback callback;
+    // Guards against fd-number reuse inside one dispatch round: a callback
+    // closing fd N while a later accept() hands N back would otherwise let
+    // the OLD revents dispatch into the NEW registration's callback.
+    std::uint64_t generation = 0;
+  };
+
+  std::map<int, Entry> entries_;
+  std::uint64_t next_generation_ = 0;
+  std::vector<std::unique_ptr<void, void (*)(void*)>> retired_;
+};
+
+}  // namespace disthd::net

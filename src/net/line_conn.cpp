@@ -1,0 +1,166 @@
+#include "net/line_conn.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+
+namespace disthd::net {
+
+namespace {
+constexpr std::size_t kReadChunk = 64 * 1024;
+}  // namespace
+
+LineConn::LineConn(EventLoop& loop, Socket socket, Callbacks callbacks,
+                   std::size_t max_line)
+    : loop_(loop),
+      socket_(std::move(socket)),
+      callbacks_(std::move(callbacks)),
+      max_line_(max_line) {
+  loop_.add(socket_.fd(), POLLIN,
+            [this](short revents) { on_event(revents); });
+}
+
+LineConn::~LineConn() {
+  if (!closed_ && socket_.valid()) loop_.remove(socket_.fd());
+}
+
+void LineConn::send_line(std::string_view line) {
+  if (closed_) return;
+  const bool was_empty = write_buffer_.size() == write_offset_;
+  write_buffer_.append(line);
+  write_buffer_.push_back('\n');
+  if (was_empty) {
+    // Common case: the kernel takes the whole line now and POLLOUT never
+    // needs to be armed.
+    flush_writes();
+    if (closed_) return;
+  }
+  update_events();
+}
+
+void LineConn::pause_reading() {
+  if (paused_ || closed_) return;
+  paused_ = true;
+  update_events();
+}
+
+void LineConn::resume_reading() {
+  if (!paused_ || closed_) return;
+  paused_ = false;
+  update_events();
+  // Lines that arrived in the same packet as the one that tripped the
+  // pause are already buffered; they would never re-trigger POLLIN.
+  dispatch_lines();
+}
+
+void LineConn::close() { do_close(); }
+
+void LineConn::update_events() {
+  if (closed_) return;
+  short events = 0;
+  if (!paused_) events |= POLLIN;
+  if (write_buffer_.size() > write_offset_) events |= POLLOUT;
+  loop_.set_events(socket_.fd(), events);
+}
+
+void LineConn::on_event(short revents) {
+  if (closed_) return;
+  if (revents & (POLLERR | POLLNVAL)) {
+    do_close();
+    return;
+  }
+  if (revents & POLLOUT) {
+    flush_writes();
+    if (closed_) return;
+    update_events();
+  }
+  // POLLHUP can arrive with final bytes still in the receive queue; drain
+  // them (read() returning 0 then closes cleanly).
+  if (revents & (POLLIN | POLLHUP)) {
+    drain_reads();
+  }
+}
+
+void LineConn::drain_reads() {
+  char chunk[kReadChunk];
+  while (!paused_ && !closed_) {
+    const ssize_t got = ::recv(socket_.fd(), chunk, sizeof(chunk), 0);
+    if (got < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      do_close();
+      return;
+    }
+    if (got == 0) {  // orderly EOF
+      do_close();
+      return;
+    }
+    read_buffer_.append(chunk, static_cast<std::size_t>(got));
+    dispatch_lines();
+    if (closed_) return;
+    if (read_buffer_.size() > max_line_) {
+      // A line the framing cap forbids: protocol violation, not a request.
+      do_close();
+      return;
+    }
+  }
+}
+
+void LineConn::dispatch_lines() {
+  // Guard against re-entry: an on_line handler that pauses and a pump that
+  // resumes inside the same dispatch would otherwise interleave two walks
+  // over one buffer.
+  if (dispatching_) return;
+  dispatching_ = true;
+  std::size_t start = 0;
+  while (!closed_ && !paused_) {
+    const std::size_t newline = read_buffer_.find('\n', start);
+    if (newline == std::string::npos) break;
+    std::size_t end = newline;
+    if (end > start && read_buffer_[end - 1] == '\r') --end;
+    std::string line = read_buffer_.substr(start, end - start);
+    start = newline + 1;
+    callbacks_.on_line(line);
+  }
+  // Post-close the object is only retire()-pending, so members stay valid;
+  // the buffer contents no longer matter.
+  read_buffer_.erase(0, start);
+  dispatching_ = false;
+}
+
+void LineConn::flush_writes() {
+  while (write_offset_ < write_buffer_.size()) {
+    const ssize_t sent =
+        ::send(socket_.fd(), write_buffer_.data() + write_offset_,
+               write_buffer_.size() - write_offset_, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+      do_close();  // EPIPE and friends: the peer is gone
+      return;
+    }
+    write_offset_ += static_cast<std::size_t>(sent);
+  }
+  if (write_offset_ == write_buffer_.size()) {
+    write_buffer_.clear();
+    write_offset_ = 0;
+  } else if (write_offset_ > kReadChunk) {
+    // Compact occasionally so a long-lived slow reader doesn't pin the
+    // already-sent prefix forever.
+    write_buffer_.erase(0, write_offset_);
+    write_offset_ = 0;
+  }
+}
+
+void LineConn::do_close() {
+  if (closed_) return;
+  closed_ = true;
+  loop_.remove(socket_.fd());
+  socket_.reset();
+  if (callbacks_.on_close) {
+    // The handler may retire() us; nothing below this call touches *this.
+    const auto on_close = std::move(callbacks_.on_close);
+    on_close();
+  }
+}
+
+}  // namespace disthd::net

@@ -1,0 +1,95 @@
+// Newline-framed buffered TCP connection on an EventLoop.
+//
+// The serving protocol is line-oriented (serve/line_protocol.hpp); the
+// transport's job is to turn a TCP byte stream back into whole lines and to
+// absorb write bursts without blocking the loop:
+//
+//   - Reads accumulate in a buffer and on_line fires once per complete
+//     line, terminator stripped ("\r\n" and "\n" both end a line). Partial
+//     lines wait for more bytes; a line longer than max_line is a protocol
+//     violation and closes the connection (an unframed flood must not grow
+//     the buffer without bound).
+//   - send_line() appends to a write buffer flushed opportunistically and
+//     then whenever poll reports the socket writable; slow readers cost
+//     memory, never a blocked loop. pending_write() exposes the depth so
+//     owners can apply their own backpressure policy on top.
+//   - pause_reading()/resume_reading() gate POLLIN — how a session window
+//     pushes back on a client that pipelines faster than the engine drains.
+//
+// Close discipline: every close path (EOF, read/write error, oversize
+// line, explicit close()) funnels through one do_close() that fires
+// on_close EXACTLY once. on_close may retire the connection via
+// EventLoop::retire — destruction is deferred past the current dispatch,
+// so the event handler frame below it stays valid.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "net/event_loop.hpp"
+#include "net/socket.hpp"
+
+namespace disthd::net {
+
+class LineConn {
+public:
+  struct Callbacks {
+    /// One complete received line, terminator stripped. The handler may
+    /// send_line(), pause_reading(), or close() this connection.
+    std::function<void(std::string&)> on_line;
+    /// Fired exactly once, from whichever event closed the connection (or
+    /// from close()). The handler may EventLoop::retire() the connection;
+    /// it must not delete it directly.
+    std::function<void()> on_close;
+  };
+
+  /// Takes ownership of `socket` (must be non-blocking) and registers with
+  /// the loop immediately.
+  LineConn(EventLoop& loop, Socket socket, Callbacks callbacks,
+           std::size_t max_line = 1 << 20);
+
+  /// Unregisters without firing on_close (the owner is going away anyway).
+  ~LineConn();
+
+  LineConn(const LineConn&) = delete;
+  LineConn& operator=(const LineConn&) = delete;
+
+  int fd() const noexcept { return socket_.fd(); }
+  bool closed() const noexcept { return closed_; }
+  std::size_t pending_write() const noexcept { return write_buffer_.size(); }
+
+  /// Queues `line` + '\n'. Tries the socket immediately when nothing is
+  /// already queued; whatever the kernel doesn't take waits for POLLOUT.
+  /// No-op on a closed connection.
+  void send_line(std::string_view line);
+
+  void pause_reading();
+  void resume_reading();
+
+  /// Closes now; fires on_close (once). Bytes still in the write buffer
+  /// are dropped — callers wanting a flushed goodbye check pending_write().
+  void close();
+
+private:
+  void on_event(short revents);
+  void update_events();
+  void drain_reads();
+  void dispatch_lines();
+  void flush_writes();
+  void do_close();
+
+  EventLoop& loop_;
+  Socket socket_;
+  Callbacks callbacks_;
+  std::size_t max_line_;
+  std::string read_buffer_;
+  std::string write_buffer_;
+  std::size_t write_offset_ = 0;  // consumed prefix of write_buffer_
+  bool paused_ = false;
+  bool closed_ = false;
+  bool dispatching_ = false;
+};
+
+}  // namespace disthd::net

@@ -1,0 +1,72 @@
+#include "net/line_server.hpp"
+
+#include <poll.h>
+
+#include <utility>
+#include <vector>
+
+namespace disthd::net {
+
+LineServer::LineServer(EventLoop& loop, std::uint16_t port, Handlers handlers,
+                       std::size_t max_line)
+    : loop_(loop),
+      listener_(port),
+      handlers_(std::move(handlers)),
+      max_line_(max_line) {
+  loop_.add(listener_.fd(), POLLIN, [this](short) { on_acceptable(); });
+}
+
+LineServer::~LineServer() { loop_.remove(listener_.fd()); }
+
+Session* LineServer::find(std::uint64_t id) {
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end() || it->second->closed()) return nullptr;
+  return it->second.get();
+}
+
+void LineServer::for_each_session(const std::function<void(Session&)>& fn) {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(sessions_.size());
+  for (const auto& [id, session] : sessions_) ids.push_back(id);
+  for (const std::uint64_t id : ids) {
+    if (Session* session = find(id)) fn(*session);
+  }
+}
+
+void LineServer::on_acceptable() {
+  // Drain the whole accept backlog: one POLLIN may cover several pending
+  // connections, and a level-triggered poll would spin otherwise.
+  for (;;) {
+    Socket socket = listener_.accept();
+    if (!socket.valid()) return;
+    adopt(std::move(socket));
+  }
+}
+
+void LineServer::adopt(Socket socket) {
+  auto session = std::make_unique<Session>();
+  Session* raw = session.get();
+  raw->id_ = ++next_id_;
+  raw->conn_ = std::make_unique<LineConn>(
+      loop_, std::move(socket),
+      LineConn::Callbacks{
+          [this, raw](std::string& line) {
+            if (handlers_.on_line) handlers_.on_line(*raw, line);
+          },
+          [this, raw] {
+            if (handlers_.on_close) handlers_.on_close(*raw);
+            // The LineConn fired this from inside its own event dispatch;
+            // defer freeing both it and the session past this frame.
+            const auto it = sessions_.find(raw->id_);
+            if (it != sessions_.end()) {
+              loop_.retire(std::move(it->second));
+              sessions_.erase(it);
+            }
+          },
+      },
+      max_line_);
+  sessions_.emplace(raw->id_, std::move(session));
+  if (handlers_.on_open) handlers_.on_open(*raw);
+}
+
+}  // namespace disthd::net

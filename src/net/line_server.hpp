@@ -1,0 +1,104 @@
+// Accepting side of the line transport: one TcpListener plus a session per
+// accepted connection, all driven by one EventLoop.
+//
+// A Session is a LineConn with an identity: a process-unique id (never
+// reused, unlike fds) and a user_data slot where the owner parks whatever
+// per-client state it needs (the serve front-end keeps its answer queue
+// there). Handlers receive Session& and may send_line / pause / close it;
+// when a session closes — peer EOF, error, or an explicit close() — the
+// on_close handler fires once and the session is retired from the map via
+// EventLoop::retire, so a session may close itself from inside its own
+// on_line without pulling the frame out from under the dispatcher.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "net/event_loop.hpp"
+#include "net/line_conn.hpp"
+#include "net/socket.hpp"
+
+namespace disthd::net {
+
+class LineServer;
+
+class Session {
+public:
+  std::uint64_t id() const noexcept { return id_; }
+  bool closed() const noexcept { return !conn_ || conn_->closed(); }
+  std::size_t pending_write() const noexcept {
+    return conn_ ? conn_->pending_write() : 0;
+  }
+
+  void send_line(std::string_view line) {
+    if (conn_) conn_->send_line(line);
+  }
+  void pause_reading() {
+    if (conn_) conn_->pause_reading();
+  }
+  void resume_reading() {
+    if (conn_) conn_->resume_reading();
+  }
+  /// Closes the connection; the server's on_close handler fires and the
+  /// session object is retired after the current dispatch.
+  void close() {
+    if (conn_) conn_->close();
+  }
+
+  /// Owner-defined per-session state; destroyed with the session.
+  std::shared_ptr<void> user_data;
+
+private:
+  friend class LineServer;
+  std::uint64_t id_ = 0;
+  std::unique_ptr<LineConn> conn_;
+};
+
+class LineServer {
+public:
+  struct Handlers {
+    /// A new session was accepted and registered (header lines go here).
+    std::function<void(Session&)> on_open;
+    /// One complete request line from a session.
+    std::function<void(Session&, std::string&)> on_line;
+    /// The session is going away; fired once, before the session object is
+    /// retired. Its user_data is still intact here.
+    std::function<void(Session&)> on_close;
+  };
+
+  /// Binds and listens immediately; port 0 picks an ephemeral port (read it
+  /// back via port()).
+  LineServer(EventLoop& loop, std::uint16_t port, Handlers handlers,
+             std::size_t max_line = 1 << 20);
+  ~LineServer();
+
+  LineServer(const LineServer&) = delete;
+  LineServer& operator=(const LineServer&) = delete;
+
+  std::uint16_t port() const noexcept { return listener_.port(); }
+  std::size_t session_count() const noexcept { return sessions_.size(); }
+
+  /// nullptr when the id is unknown or already closed.
+  Session* find(std::uint64_t id);
+
+  /// Calls `fn(Session&)` for every live session. The callback may close
+  /// the session it is handed (ids are snapshotted first).
+  void for_each_session(const std::function<void(Session&)>& fn);
+
+private:
+  void on_acceptable();
+  void adopt(Socket socket);
+
+  EventLoop& loop_;
+  TcpListener listener_;
+  Handlers handlers_;
+  std::size_t max_line_;
+  std::uint64_t next_id_ = 0;
+  std::map<std::uint64_t, std::unique_ptr<Session>> sessions_;
+};
+
+}  // namespace disthd::net

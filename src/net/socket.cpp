@@ -1,0 +1,137 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace disthd::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void Socket::reset(int fd) noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+HostPort parse_host_port(const std::string& spec) {
+  const auto colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size()) {
+    throw std::runtime_error("expected HOST:PORT, got '" + spec + "'");
+  }
+  HostPort result;
+  result.host = spec.substr(0, colon);
+  const std::string port_text = spec.substr(colon + 1);
+  char* end = nullptr;
+  const long port = std::strtol(port_text.c_str(), &end, 10);
+  if (end == port_text.c_str() || *end != '\0' || port < 1 || port > 65535) {
+    throw std::runtime_error("invalid port in '" + spec + "'");
+  }
+  result.port = static_cast<std::uint16_t>(port);
+  return result;
+}
+
+Socket tcp_connect(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &results);
+  if (rc != 0) {
+    throw std::runtime_error("cannot resolve " + host + ": " +
+                             ::gai_strerror(rc));
+  }
+  std::string last_error = "no addresses";
+  Socket connected;
+  for (addrinfo* entry = results; entry != nullptr; entry = entry->ai_next) {
+    Socket candidate(
+        ::socket(entry->ai_family, entry->ai_socktype, entry->ai_protocol));
+    if (!candidate.valid()) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    if (::connect(candidate.fd(), entry->ai_addr, entry->ai_addrlen) == 0) {
+      connected = std::move(candidate);
+      break;
+    }
+    last_error = std::strerror(errno);
+  }
+  ::freeaddrinfo(results);
+  if (!connected.valid()) {
+    throw std::runtime_error("cannot connect to " + host + ":" + service +
+                             ": " + last_error);
+  }
+  // Request lines are small and latency matters more than segment fill.
+  const int one = 1;
+  ::setsockopt(connected.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return connected;
+}
+
+TcpListener::TcpListener(std::uint16_t port, const std::string& bind_host) {
+  socket_.reset(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket_.valid()) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(socket_.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(port);
+  if (::inet_pton(AF_INET, bind_host.c_str(), &address.sin_addr) != 1) {
+    throw std::runtime_error("invalid bind address '" + bind_host + "'");
+  }
+  if (::bind(socket_.fd(), reinterpret_cast<const sockaddr*>(&address),
+             sizeof(address)) < 0) {
+    throw_errno("bind " + bind_host + ":" + std::to_string(port));
+  }
+  if (::listen(socket_.fd(), 128) < 0) throw_errno("listen");
+  set_nonblocking(socket_.fd());
+
+  // Report the port the kernel actually chose (meaningful with port 0).
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(socket_.fd(), reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) < 0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+Socket TcpListener::accept() {
+  const int fd = ::accept(socket_.fd(), nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED ||
+        errno == EINTR) {
+      return Socket();
+    }
+    throw_errno("accept");
+  }
+  Socket accepted(fd);
+  set_nonblocking(fd);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return accepted;
+}
+
+}  // namespace disthd::net

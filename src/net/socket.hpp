@@ -1,0 +1,89 @@
+// Thin POSIX TCP plumbing for the serving transport: an RAII file
+// descriptor, a listener with ephemeral-port support, and a blocking
+// connect. Everything above this (framing, sessions, routing) is built on
+// the event loop (event_loop.hpp) and the line-framed connection
+// (line_conn.hpp); nothing else in the tree touches raw sockets.
+//
+// All sockets hand out by this layer are non-blocking once registered with
+// the loop; writes use MSG_NOSIGNAL so a peer disconnect surfaces as EPIPE
+// on the write path instead of SIGPIPE killing the process — a serving
+// front-end must survive any client behavior.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace disthd::net {
+
+/// Move-only owner of a file descriptor; -1 = empty.
+class Socket {
+public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket() { reset(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.release()) {}
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Gives up ownership without closing.
+  int release() noexcept {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes the held descriptor (if any) and adopts `fd`.
+  void reset(int fd = -1) noexcept;
+
+private:
+  int fd_ = -1;
+};
+
+/// Puts `fd` into non-blocking mode. Throws std::runtime_error on failure.
+void set_nonblocking(int fd);
+
+/// "host:port" -> parts. Throws std::runtime_error on a missing/invalid
+/// port or empty host.
+struct HostPort {
+  std::string host;
+  std::uint16_t port = 0;
+};
+HostPort parse_host_port(const std::string& spec);
+
+/// Blocking TCP connect (IPv4/IPv6 via getaddrinfo). The returned socket is
+/// still in blocking mode; callers registering it with an event loop set
+/// non-blocking first. Throws std::runtime_error when nothing answers.
+Socket tcp_connect(const std::string& host, std::uint16_t port);
+
+/// Listening TCP socket, non-blocking, SO_REUSEADDR, backlog 128.
+/// Port 0 binds an ephemeral port; port() reports the one the kernel chose
+/// — how tests and tools advertise where they actually listen.
+class TcpListener {
+public:
+  explicit TcpListener(std::uint16_t port,
+                       const std::string& bind_host = "0.0.0.0");
+
+  int fd() const noexcept { return socket_.fd(); }
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Accepts one pending connection (already set non-blocking), or an
+  /// empty Socket when none is pending (EAGAIN). Throws on real errors.
+  Socket accept();
+
+private:
+  Socket socket_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace disthd::net

@@ -87,6 +87,10 @@ void EnginePool::shutdown() {
   for (auto& engine : engines_) engine->shutdown();
 }
 
+void EnginePool::reconfigure_model(const std::string& name) {
+  for (auto& engine : engines_) engine->reconfigure_model(name);
+}
+
 EngineStats EnginePool::stats() const {
   EngineStats aggregate;
   for (const auto& engine : engines_) {

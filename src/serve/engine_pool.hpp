@@ -88,6 +88,12 @@ public:
   /// Stops every engine (drain, then join). Idempotent.
   void shutdown();
 
+  /// Live re-resolution of `name`'s ModelServeConfig on every engine (see
+  /// InferenceEngine::reconfigure_model). All engines are told — with
+  /// affine routing only one can have served the model, and a no-op costs
+  /// one map probe.
+  void reconfigure_model(const std::string& name);
+
   /// Aggregate over all engines (each engine's view is itself an
   /// atomic-copy aggregate of its per-model cells).
   EngineStats stats() const;

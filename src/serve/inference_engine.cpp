@@ -341,6 +341,38 @@ void InferenceEngine::process_batch(std::vector<Request>& batch) {
   }
 }
 
+void InferenceEngine::reconfigure_model(const std::string& name) {
+  const auto slot = registry_.find(name);
+  if (!slot) return;
+  const ModelServeConfig overrides = slot->serve_config();
+  bool became_full = false;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = slot_states_.find(slot.get());
+    if (it == slot_states_.end()) return;  // first request will resolve it
+    SlotState& state = it->second;
+    const std::size_t new_max =
+        overrides.max_batch > 0
+            ? std::min(overrides.max_batch, config_.queue_capacity)
+            : config_.max_batch;
+    // full_batches_ counts slots with pending >= max_batch; moving the
+    // threshold must keep that invariant or a worker's collection wait
+    // would miss (or phantom-see) a full batch forever.
+    const bool was_full = state.pending >= state.max_batch;
+    const bool now_full = state.pending >= new_max;
+    if (was_full && !now_full) --full_batches_;
+    if (!was_full && now_full) ++full_batches_;
+    became_full = !was_full && now_full;
+    state.max_batch = new_max;
+    state.flush_deadline = overrides.flush_deadline.count() >= 0
+                               ? overrides.flush_deadline
+                               : config_.flush_deadline;
+  }
+  // A lowered max_batch can make an already-queued backlog a full batch;
+  // wake the workers so it flushes now instead of at its old deadline.
+  if (became_full) request_ready_.notify_all();
+}
+
 void InferenceEngine::shutdown() {
   std::lock_guard shutdown_lock(shutdown_mutex_);
   if (joined_) return;

@@ -145,6 +145,15 @@ public:
   /// the workers. Idempotent; also run by the destructor.
   void shutdown();
 
+  /// Re-resolves `name`'s ModelServeConfig from its registry slot for a
+  /// LIVE engine (the slot's config is otherwise resolved once, at the
+  /// model's first request). Requests already collected into a batch keep
+  /// the old knobs; everything still queued and everything later batches
+  /// under the new ones. No-op when the engine has not served the model yet
+  /// (its first request will resolve the fresh config anyway) or the name
+  /// is unknown.
+  void reconfigure_model(const std::string& name);
+
   /// Aggregate across every model this engine has served. An atomic-copy
   /// read: each model's cell is snapshotted consistently (never a torn
   /// counter/histogram pair), then summed.
@@ -159,8 +168,9 @@ private:
   // Per-slot serving state (guarded by mutex_; node addresses are stable
   // across rehash, so Requests hold plain pointers). The effective
   // max_batch/flush_deadline are resolved from the slot's ModelServeConfig
-  // ONCE, when the model's first request arrives, so the full-batch
-  // bookkeeping below can never see the threshold move underneath it.
+  // when the model's first request arrives and only move again through
+  // reconfigure_model(), which repairs the full-batch bookkeeping below in
+  // the same critical section the threshold changes in.
   struct SlotState {
     std::size_t pending = 0;
     std::size_t max_batch = 0;

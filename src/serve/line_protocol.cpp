@@ -19,9 +19,21 @@ bool parse_feature_line(const std::string& line, std::vector<float>& features,
   for (const auto& field : fields) {
     char* end = nullptr;
     const double value = std::strtod(field.c_str(), &end);
-    // Unparsable or blank cells become 0, like disthd_predict's NaN policy.
-    features.push_back(end == field.c_str() ? 0.0f
-                                            : static_cast<float>(value));
+    if (end == field.c_str()) {
+      // FULLY unparsable or blank cells become 0, like disthd_predict's NaN
+      // policy for non-numeric CSV cells.
+      features.push_back(0.0f);
+      continue;
+    }
+    // A cell that parses a prefix but carries trailing garbage ("1.5abc")
+    // is a malformed request, not a 0-fill candidate: truncating it would
+    // silently score the wrong row. Trailing whitespace is fine.
+    while (*end == ' ' || *end == '\t' || *end == '\r') ++end;
+    if (*end != '\0') {
+      throw std::runtime_error("feature field '" + field +
+                               "' has trailing garbage after the number");
+    }
+    features.push_back(static_cast<float>(value));
   }
   if (expected_features != 0 && features.size() != expected_features) {
     throw std::runtime_error("request line has " +
@@ -33,6 +45,55 @@ bool parse_feature_line(const std::string& line, std::vector<float>& features,
 }
 
 namespace {
+
+/// Calls `fn(token)` for every token of `text`, where tokens are separated
+/// by RUNS of spaces and/or tabs. Splitting on ' ' alone let a tab-joined
+/// "model=a\ttopk=2" parse as one model name — silently routing to a model
+/// literally called "a\ttopk=2".
+template <typename Fn>
+void for_each_token(std::string_view text, Fn&& fn) {
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t start = text.find_first_not_of(" \t", pos);
+    if (start == std::string_view::npos) break;
+    std::size_t end = text.find_first_of(" \t", start);
+    if (end == std::string_view::npos) end = text.size();
+    fn(text.substr(start, end - start));
+    pos = end;
+  }
+}
+
+/// The first [ \t]-token of `text` (empty when there is none).
+std::string_view first_token(std::string_view text) {
+  const std::size_t start = text.find_first_not_of(" \t");
+  if (start == std::string_view::npos) return {};
+  std::size_t end = text.find_first_of(" \t", start);
+  if (end == std::string_view::npos) end = text.size();
+  return text.substr(start, end - start);
+}
+
+/// Splits "key=value"; returns false when there is no '='.
+bool split_key_value(std::string_view token, std::string_view& key,
+                     std::string_view& value) {
+  const auto eq = token.find('=');
+  if (eq == std::string_view::npos) return false;
+  key = token.substr(0, eq);
+  value = token.substr(eq + 1);
+  return true;
+}
+
+long parse_int_directive(std::string_view key, std::string_view value,
+                            long minimum) {
+  const std::string text(value);
+  char* end = nullptr;
+  const long parsed = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || parsed < minimum) {
+    throw std::runtime_error("request directive '" + std::string(key) + "=" +
+                             text + "' is not an integer >= " +
+                             std::to_string(minimum));
+  }
+  return parsed;
+}
 
 void parse_directive(const std::string& token, ParsedRequest& request) {
   const auto eq = token.find('=');
@@ -74,27 +135,57 @@ bool parse_request_line(const std::string& line, ParsedRequest& request,
   const std::size_t first = line.find_first_not_of(" \t\r");
   if (first == std::string::npos || line[first] == '#') return false;
 
-  // The stats verb: "stats", optionally followed by one "model=" directive.
   const std::size_t last = line.find_last_not_of(" \t\r");
   const std::string trimmed = line.substr(first, last - first + 1);
-  if (trimmed == "stats" || trimmed.rfind("stats ", 0) == 0) {
+  const std::string_view verb = first_token(trimmed);
+
+  // The stats verb: "stats", optionally followed by one "model=" directive.
+  if (verb == "stats") {
     request.kind = RequestKind::stats;
-    std::size_t pos = 5;  // past "stats"
-    while (pos < trimmed.size()) {
-      const std::size_t token_start = trimmed.find_first_not_of(' ', pos);
-      if (token_start == std::string::npos) break;
-      std::size_t token_end = trimmed.find(' ', token_start);
-      if (token_end == std::string::npos) token_end = trimmed.size();
+    for_each_token(std::string_view(trimmed).substr(verb.size()),
+                   [&](std::string_view token) {
       ParsedRequest directive_sink;
-      const std::string token =
-          trimmed.substr(token_start, token_end - token_start);
-      parse_directive(token, directive_sink);
+      parse_directive(std::string(token), directive_sink);
       if (directive_sink.model.empty()) {
         throw std::runtime_error("stats request accepts only 'model=NAME', "
-                                 "got '" + token + "'");
+                                 "got '" + std::string(token) + "'");
       }
       request.model = directive_sink.model;
-      pos = token_end;
+    });
+    return true;
+  }
+
+  // The config verb: live ModelServeConfig retune. "model=" is mandatory;
+  // an omitted knob REVERTS to the engine default (the verb sets the whole
+  // override, it does not merge with a previous one).
+  if (verb == "config") {
+    request.kind = RequestKind::config;
+    for_each_token(std::string_view(trimmed).substr(verb.size()),
+                   [&](std::string_view token) {
+      std::string_view key;
+      std::string_view value;
+      if (!split_key_value(token, key, value)) {
+        throw std::runtime_error("malformed config directive '" +
+                                 std::string(token) + "' (expected key=value)");
+      }
+      if (key == "model") {
+        if (value.empty()) {
+          throw std::runtime_error("config directive 'model=' names no model");
+        }
+        request.model = std::string(value);
+      } else if (key == "max_batch") {
+        request.serve_config.max_batch =
+            static_cast<std::size_t>(parse_int_directive(key, value, 1));
+      } else if (key == "deadline_us") {
+        request.serve_config.flush_deadline =
+            std::chrono::microseconds(parse_int_directive(key, value, 0));
+      } else {
+        throw std::runtime_error("unknown config directive '" +
+                                 std::string(key) + "'");
+      }
+    });
+    if (request.model.empty()) {
+      throw std::runtime_error("config request names no model (model=NAME)");
     }
     return true;
   }
@@ -102,19 +193,11 @@ bool parse_request_line(const std::string& line, ParsedRequest& request,
   std::string features_part = line;
   const std::size_t bar = line.find('|');
   if (bar != std::string::npos) {
-    // v2 prefix: space-separated key=value directives before the "|".
-    const std::string prefix = line.substr(first, bar - first);
-    std::size_t pos = 0;
-    while (pos < prefix.size()) {
-      const std::size_t token_end = prefix.find(' ', pos);
-      const std::string token =
-          prefix.substr(pos, token_end == std::string::npos
-                                 ? std::string::npos
-                                 : token_end - pos);
-      if (!token.empty()) parse_directive(token, request);
-      if (token_end == std::string::npos) break;
-      pos = token_end + 1;
-    }
+    // v2 prefix: whitespace-separated key=value directives before the "|".
+    for_each_token(std::string_view(line).substr(first, bar - first),
+                   [&](std::string_view token) {
+      parse_directive(std::string(token), request);
+    });
     features_part = line.substr(bar + 1);
   }
   if (!parse_feature_line(features_part, request.features,
@@ -122,6 +205,38 @@ bool parse_request_line(const std::string& line, ParsedRequest& request,
     throw std::runtime_error("request line has directives but no features");
   }
   return true;
+}
+
+RouteKind peek_request_route(const std::string& line, std::string& model) {
+  model.clear();
+  const std::size_t first = line.find_first_not_of(" \t\r");
+  if (first == std::string::npos || line[first] == '#') return RouteKind::skip;
+
+  const std::string_view trimmed = std::string_view(line).substr(first);
+  const std::string_view verb = first_token(trimmed);
+  const bool is_stats = verb == "stats";
+  const bool is_config = verb == "config";
+
+  // Scan for a "model=" token without validating anything else: a router
+  // must route malformed lines too, so the BACKEND answers them with the
+  // #error line (one validator, not two drifting copies).
+  std::string_view scan = trimmed;
+  if (is_stats || is_config) {
+    scan = trimmed.substr(verb.size());
+  } else {
+    const std::size_t bar = trimmed.find('|');
+    if (bar == std::string::npos) return RouteKind::predict;  // v1 row
+    scan = trimmed.substr(0, bar);
+  }
+  for_each_token(scan, [&](std::string_view token) {
+    std::string_view key;
+    std::string_view value;
+    if (split_key_value(token, key, value) && key == "model") {
+      model.assign(value);
+    }
+  });
+  if (is_stats) return RouteKind::stats;
+  return is_config ? RouteKind::config : RouteKind::predict;
 }
 
 std::string format_result(const PredictResult& result) {
@@ -162,6 +277,44 @@ std::string format_model_stats(const ModelStats& stats) {
       static_cast<unsigned long long>(stats.flush_shutdown));
   out += buffer;
   return out;
+}
+
+std::string format_error(std::string_view reason) {
+  std::string out = "#error ";
+  for (const char c : reason) {
+    // One answer per line, always: a reason that somehow carries a control
+    // character must not split into two lines (or garble a terminal).
+    out += (static_cast<unsigned char>(c) < 0x20 && c != '\t') ? ' ' : c;
+  }
+  return out;
+}
+
+std::string format_config_ack(const std::string& model,
+                              const ModelServeConfig& config) {
+  std::string out = "#config model=" + model + " max_batch=";
+  out += config.max_batch > 0 ? std::to_string(config.max_batch)
+                              : std::string("default");
+  out += " deadline_us=";
+  out += config.flush_deadline.count() >= 0
+             ? std::to_string(config.flush_deadline.count())
+             : std::string("default");
+  return out;
+}
+
+std::vector<std::string> format_stats_lines(
+    const std::vector<ModelStats>& stats, const std::string& model_filter) {
+  std::vector<std::string> lines;
+  for (const auto& model : stats) {
+    if (!model_filter.empty() && model.model != model_filter) continue;
+    lines.push_back(format_model_stats(model));
+  }
+  if (!model_filter.empty() && lines.empty()) {
+    // Registered but idle: report the zero row rather than nothing.
+    ModelStats idle;
+    idle.model = model_filter;
+    lines.push_back(format_model_stats(idle));
+  }
+  return lines;
 }
 
 }  // namespace disthd::serve

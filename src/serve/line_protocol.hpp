@@ -3,15 +3,22 @@
 //
 // Request grammar (one request per line):
 //
-//   request    = stats-verb / predict
+//   request    = stats-verb / config-verb / predict
 //   predict    = [ directives "|" ] features
-//   directives = directive *( SP directive )
+//   directives = directive *( WSP directive )
 //   directive  = "model=" name          ; registered model (default: the
 //                                       ; engine's default model)
 //              / "topk=" 1*DIGIT        ; ranked classes wanted (default 1)
 //              / "scores=" ("0" / "1")  ; full score vector too (default 0)
 //   features   = CSV floats (the v1 request line)
-//   stats-verb = "stats" [ SP "model=" name ]
+//   stats-verb = "stats" [ WSP "model=" name ]
+//   config-verb = "config" WSP "model=" name   ; live ModelServeConfig
+//                 [ WSP "max_batch=" 1*DIGIT ]  ; retune (omitted knob =
+//                 [ WSP "deadline_us=" 1*DIGIT ]; revert to engine default)
+//
+// WSP is a run of spaces and/or tabs — directive prefixes pasted from
+// tab-separated sources must not silently glue "model=a\ttopk=2" into one
+// model name.
 //
 // A line with no "|" is a plain v1 feature row — v1 clients keep working
 // unchanged, and feature CSVs can never collide with the prefix because "|"
@@ -22,9 +29,20 @@
 // Response grammar (one line per request, in request order):
 //
 //   header   = "#proto=2 version,label,score"
-//   response = version "," label "," score
+//   response = predict-resp / error-line / config-ack
+//   predict-resp = version "," label "," score
 //              *( "," label "," score )      ; ranks 2..topk
 //              [ "|" score *( "," score ) ]  ; full vector iff scores=1
+//   error-line = "#error " reason            ; a REJECTED request's answer
+//   config-ack = "#config model=" name " max_batch=" ("default" / 1*DIGIT)
+//                " deadline_us=" ("default" / 1*DIGIT)
+//
+// A malformed or rejected request (unknown directive, bad topk=, unknown
+// model, field-count mismatch, no published snapshot, ...) answers with an
+// "#error" line IN ANSWER POSITION and the server keeps serving — a remote
+// client typing garbage must never kill a shard or desynchronize other
+// clients' answers. The "#" prefix makes error lines comments to v1
+// consumers and the parity diffs, exactly like "#stats".
 //
 // version is the snapshot that answered; scores are cosines of the ranked
 // classes, best first, printed with the same %.4f precision as
@@ -44,6 +62,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "serve/inference_engine.hpp"
@@ -51,8 +70,10 @@
 namespace disthd::serve {
 
 /// Parses a CSV line of numeric features. Blank and "#"-comment lines
-/// return false. Non-numeric/blank cells parse as 0 (mirroring
-/// disthd_predict's NaN handling). Throws std::runtime_error when
+/// return false. FULLY non-numeric/blank cells parse as 0 (mirroring
+/// disthd_predict's NaN handling); a cell with trailing garbage after a
+/// parsed number ("1.5abc") is rejected with std::runtime_error — silently
+/// truncating it to 1.5 would mis-score the row. Also throws when
 /// `expected_features` is nonzero and the field count differs.
 bool parse_feature_line(const std::string& line, std::vector<float>& features,
                         std::size_t expected_features = 0);
@@ -61,17 +82,20 @@ bool parse_feature_line(const std::string& line, std::vector<float>& features,
 enum class RequestKind {
   predict,  ///< a feature row to score
   stats,    ///< per-model serving statistics ("stats" verb)
+  config,   ///< live per-model serve-config retune ("config" verb)
 };
 
 /// One parsed v2 request line: routing/shape directives + the feature row,
-/// or a stats verb (kind == stats; only `model` is meaningful, empty =
-/// every served model).
+/// a stats verb (kind == stats; only `model` is meaningful, empty = every
+/// served model), or a config verb (kind == config; `model` + the
+/// `serve_config` overrides, sentinel fields meaning "engine default").
 struct ParsedRequest {
   RequestKind kind = RequestKind::predict;
   std::string model;         // empty = engine default (stats: all models)
   std::size_t top_k = 1;
   bool want_scores = false;
   std::vector<float> features;
+  ModelServeConfig serve_config;  // config verb only
 };
 
 /// Parses a v2 request line (see the grammar above); plain v1 feature rows
@@ -89,6 +113,38 @@ std::string format_result(const PredictResult& result);
 /// Formats one "#stats ..." response line (no trailing newline) for one
 /// model's statistics snapshot.
 std::string format_model_stats(const ModelStats& stats);
+
+/// Formats the "#error <reason>" answer line for a rejected request.
+/// Control characters in `reason` are replaced with spaces so the line can
+/// never break the one-line-per-answer framing.
+std::string format_error(std::string_view reason);
+
+/// Formats the "#config ..." acknowledgement line echoing the overrides now
+/// in effect for `model` (sentinel knobs print as "default").
+std::string format_config_ack(const std::string& model,
+                              const ModelServeConfig& config);
+
+/// One "#stats" line per entry of `stats` — or only the model named by
+/// `model_filter`, with a single all-zero row when the filter matches no
+/// entry (a registered model that has seen no traffic yet).
+std::vector<std::string> format_stats_lines(const std::vector<ModelStats>& stats,
+                                            const std::string& model_filter);
+
+/// How (and whether) a request line routes across serve processes — the
+/// minimal peek a front-end router needs. Full validation stays with the
+/// backend that answers the request.
+enum class RouteKind {
+  skip,     ///< blank/comment line: consumes no answer slot
+  predict,  ///< routes by its "model=" directive (empty = default model)
+  stats,    ///< stats verb; an empty model answers with ONE LINE PER MODEL
+            ///< and therefore cannot be forwarded through a router
+  config,   ///< config verb; routes by its "model=" directive
+};
+
+/// Best-effort extraction of the model a request line routes by. Never
+/// throws: a malformed line still reports the model= value it carries (or
+/// empty), so a router can forward it and let the backend emit the #error.
+RouteKind peek_request_route(const std::string& line, std::string& model);
 
 /// Versioned response header naming the protocol and the fixed columns.
 inline const char* response_header() {

@@ -113,9 +113,10 @@ public:
     return published_version_.load(std::memory_order_acquire);
   }
 
-  /// Per-model serving overrides. Engines resolve them ONCE, when the model
-  /// first appears in their queue, so set them before sending traffic (a
-  /// later change applies to engines constructed afterwards).
+  /// Per-model serving overrides. Engines resolve them when the model first
+  /// appears in their queue; a LATER change only reaches a live engine
+  /// through InferenceEngine::reconfigure_model (the `config` protocol verb
+  /// does both), otherwise it applies to engines constructed afterwards.
   void set_serve_config(const ModelServeConfig& config) noexcept {
     serve_max_batch_.store(config.max_batch, std::memory_order_relaxed);
     serve_deadline_us_.store(config.flush_deadline.count(),

@@ -1,0 +1,178 @@
+#include "serve/tcp_front.hpp"
+
+#include <chrono>
+#include <deque>
+#include <exception>
+#include <future>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace disthd::serve {
+
+namespace {
+
+// One answer slot of a session's ordered queue. Exactly one of:
+//   - `result` set: a predict answer still being computed;
+//   - `stats` set: a stats verb waiting for its turn (materialized at the
+//     front of the queue);
+//   - `lines` filled: ready to send (error, config ack, resolved predict).
+struct Answer {
+  std::optional<std::future<PredictResult>> result;
+  bool stats = false;
+  std::string stats_model;
+  std::vector<std::string> lines;
+  bool was_error = false;
+};
+
+}  // namespace
+
+struct TcpFront::SessionState {
+  std::deque<Answer> answers;
+};
+
+TcpFront::TcpFront(ModelRegistry& registry, EnginePool& pool,
+                   TcpFrontConfig config)
+    : registry_(registry),
+      pool_(pool),
+      config_(config),
+      server_(loop_, config.port,
+              net::LineServer::Handlers{
+                  [this](net::Session& s) { on_open(s); },
+                  [this](net::Session& s, std::string& line) {
+                    on_line(s, line);
+                  },
+                  [this](net::Session& s) { on_close(s); },
+              }) {}
+
+void TcpFront::on_open(net::Session& session) {
+  sessions_.fetch_add(1, std::memory_order_release);
+  session.user_data = std::make_shared<SessionState>();
+  session.send_line(response_header());
+}
+
+void TcpFront::on_line(net::Session& session, std::string& line) {
+  auto state = std::static_pointer_cast<SessionState>(session.user_data);
+  Answer answer;
+
+  ParsedRequest request;
+  bool parsed = false;
+  try {
+    parsed = parse_request_line(line, request, config_.expected_features);
+  } catch (const std::exception& error) {
+    answer.lines.push_back(format_error(error.what()));
+    answer.was_error = true;
+    parsed = true;  // a rejected line still owns an answer slot
+  }
+  if (!parsed) return;  // blank/comment: no answer slot
+
+  if (answer.lines.empty()) {
+    switch (request.kind) {
+      case RequestKind::stats:
+        answer.stats = true;
+        answer.stats_model = request.model;
+        break;
+      case RequestKind::config: {
+        const auto slot = registry_.find(request.model);
+        if (!slot) {
+          answer.lines.push_back(
+              format_error("unknown model '" + request.model + "'"));
+          answer.was_error = true;
+          break;
+        }
+        slot->set_serve_config(request.serve_config);
+        pool_.reconfigure_model(request.model);
+        answer.lines.push_back(
+            format_config_ack(request.model, request.serve_config));
+        break;
+      }
+      case RequestKind::predict: {
+        PredictRequest predict;
+        predict.model = std::move(request.model);
+        predict.features = std::move(request.features);
+        predict.top_k = request.top_k;
+        predict.want_scores = request.want_scores;
+        try {
+          answer.result = pool_.submit(std::move(predict));
+          ++pending_futures_;
+        } catch (const std::exception& error) {
+          answer.lines.push_back(format_error(error.what()));
+          answer.was_error = true;
+        }
+        break;
+      }
+    }
+  }
+
+  state->answers.push_back(std::move(answer));
+  if (state->answers.size() >= config_.window) session.pause_reading();
+}
+
+void TcpFront::on_close(net::Session& session) {
+  auto state = std::static_pointer_cast<SessionState>(session.user_data);
+  if (!state) return;
+  // Futures a dead client will never read still count against the pending
+  // gauge until dropped here.
+  for (const Answer& answer : state->answers) {
+    if (answer.result) --pending_futures_;
+  }
+  state->answers.clear();
+}
+
+void TcpFront::pump_session(net::Session& session) {
+  auto state = std::static_pointer_cast<SessionState>(session.user_data);
+  if (!state) return;
+  auto& answers = state->answers;
+  while (!answers.empty() && !session.closed()) {
+    Answer& front = answers.front();
+    if (front.stats) {
+      // Every earlier answer of this session has been sent, so the cells
+      // already count each request this client submitted before the verb.
+      front.lines = format_stats_lines(pool_.model_stats(), front.stats_model);
+      front.stats = false;
+    }
+    if (front.result) {
+      if (front.result->wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        break;  // answers behind it wait their turn
+      }
+      --pending_futures_;
+      try {
+        front.lines.push_back(format_result(front.result->get()));
+      } catch (const std::exception& error) {
+        // A request the engine accepted but could not serve (e.g. it shut
+        // down mid-flight) is an answer, not a crash.
+        front.lines.push_back(format_error(error.what()));
+        front.was_error = true;
+      }
+      front.result.reset();
+    }
+    for (const std::string& out : front.lines) session.send_line(out);
+    if (front.was_error) {
+      errors_.fetch_add(1, std::memory_order_release);
+    } else {
+      answered_.fetch_add(1, std::memory_order_release);
+    }
+    answers.pop_front();
+  }
+  // resume_reading may synchronously dispatch buffered lines (growing the
+  // queue right back); LineConn's re-entrancy guard keeps that safe.
+  if (answers.size() < config_.window) session.resume_reading();
+}
+
+int TcpFront::poll_and_pump(int timeout_ms) {
+  const int fired = loop_.poll_once(timeout_ms);
+  server_.for_each_session([this](net::Session& s) { pump_session(s); });
+  return fired;
+}
+
+void TcpFront::run() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    // Futures resolve on engine worker threads, invisible to poll; spin the
+    // loop fast only while something is actually in flight.
+    poll_and_pump(pending_futures_ > 0 ? 1 : 200);
+  }
+}
+
+}  // namespace disthd::serve

@@ -1,0 +1,120 @@
+// TCP front-end of the serving stack: the v2 line protocol served over
+// net::LineServer sessions instead of stdio, backed by the same EnginePool.
+//
+// Each session is an independent protocol stream with its own answer queue:
+// every non-skipped request line produces EXACTLY ONE answer line (a
+// predict response, a "#error" rejection, a "#config" ack — or, for the
+// stats verb, one "#stats" block) and answers go out in that session's
+// request order, however the engine's micro-batches reorder completion.
+// The bridge is an ordered deque of pending answers per session:
+//
+//   - predict lines submit() to the pool and park the future in the deque;
+//   - rejected lines (parse error, unknown model, no snapshot, ...) park a
+//     ready-made "#error" line in the same slot — garbage from one client
+//     must neither kill the process nor shift any answer, including its own
+//     later ones;
+//   - "config" applies immediately (slot set_serve_config + pool
+//     reconfigure_model) but its ack still waits its turn in the deque;
+//   - "stats" is materialized only when it REACHES THE FRONT of the deque,
+//     i.e. after every earlier answer of this session resolved, so its
+//     counters cover every request this client submitted before it (the
+//     stdio loop's drain-then-answer rule, per session).
+//
+// Flow control: a session with `window` unanswered requests stops being
+// read (LineConn::pause_reading) until the pump drains it below the window
+// — one client pipelining 10^6 lines costs bounded memory, not the process.
+//
+// Threading: run() owns the event loop on the calling thread; the only
+// cross-thread traffic is the engine workers fulfilling futures, which the
+// pump polls with wait_for(0). request_stop() just sets an atomic flag and
+// is async-signal-safe, so SIGINT/SIGTERM handlers can call it directly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "net/event_loop.hpp"
+#include "net/line_server.hpp"
+#include "serve/engine_pool.hpp"
+#include "serve/line_protocol.hpp"
+#include "serve/model_registry.hpp"
+
+namespace disthd::serve {
+
+struct TcpFrontConfig {
+  /// Port to listen on; 0 = kernel-assigned ephemeral port (read back via
+  /// port() — how tests avoid port races).
+  std::uint16_t port = 0;
+  /// Per-session cap on unanswered requests before reading pauses.
+  std::size_t window = 256;
+  /// When nonzero, request lines are validated against this feature count
+  /// at parse time; 0 defers the check to each model's snapshot (the right
+  /// setting when served models disagree on feature count).
+  std::size_t expected_features = 0;
+};
+
+/// Lifetime counters. A snapshot: counters advance on the loop thread, so
+/// a reading thread sees each one at-or-after the last answer it observed
+/// on the wire, not a frozen triple.
+struct TcpFrontTotals {
+  std::uint64_t sessions = 0;   ///< connections accepted
+  std::uint64_t answered = 0;   ///< predict answers sent
+  std::uint64_t errors = 0;     ///< "#error" answers sent
+};
+
+class TcpFront {
+public:
+  /// Binds immediately. `registry` and `pool` must outlive the front;
+  /// the registry is needed (beyond the pool) by the config verb, which
+  /// writes slot serve-configs.
+  TcpFront(ModelRegistry& registry, EnginePool& pool, TcpFrontConfig config);
+
+  TcpFront(const TcpFront&) = delete;
+  TcpFront& operator=(const TcpFront&) = delete;
+
+  std::uint16_t port() const noexcept { return server_.port(); }
+  std::size_t session_count() const noexcept { return server_.session_count(); }
+  TcpFrontTotals totals() const noexcept {
+    TcpFrontTotals snapshot;
+    snapshot.sessions = sessions_.load(std::memory_order_acquire);
+    snapshot.answered = answered_.load(std::memory_order_acquire);
+    snapshot.errors = errors_.load(std::memory_order_acquire);
+    return snapshot;
+  }
+
+  /// One poll + answer-pump round; the building block of run(), exposed so
+  /// tests can drive the loop manually. Returns the poll result.
+  int poll_and_pump(int timeout_ms);
+
+  /// Serves until request_stop(). Polls with a short timeout while answers
+  /// are in flight (futures resolve on engine threads, not on fds) and a
+  /// long one when fully idle.
+  void run();
+
+  /// Async-signal-safe stop request; run() returns after the current round.
+  void request_stop() noexcept { stop_.store(true, std::memory_order_relaxed); }
+
+private:
+  struct SessionState;
+
+  void on_open(net::Session& session);
+  void on_line(net::Session& session, std::string& line);
+  void on_close(net::Session& session);
+  void pump_session(net::Session& session);
+
+  ModelRegistry& registry_;
+  EnginePool& pool_;
+  TcpFrontConfig config_;
+  net::EventLoop loop_;
+  net::LineServer server_;
+  // Written on the loop thread only; atomics so monitoring threads (and
+  // the tests' oracle threads) may read totals() while serving runs.
+  std::atomic<std::uint64_t> sessions_{0};
+  std::atomic<std::uint64_t> answered_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::size_t pending_futures_ = 0;
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace disthd::serve

@@ -1,0 +1,291 @@
+// serve::TcpFront integration: real EnginePool, real TCP clients, the
+// event loop on its own thread — the exact thread topology production
+// runs (loop thread + engine workers + remote clients), which is what the
+// TSan CI job exercises for the session/engine interaction.
+//
+// The core contracts under test:
+//   - answer-position discipline: every non-skipped request line answers
+//     exactly once, in request order, with "#error" standing in for
+//     rejected requests — a mid-stream garbage line shifts nothing;
+//   - protocol parity: predict answers over TCP are bit-identical to the
+//     same engine's in-process answers;
+//   - the config verb retunes a LIVE model (observable via max_batch=1
+//     forcing singleton batches in the stats counters);
+//   - concurrent sessions don't interleave each other's answers.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hd/encoder.hpp"
+#include "hd/model.hpp"
+#include "net/socket.hpp"
+#include "serve/engine_pool.hpp"
+#include "serve/line_protocol.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/tcp_front.hpp"
+#include "util/rng.hpp"
+
+namespace disthd::serve {
+namespace {
+
+constexpr std::size_t kFeatures = 6;
+constexpr std::size_t kDim = 32;
+constexpr std::size_t kClasses = 3;
+
+core::HdcClassifier make_classifier(std::uint64_t seed) {
+  auto encoder = std::make_unique<hd::RbfEncoder>(kFeatures, kDim, seed);
+  hd::ClassModel model(kClasses, kDim);
+  util::Rng rng(seed ^ 0xABC);
+  model.mutable_class_vectors().fill_normal(rng, 0.0, 1.0);
+  model.refresh_norms();
+  return core::HdcClassifier(std::move(encoder), std::move(model));
+}
+
+std::string feature_csv(std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::string csv;
+  for (std::size_t f = 0; f < kFeatures; ++f) {
+    if (f > 0) csv += ',';
+    csv += std::to_string(static_cast<float>(rng.normal()));
+  }
+  return csv;
+}
+
+// Blocking line-oriented client for test use: sends raw bytes, reads one
+// '\n'-terminated line at a time (the server end runs on another thread).
+class BlockingClient {
+public:
+  explicit BlockingClient(std::uint16_t port)
+      : socket_(net::tcp_connect("127.0.0.1", port)) {}
+
+  void send(const std::string& data) {
+    ASSERT_EQ(::send(socket_.fd(), data.data(), data.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(data.size()));
+  }
+
+  std::string read_line() {
+    for (;;) {
+      const auto newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        std::string line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t got = ::recv(socket_.fd(), chunk, sizeof(chunk), 0);
+      if (got <= 0) return "<EOF>";
+      buffer_.append(chunk, static_cast<std::size_t>(got));
+    }
+  }
+
+  void close() { socket_.reset(); }
+
+private:
+  net::Socket socket_;
+  std::string buffer_;
+};
+
+// Registry + pool + front + loop thread, torn down in the right order.
+class FrontFixture {
+public:
+  explicit FrontFixture(std::size_t window = 256) {
+    registry_.register_model("alpha").publish(make_classifier(1));
+    registry_.register_model("beta").publish(make_classifier(2));
+    EnginePoolConfig config;
+    config.engines = 2;
+    config.engine.workers = 2;
+    config.engine.max_batch = 8;
+    config.engine.default_model = "alpha";
+    pool_ = std::make_unique<EnginePool>(registry_, config);
+    TcpFrontConfig front_config;
+    front_config.window = window;
+    front_ = std::make_unique<TcpFront>(registry_, *pool_, front_config);
+    loop_thread_ = std::thread([this] { front_->run(); });
+  }
+
+  ~FrontFixture() {
+    front_->request_stop();
+    loop_thread_.join();
+    pool_->shutdown();
+  }
+
+  std::uint16_t port() const { return front_->port(); }
+  EnginePool& pool() { return *pool_; }
+  const TcpFront& front() const { return *front_; }
+
+private:
+  ModelRegistry registry_;
+  std::unique_ptr<EnginePool> pool_;
+  std::unique_ptr<TcpFront> front_;
+  std::thread loop_thread_;
+};
+
+TEST(TcpFront, AnswersMatchInProcessPredictionsBitForBit) {
+  FrontFixture fixture;
+  BlockingClient client(fixture.port());
+  EXPECT_EQ(client.read_line(), response_header());
+
+  const std::string row_a = feature_csv(10);
+  const std::string row_b = feature_csv(11);
+  client.send("model=alpha|" + row_a + "\n");
+  client.send("model=beta topk=2|" + row_b + "\n");
+
+  // The same requests served in-process, formatted by the same formatter.
+  std::vector<float> features;
+  ASSERT_TRUE(parse_feature_line(row_a, features));
+  PredictRequest in_process;
+  in_process.model = "alpha";
+  in_process.features = features;
+  const std::string expect_a =
+      format_result(fixture.pool().predict(std::move(in_process)));
+  ASSERT_TRUE(parse_feature_line(row_b, features));
+  PredictRequest in_process_b;
+  in_process_b.model = "beta";
+  in_process_b.features = features;
+  in_process_b.top_k = 2;
+  const std::string expect_b =
+      format_result(fixture.pool().predict(std::move(in_process_b)));
+
+  EXPECT_EQ(client.read_line(), expect_a);
+  EXPECT_EQ(client.read_line(), expect_b);
+}
+
+TEST(TcpFront, MalformedLinesAnswerInPositionAndServingContinues) {
+  FrontFixture fixture;
+  BlockingClient client(fixture.port());
+  EXPECT_EQ(client.read_line(), response_header());
+
+  const std::string row = feature_csv(20);
+  // good, bad (parse), bad (submit: unknown model), good — one write so
+  // the whole burst sits in one read buffer when the first line answers.
+  client.send("model=alpha|" + row + "\n" +
+              "topk=oops|" + row + "\n" +
+              "model=ghost|" + row + "\n" +
+              "model=alpha|" + row + "\n");
+
+  const std::string first = client.read_line();
+  EXPECT_EQ(first.rfind("#error", 0), std::string::npos) << first;
+  const std::string second = client.read_line();
+  EXPECT_EQ(second.rfind("#error ", 0), 0u) << second;
+  EXPECT_NE(second.find("topk=oops"), std::string::npos);
+  const std::string third = client.read_line();
+  EXPECT_EQ(third.rfind("#error ", 0), 0u) << third;
+  EXPECT_NE(third.find("ghost"), std::string::npos);
+  // The answer AFTER the garbage matches the answer BEFORE it: same row,
+  // same model, nothing shifted.
+  EXPECT_EQ(client.read_line(), first);
+  EXPECT_GE(fixture.front().totals().errors, 2u);
+}
+
+TEST(TcpFront, StatsAnswersAfterEarlierRequestsAndConfigRetunesLive) {
+  FrontFixture fixture;
+  BlockingClient client(fixture.port());
+  EXPECT_EQ(client.read_line(), response_header());
+
+  const std::string row = feature_csv(30);
+  client.send("model=beta|" + row + "\nstats model=beta\n");
+  (void)client.read_line();  // the predict answer
+  std::string stats = client.read_line();
+  EXPECT_EQ(stats.rfind("#stats model=beta", 0), 0u) << stats;
+  // The stats verb sits behind the predict in answer order, so its
+  // counters include it — never a zero row.
+  EXPECT_EQ(stats.find(" requests=0 "), std::string::npos) << stats;
+
+  // Live retune: the ack echoes the overrides...
+  client.send("config model=beta max_batch=1 deadline_us=77\n");
+  EXPECT_EQ(client.read_line(),
+            "#config model=beta max_batch=1 deadline_us=77");
+  // ...and a revert ack echoes the sentinels.
+  client.send("config model=beta\n");
+  EXPECT_EQ(client.read_line(),
+            "#config model=beta max_batch=default deadline_us=default");
+
+  client.send("stats model=nosuch\n");
+  const std::string unknown = client.read_line();
+  // Unlike stdio serve (where the registry check precedes formatting), an
+  // unregistered model over TCP reports the idle zero row.
+  EXPECT_EQ(unknown.rfind("#stats model=nosuch", 0), 0u) << unknown;
+}
+
+TEST(TcpFront, SessionsGetIndependentOrderedAnswerStreams) {
+  FrontFixture fixture;
+  constexpr int kClients = 4;
+  constexpr int kRequests = 32;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&fixture, c] {
+      BlockingClient client(fixture.port());
+      ASSERT_EQ(client.read_line(), response_header());
+      // Interleave models so both engines serve every session, and check
+      // each answer against an in-process oracle computed up front.
+      std::vector<std::string> expected;
+      std::string burst;
+      for (int r = 0; r < kRequests; ++r) {
+        const std::uint64_t seed =
+            1000u + static_cast<std::uint64_t>(c * kRequests + r);
+        const std::string model = (r % 2 == 0) ? "alpha" : "beta";
+        const std::string row = feature_csv(seed);
+        burst += "model=" + model + "|" + row + "\n";
+        std::vector<float> features;
+        ASSERT_TRUE(parse_feature_line(row, features));
+        PredictRequest request;
+        request.model = model;
+        request.features = std::move(features);
+        expected.push_back(
+            format_result(fixture.pool().predict(std::move(request))));
+      }
+      client.send(burst);
+      for (int r = 0; r < kRequests; ++r) {
+        EXPECT_EQ(client.read_line(), expected[static_cast<std::size_t>(r)])
+            << "client " << c << " answer " << r;
+      }
+    });
+  }
+  for (auto& thread : clients) thread.join();
+  EXPECT_EQ(fixture.front().totals().sessions,
+            static_cast<std::uint64_t>(kClients));
+}
+
+TEST(TcpFront, WindowBackpressureBoundsButEventuallyAnswersEverything) {
+  FrontFixture fixture(/*window=*/4);
+  BlockingClient client(fixture.port());
+  ASSERT_EQ(client.read_line(), response_header());
+  constexpr int kRequests = 64;
+  const std::string row = feature_csv(40);
+  std::string burst;
+  for (int r = 0; r < kRequests; ++r) burst += "model=alpha|" + row + "\n";
+  client.send(burst);
+  std::string first;
+  for (int r = 0; r < kRequests; ++r) {
+    const std::string line = client.read_line();
+    ASSERT_NE(line, "<EOF>") << "answer " << r;
+    if (r == 0) {
+      first = line;
+    } else {
+      EXPECT_EQ(line, first) << "answer " << r;  // same row, same answer
+    }
+  }
+}
+
+TEST(TcpFront, ClientVanishingMidFlightLeavesTheServerServing) {
+  FrontFixture fixture;
+  {
+    BlockingClient doomed(fixture.port());
+    doomed.send("model=alpha|" + feature_csv(50) + "\n");
+    doomed.close();  // gone before (possibly) reading any answer
+  }
+  BlockingClient client(fixture.port());
+  EXPECT_EQ(client.read_line(), response_header());
+  client.send("model=alpha|" + feature_csv(51) + "\n");
+  const std::string answer = client.read_line();
+  EXPECT_NE(answer, "<EOF>");
+  EXPECT_EQ(answer.rfind("#error", 0), std::string::npos) << answer;
+}
+
+}  // namespace
+}  // namespace disthd::serve

@@ -1,0 +1,268 @@
+// v2 line-protocol parsing and formatting (serve/line_protocol.hpp).
+//
+// The malformed-input tables are the serving front-end's crash-proofing
+// contract: every line here must either parse, be skipped (blank/comment),
+// or throw a catchable std::runtime_error the server turns into one
+// "#error" answer line — never anything that kills the process or shifts
+// answer positions. peek_request_route additionally must NEVER throw, even
+// on lines parse_request_line rejects (the router forwards those so the
+// backend stays the single validator).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/line_protocol.hpp"
+
+namespace disthd::serve {
+namespace {
+
+// ---- parse_feature_line ---------------------------------------------------
+
+TEST(ParseFeatureLine, ParsesPlainCsvRow) {
+  std::vector<float> features;
+  ASSERT_TRUE(parse_feature_line("1.5,-2,0.25", features));
+  ASSERT_EQ(features.size(), 3u);
+  EXPECT_FLOAT_EQ(features[0], 1.5f);
+  EXPECT_FLOAT_EQ(features[1], -2.0f);
+  EXPECT_FLOAT_EQ(features[2], 0.25f);
+}
+
+TEST(ParseFeatureLine, SkipsBlankAndCommentLines) {
+  std::vector<float> features;
+  EXPECT_FALSE(parse_feature_line("", features));
+  EXPECT_FALSE(parse_feature_line("   \t", features));
+  EXPECT_FALSE(parse_feature_line("# comment", features));
+  EXPECT_FALSE(parse_feature_line("  # indented comment", features));
+}
+
+TEST(ParseFeatureLine, FullyNonNumericCellsBecomeZero) {
+  // Matches disthd_predict's NaN policy: a header-ish or empty cell is a 0,
+  // not an error (the CSV corpus fixtures rely on this).
+  std::vector<float> features;
+  ASSERT_TRUE(parse_feature_line("abc,,1.5", features));
+  ASSERT_EQ(features.size(), 3u);
+  EXPECT_FLOAT_EQ(features[0], 0.0f);
+  EXPECT_FLOAT_EQ(features[1], 0.0f);
+  EXPECT_FLOAT_EQ(features[2], 1.5f);
+}
+
+TEST(ParseFeatureLine, TrailingWhitespaceAfterNumberIsFine) {
+  std::vector<float> features;
+  ASSERT_TRUE(parse_feature_line("1.5 ,2.0\t,3 \r", features));
+  ASSERT_EQ(features.size(), 3u);
+  EXPECT_FLOAT_EQ(features[0], 1.5f);
+}
+
+TEST(ParseFeatureLine, RejectsTrailingGarbageAfterParsedNumber) {
+  // "1.5abc" parsed a prefix — truncating to 1.5 would silently score the
+  // wrong row, so it must reject, NOT zero-fill and NOT truncate.
+  const char* bad_rows[] = {
+      "1.5abc,2,3",
+      "1,2e,3",          // exponent marker with no exponent... strtod stops
+      "1,2,3.4.5",
+      "0x1g,2,3",
+      "1,2,3junk",
+  };
+  std::vector<float> features;
+  for (const char* row : bad_rows) {
+    EXPECT_THROW(parse_feature_line(row, features), std::runtime_error)
+        << "row: " << row;
+  }
+}
+
+TEST(ParseFeatureLine, EnforcesExpectedFeatureCount) {
+  std::vector<float> features;
+  EXPECT_TRUE(parse_feature_line("1,2,3", features, 3));
+  EXPECT_THROW(parse_feature_line("1,2,3", features, 4), std::runtime_error);
+  EXPECT_THROW(parse_feature_line("1,2,3,4", features, 3), std::runtime_error);
+}
+
+// ---- parse_request_line: well-formed -------------------------------------
+
+TEST(ParseRequestLine, PlainV1RowUsesDirectiveDefaults) {
+  ParsedRequest request;
+  ASSERT_TRUE(parse_request_line("1,2,3", request));
+  EXPECT_EQ(request.kind, RequestKind::predict);
+  EXPECT_TRUE(request.model.empty());
+  EXPECT_EQ(request.top_k, 1u);
+  EXPECT_FALSE(request.want_scores);
+  EXPECT_EQ(request.features.size(), 3u);
+}
+
+TEST(ParseRequestLine, DirectivePrefixSplitsOnSpaceAndTabRuns) {
+  // A tab-joined prefix must parse as TWO directives, not route to a model
+  // literally named "alpha\ttopk=2".
+  ParsedRequest request;
+  ASSERT_TRUE(parse_request_line("model=alpha\ttopk=2|1,2", request));
+  EXPECT_EQ(request.model, "alpha");
+  EXPECT_EQ(request.top_k, 2u);
+
+  ASSERT_TRUE(parse_request_line("model=beta \t  scores=1\t|0.5", request));
+  EXPECT_EQ(request.model, "beta");
+  EXPECT_TRUE(request.want_scores);
+}
+
+TEST(ParseRequestLine, StatsVerbWithAndWithoutModel) {
+  ParsedRequest request;
+  ASSERT_TRUE(parse_request_line("stats", request));
+  EXPECT_EQ(request.kind, RequestKind::stats);
+  EXPECT_TRUE(request.model.empty());
+
+  ASSERT_TRUE(parse_request_line("stats\tmodel=alpha", request));
+  EXPECT_EQ(request.kind, RequestKind::stats);
+  EXPECT_EQ(request.model, "alpha");
+}
+
+TEST(ParseRequestLine, ConfigVerbParsesKnobsAndSentinels) {
+  ParsedRequest request;
+  ASSERT_TRUE(
+      parse_request_line("config model=alpha max_batch=8 deadline_us=500",
+                         request));
+  EXPECT_EQ(request.kind, RequestKind::config);
+  EXPECT_EQ(request.model, "alpha");
+  EXPECT_EQ(request.serve_config.max_batch, 8u);
+  EXPECT_EQ(request.serve_config.flush_deadline.count(), 500);
+
+  // Omitted knobs stay at their sentinels: revert-to-engine-default.
+  ASSERT_TRUE(parse_request_line("config model=alpha", request));
+  EXPECT_EQ(request.serve_config.max_batch, 0u);
+  EXPECT_LT(request.serve_config.flush_deadline.count(), 0);
+
+  ASSERT_TRUE(parse_request_line("config\tmodel=alpha\tdeadline_us=0",
+                                 request));
+  EXPECT_EQ(request.serve_config.flush_deadline.count(), 0);
+}
+
+// ---- parse_request_line: the malformed-input table -----------------------
+
+TEST(ParseRequestLine, MalformedLinesThrowInsteadOfKillingTheServer) {
+  // Each entry: a line a client could actually pipe in, and a fragment the
+  // thrown reason must contain (the fragment lands in the "#error" answer,
+  // so it has to name the offending token, not just say "bad input").
+  struct Case {
+    const char* line;
+    const char* reason_fragment;
+  };
+  const Case cases[] = {
+      {"model=|1,2", "names no model"},
+      {"garbage|1,2", "expected key=value"},
+      {"model=a rate=9|1,2", "unknown request directive"},
+      {"topk=0|1,2", "not a positive integer"},
+      {"topk=-3|1,2", "not a positive integer"},
+      {"topk=two|1,2", "not a positive integer"},
+      {"topk=2x|1,2", "not a positive integer"},
+      {"scores=2|1,2", "must be 0 or 1"},
+      {"scores=yes|1,2", "must be 0 or 1"},
+      {"model=a|", "directives but no features"},
+      {"model=a|   ", "directives but no features"},
+      {"model=a|# nope", "directives but no features"},
+      {"1.5abc,2", "trailing garbage"},
+      {"model=a|1,2.3.4", "trailing garbage"},
+      {"stats topk=2", "accepts only 'model=NAME'"},
+      {"stats model=", "names no model"},
+      {"stats bare", "expected key=value"},
+      {"config", "names no model"},
+      {"config max_batch=8", "names no model"},
+      {"config model=", "names no model"},
+      {"config model=a max_batch=0", "is not an integer >= 1"},
+      {"config model=a max_batch=big", "is not an integer >= 1"},
+      {"config model=a deadline_us=-1", "is not an integer >= 0"},
+      {"config model=a knob=1", "unknown config directive"},
+      {"config model=a max_batch", "expected key=value"},
+  };
+  for (const Case& test_case : cases) {
+    ParsedRequest request;
+    try {
+      parse_request_line(test_case.line, request);
+      FAIL() << "expected throw for: " << test_case.line;
+    } catch (const std::runtime_error& error) {
+      EXPECT_NE(std::string(error.what()).find(test_case.reason_fragment),
+                std::string::npos)
+          << "line '" << test_case.line << "' threw '" << error.what()
+          << "' which does not mention '" << test_case.reason_fragment << "'";
+    }
+  }
+}
+
+// ---- peek_request_route ---------------------------------------------------
+
+TEST(PeekRequestRoute, RoutesWithoutValidating) {
+  struct Case {
+    const char* line;
+    RouteKind kind;
+    const char* model;
+  };
+  const Case cases[] = {
+      {"", RouteKind::skip, ""},
+      {"   \t", RouteKind::skip, ""},
+      {"# comment", RouteKind::skip, ""},
+      {"1,2,3", RouteKind::predict, ""},  // v1 row: default model
+      {"model=alpha|1,2", RouteKind::predict, "alpha"},
+      {"model=alpha\ttopk=2|1,2", RouteKind::predict, "alpha"},
+      {"topk=2 model=beta|1,2", RouteKind::predict, "beta"},
+      {"stats", RouteKind::stats, ""},
+      {"stats model=alpha", RouteKind::stats, "alpha"},
+      {"config model=beta max_batch=4", RouteKind::config, "beta"},
+      // Malformed lines still route (the backend owns the rejection)...
+      {"topk=zero model=alpha|1,2", RouteKind::predict, "alpha"},
+      {"garbage directives|1,2", RouteKind::predict, ""},
+      {"model=a|1,2.3.4", RouteKind::predict, "a"},
+      {"config knob=1", RouteKind::config, ""},
+      // ...and a "model=" glued into a feature row does NOT reroute a v1
+      // line ("|"-less lines never have a directive prefix).
+      {"model=fake,1,2", RouteKind::predict, ""},
+  };
+  for (const Case& test_case : cases) {
+    std::string model;
+    EXPECT_EQ(peek_request_route(test_case.line, model), test_case.kind)
+        << "line: " << test_case.line;
+    EXPECT_EQ(model, test_case.model) << "line: " << test_case.line;
+  }
+}
+
+// ---- formatters -----------------------------------------------------------
+
+TEST(FormatError, PrefixesAndNeutralizesControlCharacters) {
+  EXPECT_EQ(format_error("bad request"), "#error bad request");
+  // Embedded newlines would split one answer into two lines — the framing
+  // invariant the whole answer-position design rests on.
+  EXPECT_EQ(format_error("line1\nline2\r"), "#error line1 line2 ");
+  EXPECT_EQ(format_error("tab\tok"), "#error tab\tok");
+}
+
+TEST(FormatConfigAck, PrintsSentinelsAsDefault) {
+  ModelServeConfig config;  // both knobs at their inherit sentinels
+  EXPECT_EQ(format_config_ack("alpha", config),
+            "#config model=alpha max_batch=default deadline_us=default");
+  config.max_batch = 16;
+  config.flush_deadline = std::chrono::microseconds(250);
+  EXPECT_EQ(format_config_ack("alpha", config),
+            "#config model=alpha max_batch=16 deadline_us=250");
+}
+
+TEST(FormatStatsLines, FiltersAndReportsIdleModels) {
+  std::vector<ModelStats> stats(2);
+  stats[0].model = "alpha";
+  stats[0].requests = 3;
+  stats[1].model = "beta";
+
+  const auto all = format_stats_lines(stats, "");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_NE(all[0].find("model=alpha"), std::string::npos);
+  EXPECT_NE(all[1].find("model=beta"), std::string::npos);
+
+  const auto only_beta = format_stats_lines(stats, "beta");
+  ASSERT_EQ(only_beta.size(), 1u);
+  EXPECT_NE(only_beta[0].find("model=beta"), std::string::npos);
+
+  // A model the engine has not served yet still answers — with a zero row,
+  // not with silence (silence would desync the answer stream).
+  const auto idle = format_stats_lines(stats, "ghost");
+  ASSERT_EQ(idle.size(), 1u);
+  EXPECT_NE(idle[0].find("model=ghost"), std::string::npos);
+  EXPECT_NE(idle[0].find("requests=0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace disthd::serve

@@ -51,6 +51,19 @@ TEST(Routing, GoldenRoutesPinCrossProcessDeterminism) {
   EXPECT_EQ(rendezvous_route("default", 2), 0u);
 }
 
+TEST(Routing, GoldenRoutesForRouterShardingFixture) {
+  // The model set the disthd_router e2e test serves. Pinned at N=2 and
+  // N=3 so the cross-process test can assert EXACT placement (which
+  // backend's stats counters move) and the resize property in the small:
+  // growing 2 -> 3 backends re-homes ONLY "m2", onto the new backend.
+  EXPECT_EQ(rendezvous_route("default", 2), 0u);
+  EXPECT_EQ(rendezvous_route("m2", 2), 0u);
+  EXPECT_EQ(rendezvous_route("alpha", 2), 1u);
+  EXPECT_EQ(rendezvous_route("default", 3), 0u);
+  EXPECT_EQ(rendezvous_route("m2", 3), 2u);
+  EXPECT_EQ(rendezvous_route("alpha", 3), 1u);
+}
+
 TEST(Routing, ResizeMovesOnlyOntoTheNewBucket) {
   constexpr std::size_t kModels = 512;
   std::vector<std::string> names;

@@ -1,0 +1,54 @@
+# CTest script: replay mode must finish the training stream before
+# --save-bundle (tail-drain satellite). Chunked replay ingests one chunk
+# per --train-every queries; a query stream that ends early leaves
+# un-ingested training rows behind, and the saved bundle must still be
+# the FULL-stream fit — the serve loop drains the tail before saving.
+#
+# Two runs over the same stream with the same chunking:
+#   short: 1 query  -> most of the stream is tail, drained at save time
+#   long:  enough queries that every chunk ingests during serving
+# The two saved bundles must be byte-identical; before the drain fix the
+# short run saved a model trained on one chunk out of three.
+#
+#   cmake -DSERVE=<disthd_serve> -DTRAIN=<train.csv> -DQUERY=<query.csv>
+#         -DWORK_DIR=<dir> -P check_replay_drain.cmake
+
+foreach(var SERVE TRAIN QUERY WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+# A one-query stream cut from the committed fixture (plus its header).
+file(STRINGS ${QUERY} query_lines)
+list(GET query_lines 0 header)
+list(GET query_lines 1 lone_row)
+set(short_query ${WORK_DIR}/replay_drain_short_query.csv)
+file(WRITE ${short_query} "${header}\n${lone_row}\n")
+
+set(short_bundle ${WORK_DIR}/replay_drain_short.bin)
+set(full_bundle ${WORK_DIR}/replay_drain_full.bin)
+
+foreach(run "short;${short_query};${short_bundle}" "full;${QUERY};${full_bundle}")
+  list(GET run 0 tag)
+  list(GET run 1 query_file)
+  list(GET run 2 bundle)
+  execute_process(
+    COMMAND ${SERVE} --train-stream ${TRAIN} --input ${query_file}
+            --train-chunk 40 --train-every 2 --dim 128 --seed 3
+            --save-bundle ${bundle}
+    OUTPUT_QUIET RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "replay (${tag} query stream) failed (${rc})")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${short_bundle} ${full_bundle}
+  RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "bundle saved after a short query stream differs from "
+                      "the full-stream fit: the un-ingested training tail "
+                      "was dropped before --save-bundle")
+endif()
+message(STATUS "replay tail-drain OK: short-stream and full-stream bundles are byte-identical")

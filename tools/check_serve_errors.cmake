@@ -1,0 +1,82 @@
+# CTest script: serving survives malformed traffic (crash-proofing
+# satellite). A query stream with garbage spliced into the middle —
+# an unparseable directive, a feature cell with trailing garbage, and a
+# request naming an unregistered model — must leave disthd_serve running:
+# exit 0, every good row answered, and each bad line answered by exactly
+# one "#error" line IN ITS REQUEST POSITION (nothing shifts, nothing is
+# dropped, nothing doubles).
+#
+#   cmake -DSERVE=<disthd_serve> -DMODEL=<bundle.bin> -DQUERY=<query.csv>
+#         -DWORK_DIR=<dir> -P check_serve_errors.cmake
+
+foreach(var SERVE MODEL QUERY WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+# One known-good feature row from the committed query fixture (line 0 is
+# the CSV header disthd_serve skips).
+file(STRINGS ${QUERY} query_lines)
+list(GET query_lines 0 header)
+list(GET query_lines 1 good_row)
+
+set(input ${WORK_DIR}/serve_errors_input.csv)
+file(WRITE ${input}
+  "${header}\n"
+  "${good_row}\n"                 # answers
+  "topk=banana|${good_row}\n"     # parse rejection: bad directive value
+  "1.5abc,2,3\n"                  # parse rejection: trailing garbage
+  "model=ghost|${good_row}\n"     # submit rejection: unregistered model
+  "${good_row}\n")                # still serving: same row, same answer
+
+execute_process(
+  COMMAND ${SERVE} --model ${MODEL} --input ${input} --max-batch 4
+  OUTPUT_VARIABLE serve_out RESULT_VARIABLE serve_rc)
+if(NOT serve_rc EQUAL 0)
+  message(FATAL_ERROR "disthd_serve died on malformed input (${serve_rc})")
+endif()
+
+string(REPLACE "\n" ";" lines "${serve_out}")
+set(errors "")
+set(answers "")
+foreach(line IN LISTS lines)
+  if(line STREQUAL "")
+    continue()
+  elseif(line MATCHES "^#error ")
+    list(APPEND errors "${line}")
+  elseif(line MATCHES "^#")
+    continue()                      # protocol header / stats comments
+  else()
+    list(APPEND answers "${line}")
+  endif()
+endforeach()
+
+list(LENGTH errors n_errors)
+if(NOT n_errors EQUAL 3)
+  message(FATAL_ERROR "expected exactly 3 #error lines, got ${n_errors}:\n${serve_out}")
+endif()
+# Each rejection names its offending token — the answer a client can act on.
+list(GET errors 0 first_error)
+list(GET errors 1 second_error)
+list(GET errors 2 third_error)
+if(NOT first_error MATCHES "banana")
+  message(FATAL_ERROR "error 1 does not name the bad directive: ${first_error}")
+endif()
+if(NOT second_error MATCHES "trailing garbage")
+  message(FATAL_ERROR "error 2 does not name the garbage cell: ${second_error}")
+endif()
+if(NOT third_error MATCHES "ghost")
+  message(FATAL_ERROR "error 3 does not name the unknown model: ${third_error}")
+endif()
+
+list(LENGTH answers n_answers)
+if(NOT n_answers EQUAL 2)
+  message(FATAL_ERROR "expected 2 real answers, got ${n_answers}:\n${serve_out}")
+endif()
+list(GET answers 0 before)
+list(GET answers 1 after)
+if(NOT before STREQUAL after)
+  message(FATAL_ERROR "same row answered differently across the garbage:\n  before: ${before}\n  after:  ${after}")
+endif()
+message(STATUS "malformed-input stream OK: 2 answers, 3 positioned #error lines, exit 0")

@@ -1,0 +1,242 @@
+// disthd_router — cross-process model sharding for disthd_serve backends.
+//
+//   disthd_router --backend HOST:PORT [--backend HOST:PORT ...]
+//                 [--listen PORT] [--default-model NAME] [--window K]
+//
+// Clients speak the same v2 line protocol they would speak to one
+// disthd_serve --listen shard; the router resolves each request's model=
+// directive (empty = --default-model, "default" by default) and forwards
+// the line VERBATIM to the backend chosen by rendezvous-hashing the
+// resolved name over the backend list (serve/routing.hpp) — the exact hash
+// an EnginePool uses for engine affinity, one level up. Placement is
+// therefore a pure function of (model, backend count): identical across
+// router restarts, and growing N backends to N+1 re-homes only ~K/(N+1)
+// of K models, all onto the new backend.
+//
+// Answer discipline mirrors the backends': every forwarded request owns
+// exactly one answer line, and a client's answers arrive in ITS request
+// order no matter how responses interleave across backends. The router
+// keeps one pending-answer queue per client (answer order) and one per
+// backend (response match order: backends answer in request order, so a
+// backend's next non-header line always resolves the oldest pending
+// request the router sent it).
+//
+// Validation stays with the backends: the router peeks only the model=
+// directive (best-effort, never rejecting) and forwards malformed lines
+// untouched, so the backend's "#error" answer flows back like any other
+// and there is exactly one producer of protocol errors. The router
+// answers directly only for what cannot cross it: "stats" WITHOUT model=
+// fans out one line per served model — an unframeable response — and a
+// request routed to a backend that has died.
+//
+// --listen 0 (the default) binds an ephemeral port, announced on stdout
+// as "#listen port=N" — same contract as disthd_serve --listen.
+#include <algorithm>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/event_loop.hpp"
+#include "net/line_conn.hpp"
+#include "net/line_server.hpp"
+#include "net/socket.hpp"
+#include "serve/line_protocol.hpp"
+#include "serve/routing.hpp"
+#include "util/argparse.hpp"
+
+namespace {
+
+using namespace disthd;
+
+volatile std::sig_atomic_t g_stop = 0;
+void handle_stop_signal(int) { g_stop = 1; }
+
+// One forwarded request, shared between its client's answer queue and its
+// backend's response-match queue. A queue outliving the other side (client
+// gone before the backend answered, backend dead before the client was
+// paid) just orphans the entry; shared_ptr keeps both walks safe.
+struct Pending {
+  std::uint64_t client_id = 0;  // LineServer session id
+  bool ready = false;
+  std::string answer;
+};
+
+struct Backend {
+  std::string spec;  // HOST:PORT, for error messages
+  std::unique_ptr<net::LineConn> conn;
+  std::deque<std::shared_ptr<Pending>> awaiting;  // oldest first
+  bool dead = false;
+};
+
+struct ClientState {
+  std::deque<std::shared_ptr<Pending>> answers;  // request order
+};
+
+class Router {
+public:
+  Router(std::uint16_t port, const std::vector<std::string>& backend_specs,
+         std::string default_model, std::size_t window)
+      : default_model_(std::move(default_model)),
+        window_(window),
+        server_(loop_, port,
+                net::LineServer::Handlers{
+                    [this](net::Session& s) { on_client_open(s); },
+                    [this](net::Session& s, std::string& line) {
+                      on_client_line(s, line);
+                    },
+                    [](net::Session&) {},
+                }) {
+    backends_.reserve(backend_specs.size());
+    for (const auto& spec : backend_specs) {
+      const auto host_port = net::parse_host_port(spec);
+      net::Socket socket = net::tcp_connect(host_port.host, host_port.port);
+      net::set_nonblocking(socket.fd());
+      auto backend = std::make_unique<Backend>();
+      Backend* raw = backend.get();
+      raw->spec = spec;
+      raw->conn = std::make_unique<net::LineConn>(
+          loop_, std::move(socket),
+          net::LineConn::Callbacks{
+              [this, raw](std::string& line) { on_backend_line(*raw, line); },
+              [this, raw] { on_backend_close(*raw); },
+          });
+      backends_.push_back(std::move(backend));
+    }
+  }
+
+  std::uint16_t port() const noexcept { return server_.port(); }
+
+  void run() {
+    while (!g_stop) {
+      loop_.poll_once(200);
+      server_.for_each_session([this](net::Session& s) { pump_client(s); });
+    }
+  }
+
+private:
+  void on_client_open(net::Session& session) {
+    session.user_data = std::make_shared<ClientState>();
+    // The router owns the client-facing header; backend headers are
+    // swallowed below, so clients see exactly one.
+    session.send_line(serve::response_header());
+  }
+
+  void answer_now(net::Session& session, ClientState& state,
+                  std::string answer) {
+    auto pending = std::make_shared<Pending>();
+    pending->client_id = session.id();
+    pending->ready = true;
+    pending->answer = std::move(answer);
+    state.answers.push_back(std::move(pending));
+  }
+
+  void on_client_line(net::Session& session, std::string& line) {
+    auto state = std::static_pointer_cast<ClientState>(session.user_data);
+    std::string model;
+    const serve::RouteKind kind = serve::peek_request_route(line, model);
+    if (kind == serve::RouteKind::skip) return;  // no answer slot
+    if (kind == serve::RouteKind::stats && model.empty()) {
+      // One "#stats" line PER SERVED MODEL: the router cannot know where
+      // the response ends, so the verb cannot cross process boundaries.
+      answer_now(session, *state,
+                 serve::format_error(
+                     "stats without model= does not cross the router; "
+                     "ask 'stats model=NAME'"));
+    } else {
+      if (model.empty()) model = default_model_;
+      Backend& backend = *backends_[serve::rendezvous_route(
+          model, backends_.size())];
+      if (backend.dead) {
+        answer_now(session, *state,
+                   serve::format_error("backend " + backend.spec +
+                                       " is down"));
+      } else {
+        auto pending = std::make_shared<Pending>();
+        pending->client_id = session.id();
+        state->answers.push_back(pending);
+        backend.awaiting.push_back(std::move(pending));
+        backend.conn->send_line(line);
+      }
+    }
+    if (state->answers.size() >= window_) session.pause_reading();
+  }
+
+  void on_backend_line(Backend& backend, std::string& line) {
+    // Connection metadata, not an answer (sent once per backend session).
+    if (line.rfind("#proto=", 0) == 0) return;
+    if (backend.awaiting.empty()) {
+      std::fprintf(stderr, "warning: unsolicited line from %s dropped\n",
+                   backend.spec.c_str());
+      return;
+    }
+    const auto pending = std::move(backend.awaiting.front());
+    backend.awaiting.pop_front();
+    pending->ready = true;
+    pending->answer = std::move(line);
+  }
+
+  void on_backend_close(Backend& backend) {
+    backend.dead = true;
+    // Every request in flight on this backend gets its answer slot paid
+    // with an error — the clients' answer order must not stall forever.
+    for (const auto& pending : backend.awaiting) {
+      pending->ready = true;
+      pending->answer =
+          serve::format_error("backend " + backend.spec + " died");
+    }
+    backend.awaiting.clear();
+    std::fprintf(stderr, "warning: backend %s closed\n", backend.spec.c_str());
+  }
+
+  void pump_client(net::Session& session) {
+    auto state = std::static_pointer_cast<ClientState>(session.user_data);
+    if (!state) return;
+    auto& answers = state->answers;
+    while (!answers.empty() && answers.front()->ready && !session.closed()) {
+      session.send_line(answers.front()->answer);
+      answers.pop_front();
+    }
+    if (answers.size() < window_) session.resume_reading();
+  }
+
+  std::string default_model_;
+  std::size_t window_;
+  net::EventLoop loop_;
+  net::LineServer server_;
+  std::vector<std::unique_ptr<Backend>> backends_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::ArgParser args(argc, argv);
+    const auto backend_specs = args.get_all("backend");
+    if (backend_specs.empty()) {
+      std::fprintf(stderr,
+                   "usage: disthd_router --backend HOST:PORT "
+                   "[--backend HOST:PORT ...] [--listen PORT] "
+                   "[--default-model NAME] [--window K]\n");
+      return 2;
+    }
+    const auto port = static_cast<std::uint16_t>(args.get_int("listen", 0));
+    const std::string default_model = args.get("default-model", "default");
+    const std::size_t window = std::max<long>(1, args.get_int("window", 256));
+
+    Router router(port, backend_specs, default_model, window);
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+    std::printf("#listen port=%u\n", static_cast<unsigned>(router.port()));
+    std::fflush(stdout);
+    std::fprintf(stderr, "routing %zu backend(s)\n", backend_specs.size());
+    router.run();
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}

@@ -33,19 +33,44 @@
 // "version,label,score" extended per the v2 grammar for topk=/scores=
 // requests — version names the snapshot that answered, so interleaved
 // output is attributable even while a model moves underneath.
+//
+// A malformed or rejected request answers with one "#error <reason>"
+// comment line IN ITS ANSWER POSITION and serving continues — remote (or
+// piped) garbage never kills the process and never shifts another
+// request's answer. A "config model=NAME [max_batch=B] [deadline_us=U]"
+// line retunes that model's batching live (an omitted knob reverts to the
+// engine default) and answers with a "#config ..." ack.
+//
+// --listen PORT serves the same protocol over TCP instead of stdio
+// (serve/tcp_front.hpp): one session per connection, each with its own
+// header, answer order, and backpressure window. PORT 0 binds an
+// ephemeral port; either way the chosen port is announced on stdout as
+// "#listen port=N" before serving starts. SIGINT/SIGTERM stop the loop
+// gracefully (drain, stats to stderr, then --save-bundle as usual). With
+// --train-stream, listen mode ingests the whole stream up front — there
+// is no per-query replay cadence without a single stdin stream.
+//
 // --save-bundle writes the final snapshot (classifier + scaler) of the
 // replay-trained model — or of the default model when there is no
-// --train-stream — back out as a loadable bundle when serving ends.
+// --train-stream — back out as a loadable bundle when serving ends. Any
+// un-ingested tail of --train-stream is drained first, so the saved
+// bundle always reflects the FULL stream (identical to an uninterrupted
+// fit with the same chunk size), not wherever the query stream happened
+// to leave the cadence.
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "serve/tcp_front.hpp"
 
 #include "data/normalize.hpp"
 #include "serve/engine_pool.hpp"
@@ -58,6 +83,14 @@
 namespace {
 
 using namespace disthd;
+
+// Signal -> stop-flag bridge for --listen mode. request_stop() is an
+// atomic store, safe from a handler.
+serve::TcpFront* g_front = nullptr;
+
+void handle_stop_signal(int) {
+  if (g_front != nullptr) g_front->request_stop();
+}
 
 serve::EnginePoolConfig pool_config(const util::ArgParser& args,
                                     const std::string& default_model) {
@@ -218,78 +251,158 @@ int main(int argc, char** argv) {
 
     serve::EnginePool engine(registry, pool_config(args, default_model));
 
-    std::ifstream input_file;
-    if (!input_path.empty()) {
-      input_file.open(input_path);
-      if (!input_file) {
-        std::fprintf(stderr, "error: cannot read %s\n", input_path.c_str());
-        return 1;
+    if (args.has("listen")) {
+      // TCP mode: replay has no per-query cadence here, so the whole
+      // training stream is ingested before the first connection.
+      while (learner && stream_cursor < stream.features.rows()) {
+        ingest_next_chunk();
       }
-    }
-    std::istream& input = input_path.empty() ? std::cin : input_file;
+      serve::TcpFrontConfig front_config;
+      front_config.port =
+          static_cast<std::uint16_t>(args.get_int("listen", 0));
+      front_config.window = window;
+      serve::TcpFront front(registry, engine, front_config);
+      g_front = &front;
+      std::signal(SIGINT, handle_stop_signal);
+      std::signal(SIGTERM, handle_stop_signal);
+      // Announce the bound port (essential with --listen 0) before serving;
+      // supervisors and tests block on this line.
+      std::printf("#listen port=%u\n", static_cast<unsigned>(front.port()));
+      std::fflush(stdout);
+      front.run();
+      g_front = nullptr;
+      const auto& totals = front.totals();
+      std::fprintf(stderr,
+                   "listen: %llu sessions, %llu answers, %llu errors\n",
+                   static_cast<unsigned long long>(totals.sessions),
+                   static_cast<unsigned long long>(totals.answered),
+                   static_cast<unsigned long long>(totals.errors));
+      engine.shutdown();
+    } else {
+      std::ifstream input_file;
+      if (!input_path.empty()) {
+        input_file.open(input_path);
+        if (!input_file) {
+          std::fprintf(stderr, "error: cannot read %s\n", input_path.c_str());
+          return 1;
+        }
+      }
+      std::istream& input = input_path.empty() ? std::cin : input_file;
 
-    std::printf("%s\n", serve::response_header());
-    std::deque<std::future<serve::PredictResult>> inflight;
-    auto drain_one = [&] {
-      const auto result = inflight.front().get();
-      inflight.pop_front();
-      std::printf("%s\n", serve::format_result(result).c_str());
-    };
+      std::printf("%s\n", serve::response_header());
 
-    std::string line;
-    serve::ParsedRequest parsed;
-    // Same header rule as disthd_predict, for stdin and --input alike: the
-    // first line is a header unless --no-header (a header's column names
-    // would otherwise parse as an all-zero query and shift every response).
-    bool skipped_header = !has_header;
-    std::size_t queries = 0;
-    while (std::getline(input, line)) {
-      if (!skipped_header) {
-        skipped_header = true;
-        continue;
-      }
-      if (!serve::parse_request_line(line, parsed)) {
-        continue;
-      }
-      if (parsed.kind == serve::RequestKind::stats) {
-        // Answer order stays deterministic: drain everything submitted
-        // before the stats line, then emit one #stats comment line per
-        // model (or just the named one). A named model must be registered
-        // (typos fail loudly, like every other malformed request); a
-        // registered model with no traffic yet reports a zero row.
-        while (!inflight.empty()) drain_one();
-        if (!parsed.model.empty() && !registry.find(parsed.model)) {
-          throw std::runtime_error("stats request names unknown model '" +
-                                   parsed.model + "'");
+      // One answer slot per accepted OR rejected request, in request order: a
+      // future still being served, or a line (an "#error" rejection, a
+      // "#config" ack) that is already decided but must wait its turn.
+      struct Pending {
+        std::optional<std::future<serve::PredictResult>> result;
+        std::string line;
+      };
+      std::deque<Pending> inflight;
+      auto drain_one = [&] {
+        Pending pending = std::move(inflight.front());
+        inflight.pop_front();
+        if (pending.result) {
+          try {
+            std::printf("%s\n",
+                        serve::format_result(pending.result->get()).c_str());
+          } catch (const std::exception& error) {
+            // Accepted but unservable mid-flight: still one answer line.
+            std::printf("%s\n", serve::format_error(error.what()).c_str());
+          }
+        } else {
+          std::printf("%s\n", pending.line.c_str());
         }
-        bool printed = false;
-        for (const auto& model : engine.model_stats()) {
-          if (!parsed.model.empty() && model.model != parsed.model) continue;
-          std::printf("%s\n", serve::format_model_stats(model).c_str());
-          printed = true;
+      };
+      auto reject = [&](const std::string& reason) {
+        inflight.push_back(Pending{std::nullopt, serve::format_error(reason)});
+      };
+
+      std::string line;
+      serve::ParsedRequest parsed;
+      // Same header rule as disthd_predict, for stdin and --input alike: the
+      // first line is a header unless --no-header (a header's column names
+      // would otherwise parse as an all-zero query and shift every response).
+      bool skipped_header = !has_header;
+      std::size_t queries = 0;
+      while (std::getline(input, line)) {
+        if (!skipped_header) {
+          skipped_header = true;
+          continue;
         }
-        if (!parsed.model.empty() && !printed) {
-          serve::ModelStats idle;
-          idle.model = parsed.model;
-          std::printf("%s\n", serve::format_model_stats(idle).c_str());
+        bool is_request = false;
+        try {
+          is_request = serve::parse_request_line(line, parsed);
+        } catch (const std::exception& error) {
+          // A malformed line is an answered rejection, not a dead server —
+          // whatever a client pipes in, every OTHER request keeps its answer.
+          reject(error.what());
+          continue;
         }
-        continue;
+        if (!is_request) continue;  // blank/comment: no answer slot
+        if (parsed.kind == serve::RequestKind::stats) {
+          // Answer order stays deterministic: drain everything submitted
+          // before the stats line, then emit one #stats comment line per
+          // model (or just the named one). A named model must be registered
+          // (typos answer with #error, like every other rejected request); a
+          // registered model with no traffic yet reports a zero row.
+          while (!inflight.empty()) drain_one();
+          if (!parsed.model.empty() && !registry.find(parsed.model)) {
+            std::printf("%s\n",
+                        serve::format_error("stats request names unknown "
+                                            "model '" +
+                                            parsed.model + "'")
+                            .c_str());
+            continue;
+          }
+          for (const auto& stats_line :
+               serve::format_stats_lines(engine.model_stats(), parsed.model)) {
+            std::printf("%s\n", stats_line.c_str());
+          }
+          continue;
+        }
+        if (parsed.kind == serve::RequestKind::config) {
+          const auto slot = registry.find(parsed.model);
+          if (!slot) {
+            reject("config request names unknown model '" + parsed.model + "'");
+            continue;
+          }
+          // Takes effect now; the ack still waits its turn in answer order.
+          slot->set_serve_config(parsed.serve_config);
+          engine.reconfigure_model(parsed.model);
+          inflight.push_back(Pending{
+              std::nullopt,
+              serve::format_config_ack(parsed.model, parsed.serve_config)});
+          continue;
+        }
+        serve::PredictRequest request;
+        request.model = std::move(parsed.model);
+        request.features = std::move(parsed.features);
+        request.top_k = parsed.top_k;
+        request.want_scores = parsed.want_scores;
+        try {
+          inflight.push_back(Pending{engine.submit(std::move(request)), {}});
+        } catch (const std::exception& error) {
+          reject(error.what());  // unknown model, no snapshot, bad shape, ...
+          continue;
+        }
+        while (inflight.size() >= window) drain_one();
+        ++queries;
+        if (train_every > 0 && queries % train_every == 0) ingest_next_chunk();
       }
-      serve::PredictRequest request;
-      request.model = std::move(parsed.model);
-      request.features = std::move(parsed.features);
-      request.top_k = parsed.top_k;
-      request.want_scores = parsed.want_scores;
-      inflight.push_back(engine.submit(std::move(request)));
-      while (inflight.size() >= window) drain_one();
-      ++queries;
-      if (train_every > 0 && queries % train_every == 0) ingest_next_chunk();
+      while (!inflight.empty()) drain_one();
+      engine.shutdown();
     }
-    while (!inflight.empty()) drain_one();
-    engine.shutdown();
 
     const std::string save_path = args.get("save-bundle", "");
     if (!save_path.empty()) {
+      // Drain any un-ingested tail of the training stream first: the query
+      // stream ending mid-cadence (or a short query file) must not leave
+      // the saved bundle trained on a prefix. Same chunk size as live
+      // replay, so the result is identical to an uninterrupted fit.
+      while (learner && stream_cursor < stream.features.rows()) {
+        ingest_next_chunk();
+      }
       // The replay-trained model when there is one (saving a static bundle
       // back out unchanged is never what --save-bundle meant), otherwise
       // the default model.
