@@ -11,6 +11,8 @@
 #include "hd/encoder.hpp"
 #include "hd/learner.hpp"
 #include "hd/model.hpp"
+#include "hd/ops.hpp"
+#include "hd/packed.hpp"
 #include "util/rng.hpp"
 
 using namespace disthd;
@@ -63,6 +65,51 @@ void BM_ScoresBatch(benchmark::State& state) {
                           kSamples);
 }
 BENCHMARK(BM_ScoresBatch)->Arg(500)->Arg(2000)->Arg(4000);
+
+void BM_PrenormScoresBatch(benchmark::State& state) {
+  // The float serving path: normalization hoisted to publish time, so the
+  // loop is the pure k x D dot sweep — the packed kernel's comparison
+  // baseline.
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const hd::RbfEncoder encoder(kFeatures, dim, 1);
+  util::Matrix encoded;
+  encoder.encode_batch(workload().features, encoded);
+  hd::ClassModel model(kClasses, dim);
+  hd::OneShotLearner::fit(model, encoded, workload().labels);
+  const util::Matrix normalized = model.normalized_class_vectors();
+  util::Matrix scores;
+  for (auto _ : state) {
+    hd::scores_batch_prenormalized(encoded, normalized, scores);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kSamples);
+}
+BENCHMARK(BM_PrenormScoresBatch)->Arg(500)->Arg(2000)->Arg(4000);
+
+void BM_PackedScoresBatch(benchmark::State& state) {
+  // The packed serving path as score_raw runs it: sign-pack the encoded
+  // queries (the per-batch cost), then the XOR+popcount Hamming sweep
+  // against class vectors packed once at publish time.
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const hd::RbfEncoder encoder(kFeatures, dim, 1);
+  util::Matrix encoded;
+  encoder.encode_batch(workload().features, encoded);
+  hd::ClassModel model(kClasses, dim);
+  hd::OneShotLearner::fit(model, encoded, workload().labels);
+  const hd::PackedMatrix packed_classes =
+      hd::PackedMatrix::pack(model.class_vectors());
+  hd::PackedMatrix packed_queries;
+  util::Matrix scores;
+  for (auto _ : state) {
+    hd::pack_rows(encoded, packed_queries);
+    hd::packed_scores_batch(packed_queries, packed_classes, scores);
+    benchmark::DoNotOptimize(scores.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kSamples);
+}
+BENCHMARK(BM_PackedScoresBatch)->Arg(500)->Arg(2000)->Arg(4000);
 
 void BM_AdaptiveEpoch(benchmark::State& state) {
   const auto dim = static_cast<std::size_t>(state.range(0));

@@ -27,6 +27,13 @@
 // micro-bench times both paths on identical encoded batches and reports
 // the per-batch speedup (the ROADMAP `scores_batch` re-normalization item).
 //
+// ISSUE 7 additions: the multi-model affine shapes run once per scoring
+// backend (prenormalized float, then bit-packed XOR+popcount) with the
+// slots re-published between runs — the packed-vs-float serving column —
+// and a second micro-bench times packed_scores_batch against the
+// prenormalized float sweep at the configured dim and at the GEMM-bound
+// dim 512, where the ≥2x acceptance target applies.
+//
 //   --requests N     requests per client (default 2000; 400 in --quick)
 //   --clients C      client threads per configuration (default 2)
 //   --features F     input feature count (default 54, PAMAP2-like)
@@ -53,6 +60,7 @@
 #include "bench_common.hpp"
 #include "hd/encoder.hpp"
 #include "hd/model.hpp"
+#include "hd/packed.hpp"
 #include "serve/engine_pool.hpp"
 #include "serve/inference_engine.hpp"
 #include "serve/model_registry.hpp"
@@ -69,6 +77,7 @@ struct RunConfig {
   std::size_t window = 1;  // in-flight requests per client
   std::size_t models = 1;  // request round-robin targets
   std::size_t pool = 1;    // >1 = model-affine EnginePool of this size
+  serve::ScoringBackend backend = serve::ScoringBackend::prenorm;
 };
 
 struct RunResult {
@@ -166,6 +175,12 @@ RunResult run_one(const serve::ModelRegistry& registry,
                   const std::vector<std::string>& model_names,
                   const util::Matrix& queries, const RunConfig& config,
                   std::size_t requests_per_client) {
+  // Re-publish every slot onto the run's scoring backend (a no-op republish
+  // when the backend already matches), exactly what the live config verb
+  // does — so the packed column measures the production switch path.
+  for (const auto& name : model_names) {
+    registry.find(name)->set_backend(config.backend);
+  }
   serve::InferenceEngineConfig engine_config;
   engine_config.max_batch = config.max_batch;
   engine_config.workers = config.workers;
@@ -238,6 +253,67 @@ PrenormalizeResult bench_prenormalize(const core::HdcClassifier& classifier,
   return result;
 }
 
+struct PackedScoresResult {
+  std::size_t dim = 0;
+  std::size_t batch_rows = 0;
+  std::size_t iterations = 0;
+  double prenormalized_us = 0.0;  // float path with hoisted normalization
+  double packed_us = 0.0;         // pack_rows + XOR/popcount Hamming sweep
+  double speedup = 1.0;
+};
+
+/// The ISSUE 7 micro row: packed XOR+popcount scoring vs the prenormalized
+/// float sweep on identical encoded batches. The packed side is timed as the
+/// serving path actually runs it — query sign-packing included — against
+/// class vectors packed once at publish time.
+PackedScoresResult bench_packed_scores(std::size_t features, std::size_t dim,
+                                       std::size_t classes,
+                                       const util::Matrix& queries,
+                                       std::size_t batch_rows,
+                                       std::size_t iterations,
+                                       std::uint64_t seed) {
+  const auto classifier = make_classifier(features, dim, classes, seed);
+  util::Matrix batch(batch_rows, queries.cols());
+  for (std::size_t r = 0; r < batch_rows; ++r) {
+    const auto row = queries.row(r % queries.rows());
+    std::copy(row.begin(), row.end(), batch.row(r).begin());
+  }
+  util::Matrix encoded;
+  classifier.encoder().encode_batch(batch, encoded);
+  const util::Matrix normalized =
+      classifier.model().normalized_class_vectors();
+  const hd::PackedMatrix packed_classes =
+      hd::PackedMatrix::pack(classifier.model().class_vectors());
+
+  PackedScoresResult result;
+  result.dim = dim;
+  result.batch_rows = batch_rows;
+  result.iterations = iterations;
+  util::Matrix scores;
+  {
+    util::WallTimer timer;
+    for (std::size_t i = 0; i < iterations; ++i) {
+      hd::scores_batch_prenormalized(encoded, normalized, scores);
+    }
+    result.prenormalized_us =
+        timer.seconds() * 1e6 / static_cast<double>(iterations);
+  }
+  {
+    hd::PackedMatrix packed_queries;
+    util::WallTimer timer;
+    for (std::size_t i = 0; i < iterations; ++i) {
+      hd::pack_rows(encoded, packed_queries);
+      hd::packed_scores_batch(packed_queries, packed_classes, scores);
+    }
+    result.packed_us =
+        timer.seconds() * 1e6 / static_cast<double>(iterations);
+  }
+  result.speedup = result.packed_us > 0.0
+                       ? result.prenormalized_us / result.packed_us
+                       : 1.0;
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -292,6 +368,9 @@ int main(int argc, char** argv) {
   // Window 128 keeps ~32 requests in flight per model per client at 4
   // models; 256 keeps a full batch queued per model while one is scored
   // (the single-model sweep's 2x-batch rule, per model).
+  // The affine shapes run once per scoring backend (prenorm, then packed),
+  // the ISSUE 7 packed-vs-float column: same traffic, same routing, only the
+  // slots' scoring backend re-published between runs.
   if (model_count > 1) {
     const std::vector<std::size_t> multi_windows{128, 64 * model_count};
     for (const auto window : multi_windows) {
@@ -300,38 +379,46 @@ int main(int argc, char** argv) {
             {64, worker_count, clients, window, model_count, 1});
       }
     }
-    for (const auto window : multi_windows) {
-      for (const auto worker_count : workers) {
-        configs.push_back(
-            {64, worker_count, clients, window, model_count, model_count});
+    for (const auto backend : {serve::ScoringBackend::prenorm,
+                               serve::ScoringBackend::packed}) {
+      for (const auto window : multi_windows) {
+        for (const auto worker_count : workers) {
+          configs.push_back({64, worker_count, clients, window, model_count,
+                             model_count, backend});
+        }
       }
     }
   }
 
   std::vector<RunResult> results;
-  std::printf("%8s %8s %8s %8s %8s %8s %12s %9s %9s %10s\n", "batch",
-              "workers", "clients", "window", "models", "pool", "rps",
-              "p50_ms", "p99_ms", "mean_bat");
+  std::printf("%8s %8s %8s %8s %8s %8s %8s %12s %9s %9s %10s\n", "batch",
+              "workers", "clients", "window", "models", "pool", "backend",
+              "rps", "p50_ms", "p99_ms", "mean_bat");
   for (const auto& config : configs) {
     const auto result =
         run_one(registry, model_names, queries, config, requests);
     results.push_back(result);
-    std::printf("%8zu %8zu %8zu %8zu %8zu %8zu %12.0f %9.3f %9.3f %10.2f\n",
-                config.max_batch, config.workers, config.clients,
-                config.window, config.models, config.pool,
-                result.throughput_rps, result.p50_ms, result.p99_ms,
-                result.mean_batch);
+    std::printf(
+        "%8zu %8zu %8zu %8zu %8zu %8zu %8s %12.0f %9.3f %9.3f %10.2f\n",
+        config.max_batch, config.workers, config.clients, config.window,
+        config.models, config.pool, serve::to_string(config.backend),
+        result.throughput_rps, result.p50_ms, result.p99_ms,
+        result.mean_batch);
   }
 
   const double baseline = results.front().throughput_rps;
   double best = baseline;
   double best_multi_shared = 0.0;
   double best_multi_affine = 0.0;
+  double best_multi_affine_packed = 0.0;
   for (const auto& result : results) {
     if (result.config.models == 1) {
       best = std::max(best, result.throughput_rps);
     } else if (result.config.pool == 1) {
       best_multi_shared = std::max(best_multi_shared, result.throughput_rps);
+    } else if (result.config.backend == serve::ScoringBackend::packed) {
+      best_multi_affine_packed =
+          std::max(best_multi_affine_packed, result.throughput_rps);
     } else {
       best_multi_affine = std::max(best_multi_affine, result.throughput_rps);
     }
@@ -342,10 +429,15 @@ int main(int argc, char** argv) {
               best, speedup, baseline);
   if (model_count > 1) {
     std::printf("best %zu-model throughput: shared engine %.0f rps, "
-                "model-affine pool %.0f rps (%.2fx)\n",
+                "model-affine pool %.0f rps (%.2fx), packed affine pool "
+                "%.0f rps (%.2fx vs float affine)\n",
                 model_count, best_multi_shared, best_multi_affine,
                 best_multi_shared > 0.0
                     ? best_multi_affine / best_multi_shared
+                    : 0.0,
+                best_multi_affine_packed,
+                best_multi_affine > 0.0
+                    ? best_multi_affine_packed / best_multi_affine
                     : 0.0);
   }
 
@@ -366,6 +458,29 @@ int main(int argc, char** argv) {
                 row.speedup);
   }
 
+  // Packed-vs-prenormalized scoring micro rows at the configured shape and
+  // at the GEMM-bound dim 512 (where scores_batch dominates a request and
+  // the ≥2x acceptance target applies).
+  std::vector<PackedScoresResult> packed_scores;
+  std::printf("\npacked XOR+popcount vs prenormalized scores_batch "
+              "(classes %zu, kernel %s):\n", classes,
+              hd::packed_kernel_name());
+  for (const std::size_t micro_dim :
+       (dim == 512 ? std::vector<std::size_t>{dim}
+                   : std::vector<std::size_t>{dim, 512})) {
+    for (const std::size_t batch_rows : {std::size_t{1}, std::size_t{8},
+                                         std::size_t{64}}) {
+      packed_scores.push_back(
+          bench_packed_scores(features, micro_dim, classes, queries,
+                              batch_rows, micro_iterations, options.seed));
+      const auto& row = packed_scores.back();
+      std::printf("  dim %4zu batch %3zu: %8.3f us/batch packed vs %8.3f "
+                  "us/batch prenormalized = %.2fx\n",
+                  row.dim, row.batch_rows, row.packed_us,
+                  row.prenormalized_us, row.speedup);
+    }
+  }
+
   std::ofstream out(out_path);
   if (!out) {
     std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
@@ -380,7 +495,22 @@ int main(int argc, char** argv) {
   out << "  \"best_rps\": " << best << ",\n";
   out << "  \"best_multi_model_rps\": " << best_multi_shared << ",\n";
   out << "  \"best_multi_model_affine_rps\": " << best_multi_affine << ",\n";
+  out << "  \"best_multi_model_affine_packed_rps\": "
+      << best_multi_affine_packed << ",\n";
   out << "  \"speedup_best_vs_baseline\": " << speedup << ",\n";
+  out << "  \"packed_kernel\": \"" << hd::packed_kernel_name() << "\",\n";
+  out << "  \"packed_scores\": [\n";
+  for (std::size_t i = 0; i < packed_scores.size(); ++i) {
+    const auto& row = packed_scores[i];
+    out << "    {\"dim\": " << row.dim
+        << ", \"batch_rows\": " << row.batch_rows
+        << ", \"iterations\": " << row.iterations
+        << ", \"prenormalized_us\": " << row.prenormalized_us
+        << ", \"packed_us\": " << row.packed_us
+        << ", \"speedup\": " << row.speedup << "}"
+        << (i + 1 < packed_scores.size() ? ",\n" : "\n");
+  }
+  out << "  ],\n";
   out << "  \"prenormalize\": [\n";
   for (std::size_t i = 0; i < prenormalize.size(); ++i) {
     const auto& row = prenormalize[i];
@@ -402,6 +532,7 @@ int main(int argc, char** argv) {
         << ", \"models\": " << r.config.models
         << ", \"pool\": " << r.config.pool << ", \"routing\": \""
         << (r.config.pool > 1 ? "affine" : "shared") << "\""
+        << ", \"backend\": \"" << serve::to_string(r.config.backend) << "\""
         << ", \"throughput_rps\": " << r.throughput_rps
         << ", \"p50_ms\": " << r.p50_ms << ", \"p99_ms\": " << r.p99_ms
         << ", \"mean_batch\": " << r.mean_batch;

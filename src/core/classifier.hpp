@@ -31,6 +31,13 @@ public:
   const hd::ClassModel& model() const noexcept { return model_; }
   hd::ClassModel& mutable_model() noexcept { return model_; }
 
+  /// Deep copy (the classifier is otherwise move-only because of the owned
+  /// encoder). Lets a serving slot republish its current model — e.g. onto a
+  /// different scoring backend — without reloading it.
+  HdcClassifier clone() const {
+    return HdcClassifier(encoder_->clone(), model_);
+  }
+
   /// Predicts the class of a single feature vector.
   int predict(std::span<const float> features) const;
 

@@ -31,6 +31,15 @@ public:
   virtual std::size_t dimensionality() const noexcept = 0;
   virtual std::size_t num_features() const noexcept = 0;
 
+  /// Deep copy with dynamic type preserved. Lets holders of a classifier
+  /// republish it (e.g. onto a different scoring backend) without knowing
+  /// which encoder it carries.
+  virtual std::unique_ptr<Encoder> clone() const = 0;
+
+  /// Bytes of owned state kept resident per deployed copy (base matrices,
+  /// level tables, offsets). Feeds the per-model snapshot_bytes stat.
+  virtual std::size_t resident_bytes() const noexcept = 0;
+
   /// Encodes one feature vector; `out` must have dimensionality() elements.
   virtual void encode(std::span<const float> features,
                       std::span<float> out) const = 0;
@@ -58,6 +67,15 @@ public:
 
   std::size_t dimensionality() const noexcept override { return base_.rows(); }
   std::size_t num_features() const noexcept override { return base_.cols(); }
+
+  std::unique_ptr<Encoder> clone() const override {
+    return std::make_unique<RbfEncoder>(*this);
+  }
+  std::size_t resident_bytes() const noexcept override {
+    return base_.size() * sizeof(float) +
+           (phase_.size() + sin_phase_.size() + output_offset_.size()) *
+               sizeof(float);
+  }
 
   void encode(std::span<const float> features,
               std::span<float> out) const override;
@@ -131,6 +149,13 @@ public:
   std::size_t dimensionality() const noexcept override { return base_.rows(); }
   std::size_t num_features() const noexcept override { return base_.cols(); }
 
+  std::unique_ptr<Encoder> clone() const override {
+    return std::make_unique<RandomProjectionEncoder>(*this);
+  }
+  std::size_t resident_bytes() const noexcept override {
+    return base_.size() * sizeof(float);
+  }
+
   void encode(std::span<const float> features,
               std::span<float> out) const override;
   void encode_batch(const util::Matrix& features,
@@ -152,6 +177,13 @@ public:
 
   std::size_t dimensionality() const noexcept override { return dim_; }
   std::size_t num_features() const noexcept override { return num_features_; }
+
+  std::unique_ptr<Encoder> clone() const override {
+    return std::make_unique<IdLevelEncoder>(*this);
+  }
+  std::size_t resident_bytes() const noexcept override {
+    return (ids_.size() + levels_.size()) * sizeof(float);
+  }
 
   void encode(std::span<const float> features,
               std::span<float> out) const override;

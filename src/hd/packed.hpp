@@ -1,0 +1,103 @@
+// Bit-packed bipolar hypervectors and XOR+popcount Hamming scoring.
+//
+// Sign-quantizing a float hypervector keeps only one bit per dimension, so a
+// class model that costs k×D floats as a dense matrix fits in k×D/8 bytes —
+// a 32× capacity win per resident model — and the scoring inner loop becomes
+// integer-only: for bipolar a, b with Hamming distance h over D bits,
+//     dot(a, b) = D - 2h,   cosine(a, b) = 1 - 2h/D,
+// both exact integers (up to the final float division), so packed scoring is
+// bit-stable across runs and across the scalar/AVX-512 kernels. The sign
+// convention matches hd::sign_quantize and hd::hamming_agreement: values
+// >= 0 count as +1 (a SET bit means negative), so packing a matrix twice, or
+// packing its own unpack, is always byte-identical.
+//
+// The popcount kernel is dispatched ONCE at startup: an AVX-512 VPOPCNTDQ
+// path when the binary was compiled for it and the CPU reports the feature,
+// otherwise a portable __builtin_popcountll loop. packed_kernel_name() makes
+// the selection observable for bench provenance.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace disthd::hd {
+
+/// Row-major matrix of sign bits: `rows` hypervectors of `bits` logical
+/// dimensions, each stored as ceil(bits/64) little-endian uint64_t words.
+/// Padding bits in the last word are always zero, so XOR over whole rows
+/// never picks up distance from the padding.
+class PackedMatrix {
+public:
+  PackedMatrix() = default;
+  /// rows x bits, all bits clear (= all +1).
+  PackedMatrix(std::size_t rows, std::size_t bits);
+
+  /// Sign-quantizes every row of a float matrix (bit set <=> value < 0).
+  static PackedMatrix pack(const util::Matrix& m);
+
+  std::size_t rows() const noexcept { return rows_; }
+  /// Logical dimensionality (bit count per row).
+  std::size_t bits() const noexcept { return bits_; }
+  std::size_t words_per_row() const noexcept { return words_per_row_; }
+  /// Resident payload size — what a packed model actually costs to keep hot.
+  std::size_t byte_size() const noexcept {
+    return words_.size() * sizeof(std::uint64_t);
+  }
+  bool empty() const noexcept { return words_.empty(); }
+
+  std::span<const std::uint64_t> row(std::size_t r) const noexcept {
+    return {words_.data() + r * words_per_row_, words_per_row_};
+  }
+  std::span<std::uint64_t> row(std::size_t r) noexcept {
+    return {words_.data() + r * words_per_row_, words_per_row_};
+  }
+
+  /// Sign-quantizes one float row into row r (values.size() must equal
+  /// bits()); clears padding bits.
+  void pack_row(std::size_t r, std::span<const float> values) noexcept;
+
+  /// Reshapes to rows x bits, discarding contents (all bits cleared).
+  void reshape(std::size_t rows, std::size_t bits);
+
+  /// Expands back to a ±1 float matrix (bit set -> -1, clear -> +1).
+  util::Matrix unpack() const;
+
+  bool operator==(const PackedMatrix&) const noexcept = default;
+
+  void save(std::ostream& out) const;
+  static PackedMatrix load(std::istream& in);
+
+private:
+  std::size_t rows_ = 0;
+  std::size_t bits_ = 0;
+  std::size_t words_per_row_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Hamming distance (number of differing sign bits) between two packed rows
+/// of equal word count, via the dispatched XOR+popcount kernel.
+std::size_t packed_hamming(std::span<const std::uint64_t> a,
+                           std::span<const std::uint64_t> b) noexcept;
+
+/// scores(r, c) = 1 - 2*hamming(queries.row(r), classes.row(c)) / bits —
+/// the exact bipolar cosine of the sign-quantized vectors. Scores are
+/// resized to queries.rows() x classes.rows(); parallel over query rows.
+/// Because dot = bits - 2h is strictly decreasing in h, argmax over these
+/// scores under the first-strict-max tie rule equals argmax over float dots
+/// of the same ±1 vectors.
+void packed_scores_batch(const PackedMatrix& queries,
+                         const PackedMatrix& classes, util::Matrix& scores);
+
+/// Sign-quantizes every row of src into dst (reshaped to src.rows() x
+/// src.cols()). The batch form of PackedMatrix::pack for reused buffers.
+void pack_rows(const util::Matrix& src, PackedMatrix& dst);
+
+/// Name of the popcount kernel selected at startup:
+/// "avx512-vpopcntdq" or "scalar-popcountll".
+const char* packed_kernel_name() noexcept;
+
+}  // namespace disthd::hd

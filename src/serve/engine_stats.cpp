@@ -71,6 +71,11 @@ double LatencyHistogram::quantile(double q) const noexcept {
 }
 
 void ModelStats::merge(const ModelStats& other) {
+  // Deployment state, not counters: every engine of a pool reads the same
+  // slot, so any non-empty view wins (an idle engine may not have stamped
+  // them yet).
+  if (backend.empty()) backend = other.backend;
+  if (snapshot_bytes == 0) snapshot_bytes = other.snapshot_bytes;
   requests += other.requests;
   batches += other.batches;
   largest_batch = std::max(largest_batch, other.largest_batch);

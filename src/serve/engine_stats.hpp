@@ -73,6 +73,13 @@ struct LatencyHistogram {
 /// beyond the engine's lifetime.
 struct ModelStats {
   std::string model;
+  /// Scoring backend of the model's CURRENT snapshot ("float" / "prenorm" /
+  /// "packed"; empty when the slot has never published). Deployment state,
+  /// not a counter: engines stamp it from the slot at snapshot() time.
+  std::string backend;
+  /// ModelSnapshot::resident_bytes() of the current snapshot — the per-model
+  /// capacity cost the packed backend exists to shrink. 0 when unpublished.
+  std::uint64_t snapshot_bytes = 0;
   std::uint64_t requests = 0;       ///< requests popped into this model's batches
   std::uint64_t batches = 0;        ///< batches flushed
   std::uint64_t largest_batch = 0;  ///< max rows in one batch

@@ -401,15 +401,28 @@ std::vector<ModelStats> InferenceEngine::model_stats() const {
   // Grab the cells under the queue mutex, snapshot them outside it: each
   // snapshot is an atomic copy under the cell's own mutex, so a model's
   // counters are internally consistent even while its workers keep serving.
-  std::vector<std::shared_ptr<ModelStatsCell>> cells;
+  std::vector<std::pair<const SnapshotSlot*, std::shared_ptr<ModelStatsCell>>>
+      cells;
   {
     std::lock_guard lock(mutex_);
     cells.reserve(slot_states_.size());
-    for (const auto& [slot, state] : slot_states_) cells.push_back(state.stats);
+    for (const auto& [slot, state] : slot_states_) {
+      cells.emplace_back(slot, state.stats);
+    }
   }
   std::vector<ModelStats> result;
   result.reserve(cells.size());
-  for (const auto& cell : cells) result.push_back(cell->snapshot());
+  for (const auto& [slot, cell] : cells) {
+    ModelStats stats = cell->snapshot();
+    // Deployment state comes from the slot's CURRENT snapshot, not the
+    // counters: one atomic load, so a concurrent republish (e.g. a live
+    // backend switch) is reflected in the very next stats drain.
+    if (const auto snapshot = slot->current()) {
+      stats.backend = to_string(snapshot->backend);
+      stats.snapshot_bytes = snapshot->resident_bytes();
+    }
+    result.push_back(std::move(stats));
+  }
   std::sort(result.begin(), result.end(),
             [](const ModelStats& a, const ModelStats& b) {
               return a.model < b.model;

@@ -179,6 +179,14 @@ bool parse_request_line(const std::string& line, ParsedRequest& request,
       } else if (key == "deadline_us") {
         request.serve_config.flush_deadline =
             std::chrono::microseconds(parse_int_directive(key, value, 0));
+      } else if (key == "backend") {
+        const auto parsed = parse_backend(value);
+        if (!parsed) {
+          throw std::runtime_error("config directive 'backend=" +
+                                   std::string(value) +
+                                   "' is not float|prenorm|packed");
+        }
+        request.backend = *parsed;
       } else {
         throw std::runtime_error("unknown config directive '" +
                                  std::string(key) + "'");
@@ -276,6 +284,14 @@ std::string format_model_stats(const ModelStats& stats) {
       static_cast<unsigned long long>(stats.flush_preempted),
       static_cast<unsigned long long>(stats.flush_shutdown));
   out += buffer;
+  // Deployment fields last, so fixed-position consumers of the counter
+  // prefix keep parsing; omitted entirely for a never-published model.
+  if (!stats.backend.empty()) {
+    std::snprintf(buffer, sizeof(buffer), " backend=%s snapshot_bytes=%llu",
+                  stats.backend.c_str(),
+                  static_cast<unsigned long long>(stats.snapshot_bytes));
+    out += buffer;
+  }
   return out;
 }
 
@@ -290,7 +306,8 @@ std::string format_error(std::string_view reason) {
 }
 
 std::string format_config_ack(const std::string& model,
-                              const ModelServeConfig& config) {
+                              const ModelServeConfig& config,
+                              ScoringBackend backend) {
   std::string out = "#config model=" + model + " max_batch=";
   out += config.max_batch > 0 ? std::to_string(config.max_batch)
                               : std::string("default");
@@ -298,6 +315,8 @@ std::string format_config_ack(const std::string& model,
   out += config.flush_deadline.count() >= 0
              ? std::to_string(config.flush_deadline.count())
              : std::string("default");
+  out += " backend=";
+  out += to_string(backend);
   return out;
 }
 

@@ -15,6 +15,9 @@
 //   config-verb = "config" WSP "model=" name   ; live ModelServeConfig
 //                 [ WSP "max_batch=" 1*DIGIT ]  ; retune (omitted knob =
 //                 [ WSP "deadline_us=" 1*DIGIT ]; revert to engine default)
+//                 [ WSP "backend=" backend ]    ; re-publish the slot onto a
+//   backend    = "float" / "prenorm" / "packed" ; scoring backend (omitted =
+//                                               ; keep the current one)
 //
 // WSP is a run of spaces and/or tabs — directive prefixes pasted from
 // tab-separated sources must not silently glue "model=a\ttopk=2" into one
@@ -35,7 +38,9 @@
 //              [ "|" score *( "," score ) ]  ; full vector iff scores=1
 //   error-line = "#error " reason            ; a REJECTED request's answer
 //   config-ack = "#config model=" name " max_batch=" ("default" / 1*DIGIT)
-//                " deadline_us=" ("default" / 1*DIGIT)
+//                " deadline_us=" ("default" / 1*DIGIT) " backend=" backend
+//                                           ; backend echoes the slot's now-
+//                                           ; active scoring backend
 //
 // A malformed or rejected request (unknown directive, bad topk=, unknown
 // model, field-count mismatch, no published snapshot, ...) answers with an
@@ -61,6 +66,7 @@
 // counters cover every request submitted before it.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -96,6 +102,10 @@ struct ParsedRequest {
   bool want_scores = false;
   std::vector<float> features;
   ModelServeConfig serve_config;  // config verb only
+  /// Config verb only: the validated "backend=" value, or nullopt when the
+  /// line names none (= keep the slot's current backend). Unlike the numeric
+  /// knobs the backend choice is sticky — omitting it never reverts.
+  std::optional<ScoringBackend> backend;
 };
 
 /// Parses a v2 request line (see the grammar above); plain v1 feature rows
@@ -119,10 +129,12 @@ std::string format_model_stats(const ModelStats& stats);
 /// never break the one-line-per-answer framing.
 std::string format_error(std::string_view reason);
 
-/// Formats the "#config ..." acknowledgement line echoing the overrides now
-/// in effect for `model` (sentinel knobs print as "default").
+/// Formats the "#config ..." acknowledgement line echoing the overrides and
+/// scoring backend now in effect for `model` (sentinel knobs print as
+/// "default").
 std::string format_config_ack(const std::string& model,
-                              const ModelServeConfig& config);
+                              const ModelServeConfig& config,
+                              ScoringBackend backend);
 
 /// One "#stats" line per entry of `stats` — or only the model named by
 /// `model_filter`, with a single all-zero row when the filter matches no

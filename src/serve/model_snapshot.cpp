@@ -4,14 +4,33 @@
 
 namespace disthd::serve {
 
+const char* to_string(ScoringBackend backend) noexcept {
+  switch (backend) {
+    case ScoringBackend::float_ref: return "float";
+    case ScoringBackend::prenorm: return "prenorm";
+    case ScoringBackend::packed: return "packed";
+  }
+  return "unknown";
+}
+
+std::optional<ScoringBackend> parse_backend(std::string_view name) noexcept {
+  if (name == "float") return ScoringBackend::float_ref;
+  if (name == "prenorm") return ScoringBackend::prenorm;
+  if (name == "packed") return ScoringBackend::packed;
+  return std::nullopt;
+}
+
 ModelSnapshot::ModelSnapshot(std::uint64_t snapshot_version,
                              core::HdcClassifier deployed,
                              std::vector<float> offset,
-                             std::vector<float> scale)
+                             std::vector<float> scale,
+                             ScoringBackend scoring_backend,
+                             hd::PackedMatrix prepacked)
     : version(snapshot_version),
       classifier(std::move(deployed)),
       scaler_offset(std::move(offset)),
-      scaler_scale(std::move(scale)) {
+      scaler_scale(std::move(scale)),
+      backend(scoring_backend) {
   if (scaler_offset.size() != scaler_scale.size()) {
     throw std::invalid_argument(
         "ModelSnapshot: scaler offset/scale size mismatch");
@@ -22,10 +41,37 @@ ModelSnapshot::ModelSnapshot(std::uint64_t snapshot_version,
         "ModelSnapshot: scaler does not match the classifier's feature "
         "count");
   }
-  // The hoisted k×D normalization: identical to the copy+normalize
-  // ClassModel::scores_batch performs per call, done once per publish.
-  normalized_class_vectors = classifier.model().class_vectors();
-  util::normalize_rows(normalized_class_vectors);
+  if (backend == ScoringBackend::packed) {
+    if (!prepacked.empty()) {
+      if (prepacked.rows() != classifier.num_classes() ||
+          prepacked.bits() != classifier.dimensionality()) {
+        throw std::invalid_argument(
+            "ModelSnapshot: prepacked class vectors do not match the "
+            "classifier's shape");
+      }
+      packed_class_vectors = std::move(prepacked);
+    } else {
+      packed_class_vectors =
+          hd::PackedMatrix::pack(classifier.model().class_vectors());
+    }
+    // No normalized float copy: the packed backend never reads it, and
+    // skipping it is most of the capacity win.
+  } else {
+    // The hoisted k×D normalization: identical to the copy+normalize
+    // ClassModel::scores_batch performs per call, done once per publish.
+    normalized_class_vectors = classifier.model().class_vectors();
+    util::normalize_rows(normalized_class_vectors);
+  }
+}
+
+std::size_t ModelSnapshot::resident_bytes() const noexcept {
+  return sizeof(*this) +
+         (scaler_offset.size() + scaler_scale.size()) * sizeof(float) +
+         classifier.model().class_vectors().size() * sizeof(float) +
+         classifier.model().num_classes() * sizeof(double) +  // cached norms
+         classifier.encoder().resident_bytes() +
+         normalized_class_vectors.size() * sizeof(float) +
+         packed_class_vectors.byte_size();
 }
 
 void ModelSnapshot::apply_scaler(util::Matrix& features) const {
@@ -45,21 +91,59 @@ void ModelSnapshot::score_raw(util::Matrix& features, util::Matrix& encoded,
                               util::Matrix& scores) const {
   apply_scaler(features);
   classifier.encoder().encode_batch(features, encoded);
-  hd::scores_batch_prenormalized(encoded, normalized_class_vectors, scores);
+  switch (backend) {
+    case ScoringBackend::float_ref:
+      classifier.model().scores_batch(encoded, scores);
+      break;
+    case ScoringBackend::prenorm:
+      hd::scores_batch_prenormalized(encoded, normalized_class_vectors,
+                                     scores);
+      break;
+    case ScoringBackend::packed: {
+      // Per-thread scratch keeps the hot path allocation-free once a worker
+      // has seen its steady-state batch shape.
+      static thread_local hd::PackedMatrix packed_queries;
+      hd::pack_rows(encoded, packed_queries);
+      hd::packed_scores_batch(packed_queries, packed_class_vectors, scores);
+      break;
+    }
+  }
 }
 
-std::uint64_t SnapshotSlot::publish(core::HdcClassifier classifier,
-                                    std::vector<float> scaler_offset,
-                                    std::vector<float> scaler_scale) {
-  std::lock_guard writer_lock(writer_mutex_);
+std::uint64_t SnapshotSlot::publish_locked(core::HdcClassifier classifier,
+                                           std::vector<float> scaler_offset,
+                                           std::vector<float> scaler_scale,
+                                           hd::PackedMatrix prepacked) {
   const std::uint64_t version =
       published_version_.load(std::memory_order_relaxed) + 1;
   slot_.store(std::make_shared<const ModelSnapshot>(
                   version, std::move(classifier), std::move(scaler_offset),
-                  std::move(scaler_scale)),
+                  std::move(scaler_scale), backend(), std::move(prepacked)),
               std::memory_order_release);
   published_version_.store(version, std::memory_order_release);
   return version;
+}
+
+std::uint64_t SnapshotSlot::publish(core::HdcClassifier classifier,
+                                    std::vector<float> scaler_offset,
+                                    std::vector<float> scaler_scale,
+                                    hd::PackedMatrix prepacked) {
+  std::lock_guard writer_lock(writer_mutex_);
+  return publish_locked(std::move(classifier), std::move(scaler_offset),
+                        std::move(scaler_scale), std::move(prepacked));
+}
+
+std::uint64_t SnapshotSlot::set_backend(ScoringBackend backend) {
+  std::lock_guard writer_lock(writer_mutex_);
+  backend_.store(backend, std::memory_order_relaxed);
+  const auto current_snapshot = slot_.load(std::memory_order_acquire);
+  if (!current_snapshot) return 0;  // binds the first publish instead
+  if (current_snapshot->backend == backend) {
+    return current_snapshot->version;  // already there; no republish churn
+  }
+  return publish_locked(current_snapshot->classifier.clone(),
+                        current_snapshot->scaler_offset,
+                        current_snapshot->scaler_scale, {});
 }
 
 }  // namespace disthd::serve

@@ -27,11 +27,37 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "core/classifier.hpp"
+#include "hd/packed.hpp"
 
 namespace disthd::serve {
+
+/// How a published snapshot turns encoded queries into class scores. The
+/// backend is a per-slot deployment choice fixed at publish time — every
+/// snapshot carries exactly the scoring state its backend needs, so readers
+/// never branch on anything mutable.
+enum class ScoringBackend {
+  /// ClassModel::scores_batch verbatim (per-call normalization) — the
+  /// bit-exact training-time reference path.
+  float_ref,
+  /// Class vectors pre-normalized once at publish; the default, bit-identical
+  /// scores to float_ref with the k×D normalization hoisted out of the batch.
+  prenorm,
+  /// Sign-quantized bit-packed class vectors and queries, scores via
+  /// XOR+popcount Hamming (hd::packed_scores_batch): integer-exact, 32×
+  /// smaller resident class state, at a bounded accuracy cost (see
+  /// docs/architecture.md "Scoring backends").
+  packed,
+};
+
+/// Protocol names: "float", "prenorm", "packed".
+const char* to_string(ScoringBackend backend) noexcept;
+/// Inverse of to_string; std::nullopt for unknown names.
+std::optional<ScoringBackend> parse_backend(std::string_view name) noexcept;
 
 /// Per-model serving overrides, carried by the model's registry slot so
 /// every engine (and every pool member) serving the model sees the same
@@ -59,25 +85,44 @@ struct ModelSnapshot {
   /// encoder). Sizes are validated against the classifier at construction.
   std::vector<float> scaler_offset;
   std::vector<float> scaler_scale;
+  ScoringBackend backend = ScoringBackend::prenorm;
   /// classifier.model()'s class vectors scaled to unit L2, computed once
   /// here so every batch scored against this snapshot skips the per-call
   /// normalization (bit-identical to ClassModel::scores_batch's own copy).
+  /// Empty for the packed backend, which never touches it.
   util::Matrix normalized_class_vectors;
+  /// Sign-quantized class vectors for the packed backend; empty otherwise.
+  /// Normalization preserves signs, so packing the raw class vectors equals
+  /// packing the normalized ones.
+  hd::PackedMatrix packed_class_vectors;
 
+  /// `prepacked`, when non-empty, is trusted as the packed form of the class
+  /// vectors (shape-validated) — the bundle-load path, where re-quantizing
+  /// would discard the serialized bits' authority.
   ModelSnapshot(std::uint64_t snapshot_version, core::HdcClassifier deployed,
-                std::vector<float> offset = {}, std::vector<float> scale = {});
+                std::vector<float> offset = {}, std::vector<float> scale = {},
+                ScoringBackend scoring_backend = ScoringBackend::prenorm,
+                hd::PackedMatrix prepacked = {});
 
   bool has_scaler() const noexcept { return !scaler_offset.empty(); }
+
+  /// Bytes this snapshot keeps resident per deployed model: scaler, encoder
+  /// state, float class vectors, plus the backend's scoring state
+  /// (normalized copy or packed bits). Reported as snapshot_bytes= in
+  /// per-model stats so the packed capacity win is observable.
+  std::size_t resident_bytes() const noexcept;
 
   /// Applies the scaler in place (no-op for an identity scaler). Same
   /// arithmetic and order as tools::ModelBundle::apply_scaler, so scaled
   /// serving diffs cleanly against disthd_predict.
   void apply_scaler(util::Matrix& features) const;
 
-  /// Raw feature rows -> cosine scores (rows x classes): scaler (in place
-  /// on `features`), encode_batch, then the pre-normalized scores sweep.
-  /// Bit-identical to ModelBundle::apply_scaler +
-  /// HdcClassifier::scores_batch on the same rows.
+  /// Raw feature rows -> scores (rows x classes): scaler (in place on
+  /// `features`), encode_batch, then the backend's scoring sweep. The float
+  /// backends are bit-identical to ModelBundle::apply_scaler +
+  /// HdcClassifier::scores_batch on the same rows; the packed backend
+  /// sign-quantizes the encodings and scores by Hamming distance (same
+  /// argmax as float on sign inputs, approximate on general encodings).
   void score_raw(util::Matrix& features, util::Matrix& encoded,
                  util::Matrix& scores) const;
 };
@@ -101,12 +146,29 @@ public:
   }
 
   /// Wraps the classifier (and its training-time scaler, when given) into
-  /// the next-versioned snapshot and makes it visible to readers. Returns
-  /// the assigned version. Safe against concurrent publishers (serialized
-  /// by a writer-side mutex; readers are never blocked by it).
+  /// the next-versioned snapshot — on the slot's configured scoring backend
+  /// — and makes it visible to readers. Returns the assigned version. Safe
+  /// against concurrent publishers (serialized by a writer-side mutex;
+  /// readers are never blocked by it). `prepacked` is forwarded to the
+  /// snapshot for the bundle-load path (ignored on float backends).
   std::uint64_t publish(core::HdcClassifier classifier,
                         std::vector<float> scaler_offset = {},
-                        std::vector<float> scaler_scale = {});
+                        std::vector<float> scaler_scale = {},
+                        hd::PackedMatrix prepacked = {});
+
+  /// The backend future publishes use (and, below, the one a live republish
+  /// moves the current model onto).
+  ScoringBackend backend() const noexcept {
+    return backend_.load(std::memory_order_relaxed);
+  }
+
+  /// Switches the slot's backend. If a snapshot is already published, its
+  /// model is RE-PUBLISHED onto the new backend (deep clone, next version) so
+  /// the change takes effect for in-flight traffic immediately — the live
+  /// `config model=... backend=...` protocol verb. Returns the new version
+  /// (0 when nothing was published yet: the choice then binds the first
+  /// publish).
+  std::uint64_t set_backend(ScoringBackend backend);
 
   /// Version of the latest published snapshot (0 before the first publish).
   std::uint64_t latest_version() const noexcept {
@@ -131,8 +193,15 @@ public:
   }
 
 private:
+  /// Builds and stores the next-versioned snapshot; writer_mutex_ held.
+  std::uint64_t publish_locked(core::HdcClassifier classifier,
+                               std::vector<float> scaler_offset,
+                               std::vector<float> scaler_scale,
+                               hd::PackedMatrix prepacked);
+
   std::atomic<std::shared_ptr<const ModelSnapshot>> slot_{nullptr};
   std::atomic<std::uint64_t> published_version_{0};
+  std::atomic<ScoringBackend> backend_{ScoringBackend::prenorm};
   std::atomic<std::size_t> serve_max_batch_{0};
   std::atomic<std::int64_t> serve_deadline_us_{-1};
   std::mutex writer_mutex_;

@@ -83,8 +83,12 @@ void TcpFront::on_line(net::Session& session, std::string& line) {
         }
         slot->set_serve_config(request.serve_config);
         pool_.reconfigure_model(request.model);
-        answer.lines.push_back(
-            format_config_ack(request.model, request.serve_config));
+        // The backend switch republishes the slot's model onto the new
+        // backend (next version); in-flight batches finish on the snapshot
+        // they loaded, later ones pick up the republished one.
+        if (request.backend) slot->set_backend(*request.backend);
+        answer.lines.push_back(format_config_ack(
+            request.model, request.serve_config, slot->backend()));
         break;
       }
       case RequestKind::predict: {

@@ -26,6 +26,11 @@ void BinaryWriter::write_f32_array(std::span<const float> values) {
   out_.write(reinterpret_cast<const char*>(values.data()),
              static_cast<std::streamsize>(values.size() * sizeof(float)));
 }
+void BinaryWriter::write_u64_array(std::span<const std::uint64_t> values) {
+  write_u64(values.size());
+  out_.write(reinterpret_cast<const char*>(values.data()),
+             static_cast<std::streamsize>(values.size() * sizeof(std::uint64_t)));
+}
 void BinaryWriter::write_matrix(const Matrix& m) {
   write_u64(m.rows());
   write_u64(m.cols());
@@ -73,6 +78,13 @@ std::vector<float> BinaryReader::read_f32_array() {
   if (n > (1ULL << 34)) throw std::runtime_error("BinaryReader: array too large");
   std::vector<float> v(n);
   read_bytes(v.data(), n * sizeof(float));
+  return v;
+}
+std::vector<std::uint64_t> BinaryReader::read_u64_array() {
+  const std::uint64_t n = read_u64();
+  if (n > (1ULL << 31)) throw std::runtime_error("BinaryReader: array too large");
+  std::vector<std::uint64_t> v(n);
+  read_bytes(v.data(), n * sizeof(std::uint64_t));
   return v;
 }
 Matrix BinaryReader::read_matrix() {

@@ -26,6 +26,7 @@ public:
   void write_f64(double v);
   void write_string(const std::string& s);
   void write_f32_array(std::span<const float> values);
+  void write_u64_array(std::span<const std::uint64_t> values);
   void write_matrix(const Matrix& m);
   void write_magic(const char tag[4]);
 
@@ -43,6 +44,7 @@ public:
   double read_f64();
   std::string read_string();
   std::vector<float> read_f32_array();
+  std::vector<std::uint64_t> read_u64_array();
   Matrix read_matrix();
   /// Throws if the next 4 bytes do not equal tag.
   void expect_magic(const char tag[4]);

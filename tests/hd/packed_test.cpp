@@ -1,0 +1,215 @@
+// Property tests for the bit-packed bipolar backend: pack/unpack round
+// trips, padding hygiene, XOR+popcount Hamming vs the float-side reference
+// ops, exact argmax agreement with double-accumulated dots on sign inputs,
+// and serialization.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "hd/ops.hpp"
+#include "hd/packed.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace disthd::hd {
+namespace {
+
+util::Matrix random_matrix(std::size_t rows, std::size_t cols,
+                           std::uint64_t seed) {
+  util::Matrix m(rows, cols);
+  util::Rng rng(seed);
+  m.fill_normal(rng);
+  return m;
+}
+
+TEST(PackedMatrix, KernelNameIsReported) {
+  EXPECT_STRNE(packed_kernel_name(), "");
+}
+
+TEST(PackedMatrix, PackUnpackRoundTripsSigns) {
+  const auto m = random_matrix(7, 130, 11);
+  const PackedMatrix packed = PackedMatrix::pack(m);
+  const util::Matrix signs = packed.unpack();
+  ASSERT_EQ(signs.rows(), m.rows());
+  ASSERT_EQ(signs.cols(), m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      EXPECT_FLOAT_EQ(signs(r, c), m(r, c) >= 0.0f ? 1.0f : -1.0f);
+    }
+  }
+  // Packing the unpack reproduces the exact bit pattern.
+  EXPECT_EQ(PackedMatrix::pack(signs), packed);
+}
+
+TEST(PackedMatrix, ZeroCountsAsPositive) {
+  util::Matrix m(1, 3);
+  m(0, 0) = 0.0f;
+  m(0, 1) = -0.0f;  // negative zero still compares >= 0
+  m(0, 2) = -1.0f;
+  const util::Matrix signs = PackedMatrix::pack(m).unpack();
+  EXPECT_FLOAT_EQ(signs(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(signs(0, 1), 1.0f);
+  EXPECT_FLOAT_EQ(signs(0, 2), -1.0f);
+}
+
+TEST(PackedMatrix, MatchesSignQuantize) {
+  auto m = random_matrix(3, 97, 5);
+  const PackedMatrix packed = PackedMatrix::pack(m);
+  for (std::size_t r = 0; r < m.rows(); ++r) sign_quantize(m.row(r));
+  EXPECT_EQ(PackedMatrix::pack(m), packed);
+  EXPECT_EQ(packed.unpack(), m);
+}
+
+TEST(PackedMatrix, PaddingBitsAreZero) {
+  // 65 bits -> 2 words per row, 63 padding bits that must stay clear even
+  // when every value is negative (all data bits set).
+  util::Matrix m(2, 65, -1.0f);
+  const PackedMatrix packed = PackedMatrix::pack(m);
+  ASSERT_EQ(packed.words_per_row(), 2u);
+  for (std::size_t r = 0; r < packed.rows(); ++r) {
+    EXPECT_EQ(packed.row(r)[0], ~0ULL);
+    EXPECT_EQ(packed.row(r)[1], 1ULL);
+  }
+}
+
+TEST(PackedMatrix, PackingIsDeterministic) {
+  const auto m = random_matrix(5, 500, 42);
+  EXPECT_EQ(PackedMatrix::pack(m), PackedMatrix::pack(m));
+}
+
+TEST(PackedMatrix, ByteSizeIs32xSmallerThanFloats) {
+  const PackedMatrix packed(10, 512);
+  EXPECT_EQ(packed.byte_size(), 10u * 512u / 8u);
+  EXPECT_EQ(packed.byte_size() * 32u, 10u * 512u * sizeof(float));
+}
+
+TEST(PackedMatrix, PackRowsReusesBuffer) {
+  PackedMatrix dst;
+  const auto a = random_matrix(4, 100, 1);
+  pack_rows(a, dst);
+  EXPECT_EQ(dst, PackedMatrix::pack(a));
+  const auto b = random_matrix(2, 33, 2);
+  pack_rows(b, dst);
+  EXPECT_EQ(dst, PackedMatrix::pack(b));
+}
+
+TEST(PackedMatrix, SaveLoadRoundTrips) {
+  const PackedMatrix packed = PackedMatrix::pack(random_matrix(6, 129, 77));
+  std::stringstream stream;
+  packed.save(stream);
+  EXPECT_EQ(PackedMatrix::load(stream), packed);
+}
+
+TEST(PackedMatrix, LoadRejectsBadMagic) {
+  std::stringstream stream("XXXXgarbage");
+  EXPECT_THROW(PackedMatrix::load(stream), std::runtime_error);
+}
+
+TEST(PackedHamming, MatchesBruteForceSignDisagreement) {
+  util::Rng rng(9);
+  for (const std::size_t dim : {1u, 63u, 64u, 65u, 500u, 512u, 1000u}) {
+    const auto a = random_bipolar(dim, rng);
+    const auto b = random_bipolar(dim, rng);
+    util::Matrix m(2, dim);
+    std::copy(a.begin(), a.end(), m.row(0).begin());
+    std::copy(b.begin(), b.end(), m.row(1).begin());
+    const PackedMatrix packed = PackedMatrix::pack(m);
+    std::size_t expected = 0;
+    for (std::size_t d = 0; d < dim; ++d) {
+      if ((a[d] >= 0.0f) != (b[d] >= 0.0f)) ++expected;
+    }
+    EXPECT_EQ(packed_hamming(packed.row(0), packed.row(1)), expected)
+        << "dim=" << dim;
+    // Cross-check against the float-side reference op: agreement = 1 - h/D.
+    EXPECT_DOUBLE_EQ(hamming_agreement(a, b),
+                     1.0 - static_cast<double>(expected) /
+                               static_cast<double>(dim));
+  }
+}
+
+TEST(PackedHamming, SelfDistanceIsZero) {
+  const PackedMatrix packed = PackedMatrix::pack(random_matrix(1, 777, 3));
+  EXPECT_EQ(packed_hamming(packed.row(0), packed.row(0)), 0u);
+}
+
+TEST(PackedScoresBatch, ScoreIsExactBipolarCosine) {
+  // For ±1 vectors, cosine = dot/D and 1 - 2h/D = dot/D: the packed score
+  // must equal the double-accumulated float dot scaled by 1/D, exactly
+  // (both sides are integers until one final division).
+  util::Rng rng(21);
+  const std::size_t dim = 500, nq = 8, nc = 5;
+  util::Matrix queries(nq, dim), classes(nc, dim);
+  for (std::size_t r = 0; r < nq; ++r) {
+    const auto h = random_bipolar(dim, rng);
+    std::copy(h.begin(), h.end(), queries.row(r).begin());
+  }
+  for (std::size_t r = 0; r < nc; ++r) {
+    const auto h = random_bipolar(dim, rng);
+    std::copy(h.begin(), h.end(), classes.row(r).begin());
+  }
+  util::Matrix scores;
+  packed_scores_batch(PackedMatrix::pack(queries), PackedMatrix::pack(classes),
+                      scores);
+  ASSERT_EQ(scores.rows(), nq);
+  ASSERT_EQ(scores.cols(), nc);
+  for (std::size_t r = 0; r < nq; ++r) {
+    for (std::size_t c = 0; c < nc; ++c) {
+      const double d = util::dot(queries.row(r), classes.row(c));
+      EXPECT_FLOAT_EQ(scores(r, c),
+                      static_cast<float>(d / static_cast<double>(dim)));
+    }
+  }
+}
+
+TEST(PackedScoresBatch, ArgmaxAgreesWithFloatDotOnSignInputs) {
+  // Exactness claim from the header: on sign inputs the packed argmax equals
+  // the float-dot argmax under the shared first-strict-max tie rule.
+  util::Rng rng(33);
+  const std::size_t dim = 512, nq = 64, nc = 10;
+  util::Matrix queries(nq, dim), classes(nc, dim);
+  for (std::size_t r = 0; r < nq; ++r) {
+    const auto h = random_bipolar(dim, rng);
+    std::copy(h.begin(), h.end(), queries.row(r).begin());
+  }
+  for (std::size_t r = 0; r < nc; ++r) {
+    const auto h = random_bipolar(dim, rng);
+    std::copy(h.begin(), h.end(), classes.row(r).begin());
+  }
+  util::Matrix scores;
+  packed_scores_batch(PackedMatrix::pack(queries), PackedMatrix::pack(classes),
+                      scores);
+  for (std::size_t r = 0; r < nq; ++r) {
+    std::size_t packed_best = 0, float_best = 0;
+    double best_dot = util::dot(queries.row(r), classes.row(0));
+    for (std::size_t c = 1; c < nc; ++c) {
+      if (scores(r, c) > scores(r, packed_best)) packed_best = c;
+      const double d = util::dot(queries.row(r), classes.row(c));
+      if (d > best_dot) {
+        best_dot = d;
+        float_best = c;
+      }
+    }
+    EXPECT_EQ(packed_best, float_best) << "row " << r;
+  }
+}
+
+TEST(PackedScoresBatch, RejectsDimensionMismatch) {
+  util::Matrix scores;
+  EXPECT_THROW(packed_scores_batch(PackedMatrix(1, 64), PackedMatrix(1, 65),
+                                   scores),
+               std::invalid_argument);
+}
+
+TEST(PackedScoresBatch, StableAcrossRuns) {
+  const auto q = random_matrix(16, 500, 8);
+  const auto c = random_matrix(4, 500, 9);
+  util::Matrix first, second;
+  packed_scores_batch(PackedMatrix::pack(q), PackedMatrix::pack(c), first);
+  packed_scores_batch(PackedMatrix::pack(q), PackedMatrix::pack(c), second);
+  EXPECT_EQ(first, second);
+}
+
+}  // namespace
+}  // namespace disthd::hd

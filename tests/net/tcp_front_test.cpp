@@ -196,14 +196,15 @@ TEST(TcpFront, StatsAnswersAfterEarlierRequestsAndConfigRetunesLive) {
   // counters include it — never a zero row.
   EXPECT_EQ(stats.find(" requests=0 "), std::string::npos) << stats;
 
-  // Live retune: the ack echoes the overrides...
+  // Live retune: the ack echoes the overrides (and the active backend)...
   client.send("config model=beta max_batch=1 deadline_us=77\n");
   EXPECT_EQ(client.read_line(),
-            "#config model=beta max_batch=1 deadline_us=77");
+            "#config model=beta max_batch=1 deadline_us=77 backend=prenorm");
   // ...and a revert ack echoes the sentinels.
   client.send("config model=beta\n");
   EXPECT_EQ(client.read_line(),
-            "#config model=beta max_batch=default deadline_us=default");
+            "#config model=beta max_batch=default deadline_us=default "
+            "backend=prenorm");
 
   client.send("stats model=nosuch\n");
   const std::string unknown = client.read_line();

@@ -1,0 +1,294 @@
+// ScoringBackend contract: backend names, per-backend snapshot state and
+// resident-bytes accounting, the live set_backend republish, packed serving
+// bit-stability, argmax fidelity of the packed path against its own float
+// reference, and backend/snapshot_bytes surfacing through model_stats and
+// the stats/config protocol lines.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "hd/encoder.hpp"
+#include "hd/model.hpp"
+#include "hd/ops.hpp"
+#include "hd/packed.hpp"
+#include "serve/inference_engine.hpp"
+#include "serve/line_protocol.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/model_snapshot.hpp"
+#include "util/rng.hpp"
+
+namespace disthd::serve {
+namespace {
+
+constexpr std::size_t kFeatures = 6;
+constexpr std::size_t kDim = 96;
+constexpr std::size_t kClasses = 4;
+
+core::HdcClassifier make_classifier(std::uint64_t seed) {
+  auto encoder = std::make_unique<hd::RbfEncoder>(kFeatures, kDim, seed);
+  hd::ClassModel model(kClasses, kDim);
+  util::Rng rng(seed ^ 0xABC);
+  model.mutable_class_vectors().fill_normal(rng, 0.0, 1.0);
+  model.refresh_norms();
+  return core::HdcClassifier(std::move(encoder), std::move(model));
+}
+
+util::Matrix queries(std::size_t rows, std::uint64_t seed) {
+  util::Matrix m(rows, kFeatures);
+  util::Rng rng(seed);
+  m.fill_normal(rng);
+  return m;
+}
+
+TEST(ScoringBackend, NamesRoundTrip) {
+  for (const auto backend :
+       {ScoringBackend::float_ref, ScoringBackend::prenorm,
+        ScoringBackend::packed}) {
+    const auto parsed = parse_backend(to_string(backend));
+    ASSERT_TRUE(parsed.has_value()) << to_string(backend);
+    EXPECT_EQ(*parsed, backend);
+  }
+  EXPECT_EQ(parse_backend("bogus"), std::nullopt);
+  EXPECT_EQ(parse_backend(""), std::nullopt);
+}
+
+TEST(ScoringBackend, PackedSnapshotCarriesBitsNotNormalizedFloats) {
+  SnapshotSlot slot;
+  slot.set_backend(ScoringBackend::packed);
+  slot.publish(make_classifier(1));
+  const auto snapshot = slot.current();
+  EXPECT_EQ(snapshot->backend, ScoringBackend::packed);
+  EXPECT_TRUE(snapshot->normalized_class_vectors.empty());
+  EXPECT_EQ(snapshot->packed_class_vectors,
+            hd::PackedMatrix::pack(snapshot->classifier.model()
+                                       .class_vectors()));
+}
+
+TEST(ScoringBackend, PackedSnapshotIsSmallerThanPrenorm) {
+  SnapshotSlot prenorm_slot;
+  prenorm_slot.publish(make_classifier(1));
+  SnapshotSlot packed_slot;
+  packed_slot.set_backend(ScoringBackend::packed);
+  packed_slot.publish(make_classifier(1));
+  const std::size_t prenorm_bytes = prenorm_slot.current()->resident_bytes();
+  const std::size_t packed_bytes = packed_slot.current()->resident_bytes();
+  EXPECT_LT(packed_bytes, prenorm_bytes);
+  // The delta is the normalized float copy minus the bit copy.
+  EXPECT_EQ(prenorm_bytes - packed_bytes,
+            kClasses * kDim * sizeof(float) -
+                packed_slot.current()->packed_class_vectors.byte_size());
+}
+
+TEST(ScoringBackend, SetBackendBeforePublishBindsFirstPublish) {
+  SnapshotSlot slot;
+  EXPECT_EQ(slot.backend(), ScoringBackend::prenorm);
+  EXPECT_EQ(slot.set_backend(ScoringBackend::packed), 0u);  // nothing yet
+  EXPECT_EQ(slot.publish(make_classifier(2)), 1u);
+  EXPECT_EQ(slot.current()->backend, ScoringBackend::packed);
+}
+
+TEST(ScoringBackend, SetBackendRepublishesLiveModel) {
+  SnapshotSlot slot;
+  slot.publish(make_classifier(3));
+  const auto before = slot.current();
+  ASSERT_EQ(before->backend, ScoringBackend::prenorm);
+
+  const std::uint64_t switched = slot.set_backend(ScoringBackend::packed);
+  EXPECT_EQ(switched, 2u);  // a real republish: version bumped
+  const auto after = slot.current();
+  EXPECT_EQ(after->backend, ScoringBackend::packed);
+  // Same model, new scoring state: the class vectors came through the deep
+  // clone bit-for-bit.
+  EXPECT_EQ(after->classifier.model().class_vectors(),
+            before->classifier.model().class_vectors());
+
+  // Switching to the backend already in place is a no-op, not churn.
+  EXPECT_EQ(slot.set_backend(ScoringBackend::packed), 2u);
+  EXPECT_EQ(slot.latest_version(), 2u);
+}
+
+TEST(ScoringBackend, SetBackendPreservesScaler) {
+  SnapshotSlot slot;
+  const std::vector<float> offset(kFeatures, 1.0f);
+  const std::vector<float> scale(kFeatures, 0.5f);
+  slot.publish(make_classifier(4), offset, scale);
+  slot.set_backend(ScoringBackend::packed);
+  const auto snapshot = slot.current();
+  EXPECT_EQ(snapshot->scaler_offset, offset);
+  EXPECT_EQ(snapshot->scaler_scale, scale);
+}
+
+TEST(ScoringBackend, PrepackedPublishTrustsTheBits) {
+  auto classifier = make_classifier(5);
+  hd::PackedMatrix prepacked =
+      hd::PackedMatrix::pack(classifier.model().class_vectors());
+  SnapshotSlot slot;
+  slot.set_backend(ScoringBackend::packed);
+  slot.publish(std::move(classifier), {}, {}, std::move(prepacked));
+  const auto snapshot = slot.current();
+  EXPECT_EQ(snapshot->packed_class_vectors,
+            hd::PackedMatrix::pack(snapshot->classifier.model()
+                                       .class_vectors()));
+}
+
+TEST(ScoringBackend, PrepackedShapeMismatchThrows) {
+  SnapshotSlot slot;
+  slot.set_backend(ScoringBackend::packed);
+  EXPECT_THROW(
+      slot.publish(make_classifier(6), {}, {}, hd::PackedMatrix(2, 7)),
+      std::invalid_argument);
+}
+
+TEST(ScoringBackend, FloatRefAndPrenormScoreBitIdentically) {
+  // The two float backends are the same computation with the normalization
+  // hoisted — scores must match bit-for-bit (the float-parity invariant the
+  // serving layer has pinned since PR 4).
+  SnapshotSlot reference_slot;
+  reference_slot.set_backend(ScoringBackend::float_ref);
+  reference_slot.publish(make_classifier(7));
+  SnapshotSlot prenorm_slot;
+  prenorm_slot.publish(make_classifier(7));
+
+  util::Matrix features_a = queries(16, 11);
+  util::Matrix features_b = features_a;
+  util::Matrix encoded, scores_ref, scores_pre;
+  reference_slot.current()->score_raw(features_a, encoded, scores_ref);
+  prenorm_slot.current()->score_raw(features_b, encoded, scores_pre);
+  EXPECT_EQ(scores_ref, scores_pre);
+}
+
+TEST(ScoringBackend, PackedScoresMatchSignQuantizedReference) {
+  // The packed path must equal scoring the sign-quantized encodings against
+  // the sign-quantized class vectors — computed here independently through
+  // the float pipeline.
+  SnapshotSlot slot;
+  slot.set_backend(ScoringBackend::packed);
+  slot.publish(make_classifier(8));
+  const auto snapshot = slot.current();
+
+  util::Matrix features = queries(16, 13);
+  util::Matrix reference_features = features;
+  util::Matrix encoded, scores;
+  snapshot->score_raw(features, encoded, scores);
+
+  util::Matrix reference_encoded;
+  snapshot->classifier.encoder().encode_batch(reference_features,
+                                              reference_encoded);
+  util::Matrix sign_classes =
+      snapshot->packed_class_vectors.unpack();
+  for (std::size_t r = 0; r < reference_encoded.rows(); ++r) {
+    hd::sign_quantize(reference_encoded.row(r));
+    for (std::size_t c = 0; c < sign_classes.rows(); ++c) {
+      const double d =
+          util::dot(reference_encoded.row(r), sign_classes.row(c));
+      EXPECT_FLOAT_EQ(scores(r, c),
+                      static_cast<float>(d / static_cast<double>(kDim)))
+          << "row " << r << " class " << c;
+    }
+  }
+}
+
+TEST(ScoringBackend, PackedServingIsBitStableAcrossEngines) {
+  auto run_once = [](std::uint64_t seed) {
+    ModelRegistry registry;
+    auto& slot = registry.register_model("m");
+    slot.set_backend(ScoringBackend::packed);
+    slot.publish(make_classifier(seed));
+    InferenceEngine engine(registry);
+    std::vector<std::string> responses;
+    const util::Matrix rows = queries(32, 99);
+    for (std::size_t r = 0; r < rows.rows(); ++r) {
+      PredictRequest request;
+      request.features.assign(rows.row(r).begin(), rows.row(r).end());
+      request.top_k = 2;
+      request.want_scores = true;
+      responses.push_back(format_result(engine.predict(std::move(request))));
+    }
+    return responses;
+  };
+  EXPECT_EQ(run_once(21), run_once(21));
+}
+
+TEST(ScoringBackend, LiveSwitchChangesServingVersionAndBackend) {
+  ModelRegistry registry;
+  auto& slot = registry.register_model("m");
+  slot.publish(make_classifier(31));
+  InferenceEngine engine(registry);
+
+  const auto row = queries(1, 7);
+  PredictRequest request;
+  request.features.assign(row.row(0).begin(), row.row(0).end());
+  const auto before = engine.predict(request);
+  EXPECT_EQ(before.version, 1u);
+
+  // The config-verb path: set_backend republishes, the very next batch
+  // loads the new snapshot.
+  slot.set_backend(ScoringBackend::packed);
+  const auto after = engine.predict(request);
+  EXPECT_EQ(after.version, 2u);
+
+  const auto stats = engine.model_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].backend, "packed");
+  EXPECT_EQ(stats[0].snapshot_bytes, slot.current()->resident_bytes());
+  EXPECT_GT(stats[0].snapshot_bytes, 0u);
+}
+
+TEST(ScoringBackend, ModelStatsReportBackendPerModel) {
+  ModelRegistry registry;
+  registry.register_model("dense").publish(make_classifier(1));
+  auto& packed_slot = registry.register_model("lean");
+  packed_slot.set_backend(ScoringBackend::packed);
+  packed_slot.publish(make_classifier(1));
+
+  InferenceEngine engine(registry);
+  const auto row = queries(1, 3);
+  for (const char* model : {"dense", "lean"}) {
+    PredictRequest request;
+    request.model = model;
+    request.features.assign(row.row(0).begin(), row.row(0).end());
+    (void)engine.predict(std::move(request));
+  }
+  const auto stats = engine.model_stats();  // sorted by name
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].model, "dense");
+  EXPECT_EQ(stats[0].backend, "prenorm");
+  EXPECT_EQ(stats[1].model, "lean");
+  EXPECT_EQ(stats[1].backend, "packed");
+  // Same model either way; the packed slot keeps fewer resident bytes.
+  EXPECT_LT(stats[1].snapshot_bytes, stats[0].snapshot_bytes);
+
+  // And the protocol line carries both fields.
+  const std::string line = format_model_stats(stats[1]);
+  EXPECT_NE(line.find(" backend=packed"), std::string::npos) << line;
+  EXPECT_NE(line.find(" snapshot_bytes=" +
+                      std::to_string(stats[1].snapshot_bytes)),
+            std::string::npos)
+      << line;
+}
+
+TEST(ScoringBackend, StatsLineOmitsBackendWhenNeverPublished) {
+  ModelStats idle;
+  idle.model = "ghost";
+  const std::string line = format_model_stats(idle);
+  EXPECT_EQ(line.find("backend="), std::string::npos) << line;
+  EXPECT_EQ(line.find("snapshot_bytes="), std::string::npos) << line;
+}
+
+TEST(ScoringBackend, ConfigVerbParsesBackendDirective) {
+  ParsedRequest request;
+  ASSERT_TRUE(parse_request_line("config model=m backend=packed", request));
+  EXPECT_EQ(request.kind, RequestKind::config);
+  ASSERT_TRUE(request.backend.has_value());
+  EXPECT_EQ(*request.backend, ScoringBackend::packed);
+
+  ASSERT_TRUE(parse_request_line("config model=m max_batch=4", request));
+  EXPECT_FALSE(request.backend.has_value());  // omitted = keep current
+
+  EXPECT_THROW(parse_request_line("config model=m backend=turbo", request),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace disthd::serve

@@ -233,12 +233,14 @@ TEST(FormatError, PrefixesAndNeutralizesControlCharacters) {
 
 TEST(FormatConfigAck, PrintsSentinelsAsDefault) {
   ModelServeConfig config;  // both knobs at their inherit sentinels
-  EXPECT_EQ(format_config_ack("alpha", config),
-            "#config model=alpha max_batch=default deadline_us=default");
+  EXPECT_EQ(format_config_ack("alpha", config, ScoringBackend::prenorm),
+            "#config model=alpha max_batch=default deadline_us=default "
+            "backend=prenorm");
   config.max_batch = 16;
   config.flush_deadline = std::chrono::microseconds(250);
-  EXPECT_EQ(format_config_ack("alpha", config),
-            "#config model=alpha max_batch=16 deadline_us=250");
+  EXPECT_EQ(format_config_ack("alpha", config, ScoringBackend::packed),
+            "#config model=alpha max_batch=16 deadline_us=250 "
+            "backend=packed");
 }
 
 TEST(FormatStatsLines, FiltersAndReportsIdleModels) {

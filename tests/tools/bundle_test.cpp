@@ -103,6 +103,67 @@ TEST_F(BundleTest, GarbageFileThrows) {
   EXPECT_THROW(load_bundle(path_), std::runtime_error);
 }
 
+TEST_F(BundleTest, DefaultBackendKeepsV1Layout) {
+  data::SyntheticSpec spec;
+  spec.num_features = 4;
+  spec.num_classes = 2;
+  spec.train_size = 100;
+  spec.test_size = 20;
+  const auto split = data::make_synthetic(spec);
+  const auto classifier = train_small(split);
+  save_bundle(path_, {}, {}, classifier);
+  std::ifstream in(path_, std::ios::binary);
+  char magic[4];
+  in.read(magic, 4);
+  EXPECT_EQ(std::string(magic, 4), "DCLI");
+  const auto bundle = load_bundle(path_);
+  EXPECT_EQ(bundle.backend, serve::ScoringBackend::prenorm);
+  EXPECT_TRUE(bundle.packed_class_vectors.empty());
+}
+
+TEST_F(BundleTest, PackedBackendRoundTripsQuantizedBits) {
+  data::SyntheticSpec spec;
+  spec.num_features = 12;
+  spec.num_classes = 3;
+  spec.train_size = 300;
+  spec.test_size = 100;
+  spec.seed = 9;
+  const auto split = data::make_synthetic(spec);
+  const auto classifier = train_small(split);
+  const hd::PackedMatrix packed =
+      hd::PackedMatrix::pack(classifier.model().class_vectors());
+
+  save_bundle(path_, {}, {}, classifier, serve::ScoringBackend::packed,
+              packed);
+  std::ifstream in(path_, std::ios::binary);
+  char magic[4];
+  in.read(magic, 4);
+  EXPECT_EQ(std::string(magic, 4), "DCL2");
+
+  const auto bundle = load_bundle(path_);
+  EXPECT_EQ(bundle.backend, serve::ScoringBackend::packed);
+  // The serialized bits are authoritative: loading must reproduce them
+  // exactly, with no re-quantization in between.
+  EXPECT_EQ(bundle.packed_class_vectors, packed);
+  ASSERT_NE(bundle.classifier, nullptr);
+  EXPECT_EQ(bundle.classifier->predict_batch(split.test.features),
+            classifier.predict_batch(split.test.features));
+}
+
+TEST_F(BundleTest, NonDefaultFloatBackendSurvivesRoundTrip) {
+  data::SyntheticSpec spec;
+  spec.num_features = 4;
+  spec.num_classes = 2;
+  spec.train_size = 100;
+  spec.test_size = 20;
+  const auto split = data::make_synthetic(spec);
+  const auto classifier = train_small(split);
+  save_bundle(path_, {}, {}, classifier, serve::ScoringBackend::float_ref);
+  const auto bundle = load_bundle(path_);
+  EXPECT_EQ(bundle.backend, serve::ScoringBackend::float_ref);
+  EXPECT_TRUE(bundle.packed_class_vectors.empty());
+}
+
 TEST_F(BundleTest, EmptyScalerMeansIdentity) {
   data::SyntheticSpec spec;
   spec.num_features = 4;

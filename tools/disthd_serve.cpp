@@ -5,15 +5,19 @@
 //   disthd_serve --model bundle.bin --model name2=bundle2.bin
 //                [--default-model NAME] [--input queries.csv] [--no-header]
 //                [--max-batch N] [--deadline-us U] [--workers W] [--window K]
-//                [--pool P] [--model-config NAME=max_batch:B,deadline_us:U]
+//                [--pool P]
+//                [--model-config NAME=max_batch:B,deadline_us:U,backend:X]
 //
 // --pool P serves through a model-affine EnginePool of P engines: each
 // model routes to one engine by consistent hash of its name, so one
 // model's flush deadline never stalls another's batch (P = 1, the
 // default, is a single engine). --model-config overrides the engine
-// batching knobs for ONE model; repeatable, set before traffic starts. A
+// batching knobs for ONE model and/or selects its scoring backend
+// (backend:float|prenorm|packed — packed serves sign-quantized class
+// vectors via XOR+popcount); repeatable, set before traffic starts. A
 // "stats" request line answers with per-model "#stats ..." comment lines
-// (batch shape, latency quantiles, flush reasons).
+// (batch shape, latency quantiles, flush reasons, scoring backend and
+// resident snapshot bytes).
 //
 // Replay serving (an OnlineDistHD keeps learning from a labeled stream
 // while queries are answered; snapshots are published between chunks; the
@@ -37,9 +41,10 @@
 // A malformed or rejected request answers with one "#error <reason>"
 // comment line IN ITS ANSWER POSITION and serving continues — remote (or
 // piped) garbage never kills the process and never shifts another
-// request's answer. A "config model=NAME [max_batch=B] [deadline_us=U]"
-// line retunes that model's batching live (an omitted knob reverts to the
-// engine default) and answers with a "#config ..." ack.
+// request's answer. A "config model=NAME [max_batch=B] [deadline_us=U]
+// [backend=X]" line retunes that model's batching live (an omitted numeric
+// knob reverts to the engine default) and/or re-publishes it onto another
+// scoring backend, answering with a "#config ..." ack.
 //
 // --listen PORT serves the same protocol over TCP instead of stdio
 // (serve/tcp_front.hpp): one session per connection, each with its own
@@ -119,18 +124,26 @@ std::pair<std::string, std::string> split_model_arg(const std::string& arg) {
   return {arg.substr(0, eq), arg.substr(eq + 1)};
 }
 
-/// "NAME=max_batch:B,deadline_us:U" -> (NAME, ModelServeConfig). Either
-/// knob may be omitted; an omitted knob inherits the engine default.
-std::pair<std::string, serve::ModelServeConfig> parse_model_config(
-    const std::string& arg) {
+/// One parsed --model-config argument: batching overrides plus (optionally)
+/// the slot's scoring backend.
+struct ModelConfigArg {
+  std::string name;
+  serve::ModelServeConfig config;
+  std::optional<serve::ScoringBackend> backend;
+};
+
+/// "NAME=max_batch:B,deadline_us:U,backend:X" -> ModelConfigArg. Every knob
+/// may be omitted; an omitted numeric knob inherits the engine default, an
+/// omitted backend keeps the slot's current one.
+ModelConfigArg parse_model_config(const std::string& arg) {
   const auto eq = arg.find('=');
   if (eq == std::string::npos || eq == 0 || eq + 1 == arg.size()) {
     throw std::runtime_error(
         "--model-config expects NAME=KEY:VALUE[,KEY:VALUE], got '" + arg +
         "'");
   }
-  const std::string name = arg.substr(0, eq);
-  serve::ModelServeConfig config;
+  ModelConfigArg parsed;
+  parsed.name = arg.substr(0, eq);
   std::size_t pos = eq + 1;
   while (pos < arg.size()) {
     std::size_t comma = arg.find(',', pos);
@@ -142,24 +155,35 @@ std::pair<std::string, serve::ModelServeConfig> parse_model_config(
                                "' is not KEY:VALUE");
     }
     const std::string key = knob.substr(0, colon);
+    const std::string value_text = knob.substr(colon + 1);
+    if (key == "backend") {
+      const auto backend = serve::parse_backend(value_text);
+      if (!backend) {
+        throw std::runtime_error("--model-config knob '" + knob +
+                                 "' (want backend:float|prenorm|packed)");
+      }
+      parsed.backend = *backend;
+      pos = comma + 1;
+      continue;
+    }
     char* end = nullptr;
-    const char* value_text = knob.c_str() + colon + 1;
-    const long value = std::strtol(value_text, &end, 10);
-    if (end == value_text || *end != '\0') {
+    const long value = std::strtol(value_text.c_str(), &end, 10);
+    if (end == value_text.c_str() || *end != '\0') {
       throw std::runtime_error("--model-config knob '" + knob +
                                "' has a non-numeric value");
     }
     if (key == "max_batch" && value > 0) {
-      config.max_batch = static_cast<std::size_t>(value);
+      parsed.config.max_batch = static_cast<std::size_t>(value);
     } else if (key == "deadline_us" && value >= 0) {
-      config.flush_deadline = std::chrono::microseconds(value);
+      parsed.config.flush_deadline = std::chrono::microseconds(value);
     } else {
-      throw std::runtime_error("--model-config knob '" + knob +
-                               "' (want max_batch:N>0 or deadline_us:N>=0)");
+      throw std::runtime_error(
+          "--model-config knob '" + knob +
+          "' (want max_batch:N>0, deadline_us:N>=0, or backend:NAME)");
     }
     pos = comma + 1;
   }
-  return {name, config};
+  return parsed;
 }
 
 }  // namespace
@@ -220,10 +244,16 @@ int main(int argc, char** argv) {
       const auto [name, path] = split_model_arg(model_arg);
       auto bundle = tools::load_bundle(path);
       // Fold the bundle's training-time scaler into the snapshot: the
-      // published model is self-contained and queries arrive raw.
-      registry.register_model(name).publish(std::move(*bundle.classifier),
-                                            std::move(bundle.scaler_offset),
-                                            std::move(bundle.scaler_scale));
+      // published model is self-contained and queries arrive raw. A DCL2
+      // bundle also carries its scoring backend (bound before the first
+      // publish) and, when packed, the authoritative quantized bits, so the
+      // slot serves exactly what was saved without re-quantizing.
+      auto& slot = registry.register_model(name);
+      slot.set_backend(bundle.backend);
+      slot.publish(std::move(*bundle.classifier),
+                   std::move(bundle.scaler_offset),
+                   std::move(bundle.scaler_scale),
+                   std::move(bundle.packed_class_vectors));
       if (default_model.empty()) default_model = name;
     }
     if (!train_path.empty()) {
@@ -239,14 +269,18 @@ int main(int argc, char** argv) {
     }
 
     // Per-model overrides attach to the registry slots BEFORE the pool
-    // spins up (engines resolve them at each model's first request).
+    // spins up (engines resolve them at each model's first request). A
+    // backend override re-publishes the already-registered model onto the
+    // new backend (slots above published at registration time).
     for (const auto& config_arg : args.get_all("model-config")) {
-      const auto [name, model_config] = parse_model_config(config_arg);
-      if (!registry.find(name)) {
+      const auto parsed_config = parse_model_config(config_arg);
+      const auto slot = registry.find(parsed_config.name);
+      if (!slot) {
         throw std::runtime_error("--model-config names unknown model '" +
-                                 name + "'");
+                                 parsed_config.name + "'");
       }
-      registry.configure_model(name, model_config);
+      registry.configure_model(parsed_config.name, parsed_config.config);
+      if (parsed_config.backend) slot->set_backend(*parsed_config.backend);
     }
 
     serve::EnginePool engine(registry, pool_config(args, default_model));
@@ -368,11 +402,17 @@ int main(int argc, char** argv) {
             continue;
           }
           // Takes effect now; the ack still waits its turn in answer order.
+          // A backend= knob re-publishes the slot's model onto the new
+          // backend — in-flight batches finish on the snapshot they loaded,
+          // later ones score through the republished one.
           slot->set_serve_config(parsed.serve_config);
           engine.reconfigure_model(parsed.model);
-          inflight.push_back(Pending{
-              std::nullopt,
-              serve::format_config_ack(parsed.model, parsed.serve_config)});
+          if (parsed.backend) slot->set_backend(*parsed.backend);
+          inflight.push_back(
+              Pending{std::nullopt,
+                      serve::format_config_ack(parsed.model,
+                                               parsed.serve_config,
+                                               slot->backend())});
           continue;
         }
         serve::PredictRequest request;
@@ -412,8 +452,11 @@ int main(int argc, char** argv) {
         throw std::runtime_error("--save-bundle: model '" + save_model +
                                  "' has no snapshot");
       }
+      // The backend (and for packed, the exact quantized bits) travels with
+      // the bundle, so reloading serves the identical snapshot state.
       tools::save_bundle(save_path, snapshot->scaler_offset,
-                         snapshot->scaler_scale, snapshot->classifier);
+                         snapshot->scaler_scale, snapshot->classifier,
+                         snapshot->backend, snapshot->packed_class_vectors);
       std::fprintf(stderr, "final snapshot of '%s' saved to %s\n",
                    save_model.c_str(), save_path.c_str());
     }

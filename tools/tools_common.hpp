@@ -4,6 +4,7 @@
 // loading helpers.
 #pragma once
 
+#include <cstring>
 #include <fstream>
 #include <stdexcept>
 #include <string>
@@ -11,15 +12,23 @@
 #include "core/classifier.hpp"
 #include "data/loaders.hpp"
 #include "data/normalize.hpp"
+#include "hd/packed.hpp"
+#include "serve/model_snapshot.hpp"
 #include "util/serialize.hpp"
 
 namespace disthd::tools {
 
-/// On-disk deployment bundle: min-max scaler statistics + classifier.
+/// On-disk deployment bundle: min-max scaler statistics + classifier, plus
+/// the serving-backend choice and (for the packed backend) the quantized
+/// class vectors, so a packed model re-loads without re-quantizing.
 struct ModelBundle {
   std::vector<float> scaler_offset;
   std::vector<float> scaler_scale;
   std::unique_ptr<core::HdcClassifier> classifier;
+  serve::ScoringBackend backend = serve::ScoringBackend::prenorm;
+  /// Non-empty only for backend == packed: the serialized bit pattern is
+  /// authoritative (round-trips bit-exactly through save/load).
+  hd::PackedMatrix packed_class_vectors;
 
   void apply_scaler(util::Matrix& features) const {
     if (scaler_offset.empty()) return;
@@ -38,14 +47,27 @@ struct ModelBundle {
   }
 };
 
-inline void save_bundle(const std::string& path,
-                        const std::vector<float>& offset,
-                        const std::vector<float>& scale,
-                        const core::HdcClassifier& classifier) {
+/// Bundles on the default backend keep the v1 "DCLI" layout byte-for-byte;
+/// a non-default backend writes the "DCL2" extension (backend name + the
+/// packed payload when present) so old tools fail loudly on the magic
+/// rather than misreading a quantized model.
+inline void save_bundle(
+    const std::string& path, const std::vector<float>& offset,
+    const std::vector<float>& scale, const core::HdcClassifier& classifier,
+    serve::ScoringBackend backend = serve::ScoringBackend::prenorm,
+    const hd::PackedMatrix& packed_class_vectors = {}) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("cannot write " + path);
   util::BinaryWriter writer(out);
-  writer.write_magic("DCLI");
+  if (backend == serve::ScoringBackend::prenorm &&
+      packed_class_vectors.empty()) {
+    writer.write_magic("DCLI");
+  } else {
+    writer.write_magic("DCL2");
+    writer.write_string(serve::to_string(backend));
+    writer.write_u32(packed_class_vectors.empty() ? 0 : 1);
+    if (!packed_class_vectors.empty()) packed_class_vectors.save(out);
+  }
   writer.write_f32_array(offset);
   writer.write_f32_array(scale);
   classifier.save(out);
@@ -54,9 +76,25 @@ inline void save_bundle(const std::string& path,
 inline ModelBundle load_bundle(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot read " + path);
-  util::BinaryReader reader(in);
-  reader.expect_magic("DCLI");
+  char magic[4];
+  in.read(magic, 4);
+  if (in.gcount() != 4) throw std::runtime_error(path + ": truncated bundle");
   ModelBundle bundle;
+  util::BinaryReader reader(in);
+  if (std::memcmp(magic, "DCL2", 4) == 0) {
+    const std::string backend_name = reader.read_string();
+    const auto backend = serve::parse_backend(backend_name);
+    if (!backend) {
+      throw std::runtime_error(path + ": unknown bundle backend '" +
+                               backend_name + "'");
+    }
+    bundle.backend = *backend;
+    if (reader.read_u32() != 0) {
+      bundle.packed_class_vectors = hd::PackedMatrix::load(in);
+    }
+  } else if (std::memcmp(magic, "DCLI", 4) != 0) {
+    throw std::runtime_error(path + ": bad magic tag (not a model bundle)");
+  }
   bundle.scaler_offset = reader.read_f32_array();
   bundle.scaler_scale = reader.read_f32_array();
   bundle.classifier =
