@@ -5,6 +5,7 @@
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -84,6 +85,63 @@ Socket tcp_connect(const std::string& host, std::uint16_t port) {
                              ": " + last_error);
   }
   // Request lines are small and latency matters more than segment fill.
+  const int one = 1;
+  ::setsockopt(connected.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return connected;
+}
+
+Socket tcp_connect(const std::string& host, std::uint16_t port,
+                   int timeout_ms) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &results);
+  if (rc != 0) {
+    throw std::runtime_error("cannot resolve " + host + ": " +
+                             ::gai_strerror(rc));
+  }
+  std::string last_error = "no addresses";
+  Socket connected;
+  for (addrinfo* entry = results; entry != nullptr; entry = entry->ai_next) {
+    Socket candidate(
+        ::socket(entry->ai_family, entry->ai_socktype, entry->ai_protocol));
+    if (!candidate.valid()) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    set_nonblocking(candidate.fd());
+    if (::connect(candidate.fd(), entry->ai_addr, entry->ai_addrlen) == 0) {
+      connected = std::move(candidate);  // loopback: done immediately
+      break;
+    }
+    if (errno != EINPROGRESS) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    pollfd waiter{candidate.fd(), POLLOUT, 0};
+    const int ready = ::poll(&waiter, 1, timeout_ms);
+    if (ready <= 0) {
+      last_error = ready == 0 ? "connect timed out" : std::strerror(errno);
+      continue;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(candidate.fd(), SOL_SOCKET, SO_ERROR, &so_error, &len) <
+            0 ||
+        so_error != 0) {
+      last_error = std::strerror(so_error != 0 ? so_error : errno);
+      continue;
+    }
+    connected = std::move(candidate);
+    break;
+  }
+  ::freeaddrinfo(results);
+  if (!connected.valid()) {
+    throw std::runtime_error("cannot connect to " + host + ":" + service +
+                             ": " + last_error);
+  }
   const int one = 1;
   ::setsockopt(connected.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return connected;

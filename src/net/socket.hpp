@@ -66,6 +66,15 @@ HostPort parse_host_port(const std::string& spec);
 /// non-blocking first. Throws std::runtime_error when nothing answers.
 Socket tcp_connect(const std::string& host, std::uint16_t port);
 
+/// TCP connect that gives up after `timeout_ms` per resolved address
+/// (non-blocking connect + poll + SO_ERROR). An event-loop owner
+/// re-dialing a dead peer must not hand its thread to the kernel's
+/// multi-minute SYN retry budget. The returned socket is ALREADY
+/// non-blocking (a later set_nonblocking is a harmless no-op). Throws
+/// std::runtime_error on timeout or refusal.
+Socket tcp_connect(const std::string& host, std::uint16_t port,
+                   int timeout_ms);
+
 /// Listening TCP socket, non-blocking, SO_REUSEADDR, backlog 128.
 /// Port 0 binds an ephemeral port; port() reports the one the kernel chose
 /// — how tests and tools advertise where they actually listen.

@@ -1,5 +1,8 @@
 #include "serve/routing.hpp"
 
+#include <algorithm>
+#include <numeric>
+
 namespace disthd::serve {
 
 std::uint64_t fnv1a64(std::string_view data) noexcept {
@@ -36,6 +39,21 @@ std::size_t rendezvous_route(std::string_view key,
     }
   }
   return best;
+}
+
+std::vector<std::size_t> rendezvous_rank(std::string_view key,
+                                         std::size_t buckets) {
+  std::vector<std::size_t> order(buckets);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  const std::uint64_t key_hash = fnv1a64(key);
+  std::sort(order.begin(), order.end(),
+            [key_hash](std::size_t a, std::size_t b) {
+              const std::uint64_t score_a = rendezvous_score(key_hash, a);
+              const std::uint64_t score_b = rendezvous_score(key_hash, b);
+              if (score_a != score_b) return score_a > score_b;
+              return a < b;  // ties keep the lower index, like the argmax
+            });
+  return order;
 }
 
 }  // namespace disthd::serve

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <string_view>
+#include <vector>
 
 namespace disthd::serve {
 
@@ -45,5 +46,15 @@ std::uint64_t rendezvous_score(std::uint64_t key_hash,
 /// index. Requires buckets >= 1.
 std::size_t rendezvous_route(std::string_view key,
                              std::size_t buckets) noexcept;
+
+/// All buckets in [0, buckets), ordered by descending rendezvous score for
+/// `key` (ties to the lower index). rank[0] == rendezvous_route(key,
+/// buckets); a replicated consumer takes the first R entries as the
+/// replica set. Because a bucket's score depends only on (key, bucket
+/// index), appending bucket N preserves the relative order of buckets
+/// 0..N-1 — the resize property, rank-wide: the new bucket INSERTS into
+/// each key's order without reshuffling it.
+std::vector<std::size_t> rendezvous_rank(std::string_view key,
+                                         std::size_t buckets);
 
 }  // namespace disthd::serve

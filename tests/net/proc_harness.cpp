@@ -1,0 +1,231 @@
+#include "proc_harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace disthd::proctest {
+
+// ---- ChildProcess ---------------------------------------------------------
+
+ChildProcess::ChildProcess(const std::string& binary,
+                           const std::vector<std::string>& args) {
+  int out_pipe[2];
+  if (::pipe(out_pipe) != 0) throw std::runtime_error("pipe failed");
+  pid_ = ::fork();
+  if (pid_ < 0) throw std::runtime_error("fork failed");
+  if (pid_ == 0) {
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(binary.c_str()));
+    for (const auto& arg : args) {
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execv(binary.c_str(), argv.data());
+    std::perror("execv");
+    ::_exit(127);
+  }
+  ::close(out_pipe[1]);
+  out_fd_ = out_pipe[0];
+}
+
+ChildProcess::~ChildProcess() {
+  if (pid_ > 0) {
+    ::kill(pid_, SIGKILL);
+    ::waitpid(pid_, nullptr, 0);
+  }
+  if (out_fd_ >= 0) ::close(out_fd_);
+}
+
+std::uint16_t ChildProcess::read_listen_port() {
+  std::string buffer;
+  char byte;
+  while (::read(out_fd_, &byte, 1) == 1) {
+    if (byte != '\n') {
+      buffer += byte;
+      continue;
+    }
+    if (buffer.rfind("#listen port=", 0) == 0) {
+      return static_cast<std::uint16_t>(
+          std::stoi(buffer.substr(std::strlen("#listen port="))));
+    }
+    buffer.clear();
+  }
+  ADD_FAILURE() << "child exited before announcing a port";
+  return 0;
+}
+
+void ChildProcess::stop() {
+  if (pid_ <= 0) return;
+  ::kill(pid_, SIGTERM);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid_, &status, 0), pid_);
+  pid_ = -1;
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+      << "child exited with status " << status;
+}
+
+void ChildProcess::kill9() {
+  if (pid_ <= 0) return;
+  ::kill(pid_, SIGKILL);
+  ::waitpid(pid_, nullptr, 0);
+  pid_ = -1;
+}
+
+void ChildProcess::sig_stop() {
+  if (pid_ > 0) ::kill(pid_, SIGSTOP);
+}
+
+void ChildProcess::sig_cont() {
+  if (pid_ > 0) ::kill(pid_, SIGCONT);
+}
+
+// ---- LineClient -----------------------------------------------------------
+
+LineClient::LineClient(std::uint16_t port)
+    : socket_(net::tcp_connect("127.0.0.1", port)) {}
+
+void LineClient::send(const std::string& data) {
+  ASSERT_EQ(::send(socket_.fd(), data.data(), data.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(data.size()));
+}
+
+std::string LineClient::read_line() {
+  for (;;) {
+    const auto newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t got = ::recv(socket_.fd(), chunk, sizeof(chunk), 0);
+    if (got <= 0) return "<EOF>";
+    buffer_.append(chunk, static_cast<std::size_t>(got));
+  }
+}
+
+std::string LineClient::read_answer() {
+  for (;;) {
+    const std::string line = read_line();
+    if (line.rfind("#proto=", 0) == 0) continue;
+    return line;
+  }
+}
+
+void LineClient::shutdown_write() { ::shutdown(socket_.fd(), SHUT_WR); }
+
+// ---- command capture ------------------------------------------------------
+
+std::string run_and_capture(const std::string& command) {
+  FILE* pipe = ::popen(command.c_str(), "r");
+  if (pipe == nullptr) throw std::runtime_error("popen failed: " + command);
+  std::string output;
+  char chunk[4096];
+  std::size_t got;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), pipe)) > 0) {
+    output.append(chunk, got);
+  }
+  const int status = ::pclose(pipe);
+  EXPECT_EQ(status, 0) << command;
+  return output;
+}
+
+// ---- shared fixture -------------------------------------------------------
+
+const RouterFixture& router_fixture(const std::string& train_bin,
+                                    const std::string& predict_bin,
+                                    const std::string& fixture_dir) {
+  static const RouterFixture shared = [&] {
+    RouterFixture f;
+    const std::string dir = ::testing::TempDir();
+    // Pid-unique bundle paths: several e2e suites build this fixture
+    // concurrently under `ctest -j`, and a shared filename would race one
+    // binary's disthd_train against another's disthd_predict.
+    const std::string tag = std::to_string(::getpid());
+    f.bundle_a = dir + "router_e2e_" + tag + "_a.bin";
+    f.bundle_b = dir + "router_e2e_" + tag + "_b.bin";
+    const std::string train = fixture_dir + "/synth_train.csv";
+    const std::string query = fixture_dir + "/synth_query.csv";
+    run_and_capture(train_bin + " --train " + train + " --model " +
+                    f.bundle_a + " --dim 128 --iterations 6");
+    run_and_capture(train_bin + " --train " + train + " --model " +
+                    f.bundle_b +
+                    " --trainer baseline --dim 128 --iterations 6 --seed 17");
+
+    std::ifstream query_file(query);
+    std::string line;
+    bool header = true;
+    while (std::getline(query_file, line)) {
+      if (header) {  // synth_query.csv has a header row
+        header = false;
+        continue;
+      }
+      if (!line.empty()) f.query_rows.push_back(line);
+    }
+
+    for (const std::string* bundle : {&f.bundle_a, &f.bundle_b}) {
+      const std::string output =
+          run_and_capture(predict_bin + " --model " + *bundle + " --input " +
+                          query + " --top2");
+      auto& expected = bundle == &f.bundle_a ? f.expected_a : f.expected_b;
+      std::istringstream lines(output);
+      bool out_header = true;
+      while (std::getline(lines, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        if (out_header) {  // "row,top1,score1,top2,score2"
+          out_header = false;
+          continue;
+        }
+        // Drop the leading row index; keep "top1,score1,top2,score2".
+        expected.push_back(line.substr(line.find(',') + 1));
+      }
+    }
+    // A broken fixture must stop the suite HERE, not as a segfault when a
+    // test indexes into empty expectations.
+    if (f.query_rows.empty() || f.expected_a.size() != f.query_rows.size() ||
+        f.expected_b.size() != f.query_rows.size()) {
+      throw std::runtime_error("router fixture build produced " +
+                               std::to_string(f.query_rows.size()) +
+                               " queries but " +
+                               std::to_string(f.expected_a.size()) + "/" +
+                               std::to_string(f.expected_b.size()) +
+                               " expectations");
+    }
+    return f;
+  }();
+  return shared;
+}
+
+std::vector<std::string> backend_args(const RouterFixture& fixture,
+                                      std::uint16_t port) {
+  return {"--model",  "default=" + fixture.bundle_a,
+          "--model",  "alpha=" + fixture.bundle_a,
+          "--model",  "m2=" + fixture.bundle_b,
+          "--listen", std::to_string(port)};
+}
+
+std::uint64_t stats_requests(std::uint16_t backend_port,
+                             const std::string& model) {
+  LineClient direct(backend_port);
+  direct.send("stats model=" + model + "\n");
+  const std::string line = direct.read_answer();
+  const auto key = line.find("requests=");
+  EXPECT_NE(key, std::string::npos) << line;
+  if (key == std::string::npos) return 0;
+  return std::stoull(line.substr(key + std::strlen("requests=")));
+}
+
+}  // namespace disthd::proctest

@@ -1,0 +1,132 @@
+// Reusable process-orchestration harness for end-to-end network tests:
+// fork/exec the REAL tool binaries (disthd_train / disthd_serve /
+// disthd_router), read back their ephemeral-port announcements, drive them
+// with blocking line-protocol clients, and inject process faults.
+//
+// Extracted from router_e2e_test.cpp so every e2e suite shares one set of
+// spawn/reap/port-readback mechanics, and so fault injection is first
+// class:
+//
+//   ChildProcess::kill9()     - SIGKILL + reap: a crash. Connections RST.
+//   ChildProcess::sig_stop()  - SIGSTOP: the process wedges with its
+//                               connections still open (a hang, not a
+//                               crash — exactly what health probes must
+//                               distinguish from death).
+//   ChildProcess::sig_cont()  - SIGCONT: the wedge ends; everything the
+//                               process had queued flows again.
+//   LineClient::~LineClient() - closes the client socket mid-stream; the
+//                               peer sees EOF with requests in flight.
+//   LineClient::shutdown_write() - half-close: EOF to the peer while this
+//                               side still reads pending answers.
+//
+// Children are reaped on scope exit (SIGKILL + waitpid in the
+// destructor), so a failing test cannot leak listeners into later tests.
+// Graceful shutdown assertions go through stop(), which SIGTERMs and
+// EXPECTs a clean exit code 0.
+//
+// The harness is deliberately binary-path agnostic: tests pass their
+// DISTHD_*_BIN compile definitions in, so the harness library itself
+// builds once, without per-target defines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/socket.hpp"
+
+namespace disthd::proctest {
+
+/// A spawned tool with its stdout on a pipe (stderr passes through to the
+/// test log). SIGKILL + waitpid on destruction; use stop() to assert a
+/// clean SIGTERM exit.
+class ChildProcess {
+public:
+  ChildProcess(const std::string& binary, const std::vector<std::string>& args);
+  ~ChildProcess();
+
+  ChildProcess(const ChildProcess&) = delete;
+  ChildProcess& operator=(const ChildProcess&) = delete;
+
+  /// Blocks until the child prints its "#listen port=N" line; fails the
+  /// test (and returns 0) if the child exits first.
+  std::uint16_t read_listen_port();
+
+  /// Graceful stop; asserts the tool exits cleanly (exit code 0). No-op
+  /// after kill9().
+  void stop();
+
+  /// SIGKILL + reap now — the crash injector. Safe to call twice.
+  void kill9();
+
+  /// SIGSTOP / SIGCONT — the hang injector. The process keeps its open
+  /// connections but answers nothing until continued.
+  void sig_stop();
+  void sig_cont();
+
+  int pid() const noexcept { return pid_; }
+  bool running() const noexcept { return pid_ > 0; }
+
+private:
+  int pid_ = -1;
+  int out_fd_ = -1;
+};
+
+/// Blocking newline-framed client for the v2 line protocol.
+class LineClient {
+public:
+  explicit LineClient(std::uint16_t port);
+
+  void send(const std::string& data);
+
+  /// Next raw line (terminator stripped), or "<EOF>" when the peer closed.
+  std::string read_line();
+
+  /// Skips "#proto=" header lines, returns the next answer line.
+  std::string read_answer();
+
+  /// Half-close: the peer sees EOF while this side can still read the
+  /// answers already in flight.
+  void shutdown_write();
+
+  int fd() const noexcept { return socket_.fd(); }
+
+private:
+  net::Socket socket_;
+  std::string buffer_;
+};
+
+/// Runs a shell command, captures stdout, EXPECTs exit status 0.
+std::string run_and_capture(const std::string& command);
+
+/// Shared multi-model fixture for the router e2e suites: two trained
+/// bundles (different trainer families, so their label streams genuinely
+/// differ), the query rows, and — per model family — the expected
+/// "label,score[,label,score]" tail of each topk=2 answer, taken from
+/// disthd_predict --top2 (the offline oracle).
+struct RouterFixture {
+  std::string bundle_a;  // serves "default" and "alpha"
+  std::string bundle_b;  // serves "m2" (a different trainer family)
+  std::vector<std::string> query_rows;
+  std::vector<std::string> expected_a;  // for bundle_a models
+  std::vector<std::string> expected_b;  // for m2
+};
+
+/// Builds (once per process) the shared fixture with the given tool
+/// binaries and fixture CSV directory.
+const RouterFixture& router_fixture(const std::string& train_bin,
+                                    const std::string& predict_bin,
+                                    const std::string& fixture_dir);
+
+/// The standard backend argv: all three fixture models, --listen `port`
+/// (0 = ephemeral; pass a concrete port to restart a backend in place).
+std::vector<std::string> backend_args(const RouterFixture& fixture,
+                                      std::uint16_t port = 0);
+
+/// "requests=N" from a backend's "stats model=X" answer, queried directly
+/// on the backend's own port — how placement is asserted from OUTSIDE the
+/// router.
+std::uint64_t stats_requests(std::uint16_t backend_port,
+                             const std::string& model);
+
+}  // namespace disthd::proctest

@@ -1,7 +1,9 @@
 // disthd_router end-to-end, against REAL processes: two (then three)
 // disthd_serve --listen backends behind a disthd_router, driven over
 // loopback TCP. The binary paths come in as compile definitions
-// (DISTHD_SERVE_BIN etc., resolved from the build's actual targets).
+// (DISTHD_SERVE_BIN etc., resolved from the build's actual targets); the
+// spawn/port-readback/client machinery is the shared harness in
+// proc_harness.hpp.
 //
 // What must hold:
 //   - Parity: multi-model topk=2 traffic through the router answers
@@ -18,242 +20,38 @@
 //     other request still answers in order.
 #include <gtest/gtest.h>
 
-#include <fcntl.h>
-#include <signal.h>
-#include <sys/socket.h>
-#include <sys/wait.h>
-#include <unistd.h>
-
-#include <cstdio>
-#include <cstring>
-#include <fstream>
-#include <sstream>
+#include <cstdint>
 #include <string>
-#include <vector>
 
-#include "net/socket.hpp"
+#include "proc_harness.hpp"
 
 namespace disthd {
 namespace {
 
-// ---- process + client plumbing -------------------------------------------
+using proctest::ChildProcess;
+using proctest::LineClient;
+using proctest::RouterFixture;
+using proctest::backend_args;
+using proctest::stats_requests;
 
-/// A spawned tool with its stdout on a pipe (stderr passes through to the
-/// test log). SIGTERM + waitpid on destruction — the tools exit 0 on
-/// SIGTERM, so leaked children fail loudly via EXPECT in stop().
-class Child {
-public:
-  Child(const std::string& binary, const std::vector<std::string>& args) {
-    int out_pipe[2];
-    if (::pipe(out_pipe) != 0) throw std::runtime_error("pipe failed");
-    pid_ = ::fork();
-    if (pid_ < 0) throw std::runtime_error("fork failed");
-    if (pid_ == 0) {
-      ::dup2(out_pipe[1], STDOUT_FILENO);
-      ::close(out_pipe[0]);
-      ::close(out_pipe[1]);
-      std::vector<char*> argv;
-      argv.push_back(const_cast<char*>(binary.c_str()));
-      for (const auto& arg : args) {
-        argv.push_back(const_cast<char*>(arg.c_str()));
-      }
-      argv.push_back(nullptr);
-      ::execv(binary.c_str(), argv.data());
-      std::perror("execv");
-      ::_exit(127);
-    }
-    ::close(out_pipe[1]);
-    out_fd_ = out_pipe[0];
-  }
-
-  ~Child() {
-    if (pid_ > 0) {
-      ::kill(pid_, SIGKILL);
-      ::waitpid(pid_, nullptr, 0);
-    }
-    if (out_fd_ >= 0) ::close(out_fd_);
-  }
-
-  /// Blocks until the child prints its "#listen port=N" line.
-  std::uint16_t read_listen_port() {
-    std::string buffer;
-    char byte;
-    while (::read(out_fd_, &byte, 1) == 1) {
-      if (byte != '\n') {
-        buffer += byte;
-        continue;
-      }
-      if (buffer.rfind("#listen port=", 0) == 0) {
-        return static_cast<std::uint16_t>(
-            std::stoi(buffer.substr(std::strlen("#listen port="))));
-      }
-      buffer.clear();
-    }
-    ADD_FAILURE() << "child exited before announcing a port";
-    return 0;
-  }
-
-  /// Graceful stop; asserts the tool exits cleanly (exit code 0).
-  void stop() {
-    if (pid_ <= 0) return;
-    ::kill(pid_, SIGTERM);
-    int status = 0;
-    ASSERT_EQ(::waitpid(pid_, &status, 0), pid_);
-    pid_ = -1;
-    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
-        << "child exited with status " << status;
-  }
-
-private:
-  pid_t pid_ = -1;
-  int out_fd_ = -1;
-};
-
-/// Blocking newline-framed client.
-class Client {
-public:
-  explicit Client(std::uint16_t port)
-      : socket_(net::tcp_connect("127.0.0.1", port)) {}
-
-  void send(const std::string& data) {
-    ASSERT_EQ(::send(socket_.fd(), data.data(), data.size(), MSG_NOSIGNAL),
-              static_cast<ssize_t>(data.size()));
-  }
-
-  std::string read_line() {
-    for (;;) {
-      const auto newline = buffer_.find('\n');
-      if (newline != std::string::npos) {
-        std::string line = buffer_.substr(0, newline);
-        buffer_.erase(0, newline + 1);
-        return line;
-      }
-      char chunk[4096];
-      const ssize_t got = ::recv(socket_.fd(), chunk, sizeof(chunk), 0);
-      if (got <= 0) return "<EOF>";
-      buffer_.append(chunk, static_cast<std::size_t>(got));
-    }
-  }
-
-  /// Skips the protocol header, returns the next answer line.
-  std::string read_answer() {
-    for (;;) {
-      const std::string line = read_line();
-      if (line.rfind("#proto=", 0) == 0) continue;
-      return line;
-    }
-  }
-
-private:
-  net::Socket socket_;
-  std::string buffer_;
-};
-
-std::string run_and_capture(const std::string& command) {
-  FILE* pipe = ::popen(command.c_str(), "r");
-  if (pipe == nullptr) throw std::runtime_error("popen failed: " + command);
-  std::string output;
-  char chunk[4096];
-  std::size_t got;
-  while ((got = std::fread(chunk, 1, sizeof(chunk), pipe)) > 0) {
-    output.append(chunk, got);
-  }
-  const int status = ::pclose(pipe);
-  EXPECT_EQ(status, 0) << command;
-  return output;
-}
-
-// ---- shared fixtures: bundles, queries, expected answers ------------------
-
-struct Fixture {
-  std::string bundle_a;     // serves "default" and "alpha"
-  std::string bundle_b;     // serves "m2" (a different trainer family)
-  std::vector<std::string> query_rows;
-  // Per model: the expected "label,score[,label,score]" tail of each
-  // topk=2 answer, from disthd_predict --top2 (column 0 is the row index).
-  std::vector<std::string> expected_a;  // for bundle_a models
-  std::vector<std::string> expected_b;  // for m2
-};
-
-const Fixture& fixture() {
-  static const Fixture shared = [] {
-    Fixture f;
-    const std::string dir = ::testing::TempDir();
-    f.bundle_a = dir + "router_e2e_a.bin";
-    f.bundle_b = dir + "router_e2e_b.bin";
-    const std::string train = std::string(DISTHD_FIXTURE_DIR) +
-                              "/synth_train.csv";
-    const std::string query = std::string(DISTHD_FIXTURE_DIR) +
-                              "/synth_query.csv";
-    run_and_capture(std::string(DISTHD_TRAIN_BIN) + " --train " + train +
-                    " --model " + f.bundle_a + " --dim 128 --iterations 6");
-    run_and_capture(std::string(DISTHD_TRAIN_BIN) + " --train " + train +
-                    " --model " + f.bundle_b +
-                    " --trainer baseline --dim 128 --iterations 6 --seed 17");
-
-    std::ifstream query_file(query);
-    std::string line;
-    bool header = true;
-    while (std::getline(query_file, line)) {
-      if (header) {  // synth_query.csv has a header row
-        header = false;
-        continue;
-      }
-      if (!line.empty()) f.query_rows.push_back(line);
-    }
-
-    for (const std::string* bundle : {&f.bundle_a, &f.bundle_b}) {
-      const std::string output =
-          run_and_capture(std::string(DISTHD_PREDICT_BIN) + " --model " +
-                          *bundle + " --input " + query + " --top2");
-      auto& expected = bundle == &f.bundle_a ? f.expected_a : f.expected_b;
-      std::istringstream lines(output);
-      bool out_header = true;
-      while (std::getline(lines, line)) {
-        if (line.empty() || line[0] == '#') continue;
-        if (out_header) {  // "row,top1,score1,top2,score2"
-          out_header = false;
-          continue;
-        }
-        // Drop the leading row index; keep "top1,score1,top2,score2".
-        expected.push_back(line.substr(line.find(',') + 1));
-      }
-    }
-    return f;
-  }();
-  return shared;
-}
-
-std::vector<std::string> backend_args(const Fixture& f) {
-  return {"--model", "default=" + f.bundle_a, "--model",
-          "alpha=" + f.bundle_a, "--model", "m2=" + f.bundle_b,
-          "--listen", "0"};
-}
-
-/// "requests=N" from a backend's "stats model=X" answer.
-std::uint64_t stats_requests(std::uint16_t backend_port,
-                             const std::string& model) {
-  Client direct(backend_port);
-  direct.send("stats model=" + model + "\n");
-  const std::string line = direct.read_answer();
-  const auto key = line.find("requests=");
-  EXPECT_NE(key, std::string::npos) << line;
-  return std::stoull(line.substr(key + std::strlen("requests=")));
+const RouterFixture& fixture() {
+  return proctest::router_fixture(DISTHD_TRAIN_BIN, DISTHD_PREDICT_BIN,
+                                  DISTHD_FIXTURE_DIR);
 }
 
 // ---- the tests ------------------------------------------------------------
 
 TEST(RouterE2e, MultiModelTrafficMatchesPredictBitForBit) {
-  const Fixture& f = fixture();
-  Child backend0(DISTHD_SERVE_BIN, backend_args(f));
-  Child backend1(DISTHD_SERVE_BIN, backend_args(f));
+  const RouterFixture& f = fixture();
+  ChildProcess backend0(DISTHD_SERVE_BIN, backend_args(f));
+  ChildProcess backend1(DISTHD_SERVE_BIN, backend_args(f));
   const std::uint16_t port0 = backend0.read_listen_port();
   const std::uint16_t port1 = backend1.read_listen_port();
-  Child router(DISTHD_ROUTER_BIN,
-               {"--backend", "127.0.0.1:" + std::to_string(port0),
-                "--backend", "127.0.0.1:" + std::to_string(port1),
-                "--listen", "0"});
-  Client client(router.read_listen_port());
+  ChildProcess router(DISTHD_ROUTER_BIN,
+                      {"--backend", "127.0.0.1:" + std::to_string(port0),
+                       "--backend", "127.0.0.1:" + std::to_string(port1),
+                       "--listen", "0"});
+  LineClient client(router.read_listen_port());
 
   // All three models' full query sets, interleaved row by row through ONE
   // connection — answers must come back in request order regardless of
@@ -285,12 +83,12 @@ TEST(RouterE2e, MultiModelTrafficMatchesPredictBitForBit) {
 }
 
 TEST(RouterE2e, PlacementFollowsPinnedRoutesAndResizeRehomesOnlyM2) {
-  const Fixture& f = fixture();
+  const RouterFixture& f = fixture();
   const std::string row = f.query_rows.front();
 
-  Child backend0(DISTHD_SERVE_BIN, backend_args(f));
-  Child backend1(DISTHD_SERVE_BIN, backend_args(f));
-  Child backend2(DISTHD_SERVE_BIN, backend_args(f));
+  ChildProcess backend0(DISTHD_SERVE_BIN, backend_args(f));
+  ChildProcess backend1(DISTHD_SERVE_BIN, backend_args(f));
+  ChildProcess backend2(DISTHD_SERVE_BIN, backend_args(f));
   const std::uint16_t ports[3] = {backend0.read_listen_port(),
                                   backend1.read_listen_port(),
                                   backend2.read_listen_port()};
@@ -302,11 +100,11 @@ TEST(RouterE2e, PlacementFollowsPinnedRoutesAndResizeRehomesOnlyM2) {
   // Phase 1: router over backends {0, 1}. Golden routes at N=2:
   // default -> 0, m2 -> 0, alpha -> 1.
   {
-    Child router(DISTHD_ROUTER_BIN,
-                 {"--backend", "127.0.0.1:" + std::to_string(ports[0]),
-                  "--backend", "127.0.0.1:" + std::to_string(ports[1]),
-                  "--listen", "0"});
-    Client client(router.read_listen_port());
+    ChildProcess router(DISTHD_ROUTER_BIN,
+                        {"--backend", "127.0.0.1:" + std::to_string(ports[0]),
+                         "--backend", "127.0.0.1:" + std::to_string(ports[1]),
+                         "--listen", "0"});
+    LineClient client(router.read_listen_port());
     for (int r = 0; r < kPerModel; ++r) {
       for (const char* model : models) {
         client.send("model=" + std::string(model) + "|" + row + "\n");
@@ -331,12 +129,12 @@ TEST(RouterE2e, PlacementFollowsPinnedRoutesAndResizeRehomesOnlyM2) {
   // default -> 0 (stays), alpha -> 1 (stays), m2 -> 2 (the ONLY move,
   // onto the new backend) — the rendezvous resize property end to end.
   {
-    Child router(DISTHD_ROUTER_BIN,
-                 {"--backend", "127.0.0.1:" + std::to_string(ports[0]),
-                  "--backend", "127.0.0.1:" + std::to_string(ports[1]),
-                  "--backend", "127.0.0.1:" + std::to_string(ports[2]),
-                  "--listen", "0"});
-    Client client(router.read_listen_port());
+    ChildProcess router(DISTHD_ROUTER_BIN,
+                        {"--backend", "127.0.0.1:" + std::to_string(ports[0]),
+                         "--backend", "127.0.0.1:" + std::to_string(ports[1]),
+                         "--backend", "127.0.0.1:" + std::to_string(ports[2]),
+                         "--listen", "0"});
+    LineClient client(router.read_listen_port());
     for (int r = 0; r < kPerModel; ++r) {
       for (const char* model : models) {
         client.send("model=" + std::string(model) + "|" + row + "\n");
@@ -360,16 +158,16 @@ TEST(RouterE2e, PlacementFollowsPinnedRoutesAndResizeRehomesOnlyM2) {
 }
 
 TEST(RouterE2e, MalformedMidStreamLineAnswersErrorWithoutShiftingOthers) {
-  const Fixture& f = fixture();
-  Child backend0(DISTHD_SERVE_BIN, backend_args(f));
-  Child backend1(DISTHD_SERVE_BIN, backend_args(f));
+  const RouterFixture& f = fixture();
+  ChildProcess backend0(DISTHD_SERVE_BIN, backend_args(f));
+  ChildProcess backend1(DISTHD_SERVE_BIN, backend_args(f));
   const std::uint16_t port0 = backend0.read_listen_port();
   const std::uint16_t port1 = backend1.read_listen_port();
-  Child router(DISTHD_ROUTER_BIN,
-               {"--backend", "127.0.0.1:" + std::to_string(port0),
-                "--backend", "127.0.0.1:" + std::to_string(port1),
-                "--listen", "0"});
-  Client client(router.read_listen_port());
+  ChildProcess router(DISTHD_ROUTER_BIN,
+                      {"--backend", "127.0.0.1:" + std::to_string(port0),
+                       "--backend", "127.0.0.1:" + std::to_string(port1),
+                       "--listen", "0"});
+  LineClient client(router.read_listen_port());
 
   const std::string row = f.query_rows.front();
   client.send("model=alpha|" + row + "\n" +

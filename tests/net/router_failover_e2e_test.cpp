@@ -1,0 +1,255 @@
+// Replication + self-healing, end to end: real disthd_serve backends, a
+// real disthd_router with --replicas 2 and fast health probes, real
+// process faults from the proc_harness injectors.
+//
+// What must hold:
+//   - Crash transparency: kill -9 of one replica MID-STREAM (answers
+//     already flowing) loses ZERO requests — every answer still arrives,
+//     in request order, bit-identical to disthd_predict --top2, with no
+//     "#error" ever reaching the client. In-flight requests on the dead
+//     replica fail over to the survivor.
+//   - Version monotonicity: once a client has seen snapshot version V for
+//     a model, no later answer for that model carries a smaller version,
+//     even while the router round-robins across replicas whose versions
+//     genuinely differ (a "config backend=" republish on ONE replica).
+//     When the only fresh replica dies, the router answers
+//     "#error version_unavailable" rather than silently rolling back.
+//   - R=1 honesty + recovery: with no replica to hide behind, a dead
+//     backend's model answers "#error backend_down model=..." — a
+//     DISTINGUISHABLE failure, not a hang — and starts answering again,
+//     without router restart, once a backend comes back on the same port.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "proc_harness.hpp"
+
+namespace disthd {
+namespace {
+
+using proctest::ChildProcess;
+using proctest::LineClient;
+using proctest::RouterFixture;
+using proctest::backend_args;
+
+const RouterFixture& fixture() {
+  return proctest::router_fixture(DISTHD_TRAIN_BIN, DISTHD_PREDICT_BIN,
+                                  DISTHD_FIXTURE_DIR);
+}
+
+std::vector<std::string> router_args(const std::vector<std::uint16_t>& ports,
+                                     std::vector<std::string> extra) {
+  std::vector<std::string> args;
+  for (const std::uint16_t port : ports) {
+    args.push_back("--backend");
+    args.push_back("127.0.0.1:" + std::to_string(port));
+  }
+  args.push_back("--listen");
+  args.push_back("0");
+  args.insert(args.end(), extra.begin(), extra.end());
+  return args;
+}
+
+/// Splits "version,tail" — answers must carry a numeric version.
+std::uint64_t split_version(const std::string& answer, std::string& tail) {
+  const auto comma = answer.find(',');
+  EXPECT_NE(comma, std::string::npos) << answer;
+  if (comma == std::string::npos) return 0;
+  tail = answer.substr(comma + 1);
+  return std::stoull(answer);
+}
+
+TEST(RouterFailoverE2e, Kill9MidStreamLosesNothingWithTwoReplicas) {
+  const RouterFixture& f = fixture();
+  ChildProcess backend0(DISTHD_SERVE_BIN, backend_args(f));
+  ChildProcess backend1(DISTHD_SERVE_BIN, backend_args(f));
+  const std::uint16_t port0 = backend0.read_listen_port();
+  const std::uint16_t port1 = backend1.read_listen_port();
+  ChildProcess router(
+      DISTHD_ROUTER_BIN,
+      router_args({port0, port1},
+                  {"--replicas", "2", "--probe-interval-ms", "50",
+                   "--probe-timeout-ms", "200", "--probe-fails", "2",
+                   // The whole burst goes out before the first read; a
+                   // window larger than the burst keeps the router reading
+                   // so the blocking send can't wedge against backpressure.
+                   "--window", "65536"}));
+  LineClient client(router.read_listen_port());
+
+  // With R=2 over two backends every model's replica set is BOTH, and the
+  // round-robin spreads this burst across them — so a kill of either one
+  // has in-flight requests to lose. Repeat the query set a few times so
+  // the stream comfortably outlives the crash.
+  constexpr int kRepeats = 4;
+  std::string burst;
+  std::vector<const char*> expect_model;
+  for (int repeat = 0; repeat < kRepeats; ++repeat) {
+    for (const std::string& row : f.query_rows) {
+      for (const char* model : {"default", "alpha", "m2"}) {
+        burst += "model=" + std::string(model) + " topk=2|" + row + "\n";
+        expect_model.push_back(model);
+      }
+    }
+  }
+  client.send(burst);
+
+  // Read a quarter of the stream to prove both replicas are answering,
+  // then crash one replica with answers still in flight.
+  const std::size_t total = expect_model.size();
+  std::vector<std::uint64_t> high_water(3, 0);  // default, alpha, m2
+  const auto check_answer = [&](std::size_t at) {
+    const std::string answer = client.read_answer();
+    ASSERT_NE(answer, "<EOF>") << "router dropped the connection at " << at;
+    ASSERT_EQ(answer.rfind("#error", 0), std::string::npos)
+        << "answer " << at << ": " << answer;
+    std::string tail;
+    const std::uint64_t version = split_version(answer, tail);
+    const std::size_t row = (at / 3) % f.query_rows.size();
+    const std::string model = expect_model[at];
+    EXPECT_EQ(tail, model == "m2" ? f.expected_b[row] : f.expected_a[row])
+        << "answer " << at << " model " << model;
+    auto& floor = high_water[model == "default" ? 0 : model == "alpha" ? 1 : 2];
+    EXPECT_GE(version, floor) << "version rollback at " << at;
+    floor = std::max(floor, version);
+  };
+
+  std::size_t at = 0;
+  for (; at < total / 4; ++at) check_answer(at);
+  backend1.kill9();
+  for (; at < total; ++at) check_answer(at);
+
+  router.stop();
+  backend0.stop();
+}
+
+TEST(RouterFailoverE2e, StaleReplicaNeverRollsAClientBack) {
+  const RouterFixture& f = fixture();
+  ChildProcess backend0(DISTHD_SERVE_BIN, backend_args(f));
+  ChildProcess backend1(DISTHD_SERVE_BIN, backend_args(f));
+  const std::uint16_t port0 = backend0.read_listen_port();
+  const std::uint16_t port1 = backend1.read_listen_port();
+  ChildProcess router(
+      DISTHD_ROUTER_BIN,
+      router_args({port0, port1},
+                  {"--replicas", "2", "--probe-interval-ms", "50",
+                   "--probe-timeout-ms", "200", "--probe-fails", "2"}));
+  LineClient client(router.read_listen_port());
+  const std::string row = f.query_rows.front();
+
+  // Republish "default" on backend0 ONLY (a backend switch re-publishes at
+  // the next version) — the two replicas now genuinely disagree: backend0
+  // serves version >= 2, backend1 still serves version 1. Two switches,
+  // because one of them is a no-op when the bundle already bound that
+  // backend (set_backend skips the republish churn).
+  {
+    LineClient direct(port0);
+    direct.send("config model=default backend=float\n");
+    ASSERT_EQ(direct.read_answer().rfind("#config ", 0), 0u);
+    direct.send("config model=default backend=prenorm\n");
+    ASSERT_EQ(direct.read_answer().rfind("#config ", 0), 0u);
+  }
+
+  // Hammer the model through the router. Round-robin WILL pick the stale
+  // replica regularly; the router must retry those answers on the fresh
+  // one instead of delivering them. The client may only ever observe
+  // versions going up.
+  std::uint64_t high_water = 0;
+  for (int round = 0; round < 32; ++round) {
+    client.send("model=default|" + row + "\n");
+    const std::string answer = client.read_answer();
+    ASSERT_NE(answer, "<EOF>");
+    ASSERT_EQ(answer.rfind("#error", 0), std::string::npos) << answer;
+    std::string tail;
+    const std::uint64_t version = split_version(answer, tail);
+    ASSERT_GE(version, high_water) << "rollback on round " << round;
+    high_water = std::max(high_water, version);
+  }
+  ASSERT_GE(high_water, 2u) << "the republish never surfaced";
+
+  // Now the ONLY fresh replica dies. The router knows backend1 serves
+  // version 1 < this client's floor — honesty beats a silent rollback.
+  backend0.kill9();
+  std::string answer;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    client.send("model=default|" + row + "\n");
+    answer = client.read_answer();
+    ASSERT_NE(answer, "<EOF>");
+    if (answer.rfind("#error", 0) == 0) break;
+    // Until the router notices the crash it may still answer from its
+    // learned-fresh view; those answers must still respect the floor.
+    std::string tail;
+    ASSERT_GE(split_version(answer, tail), high_water);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_EQ(answer.rfind("#error version_unavailable", 0), 0u) << answer;
+  ASSERT_NE(answer.find("model=default"), std::string::npos) << answer;
+
+  router.stop();
+  backend1.stop();
+}
+
+TEST(RouterFailoverE2e, R1DeadBackendAnswersBackendDownThenRecovers) {
+  const RouterFixture& f = fixture();
+  ChildProcess backend0(DISTHD_SERVE_BIN, backend_args(f));
+  auto backend1 = std::make_unique<ChildProcess>(DISTHD_SERVE_BIN,
+                                                 backend_args(f));
+  const std::uint16_t port0 = backend0.read_listen_port();
+  const std::uint16_t port1 = backend1->read_listen_port();
+  ChildProcess router(
+      DISTHD_ROUTER_BIN,
+      router_args({port0, port1},
+                  {"--probe-interval-ms", "50", "--probe-timeout-ms", "200",
+                   "--probe-fails", "2"}));
+  LineClient client(router.read_listen_port());
+  const std::string row = f.query_rows.front();
+
+  // Golden routes at N=2, R=1: alpha lives on backend1 and NOWHERE else.
+  client.send("model=alpha topk=2|" + row + "\n");
+  std::string answer = client.read_answer();
+  ASSERT_EQ(answer.substr(answer.find(',') + 1), f.expected_a.front());
+
+  backend1->kill9();
+
+  // The dead model's requests answer a DISTINGUISHABLE error — possibly
+  // after the router's first write surfaces the crash — never a hang, and
+  // never a wrong-model answer. Unrelated models keep answering normally.
+  client.send("model=alpha topk=2|" + row + "\n");
+  answer = client.read_answer();
+  ASSERT_NE(answer, "<EOF>");
+  EXPECT_EQ(answer.rfind("#error backend_down", 0), 0u) << answer;
+  EXPECT_NE(answer.find("model=alpha"), std::string::npos) << answer;
+  client.send("model=default topk=2|" + row + "\n");
+  answer = client.read_answer();
+  EXPECT_EQ(answer.substr(answer.find(',') + 1), f.expected_a.front());
+
+  // Recovery needs NO router restart: bring a backend up on the same
+  // port; the router re-dials on its probe cadence and re-admits it.
+  backend1 = std::make_unique<ChildProcess>(DISTHD_SERVE_BIN,
+                                            backend_args(f, port1));
+  ASSERT_EQ(backend1->read_listen_port(), port1);
+  bool recovered = false;
+  for (int attempt = 0; attempt < 200 && !recovered; ++attempt) {
+    client.send("model=alpha topk=2|" + row + "\n");
+    answer = client.read_answer();
+    ASSERT_NE(answer, "<EOF>");
+    if (answer.rfind("#error", 0) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      continue;
+    }
+    EXPECT_EQ(answer.substr(answer.find(',') + 1), f.expected_a.front());
+    recovered = true;
+  }
+  EXPECT_TRUE(recovered) << "backend never re-admitted; last: " << answer;
+
+  router.stop();
+  backend0.stop();
+  backend1->stop();
+}
+
+}  // namespace
+}  // namespace disthd

@@ -1,0 +1,157 @@
+// Per-backend FIFO multiplexing under a wedged backend: SIGSTOP one
+// backend (its connections stay OPEN — a hang, not a crash) and prove the
+// router neither reorders nor drops anybody else's responses while one
+// lane is stalled.
+//
+// Health probes are effectively DISABLED here (an hour-long interval):
+// this test is about the multiplexer's answer discipline while a backend
+// is merely slow, before any health verdict — the failover behavior that
+// probes trigger is router_failover_e2e_test.cpp's subject.
+//
+// Topology (golden routes, N=2, R=1): backend0 homes "default" and "m2",
+// backend1 homes "alpha". Client A talks only to the stalled lane
+// (alpha); client B talks only to the live one (default/m2). B must be
+// answered completely, in order, while A is stalled — per-CLIENT answer
+// queues mean A's stall cannot hold B's answers hostage — and after
+// SIGCONT every one of A's answers arrives, in order, none lost.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "proc_harness.hpp"
+
+namespace disthd {
+namespace {
+
+using proctest::ChildProcess;
+using proctest::LineClient;
+using proctest::RouterFixture;
+using proctest::backend_args;
+
+const RouterFixture& fixture() {
+  return proctest::router_fixture(DISTHD_TRAIN_BIN, DISTHD_PREDICT_BIN,
+                                  DISTHD_FIXTURE_DIR);
+}
+
+TEST(RouterOverloadE2e, SigstoppedBackendStallsOnlyItsOwnModels) {
+  const RouterFixture& f = fixture();
+  ChildProcess backend0(DISTHD_SERVE_BIN, backend_args(f));
+  ChildProcess backend1(DISTHD_SERVE_BIN, backend_args(f));
+  const std::uint16_t port0 = backend0.read_listen_port();
+  const std::uint16_t port1 = backend1.read_listen_port();
+  ChildProcess router(
+      DISTHD_ROUTER_BIN,
+      {"--backend", "127.0.0.1:" + std::to_string(port0), "--backend",
+       "127.0.0.1:" + std::to_string(port1), "--listen", "0",
+       "--probe-interval-ms", "3600000"});
+  const std::uint16_t router_port = router.read_listen_port();
+  LineClient stalled_client(router_port);
+  LineClient live_client(router_port);
+
+  // Prove both lanes answer before the wedge.
+  const std::string row = f.query_rows.front();
+  stalled_client.send("model=alpha topk=2|" + row + "\n");
+  std::string answer = stalled_client.read_answer();
+  ASSERT_EQ(answer.substr(answer.find(',') + 1), f.expected_a.front());
+
+  backend1.sig_stop();
+  // Requests into the wedged lane: they will sit in backend1's kernel
+  // buffers with no answer until SIGCONT. Interleave enough of them that
+  // any cross-lane head-of-line blocking in the router would show.
+  constexpr int kStalledRequests = 8;
+  for (int repeat = 0; repeat < kStalledRequests; ++repeat) {
+    stalled_client.send("model=alpha topk=2|" + row + "\n");
+  }
+
+  // The live lane must answer all of this, in request order, while the
+  // other lane is wedged. Alternate the two models homed on backend0 so
+  // the FIFO match order is non-trivial.
+  constexpr int kLivePairs = 16;
+  for (int repeat = 0; repeat < kLivePairs; ++repeat) {
+    live_client.send("model=default topk=2|" + row + "\n");
+    live_client.send("model=m2 topk=2|" + row + "\n");
+  }
+  for (int repeat = 0; repeat < kLivePairs; ++repeat) {
+    answer = live_client.read_answer();
+    ASSERT_NE(answer, "<EOF>");
+    ASSERT_EQ(answer.substr(answer.find(',') + 1), f.expected_a.front())
+        << "pair " << repeat;
+    answer = live_client.read_answer();
+    ASSERT_NE(answer, "<EOF>");
+    ASSERT_EQ(answer.substr(answer.find(',') + 1), f.expected_b.front())
+        << "pair " << repeat;
+  }
+
+  // The wedge ends; everything the stalled lane queued flows — all
+  // kStalledRequests answers, in order, none dropped, none errored.
+  backend1.sig_cont();
+  for (int repeat = 0; repeat < kStalledRequests; ++repeat) {
+    answer = stalled_client.read_answer();
+    ASSERT_NE(answer, "<EOF>") << "answer " << repeat << " lost";
+    ASSERT_EQ(answer.substr(answer.find(',') + 1), f.expected_a.front())
+        << "answer " << repeat;
+  }
+
+  router.stop();
+  backend0.stop();
+  backend1.stop();
+}
+
+TEST(RouterOverloadE2e, ProbesEvictAWedgedBackendAndLateAnswersAreSwallowed) {
+  // The probe-driven counterpart, with replication: R=2 over two backends,
+  // FAST probes. SIGSTOP backend1 with requests in flight on it; the
+  // router must declare it DOWN, fail those requests over to backend0
+  // (answers arrive — correct, in order), and when backend1 wakes up and
+  // flushes its LATE answers, they are discarded, not delivered to anyone
+  // — the next real answers still match the right requests.
+  const RouterFixture& f = fixture();
+  ChildProcess backend0(DISTHD_SERVE_BIN, backend_args(f));
+  ChildProcess backend1(DISTHD_SERVE_BIN, backend_args(f));
+  const std::uint16_t port0 = backend0.read_listen_port();
+  const std::uint16_t port1 = backend1.read_listen_port();
+  ChildProcess router(
+      DISTHD_ROUTER_BIN,
+      {"--backend", "127.0.0.1:" + std::to_string(port0), "--backend",
+       "127.0.0.1:" + std::to_string(port1), "--listen", "0", "--replicas",
+       "2", "--probe-interval-ms", "25", "--probe-timeout-ms", "100",
+       "--probe-fails", "2"});
+  LineClient client(router.read_listen_port());
+  const std::string row = f.query_rows.front();
+
+  backend1.sig_stop();
+  // With R=2 round-robin, half of these land on the wedged backend; the
+  // probes (25ms cadence, 2 misses) evict it well within the test and the
+  // stranded half fails over. Every answer must still arrive, clean.
+  constexpr int kRequests = 12;
+  for (int repeat = 0; repeat < kRequests; ++repeat) {
+    client.send("model=default topk=2|" + row + "\n");
+  }
+  for (int repeat = 0; repeat < kRequests; ++repeat) {
+    const std::string answer = client.read_answer();
+    ASSERT_NE(answer, "<EOF>") << "answer " << repeat << " lost";
+    ASSERT_EQ(answer.rfind("#error", 0), std::string::npos) << answer;
+    ASSERT_EQ(answer.substr(answer.find(',') + 1), f.expected_a.front())
+        << "answer " << repeat;
+  }
+
+  // Wake the wedged backend: its stale answers hit the router's discard
+  // markers. New traffic must stay correct — nothing off-by-one.
+  backend1.sig_cont();
+  for (int repeat = 0; repeat < kRequests; ++repeat) {
+    client.send("model=default topk=2|" + row + "\n");
+    const std::string answer = client.read_answer();
+    ASSERT_NE(answer, "<EOF>");
+    ASSERT_EQ(answer.rfind("#error", 0), std::string::npos) << answer;
+    ASSERT_EQ(answer.substr(answer.find(',') + 1), f.expected_a.front())
+        << "post-wake answer " << repeat;
+  }
+
+  router.stop();
+  backend0.stop();
+  backend1.stop();
+}
+
+}  // namespace
+}  // namespace disthd

@@ -1,0 +1,170 @@
+// Live topology changes, end to end: "topology add/remove/show" against a
+// real router over real backends, with the drain protocol observable from
+// both sides — the admin ack reports the re-homing set, the backends' own
+// serve counters prove exactly that set (and nothing else) moved, and no
+// request EVER answers "#error" because a change was in progress.
+//
+// The golden rendezvous routes (serve/routing_test.cpp) make the re-homing
+// set exact: over backends {0, 1} the models place default->0, alpha->1,
+// m2->0; adding backend 2 re-homes ONLY m2, onto the new backend; removing
+// it re-homes only m2 back. So every ack here asserts "rehomed=1".
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "proc_harness.hpp"
+
+namespace disthd {
+namespace {
+
+using proctest::ChildProcess;
+using proctest::LineClient;
+using proctest::RouterFixture;
+using proctest::backend_args;
+using proctest::stats_requests;
+
+const RouterFixture& fixture() {
+  return proctest::router_fixture(DISTHD_TRAIN_BIN, DISTHD_PREDICT_BIN,
+                                  DISTHD_FIXTURE_DIR);
+}
+
+TEST(RouterTopologyE2e, AddRemoveRehomeExactlyTheRendezvousSet) {
+  const RouterFixture& f = fixture();
+  ChildProcess backend0(DISTHD_SERVE_BIN, backend_args(f));
+  ChildProcess backend1(DISTHD_SERVE_BIN, backend_args(f));
+  ChildProcess backend2(DISTHD_SERVE_BIN, backend_args(f));  // the joiner
+  const std::uint16_t ports[3] = {backend0.read_listen_port(),
+                                  backend1.read_listen_port(),
+                                  backend2.read_listen_port()};
+  const std::string spec2 = "127.0.0.1:" + std::to_string(ports[2]);
+
+  ChildProcess router(DISTHD_ROUTER_BIN,
+                      {"--backend", "127.0.0.1:" + std::to_string(ports[0]),
+                       "--backend", "127.0.0.1:" + std::to_string(ports[1]),
+                       "--listen", "0"});
+  LineClient client(router.read_listen_port());
+  const std::string row = f.query_rows.front();
+  constexpr int kPerModel = 5;
+
+  const auto pump_models = [&] {
+    for (int repeat = 0; repeat < kPerModel; ++repeat) {
+      for (const char* model : {"default", "alpha", "m2"}) {
+        client.send("model=" + std::string(model) + " topk=2|" + row + "\n");
+      }
+    }
+    for (int repeat = 0; repeat < kPerModel * 3; ++repeat) {
+      const std::string answer = client.read_answer();
+      ASSERT_NE(answer, "<EOF>");
+      ASSERT_EQ(answer.rfind("#error", 0), std::string::npos) << answer;
+    }
+  };
+
+  // Teach the router all three models (the re-homing set is computed over
+  // the models the router has SEEN), and set the placement baseline.
+  pump_models();
+  EXPECT_EQ(stats_requests(ports[0], "default"), 5u);
+  EXPECT_EQ(stats_requests(ports[0], "m2"), 5u);
+  EXPECT_EQ(stats_requests(ports[1], "alpha"), 5u);
+
+  // ---- grow: add the third backend, WITH m2 requests in flight ----------
+  // The drain must hold the change until the in-flight m2 requests answer
+  // from their OLD home, park the m2 requests behind the verb, switch,
+  // then replay them on the new home — all answers clean, all in order.
+  std::string burst;
+  for (int repeat = 0; repeat < kPerModel; ++repeat) {
+    burst += "model=m2 topk=2|" + row + "\n";
+  }
+  burst += "topology add " + spec2 + "\n";
+  for (int repeat = 0; repeat < kPerModel; ++repeat) {
+    burst += "model=m2 topk=2|" + row + "\n";
+  }
+  client.send(burst);
+  for (int repeat = 0; repeat < kPerModel; ++repeat) {
+    const std::string answer = client.read_answer();
+    ASSERT_EQ(answer.substr(answer.find(',') + 1), f.expected_b.front())
+        << answer;
+  }
+  EXPECT_EQ(client.read_answer(),
+            "#topology added " + spec2 + " backends=3 rehomed=1");
+  for (int repeat = 0; repeat < kPerModel; ++repeat) {
+    const std::string answer = client.read_answer();
+    ASSERT_EQ(answer.substr(answer.find(',') + 1), f.expected_b.front())
+        << answer;
+  }
+
+  // The pre-verb m2 requests answered from backend 0, the post-verb ones
+  // from backend 2; default and alpha never moved.
+  EXPECT_EQ(stats_requests(ports[0], "m2"), 10u);
+  EXPECT_EQ(stats_requests(ports[2], "m2"), 5u);
+  EXPECT_EQ(stats_requests(ports[2], "default"), 0u);
+  EXPECT_EQ(stats_requests(ports[2], "alpha"), 0u);
+
+  // Steady-state traffic on the grown topology stays clean and keeps the
+  // N=3 golden placement.
+  pump_models();
+  EXPECT_EQ(stats_requests(ports[0], "default"), 10u);
+  EXPECT_EQ(stats_requests(ports[1], "alpha"), 10u);
+  EXPECT_EQ(stats_requests(ports[2], "m2"), 10u);
+  EXPECT_EQ(stats_requests(ports[0], "m2"), 10u);  // unchanged since the add
+
+  // ---- show ---------------------------------------------------------------
+  client.send("topology show\n");
+  const std::string shown = client.read_answer();
+  EXPECT_EQ(shown.rfind("#topology replicas=1 backends=", 0), 0u) << shown;
+  EXPECT_NE(shown.find(spec2 + ":up"), std::string::npos) << shown;
+
+  // ---- shrink: remove the joiner; m2 re-homes BACK to backend 0 ----------
+  client.send("topology remove " + spec2 + "\n");
+  EXPECT_EQ(client.read_answer(),
+            "#topology removed " + spec2 + " backends=2 rehomed=1");
+  pump_models();
+  EXPECT_EQ(stats_requests(ports[0], "m2"), 15u);
+  EXPECT_EQ(stats_requests(ports[2], "m2"), 10u);  // out of rotation
+
+  // The removed backend itself is still a healthy process (a shrink is not
+  // a crash) — it must survive the router closing its connections.
+  client.send("topology show\n");
+  EXPECT_EQ(client.read_answer().find(spec2), std::string::npos);
+
+  // ---- argument errors answer cleanly, in order --------------------------
+  client.send("topology remove 127.0.0.1:1\n");
+  std::string answer = client.read_answer();
+  EXPECT_EQ(answer.rfind("#error topology:", 0), 0u) << answer;
+  client.send("topology frobnicate\n");
+  answer = client.read_answer();
+  EXPECT_EQ(answer.rfind("#error topology:", 0), 0u) << answer;
+  client.send("topology add not-a-spec\n");
+  answer = client.read_answer();
+  EXPECT_EQ(answer.rfind("#error topology:", 0), 0u) << answer;
+
+  router.stop();
+  backend0.stop();
+  backend1.stop();
+  backend2.stop();
+}
+
+TEST(RouterTopologyE2e, RemovingTheLastBackendIsRefused) {
+  const RouterFixture& f = fixture();
+  ChildProcess backend0(DISTHD_SERVE_BIN, backend_args(f));
+  const std::uint16_t port0 = backend0.read_listen_port();
+  const std::string spec0 = "127.0.0.1:" + std::to_string(port0);
+  ChildProcess router(DISTHD_ROUTER_BIN, {"--backend", spec0, "--listen", "0"});
+  LineClient client(router.read_listen_port());
+
+  client.send("topology remove " + spec0 + "\n");
+  const std::string answer = client.read_answer();
+  EXPECT_EQ(answer.rfind("#error topology:", 0), 0u) << answer;
+  EXPECT_NE(answer.find("last backend"), std::string::npos) << answer;
+
+  // Still routing after the refusal.
+  client.send("model=default topk=2|" + f.query_rows.front() + "\n");
+  const std::string predicted = client.read_answer();
+  EXPECT_EQ(predicted.substr(predicted.find(',') + 1), f.expected_a.front());
+
+  router.stop();
+  backend0.stop();
+}
+
+}  // namespace
+}  // namespace disthd

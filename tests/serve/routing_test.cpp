@@ -10,6 +10,7 @@
 //   - Balance: rendezvous scores spread models roughly evenly.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <string>
 #include <vector>
@@ -89,6 +90,56 @@ TEST(Routing, ResizeMovesOnlyOntoTheNewBucket) {
     EXPECT_GT(moved, expected / 2) << "buckets " << buckets;
     EXPECT_LT(moved, expected * 2) << "buckets " << buckets;
   }
+}
+
+TEST(Routing, RankIsAPermutationHeadedByTheRoute) {
+  for (std::size_t buckets = 1; buckets <= 9; ++buckets) {
+    for (const char* name : {"default", "alpha", "m2", "workload-77"}) {
+      const std::vector<std::size_t> rank = rendezvous_rank(name, buckets);
+      ASSERT_EQ(rank.size(), buckets) << name;
+      // rank[0] IS the single-winner route — replicas=1 must route
+      // identically to the pre-replication router.
+      EXPECT_EQ(rank.front(), rendezvous_route(name, buckets)) << name;
+      std::vector<std::size_t> sorted = rank;
+      std::sort(sorted.begin(), sorted.end());
+      for (std::size_t at = 0; at < buckets; ++at) {
+        ASSERT_EQ(sorted[at], at) << name << " is not a permutation";
+      }
+    }
+  }
+}
+
+TEST(Routing, RankKeepsRelativeOrderWhenBucketsGrow) {
+  // Appending bucket N+1 may INSERT it anywhere in a key's order, but the
+  // old buckets' relative order is untouched — per-bucket scores don't
+  // depend on the bucket count. This is what makes replica sets (the first
+  // R entries) stable under growth: a model's replica set changes only by
+  // the new bucket entering it, never by two old buckets swapping.
+  for (std::size_t buckets = 1; buckets <= 8; ++buckets) {
+    for (std::size_t m = 0; m < 64; ++m) {
+      const std::string name = "model-" + std::to_string(m);
+      std::vector<std::size_t> before = rendezvous_rank(name, buckets);
+      std::vector<std::size_t> after = rendezvous_rank(name, buckets + 1);
+      after.erase(std::find(after.begin(), after.end(), buckets));
+      EXPECT_EQ(after, before) << name << " at " << buckets;
+    }
+  }
+}
+
+TEST(Routing, RankPinsReplicaPairsForE2eModels) {
+  // Replica-set goldens for the e2e fixture models, mirroring the pinned
+  // single routes above: with --replicas 2 these pairs are the two
+  // backends each model may be answered from. A hash change shows up here
+  // before it shows up as a flaky failover e2e.
+  using Rank = std::vector<std::size_t>;
+  EXPECT_EQ(rendezvous_rank("default", 2), (Rank{0, 1}));
+  EXPECT_EQ(rendezvous_rank("alpha", 2), (Rank{1, 0}));
+  EXPECT_EQ(rendezvous_rank("m2", 2), (Rank{0, 1}));
+  // At three backends, m2's order leads with the new bucket (it re-homes);
+  // default and alpha keep their winner.
+  EXPECT_EQ(rendezvous_rank("default", 3).front(), 0u);
+  EXPECT_EQ(rendezvous_rank("alpha", 3).front(), 1u);
+  EXPECT_EQ(rendezvous_rank("m2", 3).front(), 2u);
 }
 
 TEST(Routing, SpreadsModelsAcrossBuckets) {

@@ -1,17 +1,60 @@
-// disthd_router — cross-process model sharding for disthd_serve backends.
+// disthd_router — replicated, self-healing cross-process sharding for
+// disthd_serve backends.
 //
 //   disthd_router --backend HOST:PORT [--backend HOST:PORT ...]
 //                 [--listen PORT] [--default-model NAME] [--window K]
+//                 [--replicas R] [--probe-interval-ms MS]
+//                 [--probe-timeout-ms MS] [--probe-fails K]
 //
 // Clients speak the same v2 line protocol they would speak to one
 // disthd_serve --listen shard; the router resolves each request's model=
 // directive (empty = --default-model, "default" by default) and forwards
-// the line VERBATIM to the backend chosen by rendezvous-hashing the
-// resolved name over the backend list (serve/routing.hpp) — the exact hash
-// an EnginePool uses for engine affinity, one level up. Placement is
-// therefore a pure function of (model, backend count): identical across
-// router restarts, and growing N backends to N+1 re-homes only ~K/(N+1)
-// of K models, all onto the new backend.
+// the line VERBATIM to one of the model's replicas. A model's REPLICA SET
+// is the top --replicas R backends of its rendezvous order
+// (serve/routing.hpp rendezvous_rank — the same fully-specified hash an
+// EnginePool uses for engine affinity, one level up), so placement is a
+// pure function of (model, topology): identical across router restarts,
+// and growing N backends to N+1 re-homes only ~K/(N+1) of K models.
+//
+// Three layers on top of plain forwarding:
+//
+//   Replication (--replicas R, default 1). Requests spread across the
+//   live members of the replica set (per-model round-robin), under a
+//   per-client version-monotonicity guarantee: once a client has seen
+//   snapshot version V for a model, it is never answered from a replica
+//   the router knows to be serving < V. The router learns each
+//   (backend, model) high-water version from the answers that flow
+//   through it; a dispatch prefers fresh-or-unknown replicas, and an
+//   answer that comes back below the client's floor is retried on another
+//   replica instead of delivered. When every live replica is KNOWN stale
+//   the request answers "#error version_unavailable ..." rather than
+//   silently rolling the client back.
+//
+//   Health checks. Each backend carries a second, dedicated probe
+//   connection; a "stats model=<probe>" ping goes out every
+//   --probe-interval-ms and must answer within --probe-timeout-ms.
+//   --probe-fails consecutive misses mark the backend DOWN: its in-flight
+//   requests fail over to surviving replicas (their FIFO slots are
+//   replaced with discard markers so late answers from a merely-wedged
+//   backend are swallowed, not mismatched), and new requests skip it. A
+//   probe answer — e.g. after SIGCONT — re-admits it. A CLOSED backend
+//   (crash, kill -9) fails over the same way and is re-dialed every probe
+//   interval (bounded-time connect, net::tcp_connect timeout overload);
+//   after a reconnect the backend stays unroutable until one probe
+//   answers. With R=1 and no live replica, a model's requests answer
+//   "#error backend_down model=..." until its home returns.
+//
+//   Topology changes. The router-level verbs
+//       topology add HOST:PORT | topology remove HOST:PORT | topology show
+//   grow and shrink the backend list live. Backend slots are append-only
+//   with tombstones — a removed backend keeps its rendezvous index — so a
+//   change re-homes EXACTLY the rendezvous re-homing set: the models
+//   whose replica set differs between the old and new topology. Those
+//   models' new requests are parked, their in-flight requests drain, the
+//   route table switches, and the parked requests replay — no request is
+//   ever answered "#error" because a topology change was in progress.
+//   The admin answer ("#topology added ... rehomed=K") is delivered in
+//   the admin client's answer position once the switch completes.
 //
 // Answer discipline mirrors the backends': every forwarded request owns
 // exactly one answer line, and a client's answers arrive in ITS request
@@ -26,17 +69,25 @@
 // untouched, so the backend's "#error" answer flows back like any other
 // and there is exactly one producer of protocol errors. The router
 // answers directly only for what cannot cross it: "stats" WITHOUT model=
-// fans out one line per served model — an unframeable response — and a
-// request routed to a backend that has died.
+// fans out one line per served model — an unframeable response — plus
+// the topology verbs and the backend_down/version_unavailable cases
+// above. A request failed over to a second replica is at-least-once on
+// the backends; predicts are pure reads, so only a failed-over "config"
+// verb can apply twice.
 //
 // --listen 0 (the default) binds an ephemeral port, announced on stdout
 // as "#listen port=N" — same contract as disthd_serve --listen.
 #include <algorithm>
+#include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <deque>
+#include <map>
 #include <memory>
+#include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -51,37 +102,81 @@
 namespace {
 
 using namespace disthd;
+using Clock = std::chrono::steady_clock;
 
 volatile std::sig_atomic_t g_stop = 0;
 void handle_stop_signal(int) { g_stop = 1; }
+
+constexpr std::size_t kNoBackend = static_cast<std::size_t>(-1);
+// Unknown-model stats answer exactly one all-zero "#stats" line over TCP —
+// the cheapest request that proves the backend's serving loop is alive.
+constexpr const char* kProbeLine = "stats model=__disthd_router_probe__";
 
 // One forwarded request, shared between its client's answer queue and its
 // backend's response-match queue. A queue outliving the other side (client
 // gone before the backend answered, backend dead before the client was
 // paid) just orphans the entry; shared_ptr keeps both walks safe.
+//
+// `discard` entries hold a FIFO position for a request that was failed
+// over away from a wedged-but-connected backend: if that backend wakes up
+// and answers, the discard swallows the late answer so the match order
+// stays aligned.
 struct Pending {
+  enum class Kind { client, discard };
+  Kind kind = Kind::client;
   std::uint64_t client_id = 0;  // LineServer session id
   bool ready = false;
   std::string answer;
+  // Re-dispatch state (kind == client):
+  std::string line;   // the request, verbatim, for failover/retry
+  std::string model;  // resolved routing model
+  std::uint64_t min_version = 0;    // client's high-water at dispatch
+  std::vector<std::size_t> tried;   // slots already asked (version retry)
 };
 
+// A backend SLOT. Slots are append-only: a removed backend tombstones
+// (active = false) but keeps its index, so every surviving model's
+// rendezvous scores — and therefore its placement — are untouched.
+// "topology add" of a previously removed spec revives its old slot,
+// restoring the original placement.
 struct Backend {
-  std::string spec;  // HOST:PORT, for error messages
-  std::unique_ptr<net::LineConn> conn;
+  std::string spec;  // HOST:PORT
+  bool active = true;
+  std::unique_ptr<net::LineConn> conn;        // forwarded traffic
+  std::unique_ptr<net::LineConn> probe_conn;  // liveness pings only
+  bool routable = false;  // connected AND probes passing
+  int failed_probes = 0;
+  bool probe_outstanding = false;
+  Clock::time_point probe_sent_at{};
+  Clock::time_point next_probe_at{};
+  Clock::time_point next_reconnect_at{};
   std::deque<std::shared_ptr<Pending>> awaiting;  // oldest first
-  bool dead = false;
+  // Highest snapshot version seen per model — learned from answers,
+  // cleared on disconnect (a restarted process starts its versions over).
+  std::map<std::string, std::uint64_t> versions;
+
+  bool connected() const noexcept { return conn != nullptr; }
 };
 
 struct ClientState {
   std::deque<std::shared_ptr<Pending>> answers;  // request order
+  std::map<std::string, std::uint64_t> high_water;  // model -> max version
+};
+
+struct RouterConfig {
+  std::string default_model = "default";
+  std::size_t window = 256;
+  std::size_t replicas = 1;
+  int probe_interval_ms = 250;
+  int probe_timeout_ms = 1000;
+  int probe_fails = 3;
 };
 
 class Router {
 public:
   Router(std::uint16_t port, const std::vector<std::string>& backend_specs,
-         std::string default_model, std::size_t window)
-      : default_model_(std::move(default_model)),
-        window_(window),
+         RouterConfig config)
+      : config_(std::move(config)),
         server_(loop_, port,
                 net::LineServer::Handlers{
                     [this](net::Session& s) { on_client_open(s); },
@@ -90,21 +185,13 @@ public:
                     },
                     [](net::Session&) {},
                 }) {
-    backends_.reserve(backend_specs.size());
+    slots_.reserve(backend_specs.size());
     for (const auto& spec : backend_specs) {
-      const auto host_port = net::parse_host_port(spec);
-      net::Socket socket = net::tcp_connect(host_port.host, host_port.port);
-      net::set_nonblocking(socket.fd());
       auto backend = std::make_unique<Backend>();
-      Backend* raw = backend.get();
-      raw->spec = spec;
-      raw->conn = std::make_unique<net::LineConn>(
-          loop_, std::move(socket),
-          net::LineConn::Callbacks{
-              [this, raw](std::string& line) { on_backend_line(*raw, line); },
-              [this, raw] { on_backend_close(*raw); },
-          });
-      backends_.push_back(std::move(backend));
+      backend->spec = spec;
+      slots_.push_back(std::move(backend));
+      connect_backend(slots_.size() - 1);  // throws: startup list is load-bearing
+      slots_.back()->routable = true;      // the connect is the first probe
     }
   }
 
@@ -112,12 +199,86 @@ public:
 
   void run() {
     while (!g_stop) {
-      loop_.poll_once(200);
+      loop_.poll_once(50);
+      tick(Clock::now());
       server_.for_each_session([this](net::Session& s) { pump_client(s); });
     }
   }
 
 private:
+  // ---- routing ------------------------------------------------------------
+
+  /// The model's replica set under the CURRENT topology, or under a
+  /// hypothetical one where `flip_slot`'s active bit is inverted (how a
+  /// topology change computes its re-homing set before committing).
+  std::vector<std::size_t> replica_set(const std::string& model,
+                                       std::size_t flip_slot = kNoBackend) const {
+    std::vector<std::size_t> set;
+    for (std::size_t slot : serve::rendezvous_rank(model, slots_.size())) {
+      const bool active =
+          slot == flip_slot ? !slots_[slot]->active : slots_[slot]->active;
+      if (!active) continue;
+      set.push_back(slot);
+      if (set.size() == config_.replicas) break;
+    }
+    return set;
+  }
+
+  /// Picks the replica to ask: live members of the replica set the
+  /// request hasn't tried, excluding those KNOWN to serve below the
+  /// client's version floor; round-robin per model across what remains
+  /// (an unknown version is tried optimistically — the retry path
+  /// handles the rare stale answer and teaches us the version).
+  std::size_t pick_backend(const Pending& pending, bool& any_live) {
+    std::vector<std::size_t> fresh;
+    any_live = false;
+    for (std::size_t slot : replica_set(pending.model)) {
+      const Backend& backend = *slots_[slot];
+      if (!backend.routable || !backend.connected()) continue;
+      any_live = true;
+      if (std::find(pending.tried.begin(), pending.tried.end(), slot) !=
+          pending.tried.end()) {
+        continue;
+      }
+      const auto version = backend.versions.find(pending.model);
+      if (version != backend.versions.end() &&
+          version->second < pending.min_version) {
+        continue;  // known stale: never let it answer this client
+      }
+      fresh.push_back(slot);
+    }
+    if (fresh.empty()) return kNoBackend;
+    return fresh[round_robin_[pending.model]++ % fresh.size()];
+  }
+
+  /// Routes (or parks, during a drain that re-homes its model) one
+  /// client-kind pending. Every exit leaves the pending either awaiting a
+  /// backend, held, or ready with an error answer.
+  void dispatch(const std::shared_ptr<Pending>& pending) {
+    if (drain_ && drain_->rehome.count(pending->model) != 0) {
+      held_.push_back(pending);
+      return;
+    }
+    bool any_live = false;
+    const std::size_t slot = pick_backend(*pending, any_live);
+    if (slot == kNoBackend) {
+      pending->ready = true;
+      pending->answer = serve::format_error(
+          any_live
+              ? "version_unavailable model=" + pending->model +
+                    " min_version=" + std::to_string(pending->min_version)
+              : "backend_down model=" + pending->model);
+      return;
+    }
+    pending->tried.push_back(slot);
+    slots_[slot]->awaiting.push_back(pending);
+    // May close the backend synchronously (EPIPE) — backend_lost() then
+    // re-dispatches this very pending; nothing below touches it.
+    slots_[slot]->conn->send_line(pending->line);
+  }
+
+  // ---- client side --------------------------------------------------------
+
   void on_client_open(net::Session& session) {
     session.user_data = std::make_shared<ClientState>();
     // The router owns the client-facing header; backend headers are
@@ -125,10 +286,8 @@ private:
     session.send_line(serve::response_header());
   }
 
-  void answer_now(net::Session& session, ClientState& state,
-                  std::string answer) {
+  void answer_now(ClientState& state, std::string answer) {
     auto pending = std::make_shared<Pending>();
-    pending->client_id = session.id();
     pending->ready = true;
     pending->answer = std::move(answer);
     state.answers.push_back(std::move(pending));
@@ -136,60 +295,30 @@ private:
 
   void on_client_line(net::Session& session, std::string& line) {
     auto state = std::static_pointer_cast<ClientState>(session.user_data);
-    std::string model;
-    const serve::RouteKind kind = serve::peek_request_route(line, model);
-    if (kind == serve::RouteKind::skip) return;  // no answer slot
-    if (kind == serve::RouteKind::stats && model.empty()) {
-      // One "#stats" line PER SERVED MODEL: the router cannot know where
-      // the response ends, so the verb cannot cross process boundaries.
-      answer_now(session, *state,
-                 serve::format_error(
-                     "stats without model= does not cross the router; "
-                     "ask 'stats model=NAME'"));
-    } else {
-      if (model.empty()) model = default_model_;
-      Backend& backend = *backends_[serve::rendezvous_route(
-          model, backends_.size())];
-      if (backend.dead) {
-        answer_now(session, *state,
-                   serve::format_error("backend " + backend.spec +
-                                       " is down"));
+    if (!handle_topology_verb(*state, line)) {
+      std::string model;
+      const serve::RouteKind kind = serve::peek_request_route(line, model);
+      if (kind == serve::RouteKind::skip) return;  // no answer slot
+      if (kind == serve::RouteKind::stats && model.empty()) {
+        // One "#stats" line PER SERVED MODEL: the router cannot know where
+        // the response ends, so the verb cannot cross process boundaries.
+        answer_now(*state,
+                   serve::format_error(
+                       "stats without model= does not cross the router; "
+                       "ask 'stats model=NAME'"));
       } else {
+        if (model.empty()) model = config_.default_model;
+        seen_models_.insert(model);
         auto pending = std::make_shared<Pending>();
         pending->client_id = session.id();
+        pending->line = line;
+        pending->model = std::move(model);
+        pending->min_version = state->high_water[pending->model];
         state->answers.push_back(pending);
-        backend.awaiting.push_back(std::move(pending));
-        backend.conn->send_line(line);
+        dispatch(pending);
       }
     }
-    if (state->answers.size() >= window_) session.pause_reading();
-  }
-
-  void on_backend_line(Backend& backend, std::string& line) {
-    // Connection metadata, not an answer (sent once per backend session).
-    if (line.rfind("#proto=", 0) == 0) return;
-    if (backend.awaiting.empty()) {
-      std::fprintf(stderr, "warning: unsolicited line from %s dropped\n",
-                   backend.spec.c_str());
-      return;
-    }
-    const auto pending = std::move(backend.awaiting.front());
-    backend.awaiting.pop_front();
-    pending->ready = true;
-    pending->answer = std::move(line);
-  }
-
-  void on_backend_close(Backend& backend) {
-    backend.dead = true;
-    // Every request in flight on this backend gets its answer slot paid
-    // with an error — the clients' answer order must not stall forever.
-    for (const auto& pending : backend.awaiting) {
-      pending->ready = true;
-      pending->answer =
-          serve::format_error("backend " + backend.spec + " died");
-    }
-    backend.awaiting.clear();
-    std::fprintf(stderr, "warning: backend %s closed\n", backend.spec.c_str());
+    if (state->answers.size() >= config_.window) session.pause_reading();
   }
 
   void pump_client(net::Session& session) {
@@ -200,14 +329,369 @@ private:
       session.send_line(answers.front()->answer);
       answers.pop_front();
     }
-    if (answers.size() < window_) session.resume_reading();
+    if (answers.size() < config_.window) session.resume_reading();
   }
 
-  std::string default_model_;
-  std::size_t window_;
+  // ---- backend side -------------------------------------------------------
+
+  /// Connects (or reconnects) both of a slot's connections. Throws on
+  /// failure; callers on the reconnect path catch and re-schedule.
+  void connect_backend(std::size_t slot) {
+    Backend& backend = *slots_[slot];
+    const auto host_port = net::parse_host_port(backend.spec);
+    net::Socket traffic = net::tcp_connect(host_port.host, host_port.port,
+                                           config_.probe_timeout_ms);
+    net::Socket probe = net::tcp_connect(host_port.host, host_port.port,
+                                         config_.probe_timeout_ms);
+    backend.conn = std::make_unique<net::LineConn>(
+        loop_, std::move(traffic),
+        net::LineConn::Callbacks{
+            [this, slot](std::string& answer) { on_backend_line(slot, answer); },
+            [this, slot] { backend_lost(slot); },
+        });
+    backend.probe_conn = std::make_unique<net::LineConn>(
+        loop_, std::move(probe),
+        net::LineConn::Callbacks{
+            [this, slot](std::string& answer) { on_probe_line(slot, answer); },
+            [this, slot] { backend_lost(slot); },
+        });
+    backend.routable = false;  // a probe answer (or startup) admits it
+    backend.failed_probes = 0;
+    backend.probe_outstanding = false;
+    backend.next_probe_at = Clock::now();
+  }
+
+  void on_backend_line(std::size_t slot, std::string& line) {
+    Backend& backend = *slots_[slot];
+    // Connection metadata, not an answer (sent once per backend session).
+    if (line.rfind("#proto=", 0) == 0) return;
+    if (backend.awaiting.empty()) {
+      std::fprintf(stderr, "warning: unsolicited line from %s dropped\n",
+                   backend.spec.c_str());
+      return;
+    }
+    const auto pending = std::move(backend.awaiting.front());
+    backend.awaiting.pop_front();
+    if (pending->kind == Pending::Kind::discard) return;  // failed-over slot
+    if (line.empty() || line[0] == '#') {
+      deliver(pending, std::move(line), 0);  // errors/acks carry no version
+      return;
+    }
+    char* end = nullptr;
+    const std::uint64_t version = std::strtoull(line.c_str(), &end, 10);
+    if (end == line.c_str() || *end != ',') {
+      deliver(pending, std::move(line), 0);  // defensively: not "version,..."
+      return;
+    }
+    auto& high = backend.versions[pending->model];
+    high = std::max(high, version);
+    if (version < pending->min_version) {
+      // A replica still serving below this client's floor must not answer
+      // it; now that its version is known-stale, retry elsewhere.
+      dispatch(pending);
+      return;
+    }
+    deliver(pending, std::move(line), version);
+  }
+
+  void deliver(const std::shared_ptr<Pending>& pending, std::string line,
+               std::uint64_t version) {
+    pending->ready = true;
+    pending->answer = std::move(line);
+    if (version == 0) return;
+    if (net::Session* session = server_.find(pending->client_id)) {
+      auto state = std::static_pointer_cast<ClientState>(session->user_data);
+      auto& high = state->high_water[pending->model];
+      high = std::max(high, version);
+    }
+  }
+
+  void on_probe_line(std::size_t slot, std::string& line) {
+    if (line.rfind("#proto=", 0) == 0) return;
+    Backend& backend = *slots_[slot];
+    // ANY answer on the probe connection proves the process is serving
+    // now — including a late answer to a probe already counted as missed
+    // (the SIGCONT-after-wedge path).
+    backend.failed_probes = 0;
+    backend.probe_outstanding = false;
+    if (!backend.routable && backend.connected()) {
+      backend.routable = true;
+      std::fprintf(stderr, "backend %s re-admitted (probe answered)\n",
+                   backend.spec.c_str());
+    }
+  }
+
+  /// The backend's process is wedged (probes missed) or its connection is
+  /// gone. Fails its in-flight client requests over to surviving
+  /// replicas. `connection_lost` additionally tears both connections down
+  /// and schedules re-dial; a wedged backend keeps its connections — its
+  /// FIFO slots become discards so late answers stay matched.
+  void fail_over(std::size_t slot, bool connection_lost) {
+    Backend& backend = *slots_[slot];
+    backend.routable = false;
+    if (connection_lost) {
+      // Move both conns out first: closing one fires the sibling's
+      // on_close -> backend_lost(), which must see them already gone.
+      auto traffic = std::move(backend.conn);
+      auto probe = std::move(backend.probe_conn);
+      auto awaiting = std::move(backend.awaiting);
+      backend.awaiting.clear();
+      backend.probe_outstanding = false;
+      backend.failed_probes = 0;
+      backend.versions.clear();  // a restarted process re-counts versions
+      backend.next_reconnect_at = Clock::now();
+      for (auto* conn : {traffic.get(), probe.get()}) {
+        if (conn != nullptr && !conn->closed()) conn->close();
+      }
+      loop_.retire(std::move(traffic));
+      loop_.retire(std::move(probe));
+      for (const auto& pending : awaiting) {
+        if (pending->kind == Pending::Kind::client) dispatch(pending);
+      }
+    } else {
+      for (auto& entry : backend.awaiting) {
+        if (entry->kind != Pending::Kind::client) continue;
+        const auto pending = std::move(entry);
+        entry = std::make_shared<Pending>();
+        entry->kind = Pending::Kind::discard;
+        dispatch(pending);
+      }
+    }
+  }
+
+  void backend_lost(std::size_t slot) {
+    Backend& backend = *slots_[slot];
+    if (!backend.conn && !backend.probe_conn) return;  // already handled
+    std::fprintf(stderr, "warning: backend %s closed\n", backend.spec.c_str());
+    fail_over(slot, /*connection_lost=*/true);
+  }
+
+  // ---- timers: probes, reconnects, drains ---------------------------------
+
+  void tick(Clock::time_point now) {
+    for (std::size_t slot = 0; slot < slots_.size(); ++slot) {
+      Backend& backend = *slots_[slot];
+      if (!backend.active && drain_slot() != slot) continue;
+      if (!backend.connected()) {
+        if (now >= backend.next_reconnect_at) {
+          try {
+            connect_backend(slot);
+            std::fprintf(stderr, "backend %s reconnected, probing\n",
+                         backend.spec.c_str());
+          } catch (const std::exception&) {
+            backend.next_reconnect_at =
+                now + std::chrono::milliseconds(config_.probe_interval_ms);
+          }
+        }
+        continue;
+      }
+      if (backend.probe_outstanding &&
+          now - backend.probe_sent_at >=
+              std::chrono::milliseconds(config_.probe_timeout_ms)) {
+        backend.probe_outstanding = false;
+        if (++backend.failed_probes >= config_.probe_fails &&
+            backend.routable) {
+          std::fprintf(stderr,
+                       "warning: backend %s DOWN (%d probes missed)\n",
+                       backend.spec.c_str(), backend.failed_probes);
+          fail_over(slot, /*connection_lost=*/false);
+        }
+      }
+      if (!backend.probe_outstanding && now >= backend.next_probe_at) {
+        backend.probe_conn->send_line(kProbeLine);
+        if (!backend.probe_conn) continue;  // send hit EPIPE -> backend_lost
+        backend.probe_outstanding = true;
+        backend.probe_sent_at = now;
+        backend.next_probe_at =
+            now + std::chrono::milliseconds(config_.probe_interval_ms);
+      }
+    }
+    check_drain();
+  }
+
+  // ---- topology verbs -----------------------------------------------------
+
+  struct Drain {
+    std::shared_ptr<Pending> ack;  // in the admin client's answer queue
+    std::set<std::string> rehome;  // models whose replica set changes
+    std::size_t slot = kNoBackend;
+    bool adding = false;  // apply = activate; else tombstone + teardown
+  };
+
+  std::size_t drain_slot() const {
+    return drain_ && drain_->adding ? drain_->slot : kNoBackend;
+  }
+
+  std::size_t active_backends() const {
+    std::size_t count = 0;
+    for (const auto& backend : slots_) count += backend->active ? 1 : 0;
+    return count;
+  }
+
+  /// Handles "topology ..." lines; returns false when the line is not a
+  /// topology verb (and should flow through normal routing).
+  bool handle_topology_verb(ClientState& state, const std::string& line) {
+    std::vector<std::string> tokens;
+    for (std::size_t at = 0; at < line.size();) {
+      const std::size_t start = line.find_first_not_of(" \t", at);
+      if (start == std::string::npos) break;
+      const std::size_t end = line.find_first_of(" \t", start);
+      tokens.push_back(line.substr(start, (end == std::string::npos
+                                               ? line.size()
+                                               : end) - start));
+      at = end == std::string::npos ? line.size() : end;
+    }
+    if (tokens.empty() || tokens[0] != "topology") return false;
+
+    const std::string verb = tokens.size() > 1 ? tokens[1] : "";
+    if (verb == "show" && tokens.size() == 2) {
+      std::string show = "#topology replicas=" +
+                         std::to_string(config_.replicas) + " backends=";
+      bool first = true;
+      for (const auto& backend : slots_) {
+        if (!backend->active) continue;
+        if (!first) show += ',';
+        first = false;
+        show += backend->spec;
+        show += backend->routable ? ":up" : ":down";
+      }
+      answer_now(state, std::move(show));
+      return true;
+    }
+    if ((verb != "add" && verb != "remove") || tokens.size() != 3) {
+      answer_now(state,
+                 serve::format_error(
+                     "topology: expected 'add HOST:PORT', 'remove "
+                     "HOST:PORT', or 'show'"));
+      return true;
+    }
+    if (drain_) {
+      answer_now(state,
+                 serve::format_error("topology: change already in progress"));
+      return true;
+    }
+    const std::string& spec = tokens[2];
+    try {
+      net::parse_host_port(spec);
+    } catch (const std::exception& error) {
+      answer_now(state, serve::format_error(std::string("topology: ") +
+                                            error.what()));
+      return true;
+    }
+    if (verb == "add") {
+      start_add(state, spec);
+    } else {
+      start_remove(state, spec);
+    }
+    return true;
+  }
+
+  std::size_t find_slot(const std::string& spec, bool active) const {
+    for (std::size_t slot = 0; slot < slots_.size(); ++slot) {
+      if (slots_[slot]->spec == spec && slots_[slot]->active == active) {
+        return slot;
+      }
+    }
+    return kNoBackend;
+  }
+
+  void start_add(ClientState& state, const std::string& spec) {
+    if (find_slot(spec, /*active=*/true) != kNoBackend) {
+      answer_now(state, serve::format_error("topology: backend " + spec +
+                                            " already present"));
+      return;
+    }
+    // Revive a tombstoned slot for a returning spec — its rendezvous index
+    // (and therefore the placement it used to own) comes back with it.
+    std::size_t slot = find_slot(spec, /*active=*/false);
+    const bool appended = slot == kNoBackend;
+    if (appended) {
+      auto backend = std::make_unique<Backend>();
+      backend->spec = spec;
+      backend->active = false;
+      slots_.push_back(std::move(backend));
+      slot = slots_.size() - 1;
+    }
+    try {
+      connect_backend(slot);
+    } catch (const std::exception& error) {
+      if (appended) slots_.pop_back();  // nothing routed there yet
+      answer_now(state, serve::format_error(std::string("topology: ") +
+                                            error.what()));
+      return;
+    }
+    slots_[slot]->routable = true;  // the connect is the first probe
+    begin_drain(state, slot, /*adding=*/true);
+  }
+
+  void start_remove(ClientState& state, const std::string& spec) {
+    const std::size_t slot = find_slot(spec, /*active=*/true);
+    if (slot == kNoBackend) {
+      answer_now(state, serve::format_error("topology: backend " + spec +
+                                            " is not in the topology"));
+      return;
+    }
+    if (active_backends() == 1) {
+      answer_now(state, serve::format_error(
+                            "topology: cannot remove the last backend"));
+      return;
+    }
+    begin_drain(state, slot, /*adding=*/false);
+  }
+
+  void begin_drain(ClientState& state, std::size_t slot, bool adding) {
+    Drain drain;
+    drain.slot = slot;
+    drain.adding = adding;
+    for (const auto& model : seen_models_) {
+      if (replica_set(model) != replica_set(model, slot)) {
+        drain.rehome.insert(model);
+      }
+    }
+    drain.ack = std::make_shared<Pending>();
+    state.answers.push_back(drain.ack);
+    drain_ = std::move(drain);
+    check_drain();  // often nothing is in flight: apply immediately
+  }
+
+  void check_drain() {
+    if (!drain_) return;
+    for (const auto& backend : slots_) {
+      for (const auto& pending : backend->awaiting) {
+        if (pending->kind == Pending::Kind::client &&
+            drain_->rehome.count(pending->model) != 0) {
+          return;  // still draining the re-homing set
+        }
+      }
+    }
+    Drain drain = std::move(*drain_);
+    Backend& backend = *slots_[drain.slot];
+    backend.active = drain.adding;
+    if (!drain.adding && backend.connected()) {
+      // Tombstoned: tear the connections down. Every client pending it
+      // held was for a re-homed model, so its queue is already drained.
+      fail_over(drain.slot, /*connection_lost=*/true);
+    }
+    drain.ack->ready = true;
+    drain.ack->answer = "#topology " +
+                        std::string(drain.adding ? "added " : "removed ") +
+                        backend.spec +
+                        " backends=" + std::to_string(active_backends()) +
+                        " rehomed=" + std::to_string(drain.rehome.size());
+    drain_.reset();
+    auto held = std::move(held_);
+    held_.clear();
+    for (const auto& pending : held) dispatch(pending);
+  }
+
+  RouterConfig config_;
   net::EventLoop loop_;
   net::LineServer server_;
-  std::vector<std::unique_ptr<Backend>> backends_;
+  std::vector<std::unique_ptr<Backend>> slots_;
+  std::set<std::string> seen_models_;  // every model clients ever named
+  std::map<std::string, std::uint64_t> round_robin_;
+  std::optional<Drain> drain_;
+  std::deque<std::shared_ptr<Pending>> held_;  // parked during a drain
 };
 
 }  // namespace
@@ -220,19 +704,32 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: disthd_router --backend HOST:PORT "
                    "[--backend HOST:PORT ...] [--listen PORT] "
-                   "[--default-model NAME] [--window K]\n");
+                   "[--default-model NAME] [--window K] [--replicas R] "
+                   "[--probe-interval-ms MS] [--probe-timeout-ms MS] "
+                   "[--probe-fails K]\n");
       return 2;
     }
     const auto port = static_cast<std::uint16_t>(args.get_int("listen", 0));
-    const std::string default_model = args.get("default-model", "default");
-    const std::size_t window = std::max<long>(1, args.get_int("window", 256));
+    RouterConfig config;
+    config.default_model = args.get("default-model", "default");
+    config.window = static_cast<std::size_t>(
+        std::max<long>(1, args.get_int("window", 256)));
+    config.replicas = static_cast<std::size_t>(
+        std::max<long>(1, args.get_int("replicas", 1)));
+    config.probe_interval_ms = static_cast<int>(
+        std::max<long>(10, args.get_int("probe-interval-ms", 250)));
+    config.probe_timeout_ms = static_cast<int>(
+        std::max<long>(10, args.get_int("probe-timeout-ms", 1000)));
+    config.probe_fails = static_cast<int>(
+        std::max<long>(1, args.get_int("probe-fails", 3)));
 
-    Router router(port, backend_specs, default_model, window);
+    Router router(port, backend_specs, config);
     std::signal(SIGINT, handle_stop_signal);
     std::signal(SIGTERM, handle_stop_signal);
     std::printf("#listen port=%u\n", static_cast<unsigned>(router.port()));
     std::fflush(stdout);
-    std::fprintf(stderr, "routing %zu backend(s)\n", backend_specs.size());
+    std::fprintf(stderr, "routing %zu backend(s), replicas=%zu\n",
+                 backend_specs.size(), config.replicas);
     router.run();
     return 0;
   } catch (const std::exception& error) {
