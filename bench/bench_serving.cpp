@@ -63,6 +63,7 @@
 #include "hd/packed.hpp"
 #include "serve/engine_pool.hpp"
 #include "serve/inference_engine.hpp"
+#include "serve/learn/trainer_plane.hpp"
 #include "serve/model_registry.hpp"
 #include "util/timer.hpp"
 
@@ -314,6 +315,116 @@ PackedScoresResult bench_packed_scores(std::size_t features, std::size_t dim,
   return result;
 }
 
+struct MixedTrainResult {
+  double train_fraction = 0.0;
+  double pure_rps = 0.0;
+  double pure_p99_ms = 0.0;
+  double mixed_rps = 0.0;
+  double mixed_p99_ms = 0.0;
+  std::uint64_t trained_rows = 0;
+  std::uint64_t publishes = 0;
+};
+
+/// ISSUE 9 column: the live training plane's cost to the predict hot path.
+/// Two closed-loop runs against ONE online model served from its own
+/// published snapshots: pure predict, then the same traffic with ~10% of
+/// each client's operations swapped for train-verb ingests (the plane's
+/// trainer thread chunks, fits, and republishes underneath the readers).
+/// rps counts all operations; p50/p99 are over the predicts only, so the
+/// column answers "what does background training do to predict latency".
+MixedTrainResult bench_mixed_train(std::size_t features, std::size_t dim,
+                                   std::size_t classes,
+                                   const util::Matrix& queries,
+                                   std::size_t clients,
+                                   std::size_t requests_per_client,
+                                   std::uint64_t seed) {
+  MixedTrainResult result;
+  result.train_fraction = 0.1;
+  for (const bool mixed : {false, true}) {
+    serve::ModelRegistry registry;
+    serve::learn::TrainerPlane plane(registry);
+    serve::learn::OnlineLearnerConfig learner_config;
+    learner_config.learner.dim = dim;
+    learner_config.learner.seed = seed;
+    learner_config.learner.epochs_per_chunk = 1;
+    learner_config.chunk_rows = 64;
+    learner_config.buffer_capacity = 4096;
+    learner_config.publish_rows = 256;
+    serve::learn::OnlineLearnerSlot& learner =
+        plane.attach_learner("online", features, classes, learner_config);
+    // Prime one chunk synchronously so serving never sees an empty slot.
+    for (std::size_t i = 0; i < learner_config.chunk_rows; ++i) {
+      plane.ingest("online", queries.row(i % queries.rows()),
+                   static_cast<int>(i % classes));
+    }
+    plane.drain("online");
+    plane.start();
+
+    serve::InferenceEngineConfig engine_config;
+    engine_config.max_batch = 64;
+    engine_config.workers = 2;
+    engine_config.queue_capacity = std::max<std::size_t>(1024, clients * 256);
+    engine_config.flush_deadline = std::chrono::microseconds(200);
+    engine_config.default_model = "online";
+    serve::InferenceEngine engine(registry, engine_config);
+
+    std::vector<std::vector<double>> latencies(clients);
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    util::WallTimer wall;
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        auto& samples = latencies[c];
+        samples.reserve(requests_per_client);
+        std::deque<std::pair<util::WallTimer,
+                             std::future<serve::PredictResult>>> inflight;
+        auto drain_front = [&] {
+          inflight.front().second.get();
+          samples.push_back(inflight.front().first.milliseconds());
+          inflight.pop_front();
+        };
+        for (std::size_t r = 0; r < requests_per_client; ++r) {
+          const std::size_t sequence = c * requests_per_client + r;
+          const auto row = queries.row(sequence % queries.rows());
+          if (mixed && r % 10 == 0) {
+            // The train verb's serving-side cost IS the ingest call:
+            // validate + ring append; fitting happens on the plane thread.
+            plane.ingest("online", row,
+                         static_cast<int>(sequence % classes));
+            continue;
+          }
+          if (inflight.size() >= 128) drain_front();
+          inflight.emplace_back(util::WallTimer{}, engine.submit(row));
+        }
+        while (!inflight.empty()) drain_front();
+      });
+    }
+    for (auto& thread : threads) thread.join();
+    const double elapsed = wall.seconds();
+    engine.shutdown();
+    plane.stop();
+
+    const auto total =
+        static_cast<double>(clients * requests_per_client);
+    std::vector<double> all;
+    for (auto& samples : latencies) {
+      all.insert(all.end(), samples.begin(), samples.end());
+    }
+    std::sort(all.begin(), all.end());
+    if (mixed) {
+      result.mixed_rps = total / elapsed;
+      result.mixed_p99_ms = percentile(all, 0.99);
+      const auto stats = learner.stats();
+      result.trained_rows = stats.trained_rows;
+      result.publishes = stats.publishes;
+    } else {
+      result.pure_rps = total / elapsed;
+      result.pure_p99_ms = percentile(all, 0.99);
+    }
+  }
+  return result;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -458,6 +569,20 @@ int main(int argc, char** argv) {
                 row.speedup);
   }
 
+  // Mixed train/predict (ISSUE 9): ~10% of operations are train-verb
+  // ingests feeding the live training plane while predicts keep flowing.
+  const auto mixed_train = bench_mixed_train(features, dim, classes, queries,
+                                             std::max<std::size_t>(2, clients),
+                                             requests, options.seed);
+  std::printf("\nmixed train/predict (%.0f%% train): %.0f rps p99 %.3f ms "
+              "vs pure predict %.0f rps p99 %.3f ms "
+              "(%llu rows trained, %llu publishes mid-flight)\n",
+              mixed_train.train_fraction * 100.0, mixed_train.mixed_rps,
+              mixed_train.mixed_p99_ms, mixed_train.pure_rps,
+              mixed_train.pure_p99_ms,
+              static_cast<unsigned long long>(mixed_train.trained_rows),
+              static_cast<unsigned long long>(mixed_train.publishes));
+
   // Packed-vs-prenormalized scoring micro rows at the configured shape and
   // at the GEMM-bound dim 512 (where scores_batch dominates a request and
   // the ≥2x acceptance target applies).
@@ -499,6 +624,14 @@ int main(int argc, char** argv) {
       << best_multi_affine_packed << ",\n";
   out << "  \"speedup_best_vs_baseline\": " << speedup << ",\n";
   out << "  \"packed_kernel\": \"" << hd::packed_kernel_name() << "\",\n";
+  out << "  \"mixed_train\": {\"train_fraction\": "
+      << mixed_train.train_fraction
+      << ", \"pure_rps\": " << mixed_train.pure_rps
+      << ", \"pure_p99_ms\": " << mixed_train.pure_p99_ms
+      << ", \"mixed_rps\": " << mixed_train.mixed_rps
+      << ", \"mixed_p99_ms\": " << mixed_train.mixed_p99_ms
+      << ", \"trained_rows\": " << mixed_train.trained_rows
+      << ", \"publishes\": " << mixed_train.publishes << "},\n";
   out << "  \"packed_scores\": [\n";
   for (std::size_t i = 0; i < packed_scores.size(); ++i) {
     const auto& row = packed_scores[i];

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/categorize.hpp"
 #include "hd/centering.hpp"
 #include "hd/learner.hpp"
 #include "metrics/accuracy.hpp"
@@ -158,6 +159,32 @@ void OnlineDistHD::partial_fit(const util::Matrix& features,
     session_.run_epoch(reservoir_encoded_, reservoir_labels_);
   }
   ++revision_;
+}
+
+OnlineDriftSignal OnlineDistHD::drift_signal() const {
+  OnlineDriftSignal signal;
+  signal.rows = reservoir_labels_.size();
+  if (signal.rows == 0) return signal;
+  const auto buckets =
+      categorize_top2(session_.model(), reservoir_encoded_, reservoir_labels_);
+  signal.partial = buckets.partial_count;
+  signal.incorrect = buckets.incorrect_count;
+  signal.misled_fraction =
+      static_cast<double>(signal.partial + signal.incorrect) /
+      static_cast<double>(signal.rows);
+  return signal;
+}
+
+std::size_t OnlineDistHD::force_regenerate() {
+  if (reservoir_labels_.empty()) return 0;
+  const std::size_t regenerated = session_.regenerate(
+      reservoir_features_, reservoir_encoded_, reservoir_labels_);
+  if (regenerated == 0) return 0;
+  // Regenerated dimensions start untrained; give them the same immediate
+  // rehearsal epoch the chunk-cadence regeneration path runs.
+  session_.run_epoch(reservoir_encoded_, reservoir_labels_);
+  ++revision_;
+  return regenerated;
 }
 
 int OnlineDistHD::predict(std::span<const float> features) const {

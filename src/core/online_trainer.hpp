@@ -22,6 +22,19 @@
 
 namespace disthd::core {
 
+/// Learner-aware drift probe over the rehearsal reservoir: the same top-2
+/// separability statistic DistHD's regeneration policy consumes (partial =
+/// true label ranked second, incorrect = outside the top two), reported as
+/// the fraction of reservoir samples the current encoding misleads. A
+/// rising misled fraction on recent data IS concept drift as the learner
+/// sees it — no external distribution test required.
+struct OnlineDriftSignal {
+  std::size_t rows = 0;       ///< reservoir rows probed (0 = empty reservoir)
+  std::size_t partial = 0;    ///< true label ranked second
+  std::size_t incorrect = 0;  ///< true label outside the top two
+  double misled_fraction = 0.0;  ///< (partial + incorrect) / rows
+};
+
 struct OnlineDistHDConfig {
   std::size_t dim = 500;
   double learning_rate = 1.0;
@@ -64,6 +77,19 @@ public:
   /// Ingests a labeled chunk: encode, bundle, rehearse, maybe regenerate.
   /// Chunks may have any number of rows >= 1.
   void partial_fit(const util::Matrix& features, std::span<const int> labels);
+
+  /// Probes the reservoir against the current model (see OnlineDriftSignal).
+  /// Read-only; an empty reservoir reports rows == 0.
+  OnlineDriftSignal drift_signal() const;
+
+  /// Regenerates dimensions NOW from the reservoir's statistics (the same
+  /// plumbing partial_fit runs on its chunk cadence) plus one rehearsal
+  /// epoch, regardless of where the chunk counter stands — the hook drift
+  /// detection pulls when the signal fires between cadence points. Returns
+  /// the number of regenerated dimensions (0 when the policy selects none
+  /// or the reservoir is empty); the revision counter advances only when
+  /// the model actually changed.
+  std::size_t force_regenerate();
 
   /// Current-model prediction (usable at any point in the stream).
   int predict(std::span<const float> features) const;

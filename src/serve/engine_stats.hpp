@@ -89,6 +89,15 @@ struct ModelStats {
   std::uint64_t flush_shutdown = 0;
   BatchSizeHistogram batch_sizes;
   LatencyHistogram latency;  ///< submit -> result-ready, microseconds
+  /// Train-plane fields, stamped by learn::TrainerPlane::annotate() after
+  /// the engines' views merge (engines never see the training plane).
+  /// has_learner gates the trained_rows=.. tail of the #stats line — a
+  /// model with no online learner omits the fields entirely.
+  bool has_learner = false;
+  std::uint64_t trained_rows = 0;     ///< rows partial_fit has consumed
+  std::uint64_t train_publishes = 0;  ///< snapshot versions the learner published
+  std::uint64_t drift_regens = 0;     ///< drift-triggered regenerations
+  std::uint64_t buffer_rows = 0;      ///< rows currently buffered for training
 
   double mean_batch_size() const noexcept {
     return batches == 0

@@ -1,0 +1,31 @@
+#include "serve/learn/drift.hpp"
+
+#include <stdexcept>
+
+namespace disthd::serve::learn {
+
+void DriftConfig::validate() const {
+  if (threshold > 1.0) {
+    throw std::invalid_argument("DriftConfig: threshold > 1");
+  }
+}
+
+DriftDetector::DriftDetector(DriftConfig config) : config_(config) {
+  config_.validate();
+}
+
+bool DriftDetector::observe(const core::OnlineDriftSignal& signal,
+                            std::uint64_t trained_rows) {
+  if (!enabled()) return false;
+  if (signal.rows < config_.min_rows) return false;
+  if (triggered_before_ &&
+      trained_rows - last_trigger_rows_ < config_.cooldown_rows) {
+    return false;
+  }
+  if (signal.misled_fraction < config_.threshold) return false;
+  triggered_before_ = true;
+  last_trigger_rows_ = trained_rows;
+  return true;
+}
+
+}  // namespace disthd::serve::learn

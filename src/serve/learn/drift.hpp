@@ -1,0 +1,56 @@
+// Drift detection for the live training plane.
+//
+// DistHD already computes a learner-aware separability signal every time it
+// considers regeneration: the top-2 categorization of recent samples
+// (core::OnlineDriftSignal — partial = true label ranked second, incorrect =
+// outside the top two). The detector watches the misled FRACTION of the
+// learner's rehearsal reservoir after each trained chunk: when the current
+// encoding misleads more than `threshold` of recent data, the distribution
+// has moved out from under the model and the slot forces a regeneration
+// immediately instead of waiting for the chunk cadence — the same
+// trigger-on-signal loop FitSession runs offline, driven by live traffic.
+//
+// The cooldown keeps a hard distribution break from burning a regeneration
+// on every chunk while the freshly regenerated dimensions are still
+// training back up: after a trigger, at least `cooldown_rows` more rows
+// must train before the detector fires again.
+#pragma once
+
+#include <cstddef>
+
+#include "core/online_trainer.hpp"
+
+namespace disthd::serve::learn {
+
+struct DriftConfig {
+  /// Misled-fraction trigger in [0, 1]; negative disables detection.
+  /// 0 fires on every probe (the stress suites' regen-every-publish mode).
+  double threshold = -1.0;
+  /// Don't probe a reservoir smaller than this — a handful of rows makes
+  /// the fraction jump in 1/n steps and false-triggers on noise.
+  std::size_t min_rows = 32;
+  /// Trained rows that must pass after a trigger before the next one.
+  std::size_t cooldown_rows = 0;
+
+  void validate() const;
+};
+
+class DriftDetector {
+public:
+  explicit DriftDetector(DriftConfig config);
+
+  bool enabled() const noexcept { return config_.threshold >= 0.0; }
+
+  /// Feeds one post-chunk probe. Returns true when regeneration should
+  /// fire now; `trained_rows` is the slot's cumulative trained-row count
+  /// (the cooldown clock).
+  bool observe(const core::OnlineDriftSignal& signal,
+               std::uint64_t trained_rows);
+
+private:
+  DriftConfig config_;
+  bool triggered_before_ = false;
+  std::uint64_t last_trigger_rows_ = 0;
+};
+
+}  // namespace disthd::serve::learn

@@ -1,0 +1,202 @@
+#include "serve/learn/online_learner_slot.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "serve/online_publish.hpp"
+
+namespace disthd::serve::learn {
+
+void OnlineLearnerConfig::validate() const {
+  if (buffer_capacity == 0) {
+    throw std::invalid_argument("OnlineLearnerConfig: buffer_capacity == 0");
+  }
+  if (chunk_rows == 0) {
+    throw std::invalid_argument("OnlineLearnerConfig: chunk_rows == 0");
+  }
+  if (chunk_rows > buffer_capacity) {
+    // A full chunk could never form: the ring would shed rows forever
+    // while train_once(full_only) starves.
+    throw std::invalid_argument(
+        "OnlineLearnerConfig: chunk_rows > buffer_capacity");
+  }
+  if (publish_rows == 0) {
+    throw std::invalid_argument("OnlineLearnerConfig: publish_rows == 0");
+  }
+  learner.validate();
+  drift.validate();
+}
+
+OnlineLearnerSlot::OnlineLearnerSlot(std::string model, SnapshotSlot& slot,
+                                     std::size_t num_features,
+                                     std::size_t num_classes,
+                                     OnlineLearnerConfig config)
+    : model_(std::move(model)),
+      slot_(slot),
+      num_features_(num_features),
+      num_classes_(num_classes),
+      config_(config),
+      learner_(num_features, num_classes, config.learner),
+      detector_(config.drift) {
+  config_.validate();
+  // The whole ring is allocated up front: ingest never allocates, and the
+  // plane's resident training memory is visibly fixed at construction.
+  ring_features_.resize(config_.buffer_capacity * num_features_);
+  ring_labels_.resize(config_.buffer_capacity);
+}
+
+std::uint64_t OnlineLearnerSlot::ingest(std::span<const float> features,
+                                        int label) {
+  if (features.size() != num_features_) {
+    throw std::invalid_argument(
+        "train row has " + std::to_string(features.size()) +
+        " features, model '" + model_ + "' expects " +
+        std::to_string(num_features_));
+  }
+  if (label < 0 || static_cast<std::size_t>(label) >= num_classes_) {
+    throw std::invalid_argument(
+        "train label " + std::to_string(label) + " out of range for model '" +
+        model_ + "' (" + std::to_string(num_classes_) + " classes)");
+  }
+  std::lock_guard<std::mutex> lock(buffer_mutex_);
+  if (ring_size_ == config_.buffer_capacity) {
+    // Recent-window semantics: shed the OLDEST row, visibly.
+    ring_head_ = (ring_head_ + 1) % config_.buffer_capacity;
+    --ring_size_;
+    dropped_rows_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const std::size_t slot =
+      (ring_head_ + ring_size_) % config_.buffer_capacity;
+  std::copy(features.begin(), features.end(),
+            ring_features_.begin() +
+                static_cast<std::ptrdiff_t>(slot * num_features_));
+  ring_labels_[slot] = label;
+  if (ring_size_ == 0) oldest_enqueue_time_ = Clock::now();
+  ++ring_size_;
+  buffer_rows_.store(ring_size_, std::memory_order_relaxed);
+  return ingested_rows_.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::size_t OnlineLearnerSlot::pop_chunk_locked(bool full_only,
+                                                Clock::time_point now,
+                                                util::Matrix& features,
+                                                std::vector<int>& labels) {
+  std::lock_guard<std::mutex> lock(buffer_mutex_);
+  if (ring_size_ == 0) return 0;
+  const std::size_t take = std::min(config_.chunk_rows, ring_size_);
+  if (take < config_.chunk_rows && full_only) {
+    // Partial chunks fit only once they have stalled (and only when the
+    // knob is on): chunk boundaries must not depend on trainer timing.
+    if (config_.stall_after.count() <= 0 ||
+        now - oldest_enqueue_time_ < config_.stall_after) {
+      return 0;
+    }
+  }
+  features.reshape_uninitialized(take, num_features_);
+  labels.resize(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    const std::size_t row = (ring_head_ + i) % config_.buffer_capacity;
+    std::copy(ring_features_.begin() +
+                  static_cast<std::ptrdiff_t>(row * num_features_),
+              ring_features_.begin() +
+                  static_cast<std::ptrdiff_t>((row + 1) * num_features_),
+              features.row(i).begin());
+    labels[i] = ring_labels_[row];
+  }
+  ring_head_ = (ring_head_ + take) % config_.buffer_capacity;
+  ring_size_ -= take;
+  // Remaining rows arrived after the popped ones; restarting their stall
+  // clock at `now` under-triggers at worst by one stall_after period.
+  if (ring_size_ > 0) oldest_enqueue_time_ = now;
+  buffer_rows_.store(ring_size_, std::memory_order_relaxed);
+  return take;
+}
+
+std::size_t OnlineLearnerSlot::train_once(bool full_only) {
+  std::lock_guard<std::mutex> train_lock(train_mutex_);
+  util::Matrix chunk;
+  std::vector<int> labels;
+  const std::size_t take =
+      pop_chunk_locked(full_only, Clock::now(), chunk, labels);
+  if (take == 0) return 0;
+
+  // The first chunk is the streaming stand-in for "training time": fit the
+  // min-max scaler on it, then transform every chunk (and fold the scaler
+  // into every published snapshot, so served queries arrive raw).
+  if (!scaler_.fitted()) scaler_.fit(chunk);
+  scaler_.transform(chunk);
+  learner_.partial_fit(chunk, labels);
+  trained_rows_.fetch_add(take, std::memory_order_relaxed);
+  rows_since_publish_ += take;
+  total_regenerated_.store(learner_.total_regenerated(),
+                           std::memory_order_relaxed);
+
+  bool publish_now = rows_since_publish_ >= config_.publish_rows;
+  if (detector_.enabled()) {
+    const auto signal = learner_.drift_signal();
+    if (detector_.observe(signal,
+                          trained_rows_.load(std::memory_order_relaxed)) &&
+        learner_.force_regenerate() > 0) {
+      drift_regens_.fetch_add(1, std::memory_order_relaxed);
+      total_regenerated_.store(learner_.total_regenerated(),
+                               std::memory_order_relaxed);
+      // A regenerated encoding should reach readers now, not at the next
+      // row-cadence point.
+      publish_now = true;
+    }
+  }
+  if (publish_now) do_publish();
+  return take;
+}
+
+bool OnlineLearnerSlot::has_work(Clock::time_point now) const {
+  std::lock_guard<std::mutex> lock(buffer_mutex_);
+  if (ring_size_ >= config_.chunk_rows) return true;
+  return ring_size_ > 0 && config_.stall_after.count() > 0 &&
+         now - oldest_enqueue_time_ >= config_.stall_after;
+}
+
+void OnlineLearnerSlot::maybe_publish_on_time(Clock::time_point now) {
+  if (config_.publish_interval.count() <= 0) return;
+  std::lock_guard<std::mutex> lock(train_mutex_);
+  if (now - last_publish_time_ < config_.publish_interval) return;
+  do_publish();
+}
+
+void OnlineLearnerSlot::flush() {
+  while (train_once(false) > 0) {
+  }
+  std::lock_guard<std::mutex> lock(train_mutex_);
+  do_publish();
+}
+
+void OnlineLearnerSlot::do_publish() {
+  const std::uint64_t version =
+      publish_online(slot_, learner_, published_revision_, scaler_.offset(),
+                     scaler_.scale());
+  rows_since_publish_ = 0;
+  last_publish_time_ = Clock::now();
+  if (version == 0) return;  // revision-gated: the learner was quiet
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+  if (publish_observer_) publish_observer_(version, slot_.current());
+}
+
+TrainStats OnlineLearnerSlot::stats() const {
+  TrainStats out;
+  out.ingested_rows = ingested_rows_.load(std::memory_order_relaxed);
+  out.dropped_rows = dropped_rows_.load(std::memory_order_relaxed);
+  out.trained_rows = trained_rows_.load(std::memory_order_relaxed);
+  out.publishes = publishes_.load(std::memory_order_relaxed);
+  out.drift_regens = drift_regens_.load(std::memory_order_relaxed);
+  out.buffer_rows = buffer_rows_.load(std::memory_order_relaxed);
+  out.total_regenerated =
+      total_regenerated_.load(std::memory_order_relaxed);
+  return out;
+}
+
+void OnlineLearnerSlot::set_publish_observer(PublishObserver observer) {
+  std::lock_guard<std::mutex> lock(train_mutex_);
+  publish_observer_ = std::move(observer);
+}
+
+}  // namespace disthd::serve::learn

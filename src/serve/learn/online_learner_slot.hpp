@@ -1,0 +1,181 @@
+// One model's live training state: a bounded ingest buffer in front of an
+// OnlineDistHD session, publishing into the model's SnapshotSlot.
+//
+// The slot splits the training plane's work across two thread roles:
+//
+//   producers (stdio loop, TCP sessions, the replay feeder) call ingest()
+//   — validate the row, append it to a fixed-capacity ring, bump a
+//   counter. Nothing else: no encoding, no epochs, no publish. When the
+//   ring is full the OLDEST buffered row is dropped (recent-window
+//   semantics) and counted, so a learner that cannot keep up sheds load
+//   visibly instead of growing without bound or back-pressuring the
+//   predict hot path. Resident training memory is capacity * (features +
+//   label) plus the learner's own fixed-size reservoir, REGARDLESS of
+//   stream length — the bounded-memory contract of the plane.
+//
+//   the trainer thread (learn::TrainerPlane) calls train_once() — pop up
+//   to one chunk_rows-sized chunk in arrival order, min-max-scale it
+//   (scaler fitted on the FIRST chunk, the streaming stand-in for
+//   "training time", folded into every published snapshot), partial_fit,
+//   probe for drift, and publish on cadence.
+//
+// Determinism: train_once(full_only=true) only fits FULL chunks, so the
+// sequence of partial_fit calls depends ONLY on the arrival order and
+// chunk_rows — not on trainer-thread timing. A paced feeder (replay mode)
+// therefore reproduces an offline OnlineDistHD fit byte-for-byte; flush()
+// drains the tail (full chunks, then one final partial) the same way the
+// offline fit ends. stall_after trades this away explicitly: when > 0,
+// the plane may fit a PARTIAL chunk once the oldest buffered row has
+// waited that long, keeping a trickle-fed learner fresh at the cost of
+// timing-dependent chunk boundaries (off by default).
+//
+// Publish cadence is decoupled from chunk size: a publish fires when
+// `publish_rows` new rows have trained since the last one, when
+// `publish_interval` has elapsed (checked from the trainer loop), or when
+// drift triggers a regeneration — always through serve::publish_online,
+// i.e. revision-gated deep copies into the versioned SnapshotSlot, so
+// every consistency guarantee readers rely on is untouched.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/online_trainer.hpp"
+#include "data/normalize.hpp"
+#include "serve/learn/drift.hpp"
+#include "serve/model_snapshot.hpp"
+
+namespace disthd::serve::learn {
+
+struct OnlineLearnerConfig {
+  /// The wrapped OnlineDistHD (dim, seed, reservoir capacity, epoch and
+  /// chunk-cadence regeneration knobs).
+  core::OnlineDistHDConfig learner;
+  /// Ingest ring capacity in rows; the oldest row is dropped when full.
+  std::size_t buffer_capacity = 4096;
+  /// Rows per partial_fit chunk.
+  std::size_t chunk_rows = 64;
+  /// Publish after this many newly trained rows (1 = every chunk).
+  std::size_t publish_rows = 1;
+  /// Also publish this long after the previous publish, even mid-count
+  /// (0 disables the time cadence).
+  std::chrono::milliseconds publish_interval{0};
+  /// Fit a PARTIAL chunk when the oldest buffered row has waited this long
+  /// (0 = full chunks only; see the determinism note above).
+  std::chrono::milliseconds stall_after{0};
+  DriftConfig drift;
+
+  void validate() const;
+};
+
+/// A consistent copy of one learner's counters for the stats verb.
+struct TrainStats {
+  std::uint64_t ingested_rows = 0;   ///< rows accepted by ingest()
+  std::uint64_t dropped_rows = 0;    ///< oldest rows shed by a full ring
+  std::uint64_t trained_rows = 0;    ///< rows partial_fit has consumed
+  std::uint64_t publishes = 0;       ///< snapshot versions published
+  std::uint64_t drift_regens = 0;    ///< drift-triggered regenerations
+  std::uint64_t buffer_rows = 0;     ///< rows waiting in the ring now
+  std::uint64_t total_regenerated = 0;  ///< dimensions regenerated (all causes)
+};
+
+class OnlineLearnerSlot {
+public:
+  using Clock = std::chrono::steady_clock;
+  /// Test/observability hook: called under the train lock right after each
+  /// publish with the assigned version and the snapshot now current.
+  using PublishObserver = std::function<void(
+      std::uint64_t version, std::shared_ptr<const ModelSnapshot> snapshot)>;
+
+  /// `slot` must outlive this learner slot (registry slots do: they are
+  /// heap-owned and never removed).
+  OnlineLearnerSlot(std::string model, SnapshotSlot& slot,
+                    std::size_t num_features, std::size_t num_classes,
+                    OnlineLearnerConfig config);
+
+  OnlineLearnerSlot(const OnlineLearnerSlot&) = delete;
+  OnlineLearnerSlot& operator=(const OnlineLearnerSlot&) = delete;
+
+  const std::string& model() const noexcept { return model_; }
+  std::size_t num_features() const noexcept { return num_features_; }
+  std::size_t num_classes() const noexcept { return num_classes_; }
+
+  /// Producer side: validates shape and label range, buffers the row, and
+  /// returns the cumulative accepted count (the train-ack payload). Never
+  /// blocks on training; throws std::invalid_argument on a shape or label
+  /// mismatch (the caller formats the #error).
+  std::uint64_t ingest(std::span<const float> features, int label);
+
+  /// Trainer side: fits at most one chunk (oldest rows first). With
+  /// full_only, does nothing unless chunk_rows rows are buffered. Returns
+  /// the number of rows trained (0 = no work done).
+  std::size_t train_once(bool full_only);
+
+  /// True when a full chunk is buffered, or a partial one has stalled past
+  /// stall_after — i.e. train_once would make progress.
+  bool has_work(Clock::time_point now) const;
+
+  /// Time-cadence publish check, called from the trainer loop. No-op when
+  /// publish_interval is 0, nothing new trained, or the interval since the
+  /// last publish has not elapsed.
+  void maybe_publish_on_time(Clock::time_point now);
+
+  /// Drains the buffer (full chunks in order, then the partial tail) and
+  /// publishes the final state. Used at shutdown and by replay's
+  /// save-bundle path; callable concurrently with the trainer thread (the
+  /// train lock serializes fits).
+  void flush();
+
+  TrainStats stats() const;
+
+  /// Must be set before any train traffic; not synchronized against fits.
+  void set_publish_observer(PublishObserver observer);
+
+private:
+  std::size_t pop_chunk_locked(bool full_only, Clock::time_point now,
+                               util::Matrix& features,
+                               std::vector<int>& labels);
+  void do_publish();  // train_mutex_ held
+
+  const std::string model_;
+  SnapshotSlot& slot_;
+  const std::size_t num_features_;
+  const std::size_t num_classes_;
+  const OnlineLearnerConfig config_;
+
+  // --- ingest ring: producers + trainer pops, under buffer_mutex_ -------
+  mutable std::mutex buffer_mutex_;
+  std::vector<float> ring_features_;  // capacity * num_features, row-major
+  std::vector<int> ring_labels_;
+  std::size_t ring_head_ = 0;  // oldest row
+  std::size_t ring_size_ = 0;
+  Clock::time_point oldest_enqueue_time_{};  // valid while ring_size_ > 0
+
+  // --- training state: trainer thread + flush(), under train_mutex_ -----
+  mutable std::mutex train_mutex_;
+  core::OnlineDistHD learner_;
+  data::Scaler scaler_{data::ScalerKind::min_max};
+  DriftDetector detector_;
+  std::uint64_t published_revision_ = 0;
+  std::size_t rows_since_publish_ = 0;
+  Clock::time_point last_publish_time_{};
+  PublishObserver publish_observer_;
+
+  // --- counters: atomics so stats() never waits on a fit in progress ----
+  std::atomic<std::uint64_t> ingested_rows_{0};
+  std::atomic<std::uint64_t> dropped_rows_{0};
+  std::atomic<std::uint64_t> trained_rows_{0};
+  std::atomic<std::uint64_t> publishes_{0};
+  std::atomic<std::uint64_t> drift_regens_{0};
+  std::atomic<std::uint64_t> buffer_rows_{0};
+  std::atomic<std::uint64_t> total_regenerated_{0};
+};
+
+}  // namespace disthd::serve::learn

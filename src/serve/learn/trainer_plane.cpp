@@ -1,0 +1,163 @@
+#include "serve/learn/trainer_plane.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace disthd::serve::learn {
+
+TrainerPlane::TrainerPlane(ModelRegistry& registry) : registry_(registry) {}
+
+TrainerPlane::~TrainerPlane() { stop(); }
+
+OnlineLearnerSlot& TrainerPlane::attach_learner(const std::string& model,
+                                                std::size_t num_features,
+                                                std::size_t num_classes,
+                                                OnlineLearnerConfig config) {
+  SnapshotSlot& snapshot_slot = registry_.register_model(model);
+  auto learner_slot = std::make_unique<OnlineLearnerSlot>(
+      model, snapshot_slot, num_features, num_classes, config);
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  const auto [it, inserted] = slots_.emplace(model, std::move(learner_slot));
+  if (!inserted) {
+    throw std::invalid_argument("model '" + model +
+                                "' already has an online learner");
+  }
+  return *it->second;
+}
+
+OnlineLearnerSlot* TrainerPlane::find(const std::string& model) const {
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  const auto it = slots_.find(model);
+  // Slots are heap-owned and never removed, so the pointer stays valid for
+  // the plane's lifetime (the registry-slot stability rule, one level up).
+  return it == slots_.end() ? nullptr : it->second.get();
+}
+
+bool TrainerPlane::empty() const {
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  return slots_.empty();
+}
+
+std::uint64_t TrainerPlane::ingest(const std::string& model,
+                                   std::span<const float> features,
+                                   int label) {
+  OnlineLearnerSlot* slot = find(model);
+  if (slot == nullptr) {
+    throw std::invalid_argument("model '" + model +
+                                "' has no online learner");
+  }
+  const std::uint64_t accepted = slot->ingest(features, label);
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    work_signal_ = true;
+  }
+  wake_cv_.notify_one();
+  return accepted;
+}
+
+void TrainerPlane::start() {
+  if (started_ || empty()) return;
+  started_ = true;
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stop_requested_ = false;
+  }
+  trainer_ = std::thread([this] { trainer_loop(); });
+}
+
+void TrainerPlane::trainer_loop() {
+  // The tick bounds how late the stall and publish-interval clocks run
+  // when no ingest wakes the thread.
+  constexpr auto kTick = std::chrono::milliseconds(10);
+  std::vector<OnlineLearnerSlot*> slots;
+  for (;;) {
+    slots.clear();
+    {
+      std::lock_guard<std::mutex> lock(slots_mutex_);
+      for (const auto& [name, slot] : slots_) slots.push_back(slot.get());
+    }
+    bool worked = false;
+    for (OnlineLearnerSlot* slot : slots) {
+      while (slot->has_work(OnlineLearnerSlot::Clock::now())) {
+        if (slot->train_once(true) == 0) break;
+        worked = true;
+      }
+      slot->maybe_publish_on_time(OnlineLearnerSlot::Clock::now());
+    }
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    if (stop_requested_) break;
+    if (!worked && !work_signal_) {
+      wake_cv_.wait_for(lock, kTick,
+                        [this] { return work_signal_ || stop_requested_; });
+    }
+    work_signal_ = false;
+    if (stop_requested_) break;
+  }
+}
+
+void TrainerPlane::stop() {
+  if (started_) {
+    {
+      std::lock_guard<std::mutex> lock(wake_mutex_);
+      stop_requested_ = true;
+    }
+    wake_cv_.notify_all();
+    if (trainer_.joinable()) trainer_.join();
+    started_ = false;
+  }
+  // Drain tails and publish final state — also on a plane that was never
+  // started (stdio replay drives fits through drain(), not the thread).
+  std::vector<OnlineLearnerSlot*> slots;
+  {
+    std::lock_guard<std::mutex> lock(slots_mutex_);
+    for (const auto& [name, slot] : slots_) slots.push_back(slot.get());
+  }
+  for (OnlineLearnerSlot* slot : slots) slot->flush();
+}
+
+void TrainerPlane::drain(const std::string& model) {
+  OnlineLearnerSlot* slot = find(model);
+  if (slot == nullptr) {
+    throw std::invalid_argument("model '" + model +
+                                "' has no online learner");
+  }
+  slot->flush();
+}
+
+void TrainerPlane::annotate(std::vector<ModelStats>& stats) const {
+  std::lock_guard<std::mutex> lock(slots_mutex_);
+  for (const auto& [name, slot] : slots_) {
+    const TrainStats train = slot->stats();
+    ModelStats* row = nullptr;
+    for (auto& entry : stats) {
+      if (entry.model == name) {
+        row = &entry;
+        break;
+      }
+    }
+    if (row == nullptr) {
+      // A learner the engines have no cell for yet (no predict traffic):
+      // report it anyway, counters zero, like the idle-model stats row.
+      stats.emplace_back();
+      row = &stats.back();
+      row->model = name;
+    }
+    row->has_learner = true;
+    row->trained_rows = train.trained_rows;
+    row->train_publishes = train.publishes;
+    row->drift_regens = train.drift_regens;
+    row->buffer_rows = train.buffer_rows;
+    if (row->backend.empty()) {
+      // Engines stamp backend/bytes from the slot at snapshot time; a row
+      // synthesized here does the same so a trained-but-unqueried model
+      // still reports its deployment state.
+      if (const auto snapshot = registry_.current(name)) {
+        row->backend = to_string(snapshot->backend);
+        row->snapshot_bytes = snapshot->resident_bytes();
+      }
+    }
+  }
+}
+
+}  // namespace disthd::serve::learn

@@ -1,0 +1,104 @@
+// The process's training plane: every online learner behind one dedicated
+// trainer thread, beside (never inside) the inference plane.
+//
+// One TrainerPlane serves a whole process, mirroring how one EnginePool
+// serves its predict traffic. attach_learner() registers the model in the
+// shared ModelRegistry (create-or-get, like every other registration path)
+// and hangs an OnlineLearnerSlot off it; the protocol layers (stdio loop,
+// TcpFront) resolve train verbs through ingest(), which is a bounded
+// buffer append — the predict hot path never waits on an epoch, a
+// regeneration, or a publish, because all of those run on the plane's
+// trainer thread.
+//
+// The trainer thread sweeps the slots: fit every FULL chunk that is
+// buffered (arrival order per slot), run each slot's time-cadence publish
+// check, then sleep on a condition variable until ingest() signals new
+// rows (or a short tick elapses, which drives the stall/interval clocks).
+// One thread, many models: training throughput is a shared resource by
+// design — model training trades against OTHER models' training, never
+// against anyone's predict latency.
+//
+// stop() drains every buffer (the tail included) and publishes final
+// state before joining, so shutdown never discards accepted rows; the
+// same drain path backs replay mode's "--save-bundle reflects the full
+// stream" guarantee.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/engine_stats.hpp"
+#include "serve/learn/online_learner_slot.hpp"
+#include "serve/model_registry.hpp"
+
+namespace disthd::serve::learn {
+
+class TrainerPlane {
+public:
+  /// `registry` must outlive the plane.
+  explicit TrainerPlane(ModelRegistry& registry);
+  ~TrainerPlane();  // stop()
+
+  TrainerPlane(const TrainerPlane&) = delete;
+  TrainerPlane& operator=(const TrainerPlane&) = delete;
+
+  /// Registers `model` in the registry (create-or-get) and attaches an
+  /// online learner to its slot. Call before start(); throws
+  /// std::invalid_argument when the model already has a learner.
+  OnlineLearnerSlot& attach_learner(const std::string& model,
+                                    std::size_t num_features,
+                                    std::size_t num_classes,
+                                    OnlineLearnerConfig config);
+
+  /// The model's learner slot, or nullptr when it has none.
+  OnlineLearnerSlot* find(const std::string& model) const;
+
+  bool empty() const;
+
+  /// Protocol entry for one train verb: buffers the row with the model's
+  /// learner and returns the cumulative accepted count (the ack payload).
+  /// Throws std::invalid_argument on an unknown learner or a shape/label
+  /// mismatch — the caller formats the #error.
+  std::uint64_t ingest(const std::string& model,
+                       std::span<const float> features, int label);
+
+  /// Spawns the trainer thread (idempotent; no-op with no learners).
+  void start();
+
+  /// Drains every learner's buffer, publishes final state, joins the
+  /// trainer thread. Idempotent; the destructor calls it.
+  void stop();
+
+  /// Blocking: trains everything `model` has buffered RIGHT NOW (full
+  /// chunks, then the tail) and publishes. The replay feeder's drain
+  /// point; safe alongside a running trainer thread.
+  void drain(const std::string& model);
+
+  /// Stamps the train-plane fields onto `stats` (matching by model name)
+  /// and appends rows for learner models the engines have no cell for yet,
+  /// so `stats` reports every learner even before its first predict.
+  void annotate(std::vector<ModelStats>& stats) const;
+
+private:
+  void trainer_loop();
+
+  ModelRegistry& registry_;
+  mutable std::mutex slots_mutex_;
+  std::map<std::string, std::unique_ptr<OnlineLearnerSlot>> slots_;
+
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
+  bool stop_requested_ = false;
+  bool work_signal_ = false;
+  std::thread trainer_;
+  bool started_ = false;
+};
+
+}  // namespace disthd::serve::learn

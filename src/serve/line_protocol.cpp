@@ -63,6 +63,17 @@ void for_each_token(std::string_view text, Fn&& fn) {
   }
 }
 
+/// True when `trimmed` begins with the train verb: "train" followed by
+/// end-of-line, whitespace, or '|'. The bar may ABUT the verb ("train|1,2,0"
+/// carries no directives), so a whitespace-token check is not enough.
+bool starts_with_train(std::string_view trimmed) {
+  constexpr std::string_view kVerb = "train";
+  if (trimmed.substr(0, kVerb.size()) != kVerb) return false;
+  if (trimmed.size() == kVerb.size()) return true;
+  const char next = trimmed[kVerb.size()];
+  return next == ' ' || next == '\t' || next == '|';
+}
+
 /// The first [ \t]-token of `text` (empty when there is none).
 std::string_view first_token(std::string_view text) {
   const std::size_t start = text.find_first_not_of(" \t");
@@ -198,6 +209,56 @@ bool parse_request_line(const std::string& line, ParsedRequest& request,
     return true;
   }
 
+  // The train verb: one labeled row for the model's online learner. Same
+  // CSV cell rules as a predict row, with the label in the LAST cell (the
+  // disthd_train fixture layout) — except the label cell parses strictly,
+  // and FIRST: a garbage label 0-filling into class 0 would silently
+  // mistrain, and a garbage feature must still report as a feature error.
+  if (starts_with_train(trimmed)) {
+    request.kind = RequestKind::train;
+    constexpr std::size_t kVerbLen = 5;  // "train"
+    const std::size_t bar = trimmed.find('|');
+    if (bar == std::string::npos) {
+      throw std::runtime_error(
+          "train request needs '|' then a features,label row");
+    }
+    for_each_token(std::string_view(trimmed).substr(kVerbLen, bar - kVerbLen),
+                   [&](std::string_view token) {
+      ParsedRequest directive_sink;
+      parse_directive(std::string(token), directive_sink);
+      if (directive_sink.model.empty()) {
+        throw std::runtime_error("train request accepts only 'model=NAME', "
+                                 "got '" + std::string(token) + "'");
+      }
+      request.model = directive_sink.model;
+    });
+    const std::string row = trimmed.substr(bar + 1);
+    const std::size_t row_start = row.find_first_not_of(" \t\r");
+    if (row_start == std::string::npos || row[row_start] == '#') {
+      throw std::runtime_error("train request has no features,label row");
+    }
+    const std::size_t last_comma = row.rfind(',');
+    if (last_comma == std::string::npos) {
+      throw std::runtime_error(
+          "train request needs at least one feature and a label");
+    }
+    const std::string label_cell = row.substr(last_comma + 1);
+    char* end = nullptr;
+    const long label = std::strtol(label_cell.c_str(), &end, 10);
+    while (*end == ' ' || *end == '\t' || *end == '\r') ++end;
+    if (end == label_cell.c_str() || *end != '\0' || label < 0) {
+      throw std::runtime_error("train label '" + label_cell +
+                               "' is not a non-negative integer");
+    }
+    request.label = static_cast<int>(label);
+    if (!parse_feature_line(row.substr(0, last_comma), request.features,
+                            expected_features)) {
+      throw std::runtime_error(
+          "train request needs at least one feature and a label");
+    }
+    return true;
+  }
+
   std::string features_part = line;
   const std::size_t bar = line.find('|');
   if (bar != std::string::npos) {
@@ -224,6 +285,7 @@ RouteKind peek_request_route(const std::string& line, std::string& model) {
   const std::string_view verb = first_token(trimmed);
   const bool is_stats = verb == "stats";
   const bool is_config = verb == "config";
+  const bool is_train = starts_with_train(trimmed);
 
   // Scan for a "model=" token without validating anything else: a router
   // must route malformed lines too, so the BACKEND answers them with the
@@ -231,6 +293,16 @@ RouteKind peek_request_route(const std::string& line, std::string& model) {
   std::string_view scan = trimmed;
   if (is_stats || is_config) {
     scan = trimmed.substr(verb.size());
+  } else if (is_train) {
+    // Directives sit between the verb and the "|" (which may ABUT the verb,
+    // so the whitespace token is not the boundary); a train line somehow
+    // missing its "|" still routes by whatever model= it carries, so the
+    // backend owns the rejection.
+    constexpr std::size_t kVerbLen = 5;  // "train"
+    const std::size_t bar = trimmed.find('|');
+    scan = trimmed.substr(kVerbLen, bar == std::string::npos
+                                        ? std::string_view::npos
+                                        : bar - kVerbLen);
   } else {
     const std::size_t bar = trimmed.find('|');
     if (bar == std::string::npos) return RouteKind::predict;  // v1 row
@@ -244,6 +316,7 @@ RouteKind peek_request_route(const std::string& line, std::string& model) {
     }
   });
   if (is_stats) return RouteKind::stats;
+  if (is_train) return RouteKind::train;
   return is_config ? RouteKind::config : RouteKind::predict;
 }
 
@@ -292,6 +365,18 @@ std::string format_model_stats(const ModelStats& stats) {
                   static_cast<unsigned long long>(stats.snapshot_bytes));
     out += buffer;
   }
+  // Train-plane fields appended after everything else (same fixed-position
+  // safety as backend=); omitted entirely for models with no online learner.
+  if (stats.has_learner) {
+    std::snprintf(buffer, sizeof(buffer),
+                  " trained_rows=%llu publishes=%llu drift_regens=%llu "
+                  "buffer_rows=%llu",
+                  static_cast<unsigned long long>(stats.trained_rows),
+                  static_cast<unsigned long long>(stats.train_publishes),
+                  static_cast<unsigned long long>(stats.drift_regens),
+                  static_cast<unsigned long long>(stats.buffer_rows));
+    out += buffer;
+  }
   return out;
 }
 
@@ -317,6 +402,13 @@ std::string format_config_ack(const std::string& model,
              : std::string("default");
   out += " backend=";
   out += to_string(backend);
+  return out;
+}
+
+std::string format_train_ack(const std::string& model,
+                             std::uint64_t ingested) {
+  std::string out = "#train model=" + model + " ingested=";
+  out += std::to_string(ingested);
   return out;
 }
 

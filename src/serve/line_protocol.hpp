@@ -3,7 +3,7 @@
 //
 // Request grammar (one request per line):
 //
-//   request    = stats-verb / config-verb / predict
+//   request    = stats-verb / config-verb / train-verb / predict
 //   predict    = [ directives "|" ] features
 //   directives = directive *( WSP directive )
 //   directive  = "model=" name          ; registered model (default: the
@@ -12,6 +12,10 @@
 //              / "scores=" ("0" / "1")  ; full score vector too (default 0)
 //   features   = CSV floats (the v1 request line)
 //   stats-verb = "stats" [ WSP "model=" name ]
+//   train-verb = "train" [ WSP "model=" name ] WSP* "|" features "," label
+//                                       ; one labeled row for the model's
+//   label      = 1*DIGIT                ; online learner (the last CSV cell,
+//                                       ; the disthd_train fixture layout)
 //   config-verb = "config" WSP "model=" name   ; live ModelServeConfig
 //                 [ WSP "max_batch=" 1*DIGIT ]  ; retune (omitted knob =
 //                 [ WSP "deadline_us=" 1*DIGIT ]; revert to engine default)
@@ -32,7 +36,7 @@
 // Response grammar (one line per request, in request order):
 //
 //   header   = "#proto=2 version,label,score"
-//   response = predict-resp / error-line / config-ack
+//   response = predict-resp / error-line / config-ack / train-ack
 //   predict-resp = version "," label "," score
 //              *( "," label "," score )      ; ranks 2..topk
 //              [ "|" score *( "," score ) ]  ; full vector iff scores=1
@@ -41,6 +45,11 @@
 //                " deadline_us=" ("default" / 1*DIGIT) " backend=" backend
 //                                           ; backend echoes the slot's now-
 //                                           ; active scoring backend
+//   train-ack  = "#train model=" name " ingested=" 1*DIGIT
+//                                           ; cumulative rows this model's
+//                                           ; learner has accepted; the "#"
+//                                           ; prefix keeps acks comments to
+//                                           ; v1 consumers, like #config
 //
 // A malformed or rejected request (unknown directive, bad topk=, unknown
 // model, field-count mismatch, no published snapshot, ...) answers with an
@@ -66,6 +75,7 @@
 // counters cover every request submitted before it.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -89,12 +99,14 @@ enum class RequestKind {
   predict,  ///< a feature row to score
   stats,    ///< per-model serving statistics ("stats" verb)
   config,   ///< live per-model serve-config retune ("config" verb)
+  train,    ///< one labeled row for the model's online learner ("train" verb)
 };
 
 /// One parsed v2 request line: routing/shape directives + the feature row,
 /// a stats verb (kind == stats; only `model` is meaningful, empty = every
-/// served model), or a config verb (kind == config; `model` + the
-/// `serve_config` overrides, sentinel fields meaning "engine default").
+/// served model), a config verb (kind == config; `model` + the
+/// `serve_config` overrides, sentinel fields meaning "engine default"), or
+/// a train verb (kind == train; `model` + `features` + `label`).
 struct ParsedRequest {
   RequestKind kind = RequestKind::predict;
   std::string model;         // empty = engine default (stats: all models)
@@ -106,6 +118,9 @@ struct ParsedRequest {
   /// line names none (= keep the slot's current backend). Unlike the numeric
   /// knobs the backend choice is sticky — omitting it never reverts.
   std::optional<ScoringBackend> backend;
+  /// Train verb only: the row's class label (the last CSV cell). Range
+  /// validation against the learner's class count happens at ingest.
+  int label = -1;
 };
 
 /// Parses a v2 request line (see the grammar above); plain v1 feature rows
@@ -136,6 +151,11 @@ std::string format_config_ack(const std::string& model,
                               const ModelServeConfig& config,
                               ScoringBackend backend);
 
+/// Formats the "#train ..." acknowledgement line for one accepted training
+/// row: `ingested` is the cumulative row count the model's learner has
+/// accepted, so a client can verify nothing was silently shed.
+std::string format_train_ack(const std::string& model, std::uint64_t ingested);
+
 /// One "#stats" line per entry of `stats` — or only the model named by
 /// `model_filter`, with a single all-zero row when the filter matches no
 /// entry (a registered model that has seen no traffic yet).
@@ -151,6 +171,9 @@ enum class RouteKind {
   stats,    ///< stats verb; an empty model answers with ONE LINE PER MODEL
             ///< and therefore cannot be forwarded through a router
   config,   ///< config verb; routes by its "model=" directive
+  train,    ///< train verb; routes by its "model=" directive — to EVERY
+            ///< live replica of the model, so replicated topologies keep
+            ///< learning from the same stream
 };
 
 /// Best-effort extraction of the model a request line routes by. Never

@@ -1,5 +1,7 @@
 #include "serve/tcp_front.hpp"
 
+#include "serve/learn/trainer_plane.hpp"
+
 #include <chrono>
 #include <deque>
 #include <exception>
@@ -33,10 +35,11 @@ struct TcpFront::SessionState {
 };
 
 TcpFront::TcpFront(ModelRegistry& registry, EnginePool& pool,
-                   TcpFrontConfig config)
+                   TcpFrontConfig config, learn::TrainerPlane* plane)
     : registry_(registry),
       pool_(pool),
       config_(config),
+      plane_(plane),
       server_(loop_, config.port,
               net::LineServer::Handlers{
                   [this](net::Session& s) { on_open(s); },
@@ -91,6 +94,27 @@ void TcpFront::on_line(net::Session& session, std::string& line) {
             request.model, request.serve_config, slot->backend()));
         break;
       }
+      case RequestKind::train: {
+        // Learner ingest is a bounded ring append — cheap enough to run
+        // inline on the loop thread, and the ack is known immediately, so
+        // it parks as a ready line (answer order still holds).
+        if (plane_ == nullptr) {
+          answer.lines.push_back(format_error("no training plane"));
+          answer.was_error = true;
+          break;
+        }
+        const std::string& model =
+            request.model.empty() ? pool_.default_model() : request.model;
+        try {
+          const std::uint64_t ingested =
+              plane_->ingest(model, request.features, request.label);
+          answer.lines.push_back(format_train_ack(model, ingested));
+        } catch (const std::exception& error) {
+          answer.lines.push_back(format_error(error.what()));
+          answer.was_error = true;
+        }
+        break;
+      }
       case RequestKind::predict: {
         PredictRequest predict;
         predict.model = std::move(request.model);
@@ -133,7 +157,9 @@ void TcpFront::pump_session(net::Session& session) {
     if (front.stats) {
       // Every earlier answer of this session has been sent, so the cells
       // already count each request this client submitted before the verb.
-      front.lines = format_stats_lines(pool_.model_stats(), front.stats_model);
+      auto model_stats = pool_.model_stats();
+      if (plane_ != nullptr) plane_->annotate(model_stats);
+      front.lines = format_stats_lines(model_stats, front.stats_model);
       front.stats = false;
     }
     if (front.result) {

@@ -42,6 +42,10 @@
 
 namespace disthd::serve {
 
+namespace learn {
+class TrainerPlane;
+}
+
 struct TcpFrontConfig {
   /// Port to listen on; 0 = kernel-assigned ephemeral port (read back via
   /// port() — how tests avoid port races).
@@ -67,8 +71,12 @@ class TcpFront {
 public:
   /// Binds immediately. `registry` and `pool` must outlive the front;
   /// the registry is needed (beyond the pool) by the config verb, which
-  /// writes slot serve-configs.
-  TcpFront(ModelRegistry& registry, EnginePool& pool, TcpFrontConfig config);
+  /// writes slot serve-configs. `plane`, when given, resolves train verbs
+  /// (learner ingest is a bounded buffer append, so it runs inline on the
+  /// loop thread like a config write); with no plane every train line
+  /// answers "#error no training plane". Must outlive the front too.
+  TcpFront(ModelRegistry& registry, EnginePool& pool, TcpFrontConfig config,
+           learn::TrainerPlane* plane = nullptr);
 
   TcpFront(const TcpFront&) = delete;
   TcpFront& operator=(const TcpFront&) = delete;
@@ -106,6 +114,7 @@ private:
   ModelRegistry& registry_;
   EnginePool& pool_;
   TcpFrontConfig config_;
+  learn::TrainerPlane* plane_;  // nullable: no training plane configured
   net::EventLoop loop_;
   net::LineServer server_;
   // Written on the loop thread only; atomics so monitoring threads (and

@@ -16,7 +16,10 @@
 
 #include <sys/socket.h>
 
+#include <chrono>
 #include <cstring>
+#include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -25,6 +28,7 @@
 #include "hd/model.hpp"
 #include "net/socket.hpp"
 #include "serve/engine_pool.hpp"
+#include "serve/learn/trainer_plane.hpp"
 #include "serve/line_protocol.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/tcp_front.hpp"
@@ -91,11 +95,35 @@ private:
 };
 
 // Registry + pool + front + loop thread, torn down in the right order.
+// with_plane additionally attaches a live training plane (model "online",
+// chunked learner + trainer thread) and records every version the plane
+// publishes, so TCP-level train traffic can be audited after the fact.
 class FrontFixture {
 public:
-  explicit FrontFixture(std::size_t window = 256) {
+  explicit FrontFixture(std::size_t window = 256, bool with_plane = false) {
     registry_.register_model("alpha").publish(make_classifier(1));
     registry_.register_model("beta").publish(make_classifier(2));
+    if (with_plane) {
+      plane_ = std::make_unique<learn::TrainerPlane>(registry_);
+      learn::OnlineLearnerConfig learner_config;
+      learner_config.learner.dim = kDim;
+      learner_config.learner.seed = 7;
+      learner_config.learner.epochs_per_chunk = 1;
+      learner_config.learner.regen_every_chunks = 1;
+      learner_config.learner.reservoir_capacity = 64;
+      learner_config.buffer_capacity = 256;
+      learner_config.chunk_rows = 8;
+      learner_config.publish_rows = 1;
+      learn::OnlineLearnerSlot& slot = plane_->attach_learner(
+          "online", kFeatures, kClasses, learner_config);
+      slot.set_publish_observer(
+          [this](std::uint64_t version,
+                 std::shared_ptr<const ModelSnapshot> /*snapshot*/) {
+            const std::lock_guard<std::mutex> lock(versions_mutex_);
+            published_versions_.insert(version);
+          });
+      plane_->start();
+    }
     EnginePoolConfig config;
     config.engines = 2;
     config.engine.workers = 2;
@@ -104,22 +132,34 @@ public:
     pool_ = std::make_unique<EnginePool>(registry_, config);
     TcpFrontConfig front_config;
     front_config.window = window;
-    front_ = std::make_unique<TcpFront>(registry_, *pool_, front_config);
+    front_ = std::make_unique<TcpFront>(registry_, *pool_, front_config,
+                                        plane_.get());
     loop_thread_ = std::thread([this] { front_->run(); });
   }
 
   ~FrontFixture() {
     front_->request_stop();
     loop_thread_.join();
+    if (plane_) plane_->stop();
     pool_->shutdown();
   }
 
   std::uint16_t port() const { return front_->port(); }
   EnginePool& pool() { return *pool_; }
   const TcpFront& front() const { return *front_; }
+  ModelRegistry& registry() { return registry_; }
+  learn::TrainerPlane& plane() { return *plane_; }
+
+  std::set<std::uint64_t> published_versions() const {
+    const std::lock_guard<std::mutex> lock(versions_mutex_);
+    return published_versions_;
+  }
 
 private:
   ModelRegistry registry_;
+  std::unique_ptr<learn::TrainerPlane> plane_;
+  mutable std::mutex versions_mutex_;
+  std::set<std::uint64_t> published_versions_;
   std::unique_ptr<EnginePool> pool_;
   std::unique_ptr<TcpFront> front_;
   std::thread loop_thread_;
@@ -271,6 +311,105 @@ TEST(TcpFront, WindowBackpressureBoundsButEventuallyAnswersEverything) {
       EXPECT_EQ(line, first) << "answer " << r;  // same row, same answer
     }
   }
+}
+
+// The ISSUE 9 acceptance scenario over the wire: one session interleaves
+// train and predict lines against the same model while the plane's trainer
+// thread chunks, regenerates, and publishes underneath. Every line answers
+// in position (acks carry the cumulative ingest count), no predict is
+// dropped or mis-versioned (every cited version is one the plane actually
+// published, monotone within the session), and the stream crosses at least
+// two published versions while predicts are in flight.
+TEST(TcpFront, TrainVerbStreamsPublishLiveWhilePredictsStayVersioned) {
+  FrontFixture fixture(/*window=*/256, /*with_plane=*/true);
+  BlockingClient client(fixture.port());
+  ASSERT_EQ(client.read_line(), response_header());
+
+  constexpr std::size_t kChunkRows = 8;  // the fixture learner's chunk_rows
+  constexpr std::size_t kTrainRows = kChunkRows * 5;
+  const auto train_line = [](std::size_t row) {
+    return "train model=online|" + feature_csv(100 + row) + "," +
+           std::to_string(row % kClasses) + "\n";
+  };
+
+  // Prime: one full chunk, then wait out the trainer thread's first
+  // publish so the interleaved phase never races the no-snapshot window.
+  std::string burst;
+  for (std::size_t row = 0; row < kChunkRows; ++row) burst += train_line(row);
+  client.send(burst);
+  for (std::size_t row = 0; row < kChunkRows; ++row) {
+    EXPECT_EQ(client.read_line(), format_train_ack("online", row + 1));
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (fixture.registry().find("online")->latest_version() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(fixture.registry().find("online")->latest_version(), 1u);
+
+  // Interleave strictly train,predict,train,predict... in one burst.
+  burst.clear();
+  for (std::size_t row = kChunkRows; row < kTrainRows; ++row) {
+    burst += train_line(row);
+    burst += "model=online|" + feature_csv(500 + row) + "\n";
+  }
+  client.send(burst);
+  std::uint64_t last_version = 0;
+  std::vector<std::uint64_t> cited;
+  for (std::size_t row = kChunkRows; row < kTrainRows; ++row) {
+    EXPECT_EQ(client.read_line(), format_train_ack("online", row + 1));
+    const std::string answer = client.read_line();
+    ASSERT_EQ(answer.rfind("#error", 0), std::string::npos) << answer;
+    const std::uint64_t version = std::stoull(answer);
+    ASSERT_GE(version, last_version) << answer;  // monotone in-session
+    last_version = version;
+    cited.push_back(version);
+  }
+
+  // Let the trainer finish the stream, then audit the versions.
+  const auto train_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (fixture.plane().find("online")->stats().trained_rows < kTrainRows &&
+         std::chrono::steady_clock::now() < train_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(fixture.plane().find("online")->stats().trained_rows, kTrainRows);
+  const auto published = fixture.published_versions();
+  EXPECT_GE(published.size(), 2u);  // the stream crossed live publishes
+  for (const std::uint64_t version : cited) {
+    EXPECT_TRUE(published.count(version))
+        << "predict cited unpublished version " << version;
+  }
+
+  // The stats verb reports the training-plane fields over TCP too.
+  client.send("stats model=online\n");
+  const std::string stats = client.read_line();
+  EXPECT_EQ(stats.rfind("#stats model=online", 0), 0u) << stats;
+  EXPECT_NE(stats.find(" trained_rows=" + std::to_string(kTrainRows)),
+            std::string::npos)
+      << stats;
+  EXPECT_NE(stats.find(" publishes="), std::string::npos) << stats;
+  EXPECT_NE(stats.find(" drift_regens=0"), std::string::npos) << stats;
+  EXPECT_NE(stats.find(" buffer_rows="), std::string::npos) << stats;
+
+  // Malformed train lines answer #error in position; serving continues.
+  client.send("train model=online|1,2,nope\n" + train_line(0));
+  const std::string error = client.read_line();
+  EXPECT_EQ(error.rfind("#error ", 0), 0u) << error;
+  EXPECT_EQ(client.read_line(), format_train_ack("online", kTrainRows + 1));
+}
+
+TEST(TcpFront, TrainWithoutPlaneAnswersErrorInPosition) {
+  FrontFixture fixture;  // no training plane attached
+  BlockingClient client(fixture.port());
+  ASSERT_EQ(client.read_line(), response_header());
+  const std::string row = feature_csv(60);
+  client.send("train model=alpha|" + row + ",1\nmodel=alpha|" + row + "\n");
+  const std::string refusal = client.read_line();
+  EXPECT_EQ(refusal.rfind("#error ", 0), 0u) << refusal;
+  const std::string answer = client.read_line();
+  EXPECT_EQ(answer.rfind("#error", 0), std::string::npos) << answer;
 }
 
 TEST(TcpFront, ClientVanishingMidFlightLeavesTheServerServing) {

@@ -1,0 +1,86 @@
+// Drift detection policy (serve/learn/drift.hpp).
+//
+// The detector is a pure threshold-with-hysteresis over the learner's own
+// top-2 separability signal; these tables pin the gating rules the training
+// plane relies on: disabled by default, silent below min_rows, silent
+// inside the cooldown window, and firing exactly at the threshold.
+#include <gtest/gtest.h>
+
+#include "serve/learn/drift.hpp"
+
+namespace disthd::serve::learn {
+namespace {
+
+core::OnlineDriftSignal signal_of(std::size_t rows, double misled) {
+  core::OnlineDriftSignal signal;
+  signal.rows = rows;
+  signal.misled_fraction = misled;
+  return signal;
+}
+
+TEST(DriftConfig, NegativeThresholdDisablesAboveOneThrows) {
+  DriftConfig config;  // default threshold -1: disabled
+  EXPECT_NO_THROW(config.validate());
+  EXPECT_FALSE(DriftDetector(config).enabled());
+
+  config.threshold = 0.0;  // 0 fires on every eligible probe
+  EXPECT_TRUE(DriftDetector(config).enabled());
+  config.threshold = 1.0;
+  EXPECT_NO_THROW(config.validate());
+
+  config.threshold = 1.5;  // a fraction cannot exceed 1: config bug
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+}
+
+TEST(DriftDetector, DisabledNeverFires) {
+  DriftDetector detector(DriftConfig{});
+  EXPECT_FALSE(detector.observe(signal_of(10000, 1.0), 10000));
+}
+
+TEST(DriftDetector, FiresAtThresholdNotBelow) {
+  DriftConfig config;
+  config.threshold = 0.5;
+  config.min_rows = 1;
+  DriftDetector detector(config);
+  EXPECT_FALSE(detector.observe(signal_of(100, 0.49), 100));
+  EXPECT_TRUE(detector.observe(signal_of(100, 0.5), 200));
+}
+
+TEST(DriftDetector, SmallReservoirIsNoise) {
+  // A near-empty reservoir mislabels a huge fraction trivially; min_rows
+  // keeps the plane from thrashing regenerations during warm-up.
+  DriftConfig config;
+  config.threshold = 0.1;
+  config.min_rows = 32;
+  DriftDetector detector(config);
+  EXPECT_FALSE(detector.observe(signal_of(0, 0.0), 8));
+  EXPECT_FALSE(detector.observe(signal_of(31, 1.0), 31));
+  EXPECT_TRUE(detector.observe(signal_of(32, 1.0), 63));
+}
+
+TEST(DriftDetector, CooldownCountsTrainedRowsBetweenTriggers) {
+  DriftConfig config;
+  config.threshold = 0.2;
+  config.min_rows = 1;
+  config.cooldown_rows = 100;
+  DriftDetector detector(config);
+  EXPECT_TRUE(detector.observe(signal_of(50, 0.9), 1000));
+  // Still drifting, but fewer than cooldown_rows trained since the trigger:
+  // the regeneration it caused needs rehearsal rows before re-probing means
+  // anything.
+  EXPECT_FALSE(detector.observe(signal_of(50, 0.9), 1050));
+  EXPECT_FALSE(detector.observe(signal_of(50, 0.9), 1099));
+  EXPECT_TRUE(detector.observe(signal_of(50, 0.9), 1100));
+}
+
+TEST(DriftDetector, NoCooldownBeforeFirstTrigger) {
+  DriftConfig config;
+  config.threshold = 0.2;
+  config.min_rows = 1;
+  config.cooldown_rows = 1000000;  // must not gate the FIRST trigger
+  DriftDetector detector(config);
+  EXPECT_TRUE(detector.observe(signal_of(50, 0.9), 10));
+}
+
+}  // namespace
+}  // namespace disthd::serve::learn

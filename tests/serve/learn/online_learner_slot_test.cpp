@@ -1,0 +1,332 @@
+// OnlineLearnerSlot (serve/learn/online_learner_slot.hpp): the bounded
+// ingest ring + chunked trainer behind one model's train verb.
+//
+// The two load-bearing contracts proven here:
+//   - bounded memory — the ring never holds more than buffer_capacity rows;
+//     overload sheds the OLDEST rows and counts them, so what trains is
+//     exactly the most recent window (verified against an oracle learner
+//     fed only that window, bit-for-bit);
+//   - chunk determinism — with full-chunk-only fits, the partial_fit
+//     sequence depends only on arrival order and chunk_rows, so the slot
+//     reproduces an offline OnlineDistHD + Scaler pipeline bit-for-bit
+//     (the property the replay mode's byte-identical --save-bundle rests
+//     on).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/online_trainer.hpp"
+#include "data/normalize.hpp"
+#include "data/synthetic.hpp"
+#include "serve/learn/online_learner_slot.hpp"
+#include "serve/model_registry.hpp"
+
+namespace disthd::serve::learn {
+namespace {
+
+constexpr std::size_t kFeatures = 8;
+constexpr std::size_t kClasses = 3;
+constexpr std::size_t kDim = 48;
+
+data::Dataset make_stream(std::size_t rows, std::uint64_t seed = 21) {
+  data::SyntheticSpec spec;
+  spec.num_features = kFeatures;
+  spec.num_classes = kClasses;
+  spec.train_size = rows;
+  spec.test_size = 8;
+  spec.latent_dim = 4;
+  spec.seed = seed;
+  return data::make_synthetic(spec).train;
+}
+
+OnlineLearnerConfig small_config() {
+  OnlineLearnerConfig config;
+  config.learner.dim = kDim;
+  config.learner.seed = 5;
+  config.learner.epochs_per_chunk = 1;
+  config.learner.reservoir_capacity = 128;
+  config.buffer_capacity = 64;
+  config.chunk_rows = 8;
+  return config;
+}
+
+void ingest_rows(OnlineLearnerSlot& slot, const data::Dataset& stream,
+                 std::size_t begin, std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    slot.ingest(stream.features.row(i), stream.labels[i]);
+  }
+}
+
+/// The offline pipeline the slot must reproduce: scaler fitted on the first
+/// chunk, every chunk transformed then partial_fit, in order.
+core::HdcClassifier oracle_fit(const data::Dataset& stream,
+                               const OnlineLearnerConfig& config,
+                               std::size_t rows) {
+  core::OnlineDistHD learner(kFeatures, kClasses, config.learner);
+  data::Scaler scaler(data::ScalerKind::min_max);
+  for (std::size_t at = 0; at < rows; at += config.chunk_rows) {
+    const std::size_t take = std::min(config.chunk_rows, rows - at);
+    std::vector<std::size_t> picks(take);
+    for (std::size_t i = 0; i < take; ++i) picks[i] = at + i;
+    util::Matrix chunk = stream.features.gather_rows(picks);
+    if (!scaler.fitted()) scaler.fit(chunk);
+    scaler.transform(chunk);
+    learner.partial_fit(
+        chunk, std::span<const int>(stream.labels.data() + at, take));
+  }
+  return learner.snapshot();
+}
+
+/// Bit-for-bit classifier comparison through the scoring path both sides
+/// share (raw probe rows; the snapshot applies its own scaler, the oracle
+/// must be compared through an identically-scaled copy — score_raw covers
+/// scaler + encoder + model at once).
+void expect_same_scores(const ModelSnapshot& snapshot,
+                        const core::HdcClassifier& oracle,
+                        const data::Scaler& oracle_scaler,
+                        const util::Matrix& probes) {
+  util::Matrix raw = probes;
+  util::Matrix encoded;
+  util::Matrix got;
+  snapshot.score_raw(raw, encoded, got);
+
+  util::Matrix scaled = probes;
+  oracle_scaler.transform(scaled);
+  util::Matrix want;
+  oracle.scores_batch(scaled, want);
+
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  for (std::size_t r = 0; r < want.rows(); ++r) {
+    for (std::size_t c = 0; c < want.cols(); ++c) {
+      ASSERT_EQ(got(r, c), want(r, c)) << "row " << r << " class " << c;
+    }
+  }
+}
+
+data::Scaler first_chunk_scaler(const data::Dataset& stream,
+                                std::size_t chunk_rows) {
+  std::vector<std::size_t> picks(std::min(chunk_rows, stream.features.rows()));
+  for (std::size_t i = 0; i < picks.size(); ++i) picks[i] = i;
+  util::Matrix chunk = stream.features.gather_rows(picks);
+  data::Scaler scaler(data::ScalerKind::min_max);
+  scaler.fit(chunk);
+  return scaler;
+}
+
+TEST(OnlineLearnerSlot, ConfigRejectsImpossibleShapes) {
+  ModelRegistry registry;
+  SnapshotSlot& snapshot_slot = registry.register_model("m");
+  OnlineLearnerConfig config = small_config();
+  config.chunk_rows = config.buffer_capacity + 1;  // a full chunk never forms
+  EXPECT_THROW(
+      OnlineLearnerSlot("m", snapshot_slot, kFeatures, kClasses, config),
+      std::invalid_argument);
+  config = small_config();
+  config.publish_rows = 0;
+  EXPECT_THROW(
+      OnlineLearnerSlot("m", snapshot_slot, kFeatures, kClasses, config),
+      std::invalid_argument);
+}
+
+TEST(OnlineLearnerSlot, IngestValidatesShapeAndLabel) {
+  ModelRegistry registry;
+  OnlineLearnerSlot slot("m", registry.register_model("m"), kFeatures,
+                         kClasses, small_config());
+  const std::vector<float> good(kFeatures, 0.5f);
+  const std::vector<float> short_row(kFeatures - 1, 0.5f);
+  EXPECT_EQ(slot.ingest(good, 0), 1u);
+  EXPECT_EQ(slot.ingest(good, kClasses - 1), 2u);  // cumulative ack counter
+  EXPECT_THROW(slot.ingest(short_row, 0), std::invalid_argument);
+  EXPECT_THROW(slot.ingest(good, -1), std::invalid_argument);
+  EXPECT_THROW(slot.ingest(good, static_cast<int>(kClasses)),
+               std::invalid_argument);
+  // Rejected rows never enter the ring (and never count as ingested).
+  EXPECT_EQ(slot.stats().ingested_rows, 2u);
+  EXPECT_EQ(slot.stats().buffer_rows, 2u);
+}
+
+TEST(OnlineLearnerSlot, FullChunksOnlyUntilFlush) {
+  ModelRegistry registry;
+  const OnlineLearnerConfig config = small_config();
+  OnlineLearnerSlot slot("m", registry.register_model("m"), kFeatures,
+                         kClasses, config);
+  const auto stream = make_stream(config.chunk_rows + 3);
+
+  ingest_rows(slot, stream, 0, config.chunk_rows - 1);
+  EXPECT_FALSE(slot.has_work(OnlineLearnerSlot::Clock::now()));
+  EXPECT_EQ(slot.train_once(/*full_only=*/true), 0u);  // 7 of 8: no fit
+
+  ingest_rows(slot, stream, config.chunk_rows - 1, config.chunk_rows + 3);
+  EXPECT_TRUE(slot.has_work(OnlineLearnerSlot::Clock::now()));
+  EXPECT_EQ(slot.train_once(/*full_only=*/true), config.chunk_rows);
+  EXPECT_EQ(slot.train_once(/*full_only=*/true), 0u);  // 3-row tail waits
+
+  slot.flush();  // ...until a flush drains it as one partial chunk
+  EXPECT_EQ(slot.stats().trained_rows, config.chunk_rows + 3);
+  EXPECT_EQ(slot.stats().buffer_rows, 0u);
+}
+
+TEST(OnlineLearnerSlot, ChunkedFitMatchesOfflineOracleBitForBit) {
+  ModelRegistry registry;
+  SnapshotSlot& snapshot_slot = registry.register_model("m");
+  const OnlineLearnerConfig config = small_config();
+  // 3 full chunks + a 5-row tail, with regeneration in play (every 2nd
+  // chunk) — the hard case for determinism.
+  const std::size_t rows = config.chunk_rows * 3 + 5;
+  const auto stream = make_stream(rows);
+
+  OnlineLearnerSlot slot("m", snapshot_slot, kFeatures, kClasses, config);
+  ingest_rows(slot, stream, 0, rows);
+  while (slot.train_once(/*full_only=*/true) > 0) {
+  }
+  slot.flush();
+
+  const auto snapshot = snapshot_slot.current();
+  ASSERT_NE(snapshot, nullptr);
+  const auto oracle = oracle_fit(stream, config, rows);
+  const auto scaler = first_chunk_scaler(stream, config.chunk_rows);
+  expect_same_scores(*snapshot, oracle, scaler,
+                     make_stream(8, /*seed=*/99).features);
+}
+
+TEST(OnlineLearnerSlot, OverflowDropsOldestAndTrainsTheRecentWindow) {
+  ModelRegistry registry;
+  SnapshotSlot& snapshot_slot = registry.register_model("m");
+  OnlineLearnerConfig config = small_config();
+  config.buffer_capacity = 16;
+  config.chunk_rows = 8;
+  const std::size_t rows = 40;  // 24 rows must shed
+  const auto stream = make_stream(rows);
+
+  OnlineLearnerSlot slot("m", snapshot_slot, kFeatures, kClasses, config);
+  ingest_rows(slot, stream, 0, rows);  // no trainer pops: ring overflows
+  const auto stats = slot.stats();
+  EXPECT_EQ(stats.ingested_rows, rows);
+  EXPECT_EQ(stats.dropped_rows, rows - config.buffer_capacity);
+  EXPECT_EQ(stats.buffer_rows, config.buffer_capacity);  // the memory bound
+
+  slot.flush();
+  EXPECT_EQ(slot.stats().trained_rows, config.buffer_capacity);
+
+  // What trained is exactly the most recent window — prove it against an
+  // oracle fed only rows [24, 40).
+  data::Dataset window;
+  std::vector<std::size_t> picks(config.buffer_capacity);
+  for (std::size_t i = 0; i < picks.size(); ++i) {
+    picks[i] = rows - config.buffer_capacity + i;
+  }
+  window.features = stream.features.gather_rows(picks);
+  window.labels.assign(stream.labels.begin() + static_cast<std::ptrdiff_t>(
+                           rows - config.buffer_capacity),
+                       stream.labels.end());
+  window.num_classes = stream.num_classes;
+  const auto oracle = oracle_fit(window, config, config.buffer_capacity);
+  const auto scaler = first_chunk_scaler(window, config.chunk_rows);
+  const auto snapshot = snapshot_slot.current();
+  ASSERT_NE(snapshot, nullptr);
+  expect_same_scores(*snapshot, oracle, scaler,
+                     make_stream(8, /*seed=*/99).features);
+}
+
+TEST(OnlineLearnerSlot, PublishCadenceDecouplesFromChunkSize) {
+  ModelRegistry registry;
+  SnapshotSlot& snapshot_slot = registry.register_model("m");
+  OnlineLearnerConfig config = small_config();
+  config.publish_rows = config.chunk_rows * 2;  // publish every 2nd chunk
+  const auto stream = make_stream(config.chunk_rows * 4);
+
+  OnlineLearnerSlot slot("m", snapshot_slot, kFeatures, kClasses, config);
+  ingest_rows(slot, stream, 0, config.chunk_rows * 4);
+  for (int chunk = 0; chunk < 4; ++chunk) {
+    ASSERT_EQ(slot.train_once(/*full_only=*/true), config.chunk_rows);
+  }
+  EXPECT_EQ(slot.stats().publishes, 2u);
+  EXPECT_EQ(snapshot_slot.latest_version(), 2u);
+}
+
+TEST(OnlineLearnerSlot, TimeCadencePublishesMidCount) {
+  ModelRegistry registry;
+  SnapshotSlot& snapshot_slot = registry.register_model("m");
+  OnlineLearnerConfig config = small_config();
+  config.publish_rows = 1000000;  // row cadence effectively off
+  config.publish_interval = std::chrono::milliseconds(1);
+  const auto stream = make_stream(config.chunk_rows);
+
+  OnlineLearnerSlot slot("m", snapshot_slot, kFeatures, kClasses, config);
+  ingest_rows(slot, stream, 0, config.chunk_rows);
+  ASSERT_EQ(slot.train_once(/*full_only=*/true), config.chunk_rows);
+  EXPECT_EQ(snapshot_slot.latest_version(), 0u);  // row cadence not reached
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  slot.maybe_publish_on_time(OnlineLearnerSlot::Clock::now());
+  EXPECT_EQ(snapshot_slot.latest_version(), 1u);
+  // Quiet learner: the next interval tick is revision-gated to a no-op.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  slot.maybe_publish_on_time(OnlineLearnerSlot::Clock::now());
+  EXPECT_EQ(snapshot_slot.latest_version(), 1u);
+}
+
+TEST(OnlineLearnerSlot, StalledPartialChunkTrainsWhenOptedIn) {
+  ModelRegistry registry;
+  OnlineLearnerConfig config = small_config();
+  config.stall_after = std::chrono::milliseconds(1);
+  OnlineLearnerSlot slot("m", registry.register_model("m"), kFeatures,
+                         kClasses, config);
+  const auto stream = make_stream(3);
+  ingest_rows(slot, stream, 0, 3);  // well short of a full chunk
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(slot.has_work(OnlineLearnerSlot::Clock::now()));
+  EXPECT_EQ(slot.train_once(/*full_only=*/true), 3u);
+}
+
+TEST(OnlineLearnerSlot, DriftTriggersRegenerationAndImmediatePublish) {
+  ModelRegistry registry;
+  SnapshotSlot& snapshot_slot = registry.register_model("m");
+  OnlineLearnerConfig config = small_config();
+  config.publish_rows = 1000000;       // only drift can publish here
+  config.drift.threshold = 0.0;        // fire on every eligible probe
+  config.drift.min_rows = 1;
+  config.learner.regen_every_chunks = 0;  // cadence off: drift owns regen
+  const auto stream = make_stream(config.chunk_rows * 2);
+
+  OnlineLearnerSlot slot("m", snapshot_slot, kFeatures, kClasses, config);
+  ingest_rows(slot, stream, 0, config.chunk_rows * 2);
+  ASSERT_EQ(slot.train_once(/*full_only=*/true), config.chunk_rows);
+  ASSERT_EQ(slot.train_once(/*full_only=*/true), config.chunk_rows);
+
+  const auto stats = slot.stats();
+  EXPECT_GE(stats.drift_regens, 1u);
+  EXPECT_GE(stats.publishes, 1u);  // the regenerated encoding reached readers
+  EXPECT_GE(snapshot_slot.latest_version(), 1u);
+}
+
+TEST(OnlineLearnerSlot, PublishObserverSeesEveryVersionInOrder) {
+  ModelRegistry registry;
+  SnapshotSlot& snapshot_slot = registry.register_model("m");
+  const OnlineLearnerConfig config = small_config();
+  const auto stream = make_stream(config.chunk_rows * 3);
+
+  OnlineLearnerSlot slot("m", snapshot_slot, kFeatures, kClasses, config);
+  std::vector<std::uint64_t> versions;
+  slot.set_publish_observer(
+      [&](std::uint64_t version,
+          std::shared_ptr<const ModelSnapshot> snapshot) {
+        ASSERT_NE(snapshot, nullptr);
+        EXPECT_EQ(snapshot->version, version);
+        versions.push_back(version);
+      });
+  ingest_rows(slot, stream, 0, config.chunk_rows * 3);
+  while (slot.train_once(/*full_only=*/true) > 0) {
+  }
+  ASSERT_EQ(versions.size(), 3u);  // publish_rows=1: one per chunk
+  for (std::size_t i = 0; i < versions.size(); ++i) {
+    EXPECT_EQ(versions[i], i + 1);
+  }
+}
+
+}  // namespace
+}  // namespace disthd::serve::learn

@@ -1,0 +1,169 @@
+// TrainerPlane (serve/learn/trainer_plane.hpp): the per-process training
+// plane — learner slots keyed by model, one dedicated trainer thread, and
+// the stats-annotation bridge into the serving verb.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "serve/learn/trainer_plane.hpp"
+#include "serve/model_registry.hpp"
+
+namespace disthd::serve::learn {
+namespace {
+
+constexpr std::size_t kFeatures = 8;
+constexpr std::size_t kClasses = 3;
+
+data::Dataset make_stream(std::size_t rows) {
+  data::SyntheticSpec spec;
+  spec.num_features = kFeatures;
+  spec.num_classes = kClasses;
+  spec.train_size = rows;
+  spec.test_size = 4;
+  spec.latent_dim = 4;
+  spec.seed = 31;
+  return data::make_synthetic(spec).train;
+}
+
+OnlineLearnerConfig small_config() {
+  OnlineLearnerConfig config;
+  config.learner.dim = 48;
+  config.learner.seed = 5;
+  config.learner.epochs_per_chunk = 1;
+  config.learner.reservoir_capacity = 128;
+  config.buffer_capacity = 64;
+  config.chunk_rows = 8;
+  return config;
+}
+
+TEST(TrainerPlane, AttachRegistersFindsAndRejectsDuplicates) {
+  ModelRegistry registry;
+  TrainerPlane plane(registry);
+  EXPECT_TRUE(plane.empty());
+  EXPECT_EQ(plane.find("online"), nullptr);
+
+  OnlineLearnerSlot& slot =
+      plane.attach_learner("online", kFeatures, kClasses, small_config());
+  EXPECT_FALSE(plane.empty());
+  EXPECT_EQ(plane.find("online"), &slot);
+  // The learner's model is a first-class registry citizen: predicts route
+  // to it (and answer "#error no snapshot" until the first publish).
+  EXPECT_NE(registry.find("online"), nullptr);
+
+  EXPECT_THROW(
+      plane.attach_learner("online", kFeatures, kClasses, small_config()),
+      std::invalid_argument);
+}
+
+TEST(TrainerPlane, IngestWithoutLearnerThrows) {
+  ModelRegistry registry;
+  TrainerPlane plane(registry);
+  const std::vector<float> row(kFeatures, 0.5f);
+  EXPECT_THROW(plane.ingest("ghost", row, 0), std::invalid_argument);
+  plane.attach_learner("online", kFeatures, kClasses, small_config());
+  EXPECT_THROW(plane.ingest("ghost", row, 0), std::invalid_argument);
+  EXPECT_EQ(plane.ingest("online", row, 0), 1u);
+}
+
+TEST(TrainerPlane, TrainerThreadFitsAndPublishesWithoutCallerHelp) {
+  ModelRegistry registry;
+  TrainerPlane plane(registry);
+  const OnlineLearnerConfig config = small_config();
+  plane.attach_learner("online", kFeatures, kClasses, config);
+  plane.start();
+
+  const std::size_t rows = config.chunk_rows * 3;
+  const auto stream = make_stream(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    plane.ingest("online", stream.features.row(i), stream.labels[i]);
+  }
+
+  // The full chunks train on the plane's thread; poll for the counters
+  // (bounded wait, not a sleep-and-hope).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (plane.find("online")->stats().trained_rows < rows &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(plane.find("online")->stats().trained_rows, rows);
+  EXPECT_GE(registry.find("online")->latest_version(), 1u);
+  plane.stop();
+}
+
+TEST(TrainerPlane, StopDrainsTailsEvenWhenNeverStarted) {
+  ModelRegistry registry;
+  TrainerPlane plane(registry);
+  const OnlineLearnerConfig config = small_config();
+  plane.attach_learner("online", kFeatures, kClasses, config);
+
+  const std::size_t rows = config.chunk_rows + 3;  // one chunk + a tail
+  const auto stream = make_stream(rows);
+  for (std::size_t i = 0; i < rows; ++i) {
+    plane.ingest("online", stream.features.row(i), stream.labels[i]);
+  }
+  plane.stop();  // never started: stop() still flushes and publishes
+  EXPECT_EQ(plane.find("online")->stats().trained_rows, rows);
+  EXPECT_EQ(plane.find("online")->stats().buffer_rows, 0u);
+  EXPECT_GE(registry.find("online")->latest_version(), 1u);
+}
+
+TEST(TrainerPlane, DrainFlushesOneModelSynchronously) {
+  ModelRegistry registry;
+  TrainerPlane plane(registry);
+  const OnlineLearnerConfig config = small_config();
+  plane.attach_learner("online", kFeatures, kClasses, config);
+  EXPECT_THROW(plane.drain("ghost"), std::invalid_argument);
+
+  const auto stream = make_stream(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    plane.ingest("online", stream.features.row(i), stream.labels[i]);
+  }
+  plane.drain("online");
+  EXPECT_EQ(plane.find("online")->stats().trained_rows, 5u);
+  EXPECT_EQ(registry.find("online")->latest_version(), 1u);
+}
+
+TEST(TrainerPlane, AnnotateStampsMatchingRowsAndAppendsMissingOnes) {
+  ModelRegistry registry;
+  TrainerPlane plane(registry);
+  const OnlineLearnerConfig config = small_config();
+  plane.attach_learner("online", kFeatures, kClasses, config);
+
+  const auto stream = make_stream(config.chunk_rows);
+  for (std::size_t i = 0; i < config.chunk_rows; ++i) {
+    plane.ingest("online", stream.features.row(i), stream.labels[i]);
+  }
+  plane.drain("online");
+
+  // Case 1: the engine already has a cell for the model — stamp in place.
+  std::vector<ModelStats> stats(2);
+  stats[0].model = "static";
+  stats[1].model = "online";
+  stats[1].requests = 7;
+  plane.annotate(stats);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_FALSE(stats[0].has_learner);  // non-learner rows untouched
+  EXPECT_TRUE(stats[1].has_learner);
+  EXPECT_EQ(stats[1].requests, 7u);  // engine counters survive
+  EXPECT_EQ(stats[1].trained_rows, config.chunk_rows);
+  EXPECT_EQ(stats[1].train_publishes, 1u);
+  EXPECT_EQ(stats[1].buffer_rows, 0u);
+
+  // Case 2: no predict traffic yet — the learner still reports a row, with
+  // its deployment state pulled from the registry snapshot.
+  std::vector<ModelStats> empty_stats;
+  plane.annotate(empty_stats);
+  ASSERT_EQ(empty_stats.size(), 1u);
+  EXPECT_EQ(empty_stats[0].model, "online");
+  EXPECT_TRUE(empty_stats[0].has_learner);
+  EXPECT_EQ(empty_stats[0].trained_rows, config.chunk_rows);
+  EXPECT_FALSE(empty_stats[0].backend.empty());
+  EXPECT_GT(empty_stats[0].snapshot_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace disthd::serve::learn

@@ -134,6 +134,35 @@ TEST(ParseRequestLine, ConfigVerbParsesKnobsAndSentinels) {
   EXPECT_EQ(request.serve_config.flush_deadline.count(), 0);
 }
 
+TEST(ParseRequestLine, TrainVerbParsesFeaturesAndLabel) {
+  ParsedRequest request;
+  ASSERT_TRUE(parse_request_line("train model=alpha|1.5,-2,0.25,3", request));
+  EXPECT_EQ(request.kind, RequestKind::train);
+  EXPECT_EQ(request.model, "alpha");
+  ASSERT_EQ(request.features.size(), 3u);  // last cell peeled off as label
+  EXPECT_FLOAT_EQ(request.features[0], 1.5f);
+  EXPECT_FLOAT_EQ(request.features[1], -2.0f);
+  EXPECT_FLOAT_EQ(request.features[2], 0.25f);
+  EXPECT_EQ(request.label, 3);
+
+  // model= is optional (the server resolves the default model), tabs split
+  // the directive prefix like every other verb.
+  ASSERT_TRUE(parse_request_line("train\t|0.5,1", request));
+  EXPECT_TRUE(request.model.empty());
+  ASSERT_EQ(request.features.size(), 1u);
+  EXPECT_EQ(request.label, 1);
+}
+
+TEST(ParseRequestLine, TrainVerbEnforcesExpectedFeatures) {
+  // expected_features counts FEATURES, not cells: a 3-feature model takes a
+  // 4-cell train row (features + label).
+  ParsedRequest request;
+  ASSERT_TRUE(parse_request_line("train|1,2,3,0", request, 3));
+  EXPECT_EQ(request.features.size(), 3u);
+  EXPECT_THROW(parse_request_line("train|1,2,0", request, 3),
+               std::runtime_error);
+}
+
 // ---- parse_request_line: the malformed-input table -----------------------
 
 TEST(ParseRequestLine, MalformedLinesThrowInsteadOfKillingTheServer) {
@@ -170,6 +199,21 @@ TEST(ParseRequestLine, MalformedLinesThrowInsteadOfKillingTheServer) {
       {"config model=a deadline_us=-1", "is not an integer >= 0"},
       {"config model=a knob=1", "unknown config directive"},
       {"config model=a max_batch", "expected key=value"},
+      {"train", "needs '|'"},
+      {"train model=a", "needs '|'"},
+      {"train model=a|", "no features,label row"},
+      {"train model=a|# nope", "no features,label row"},
+      {"train|7", "at least one feature and a label"},
+      {"train topk=2|1,2,0", "accepts only 'model=NAME'"},
+      {"train model=|1,2,0", "names no model"},
+      // A garbage label must REJECT, not 0-fill into class 0 and silently
+      // mistrain (the predict-row NaN policy stops at the label cell).
+      {"train model=a|1,2,cat", "not a non-negative integer"},
+      {"train model=a|1,2,-1", "not a non-negative integer"},
+      {"train model=a|1,2,1.5", "not a non-negative integer"},
+      {"train model=a|1,2,3x", "not a non-negative integer"},
+      {"train model=a|1,2,", "not a non-negative integer"},
+      {"train model=a|1,2.3.4,0", "trailing garbage"},
   };
   for (const Case& test_case : cases) {
     ParsedRequest request;
@@ -204,6 +248,14 @@ TEST(PeekRequestRoute, RoutesWithoutValidating) {
       {"stats", RouteKind::stats, ""},
       {"stats model=alpha", RouteKind::stats, "alpha"},
       {"config model=beta max_batch=4", RouteKind::config, "beta"},
+      {"train model=alpha|1,2,0", RouteKind::train, "alpha"},
+      {"train|1,2,0", RouteKind::train, ""},  // default model
+      // Malformed train lines still route by whatever model= they carry
+      // (no '|', garbage label) — the backend owns the "#error" answer.
+      {"train model=alpha", RouteKind::train, "alpha"},
+      {"train model=alpha|1,2,cat", RouteKind::train, "alpha"},
+      // ...and "model=" INSIDE the row is row data, not a directive.
+      {"train|model=fake,1,0", RouteKind::train, ""},
       // Malformed lines still route (the backend owns the rejection)...
       {"topk=zero model=alpha|1,2", RouteKind::predict, "alpha"},
       {"garbage directives|1,2", RouteKind::predict, ""},
@@ -241,6 +293,33 @@ TEST(FormatConfigAck, PrintsSentinelsAsDefault) {
   EXPECT_EQ(format_config_ack("alpha", config, ScoringBackend::packed),
             "#config model=alpha max_batch=16 deadline_us=250 "
             "backend=packed");
+}
+
+TEST(FormatTrainAck, NamesModelAndCumulativeCount) {
+  EXPECT_EQ(format_train_ack("alpha", 1), "#train model=alpha ingested=1");
+  EXPECT_EQ(format_train_ack("o", 12345), "#train model=o ingested=12345");
+}
+
+TEST(FormatModelStats, TrainFieldsAppendAfterEverythingElse) {
+  // Fixed-position safety: the train-plane fields must extend the line at
+  // the END (after backend=/snapshot_bytes=) and be omitted entirely for a
+  // model with no learner — existing consumers parse by position.
+  ModelStats stats;
+  stats.model = "alpha";
+  stats.backend = "prenorm";
+  const std::string without = format_model_stats(stats);
+  EXPECT_EQ(without.find("trained_rows="), std::string::npos);
+
+  stats.has_learner = true;
+  stats.trained_rows = 120;
+  stats.train_publishes = 3;
+  stats.drift_regens = 1;
+  stats.buffer_rows = 17;
+  const std::string with = format_model_stats(stats);
+  ASSERT_EQ(with.rfind(without, 0), 0u)  // strict prefix: nothing shifted
+      << "learner fields must only append, got: " << with;
+  EXPECT_EQ(with.substr(without.size()),
+            " trained_rows=120 publishes=3 drift_regens=1 buffer_rows=17");
 }
 
 TEST(FormatStatsLines, FiltersAndReportsIdleModels) {

@@ -21,12 +21,14 @@
 #include <future>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/online_trainer.hpp"
 #include "data/synthetic.hpp"
 #include "serve/inference_engine.hpp"
+#include "serve/learn/trainer_plane.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/online_publish.hpp"
 
@@ -160,6 +162,134 @@ TEST(SnapshotStress, ConcurrentPartialFitWithRegenNeverTearsReads) {
   EXPECT_GT(learner.total_regenerated(), 0u);
   EXPECT_EQ(history.size(), kChunks);
   EXPECT_GE(distinct_versions_seen, 1u);
+}
+
+// The same three properties, but through the LIVE TRAINING PLANE (ISSUE 9):
+// the writer feeds rows down the train-verb ingest path while the plane's
+// own trainer thread chunks, fits with regeneration on EVERY publish, and
+// publishes through the slot — i.e. the exact thread topology a serving
+// process runs when clients stream `train` lines at it. The publish
+// observer (called under the train lock) records every version the plane
+// ever makes visible, so attributability is checked against the plane's
+// real output, not a test-side re-simulation. Re-scoring goes through
+// ModelSnapshot::score_raw because plane snapshots fold in the first-chunk
+// scaler — a bare classifier re-score would diverge on the scaled path.
+TEST(SnapshotStress, TrainPlaneIngestRacesPredictWithoutTearingReads) {
+  data::SyntheticSpec spec;
+  spec.num_features = kFeatures;
+  spec.num_classes = kClasses;
+  spec.train_size = kChunk * kChunks;
+  spec.test_size = 64;
+  spec.latent_dim = 6;
+  spec.seed = 78;
+  const auto workload = data::make_synthetic(spec);
+
+  ModelRegistry registry;
+  learn::TrainerPlane plane(registry);
+  learn::OnlineLearnerConfig config;
+  config.learner.dim = kDim;
+  config.learner.epochs_per_chunk = 1;
+  config.learner.regen_every_chunks = 1;  // regenerate on EVERY chunk
+  config.learner.reservoir_capacity = 256;
+  config.learner.seed = 9;
+  config.buffer_capacity = kChunk * kChunks;  // no shedding in this race
+  config.chunk_rows = kChunk;
+  config.publish_rows = 1;  // publish every chunk
+  learn::OnlineLearnerSlot& learner =
+      plane.attach_learner("online", kFeatures, kClasses, config);
+
+  // version -> immutable snapshot, recorded by the plane's own publish
+  // hook. The trainer thread writes it; the main thread reads after stop().
+  std::mutex history_mutex;
+  std::map<std::uint64_t, std::shared_ptr<const ModelSnapshot>> history;
+  learner.set_publish_observer(
+      [&](std::uint64_t version,
+          std::shared_ptr<const ModelSnapshot> snapshot) {
+        const std::lock_guard<std::mutex> lock(history_mutex);
+        history[version] = std::move(snapshot);
+      });
+
+  // Prime the slot: first chunk through the ingest path, drained
+  // synchronously, so readers never race the no-snapshot window.
+  for (std::size_t i = 0; i < kChunk; ++i) {
+    plane.ingest("online", workload.train.features.row(i),
+                 workload.train.labels[i]);
+  }
+  plane.drain("online");
+  ASSERT_GE(registry.find("online")->latest_version(), 1u);
+
+  InferenceEngineConfig engine_config;
+  engine_config.max_batch = 16;
+  engine_config.workers = 2;
+  engine_config.flush_deadline = std::chrono::microseconds(100);
+  InferenceEngine engine(registry, engine_config);
+  plane.start();
+
+  std::thread writer([&] {
+    for (std::size_t row = kChunk; row < kChunk * kChunks; ++row) {
+      plane.ingest("online", workload.train.features.row(row),
+                   workload.train.labels[row]);
+    }
+  });
+
+  std::vector<std::vector<RecordedResponse>> per_reader(kReaders);
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (std::size_t reader = 0; reader < kReaders; ++reader) {
+    readers.emplace_back([&, reader] {
+      auto& log = per_reader[reader];
+      log.reserve(kQueriesPerReader);
+      for (std::size_t q = 0; q < kQueriesPerReader; ++q) {
+        const std::size_t row =
+            (reader * 37 + q) % workload.test.features.rows();
+        RecordedResponse record;
+        record.query = row;
+        record.response = engine.predict(workload.test.features.row(row));
+        log.push_back(record);
+      }
+    });
+  }
+  for (auto& reader : readers) reader.join();
+  writer.join();
+  plane.stop();  // joins the trainer thread and flushes the tail
+  engine.shutdown();
+
+  const auto stats = learner.stats();
+  EXPECT_EQ(stats.trained_rows, kChunk * kChunks);
+  EXPECT_EQ(stats.dropped_rows, 0u);  // buffer sized for the whole stream
+  EXPECT_EQ(stats.buffer_rows, 0u);
+  EXPECT_EQ(stats.publishes, history.size());
+  EXPECT_GE(stats.publishes, 2u);  // interleaved traffic saw a live stream
+  EXPECT_GT(stats.total_regenerated, 0u);
+
+  for (std::size_t reader = 0; reader < kReaders; ++reader) {
+    std::uint64_t last_version = 0;
+    for (const auto& record : per_reader[reader]) {
+      const auto& response = record.response;
+      // (3) versions are monotone within each client's sequence.
+      ASSERT_GE(response.version, last_version) << "reader " << reader;
+      last_version = response.version;
+      // (1) every response maps to a plane-published version.
+      const auto found = history.find(response.version);
+      ASSERT_NE(found, history.end())
+          << "response cites unpublished version " << response.version;
+      // (2) the full snapshot pipeline (scaler + encoder + backend sweep)
+      // reproduces the answer bit-for-bit against the recorded snapshot.
+      util::Matrix one_row(1, kFeatures);
+      std::copy(workload.test.features.row(record.query).begin(),
+                workload.test.features.row(record.query).end(),
+                one_row.row(0).begin());
+      util::Matrix encoded;
+      util::Matrix scores;
+      found->second->score_raw(one_row, encoded, scores);
+      int best = 0;
+      for (std::size_t c = 1; c < kClasses; ++c) {
+        if (scores(0, c) > scores(0, best)) best = static_cast<int>(c);
+      }
+      ASSERT_EQ(response.label(), best);
+      ASSERT_EQ(response.score(), scores(0, static_cast<std::size_t>(best)));
+    }
+  }
 }
 
 }  // namespace

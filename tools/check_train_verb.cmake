@@ -1,0 +1,109 @@
+# CTest script: the train PROTOCOL VERB must reproduce the replay-mode
+# (offline OnlineDistHD) fit exactly (ISSUE 9 tentpole).
+#
+# Two runs over the SAME 120-row labeled stream, same chunking, same
+# learner shape:
+#   oracle: replay mode (--train-stream) — the chunked offline pipeline
+#           that predates the training plane, byte-locked by its own
+#           regression tests;
+#   live:   a fresh --online learner fed the identical rows as
+#           `train model=online|f0,...,fN,label` protocol lines through
+#           the stdio front, interleaved with predict lines, acked in
+#           answer position.
+# Chunk boundaries depend only on arrival order and --train-chunk (the
+# trainer thread fits full chunks in order; stop() drains the tail), so
+# the two --save-bundle files must be byte-identical — the verb path IS
+# the offline fit, reached over the protocol.
+#
+#   cmake -DSERVE=<disthd_serve> -DTRAIN=<train.csv> -DQUERY=<query.csv>
+#         -DWORK_DIR=<dir> -P check_train_verb.cmake
+
+foreach(var SERVE TRAIN QUERY WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+# Rewrite the labeled CSV as train-verb lines (the grammar takes the label
+# as the LAST cell, so the fixture rows pass through verbatim), then append
+# predict lines so training and serving share one live session.
+file(STRINGS ${TRAIN} train_rows)
+list(POP_FRONT train_rows)  # header
+list(LENGTH train_rows n_train)
+set(stream "")
+foreach(row IN LISTS train_rows)
+  string(APPEND stream "train model=online|${row}\n")
+endforeach()
+file(STRINGS ${QUERY} query_rows)
+list(POP_FRONT query_rows)
+foreach(row IN LISTS query_rows)
+  string(APPEND stream "model=online|${row}\n")
+endforeach()
+set(verb_stream ${WORK_DIR}/train_verb_stream.txt)
+file(WRITE ${verb_stream} "${stream}")
+
+set(oracle_bundle ${WORK_DIR}/train_verb_oracle.bin)
+set(live_bundle ${WORK_DIR}/train_verb_live.bin)
+
+execute_process(
+  COMMAND ${SERVE} --train-stream ${TRAIN} --input ${QUERY}
+          --train-chunk 40 --train-every 2 --dim 128 --seed 3
+          --save-bundle ${oracle_bundle}
+  OUTPUT_QUIET RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "replay oracle run failed (${rc})")
+endif()
+
+execute_process(
+  COMMAND ${SERVE} --online online=features:6,classes:3,dim:128,seed:3
+          --train-chunk 40 --input ${verb_stream} --no-header
+          --save-bundle ${live_bundle}
+  OUTPUT_VARIABLE live_out RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "train-verb live run failed (${rc})")
+endif()
+
+# Every train line acked in answer position with the cumulative count.
+string(REGEX MATCHALL "#train model=online ingested=[0-9]+" acks "${live_out}")
+list(LENGTH acks n_acks)
+if(NOT n_acks EQUAL n_train)
+  message(FATAL_ERROR "expected ${n_train} train acks, saw ${n_acks}")
+endif()
+if(NOT live_out MATCHES "#train model=online ingested=${n_train}")
+  message(FATAL_ERROR "final ack does not report the full stream "
+                      "(ingested=${n_train} missing)")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${oracle_bundle} ${live_bundle}
+  RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "bundle trained over the protocol differs from the "
+                      "replay-mode oracle fit: the train verb is not the "
+                      "offline OnlineDistHD pipeline")
+endif()
+
+# Train-then-predict: the live-trained bundle must serve the query stream
+# exactly like the oracle bundle (redundant given byte-identity, but this
+# is the user-visible contract, so pin it end to end).
+set(oracle_pred ${WORK_DIR}/train_verb_oracle_pred.txt)
+set(live_pred ${WORK_DIR}/train_verb_live_pred.txt)
+foreach(run "${oracle_bundle};${oracle_pred}" "${live_bundle};${live_pred}")
+  list(GET run 0 bundle)
+  list(GET run 1 out)
+  execute_process(
+    COMMAND ${SERVE} --model ${bundle} --input ${QUERY}
+    OUTPUT_FILE ${out} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "serving ${bundle} failed (${rc})")
+  endif()
+endforeach()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${oracle_pred} ${live_pred}
+  RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "predictions from the verb-trained bundle differ from "
+                      "the oracle bundle's")
+endif()
+message(STATUS "train verb OK: protocol-trained bundle and predictions are "
+               "byte-identical to the replay oracle")

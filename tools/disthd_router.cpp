@@ -64,16 +64,30 @@
 // backend's next non-header line always resolves the oldest pending
 // request the router sent it).
 //
-// Validation stays with the backends: the router peeks only the model=
-// directive (best-effort, never rejecting) and forwards malformed lines
-// untouched, so the backend's "#error" answer flows back like any other
-// and there is exactly one producer of protocol errors. The router
-// answers directly only for what cannot cross it: "stats" WITHOUT model=
-// fans out one line per served model — an unframeable response — plus
-// the topology verbs and the backend_down/version_unavailable cases
-// above. A request failed over to a second replica is at-least-once on
-// the backends; predicts are pure reads, so only a failed-over "config"
-// verb can apply twice.
+// Train verbs ("train model=NAME|<features>,<label>") route by the same
+// model= directive but fan out to EVERY live member of the model's
+// replica set: replicated learners converge because each replica ingests
+// the same row stream. The rendezvous-primary (first live replica in
+// rendezvous order) answers the client's "#train ..." ack; the other
+// replicas' acks are swallowed by discard FIFO slots. A train line
+// re-dispatched around a failure is therefore at-least-once PER REPLICA —
+// a replica that already ingested the row may see it again, shifting its
+// ingested= counter but not correctness (learner chunks are row streams,
+// not idempotent writes; the primary's ack always reflects the replica
+// that answered it).
+//
+// Validation stays with the backends: the router peeks only the verb and
+// model= directive (best-effort, never rejecting) and forwards malformed
+// lines untouched, so the backend's "#error" answer flows back like any
+// other and there is exactly one producer of protocol errors (a malformed
+// train line fans out like a valid one; every replica rejects it and the
+// primary's "#error" is delivered). The router answers directly only for
+// what cannot cross it: "stats" WITHOUT model= fans out one line per
+// served model — an unframeable response — plus the topology verbs and
+// the backend_down/version_unavailable cases above. A request failed
+// over to a second replica is at-least-once on the backends; predicts
+// are pure reads, so only a failed-over "config" or "train" verb can
+// apply twice.
 //
 // --listen 0 (the default) binds an ephemeral port, announced on stdout
 // as "#listen port=N" — same contract as disthd_serve --listen.
@@ -130,6 +144,7 @@ struct Pending {
   // Re-dispatch state (kind == client):
   std::string line;   // the request, verbatim, for failover/retry
   std::string model;  // resolved routing model
+  bool fan_out = false;  // train verb: goes to EVERY live replica
   std::uint64_t min_version = 0;    // client's high-water at dispatch
   std::vector<std::size_t> tried;   // slots already asked (version retry)
 };
@@ -259,6 +274,10 @@ private:
       held_.push_back(pending);
       return;
     }
+    if (pending->fan_out) {
+      dispatch_train(pending);
+      return;
+    }
     bool any_live = false;
     const std::size_t slot = pick_backend(*pending, any_live);
     if (slot == kNoBackend) {
@@ -275,6 +294,41 @@ private:
     // May close the backend synchronously (EPIPE) — backend_lost() then
     // re-dispatches this very pending; nothing below touches it.
     slots_[slot]->conn->send_line(pending->line);
+  }
+
+  /// Train fan-out: the line goes to every live replica of its model so
+  /// replicated learners ingest the same stream. Secondaries first, each
+  /// holding a discard slot for its swallowed ack; the rendezvous-primary
+  /// goes LAST with the client-kind pending, so a synchronous EPIPE on
+  /// any send either drops only a discard (secondary) or re-dispatches
+  /// this very pending through backend_lost (primary) — never both.
+  void dispatch_train(const std::shared_ptr<Pending>& pending) {
+    std::vector<std::size_t> live;
+    for (std::size_t slot : replica_set(pending->model)) {
+      const Backend& backend = *slots_[slot];
+      if (backend.routable && backend.connected()) live.push_back(slot);
+    }
+    if (live.empty()) {
+      pending->ready = true;
+      pending->answer =
+          serve::format_error("backend_down model=" + pending->model);
+      return;
+    }
+    for (std::size_t i = live.size(); i-- > 1;) {
+      Backend& backend = *slots_[live[i]];
+      if (!backend.connected()) continue;  // lost to an earlier send's EPIPE
+      auto discard = std::make_shared<Pending>();
+      discard->kind = Pending::Kind::discard;
+      backend.awaiting.push_back(std::move(discard));
+      backend.conn->send_line(pending->line);
+    }
+    Backend& primary = *slots_[live[0]];
+    if (!primary.connected()) {
+      dispatch(pending);  // a secondary send's teardown cascaded here
+      return;
+    }
+    primary.awaiting.push_back(pending);
+    primary.conn->send_line(pending->line);
   }
 
   // ---- client side --------------------------------------------------------
@@ -313,6 +367,7 @@ private:
         pending->client_id = session.id();
         pending->line = line;
         pending->model = std::move(model);
+        pending->fan_out = kind == serve::RouteKind::train;
         pending->min_version = state->high_water[pending->model];
         state->answers.push_back(pending);
         dispatch(pending);

@@ -19,9 +19,29 @@
 // (batch shape, latency quantiles, flush reasons, scoring backend and
 // resident snapshot bytes).
 //
-// Replay serving (an OnlineDistHD keeps learning from a labeled stream
-// while queries are answered; snapshots are published between chunks; the
-// min-max scaler fitted on the first chunk is folded into every snapshot):
+// Online training (the training plane, src/serve/learn/): every learner
+// model accepts "train model=NAME|<features>,<label>" protocol lines, on
+// stdio and --listen TCP alike, acked "#train model=... ingested=..." in
+// answer position. Rows land in a BOUNDED per-model ingest ring (oldest
+// rows shed visibly under overload) and a dedicated trainer thread runs
+// the partial_fit/drift/publish loop, so training never blocks the
+// predict hot path:
+//   disthd_serve --online NAME=features:F,classes:K[,dim:D][,seed:S] ...
+//                [--train-chunk C] [--train-buffer N]
+//                [--train-publish-rows R] [--train-publish-ms T]
+//                [--train-drift X] [--train-stall-ms S]
+//                [--train-regen-chunks G]
+// --train-drift X enables drift detection: after each chunk the learner's
+// reservoir is probed with DistHD's own top-2 separability signal, and a
+// misled fraction >= X forces an immediate regeneration + publish.
+// --train-publish-rows/--train-publish-ms decouple publish cadence from
+// chunk size. "stats" reports trained_rows=/publishes=/drift_regens=/
+// buffer_rows= per learner model.
+//
+// Replay serving (the same training plane fed from a labeled FILE: one
+// chunk of rows is handed to the learner per --train-every queries while
+// serving, exactly like a train-verb client pacing itself; the min-max
+// scaler fitted on the first chunk is folded into every snapshot):
 //   disthd_serve --train-stream labeled.csv [--train-model NAME]
 //                [--input queries.csv] [--train-chunk C] [--train-every Q]
 //                [--dim D] [--seed S] [--save-bundle out.bin]
@@ -77,11 +97,10 @@
 
 #include "serve/tcp_front.hpp"
 
-#include "data/normalize.hpp"
 #include "serve/engine_pool.hpp"
+#include "serve/learn/trainer_plane.hpp"
 #include "serve/line_protocol.hpp"
 #include "serve/model_registry.hpp"
-#include "serve/online_publish.hpp"
 #include "tools_common.hpp"
 #include "util/argparse.hpp"
 
@@ -186,17 +205,108 @@ ModelConfigArg parse_model_config(const std::string& arg) {
   return parsed;
 }
 
+/// One parsed --online argument: a fresh learner's shape + overrides.
+struct OnlineSpec {
+  std::string name;
+  std::size_t num_features = 0;
+  std::size_t num_classes = 0;
+  std::optional<std::size_t> dim;
+  std::optional<std::uint64_t> seed;
+};
+
+/// "NAME=features:F,classes:K[,dim:D][,seed:S]" -> OnlineSpec.
+OnlineSpec parse_online_spec(const std::string& arg) {
+  const auto eq = arg.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 == arg.size()) {
+    throw std::runtime_error(
+        "--online expects NAME=features:F,classes:K[,dim:D][,seed:S], got '" +
+        arg + "'");
+  }
+  OnlineSpec spec;
+  spec.name = arg.substr(0, eq);
+  std::size_t pos = eq + 1;
+  while (pos < arg.size()) {
+    std::size_t comma = arg.find(',', pos);
+    if (comma == std::string::npos) comma = arg.size();
+    const std::string knob = arg.substr(pos, comma - pos);
+    const auto colon = knob.find(':');
+    char* end = nullptr;
+    const long value =
+        colon == std::string::npos
+            ? 0
+            : std::strtol(knob.c_str() + colon + 1, &end, 10);
+    if (colon == std::string::npos || end == knob.c_str() + colon + 1 ||
+        *end != '\0' || value <= 0) {
+      throw std::runtime_error("--online knob '" + knob +
+                               "' is not KEY:POSITIVE_INT");
+    }
+    const std::string key = knob.substr(0, colon);
+    if (key == "features") {
+      spec.num_features = static_cast<std::size_t>(value);
+    } else if (key == "classes") {
+      spec.num_classes = static_cast<std::size_t>(value);
+    } else if (key == "dim") {
+      spec.dim = static_cast<std::size_t>(value);
+    } else if (key == "seed") {
+      spec.seed = static_cast<std::uint64_t>(value);
+    } else {
+      throw std::runtime_error(
+          "--online knob '" + knob +
+          "' (want features:F, classes:K, dim:D, or seed:S)");
+    }
+    pos = comma + 1;
+  }
+  if (spec.num_features == 0 || spec.num_classes == 0) {
+    throw std::runtime_error("--online '" + arg +
+                             "' needs features:F and classes:K");
+  }
+  return spec;
+}
+
+/// The learner knobs shared by every --online learner (and, minus drift and
+/// stall opt-ins, by the replay learner): chunking, buffering, and publish
+/// cadence from the --train-* flags.
+serve::learn::OnlineLearnerConfig shared_learner_config(
+    const util::ArgParser& args) {
+  serve::learn::OnlineLearnerConfig config;
+  config.learner.dim = static_cast<std::size_t>(args.get_int("dim", 256));
+  config.learner.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  config.learner.regen_every_chunks = static_cast<std::size_t>(
+      std::max<long>(0, args.get_int("train-regen-chunks", 2)));
+  config.chunk_rows =
+      std::max<long>(1, args.get_int("train-chunk", 64));
+  config.buffer_capacity = std::max<long>(
+      static_cast<long>(config.chunk_rows), args.get_int("train-buffer", 4096));
+  config.publish_rows =
+      std::max<long>(1, args.get_int("train-publish-rows", 1));
+  config.publish_interval = std::chrono::milliseconds(
+      std::max<long>(0, args.get_int("train-publish-ms", 0)));
+  config.stall_after = std::chrono::milliseconds(
+      std::max<long>(0, args.get_int("train-stall-ms", 0)));
+  const std::string drift_text = args.get("train-drift", "-1");
+  char* end = nullptr;
+  const double drift = std::strtod(drift_text.c_str(), &end);
+  if (end == drift_text.c_str() || *end != '\0' || drift > 1.0) {
+    throw std::runtime_error("--train-drift expects a fraction <= 1 "
+                             "(negative disables), got '" + drift_text + "'");
+  }
+  config.drift.threshold = drift;
+  return config;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     const util::ArgParser args(argc, argv);
     const auto model_args = args.get_all("model");
+    const auto online_args = args.get_all("online");
     const std::string train_path = args.get("train-stream", "");
     const std::string input_path = args.get("input", "");
-    if (model_args.empty() && train_path.empty()) {
+    if (model_args.empty() && train_path.empty() && online_args.empty()) {
       std::fprintf(stderr,
                    "usage: disthd_serve (--model [name=]bundle.bin)... "
+                   "(--online NAME=features:F,classes:K)... "
                    "[--train-stream labeled.csv] [--input queries.csv]\n");
       return 2;
     }
@@ -207,37 +317,35 @@ int main(int argc, char** argv) {
     serve::ModelRegistry registry;
     std::string default_model = args.get("default-model", "");
 
-    // Replay state: the labeled stream feeds an online learner in chunks.
-    // The min-max scaler is fitted on the first chunk (the replay stand-in
-    // for "training time") and folded into every published snapshot, so
-    // training chunks and served queries see the same normalization.
+    // The training plane: per-model online learners behind the train verb.
+    // Replay (--train-stream) feeds the SAME plane from a labeled file —
+    // the learner slot fits the min-max scaler on its first chunk (the
+    // streaming stand-in for "training time") and folds it into every
+    // published snapshot, so training chunks and served queries see the
+    // same normalization.
     const std::string train_model_name = args.get("train-model", "online");
-    std::unique_ptr<core::OnlineDistHD> learner;
-    serve::SnapshotSlot* learner_slot = nullptr;
-    data::Scaler stream_scaler(data::ScalerKind::min_max);
+    serve::learn::TrainerPlane plane(registry);
     data::Dataset stream;
+    bool has_stream = false;
     std::size_t stream_cursor = 0;
-    std::uint64_t published_revision = 0;
     const std::size_t train_chunk =
         std::max<long>(1, args.get_int("train-chunk", 64));
     const std::size_t train_every = std::max<long>(
         0, args.get_int("train-every", train_path.empty() ? 0 : 32));
 
-    auto ingest_next_chunk = [&] {
-      if (!learner || stream_cursor >= stream.features.rows()) return;
+    // Push the next replay chunk into the learner's ingest ring — exactly
+    // the path a train-verb client takes. The caller drains synchronously
+    // at each cadence point, so by the time the next query is submitted
+    // the chunk is trained and published, like the pre-plane replay loop.
+    auto feed_next_chunk = [&] {
+      if (!has_stream || stream_cursor >= stream.features.rows()) return;
       const std::size_t take =
           std::min(train_chunk, stream.features.rows() - stream_cursor);
-      std::vector<std::size_t> rows(take);
-      for (std::size_t i = 0; i < take; ++i) rows[i] = stream_cursor + i;
-      util::Matrix chunk = stream.features.gather_rows(rows);
-      if (!stream_scaler.fitted()) stream_scaler.fit(chunk);
-      stream_scaler.transform(chunk);
-      const std::span<const int> labels(stream.labels.data() + stream_cursor,
-                                        take);
-      learner->partial_fit(chunk, labels);
+      for (std::size_t i = 0; i < take; ++i) {
+        plane.ingest(train_model_name, stream.features.row(stream_cursor + i),
+                     stream.labels[stream_cursor + i]);
+      }
       stream_cursor += take;
-      serve::publish_online(*learner_slot, *learner, published_revision,
-                            stream_scaler.offset(), stream_scaler.scale());
     };
 
     for (const auto& model_arg : model_args) {
@@ -258,14 +366,33 @@ int main(int argc, char** argv) {
     }
     if (!train_path.empty()) {
       stream = tools::load_csv(train_path, has_header);
-      core::OnlineDistHDConfig config;
-      config.dim = static_cast<std::size_t>(args.get_int("dim", 256));
-      config.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
-      learner = std::make_unique<core::OnlineDistHD>(
-          stream.features.cols(), stream.num_classes, config);
-      learner_slot = &registry.register_model(train_model_name);
+      has_stream = true;
+      serve::learn::OnlineLearnerConfig config = shared_learner_config(args);
+      // Byte-identical replay: the fit sequence must depend only on the
+      // stream and --train-chunk, so a chunk never exceeds the stream and
+      // the ring holds the whole file (zero drops).
+      config.chunk_rows = std::max<std::size_t>(
+          1, std::min(train_chunk, stream.features.rows()));
+      config.buffer_capacity =
+          std::max(config.chunk_rows, stream.features.rows());
+      plane.attach_learner(train_model_name, stream.features.cols(),
+                           stream.num_classes, config);
       if (default_model.empty()) default_model = train_model_name;
-      ingest_next_chunk();  // the first snapshot must exist before serving
+      // The first snapshot (and the scaler it carries) must exist before
+      // serving; drain() fits the fed chunk synchronously.
+      feed_next_chunk();
+      plane.drain(train_model_name);
+    }
+    for (const auto& online_arg : online_args) {
+      const OnlineSpec spec = parse_online_spec(online_arg);
+      serve::learn::OnlineLearnerConfig config = shared_learner_config(args);
+      if (spec.dim) config.learner.dim = *spec.dim;
+      if (spec.seed) config.learner.seed = *spec.seed;
+      plane.attach_learner(spec.name, spec.num_features, spec.num_classes,
+                           config);
+      // A fresh learner has no snapshot until its first publish; predicts
+      // before then answer "#error" like any other snapshot-less model.
+      if (default_model.empty()) default_model = spec.name;
     }
 
     // Per-model overrides attach to the registry slots BEFORE the pool
@@ -287,15 +414,18 @@ int main(int argc, char** argv) {
 
     if (args.has("listen")) {
       // TCP mode: replay has no per-query cadence here, so the whole
-      // training stream is ingested before the first connection.
-      while (learner && stream_cursor < stream.features.rows()) {
-        ingest_next_chunk();
+      // training stream is ingested and trained before the first
+      // connection; the trainer thread then serves live train verbs.
+      while (has_stream && stream_cursor < stream.features.rows()) {
+        feed_next_chunk();
       }
+      if (has_stream) plane.drain(train_model_name);
+      plane.start();
       serve::TcpFrontConfig front_config;
       front_config.port =
           static_cast<std::uint16_t>(args.get_int("listen", 0));
       front_config.window = window;
-      serve::TcpFront front(registry, engine, front_config);
+      serve::TcpFront front(registry, engine, front_config, &plane);
       g_front = &front;
       std::signal(SIGINT, handle_stop_signal);
       std::signal(SIGTERM, handle_stop_signal);
@@ -322,6 +452,12 @@ int main(int argc, char** argv) {
         }
       }
       std::istream& input = input_path.empty() ? std::cin : input_file;
+
+      // Live train verbs are fitted by the trainer thread; the replay
+      // cadence below still drains synchronously, so its determinism does
+      // not depend on thread timing (full chunks pop in arrival order no
+      // matter which thread gets there first).
+      plane.start();
 
       std::printf("%s\n", serve::response_header());
 
@@ -389,9 +525,27 @@ int main(int argc, char** argv) {
                             .c_str());
             continue;
           }
+          auto model_stats = engine.model_stats();
+          plane.annotate(model_stats);
           for (const auto& stats_line :
-               serve::format_stats_lines(engine.model_stats(), parsed.model)) {
+               serve::format_stats_lines(model_stats, parsed.model)) {
             std::printf("%s\n", stats_line.c_str());
+          }
+          continue;
+        }
+        if (parsed.kind == serve::RequestKind::train) {
+          // Ingest is a bounded ring append — the ack is known immediately
+          // and parks in answer order like a config ack.
+          const std::string model = parsed.model.empty()
+                                        ? engine.default_model()
+                                        : parsed.model;
+          try {
+            const std::uint64_t ingested =
+                plane.ingest(model, parsed.features, parsed.label);
+            inflight.push_back(
+                Pending{std::nullopt, serve::format_train_ack(model, ingested)});
+          } catch (const std::exception& error) {
+            reject(error.what());  // no learner, bad shape, bad label, ...
           }
           continue;
         }
@@ -428,7 +582,10 @@ int main(int argc, char** argv) {
         }
         while (inflight.size() >= window) drain_one();
         ++queries;
-        if (train_every > 0 && queries % train_every == 0) ingest_next_chunk();
+        if (has_stream && train_every > 0 && queries % train_every == 0) {
+          feed_next_chunk();
+          plane.drain(train_model_name);
+        }
       }
       while (!inflight.empty()) drain_one();
       engine.shutdown();
@@ -436,17 +593,24 @@ int main(int argc, char** argv) {
 
     const std::string save_path = args.get("save-bundle", "");
     if (!save_path.empty()) {
-      // Drain any un-ingested tail of the training stream first: the query
+      // Feed any un-ingested tail of the training stream first: the query
       // stream ending mid-cadence (or a short query file) must not leave
       // the saved bundle trained on a prefix. Same chunk size as live
       // replay, so the result is identical to an uninterrupted fit.
-      while (learner && stream_cursor < stream.features.rows()) {
-        ingest_next_chunk();
+      while (has_stream && stream_cursor < stream.features.rows()) {
+        feed_next_chunk();
       }
+    }
+    // Join the trainer thread and drain every learner's buffered tail
+    // (full chunks in arrival order, then one final partial) — the plane
+    // must be quiescent before its final state is read or saved.
+    plane.stop();
+    if (!save_path.empty()) {
       // The replay-trained model when there is one (saving a static bundle
       // back out unchanged is never what --save-bundle meant), otherwise
       // the default model.
-      const std::string save_model = learner ? train_model_name : default_model;
+      const std::string save_model =
+          has_stream ? train_model_name : default_model;
       const auto snapshot = registry.current(save_model);
       if (!snapshot) {
         throw std::runtime_error("--save-bundle: model '" + save_model +
