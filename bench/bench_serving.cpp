@@ -34,12 +34,26 @@
 // prenormalized float sweep at the configured dim and at the GEMM-bound
 // dim 512, where the ≥2x acceptance target applies.
 //
+// ISSUE 10 additions: an OPEN-LOOP mode. After the closed-loop sweep the
+// harness replays deterministic seeded arrival schedules (Poisson and
+// bursty on/off, util::arrivals) against the best multi-model affine shape
+// at offered loads from 0.5x to 2.0x of the closed-loop record, with a
+// skewed per-model traffic mix and a train-verb fraction feeding the live
+// training plane. Latency is measured from each request's SCHEDULED
+// arrival, so queueing collapse past saturation is visible instead of
+// being absorbed by client back-pressure; per-model p50/p99/p99.9 and
+// SLO-attainment rows land in BENCH_serving.json. Both modes exclude the
+// same explicit warm-up sample count per latency stream.
+//
 //   --requests N     requests per client (default 2000; 400 in --quick)
 //   --clients C      client threads per configuration (default 2)
 //   --features F     input feature count (default 54, PAMAP2-like)
 //   --dim D          hypervector dimensionality (default 64)
 //   --classes K      number of classes (default 5)
 //   --models M       model count for the multi-model sweep (default 4)
+//   --slo-ms X       latency SLO for open-loop attainment (default 2.0)
+//   --openloop-arrivals N  arrivals per open-loop point
+//                          (default 60000; 12000 in --quick)
 //
 // The default model is the paper's smallest Table-I deployment shape
 // (PAMAP2 sensors at the compressed dimensionality the e2e suite uses):
@@ -50,9 +64,12 @@
 // multi-core hosts the worker sweep recovers it.
 //   --out FILE       JSON report path (default BENCH_serving.json)
 #include <algorithm>
+#include <condition_variable>
 #include <cstdio>
 #include <deque>
 #include <fstream>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -65,11 +82,20 @@
 #include "serve/inference_engine.hpp"
 #include "serve/learn/trainer_plane.hpp"
 #include "serve/model_registry.hpp"
+#include "util/arrivals.hpp"
+#include "util/latency_recorder.hpp"
 #include "util/timer.hpp"
 
 using namespace disthd;
 
 namespace {
+
+// Warm-up exclusion, identical across the closed-loop and open-loop modes:
+// each latency stream (a closed-loop client, or an open-loop per-model
+// series) drops its first kWarmupSamples recordings before any percentile
+// is computed (util::LatencyRecorder). The excluded count is reported in
+// BENCH_serving.json so quantiles stay comparable across modes.
+constexpr std::size_t kWarmupSamples = 32;
 
 struct RunConfig {
   std::size_t max_batch = 1;
@@ -84,8 +110,7 @@ struct RunConfig {
 struct RunResult {
   RunConfig config;
   double throughput_rps = 0.0;
-  double p50_ms = 0.0;
-  double p99_ms = 0.0;
+  util::LatencySummary latency;  // warm-up excluded, see kWarmupSamples
   double mean_batch = 0.0;
   std::vector<serve::ModelStats> model_stats;  // recorded when models > 1
 };
@@ -100,13 +125,6 @@ core::HdcClassifier make_classifier(std::size_t features, std::size_t dim,
   return core::HdcClassifier(std::move(encoder), std::move(model));
 }
 
-double percentile(std::vector<double>& sorted_ms, double p) {
-  if (sorted_ms.empty()) return 0.0;
-  const auto index = static_cast<std::size_t>(
-      p * static_cast<double>(sorted_ms.size() - 1));
-  return sorted_ms[index];
-}
-
 /// Closed-loop client drive, shared by the single-engine and the
 /// model-affine pool runs (both expose the same submit/stats surface).
 template <typename EngineT>
@@ -114,14 +132,14 @@ RunResult drive_clients(EngineT& engine,
                         const std::vector<std::string>& model_names,
                         const util::Matrix& queries, const RunConfig& config,
                         std::size_t requests_per_client) {
-  std::vector<std::vector<double>> latencies(config.clients);
+  std::vector<util::LatencyRecorder> recorders(
+      config.clients, util::LatencyRecorder(kWarmupSamples));
   std::vector<std::thread> clients;
   clients.reserve(config.clients);
   util::WallTimer wall;
   for (std::size_t c = 0; c < config.clients; ++c) {
     clients.emplace_back([&, c] {
-      auto& samples = latencies[c];
-      samples.reserve(requests_per_client);
+      auto& recorder = recorders[c];
       // Sliding window of in-flight requests; each latency sample spans
       // submit -> response (queue wait + batch + scoring).
       std::deque<std::pair<util::WallTimer,
@@ -129,7 +147,7 @@ RunResult drive_clients(EngineT& engine,
       std::size_t next = 0;
       auto drain_front = [&] {
         inflight.front().second.get();
-        samples.push_back(inflight.front().first.milliseconds());
+        recorder.record(inflight.front().first.milliseconds());
         inflight.pop_front();
       };
       for (std::size_t r = 0; r < requests_per_client; ++r) {
@@ -160,13 +178,13 @@ RunResult drive_clients(EngineT& engine,
   const auto total =
       static_cast<double>(config.clients * requests_per_client);
   result.throughput_rps = total / elapsed;
-  std::vector<double> all;
-  for (auto& samples : latencies) {
-    all.insert(all.end(), samples.begin(), samples.end());
+  std::vector<double> merged;
+  util::LatencySummary accounting;
+  for (const auto& recorder : recorders) {
+    recorder.merge_into(merged, accounting);
   }
-  std::sort(all.begin(), all.end());
-  result.p50_ms = percentile(all, 0.50);
-  result.p99_ms = percentile(all, 0.99);
+  result.latency =
+      util::LatencyRecorder::summarize(std::move(merged), accounting);
   result.mean_batch = engine.stats().mean_batch_size();
   if (config.models > 1) result.model_stats = engine.model_stats();
   return result;
@@ -368,19 +386,19 @@ MixedTrainResult bench_mixed_train(std::size_t features, std::size_t dim,
     engine_config.default_model = "online";
     serve::InferenceEngine engine(registry, engine_config);
 
-    std::vector<std::vector<double>> latencies(clients);
+    std::vector<util::LatencyRecorder> recorders(
+        clients, util::LatencyRecorder(kWarmupSamples));
     std::vector<std::thread> threads;
     threads.reserve(clients);
     util::WallTimer wall;
     for (std::size_t c = 0; c < clients; ++c) {
       threads.emplace_back([&, c] {
-        auto& samples = latencies[c];
-        samples.reserve(requests_per_client);
+        auto& recorder = recorders[c];
         std::deque<std::pair<util::WallTimer,
                              std::future<serve::PredictResult>>> inflight;
         auto drain_front = [&] {
           inflight.front().second.get();
-          samples.push_back(inflight.front().first.milliseconds());
+          recorder.record(inflight.front().first.milliseconds());
           inflight.pop_front();
         };
         for (std::size_t r = 0; r < requests_per_client; ++r) {
@@ -406,22 +424,254 @@ MixedTrainResult bench_mixed_train(std::size_t features, std::size_t dim,
 
     const auto total =
         static_cast<double>(clients * requests_per_client);
-    std::vector<double> all;
-    for (auto& samples : latencies) {
-      all.insert(all.end(), samples.begin(), samples.end());
+    // Same warm-up rule as every other mode: each client stream drops its
+    // first kWarmupSamples recordings before percentiles are computed.
+    std::vector<double> merged;
+    util::LatencySummary accounting;
+    for (auto& recorder : recorders) {
+      recorder.merge_into(merged, accounting);
     }
-    std::sort(all.begin(), all.end());
+    const auto summary =
+        util::LatencyRecorder::summarize(std::move(merged), accounting);
     if (mixed) {
       result.mixed_rps = total / elapsed;
-      result.mixed_p99_ms = percentile(all, 0.99);
+      result.mixed_p99_ms = summary.p99_ms;
       const auto stats = learner.stats();
       result.trained_rows = stats.trained_rows;
       result.publishes = stats.publishes;
     } else {
       result.pure_rps = total / elapsed;
-      result.pure_p99_ms = percentile(all, 0.99);
+      result.pure_p99_ms = summary.p99_ms;
     }
   }
+  return result;
+}
+
+// ---- open-loop mode -------------------------------------------------------
+//
+// The closed-loop drive above self-throttles: when the server slows down,
+// clients stop offering load, which hides queueing collapse. The open-loop
+// drive offers requests on a precomputed arrival schedule (util::arrivals)
+// that does NOT react to the server; each latency sample is measured from
+// the request's SCHEDULED arrival time, so dispatcher lag and queue wait
+// both count. Past saturation the offered-vs-achieved gap and the latency
+// tail grow without bound — exactly what the degradation sweep reports.
+
+struct OpenLoopConfig {
+  util::ArrivalKind kind = util::ArrivalKind::poisson;
+  double offered_multiplier = 1.0;  // of the closed-loop record
+  double offered_rps = 0.0;
+  double train_fraction = 0.0;  // of arrivals diverted to the training plane
+  std::size_t arrivals = 0;
+  double slo_ms = 2.0;
+  serve::ScoringBackend backend = serve::ScoringBackend::prenorm;
+  std::uint64_t seed = 1;
+};
+
+struct OpenLoopModelRow {
+  std::string model;
+  util::LatencySummary latency;
+  double slo_attainment = 0.0;
+};
+
+struct OpenLoopResult {
+  OpenLoopConfig config;
+  double offered_seconds = 0.0;   // schedule span
+  double achieved_rps = 0.0;      // completed operations / wall time
+  double max_dispatch_lag_ms = 0.0;
+  util::LatencySummary latency;   // predicts only, all models merged
+  double slo_attainment = 0.0;
+  bool saturated = false;
+  std::vector<OpenLoopModelRow> per_model;
+  std::uint64_t train_ops = 0;
+  std::uint64_t trained_rows = 0;
+  std::uint64_t publishes = 0;
+};
+
+/// One open-loop point: fresh registry + model-affine pool, weighted
+/// per-model traffic mix, optional train-verb fraction feeding a live
+/// TrainerPlane, latencies measured from scheduled arrival.
+OpenLoopResult run_open_loop(std::size_t features, std::size_t dim,
+                             std::size_t classes, const util::Matrix& queries,
+                             std::size_t model_count, std::size_t workers,
+                             const OpenLoopConfig& config,
+                             std::uint64_t model_seed) {
+  serve::ModelRegistry registry;
+  std::vector<std::string> model_names;
+  for (std::size_t m = 0; m < model_count; ++m) {
+    model_names.push_back("m" + std::to_string(m));
+    auto& slot = registry.register_model(model_names.back());
+    slot.publish(make_classifier(features, dim, classes, model_seed + m));
+    slot.set_backend(config.backend);
+  }
+
+  // Skewed traffic mix: model m gets weight (models - m), so m0 carries
+  // ~2x the share of the last model — a "hot model" mix rather than
+  // uniform round-robin.
+  std::vector<std::size_t> pattern;
+  for (std::size_t m = 0; m < model_count; ++m) {
+    for (std::size_t w = 0; w < model_count - m; ++w) pattern.push_back(m);
+  }
+
+  // Optional live training plane (PR 9 surface) taking the train-verb
+  // share of arrivals; its serving-side cost is the ingest call.
+  std::unique_ptr<serve::learn::TrainerPlane> plane;
+  const std::size_t train_every =
+      config.train_fraction > 0.0
+          ? std::max<std::size_t>(2, static_cast<std::size_t>(
+                                         1.0 / config.train_fraction))
+          : 0;
+  serve::learn::OnlineLearnerSlot* learner = nullptr;
+  if (train_every != 0) {
+    plane = std::make_unique<serve::learn::TrainerPlane>(registry);
+    serve::learn::OnlineLearnerConfig learner_config;
+    learner_config.learner.dim = dim;
+    learner_config.learner.seed = model_seed ^ 0x11;
+    learner_config.learner.epochs_per_chunk = 1;
+    learner_config.chunk_rows = 64;
+    learner_config.buffer_capacity = 4096;
+    learner_config.publish_rows = 256;
+    learner = &plane->attach_learner("online", features, classes,
+                                     learner_config);
+    for (std::size_t i = 0; i < learner_config.chunk_rows; ++i) {
+      plane->ingest("online", queries.row(i % queries.rows()),
+                    static_cast<int>(i % classes));
+    }
+    plane->drain("online");
+    plane->start();
+  }
+
+  serve::EnginePoolConfig pool_config;
+  pool_config.engines = model_count;
+  pool_config.engine.max_batch = 64;
+  pool_config.engine.workers = workers;
+  pool_config.engine.queue_capacity = 1 << 15;
+  pool_config.engine.flush_deadline = std::chrono::microseconds(200);
+  pool_config.engine.default_model = model_names.front();
+  serve::EnginePool pool(registry, pool_config);
+
+  util::ArrivalConfig arrival_config;
+  arrival_config.kind = config.kind;
+  arrival_config.rate = config.offered_rps;
+  arrival_config.seed = config.seed;
+  const auto schedule = util::arrival_schedule(arrival_config,
+                                               config.arrivals);
+
+  struct Pending {
+    double scheduled_s;
+    std::size_t model;
+    std::future<serve::PredictResult> response;
+  };
+  std::deque<Pending> pending;
+  std::mutex mutex;
+  std::condition_variable ready;
+  bool dispatch_done = false;
+
+  // Per-model recorders, same per-stream warm-up rule as the closed loop.
+  std::vector<util::LatencyRecorder> recorders(
+      model_count, util::LatencyRecorder(kWarmupSamples));
+
+  util::WallTimer wall;
+  // Drainer: responses complete near-FIFO (each engine queue is FIFO), so
+  // draining in submit order observes completion within one batch's skew.
+  std::thread drainer([&] {
+    for (;;) {
+      Pending item;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        ready.wait(lock, [&] { return dispatch_done || !pending.empty(); });
+        if (pending.empty()) return;
+        item = std::move(pending.front());
+        pending.pop_front();
+      }
+      item.response.get();
+      const double latency_ms =
+          (wall.seconds() - item.scheduled_s) * 1000.0;
+      recorders[item.model].record(latency_ms);
+    }
+  });
+
+  OpenLoopResult result;
+  result.config = config;
+  result.offered_seconds = schedule.back();
+  std::uint64_t train_ops = 0;
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const double scheduled = schedule[i];
+    // Sleep for far-off arrivals, then spin the final stretch; when the
+    // schedule is behind wall time this loop degenerates to a catch-up
+    // burst, and the lateness lands in the latency samples (by design —
+    // an open-loop harness never de-rates its offered load).
+    double now = wall.seconds();
+    if (scheduled - now > 0.0008) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(scheduled - now - 0.0005));
+      now = wall.seconds();
+    }
+    while (now < scheduled) now = wall.seconds();
+    result.max_dispatch_lag_ms =
+        std::max(result.max_dispatch_lag_ms, (now - scheduled) * 1000.0);
+
+    const auto row = queries.row(i % queries.rows());
+    if (train_every != 0 && i % train_every == 0) {
+      plane->ingest("online", row, static_cast<int>(i % classes));
+      ++train_ops;
+      continue;
+    }
+    serve::PredictRequest request;
+    const std::size_t model = pattern[i % pattern.size()];
+    request.model = model_names[model];
+    request.features.assign(row.begin(), row.end());
+    auto response = pool.submit(std::move(request));
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      pending.push_back({scheduled, model, std::move(response)});
+    }
+    ready.notify_one();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    dispatch_done = true;
+  }
+  ready.notify_one();
+  drainer.join();
+  const double elapsed = wall.seconds();
+  pool.shutdown();
+  if (plane != nullptr) plane->stop();
+
+  result.achieved_rps =
+      static_cast<double>(schedule.size()) / std::max(elapsed, 1e-9);
+  result.train_ops = train_ops;
+  if (learner != nullptr) {
+    const auto stats = learner->stats();
+    result.trained_rows = stats.trained_rows;
+    result.publishes = stats.publishes;
+  }
+
+  std::vector<double> merged;
+  util::LatencySummary accounting;
+  std::size_t within_slo = 0;
+  for (std::size_t m = 0; m < model_count; ++m) {
+    OpenLoopModelRow row;
+    row.model = model_names[m];
+    row.latency = recorders[m].summary();
+    row.slo_attainment = recorders[m].fraction_within(config.slo_ms);
+    within_slo += static_cast<std::size_t>(
+        row.slo_attainment * static_cast<double>(row.latency.measured) + 0.5);
+    result.per_model.push_back(std::move(row));
+    recorders[m].merge_into(merged, accounting);
+  }
+  result.latency =
+      util::LatencyRecorder::summarize(std::move(merged), accounting);
+  result.slo_attainment =
+      result.latency.measured > 0
+          ? static_cast<double>(within_slo) /
+                static_cast<double>(result.latency.measured)
+          : 0.0;
+  // Saturation: the run could not keep up with the offered schedule (wall
+  // time overran the schedule span by >10%) or the tail blew past the SLO
+  // for most requests.
+  result.saturated = elapsed > 1.1 * result.offered_seconds ||
+                     result.slo_attainment < 0.5;
   return result;
 }
 
@@ -439,6 +689,9 @@ int main(int argc, char** argv) {
       1, static_cast<std::size_t>(args.get_int("models", 4)));
   const auto requests = static_cast<std::size_t>(
       args.get_int("requests", options.quick ? 400 : 2000));
+  const double slo_ms = args.get_double("slo-ms", 2.0);
+  const auto openloop_arrivals = static_cast<std::size_t>(args.get_int(
+      "openloop-arrivals", options.quick ? 12000 : 60000));
   const std::string out_path = args.get("out", "BENCH_serving.json");
   bench::print_provenance("serving throughput/latency", options);
 
@@ -513,7 +766,7 @@ int main(int argc, char** argv) {
         "%8zu %8zu %8zu %8zu %8zu %8zu %8s %12.0f %9.3f %9.3f %10.2f\n",
         config.max_batch, config.workers, config.clients, config.window,
         config.models, config.pool, serve::to_string(config.backend),
-        result.throughput_rps, result.p50_ms, result.p99_ms,
+        result.throughput_rps, result.latency.p50_ms, result.latency.p99_ms,
         result.mean_batch);
   }
 
@@ -606,6 +859,71 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Open-loop degradation sweep (ISSUE 10): offered load as a fraction of
+  // the closed-loop record for the same shape (multi-model affine pool, or
+  // the single-model best when --models 1). Points past 1.0x deliberately
+  // overrun saturation so the JSON records queueing collapse: achieved
+  // throughput pinned at the service rate while the latency tail and the
+  // offered-vs-achieved gap grow.
+  const double closed_loop_record =
+      model_count > 1 ? best_multi_affine : best;
+  std::vector<OpenLoopConfig> open_configs;
+  const std::vector<double> sweep =
+      options.quick ? std::vector<double>{0.5, 1.0, 2.0}
+                    : std::vector<double>{0.5, 0.75, 1.0, 1.5, 2.0};
+  for (const double multiplier : sweep) {
+    OpenLoopConfig config;
+    config.kind = util::ArrivalKind::poisson;
+    config.offered_multiplier = multiplier;
+    config.slo_ms = slo_ms;
+    config.seed = options.seed;
+    open_configs.push_back(config);
+  }
+  // Bursty arrivals at the same mean rates (in-burst peak is 2x the mean
+  // with the default 10ms/10ms duty cycle): tails degrade before the mean
+  // rate reaches the record.
+  for (const double multiplier : {0.5, 1.0}) {
+    OpenLoopConfig config;
+    config.kind = util::ArrivalKind::bursty;
+    config.offered_multiplier = multiplier;
+    config.slo_ms = slo_ms;
+    config.seed = options.seed;
+    open_configs.push_back(config);
+  }
+  // Train-verb mix at the saturation point: 10% of arrivals become live
+  // training-plane ingests while predicts keep their SLO accounting.
+  {
+    OpenLoopConfig config;
+    config.kind = util::ArrivalKind::poisson;
+    config.offered_multiplier = 1.0;
+    config.train_fraction = 0.1;
+    config.slo_ms = slo_ms;
+    config.seed = options.seed;
+    open_configs.push_back(config);
+  }
+
+  std::vector<OpenLoopResult> open_results;
+  std::printf("\nopen-loop sweep (record %.0f rps, SLO %.2f ms, %zu arrivals "
+              "per point, warm-up %zu per stream):\n",
+              closed_loop_record, slo_ms, openloop_arrivals, kWarmupSamples);
+  std::printf("%8s %6s %6s %12s %12s %9s %9s %9s %8s %5s\n", "arrival",
+              "mult", "train", "offered_rps", "achieved", "p50_ms", "p99_ms",
+              "p999_ms", "slo_att", "sat");
+  for (auto& config : open_configs) {
+    config.offered_rps =
+        std::max(1.0, closed_loop_record * config.offered_multiplier);
+    config.arrivals = openloop_arrivals;
+    open_results.push_back(run_open_loop(features, dim, classes, queries,
+                                         model_count, 2, config,
+                                         options.seed));
+    const auto& r = open_results.back();
+    std::printf("%8s %6.2f %6.2f %12.0f %12.0f %9.3f %9.3f %9.3f %8.3f %5s\n",
+                util::to_string(config.kind), config.offered_multiplier,
+                config.train_fraction, config.offered_rps, r.achieved_rps,
+                r.latency.p50_ms, r.latency.p99_ms, r.latency.p999_ms,
+                r.slo_attainment, r.saturated ? "yes" : "no");
+  }
+
   std::ofstream out(out_path);
   if (!out) {
     std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
@@ -667,7 +985,11 @@ int main(int argc, char** argv) {
         << (r.config.pool > 1 ? "affine" : "shared") << "\""
         << ", \"backend\": \"" << serve::to_string(r.config.backend) << "\""
         << ", \"throughput_rps\": " << r.throughput_rps
-        << ", \"p50_ms\": " << r.p50_ms << ", \"p99_ms\": " << r.p99_ms
+        << ", \"p50_ms\": " << r.latency.p50_ms
+        << ", \"p99_ms\": " << r.latency.p99_ms
+        << ", \"p999_ms\": " << r.latency.p999_ms
+        << ", \"warmup_excluded\": " << r.latency.warmup_excluded
+        << ", \"measured\": " << r.latency.measured
         << ", \"mean_batch\": " << r.mean_batch;
     if (!r.model_stats.empty()) {
       out << ",\n     \"model_stats\": [\n";
@@ -690,7 +1012,46 @@ int main(int argc, char** argv) {
     }
     out << "}" << (i + 1 < results.size() ? ",\n" : "\n");
   }
-  out << "  ]\n}\n";
+  out << "  ],\n";
+  out << "  \"open_loop\": {\n";
+  out << "    \"closed_loop_record_rps\": " << closed_loop_record << ",\n";
+  out << "    \"slo_ms\": " << slo_ms << ",\n";
+  out << "    \"arrivals_per_point\": " << openloop_arrivals << ",\n";
+  out << "    \"warmup_samples_per_stream\": " << kWarmupSamples << ",\n";
+  out << "    \"runs\": [\n";
+  for (std::size_t i = 0; i < open_results.size(); ++i) {
+    const auto& r = open_results[i];
+    out << "      {\"arrival\": \"" << util::to_string(r.config.kind) << "\""
+        << ", \"offered_multiplier\": " << r.config.offered_multiplier
+        << ", \"offered_rps\": " << r.config.offered_rps
+        << ", \"achieved_rps\": " << r.achieved_rps
+        << ", \"train_fraction\": " << r.config.train_fraction
+        << ", \"offered_seconds\": " << r.offered_seconds
+        << ", \"max_dispatch_lag_ms\": " << r.max_dispatch_lag_ms
+        << ", \"p50_ms\": " << r.latency.p50_ms
+        << ", \"p99_ms\": " << r.latency.p99_ms
+        << ", \"p999_ms\": " << r.latency.p999_ms
+        << ", \"warmup_excluded\": " << r.latency.warmup_excluded
+        << ", \"measured\": " << r.latency.measured
+        << ", \"slo_attainment\": " << r.slo_attainment
+        << ", \"saturated\": " << (r.saturated ? "true" : "false")
+        << ", \"train_ops\": " << r.train_ops
+        << ", \"trained_rows\": " << r.trained_rows
+        << ", \"publishes\": " << r.publishes << ",\n       \"models\": [\n";
+    for (std::size_t m = 0; m < r.per_model.size(); ++m) {
+      const auto& row = r.per_model[m];
+      out << "         {\"model\": \"" << row.model << "\""
+          << ", \"measured\": " << row.latency.measured
+          << ", \"warmup_excluded\": " << row.latency.warmup_excluded
+          << ", \"p50_ms\": " << row.latency.p50_ms
+          << ", \"p99_ms\": " << row.latency.p99_ms
+          << ", \"p999_ms\": " << row.latency.p999_ms
+          << ", \"slo_attainment\": " << row.slo_attainment << "}"
+          << (m + 1 < r.per_model.size() ? ",\n" : "\n");
+    }
+    out << "       ]}" << (i + 1 < open_results.size() ? ",\n" : "\n");
+  }
+  out << "    ]\n  }\n}\n";
   std::printf("wrote %s\n", out_path.c_str());
 
   // The tentpole acceptance bar: batching + workers must at least double

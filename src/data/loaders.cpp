@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
 #include "util/csv.hpp"
 
@@ -163,6 +165,161 @@ Dataset load_split_files(const std::string& features_path,
   out.num_classes = densify_labels(out.labels);
   out.validate();
   return out;
+}
+
+namespace {
+
+/// strtod-based field parse: unlike stream extraction it accepts the
+/// literal `NaN` spelling the PAMAP2 files use. Returns false when the
+/// field holds anything but one complete number.
+bool parse_field(const std::string& field, double& out) {
+  const char* begin = field.c_str();
+  char* end = nullptr;
+  out = std::strtod(begin, &end);
+  if (end == begin) return false;
+  while (*end == ' ' || *end == '\t') ++end;
+  return *end == '\0';
+}
+
+std::vector<std::string> split_csv_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream ss(line);
+  while (std::getline(ss, field, ',')) {
+    const auto first = field.find_first_not_of(" \t\r");
+    if (first == std::string::npos) {
+      fields.emplace_back();
+    } else {
+      const auto last = field.find_last_not_of(" \t\r");
+      fields.push_back(field.substr(first, last - first + 1));
+    }
+  }
+  return fields;
+}
+
+}  // namespace
+
+Dataset load_isolet(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+
+  Dataset out;
+  out.name = path;
+  std::vector<std::vector<float>> rows;
+  std::string line;
+  std::size_t cols = 0;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    auto fields = split_csv_fields(line);
+    // The distribution ends some lines with a trailing comma; drop empty
+    // tail fields rather than reading them as data.
+    while (!fields.empty() && fields.back().empty()) fields.pop_back();
+    if (fields.empty()) continue;
+    if (fields.size() < 2) {
+      throw std::runtime_error("too few fields at " + path + ":" +
+                               std::to_string(line_number));
+    }
+    if (cols == 0) {
+      cols = fields.size();
+    } else if (fields.size() != cols) {
+      throw std::runtime_error("ragged row at " + path + ":" +
+                               std::to_string(line_number));
+    }
+    std::vector<float> row(cols - 1);
+    for (std::size_t f = 0; f + 1 < cols; ++f) {
+      double v;
+      if (!parse_field(fields[f], v)) {
+        throw std::runtime_error("bad value at " + path + ":" +
+                                 std::to_string(line_number));
+      }
+      row[f] = static_cast<float>(v);
+    }
+    double label;  // written "26." in the real files; strtod reads 26.0
+    if (!parse_field(fields[cols - 1], label) || std::isnan(label)) {
+      throw std::runtime_error("bad label at " + path + ":" +
+                               std::to_string(line_number));
+    }
+    rows.push_back(std::move(row));
+    out.labels.push_back(static_cast<int>(std::lround(label)));
+  }
+  if (rows.empty()) throw std::runtime_error("empty ISOLET file: " + path);
+
+  out.features = util::Matrix(rows.size(), cols - 1);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::copy(rows[r].begin(), rows[r].end(), out.features.row(r).begin());
+  }
+  out.num_classes = densify_labels(out.labels);
+  out.validate();
+  return out;
+}
+
+Dataset load_pamap2(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+
+  Dataset out;
+  out.name = path;
+  std::vector<std::vector<float>> rows;
+  std::string line;
+  std::string field;
+  std::size_t cols = 0;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::istringstream ss(line);
+    std::vector<std::string> fields;
+    while (ss >> field) fields.push_back(field);
+    if (fields.empty()) continue;
+    if (fields.size() < 3) {
+      throw std::runtime_error("too few columns at " + path + ":" +
+                               std::to_string(line_number));
+    }
+    if (cols == 0) {
+      cols = fields.size();
+    } else if (fields.size() != cols) {
+      throw std::runtime_error("ragged row at " + path + ":" +
+                               std::to_string(line_number));
+    }
+    double activity;  // column 1; column 0 (the timestamp) carries no signal
+    if (!parse_field(fields[1], activity) || std::isnan(activity)) {
+      throw std::runtime_error("bad activityID at " + path + ":" +
+                               std::to_string(line_number));
+    }
+    const int label = static_cast<int>(std::lround(activity));
+    if (label == 0) continue;  // transient period between activities
+    std::vector<float> row(cols - 2);
+    for (std::size_t f = 2; f < cols; ++f) {
+      double v;
+      if (!parse_field(fields[f], v)) {
+        throw std::runtime_error("bad value at " + path + ":" +
+                                 std::to_string(line_number));
+      }
+      row[f - 2] = std::isnan(v) ? 0.0f : static_cast<float>(v);
+    }
+    rows.push_back(std::move(row));
+    out.labels.push_back(label);
+  }
+  if (rows.empty()) {
+    throw std::runtime_error("no labeled rows in PAMAP2 file: " + path);
+  }
+
+  out.features = util::Matrix(rows.size(), cols - 2);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::copy(rows[r].begin(), rows[r].end(), out.features.row(r).begin());
+  }
+  out.num_classes = densify_labels(out.labels);
+  out.validate();
+  return out;
+}
+
+Dataset load_auto(const std::string& path, bool has_header) {
+  const auto dot = path.rfind('.');
+  const std::string extension =
+      dot == std::string::npos ? "" : path.substr(dot);
+  if (extension == ".data") return load_isolet(path);
+  if (extension == ".dat") return load_pamap2(path);
+  return load_csv_labeled(path, has_header);
 }
 
 }  // namespace disthd::data

@@ -28,4 +28,25 @@ Dataset load_csv_labeled(const std::string& path, bool has_header,
 Dataset load_split_files(const std::string& features_path,
                          const std::string& labels_path);
 
+/// UCI ISOLET `.data` format: comma-separated floats, one sample per line,
+/// the LAST field is the class id (1-based, written as "26." in the real
+/// distribution). Labels are remapped to dense [0, k); ragged rows throw.
+Dataset load_isolet(const std::string& path);
+
+/// PAMAP2 Protocol `.dat` format: whitespace-separated columns, one sample
+/// per line — column 0 is the timestamp (dropped), column 1 the activityID
+/// (the label), the rest sensor features. Literal `NaN` cells (the real
+/// files are full of them: wireless dropouts and the 9Hz heart-rate
+/// channel) load as 0. Rows with activityID 0 — the protocol's transient
+/// periods between activities — are dropped, matching how the dataset's
+/// readme says they must be treated. Remaining activity ids are remapped
+/// to dense [0, k) in sorted order.
+Dataset load_pamap2(const std::string& path);
+
+/// Dispatches on the file extension: `.data` -> load_isolet, `.dat` ->
+/// load_pamap2, anything else -> load_csv_labeled(path, has_header). This
+/// is what the CLI tools call, so `disthd_train --train isolet5.data`
+/// consumes the paper's real distribution files directly.
+Dataset load_auto(const std::string& path, bool has_header);
+
 }  // namespace disthd::data

@@ -43,6 +43,28 @@ bool try_load_real(const std::string& name, const std::string& dir,
     out.test = load_idx(join(dir, files[2]), join(dir, files[3]));
     return true;
   }
+  if (name == "isolet") {
+    // The UCI distribution's own split: isolet1+2+3+4.data to train,
+    // isolet5.data (the fifth speaker group) to test.
+    const std::string train_file = "isolet1+2+3+4.data";
+    const std::string test_file = "isolet5.data";
+    if (exists(dir, train_file) && exists(dir, test_file)) {
+      out.train = load_isolet(join(dir, train_file));
+      out.test = load_isolet(join(dir, test_file));
+      return true;
+    }
+  }
+  if (name == "pamap2") {
+    // Concatenated Protocol subject files (tools/fetch_datasets.sh builds
+    // these: subjects 101-107 train, 108-109 test).
+    const std::string train_file = "pamap2_train.dat";
+    const std::string test_file = "pamap2_test.dat";
+    if (exists(dir, train_file) && exists(dir, test_file)) {
+      out.train = load_pamap2(join(dir, train_file));
+      out.test = load_pamap2(join(dir, test_file));
+      return true;
+    }
+  }
   // UCIHAR / ISOLET / PAMAP2 style: whitespace features + label files.
   const std::string x_train = name + "_train_X.txt";
   const std::string y_train = name + "_train_y.txt";

@@ -30,7 +30,11 @@ ClusterModel build_model(const SyntheticSpec& spec, util::Rng& rng) {
     }
   }
   if (spec.latent_dim > 0) {
-    model.mixing = util::Matrix(spec.num_features, spec.latent_dim);
+    // The noise directions extend the latent space: class centers are zero
+    // there (appended implicitly in sample_into), so only per-sample draws
+    // reach them — high variance, no label information.
+    model.mixing =
+        util::Matrix(spec.num_features, spec.latent_dim + spec.noise_dims);
     // Scale ~ 1/sqrt(latent) keeps feature variance O(1) after mixing.
     model.mixing.fill_normal(rng, 0.0,
                              1.0 / std::sqrt(static_cast<double>(spec.latent_dim)));
@@ -46,7 +50,8 @@ void sample_into(const SyntheticSpec& spec, const ClusterModel& model,
   out.labels.resize(count);
   const std::size_t space =
       spec.latent_dim > 0 ? spec.latent_dim : spec.num_features;
-  std::vector<float> latent(space);
+  const std::size_t noise_dims = spec.latent_dim > 0 ? spec.noise_dims : 0;
+  std::vector<float> latent(space + noise_dims);
   for (std::size_t i = 0; i < count; ++i) {
     // Round-robin over classes keeps the splits balanced like the paper's
     // benchmark datasets; the order is then shuffled by the caller.
@@ -57,6 +62,13 @@ void sample_into(const SyntheticSpec& spec, const ClusterModel& model,
     for (std::size_t d = 0; d < space; ++d) {
       latent[d] = center[d] +
                   static_cast<float>(rng.normal(0.0, spec.cluster_spread));
+    }
+    // Class-independent high-variance coordinates: same distribution for
+    // every class, train and test alike (test noise is an independent draw,
+    // so memorizing train noise actively misleads at eval time).
+    for (std::size_t d = 0; d < noise_dims; ++d) {
+      latent[space + d] =
+          static_cast<float>(rng.normal(0.0, spec.noise_scale));
     }
     auto row = out.features.row(i);
     if (spec.latent_dim > 0) {
@@ -90,6 +102,10 @@ TrainTestSplit make_synthetic(const SyntheticSpec& spec) {
   }
   if (spec.clusters_per_class == 0) {
     throw std::invalid_argument("make_synthetic: clusters_per_class == 0");
+  }
+  if (spec.noise_dims > 0 && spec.latent_dim == 0) {
+    throw std::invalid_argument(
+        "make_synthetic: noise_dims requires latent mixing (latent_dim > 0)");
   }
   util::Rng rng(spec.seed);
   util::Rng model_rng = rng.split(0xC0DE);
@@ -193,6 +209,23 @@ SyntheticSpec diabetes_like_spec(double scale, std::uint64_t seed) {
   spec.latent_dim = 10;
   spec.label_noise = 0.05;
   spec.seed = seed + 4;
+  return spec;
+}
+
+SyntheticSpec misleading_variance_spec(double scale, std::uint64_t seed) {
+  SyntheticSpec spec;
+  spec.name = "misleading_variance";
+  spec.num_features = 96;
+  spec.num_classes = 6;
+  spec.train_size = scaled(1800, scale, 300);
+  spec.test_size = scaled(900, scale, 300);
+  spec.clusters_per_class = 2;
+  spec.prototype_scale = 1.0;
+  spec.cluster_spread = 0.8;
+  spec.latent_dim = 12;  // informative rank inside the crossover window
+  spec.noise_dims = 6;
+  spec.noise_scale = 1.0;
+  spec.seed = seed + 7;
   return spec;
 }
 

@@ -37,6 +37,21 @@ struct SyntheticSpec {
   /// Latent dimensionality of the mixing model; 0 disables mixing and the
   /// clusters are isotropic directly in feature space.
   std::size_t latent_dim = 0;
+  /// Misleading-variance adversary: number of class-INDEPENDENT latent
+  /// directions appended to the mixing model. Each sample draws these
+  /// coordinates fresh from N(0, noise_scale) regardless of its class, so
+  /// after mixing they are the highest-variance directions in feature space
+  /// while carrying zero label information. Variance-ranked regeneration
+  /// (NeuralHD) reads the encoded dimensions that respond to them as
+  /// "informative" and keeps them; learner-aware selection (DistHD) sees
+  /// them pull misclassified samples toward the wrong prototypes and drops
+  /// them — the structure behind the paper's strict DistHD > NeuralHD gap.
+  /// Requires latent_dim > 0 (the adversary lives in the mixing model).
+  std::size_t noise_dims = 0;
+  /// Standard deviation of the noise directions. The informative latent
+  /// coordinates have scale ~ sqrt(prototype_scale^2 + cluster_spread^2);
+  /// values well above that make noise dominate the feature variance.
+  double noise_scale = 3.0;
   /// Fraction of train labels replaced by a uniformly random wrong class.
   double label_noise = 0.0;
   std::uint64_t seed = 1;
@@ -55,5 +70,14 @@ SyntheticSpec ucihar_like_spec(double scale = 1.0, std::uint64_t seed = 1);
 SyntheticSpec isolet_like_spec(double scale = 1.0, std::uint64_t seed = 1);
 SyntheticSpec pamap2_like_spec(double scale = 1.0, std::uint64_t seed = 1);
 SyntheticSpec diabetes_like_spec(double scale = 1.0, std::uint64_t seed = 1);
+
+/// The adversarial scenario: a sensor-shaped workload whose feature variance
+/// is dominated by planted class-independent noise directions (see
+/// SyntheticSpec::noise_dims). On this workload variance-ranked and
+/// learner-aware regeneration genuinely separate, so the e2e suite asserts
+/// the paper's *strict* DistHD > NeuralHD ordering here instead of the
+/// statistical tie the plain Gaussian-mixture stand-ins allow.
+SyntheticSpec misleading_variance_spec(double scale = 1.0,
+                                       std::uint64_t seed = 1);
 
 }  // namespace disthd::data

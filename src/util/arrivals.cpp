@@ -1,0 +1,97 @@
+#include "util/arrivals.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace disthd::util {
+
+const char* to_string(ArrivalKind kind) noexcept {
+  switch (kind) {
+    case ArrivalKind::poisson: return "poisson";
+    case ArrivalKind::bursty: return "bursty";
+  }
+  return "unknown";
+}
+
+void ArrivalConfig::validate() const {
+  if (!(rate > 0.0) || !std::isfinite(rate)) {
+    throw std::invalid_argument("ArrivalConfig: rate must be finite and > 0");
+  }
+  if (kind == ArrivalKind::bursty) {
+    if (!(burst_on_seconds > 0.0) || !(burst_off_seconds > 0.0)) {
+      throw std::invalid_argument(
+          "ArrivalConfig: bursty needs positive on/off periods");
+    }
+  }
+}
+
+double ArrivalConfig::duty_cycle() const noexcept {
+  if (kind != ArrivalKind::bursty) return 1.0;
+  return burst_on_seconds / (burst_on_seconds + burst_off_seconds);
+}
+
+double ArrivalConfig::peak_rate() const noexcept {
+  return rate / duty_cycle();
+}
+
+ArrivalProcess::ArrivalProcess(const ArrivalConfig& config)
+    : config_(config), rng_(config.seed) {
+  config_.validate();
+  if (config_.kind == ArrivalKind::bursty) {
+    // Start inside an ON period: the first requests of a run arrive at
+    // burst intensity instead of after a silent prefix.
+    remaining_on_ = exponential(config_.burst_on_seconds);
+  }
+}
+
+double ArrivalProcess::exponential(double mean) {
+  // Inversion; 1 - uniform() is in (0, 1], so the log argument never hits 0
+  // and gaps are strictly positive.
+  return -mean * std::log(1.0 - rng_.uniform());
+}
+
+double ArrivalProcess::next_gap_seconds() {
+  if (config_.kind == ArrivalKind::poisson) {
+    const double gap = exponential(1.0 / config_.rate);
+    on_seconds_ += gap;
+    return gap;
+  }
+  // Interrupted Poisson: draw at the peak rate inside the current ON
+  // period; a draw past its end burns the rest of the period plus one OFF
+  // period, then (memorylessness) redraws from the start of a fresh ON
+  // period.
+  const double in_burst_mean = 1.0 / config_.peak_rate();
+  double gap = 0.0;
+  for (;;) {
+    const double draw = exponential(in_burst_mean);
+    if (draw <= remaining_on_) {
+      remaining_on_ -= draw;
+      on_seconds_ += draw;
+      return gap + draw;
+    }
+    gap += remaining_on_;
+    on_seconds_ += remaining_on_;
+    const double off = exponential(config_.burst_off_seconds);
+    gap += off;
+    off_seconds_ += off;
+    remaining_on_ = exponential(config_.burst_on_seconds);
+  }
+}
+
+double ArrivalProcess::next_time_seconds() {
+  now_ += next_gap_seconds();
+  return now_;
+}
+
+std::vector<double> arrival_schedule(const ArrivalConfig& config,
+                                     std::size_t count) {
+  ArrivalProcess process(config);
+  std::vector<double> times;
+  times.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    times.push_back(process.next_time_seconds());
+  }
+  return times;
+}
+
+}  // namespace disthd::util

@@ -1,0 +1,93 @@
+// Deterministic arrival-process generation for open-loop load harnesses.
+//
+// Closed-loop clients (wait for an answer, then send the next request)
+// self-throttle: when the server slows down, the offered load drops with it,
+// which hides queueing collapse exactly where it matters. An open-loop
+// harness offers load on a schedule that does NOT react to the server, so
+// saturation shows up as unbounded queueing delay instead of silently
+// reduced throughput. This library generates those schedules; it lives in
+// src/util (not bench/) so the test suite can pin its statistics before any
+// number it produces is trusted.
+//
+// Two processes:
+//   - poisson: memoryless arrivals at a configured mean rate (exponential
+//     inter-arrival gaps) — the classic open-system model.
+//   - bursty: an interrupted Poisson process alternating exponentially
+//     distributed ON periods (arrivals at a peak rate) and OFF periods
+//     (silence). The configured `rate` is the LONG-RUN mean: the peak rate
+//     inside bursts is rate / duty_cycle, so tightening the duty cycle at a
+//     fixed mean rate makes the bursts proportionally harsher.
+//
+// Everything is driven by one util::Rng seeded from the config, so a given
+// (kind, rate, burst, seed) tuple yields the same schedule on every host.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace disthd::util {
+
+enum class ArrivalKind { poisson, bursty };
+
+const char* to_string(ArrivalKind kind) noexcept;
+
+struct ArrivalConfig {
+  ArrivalKind kind = ArrivalKind::poisson;
+  /// Long-run mean arrival rate in arrivals/second (both kinds).
+  double rate = 1000.0;
+  /// Bursty only: mean ON-period and OFF-period lengths in seconds. The
+  /// duty cycle is on / (on + off); the in-burst peak rate is rate / duty.
+  double burst_on_seconds = 0.010;
+  double burst_off_seconds = 0.010;
+  std::uint64_t seed = 1;
+
+  /// Throws std::invalid_argument on non-positive rate or burst periods.
+  void validate() const;
+
+  /// Fraction of time spent in ON periods (1.0 for poisson).
+  double duty_cycle() const noexcept;
+  /// Arrival rate inside bursts (== rate for poisson).
+  double peak_rate() const noexcept;
+};
+
+class ArrivalProcess {
+public:
+  explicit ArrivalProcess(const ArrivalConfig& config);
+
+  /// Seconds from the previous arrival to the next one. Gaps are strictly
+  /// positive; for the bursty process a gap may span one or more whole OFF
+  /// periods.
+  double next_gap_seconds();
+
+  /// Absolute arrival time of the next arrival, in seconds since the
+  /// process started. Strictly increasing.
+  double next_time_seconds();
+
+  /// Time accounted to ON / OFF states so far (bursty bookkeeping; a
+  /// poisson process is always ON). The ratio converges to duty_cycle() —
+  /// the property test pins that, so harness configs can trust it.
+  double on_seconds() const noexcept { return on_seconds_; }
+  double off_seconds() const noexcept { return off_seconds_; }
+
+  const ArrivalConfig& config() const noexcept { return config_; }
+
+private:
+  double exponential(double mean);
+
+  ArrivalConfig config_;
+  Rng rng_;
+  double now_ = 0.0;
+  double remaining_on_ = 0.0;  // unused for poisson
+  double on_seconds_ = 0.0;
+  double off_seconds_ = 0.0;
+};
+
+/// First `count` absolute arrival times of the configured process, in
+/// seconds from start. Convenience for harnesses that precompute the
+/// schedule before starting the clock.
+std::vector<double> arrival_schedule(const ArrivalConfig& config,
+                                     std::size_t count);
+
+}  // namespace disthd::util

@@ -1,0 +1,53 @@
+#include "util/latency_recorder.hpp"
+
+#include <algorithm>
+
+namespace disthd::util {
+
+double LatencyRecorder::percentile(const std::vector<double>& sorted_ms,
+                                   double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const auto index = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_ms.size() - 1));
+  return sorted_ms[index];
+}
+
+LatencySummary LatencyRecorder::summarize(std::vector<double> samples,
+                                          LatencySummary accounting) {
+  accounting.measured = samples.size();
+  if (samples.empty()) return accounting;
+  std::sort(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (const double s : samples) sum += s;
+  accounting.mean_ms = sum / static_cast<double>(samples.size());
+  accounting.p50_ms = percentile(samples, 0.50);
+  accounting.p99_ms = percentile(samples, 0.99);
+  accounting.p999_ms = percentile(samples, 0.999);
+  accounting.max_ms = samples.back();
+  return accounting;
+}
+
+LatencySummary LatencyRecorder::summary() const {
+  LatencySummary accounting;
+  accounting.total_samples = total_;
+  accounting.warmup_excluded = warmup_excluded();
+  return summarize(measured_, accounting);
+}
+
+void LatencyRecorder::merge_into(std::vector<double>& samples,
+                                 LatencySummary& accounting) const {
+  samples.insert(samples.end(), measured_.begin(), measured_.end());
+  accounting.total_samples += total_;
+  accounting.warmup_excluded += warmup_excluded();
+}
+
+double LatencyRecorder::fraction_within(double slo_ms) const {
+  if (measured_.empty()) return 0.0;
+  std::size_t within = 0;
+  for (const double s : measured_) {
+    if (s <= slo_ms) ++within;
+  }
+  return static_cast<double>(within) / static_cast<double>(measured_.size());
+}
+
+}  // namespace disthd::util

@@ -1,0 +1,75 @@
+// Latency accounting with explicit warm-up exclusion.
+//
+// The serving bench previously folded every sample into its percentiles,
+// including the first requests of a run — which measure cold caches, page
+// faults, and worker spin-up rather than steady-state behaviour. This
+// recorder makes the exclusion explicit and identical across the
+// closed-loop and open-loop harnesses: each recorder drops its first
+// `warmup_samples` recordings (per recording stream, i.e. per client) and
+// summaries are computed over the remainder only. The accounting (how many
+// samples were excluded vs measured) is part of the summary so reports can
+// show it instead of silently shrinking the sample count.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace disthd::util {
+
+struct LatencySummary {
+  std::size_t total_samples = 0;    ///< everything record() saw
+  std::size_t warmup_excluded = 0;  ///< dropped from the front
+  std::size_t measured = 0;         ///< total_samples - warmup_excluded
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+class LatencyRecorder {
+public:
+  /// The first `warmup_samples` calls to record() are counted but excluded
+  /// from every statistic.
+  explicit LatencyRecorder(std::size_t warmup_samples = 0)
+      : warmup_samples_(warmup_samples) {}
+
+  void record(double ms) {
+    ++total_;
+    if (total_ <= warmup_samples_) return;
+    measured_.push_back(ms);
+  }
+
+  std::size_t total_samples() const noexcept { return total_; }
+  std::size_t warmup_excluded() const noexcept {
+    return total_ < warmup_samples_ ? total_ : warmup_samples_;
+  }
+  const std::vector<double>& measured() const noexcept { return measured_; }
+
+  /// Summary over this recorder's measured samples.
+  LatencySummary summary() const;
+
+  /// Append this recorder's measured samples (warm-up already excluded)
+  /// plus its accounting into a merged set — how multi-client runs build
+  /// one run-wide summary without re-applying warm-up rules.
+  void merge_into(std::vector<double>& samples, LatencySummary& accounting) const;
+
+  /// Fraction of measured samples at or under `slo_ms` (0 when empty).
+  double fraction_within(double slo_ms) const;
+
+  /// The one percentile rule for every bench report: nearest-rank on a
+  /// sorted ascending vector, index = floor(p * (n - 1)).
+  static double percentile(const std::vector<double>& sorted_ms, double p);
+
+  /// Summary over an already-merged sample set. `samples` need not be
+  /// sorted; `accounting` carries total/warm-up counts from merge_into.
+  static LatencySummary summarize(std::vector<double> samples,
+                                  LatencySummary accounting);
+
+private:
+  std::size_t warmup_samples_;
+  std::size_t total_ = 0;
+  std::vector<double> measured_;
+};
+
+}  // namespace disthd::util

@@ -157,5 +157,107 @@ TEST_F(LoadersTest, SplitFilesRaggedThrows) {
                std::runtime_error);
 }
 
+// ---- ISOLET `.data` format (ISSUE 10) --------------------------------------
+
+TEST_F(LoadersTest, IsoletDataFormat) {
+  // Real distribution style: comma+space separated, label last written
+  // with a trailing period, some lines with a trailing comma.
+  std::ofstream out(path("shard.data"));
+  out << " -0.4394, -0.0930, 0.2330, 3.\n"
+      << " 0.1000, 0.2000, -1.0000, 26.\n"
+      << " 0.5000, -0.5000, 0.0000, 3.,\n";
+  out.close();
+  const Dataset d = load_isolet(path("shard.data"));
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.num_features(), 3u);
+  EXPECT_EQ(d.num_classes, 2u);  // sorted densify: 3 -> 0, 26 -> 1
+  EXPECT_EQ(d.labels[0], 0);
+  EXPECT_EQ(d.labels[1], 1);
+  EXPECT_EQ(d.labels[2], 0);
+  EXPECT_FLOAT_EQ(d.features(0, 0), -0.4394f);
+  EXPECT_FLOAT_EQ(d.features(1, 2), -1.0f);
+}
+
+TEST_F(LoadersTest, IsoletRaggedRowThrows) {
+  std::ofstream out(path("ragged.data"));
+  out << "0.1, 0.2, 1.\n0.3, 2.\n";
+  out.close();
+  EXPECT_THROW(load_isolet(path("ragged.data")), std::runtime_error);
+}
+
+TEST_F(LoadersTest, IsoletBadValueThrows) {
+  std::ofstream out(path("bad.data"));
+  out << "0.1, oops, 1.\n";
+  out.close();
+  EXPECT_THROW(load_isolet(path("bad.data")), std::runtime_error);
+}
+
+TEST_F(LoadersTest, IsoletEmptyThrows) {
+  std::ofstream out(path("empty.data"));
+  out.close();
+  EXPECT_THROW(load_isolet(path("empty.data")), std::runtime_error);
+}
+
+// ---- PAMAP2 `.dat` format (ISSUE 10) ---------------------------------------
+
+TEST_F(LoadersTest, Pamap2DatFormat) {
+  // Columns: timestamp activityID heart_rate imu...; literal NaN cells and
+  // activityID 0 transient rows, exactly like the Protocol files.
+  std::ofstream out(path("subject.dat"));
+  out << "8.38 0 104 30.0 2.1\n"      // transient: dropped
+      << "8.39 1 NaN 30.1 2.2\n"      // NaN heart rate -> 0
+      << "8.40 12 100 30.2 2.3\n"
+      << "8.41 1 101 NaN 2.4\n";
+  out.close();
+  const Dataset d = load_pamap2(path("subject.dat"));
+  EXPECT_EQ(d.size(), 3u);            // transient row gone
+  EXPECT_EQ(d.num_features(), 3u);    // timestamp + activityID dropped
+  EXPECT_EQ(d.num_classes, 2u);       // sorted densify: 1 -> 0, 12 -> 1
+  EXPECT_EQ(d.labels[0], 0);
+  EXPECT_EQ(d.labels[1], 1);
+  EXPECT_EQ(d.labels[2], 0);
+  EXPECT_FLOAT_EQ(d.features(0, 0), 0.0f);   // NaN heart rate
+  EXPECT_FLOAT_EQ(d.features(0, 1), 30.1f);
+  EXPECT_FLOAT_EQ(d.features(2, 1), 0.0f);   // NaN sensor cell
+  EXPECT_FLOAT_EQ(d.features(2, 2), 2.4f);
+}
+
+TEST_F(LoadersTest, Pamap2AllTransientThrows) {
+  std::ofstream out(path("idle.dat"));
+  out << "1.0 0 100 1.0\n2.0 0 101 2.0\n";
+  out.close();
+  EXPECT_THROW(load_pamap2(path("idle.dat")), std::runtime_error);
+}
+
+TEST_F(LoadersTest, Pamap2RaggedRowThrows) {
+  std::ofstream out(path("ragged.dat"));
+  out << "1.0 1 100 1.0\n2.0 1 101\n";
+  out.close();
+  EXPECT_THROW(load_pamap2(path("ragged.dat")), std::runtime_error);
+}
+
+// ---- extension dispatch ----------------------------------------------------
+
+TEST_F(LoadersTest, LoadAutoDispatchesOnExtension) {
+  std::ofstream isolet(path("a.data"));
+  isolet << "0.1, 0.2, 1.\n0.3, 0.4, 2.\n";
+  isolet.close();
+  std::ofstream pamap(path("b.dat"));
+  pamap << "1.0 1 100 1.5\n2.0 2 NaN 2.5\n";
+  pamap.close();
+  std::ofstream csv(path("c.csv"));
+  csv << "f1,f2,label\n1.0,2.0,0\n3.0,4.0,1\n";
+  csv.close();
+
+  const Dataset a = load_auto(path("a.data"), /*has_header=*/true);
+  EXPECT_EQ(a.num_features(), 2u);  // label-last comma format
+  const Dataset b = load_auto(path("b.dat"), /*has_header=*/true);
+  EXPECT_EQ(b.num_features(), 2u);  // timestamp+activity dropped
+  EXPECT_FLOAT_EQ(b.features(1, 0), 0.0f);
+  const Dataset c = load_auto(path("c.csv"), /*has_header=*/true);
+  EXPECT_EQ(c.num_features(), 2u);
+  EXPECT_EQ(c.size(), 2u);
+}
+
 }  // namespace
 }  // namespace disthd::data

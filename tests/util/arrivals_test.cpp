@@ -1,0 +1,191 @@
+// Property tests for the open-loop arrival-process library. The bench
+// harness trusts these statistics (offered rate, duty cycle, determinism);
+// they are pinned here before any BENCH_serving number depends on them.
+#include "util/arrivals.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace disthd::util {
+namespace {
+
+std::vector<double> gaps_of(const std::vector<double>& times) {
+  std::vector<double> gaps;
+  gaps.reserve(times.size());
+  double prev = 0.0;
+  for (double t : times) {
+    gaps.push_back(t - prev);
+    prev = t;
+  }
+  return gaps;
+}
+
+double mean_of(const std::vector<double>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0) / (double)xs.size();
+}
+
+TEST(Arrivals, ValidateRejectsBadConfigs) {
+  ArrivalConfig bad;
+  bad.rate = 0.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+  bad.rate = -5.0;
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+  ArrivalConfig bursty;
+  bursty.kind = ArrivalKind::bursty;
+  bursty.burst_on_seconds = 0.0;
+  EXPECT_THROW(bursty.validate(), std::invalid_argument);
+  bursty.burst_on_seconds = 0.010;
+  bursty.burst_off_seconds = -1.0;
+  EXPECT_THROW(bursty.validate(), std::invalid_argument);
+}
+
+TEST(Arrivals, DutyCycleAndPeakRate) {
+  ArrivalConfig poisson;
+  poisson.rate = 1000.0;
+  EXPECT_DOUBLE_EQ(poisson.duty_cycle(), 1.0);
+  EXPECT_DOUBLE_EQ(poisson.peak_rate(), 1000.0);
+
+  ArrivalConfig bursty;
+  bursty.kind = ArrivalKind::bursty;
+  bursty.rate = 1000.0;
+  bursty.burst_on_seconds = 0.010;
+  bursty.burst_off_seconds = 0.030;
+  EXPECT_DOUBLE_EQ(bursty.duty_cycle(), 0.25);
+  EXPECT_DOUBLE_EQ(bursty.peak_rate(), 4000.0);
+}
+
+TEST(Arrivals, PinnedSeedIsDeterministic) {
+  for (ArrivalKind kind : {ArrivalKind::poisson, ArrivalKind::bursty}) {
+    ArrivalConfig cfg;
+    cfg.kind = kind;
+    cfg.rate = 2000.0;
+    cfg.seed = 42;
+    const auto a = arrival_schedule(cfg, 5000);
+    const auto b = arrival_schedule(cfg, 5000);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_DOUBLE_EQ(a[i], b[i]) << to_string(kind) << " diverges at " << i;
+    }
+
+    ArrivalConfig other = cfg;
+    other.seed = 43;
+    const auto c = arrival_schedule(other, 5000);
+    EXPECT_NE(a, c) << to_string(kind) << ": seed must matter";
+  }
+}
+
+TEST(Arrivals, TimesAreStrictlyIncreasing) {
+  for (ArrivalKind kind : {ArrivalKind::poisson, ArrivalKind::bursty}) {
+    ArrivalConfig cfg;
+    cfg.kind = kind;
+    cfg.rate = 5000.0;
+    cfg.seed = 7;
+    const auto times = arrival_schedule(cfg, 20000);
+    double prev = 0.0;
+    for (double t : times) {
+      ASSERT_GT(t, prev) << to_string(kind);
+      prev = t;
+    }
+  }
+}
+
+// The empirical mean rate over a long schedule must converge to the
+// configured long-run rate — for the bursty process too, where arrivals
+// happen at peak_rate inside bursts but OFF periods dilute them back down.
+TEST(Arrivals, EmpiricalMeanRateMatchesConfiguredRate) {
+  for (ArrivalKind kind : {ArrivalKind::poisson, ArrivalKind::bursty}) {
+    for (std::uint64_t seed : {1ull, 9ull, 1234ull}) {
+      ArrivalConfig cfg;
+      cfg.kind = kind;
+      cfg.rate = 4000.0;
+      cfg.seed = seed;
+      const std::size_t count = 100000;
+      const auto times = arrival_schedule(cfg, count);
+      const double rate = (double)count / times.back();
+      EXPECT_NEAR(rate, cfg.rate, 0.05 * cfg.rate)
+          << to_string(kind) << " seed " << seed;
+    }
+  }
+}
+
+// Bursty ON/OFF bookkeeping: the realized duty cycle converges to the
+// configured one, so rate / duty really is the in-burst intensity.
+TEST(Arrivals, BurstyDutyCycleConverges) {
+  for (double off : {0.010, 0.030}) {
+    ArrivalConfig cfg;
+    cfg.kind = ArrivalKind::bursty;
+    cfg.rate = 4000.0;
+    cfg.burst_on_seconds = 0.010;
+    cfg.burst_off_seconds = off;
+    cfg.seed = 3;
+    ArrivalProcess process(cfg);
+    for (std::size_t i = 0; i < 100000; ++i) process.next_gap_seconds();
+    const double duty =
+        process.on_seconds() / (process.on_seconds() + process.off_seconds());
+    EXPECT_NEAR(duty, cfg.duty_cycle(), 0.05) << "off=" << off;
+  }
+}
+
+// Bursty arrivals must actually be bursty: the squared coefficient of
+// variation of inter-arrival gaps is 1 for Poisson and > 1 for an
+// interrupted Poisson process (the OFF periods fatten the gap tail).
+TEST(Arrivals, BurstyGapsAreOverdispersedPoissonGapsAreNot) {
+  ArrivalConfig cfg;
+  cfg.rate = 4000.0;
+  cfg.burst_off_seconds = 0.030;
+  cfg.seed = 11;
+
+  cfg.kind = ArrivalKind::poisson;
+  auto pg = gaps_of(arrival_schedule(cfg, 50000));
+  cfg.kind = ArrivalKind::bursty;
+  auto bg = gaps_of(arrival_schedule(cfg, 50000));
+
+  auto cv2 = [](const std::vector<double>& gaps) {
+    const double m = mean_of(gaps);
+    double var = 0.0;
+    for (double g : gaps) var += (g - m) * (g - m);
+    var /= (double)gaps.size();
+    return var / (m * m);
+  };
+  EXPECT_NEAR(cv2(pg), 1.0, 0.1);
+  EXPECT_GT(cv2(bg), 1.5);
+}
+
+// Inter-arrival independence for the Poisson process: adjacent gaps must
+// be uncorrelated. With n = 50000 the lag-1 autocorrelation of an iid
+// sequence concentrates within ~4/sqrt(n) < 0.02 of zero.
+TEST(Arrivals, PoissonAdjacentGapsUncorrelated) {
+  ArrivalConfig cfg;
+  cfg.rate = 4000.0;
+  cfg.seed = 5;
+  const auto gaps = gaps_of(arrival_schedule(cfg, 50000));
+  const double m = mean_of(gaps);
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i + 1 < gaps.size(); ++i) {
+    num += (gaps[i] - m) * (gaps[i + 1] - m);
+  }
+  for (double g : gaps) den += (g - m) * (g - m);
+  const double lag1 = num / den;
+  EXPECT_LT(std::abs(lag1), 0.02);
+}
+
+// Scaling the rate scales the schedule: the process is a unit-rate process
+// stretched by 1/rate, so mean gaps at 2x rate are half as long.
+TEST(Arrivals, RateScalesMeanGap) {
+  ArrivalConfig cfg;
+  cfg.rate = 1000.0;
+  cfg.seed = 21;
+  const auto slow = gaps_of(arrival_schedule(cfg, 20000));
+  cfg.rate = 2000.0;
+  const auto fast = gaps_of(arrival_schedule(cfg, 20000));
+  EXPECT_NEAR(mean_of(slow) / mean_of(fast), 2.0, 0.1);
+}
+
+}  // namespace
+}  // namespace disthd::util

@@ -1,0 +1,121 @@
+// Histogram accounting for the serving bench: warm-up exclusion must be
+// exact and identical however the samples are aggregated (per-recorder
+// summary vs multi-client merge), because BENCH_serving.json quantiles are
+// compared across closed-loop and open-loop modes.
+#include "util/latency_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace disthd::util {
+namespace {
+
+TEST(LatencyRecorder, WarmupSamplesAreCountedButExcluded) {
+  LatencyRecorder recorder(/*warmup_samples=*/3);
+  // Warm-up samples are deliberately huge: if any leaks into the stats,
+  // every assertion below fails loudly.
+  for (double ms : {500.0, 400.0, 300.0}) recorder.record(ms);
+  for (double ms : {1.0, 2.0, 3.0, 4.0}) recorder.record(ms);
+
+  const LatencySummary s = recorder.summary();
+  EXPECT_EQ(s.total_samples, 7u);
+  EXPECT_EQ(s.warmup_excluded, 3u);
+  EXPECT_EQ(s.measured, 4u);
+  EXPECT_DOUBLE_EQ(s.mean_ms, 2.5);
+  EXPECT_DOUBLE_EQ(s.p50_ms, 2.0);  // floor(0.5 * 3) = index 1
+  EXPECT_DOUBLE_EQ(s.max_ms, 4.0);
+}
+
+TEST(LatencyRecorder, ShortRunExcludesEverything) {
+  LatencyRecorder recorder(/*warmup_samples=*/10);
+  recorder.record(1.0);
+  recorder.record(2.0);
+  const LatencySummary s = recorder.summary();
+  EXPECT_EQ(s.total_samples, 2u);
+  EXPECT_EQ(s.warmup_excluded, 2u);
+  EXPECT_EQ(s.measured, 0u);
+  EXPECT_DOUBLE_EQ(s.p99_ms, 0.0);
+}
+
+TEST(LatencyRecorder, ZeroWarmupKeepsEverything) {
+  LatencyRecorder recorder;
+  for (int i = 1; i <= 100; ++i) recorder.record(static_cast<double>(i));
+  const LatencySummary s = recorder.summary();
+  EXPECT_EQ(s.measured, 100u);
+  EXPECT_EQ(s.warmup_excluded, 0u);
+  EXPECT_DOUBLE_EQ(s.p50_ms, 50.0);   // floor(0.5 * 99) = index 49
+  EXPECT_DOUBLE_EQ(s.p99_ms, 99.0);   // floor(0.99 * 99) = index 98
+  EXPECT_DOUBLE_EQ(s.p999_ms, 99.0);  // floor(0.999 * 99) = index 98
+  EXPECT_DOUBLE_EQ(s.max_ms, 100.0);
+}
+
+TEST(LatencyRecorder, PercentileRuleIsNearestRankOnSortedInput) {
+  const std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(LatencyRecorder::percentile(sorted, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(LatencyRecorder::percentile(sorted, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(LatencyRecorder::percentile(sorted, 0.99), 4.0);
+  EXPECT_DOUBLE_EQ(LatencyRecorder::percentile(sorted, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(LatencyRecorder::percentile({}, 0.5), 0.0);
+}
+
+// Multi-client merge: warm-up is per client (each client's first requests
+// are its own cold start), and the merged accounting must add up exactly.
+TEST(LatencyRecorder, MergePreservesPerClientWarmupAccounting) {
+  LatencyRecorder a(/*warmup_samples=*/2);
+  LatencyRecorder b(/*warmup_samples=*/2);
+  for (double ms : {900.0, 900.0, 10.0, 20.0}) a.record(ms);
+  for (double ms : {900.0, 900.0, 30.0}) b.record(ms);
+
+  std::vector<double> merged;
+  LatencySummary accounting;
+  a.merge_into(merged, accounting);
+  b.merge_into(merged, accounting);
+  const LatencySummary s = LatencyRecorder::summarize(std::move(merged),
+                                                      accounting);
+  EXPECT_EQ(s.total_samples, 7u);
+  EXPECT_EQ(s.warmup_excluded, 4u);
+  EXPECT_EQ(s.measured, 3u);
+  EXPECT_DOUBLE_EQ(s.mean_ms, 20.0);
+  EXPECT_DOUBLE_EQ(s.max_ms, 30.0);
+}
+
+// Merged-then-summarized must equal a single recorder fed the same
+// measured stream: one accounting rule across harness modes.
+TEST(LatencyRecorder, MergeMatchesSingleRecorder) {
+  LatencyRecorder single(/*warmup_samples=*/0);
+  LatencyRecorder left(/*warmup_samples=*/1);
+  LatencyRecorder right(/*warmup_samples=*/1);
+  left.record(777.0);   // warm-up
+  right.record(777.0);  // warm-up
+  for (int i = 0; i < 50; ++i) {
+    const double ms = 1.0 + 0.25 * static_cast<double>(i % 20);
+    single.record(ms);
+    (i % 2 == 0 ? left : right).record(ms);
+  }
+  std::vector<double> merged;
+  LatencySummary accounting;
+  left.merge_into(merged, accounting);
+  right.merge_into(merged, accounting);
+  const LatencySummary m = LatencyRecorder::summarize(std::move(merged),
+                                                      accounting);
+  const LatencySummary s = single.summary();
+  EXPECT_DOUBLE_EQ(m.p50_ms, s.p50_ms);
+  EXPECT_DOUBLE_EQ(m.p99_ms, s.p99_ms);
+  EXPECT_DOUBLE_EQ(m.mean_ms, s.mean_ms);
+  EXPECT_EQ(m.measured, s.measured);
+}
+
+TEST(LatencyRecorder, FractionWithinSlo) {
+  LatencyRecorder recorder(/*warmup_samples=*/1);
+  recorder.record(999.0);  // warm-up; would poison the fraction if counted
+  for (double ms : {1.0, 2.0, 3.0, 4.0}) recorder.record(ms);
+  EXPECT_DOUBLE_EQ(recorder.fraction_within(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(recorder.fraction_within(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(recorder.fraction_within(10.0), 1.0);
+  LatencyRecorder empty;
+  EXPECT_DOUBLE_EQ(empty.fraction_within(1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace disthd::util

@@ -1,0 +1,81 @@
+#!/usr/bin/env bash
+# Fetches the real UCI datasets the loaders and `data::registry` understand
+# and lays them out exactly as `registry.cpp` expects under DISTHD_DATA_DIR
+# (default: ./data). Entirely optional: the test suite never needs network —
+# CI runs on the committed fixture shards in tests/fixtures/datasets/ — but
+# with these files in place `disthd_train --dataset isolet|pamap2` trains on
+# the genuine Table-I data instead of the synthetic stand-ins.
+#
+# Usage:
+#   tools/fetch_datasets.sh [isolet|pamap2|all]   # default: all
+#
+# Needs: curl (or wget), unzip, and `uncompress` or gzip for the .Z files.
+set -euo pipefail
+
+DATA_DIR="${DISTHD_DATA_DIR:-./data}"
+WHAT="${1:-all}"
+mkdir -p "${DATA_DIR}"
+
+fetch() { # url dest
+  if command -v curl >/dev/null 2>&1; then
+    curl -fL --retry 3 -o "$2" "$1"
+  else
+    wget -O "$2" "$1"
+  fi
+}
+
+fetch_isolet() {
+  # UCI ISOLET: the distribution's own split — isolet1+2+3+4.data is the
+  # training set (speaker groups 1-4), isolet5.data the test set.
+  local base="https://archive.ics.uci.edu/ml/machine-learning-databases/isolet"
+  local f
+  for f in "isolet1+2+3+4.data.Z" "isolet5.data.Z"; do
+    local out="${DATA_DIR}/${f%.Z}"
+    if [[ -f "${out}" ]]; then
+      echo "have ${out}, skipping"
+      continue
+    fi
+    echo "fetching ${f}..."
+    fetch "${base}/${f}" "${out}.Z"
+    # .Z is old-school compress; gzip -d handles it where uncompress is absent.
+    if command -v uncompress >/dev/null 2>&1; then
+      uncompress -f "${out}.Z"
+    else
+      gzip -df "${out}.Z"
+    fi
+  done
+  echo "isolet ready: ${DATA_DIR}/isolet1+2+3+4.data + isolet5.data"
+}
+
+fetch_pamap2() {
+  # UCI PAMAP2: one zip, Protocol/*.dat per subject. registry.cpp expects a
+  # pre-made subject split: 101-107 concatenated as train, 108-109 as test
+  # (leave-subjects-out, matching how the paper family evaluates PAMAP2).
+  local url="https://archive.ics.uci.edu/ml/machine-learning-databases/00231/PAMAP2_Dataset.zip"
+  local zip="${DATA_DIR}/PAMAP2_Dataset.zip"
+  if [[ -f "${DATA_DIR}/pamap2_train.dat" && -f "${DATA_DIR}/pamap2_test.dat" ]]; then
+    echo "have pamap2_train.dat + pamap2_test.dat, skipping"
+    return
+  fi
+  if [[ ! -f "${zip}" ]]; then
+    echo "fetching PAMAP2_Dataset.zip (~600 MB)..."
+    fetch "${url}" "${zip}"
+  fi
+  local tmp
+  tmp="$(mktemp -d)"
+  unzip -q -o "${zip}" 'PAMAP2_Dataset/Protocol/*' -d "${tmp}"
+  cat "${tmp}"/PAMAP2_Dataset/Protocol/subject10{1,2,3,4,5,6,7}.dat \
+      > "${DATA_DIR}/pamap2_train.dat"
+  cat "${tmp}"/PAMAP2_Dataset/Protocol/subject10{8,9}.dat \
+      > "${DATA_DIR}/pamap2_test.dat"
+  rm -rf "${tmp}"
+  echo "pamap2 ready: ${DATA_DIR}/pamap2_train.dat + pamap2_test.dat"
+}
+
+case "${WHAT}" in
+  isolet) fetch_isolet ;;
+  pamap2) fetch_pamap2 ;;
+  all)    fetch_isolet; fetch_pamap2 ;;
+  *) echo "usage: $0 [isolet|pamap2|all]" >&2; exit 2 ;;
+esac
+echo "done. export DISTHD_DATA_DIR=${DATA_DIR} so the registry finds the files."

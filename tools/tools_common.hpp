@@ -102,9 +102,13 @@ inline ModelBundle load_bundle(const std::string& path) {
   return bundle;
 }
 
-/// Loads a labeled CSV (header optional, label in the last column).
+/// Loads a labeled table, dispatching on the extension: `.data` reads the
+/// UCI ISOLET format, `.dat` the PAMAP2 Protocol format, anything else a
+/// CSV (header optional, label in the last column). Every CLI tool goes
+/// through here, so the paper's real distribution files work everywhere a
+/// CSV does.
 inline data::Dataset load_csv(const std::string& path, bool has_header) {
-  return data::load_csv_labeled(path, has_header);
+  return data::load_auto(path, has_header);
 }
 
 }  // namespace disthd::tools
